@@ -1,0 +1,29 @@
+//! Microbenchmarks of the Dewey identifier algebra — the innermost loop
+//! of every structural join.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use whirlpool_xml::Dewey;
+
+fn bench_dewey(c: &mut Criterion) {
+    let shallow = Dewey::from_components(vec![0, 3]);
+    let deep = Dewey::from_components(vec![0, 3, 1, 4, 1, 5, 9, 2]);
+    let sibling = Dewey::from_components(vec![0, 4]);
+
+    c.bench_function("dewey/is_ancestor_of/hit", |b| {
+        b.iter(|| black_box(&shallow).is_ancestor_of(black_box(&deep)))
+    });
+    c.bench_function("dewey/is_ancestor_of/miss", |b| {
+        b.iter(|| black_box(&sibling).is_ancestor_of(black_box(&deep)))
+    });
+    c.bench_function("dewey/is_parent_of", |b| {
+        b.iter(|| black_box(&shallow).is_parent_of(black_box(&deep)))
+    });
+    c.bench_function("dewey/is_ancestor_at_depth", |b| {
+        b.iter(|| black_box(&shallow).is_ancestor_at_depth(black_box(&deep), 6))
+    });
+    c.bench_function("dewey/cmp", |b| b.iter(|| black_box(&shallow).cmp(black_box(&deep))));
+    c.bench_function("dewey/child", |b| b.iter(|| black_box(&deep).child(7)));
+}
+
+criterion_group!(benches, bench_dewey);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Index construction and descendant-range-scan benchmarks.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use whirlpool_index::TagIndex;
+use whirlpool_xmark::{generate, GeneratorConfig};
+
+fn bench_index(c: &mut Criterion) {
+    let doc = generate(&GeneratorConfig::items(1000));
+    let index = TagIndex::build(&doc);
+    let item = doc.tag_id("item").unwrap();
+    let text = doc.tag_id("text").unwrap();
+    let items: Vec<_> = index.nodes_with_tag(item).to_vec();
+
+    c.bench_function("index/build_1000_items", |b| b.iter(|| TagIndex::build(black_box(&doc))));
+    c.bench_function("index/descendant_scan", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let n = items[i % items.len()];
+            i += 1;
+            black_box(index.descendants_with_tag(n, text).len())
+        })
+    });
+    c.bench_function("index/count_scan", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let n = items[i % items.len()];
+            i += 1;
+            black_box(index.count_descendants_with_tag(n, text))
+        })
+    });
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Top-k set maintenance under heavy offer traffic.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use whirlpool_core::TopKSet;
+use whirlpool_score::Score;
+use whirlpool_xml::NodeId;
+
+/// SplitMix64 — deterministic pseudo-random scores without extra deps.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn bench_topk(c: &mut Criterion) {
+    for k in [15usize, 75] {
+        c.bench_function(&format!("topk/offer_stream/k={k}"), |b| {
+            b.iter(|| {
+                let mut set = TopKSet::new(k);
+                for i in 0..10_000u64 {
+                    let root = NodeId::from_index((mix(i) % 2_000) as usize);
+                    let score = Score::new((mix(i * 7) % 10_000) as f64 / 10_000.0);
+                    black_box(set.offer(root, score));
+                }
+                set.threshold()
+            })
+        });
+    }
+    c.bench_function("topk/threshold_query", |b| {
+        let mut set = TopKSet::new(15);
+        for i in 0..1_000u64 {
+            set.offer(NodeId::from_index(i as usize), Score::new(i as f64));
+        }
+        b.iter(|| black_box(set.threshold()))
+    });
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

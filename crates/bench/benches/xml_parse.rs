@@ -1,0 +1,41 @@
+//! Parser/serializer throughput on generated XMark-like data.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use whirlpool_store::{read_store, write_store};
+use whirlpool_xmark::{generate, GeneratorConfig};
+use whirlpool_xml::{parse_document, write_document, WriteOptions};
+
+fn bench_parse(c: &mut Criterion) {
+    let doc = generate(&GeneratorConfig::items(500));
+    let xml = write_document(&doc, &WriteOptions::default());
+
+    let mut group = c.benchmark_group("xml");
+    group.throughput(Throughput::Bytes(xml.len() as u64));
+    group.bench_function("parse", |b| {
+        b.iter(|| parse_document(black_box(&xml)).expect("valid XML"))
+    });
+    group.bench_function("serialize", |b| {
+        b.iter(|| write_document(black_box(&doc), &WriteOptions::default()))
+    });
+    group.bench_function("generate_500_items", |b| {
+        b.iter(|| generate(&GeneratorConfig::items(500)))
+    });
+
+    // The binary store's raison d'être: loading beats reparsing.
+    let mut store = Vec::new();
+    write_store(&doc, &mut store).unwrap();
+    group.bench_function("store_load", |b| {
+        b.iter(|| read_store(black_box(&mut store.as_slice())).expect("valid store"))
+    });
+    group.bench_function("store_write", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            write_store(black_box(&doc), &mut out).unwrap();
+            out
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse);
+criterion_main!(benches);

@@ -1,0 +1,254 @@
+//! Scoring-function validation.
+//!
+//! The paper introduces the XML tf*idf scoring function but defers its
+//! retrieval-quality validation: "Validating the scoring functions
+//! using precision and recall is beyond the scope of this paper and the
+//! subject of future work" (§6.2.2). This module supplies that
+//! experiment: a corpus of answers planted at *known distortion levels*
+//! from a target query, so the ideal ranking is known by construction,
+//! and the measured ranking can be scored against it.
+//!
+//! Distortion levels for the query
+//! `//book[./title = 'target' and ./isbn and ./price]`:
+//!
+//! | level | construction |
+//! |---|---|
+//! | 0 | exact: all three as children |
+//! | 1 | title nested one level (one edge generalization needed) |
+//! | 2 | title and price nested (two relaxations) |
+//! | 3 | title nested, price missing (relaxation + leaf deletion) |
+//! | 4 | only a nested title (everything else missing) |
+//! | 5 | wrong title, nothing else (irrelevant) |
+
+use whirlpool_core::{evaluate, Algorithm, EvalOptions};
+use whirlpool_index::TagIndex;
+use whirlpool_pattern::parse_pattern;
+use whirlpool_score::{Normalization, TfIdfModel};
+use whirlpool_xml::{Document, DocumentBuilder};
+
+/// The validation query.
+pub const VALIDATION_QUERY: &str = "//book[./title = 'target' and ./isbn and ./price]";
+
+/// Number of distinct distortion levels (0 = exact … 5 = irrelevant).
+pub const LEVELS: usize = 6;
+
+/// Outcome of one validation run.
+#[derive(Debug, Clone)]
+pub struct ScoringValidation {
+    /// Books planted per level.
+    pub per_level: usize,
+    /// Mean 1-based rank of each level's books in the returned order.
+    pub mean_rank: [f64; LEVELS],
+    /// Mean score of each level's books.
+    pub mean_score: [f64; LEVELS],
+    /// Precision@k for ground truth = level-0 books, at k = per_level.
+    pub precision_at_k: f64,
+    /// Kendall rank correlation between distortion level and rank
+    /// position (1.0 = scoring orders levels perfectly).
+    pub kendall_tau: f64,
+}
+
+/// Builds the planted corpus: `per_level` books at each distortion
+/// level, interleaved deterministically from `seed` so document order
+/// carries no signal.
+pub fn build_corpus(seed: u64, per_level: usize) -> Document {
+    let mut slots: Vec<usize> = (0..LEVELS).flat_map(|l| std::iter::repeat(l).take(per_level)).collect();
+    // Fisher-Yates with SplitMix64 — deterministic, dependency-free.
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..slots.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        slots.swap(i, j);
+    }
+
+    let mut b = DocumentBuilder::new();
+    b.open("shelf");
+    for (i, &level) in slots.iter().enumerate() {
+        b.open("book");
+        b.attribute("level", &level.to_string());
+        b.attribute("id", &format!("b{i}"));
+        match level {
+            0 => {
+                b.leaf("title", "target");
+                b.leaf("isbn", &format!("isbn{i}"));
+                b.leaf("price", "10");
+            }
+            1 => {
+                b.open("meta");
+                b.leaf("title", "target");
+                b.close();
+                b.leaf("isbn", &format!("isbn{i}"));
+                b.leaf("price", "10");
+            }
+            2 => {
+                b.open("meta");
+                b.leaf("title", "target");
+                b.close();
+                b.leaf("isbn", &format!("isbn{i}"));
+                b.open("offer");
+                b.leaf("price", "10");
+                b.close();
+            }
+            3 => {
+                b.open("meta");
+                b.leaf("title", "target");
+                b.close();
+                b.leaf("isbn", &format!("isbn{i}"));
+            }
+            4 => {
+                b.open("meta");
+                b.leaf("title", "target");
+                b.close();
+            }
+            _ => {
+                b.leaf("title", "other");
+            }
+        }
+        b.close();
+    }
+    b.close();
+    b.finish()
+}
+
+/// Runs the validation experiment.
+pub fn validate(seed: u64, per_level: usize) -> ScoringValidation {
+    let doc = build_corpus(seed, per_level);
+    let index = TagIndex::build(&doc);
+    let query = parse_pattern(VALIDATION_QUERY).expect("validation query parses");
+    let model = TfIdfModel::build(&doc, &index, &query, Normalization::None);
+    let result = evaluate(
+        &doc,
+        &index,
+        &query,
+        &model,
+        &Algorithm::WhirlpoolS,
+        &EvalOptions::top_k(per_level * LEVELS),
+    );
+
+    // Map answers back to planted levels.
+    let levels: Vec<usize> = result
+        .answers
+        .iter()
+        .map(|a| {
+            doc.attribute(a.root, "level")
+                .expect("planted books carry a level")
+                .parse::<usize>()
+                .expect("numeric level")
+        })
+        .collect();
+
+    let mut rank_sum = [0.0f64; LEVELS];
+    let mut score_sum = [0.0f64; LEVELS];
+    let mut count = [0usize; LEVELS];
+    for (rank, (&level, answer)) in levels.iter().zip(&result.answers).enumerate() {
+        rank_sum[level] += (rank + 1) as f64;
+        score_sum[level] += answer.score.value();
+        count[level] += 1;
+    }
+    let mut mean_rank = [0.0f64; LEVELS];
+    let mut mean_score = [0.0f64; LEVELS];
+    for l in 0..LEVELS {
+        let n = count[l].max(1) as f64;
+        mean_rank[l] = rank_sum[l] / n;
+        mean_score[l] = score_sum[l] / n;
+    }
+
+    let precision_at_k = levels
+        .iter()
+        .take(per_level)
+        .filter(|&&l| l == 0)
+        .count() as f64
+        / per_level as f64;
+
+    ScoringValidation {
+        per_level,
+        mean_rank,
+        mean_score,
+        precision_at_k,
+        kendall_tau: kendall_tau(&levels),
+    }
+}
+
+/// Kendall tau between the planted level sequence (in rank order) and
+/// the ideal non-decreasing order: concordant pairs have the
+/// lower-distortion book ranked first. Ties (equal levels) are skipped.
+fn kendall_tau(levels_in_rank_order: &[usize]) -> f64 {
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..levels_in_rank_order.len() {
+        for j in (i + 1)..levels_in_rank_order.len() {
+            match levels_in_rank_order[i].cmp(&levels_in_rank_order[j]) {
+                std::cmp::Ordering::Less => concordant += 1,
+                std::cmp::Ordering::Greater => discordant += 1,
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+    }
+    let total = concordant + discordant;
+    if total == 0 {
+        0.0
+    } else {
+        (concordant - discordant) as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_planted_levels() {
+        let doc = build_corpus(1, 10);
+        let book = doc.tag_id("book").unwrap();
+        let mut count = [0usize; LEVELS];
+        for n in doc.elements().filter(|&n| doc.tag(n) == book) {
+            let level: usize = doc.attribute(n, "level").unwrap().parse().unwrap();
+            count[level] += 1;
+        }
+        assert_eq!(count, [10; LEVELS]);
+    }
+
+    #[test]
+    fn ranking_orders_distortion_levels() {
+        let v = validate(7, 20);
+        // Mean rank must be strictly increasing with distortion level:
+        // less-distorted answers rank higher.
+        for l in 1..LEVELS {
+            assert!(
+                v.mean_rank[l] > v.mean_rank[l - 1],
+                "level {l} mean rank {} not worse than level {} ({})",
+                v.mean_rank[l],
+                l - 1,
+                v.mean_rank[l - 1]
+            );
+        }
+        assert!(v.precision_at_k >= 0.99, "precision@k {}", v.precision_at_k);
+        assert!(v.kendall_tau > 0.95, "tau {}", v.kendall_tau);
+    }
+
+    #[test]
+    fn scores_decrease_with_distortion() {
+        let v = validate(3, 15);
+        for l in 1..LEVELS {
+            assert!(
+                v.mean_score[l] <= v.mean_score[l - 1] + 1e-9,
+                "level {l} scores above level {}",
+                l - 1
+            );
+        }
+        assert!(v.mean_score[LEVELS - 1] < 1e-9, "irrelevant books score ~0");
+    }
+
+    #[test]
+    fn kendall_tau_extremes() {
+        assert_eq!(kendall_tau(&[0, 1, 2, 3]), 1.0);
+        assert_eq!(kendall_tau(&[3, 2, 1, 0]), -1.0);
+        assert_eq!(kendall_tau(&[1, 1, 1]), 0.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Threshold-growth traces.
+//!
+//! The paper explains several effects (§6.3.5) through how fast the
+//! k-th best score — the pruning threshold — grows during evaluation:
+//! "top-k values grow faster in Whirlpool-M than in Whirlpool-S, which
+//! may lead to different routing choices". These instrumented engine
+//! loops (built entirely on the library's public API) sample the
+//! threshold after every server operation, so the growth curves of
+//! LockStep and Whirlpool-S can be compared directly.
+
+use whirlpool_core::{
+    MatchQueue, QueryContext, QueuePolicy, RelaxMode, RoutingStrategy, TopKSet,
+};
+use whirlpool_pattern::StaticPlan;
+
+/// One sample: threshold value after `ops` server operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrowthPoint {
+    pub ops: u64,
+    pub threshold: f64,
+}
+
+/// Samples the pruning threshold over a LockStep (with pruning) run.
+pub fn lockstep_growth(
+    ctx: &QueryContext<'_>,
+    plan: &StaticPlan,
+    k: usize,
+) -> Vec<GrowthPoint> {
+    let offer_partial = ctx.relax == RelaxMode::Relaxed;
+    let full = ctx.full_mask();
+    let mut topk = TopKSet::new(k);
+    let mut trace = Vec::new();
+    let mut ops = 0u64;
+
+    let mut frontier = ctx.make_root_matches();
+    if offer_partial {
+        for m in &frontier {
+            topk.offer_match(m);
+        }
+    }
+    for &server in plan.order() {
+        // Best-first within the stage, as the engine does.
+        frontier.sort_by(|a, b| b.max_final.cmp(&a.max_final).then(a.seq.cmp(&b.seq)));
+        let mut next = Vec::new();
+        let mut exts = Vec::new();
+        for m in frontier.drain(..) {
+            if topk.should_prune(&m) {
+                continue;
+            }
+            exts.clear();
+            ctx.process_at_server(server, &m, &mut exts);
+            ops += 1;
+            for e in exts.drain(..) {
+                if offer_partial || e.is_complete(full) {
+                    topk.offer_match(&e);
+                }
+                if !topk.should_prune(&e) {
+                    next.push(e);
+                }
+            }
+            trace.push(GrowthPoint { ops, threshold: topk.threshold().value() });
+        }
+        frontier = next;
+    }
+    trace
+}
+
+/// Samples the pruning threshold over a Whirlpool-S run.
+pub fn whirlpool_s_growth(
+    ctx: &QueryContext<'_>,
+    routing: &RoutingStrategy,
+    k: usize,
+) -> Vec<GrowthPoint> {
+    let offer_partial = ctx.relax == RelaxMode::Relaxed;
+    let full = ctx.full_mask();
+    let mut topk = TopKSet::new(k);
+    let mut queue = MatchQueue::new(QueuePolicy::MaxFinalScore, None);
+    let mut trace = Vec::new();
+    let mut ops = 0u64;
+
+    for m in ctx.make_root_matches() {
+        let complete = m.is_complete(full);
+        if offer_partial || complete {
+            topk.offer_match(&m);
+        }
+        if !complete {
+            queue.push(ctx, m);
+        }
+    }
+
+    let mut exts = Vec::new();
+    while let Some(m) = queue.pop() {
+        if topk.should_prune(&m) {
+            continue;
+        }
+        let server = routing.choose(ctx, &m, topk.threshold());
+        exts.clear();
+        ctx.process_at_server(server, &m, &mut exts);
+        ops += 1;
+        for e in exts.drain(..) {
+            let complete = e.is_complete(full);
+            if offer_partial || complete {
+                topk.offer_match(&e);
+            }
+            if !complete && !topk.should_prune(&e) {
+                queue.push(ctx, e);
+            }
+        }
+        trace.push(GrowthPoint { ops, threshold: topk.threshold().value() });
+    }
+    trace
+}
+
+/// The threshold value after at most `ops` operations.
+pub fn threshold_at_ops(trace: &[GrowthPoint], ops: u64) -> f64 {
+    trace.iter().take_while(|p| p.ops <= ops).last().map_or(0.0, |p| p.threshold)
+}
+
+/// Interpolates a trace at a fraction of its total operation count.
+pub fn threshold_at_fraction(trace: &[GrowthPoint], fraction: f64) -> f64 {
+    if trace.is_empty() {
+        return 0.0;
+    }
+    let total = trace.last().unwrap().ops as f64;
+    let target = (total * fraction).round() as u64;
+    trace
+        .iter()
+        .take_while(|p| p.ops <= target.max(1))
+        .last()
+        .map_or(0.0, |p| p.threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whirlpool_core::ContextOptions;
+    use whirlpool_index::TagIndex;
+    use whirlpool_score::{Normalization, TfIdfModel};
+    use whirlpool_xmark::{generate, queries, GeneratorConfig};
+
+    fn harness(f: impl FnOnce(&QueryContext<'_>)) {
+        let doc = generate(&GeneratorConfig::items(120));
+        let index = TagIndex::build(&doc);
+        let query = queries::parse(queries::Q2);
+        let model = TfIdfModel::build(&doc, &index, &query, Normalization::Sparse);
+        let ctx = QueryContext::new(&doc, &index, &query, &model, ContextOptions::default());
+        f(&ctx);
+    }
+
+    #[test]
+    fn thresholds_are_monotone() {
+        harness(|ctx| {
+            let plan = StaticPlan::in_id_order(5);
+            for trace in [
+                lockstep_growth(ctx, &plan, 15),
+                whirlpool_s_growth(ctx, &RoutingStrategy::MinAlive, 15),
+            ] {
+                assert!(!trace.is_empty());
+                for w in trace.windows(2) {
+                    assert!(w[1].threshold >= w[0].threshold);
+                    assert!(w[1].ops >= w[0].ops);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn adaptive_threshold_grows_no_slower_early_on() {
+        // The premise behind per-match adaptivity: at the same point in
+        // the evaluation (fraction of its own ops), the adaptive engine
+        // has at least matched the lock-step threshold.
+        let mut lockstep_q = 0.0;
+        let mut adaptive_q = 0.0;
+        harness(|ctx| {
+            let t = lockstep_growth(ctx, &StaticPlan::in_id_order(5), 15);
+            lockstep_q = threshold_at_fraction(&t, 0.1);
+        });
+        harness(|ctx| {
+            let t = whirlpool_s_growth(ctx, &RoutingStrategy::MinAlive, 15);
+            adaptive_q = threshold_at_fraction(&t, 0.1);
+        });
+        assert!(
+            adaptive_q >= lockstep_q * 0.99,
+            "adaptive {adaptive_q} vs lockstep {lockstep_q} at 10% of ops"
+        );
+    }
+
+    #[test]
+    fn fraction_interpolation() {
+        let trace = vec![
+            GrowthPoint { ops: 1, threshold: 0.0 },
+            GrowthPoint { ops: 5, threshold: 1.0 },
+            GrowthPoint { ops: 10, threshold: 2.0 },
+        ];
+        assert_eq!(threshold_at_fraction(&trace, 0.0), 0.0);
+        assert_eq!(threshold_at_fraction(&trace, 0.5), 1.0);
+        assert_eq!(threshold_at_fraction(&trace, 1.0), 2.0);
+        assert_eq!(threshold_at_fraction(&[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! `whirlpool index` — precompile an XML file into the binary store
+//! format so subsequent queries skip parsing.
+
+use crate::args::Parsed;
+use crate::commands::load_document;
+use crate::CliError;
+use std::io::Write;
+use std::time::Instant;
+
+pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
+    let parsed = Parsed::parse(argv, &[])?;
+    let input = parsed.positional(0, "in.xml")?.to_string();
+    let output = parsed.positional(1, "out.wpx")?.to_string();
+    parsed.expect_positionals(2)?;
+
+    let start = Instant::now();
+    let doc = load_document(&input)?;
+    let parse_time = start.elapsed();
+
+    let start = Instant::now();
+    whirlpool_store::save_file(&doc, &output)
+        .map_err(|e| CliError::Usage(format!("cannot write {output}: {e}")))?;
+    let write_time = start.elapsed();
+
+    let size = std::fs::metadata(&output).map(|m| m.len()).unwrap_or(0);
+    writeln!(
+        out,
+        "indexed {input} -> {output}: {} elements, {size} bytes \
+         (parse {parse_time:?}, write {write_time:?})",
+        doc.len() - 1,
+    )?;
+    Ok(())
+}

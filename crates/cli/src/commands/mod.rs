@@ -1,0 +1,29 @@
+//! One module per subcommand.
+
+pub mod explain;
+pub mod generate;
+pub mod index;
+pub mod query;
+pub mod relax;
+pub mod stats;
+
+use crate::CliError;
+use whirlpool_pattern::{parse_pattern, TreePattern};
+use whirlpool_xml::{parse_document, Document};
+
+/// Loads a document: binary stores (see `whirlpool index`) are sniffed
+/// by magic and loaded directly; anything else is parsed as XML.
+pub(crate) fn load_document(path: &str) -> Result<Document, CliError> {
+    if whirlpool_store::is_store_file(path) {
+        return whirlpool_store::load_file(path)
+            .map_err(|e| CliError::Parse(format!("{path}: {e}")));
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
+    parse_document(&text).map_err(|e| CliError::Parse(format!("{path}: {e}")))
+}
+
+/// Parses a query string.
+pub(crate) fn load_query(src: &str) -> Result<TreePattern, CliError> {
+    parse_pattern(src).map_err(|e| CliError::Parse(format!("query {src:?}: {e}")))
+}

@@ -1,0 +1,154 @@
+//! `whirlpool query` — run a top-k query against a document.
+
+use crate::args::Parsed;
+use crate::commands::{load_document, load_query};
+use crate::CliError;
+use std::io::Write;
+use whirlpool_core::{
+    evaluate, Algorithm, EvalOptions, QueuePolicy, RelaxMode, RoutingStrategy,
+};
+use whirlpool_index::TagIndex;
+use whirlpool_pattern::StaticPlan;
+use whirlpool_score::{Normalization, TfIdfModel};
+use whirlpool_xml::{write_node, WriteOptions};
+
+pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
+    let parsed = Parsed::parse(argv, &["k", "algorithm", "routing", "queue", "norm", "batch"])?;
+    let file = parsed.positional(0, "file.xml")?.to_string();
+    let query_src = parsed.positional(1, "query")?.to_string();
+    parsed.expect_positionals(2)?;
+
+    let doc = load_document(&file)?;
+    let query = load_query(&query_src)?;
+    let index = TagIndex::build(&doc);
+
+    let norm = match parsed.value("norm").unwrap_or("sparse") {
+        "sparse" => Normalization::Sparse,
+        "dense" => Normalization::Dense,
+        "none" => Normalization::None,
+        other => return Err(CliError::Usage(format!("--norm: unknown {other:?}"))),
+    };
+    let model = TfIdfModel::build(&doc, &index, &query, norm);
+
+    let algorithm = match parsed.value("algorithm").unwrap_or("whirlpool-s") {
+        "whirlpool-s" | "s" => Algorithm::WhirlpoolS,
+        "whirlpool-m" | "m" => Algorithm::WhirlpoolM { processors: None },
+        "lockstep" => Algorithm::LockStep,
+        "noprune" | "lockstep-noprune" => Algorithm::LockStepNoPrune,
+        other => return Err(CliError::Usage(format!("--algorithm: unknown {other:?}"))),
+    };
+    let routing = match parsed.value("routing").unwrap_or("min-alive") {
+        "min-alive" => RoutingStrategy::MinAlive,
+        "max-score" => RoutingStrategy::MaxScore,
+        "min-score" => RoutingStrategy::MinScore,
+        "static" => {
+            RoutingStrategy::Static(StaticPlan::in_id_order(query.server_ids().count()))
+        }
+        other => return Err(CliError::Usage(format!("--routing: unknown {other:?}"))),
+    };
+    let queue = match parsed.value("queue").unwrap_or("max-final") {
+        "max-final" => QueuePolicy::MaxFinalScore,
+        "max-next" => QueuePolicy::MaxNextScore,
+        "current" => QueuePolicy::CurrentScore,
+        "fifo" => QueuePolicy::Fifo,
+        other => return Err(CliError::Usage(format!("--queue: unknown {other:?}"))),
+    };
+
+    let options = EvalOptions {
+        k: parsed.number("k", 10)?,
+        relax: if parsed.flag("exact") { RelaxMode::Exact } else { RelaxMode::Relaxed },
+        routing,
+        queue,
+        op_cost: None,
+        selectivity_sample: 64,
+        router_batch: parsed.number("batch", 1)?,
+    };
+
+    let result = evaluate(&doc, &index, &query, &model, &algorithm, &options);
+
+    if parsed.flag("json") {
+        return write_json(out, &doc, &query, &algorithm, &result);
+    }
+
+    writeln!(out, "query:     {query}")?;
+    writeln!(out, "algorithm: {}", algorithm.name())?;
+    writeln!(out, "answers:   {}", result.answers.len())?;
+    for (rank, a) in result.answers.iter().enumerate() {
+        write!(out, "  #{:<3} score {:<8.4} node {:?}", rank + 1, a.score.value(), a.root)?;
+        if let Some(id) = doc.attribute(a.root, "id") {
+            write!(out, "  id={id}")?;
+        }
+        writeln!(out)?;
+        if parsed.flag("xml") {
+            let xml = write_node(&doc, a.root, &WriteOptions { indent: Some(2), declaration: false });
+            for line in xml.lines() {
+                writeln!(out, "      {line}")?;
+            }
+        }
+    }
+    writeln!(
+        out,
+        "work:      {} server ops, {} comparisons, {} matches created, {} pruned",
+        result.metrics.server_ops,
+        result.metrics.predicate_comparisons,
+        result.metrics.partials_created,
+        result.metrics.pruned
+    )?;
+    writeln!(out, "elapsed:   {:?}", result.elapsed)?;
+    Ok(())
+}
+
+/// Minimal JSON emitter (the approved dependency set has no serde_json;
+/// the output shape is small and fully controlled here).
+fn write_json(
+    out: &mut dyn Write,
+    doc: &whirlpool_xml::Document,
+    query: &whirlpool_pattern::TreePattern,
+    algorithm: &Algorithm,
+    result: &whirlpool_core::EvalResult,
+) -> Result<(), CliError> {
+    fn escape(s: &str) -> String {
+        let mut o = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => o.push_str("\\\""),
+                '\\' => o.push_str("\\\\"),
+                '\n' => o.push_str("\\n"),
+                '\t' => o.push_str("\\t"),
+                '\r' => o.push_str("\\r"),
+                c if (c as u32) < 0x20 => o.push_str(&format!("\\u{:04x}", c as u32)),
+                c => o.push(c),
+            }
+        }
+        o
+    }
+
+    writeln!(out, "{{")?;
+    writeln!(out, "  \"query\": \"{}\",", escape(&query.to_string()))?;
+    writeln!(out, "  \"algorithm\": \"{}\",", algorithm.name())?;
+    writeln!(out, "  \"elapsed_ms\": {:.3},", result.elapsed.as_secs_f64() * 1e3)?;
+    let m = &result.metrics;
+    writeln!(
+        out,
+        "  \"metrics\": {{\"server_ops\": {}, \"predicate_comparisons\": {},          \"partials_created\": {}, \"pruned\": {}, \"routing_decisions\": {}}},",
+        m.server_ops, m.predicate_comparisons, m.partials_created, m.pruned, m.routing_decisions
+    )?;
+    writeln!(out, "  \"answers\": [")?;
+    for (i, a) in result.answers.iter().enumerate() {
+        let comma = if i + 1 < result.answers.len() { "," } else { "" };
+        let id = doc
+            .attribute(a.root, "id")
+            .map(|v| format!(", \"id\": \"{}\"", escape(v)))
+            .unwrap_or_default();
+        writeln!(
+            out,
+            "    {{\"rank\": {}, \"node\": {}, \"score\": {:.6}{id}}}{comma}",
+            i + 1,
+            a.root.index(),
+            a.score.value()
+        )?;
+    }
+    writeln!(out, "  ]")?;
+    writeln!(out, "}}")?;
+    Ok(())
+}

@@ -1,0 +1,140 @@
+//! The `whirlpool` command-line tool.
+//!
+//! ```text
+//! whirlpool query <file.xml> <query> [--k N] [--algorithm NAME] [--exact]
+//!                 [--routing NAME] [--queue NAME] [--norm NAME] [--xml]
+//! whirlpool generate <out.xml> [--mb N | --items N] [--seed S]
+//! whirlpool stats <file.xml>
+//! whirlpool relax <query> [--limit N]
+//! whirlpool explain <file.xml> <query>
+//! whirlpool help
+//! ```
+//!
+//! The library surface exists so the whole tool is unit-testable: every
+//! command takes a writer and returns `Result`, and `main` is a thin
+//! shim.
+
+mod args;
+mod commands;
+
+pub use args::{ArgError, Parsed};
+
+use std::io::Write;
+
+/// Entry point shared by `main` and the tests.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut it = argv.iter().map(String::as_str);
+    let command = it.next().unwrap_or("help");
+    let rest: Vec<&str> = it.collect();
+    match command {
+        "query" => commands::query::run(&rest, out),
+        "generate" => commands::generate::run(&rest, out),
+        "index" => commands::index::run(&rest, out),
+        "stats" => commands::stats::run(&rest, out),
+        "relax" => commands::relax::run(&rest, out),
+        "explain" => commands::explain::run(&rest, out),
+        "help" | "--help" | "-h" => {
+            write!(out, "{}", HELP).map_err(CliError::from)
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?}; run `whirlpool help`"
+        ))),
+    }
+}
+
+pub const HELP: &str = "\
+whirlpool — adaptive top-k XML query processor (ICDE 2005 reproduction)
+
+USAGE:
+  whirlpool query <file.xml> <query> [options]   run a top-k query
+  whirlpool generate <out.xml> [options]         emit an XMark-like document
+  whirlpool index <in.xml> <out.wpx>             precompile XML to a binary store
+  whirlpool stats <file.xml>                     document statistics
+  whirlpool relax <query> [--limit N]            show the relaxation space
+  whirlpool explain <file.xml> <query>           compiled servers & weights
+  whirlpool help                                 this text
+
+QUERY OPTIONS:
+  --k N              answers to return (default 10)
+  --algorithm NAME   whirlpool-s | whirlpool-m | lockstep | noprune
+                     (default whirlpool-s)
+  --exact            exact matches only (no relaxation)
+  --routing NAME     min-alive | max-score | min-score | static
+                     (default min-alive)
+  --queue NAME       max-final | max-next | current | fifo
+                     (default max-final)
+  --norm NAME        sparse | dense | none   (default sparse)
+  --xml              print each answer's XML fragment
+  --json             machine-readable output
+
+GENERATE OPTIONS:
+  --mb N             approximate serialized megabytes (default 1)
+  --items N          exact item count (overrides --mb)
+  --seed S           RNG seed (default 42)
+
+Every command that reads a document accepts both XML files and binary
+stores produced by `whirlpool index` (detected by content, not name).
+
+QUERY SYNTAX (XPath subset):
+  //item[./description/parlist and ./mailbox/mail/text]
+  /book[.//title = 'wodehouse' and ./info/publisher/name = 'psmith']
+  //item[@id = 'item3' and ./incategory[@category]]     (attributes)
+  //item[./*/parlist]                                   (wildcards)
+";
+
+/// Errors surfaced to the user.
+#[derive(Debug)]
+pub enum CliError {
+    Usage(String),
+    Io(std::io::Error),
+    Parse(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Parse(m) => write!(f, "{m}"),
+            CliError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Usage(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(argv: &[&str]) -> Result<String, CliError> {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&argv, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run_str(&["help"]).unwrap();
+        assert!(text.contains("whirlpool query"));
+        let default = run_str(&[]).unwrap();
+        assert_eq!(text, default);
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = run_str(&["frobnicate"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+}

@@ -1,0 +1,219 @@
+//! End-to-end tests of the `whirlpool` CLI (library entry point; no
+//! subprocess spawning needed).
+
+use whirlpool_cli::run;
+
+fn run_ok(argv: &[&str]) -> String {
+    let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    run(&argv, &mut out).unwrap_or_else(|e| panic!("{argv:?} failed: {e}"));
+    String::from_utf8(out).unwrap()
+}
+
+fn run_err(argv: &[&str]) -> String {
+    let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    run(&argv, &mut out).expect_err("expected failure").to_string()
+}
+
+/// A scratch directory unique to this test binary run.
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("whirlpool-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn sample_file() -> std::path::PathBuf {
+    let path = scratch("sample.xml");
+    std::fs::write(
+        &path,
+        "<shelf>\
+         <book id=\"a\"><title>wodehouse</title><isbn>1</isbn></book>\
+         <book id=\"b\"><title>tolkien</title></book>\
+         <book id=\"c\"><deep><title>wodehouse</title></deep></book>\
+         </shelf>",
+    )
+    .unwrap();
+    path
+}
+
+#[test]
+fn query_returns_ranked_answers() {
+    let file = sample_file();
+    let out = run_ok(&["query", file.to_str().unwrap(), "//book[./title and ./isbn]", "--k", "3"]);
+    assert!(out.contains("answers:   3"), "{out}");
+    assert!(out.contains("#1"), "{out}");
+    assert!(out.contains("id=a"), "{out}");
+    assert!(out.contains("server ops"), "{out}");
+}
+
+#[test]
+fn query_exact_mode_filters() {
+    let file = sample_file();
+    let out = run_ok(&[
+        "query",
+        file.to_str().unwrap(),
+        "//book[./title = 'wodehouse']",
+        "--exact",
+    ]);
+    assert!(out.contains("answers:   1"), "{out}");
+}
+
+#[test]
+fn query_xml_flag_prints_fragments() {
+    let file = sample_file();
+    let out = run_ok(&["query", file.to_str().unwrap(), "//book[./isbn]", "--k", "1", "--xml"]);
+    assert!(out.contains("<isbn>"), "{out}");
+}
+
+#[test]
+fn query_all_algorithms_accepted() {
+    let file = sample_file();
+    for alg in ["whirlpool-s", "whirlpool-m", "lockstep", "noprune"] {
+        let out = run_ok(&[
+            "query",
+            file.to_str().unwrap(),
+            "//book[./title]",
+            "--algorithm",
+            alg,
+        ]);
+        assert!(out.contains("answers:"), "alg={alg}: {out}");
+    }
+}
+
+#[test]
+fn query_accepts_bulk_routing_batch() {
+    let file = sample_file();
+    let out = run_ok(&[
+        "query",
+        file.to_str().unwrap(),
+        "//book[./title and ./isbn]",
+        "--batch",
+        "8",
+    ]);
+    assert!(out.contains("answers:"), "{out}");
+}
+
+#[test]
+fn query_json_output_is_parseable_shape() {
+    let file = sample_file();
+    let out = run_ok(&[
+        "query",
+        file.to_str().unwrap(),
+        "//book[./title and ./isbn]",
+        "--k",
+        "2",
+        "--json",
+    ]);
+    assert!(out.trim_start().starts_with('{'), "{out}");
+    assert!(out.trim_end().ends_with('}'), "{out}");
+    assert!(out.contains("\"answers\": ["), "{out}");
+    assert!(out.contains("\"rank\": 1"), "{out}");
+    assert!(out.contains("\"id\": \"a\""), "{out}");
+    assert!(out.contains("\"server_ops\""), "{out}");
+    // Balanced braces/brackets (cheap well-formedness check).
+    assert_eq!(out.matches('{').count(), out.matches('}').count());
+    assert_eq!(out.matches('[').count(), out.matches(']').count());
+}
+
+#[test]
+fn query_rejects_bad_options() {
+    let file = sample_file();
+    let f = file.to_str().unwrap();
+    assert!(run_err(&["query", f, "//b[./t]", "--algorithm", "nope"]).contains("unknown"));
+    assert!(run_err(&["query", f, "//b[./t]", "--routing", "nope"]).contains("unknown"));
+    assert!(run_err(&["query", f, "//b[./t]", "--norm", "nope"]).contains("unknown"));
+    assert!(run_err(&["query", f, "not a query"]).contains("query"));
+    assert!(run_err(&["query", "/nonexistent.xml", "//a"]).contains("cannot read"));
+    assert!(run_err(&["query"]).contains("missing"));
+}
+
+#[test]
+fn generate_then_stats_then_query_pipeline() {
+    let out_path = scratch("generated.xml");
+    let generated = run_ok(&[
+        "generate",
+        out_path.to_str().unwrap(),
+        "--items",
+        "40",
+        "--seed",
+        "7",
+    ]);
+    assert!(generated.contains("40 items"), "{generated}");
+
+    let stats = run_ok(&["stats", out_path.to_str().unwrap()]);
+    assert!(stats.contains("elements:"), "{stats}");
+    assert!(stats.contains("item"), "{stats}");
+
+    let result = run_ok(&[
+        "query",
+        out_path.to_str().unwrap(),
+        "//item[./description/parlist]",
+        "--k",
+        "5",
+    ]);
+    assert!(result.contains("answers:   5"), "{result}");
+}
+
+#[test]
+fn generate_is_seed_deterministic() {
+    let p1 = scratch("gen1.xml");
+    let p2 = scratch("gen2.xml");
+    run_ok(&["generate", p1.to_str().unwrap(), "--items", "20", "--seed", "9"]);
+    run_ok(&["generate", p2.to_str().unwrap(), "--items", "20", "--seed", "9"]);
+    assert_eq!(std::fs::read(&p1).unwrap(), std::fs::read(&p2).unwrap());
+}
+
+#[test]
+fn index_then_query_from_binary_store() {
+    let xml_path = scratch("to_index.xml");
+    std::fs::write(
+        &xml_path,
+        "<r><book><title>x</title><isbn>1</isbn></book><book><title>y</title></book></r>",
+    )
+    .unwrap();
+    let store_path = scratch("indexed.wpx");
+    let out = run_ok(&["index", xml_path.to_str().unwrap(), store_path.to_str().unwrap()]);
+    assert!(out.contains("indexed"), "{out}");
+
+    // Querying the store must give the same answers as the XML.
+    let from_xml =
+        run_ok(&["query", xml_path.to_str().unwrap(), "//book[./title and ./isbn]", "--k", "2"]);
+    let from_store =
+        run_ok(&["query", store_path.to_str().unwrap(), "//book[./title and ./isbn]", "--k", "2"]);
+    let strip = |s: &str| {
+        s.lines()
+            .filter(|l| !l.starts_with("elapsed"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&from_xml), strip(&from_store));
+
+    // stats works on stores too.
+    let stats = run_ok(&["stats", store_path.to_str().unwrap()]);
+    assert!(stats.contains("elements:         6"), "{stats}");
+}
+
+#[test]
+fn relax_lists_relaxations() {
+    let out = run_ok(&["relax", "//item[./description/parlist]"]);
+    assert!(out.contains("edge-generalization(description)"), "{out}");
+    assert!(out.contains("leaf-deletion(parlist)"), "{out}");
+    assert!(out.contains("closure size:"), "{out}");
+}
+
+#[test]
+fn explain_shows_weights_and_selectivity() {
+    let file = sample_file();
+    let out = run_ok(&["explain", file.to_str().unwrap(), "//book[./title and ./isbn]"]);
+    assert!(out.contains("root candidates: 3"), "{out}");
+    assert!(out.contains("title"), "{out}");
+    assert!(out.contains("w-exact"), "{out}");
+}
+
+#[test]
+fn help_and_unknown_command() {
+    let out = run_ok(&["help"]);
+    assert!(out.contains("USAGE"), "{out}");
+    assert!(run_err(&["bogus"]).contains("unknown command"));
+}

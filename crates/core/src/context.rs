@@ -1,0 +1,583 @@
+//! Shared, immutable evaluation state plus the server operation itself.
+
+use crate::metrics::Metrics;
+use crate::partial::{Binding, PartialMatch};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use whirlpool_index::{estimate_selectivity, ServerSelectivity, TagIndex};
+use whirlpool_pattern::{
+    compile_servers, Direction, QNodeId, ServerSpec, TreePattern, ValueTest, WILDCARD,
+};
+use whirlpool_score::{MatchLevel, ScoreModel};
+use whirlpool_xml::{Document, NodeId, TagId};
+
+/// Whether relaxations are admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RelaxMode {
+    /// Only exact matches: every structural predicate must hold in its
+    /// original form; a server with no valid candidate kills the match
+    /// (inner-join semantics).
+    Exact,
+    /// The paper's approximate evaluation: relaxations are encoded in
+    /// the plan; any tag/value-compatible descendant of the root match
+    /// is a candidate, predicates decide the *score level*, and a
+    /// server with no candidate emits a null (leaf deletion) extension
+    /// (outer-join semantics).
+    #[default]
+    Relaxed,
+}
+
+/// How a server's candidate universe resolves against the document.
+enum CandidateTag {
+    /// The tag never occurs: the server always takes the null path.
+    Absent,
+    /// A normal tag with postings.
+    Tag(TagId),
+    /// The wildcard: every descendant of the root match is a candidate.
+    Any,
+}
+
+/// Everything the engines share for one query evaluation: the document
+/// and index, compiled server specs, the score model, selectivity
+/// estimates, and the metric counters. Immutable after construction
+/// (counters are atomic), hence freely shared across threads.
+pub struct QueryContext<'a> {
+    /// The document under evaluation.
+    pub doc: &'a Document,
+    /// Its tag/value postings.
+    pub index: &'a TagIndex,
+    /// The query.
+    pub pattern: &'a TreePattern,
+    /// Per-binding score contributions.
+    pub model: &'a dyn ScoreModel,
+    /// Exact or relaxed evaluation.
+    pub relax: RelaxMode,
+    /// Shared work counters.
+    pub metrics: Metrics,
+    /// Compiled spec for each server; `servers[i]` serves `QNodeId(i+1)`.
+    servers: Vec<ServerSpec>,
+    /// Resolved candidate universe per server.
+    server_tags: Vec<CandidateTag>,
+    /// Sampled selectivity per server (same indexing as `servers`).
+    selectivity: Vec<ServerSelectivity>,
+    /// Max possible contribution per query node (indexed by QNodeId).
+    max_contrib: Vec<f64>,
+    /// Sum of all servers' max contributions.
+    total_server_max: f64,
+    /// Candidate bindings for the pattern root, in document order.
+    root_candidates: Vec<NodeId>,
+    full_mask: u64,
+    /// Injected artificial cost per server operation (busy-wait), for
+    /// the Figure 8 experiment.
+    op_cost: Option<Duration>,
+    seq: AtomicU64,
+}
+
+/// Construction-time options for [`QueryContext::new`].
+#[derive(Debug, Clone)]
+pub struct ContextOptions {
+    /// Exact or relaxed evaluation.
+    pub relax: RelaxMode,
+    /// Root-candidate sample size for selectivity estimation.
+    pub selectivity_sample: usize,
+    /// Busy-wait per server operation (Figure 8's op-cost sweep).
+    pub op_cost: Option<Duration>,
+}
+
+impl Default for ContextOptions {
+    fn default() -> Self {
+        ContextOptions { relax: RelaxMode::Relaxed, selectivity_sample: 64, op_cost: None }
+    }
+}
+
+impl<'a> QueryContext<'a> {
+    /// Compiles the query against the document: resolves server tags,
+    /// collects root candidates, samples selectivity, and precomputes
+    /// the per-server maximum contributions.
+    pub fn new(
+        doc: &'a Document,
+        index: &'a TagIndex,
+        pattern: &'a TreePattern,
+        model: &'a dyn ScoreModel,
+        options: ContextOptions,
+    ) -> Self {
+        let servers = compile_servers(pattern);
+        let server_tags = servers
+            .iter()
+            .map(|s| {
+                if s.tag == WILDCARD {
+                    CandidateTag::Any
+                } else {
+                    doc.tag_id(&s.tag).map_or(CandidateTag::Absent, CandidateTag::Tag)
+                }
+            })
+            .collect();
+
+        let root_node = pattern.node(pattern.root());
+        let root_universe: Vec<NodeId> = if root_node.tag == WILDCARD {
+            doc.elements().collect()
+        } else {
+            doc.tag_id(&root_node.tag)
+                .map(|tag| index.nodes_with_tag(tag).to_vec())
+                .unwrap_or_default()
+        };
+        let root_candidates: Vec<NodeId> = root_universe
+            .into_iter()
+            .filter(|&n| match root_node.axis {
+                // `/tag`: a top-level element.
+                whirlpool_pattern::Axis::Child => doc.depth(n) == 1,
+                // `//tag`: anywhere.
+                whirlpool_pattern::Axis::Descendant => true,
+            })
+            .filter(|&n| root_node.value.as_ref().map_or(true, |v| v.matches(doc.text(n))))
+            .filter(|&n| {
+                root_node.attrs.iter().all(|a| a.matches(doc.attribute(n, &a.name)))
+            })
+            .collect();
+
+        let selectivity =
+            estimate_selectivity(doc, index, &root_candidates, &servers, options.selectivity_sample);
+
+        let mut max_contrib = vec![0.0; pattern.len()];
+        max_contrib[0] = model.max_contribution(QNodeId::ROOT);
+        for s in &servers {
+            max_contrib[s.qnode.index()] = model.max_contribution(s.qnode);
+        }
+        let total_server_max = servers.iter().map(|s| max_contrib[s.qnode.index()]).sum();
+
+        QueryContext {
+            doc,
+            index,
+            pattern,
+            model,
+            relax: options.relax,
+            metrics: Metrics::new(),
+            servers,
+            server_tags,
+            selectivity,
+            max_contrib,
+            total_server_max,
+            root_candidates,
+            full_mask: PartialMatch::full_mask(pattern.len()),
+            op_cost: options.op_cost,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    // -- accessors -------------------------------------------------------
+
+    /// The non-root query nodes, i.e. the server ids.
+    pub fn server_ids(&self) -> Vec<QNodeId> {
+        self.servers.iter().map(|s| s.qnode).collect()
+    }
+
+    /// The compiled Algorithm-1 spec of a server.
+    pub fn server_spec(&self, server: QNodeId) -> &ServerSpec {
+        &self.servers[server.index() - 1]
+    }
+
+    /// The sampled selectivity estimates of a server.
+    pub fn selectivity_of(&self, server: QNodeId) -> &ServerSelectivity {
+        &self.selectivity[server.index() - 1]
+    }
+
+    /// The server's maximum possible contribution.
+    pub fn max_contribution(&self, q: QNodeId) -> f64 {
+        self.max_contrib[q.index()]
+    }
+
+    /// The visited bitmask of a complete match.
+    pub fn full_mask(&self) -> u64 {
+        self.full_mask
+    }
+
+    /// Candidate bindings for the pattern root, in document order.
+    pub fn root_candidates(&self) -> &[NodeId] {
+        &self.root_candidates
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    // -- match generation -------------------------------------------------
+
+    /// The root server's output: one initial partial match per candidate
+    /// root node ("the book server ... generates candidate matches to
+    /// the root of the XPath query, which initializes the set of partial
+    /// matches", §5.1).
+    pub fn make_root_matches(&self) -> Vec<PartialMatch> {
+        let matches: Vec<PartialMatch> = self
+            .root_candidates
+            .iter()
+            .map(|&node| {
+                PartialMatch::new_root(
+                    self.next_seq(),
+                    self.pattern.len(),
+                    node,
+                    self.model.contribution(QNodeId::ROOT, node, MatchLevel::Exact),
+                    self.total_server_max,
+                )
+            })
+            .collect();
+        self.metrics.add_created(matches.len() as u64);
+        matches
+    }
+
+    /// One server operation: extends `m` at `server` with every valid
+    /// candidate (or the outer-join null), pushing the extensions onto
+    /// `out`. Returns the number of extensions produced.
+    ///
+    /// This is Algorithm 1's runtime half: candidates are located with
+    /// an index range scan on the relaxed root predicate, then compared
+    /// against the bound part of the match through the conditional
+    /// predicate sequence, exact forms first.
+    pub fn process_at_server(
+        &self,
+        server: QNodeId,
+        m: &PartialMatch,
+        out: &mut Vec<PartialMatch>,
+    ) -> usize {
+        debug_assert!(!m.has_visited(server));
+        self.metrics.add_server_op();
+        if let Some(cost) = self.op_cost {
+            busy_wait(cost);
+        }
+
+        let spec = self.server_spec(server);
+        let root = m.root();
+        let root_dewey = self.doc.dewey(root);
+        let server_max = self.max_contrib[server.index()];
+        let before = out.len();
+
+        let wildcard_candidates: Vec<NodeId>;
+        let candidates: &[NodeId] = match (&self.server_tags[server.index() - 1], &spec.value) {
+            (CandidateTag::Absent, _) => &[],
+            (CandidateTag::Any, _) => {
+                wildcard_candidates = self.index.descendants_any(root).collect();
+                &wildcard_candidates
+            }
+            (CandidateTag::Tag(tag), Some(ValueTest::Eq(v))) => {
+                self.index.descendants_with_tag_value(root, *tag, v)
+            }
+            (CandidateTag::Tag(tag), _) => self.index.descendants_with_tag(root, *tag),
+        };
+        let is_wildcard = matches!(self.server_tags[server.index() - 1], CandidateTag::Any);
+
+        let mut comparisons = 0u64;
+        for &cand in candidates {
+            // A wildcard universe may still carry a value test, checked
+            // here rather than through the value postings.
+            if is_wildcard {
+                if let Some(v) = &spec.value {
+                    comparisons += 1;
+                    if !v.matches(self.doc.text(cand)) {
+                        continue;
+                    }
+                }
+            } else if let Some(v @ ValueTest::Contains(_)) = &spec.value {
+                // Contains-style value tests are not indexable; filter
+                // here.
+                comparisons += 1;
+                if !v.matches(self.doc.text(cand)) {
+                    continue;
+                }
+            }
+
+            // Attribute predicates.
+            if !spec.attrs.is_empty() {
+                comparisons += spec.attrs.len() as u64;
+                if !spec
+                    .attrs
+                    .iter()
+                    .all(|a| a.matches(self.doc.attribute(cand, &a.name)))
+                {
+                    continue;
+                }
+            }
+
+            let cand_dewey = self.doc.dewey(cand);
+
+            // Root predicate: the exact composed form decides the score
+            // level; the relaxed form (ad) holds by construction of the
+            // range scan. Scoring is *root-relative* (the component
+            // predicates of Definition 4.1 all relate the returned node
+            // to the server node), which keeps a tuple's score
+            // independent of the order servers ran in — a property the
+            // engine-equivalence guarantees rely on.
+            comparisons += 1;
+            let level = if spec.root_exact.holds(root_dewey, cand_dewey) {
+                MatchLevel::Exact
+            } else {
+                MatchLevel::Relaxed
+            };
+            if self.relax == RelaxMode::Exact && level != MatchLevel::Exact {
+                continue;
+            }
+
+            // Conditional predicate sequence against bound neighbours:
+            // in exact mode these are *join* predicates — every pair of
+            // related query nodes is checked exactly once, at whichever
+            // of the two servers runs second, so validity is
+            // order-independent too. In relaxed mode any candidate in
+            // the (ad) universe is valid: subtree promotion and edge
+            // generalization have already weakened every conditional
+            // predicate, and scores follow the root predicate above.
+            let mut valid = true;
+            if self.relax == RelaxMode::Exact {
+                for cp in &spec.conditional {
+                    let Binding::Matched { node: other, .. } = m.bindings[cp.other.index()]
+                    else {
+                        continue;
+                    };
+                    comparisons += 1;
+                    let holds_exact = match cp.direction {
+                        Direction::FromAncestor => {
+                            cp.exact.holds(self.doc.dewey(other), cand_dewey)
+                        }
+                        Direction::ToDescendant => {
+                            cp.exact.holds(cand_dewey, self.doc.dewey(other))
+                        }
+                    };
+                    if !holds_exact {
+                        valid = false;
+                        break;
+                    }
+                }
+            }
+            if !valid {
+                continue;
+            }
+
+            let contribution = self.model.contribution(server, cand, level);
+            out.push(m.extend(
+                self.next_seq(),
+                server,
+                Binding::Matched { node: cand, level },
+                contribution,
+                server_max,
+            ));
+        }
+        self.metrics.add_comparisons(comparisons);
+
+        // Outer-join semantics: no candidate ⇒ one null extension (the
+        // leaf-deletion relaxation). In exact mode the match simply dies.
+        if out.len() == before && self.relax == RelaxMode::Relaxed {
+            out.push(m.extend(self.next_seq(), server, Binding::Null, 0.0, server_max));
+        }
+
+        let produced = out.len() - before;
+        self.metrics.add_created(produced as u64);
+        produced
+    }
+}
+
+/// Spins for (at least) `duration`. Used to inject per-operation cost:
+/// sleeping would let the OS deschedule the thread and distort the
+/// multi-threaded measurements, so we burn cycles like a real join
+/// would.
+fn busy_wait(duration: Duration) {
+    let start = std::time::Instant::now();
+    while start.elapsed() < duration {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whirlpool_pattern::parse_pattern;
+    use whirlpool_score::{Normalization, TfIdfModel};
+    use whirlpool_xml::parse_document;
+
+    struct Fixture {
+        doc: Document,
+        index: TagIndex,
+        pattern: TreePattern,
+        model: TfIdfModel,
+    }
+
+    impl Fixture {
+        fn new(src: &str, query: &str) -> Self {
+            let doc = parse_document(src).unwrap();
+            let index = TagIndex::build(&doc);
+            let pattern = parse_pattern(query).unwrap();
+            let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
+            Fixture { doc, index, pattern, model }
+        }
+
+        fn ctx(&self, relax: RelaxMode) -> QueryContext<'_> {
+            QueryContext::new(
+                &self.doc,
+                &self.index,
+                &self.pattern,
+                &self.model,
+                ContextOptions { relax, ..ContextOptions::default() },
+            )
+        }
+    }
+
+    const BOOKS: &str = "<shelf>\
+        <book><title>wodehouse</title><info><isbn>1</isbn></info></book>\
+        <book><reviews><title>wodehouse</title></reviews></book>\
+        <book><name/></book>\
+        </shelf>";
+
+    #[test]
+    fn root_candidates_respect_axis_and_depth() {
+        let f = Fixture::new(BOOKS, "//book[./title]");
+        let ctx = f.ctx(RelaxMode::Relaxed);
+        assert_eq!(ctx.root_candidates().len(), 3);
+
+        // `/book` requires top-level books; here books are under shelf.
+        let f2 = Fixture::new(BOOKS, "/book[./title]");
+        let ctx2 = f2.ctx(RelaxMode::Relaxed);
+        assert_eq!(ctx2.root_candidates().len(), 0);
+
+        let f3 = Fixture::new("<book/><book/>", "/book");
+        let ctx3 = f3.ctx(RelaxMode::Relaxed);
+        assert_eq!(ctx3.root_candidates().len(), 2);
+    }
+
+    #[test]
+    fn root_matches_carry_max_final() {
+        let f = Fixture::new(BOOKS, "//book[./title and ./info/isbn]");
+        let ctx = f.ctx(RelaxMode::Relaxed);
+        let roots = ctx.make_root_matches();
+        assert_eq!(roots.len(), 3);
+        for m in &roots {
+            // Sparse normalization: each of 3 servers can contribute 1.0.
+            assert!((m.max_final.value() - 3.0).abs() < 1e-9);
+            assert_eq!(m.score.value(), 0.0);
+        }
+        assert_eq!(ctx.metrics.snapshot().partials_created, 3);
+    }
+
+    #[test]
+    fn server_op_exact_vs_relaxed_levels() {
+        let f = Fixture::new(BOOKS, "//book[./title]");
+        let ctx = f.ctx(RelaxMode::Relaxed);
+        let roots = ctx.make_root_matches();
+        let title = QNodeId(1);
+
+        // Book 0: direct title child → exact level.
+        let mut out = Vec::new();
+        ctx.process_at_server(title, &roots[0], &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            out[0].bindings[1],
+            Binding::Matched { level: MatchLevel::Exact, .. }
+        ));
+
+        // Book 1: title under reviews → relaxed level, lower score.
+        let mut out1 = Vec::new();
+        ctx.process_at_server(title, &roots[1], &mut out1);
+        assert_eq!(out1.len(), 1);
+        assert!(matches!(
+            out1[0].bindings[1],
+            Binding::Matched { level: MatchLevel::Relaxed, .. }
+        ));
+        assert!(out1[0].score < out[0].score);
+
+        // Book 2: no title → null extension with zero score.
+        let mut out2 = Vec::new();
+        ctx.process_at_server(title, &roots[2], &mut out2);
+        assert_eq!(out2.len(), 1);
+        assert_eq!(out2[0].bindings[1], Binding::Null);
+        assert_eq!(out2[0].score.value(), 0.0);
+        // A complete match's max_final equals its score.
+        assert_eq!(out2[0].max_final, out2[0].score);
+    }
+
+    #[test]
+    fn exact_mode_kills_non_exact_candidates() {
+        let f = Fixture::new(BOOKS, "//book[./title]");
+        let ctx = f.ctx(RelaxMode::Exact);
+        let roots = ctx.make_root_matches();
+        let title = QNodeId(1);
+
+        let mut out = Vec::new();
+        ctx.process_at_server(title, &roots[0], &mut out);
+        assert_eq!(out.len(), 1, "exact child match survives");
+
+        let mut out1 = Vec::new();
+        ctx.process_at_server(title, &roots[1], &mut out1);
+        assert!(out1.is_empty(), "descendant-only match dies in exact mode");
+
+        let mut out2 = Vec::new();
+        ctx.process_at_server(title, &roots[2], &mut out2);
+        assert!(out2.is_empty(), "no null extensions in exact mode");
+    }
+
+    #[test]
+    fn composed_root_predicates_decide_levels() {
+        // publisher bound under info exactly vs promoted elsewhere: the
+        // component predicate p(book, publisher) composes to
+        // book/*/publisher (ChildChain(2)), which only book 0 satisfies.
+        let src = "<shelf>\
+            <book><info><publisher><name>psmith</name></publisher></info></book>\
+            <book><publisher><name>psmith</name></publisher><info/></book>\
+            </shelf>";
+        let f = Fixture::new(src, "//book[./info/publisher/name]");
+        let ctx = f.ctx(RelaxMode::Relaxed);
+        let roots = ctx.make_root_matches();
+        // Server ids: info=1, publisher=2, name=3.
+        let info = QNodeId(1);
+        let publisher = QNodeId(2);
+
+        for (i, expect_exact) in [(0usize, true), (1usize, false)] {
+            let mut after_info = Vec::new();
+            ctx.process_at_server(info, &roots[i], &mut after_info);
+            assert_eq!(after_info.len(), 1);
+            let mut after_pub = Vec::new();
+            ctx.process_at_server(publisher, &after_info[0], &mut after_pub);
+            assert_eq!(after_pub.len(), 1);
+            let level_is_exact = matches!(
+                after_pub[0].bindings[2],
+                Binding::Matched { level: MatchLevel::Exact, .. }
+            );
+            assert_eq!(
+                level_is_exact, expect_exact,
+                "book {i}: publisher level; info binding {:?}",
+                after_info[0].bindings[1]
+            );
+        }
+    }
+
+    #[test]
+    fn multiple_candidates_fan_out() {
+        let src = "<r><item><name>a</name><name>b</name><name>c</name></item></r>";
+        let f = Fixture::new(src, "//item[./name]");
+        let ctx = f.ctx(RelaxMode::Relaxed);
+        let roots = ctx.make_root_matches();
+        let mut out = Vec::new();
+        let produced = ctx.process_at_server(QNodeId(1), &roots[0], &mut out);
+        assert_eq!(produced, 3);
+        let snapshot = ctx.metrics.snapshot();
+        assert_eq!(snapshot.server_ops, 1);
+        assert_eq!(snapshot.partials_created, 1 + 3);
+        assert!(snapshot.predicate_comparisons >= 3);
+    }
+
+    #[test]
+    fn value_eq_uses_index_postings() {
+        let f = Fixture::new(BOOKS, "//book[./title = 'wodehouse']");
+        let ctx = f.ctx(RelaxMode::Relaxed);
+        let roots = ctx.make_root_matches();
+        let mut out = Vec::new();
+        ctx.process_at_server(QNodeId(1), &roots[0], &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].bindings[1].node().is_some());
+    }
+
+    #[test]
+    fn missing_tag_takes_null_path() {
+        let f = Fixture::new(BOOKS, "//book[./nosuchtag]");
+        let ctx = f.ctx(RelaxMode::Relaxed);
+        let roots = ctx.make_root_matches();
+        let mut out = Vec::new();
+        ctx.process_at_server(QNodeId(1), &roots[0], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].bindings[1], Binding::Null);
+    }
+}

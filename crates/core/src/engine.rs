@@ -1,0 +1,269 @@
+//! The top-level evaluation API.
+
+use crate::context::{ContextOptions, QueryContext, RelaxMode};
+use crate::lockstep::{run_lockstep, run_lockstep_noprune};
+use crate::metrics::MetricsSnapshot;
+use crate::queue::QueuePolicy;
+use crate::router::RoutingStrategy;
+use crate::topk::RankedAnswer;
+use crate::whirlpool_m::{run_whirlpool_m, WhirlpoolMConfig};
+use crate::whirlpool_s::run_whirlpool_s_batched;
+use std::time::{Duration, Instant};
+use whirlpool_index::TagIndex;
+use whirlpool_pattern::{StaticPlan, TreePattern};
+use whirlpool_score::ScoreModel;
+use whirlpool_xml::Document;
+
+/// Which engine evaluates the query.
+#[derive(Debug, Clone)]
+pub enum Algorithm {
+    /// LockStep without pruning — the exhaustive baseline.
+    LockStepNoPrune,
+    /// LockStep with score-based pruning.
+    LockStep,
+    /// Single-threaded adaptive Whirlpool.
+    WhirlpoolS,
+    /// Multi-threaded adaptive Whirlpool, optionally capped to a number
+    /// of concurrently executing server operations.
+    WhirlpoolM {
+        /// Concurrent-operation cap (`None`: unbounded).
+        processors: Option<usize>,
+    },
+}
+
+impl Algorithm {
+    /// The engine's name as the paper spells it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::LockStepNoPrune => "LockStep-NoPrun",
+            Algorithm::LockStep => "LockStep",
+            Algorithm::WhirlpoolS => "Whirlpool-S",
+            Algorithm::WhirlpoolM { .. } => "Whirlpool-M",
+        }
+    }
+}
+
+/// Evaluation options (paper Table 1 column, roughly).
+#[derive(Debug, Clone)]
+pub struct EvalOptions {
+    /// Number of answers to return.
+    pub k: usize,
+    /// Exact-only or relaxed (approximate) matching.
+    pub relax: RelaxMode,
+    /// Routing strategy for the adaptive engines; also supplies the
+    /// static plan for the LockStep engines (which require
+    /// [`RoutingStrategy::Static`] — other strategies fall back to the
+    /// query-node-order plan).
+    pub routing: RoutingStrategy,
+    /// Queue prioritization.
+    pub queue: QueuePolicy,
+    /// Artificial per-server-operation cost (Figure 8).
+    pub op_cost: Option<Duration>,
+    /// Sample size for selectivity estimation.
+    pub selectivity_sample: usize,
+    /// Bulk-routing batch for Whirlpool-S: matches with the same
+    /// visited-server set share one routing decision (1 = per-match
+    /// routing, the paper's default; >1 = its §6.3.3 future-work
+    /// proposal).
+    pub router_batch: usize,
+}
+
+impl EvalOptions {
+    /// The default configuration for a top-`k` query: relaxed matching,
+    /// `min_alive_partial_matches` routing, max-final-score queues.
+    pub fn top_k(k: usize) -> Self {
+        EvalOptions {
+            k,
+            relax: RelaxMode::Relaxed,
+            routing: RoutingStrategy::MinAlive,
+            queue: QueuePolicy::MaxFinalScore,
+            op_cost: None,
+            selectivity_sample: 64,
+            router_batch: 1,
+        }
+    }
+}
+
+/// The outcome of one evaluation.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// Top-k answers, best first.
+    pub answers: Vec<RankedAnswer>,
+    /// Work counters.
+    pub metrics: MetricsSnapshot,
+    /// Wall-clock time of the evaluation proper (excludes index and
+    /// model construction).
+    pub elapsed: Duration,
+}
+
+/// Evaluates `pattern` over `doc` with the chosen engine.
+///
+/// # Example
+///
+/// ```
+/// use whirlpool_core::{evaluate, Algorithm, EvalOptions};
+/// use whirlpool_index::TagIndex;
+/// use whirlpool_pattern::parse_pattern;
+/// use whirlpool_score::{Normalization, TfIdfModel};
+/// use whirlpool_xml::parse_document;
+///
+/// let doc = parse_document(
+///     "<shelf><book><title>a</title><isbn>1</isbn></book>\
+///      <book><title>b</title></book></shelf>",
+/// ).unwrap();
+/// let index = TagIndex::build(&doc);
+/// let query = parse_pattern("//book[./title and ./isbn]").unwrap();
+/// let model = TfIdfModel::build(&doc, &index, &query, Normalization::Sparse);
+/// let result = evaluate(
+///     &doc, &index, &query, &model,
+///     &Algorithm::WhirlpoolS, &EvalOptions::top_k(1),
+/// );
+/// assert_eq!(result.answers.len(), 1);
+/// ```
+pub fn evaluate(
+    doc: &Document,
+    index: &TagIndex,
+    pattern: &TreePattern,
+    model: &dyn ScoreModel,
+    algorithm: &Algorithm,
+    options: &EvalOptions,
+) -> EvalResult {
+    let ctx = QueryContext::new(
+        doc,
+        index,
+        pattern,
+        model,
+        ContextOptions {
+            relax: options.relax,
+            selectivity_sample: options.selectivity_sample,
+            op_cost: options.op_cost,
+        },
+    );
+    evaluate_with_context(&ctx, algorithm, options)
+}
+
+/// Evaluates against a pre-built context (lets callers reuse the
+/// selectivity sample across runs and read the metric counters).
+pub fn evaluate_with_context(
+    ctx: &QueryContext<'_>,
+    algorithm: &Algorithm,
+    options: &EvalOptions,
+) -> EvalResult {
+    let static_plan = match &options.routing {
+        RoutingStrategy::Static(plan) => plan.clone(),
+        _ => StaticPlan::in_id_order(ctx.pattern.server_ids().count()),
+    };
+
+    let start = Instant::now();
+    let answers = match algorithm {
+        Algorithm::LockStepNoPrune => run_lockstep_noprune(ctx, &static_plan, options.k),
+        Algorithm::LockStep => run_lockstep(ctx, &static_plan, options.k, options.queue),
+        Algorithm::WhirlpoolS => run_whirlpool_s_batched(
+            ctx,
+            &options.routing,
+            options.k,
+            options.queue,
+            options.router_batch,
+        ),
+        Algorithm::WhirlpoolM { processors } => run_whirlpool_m(
+            ctx,
+            &options.routing,
+            options.k,
+            &WhirlpoolMConfig {
+                queue_policy: options.queue,
+                processors: *processors,
+                ..WhirlpoolMConfig::default()
+            },
+        ),
+    };
+    let elapsed = start.elapsed();
+
+    EvalResult { answers, metrics: ctx.metrics.snapshot(), elapsed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whirlpool_pattern::parse_pattern;
+    use whirlpool_score::{Normalization, TfIdfModel};
+    use whirlpool_xml::parse_document;
+
+    #[test]
+    fn all_algorithms_agree_on_a_small_corpus() {
+        let doc = parse_document(
+            "<shelf>\
+             <book><title>a</title><isbn>1</isbn><price>3</price></book>\
+             <book><title>b</title><isbn>2</isbn></book>\
+             <book><x><title>c</title></x></book>\
+             <book/>\
+             </shelf>",
+        )
+        .unwrap();
+        let index = TagIndex::build(&doc);
+        let pattern = parse_pattern("//book[./title and ./isbn and ./price]").unwrap();
+        let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
+        let options = EvalOptions::top_k(3);
+
+        let reference = evaluate(
+            &doc,
+            &index,
+            &pattern,
+            &model,
+            &Algorithm::LockStepNoPrune,
+            &options,
+        );
+        for alg in [
+            Algorithm::LockStep,
+            Algorithm::WhirlpoolS,
+            Algorithm::WhirlpoolM { processors: None },
+            Algorithm::WhirlpoolM { processors: Some(2) },
+        ] {
+            let got = evaluate(&doc, &index, &pattern, &model, &alg, &options);
+            let gs: Vec<_> = got.answers.iter().map(|r| (r.root, r.score)).collect();
+            let rs: Vec<_> = reference.answers.iter().map(|r| (r.root, r.score)).collect();
+            assert_eq!(gs, rs, "algorithm {}", alg.name());
+        }
+    }
+
+    #[test]
+    fn metrics_and_elapsed_are_reported() {
+        let doc = parse_document("<r><book><title>x</title></book></r>").unwrap();
+        let index = TagIndex::build(&doc);
+        let pattern = parse_pattern("//book[./title]").unwrap();
+        let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
+        let result = evaluate(
+            &doc,
+            &index,
+            &pattern,
+            &model,
+            &Algorithm::WhirlpoolS,
+            &EvalOptions::top_k(1),
+        );
+        assert_eq!(result.answers.len(), 1);
+        assert!(result.metrics.server_ops >= 1);
+        assert!(result.metrics.partials_created >= 2);
+    }
+
+    #[test]
+    fn op_cost_injection_slows_execution() {
+        let doc = parse_document(
+            "<r><book><t/></book><book><t/></book><book><t/></book><book><t/></book></r>",
+        )
+        .unwrap();
+        let index = TagIndex::build(&doc);
+        let pattern = parse_pattern("//book[./t]").unwrap();
+        let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
+        let mut options = EvalOptions::top_k(2);
+        let fast = evaluate(&doc, &index, &pattern, &model, &Algorithm::WhirlpoolS, &options);
+        options.op_cost = Some(Duration::from_millis(5));
+        let slow = evaluate(&doc, &index, &pattern, &model, &Algorithm::WhirlpoolS, &options);
+        assert!(slow.elapsed > fast.elapsed);
+        assert!(slow.elapsed >= Duration::from_millis(5) * slow.metrics.server_ops as u32);
+    }
+
+    #[test]
+    fn algorithm_names() {
+        assert_eq!(Algorithm::LockStepNoPrune.name(), "LockStep-NoPrun");
+        assert_eq!(Algorithm::WhirlpoolM { processors: None }.name(), "Whirlpool-M");
+    }
+}

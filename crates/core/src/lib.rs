@@ -1,0 +1,86 @@
+#![warn(missing_docs)]
+
+//! # Whirlpool — adaptive top-k query processing for XML
+//!
+//! A Rust implementation of *"Adaptive Processing of Top-k Queries in
+//! XML"* (Marian, Amer-Yahia, Koudas, Srivastava — ICDE 2005).
+//!
+//! Whirlpool evaluates XPath tree-pattern queries over XML documents and
+//! returns the `k` best-scoring answers, where answers may be *exact*
+//! matches or *approximate* matches obtained through query relaxation
+//! (edge generalization, leaf deletion, subtree promotion). Its defining
+//! trait is **per-answer adaptivity**: every partial match is routed
+//! through the per-query-node *servers* in its own order, chosen at
+//! runtime from the current top-k threshold and per-server selectivity
+//! estimates — in contrast to lock-step plans that push all matches
+//! through the same server sequence.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use whirlpool_core::{evaluate, Algorithm, EvalOptions};
+//! use whirlpool_index::TagIndex;
+//! use whirlpool_pattern::parse_pattern;
+//! use whirlpool_score::{Normalization, TfIdfModel};
+//! use whirlpool_xml::parse_document;
+//!
+//! let doc = parse_document(
+//!     "<library>\
+//!        <book><title>dune</title><isbn>1</isbn></book>\
+//!        <book><review><title>dune</title></review></book>\
+//!      </library>",
+//! ).unwrap();
+//! let index = TagIndex::build(&doc);
+//! let query = parse_pattern("//book[./title and ./isbn]").unwrap();
+//! let model = TfIdfModel::build(&doc, &index, &query, Normalization::Sparse);
+//!
+//! let result = evaluate(
+//!     &doc, &index, &query, &model,
+//!     &Algorithm::WhirlpoolS,
+//!     &EvalOptions::top_k(2),
+//! );
+//! // The exact match outranks the approximate (relaxed) one.
+//! assert_eq!(result.answers.len(), 2);
+//! assert!(result.answers[0].score > result.answers[1].score);
+//! ```
+//!
+//! ## Engines
+//!
+//! | Engine | Paper name | Character |
+//! |---|---|---|
+//! | [`Algorithm::LockStepNoPrune`] | LockStep-NoPrun | exhaustive baseline, exact reference |
+//! | [`Algorithm::LockStep`] | LockStep | static plan + score pruning (≈ OptThres) |
+//! | [`Algorithm::WhirlpoolS`] | Whirlpool-S | single-threaded, adaptive per-match routing |
+//! | [`Algorithm::WhirlpoolM`] | Whirlpool-M | one thread per server + router thread |
+//!
+//! Routing strategies ([`RoutingStrategy`]) and queue policies
+//! ([`QueuePolicy`]) correspond to §6.1.3/§6.1.4 of the paper; the
+//! defaults (`min_alive_partial_matches`, maximum-possible-final-score
+//! queues) are the configurations the paper found best.
+
+mod context;
+mod engine;
+mod lockstep;
+mod metrics;
+pub mod naive;
+mod partial;
+mod queue;
+mod router;
+pub mod threshold;
+mod topk;
+mod util;
+pub mod vtime;
+mod whirlpool_m;
+mod whirlpool_s;
+
+pub use context::{ContextOptions, QueryContext, RelaxMode};
+pub use engine::{evaluate, evaluate_with_context, Algorithm, EvalOptions, EvalResult};
+pub use lockstep::{run_lockstep, run_lockstep_noprune};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use partial::{Binding, PartialMatch};
+pub use queue::{MatchQueue, QueuePolicy};
+pub use router::RoutingStrategy;
+pub use threshold::run_threshold;
+pub use topk::{answers_equivalent, RankedAnswer, TopKSet};
+pub use whirlpool_m::{run_whirlpool_m, WhirlpoolMConfig};
+pub use whirlpool_s::{run_whirlpool_s, run_whirlpool_s_batched};

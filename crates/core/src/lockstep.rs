@@ -1,0 +1,225 @@
+//! The LockStep baselines.
+//!
+//! "LockStep considers one server at a time and processes all partial
+//! matches sequentially through a server before proceeding to the next
+//! server" (§6.1.2) — every match follows the same static plan, and all
+//! matches advance in lock step (≈ the OptThres algorithm of the
+//! EDBT'02 relaxation paper). Two variants:
+//!
+//! * [`run_lockstep`] — keeps a top-k set during execution and discards
+//!   partial matches that cannot reach the current k-th score;
+//! * [`run_lockstep_noprune`] — performs *all* partial-match operations
+//!   and sorts at the end. Its partial-match count is the "maximum
+//!   possible number of partial matches" denominator of Table 2.
+
+use crate::context::{QueryContext, RelaxMode};
+use crate::partial::PartialMatch;
+use crate::queue::QueuePolicy;
+use crate::topk::{RankedAnswer, TopKSet};
+use whirlpool_pattern::StaticPlan;
+
+/// LockStep with pruning.
+///
+/// Within each stage, matches are processed best-first under
+/// `queue_policy` (the paper settled on maximum possible final score for
+/// LockStep's queues too), which accelerates top-k threshold growth.
+pub fn run_lockstep(
+    ctx: &QueryContext<'_>,
+    plan: &StaticPlan,
+    k: usize,
+    queue_policy: QueuePolicy,
+) -> Vec<RankedAnswer> {
+    let offer_partial = ctx.relax == RelaxMode::Relaxed;
+    let full = ctx.full_mask();
+    let mut topk = TopKSet::new(k);
+    let mut frontier = ctx.make_root_matches();
+    if offer_partial {
+        for m in &frontier {
+            topk.offer_match(m);
+        }
+    }
+
+    for &server in plan.order() {
+        // Best-first within the stage: sort descending by the policy key
+        // (ties by seq ascending, matching MatchQueue).
+        let mut keyed: Vec<(whirlpool_score::Score, PartialMatch)> = frontier
+            .drain(..)
+            .map(|m| (queue_policy.key(ctx, &m, Some(server)), m))
+            .collect();
+        keyed.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.seq.cmp(&b.1.seq)));
+
+        let mut next = Vec::new();
+        let mut exts = Vec::new();
+        for (_, m) in keyed {
+            if topk.should_prune(&m) {
+                ctx.metrics.add_pruned();
+                continue;
+            }
+            exts.clear();
+            ctx.process_at_server(server, &m, &mut exts);
+            for e in exts.drain(..) {
+                if offer_partial || e.is_complete(full) {
+                    topk.offer_match(&e);
+                }
+                if topk.should_prune(&e) {
+                    ctx.metrics.add_pruned();
+                    continue;
+                }
+                next.push(e);
+            }
+        }
+        frontier = next;
+    }
+
+    // In exact mode the surviving frontier holds the complete matches
+    // that were never offered mid-flight; offer them now.
+    if !offer_partial {
+        for m in &frontier {
+            if m.is_complete(full) {
+                topk.offer_match(m);
+            }
+        }
+    }
+    topk.ranked()
+}
+
+/// LockStep without pruning: every partial match goes through every
+/// server; results are ranked at the end.
+///
+/// Matches with different roots never interact when nothing is pruned,
+/// so this runs root-by-root to keep the peak frontier proportional to
+/// one root's match count rather than the whole document's.
+pub fn run_lockstep_noprune(
+    ctx: &QueryContext<'_>,
+    plan: &StaticPlan,
+    k: usize,
+) -> Vec<RankedAnswer> {
+    let full = ctx.full_mask();
+    let mut topk = TopKSet::new(k);
+    let mut frontier = Vec::new();
+    let mut next = Vec::new();
+    for root_match in ctx.make_root_matches() {
+        frontier.clear();
+        frontier.push(root_match);
+        for &server in plan.order() {
+            next.clear();
+            for m in frontier.drain(..) {
+                ctx.process_at_server(server, &m, &mut next);
+            }
+            std::mem::swap(&mut frontier, &mut next);
+        }
+        for m in frontier.drain(..) {
+            debug_assert!(m.is_complete(full));
+            topk.offer_match(&m);
+        }
+    }
+    topk.ranked()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ContextOptions;
+    use whirlpool_index::TagIndex;
+    use whirlpool_pattern::parse_pattern;
+    use whirlpool_score::{Normalization, TfIdfModel};
+    use whirlpool_xml::parse_document;
+
+    const SRC: &str = "<shelf>\
+        <book><title>t</title><isbn>1</isbn><price>9</price></book>\
+        <book><title>t</title><isbn>2</isbn></book>\
+        <book><title>t</title></book>\
+        <book><extra><title>t</title></extra></book>\
+        <book><name/></book>\
+        </shelf>";
+
+    fn run(query: &str, k: usize, relax: RelaxMode, prune: bool) -> Vec<RankedAnswer> {
+        let doc = parse_document(SRC).unwrap();
+        let index = TagIndex::build(&doc);
+        let pattern = parse_pattern(query).unwrap();
+        let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
+        let ctx = QueryContext::new(
+            &doc,
+            &index,
+            &pattern,
+            &model,
+            ContextOptions { relax, ..Default::default() },
+        );
+        let plan = StaticPlan::in_id_order(pattern.server_ids().count());
+        if prune {
+            run_lockstep(&ctx, &plan, k, QueuePolicy::MaxFinalScore)
+        } else {
+            run_lockstep_noprune(&ctx, &plan, k)
+        }
+    }
+
+    #[test]
+    fn pruned_and_unpruned_agree_on_answers() {
+        for k in [1, 2, 3, 5] {
+            let a = run("//book[./title and ./isbn and ./price]", k, RelaxMode::Relaxed, true);
+            let b = run("//book[./title and ./isbn and ./price]", k, RelaxMode::Relaxed, false);
+            let sa: Vec<_> = a.iter().map(|r| (r.root, r.score)).collect();
+            let sb: Vec<_> = b.iter().map(|r| (r.root, r.score)).collect();
+            assert_eq!(sa, sb, "k={k}");
+        }
+    }
+
+    #[test]
+    fn best_answer_is_the_richest_book() {
+        let answers = run("//book[./title and ./isbn and ./price]", 5, RelaxMode::Relaxed, true);
+        assert_eq!(answers.len(), 5);
+        // Scores strictly decrease over the first three books (3, 2, 1
+        // exact predicates satisfied).
+        assert!(answers[0].score > answers[1].score);
+        assert!(answers[1].score > answers[2].score);
+        // The book with only a nested title scores above the bare book.
+        assert!(answers[3].score > answers[4].score || answers[4].score.value() == 0.0);
+    }
+
+    #[test]
+    fn exact_mode_returns_only_exact_matches() {
+        let answers = run("//book[./title and ./isbn]", 10, RelaxMode::Exact, true);
+        // Only books 0 and 1 have both title and isbn as children.
+        assert_eq!(answers.len(), 2);
+        let answers_np = run("//book[./title and ./isbn]", 10, RelaxMode::Exact, false);
+        assert_eq!(answers_np.len(), 2);
+    }
+
+    #[test]
+    fn k_limits_the_answer_count() {
+        let answers = run("//book[./title]", 2, RelaxMode::Relaxed, true);
+        assert_eq!(answers.len(), 2);
+    }
+
+    #[test]
+    fn pruning_reduces_work() {
+        let doc = parse_document(SRC).unwrap();
+        let index = TagIndex::build(&doc);
+        let pattern = parse_pattern("//book[./title and ./isbn and ./price]").unwrap();
+        let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
+        let plan = StaticPlan::in_id_order(3);
+
+        let ctx1 = QueryContext::new(&doc, &index, &pattern, &model, ContextOptions::default());
+        let _ = run_lockstep(&ctx1, &plan, 1, QueuePolicy::MaxFinalScore);
+        let with_prune = ctx1.metrics.snapshot();
+
+        let ctx2 = QueryContext::new(&doc, &index, &pattern, &model, ContextOptions::default());
+        let _ = run_lockstep_noprune(&ctx2, &plan, 1);
+        let without = ctx2.metrics.snapshot();
+
+        assert!(with_prune.server_ops <= without.server_ops);
+        assert!(with_prune.pruned > 0);
+        assert_eq!(without.pruned, 0);
+    }
+
+    #[test]
+    fn empty_document_gives_empty_answers() {
+        let doc = parse_document("<r/>").unwrap();
+        let index = TagIndex::build(&doc);
+        let pattern = parse_pattern("//book[./title]").unwrap();
+        let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
+        let ctx = QueryContext::new(&doc, &index, &pattern, &model, ContextOptions::default());
+        let plan = StaticPlan::in_id_order(1);
+        assert!(run_lockstep(&ctx, &plan, 3, QueuePolicy::MaxFinalScore).is_empty());
+    }
+}

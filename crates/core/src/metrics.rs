@@ -1,0 +1,123 @@
+//! Evaluation counters.
+//!
+//! The paper's measures (§6.2.3): query execution time, number of
+//! server operations, number of partial matches created. We addition-
+//! ally count individual join-predicate comparisons (the unit of
+//! Figure 3) and pruning/routing activity.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, thread-safe counters. All engines update the same set so the
+/// experiment harness can compare workloads directly.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Partial matches processed by a server ("server operations",
+    /// Figure 7).
+    pub server_ops: AtomicU64,
+    /// Individual join-predicate comparisons (Figure 3's unit).
+    pub predicate_comparisons: AtomicU64,
+    /// Partial matches created, including the initial root matches
+    /// (Table 2).
+    pub partials_created: AtomicU64,
+    /// Partial matches discarded against the top-k set.
+    pub pruned: AtomicU64,
+    /// Adaptive routing decisions taken.
+    pub routing_decisions: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one server operation.
+    #[inline]
+    pub fn add_server_op(&self) {
+        self.server_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts `n` join-predicate comparisons.
+    #[inline]
+    pub fn add_comparisons(&self, n: u64) {
+        self.predicate_comparisons.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts `n` newly created partial matches.
+    #[inline]
+    pub fn add_created(&self, n: u64) {
+        self.partials_created.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one pruned partial match.
+    #[inline]
+    pub fn add_pruned(&self) {
+        self.pruned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one routing decision.
+    #[inline]
+    pub fn add_routing_decision(&self) {
+        self.routing_decisions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A plain-value copy for reporting.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            server_ops: self.server_ops.load(Ordering::Relaxed),
+            predicate_comparisons: self.predicate_comparisons.load(Ordering::Relaxed),
+            partials_created: self.partials_created.load(Ordering::Relaxed),
+            pruned: self.pruned.load(Ordering::Relaxed),
+            routing_decisions: self.routing_decisions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value counters, comparable and serializable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct MetricsSnapshot {
+    /// Partial matches processed by servers.
+    pub server_ops: u64,
+    /// Individual join-predicate comparisons.
+    pub predicate_comparisons: u64,
+    /// Partial matches created (root matches included).
+    pub partials_created: u64,
+    /// Partial matches discarded against the top-k set.
+    pub pruned: u64,
+    /// Adaptive routing decisions taken.
+    pub routing_decisions: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.add_server_op();
+        m.add_server_op();
+        m.add_comparisons(5);
+        m.add_created(3);
+        m.add_pruned();
+        m.add_routing_decision();
+        let s = m.snapshot();
+        assert_eq!(s.server_ops, 2);
+        assert_eq!(s.predicate_comparisons, 5);
+        assert_eq!(s.partials_created, 3);
+        assert_eq!(s.pruned, 1);
+        assert_eq!(s.routing_decisions, 1);
+    }
+
+    #[test]
+    fn snapshot_is_a_value() {
+        let m = Metrics::new();
+        let a = m.snapshot();
+        m.add_server_op();
+        let b = m.snapshot();
+        assert_ne!(a, b);
+        assert_eq!(a.server_ops, 0);
+        assert_eq!(b.server_ops, 1);
+    }
+}

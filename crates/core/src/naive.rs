@@ -1,0 +1,156 @@
+//! A naive tree-pattern evaluator, used as the differential-testing
+//! oracle for the engines' *exact* mode.
+//!
+//! Straightforward recursive embedding search with no indexes, no
+//! scores and no pruning — slow but obviously correct.
+
+use whirlpool_pattern::{Axis, QNodeId, TreePattern};
+use whirlpool_xml::{Document, NodeId};
+
+/// The document nodes that root at least one *exact* embedding of the
+/// pattern, in document order.
+pub fn exact_match_roots(doc: &Document, pattern: &TreePattern) -> Vec<NodeId> {
+    let root_q = pattern.root();
+    let root_spec = pattern.node(root_q);
+    doc.elements()
+        .filter(|&n| {
+            // Root axis from the synthetic document root.
+            match root_spec.axis {
+                Axis::Child => doc.depth(n) == 1,
+                Axis::Descendant => true,
+            }
+        })
+        .filter(|&n| embeds(doc, pattern, root_q, n))
+        .collect()
+}
+
+/// The number of distinct exact embeddings rooted at `root`.
+pub fn count_exact_embeddings(doc: &Document, pattern: &TreePattern, root: NodeId) -> usize {
+    count(doc, pattern, pattern.root(), root)
+}
+
+/// Can `qnode` embed at `node` (tag, value, and all pattern children
+/// recursively)?
+fn embeds(doc: &Document, pattern: &TreePattern, qnode: QNodeId, node: NodeId) -> bool {
+    count_limited(doc, pattern, qnode, node, 1) > 0
+}
+
+fn count(doc: &Document, pattern: &TreePattern, qnode: QNodeId, node: NodeId) -> usize {
+    count_limited(doc, pattern, qnode, node, usize::MAX)
+}
+
+/// Counts embeddings of the subtree rooted at `qnode` onto `node`,
+/// stopping early once `limit` is reached.
+fn count_limited(
+    doc: &Document,
+    pattern: &TreePattern,
+    qnode: QNodeId,
+    node: NodeId,
+    limit: usize,
+) -> usize {
+    let spec = pattern.node(qnode);
+    if !pattern.tag_matches(qnode, doc.tag_str(node)) {
+        return 0;
+    }
+    if let Some(v) = &spec.value {
+        if !v.matches(doc.text(node)) {
+            return 0;
+        }
+    }
+    if !spec.attrs.iter().all(|a| a.matches(doc.attribute(node, &a.name))) {
+        return 0;
+    }
+    let mut total = 1usize;
+    for &child_q in &spec.children {
+        let axis = pattern.node(child_q).axis;
+        let mut ways = 0usize;
+        match axis {
+            Axis::Child => {
+                for c in doc.children(node) {
+                    ways = ways.saturating_add(count_limited(doc, pattern, child_q, c, limit));
+                    if ways >= limit {
+                        break;
+                    }
+                }
+            }
+            Axis::Descendant => {
+                for c in doc.descendants_or_self(node).skip(1) {
+                    ways = ways.saturating_add(count_limited(doc, pattern, child_q, c, limit));
+                    if ways >= limit {
+                        break;
+                    }
+                }
+            }
+        }
+        if ways == 0 {
+            return 0;
+        }
+        total = total.saturating_mul(ways);
+        if total >= limit {
+            total = limit;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whirlpool_pattern::parse_pattern;
+    use whirlpool_xml::parse_document;
+
+    #[test]
+    fn finds_exact_embeddings() {
+        let doc = parse_document(
+            "<shelf>\
+             <book><title>x</title><isbn>1</isbn></book>\
+             <book><title>x</title></book>\
+             <book><nested><title>x</title></nested><isbn>2</isbn></book>\
+             </shelf>",
+        )
+        .unwrap();
+        let q = parse_pattern("//book[./title and ./isbn]").unwrap();
+        let roots = exact_match_roots(&doc, &q);
+        assert_eq!(roots.len(), 1);
+        let q_relaxed = parse_pattern("//book[.//title and ./isbn]").unwrap();
+        assert_eq!(exact_match_roots(&doc, &q_relaxed).len(), 2);
+    }
+
+    #[test]
+    fn counts_multiplicities() {
+        let doc = parse_document(
+            "<r><item><a/><a/><b/><b/><b/></item></r>",
+        )
+        .unwrap();
+        let q = parse_pattern("//item[./a and ./b]").unwrap();
+        let roots = exact_match_roots(&doc, &q);
+        assert_eq!(roots.len(), 1);
+        assert_eq!(count_exact_embeddings(&doc, &q, roots[0]), 6);
+    }
+
+    #[test]
+    fn respects_value_tests_and_depth() {
+        let doc = parse_document(
+            "<r><book><title>wodehouse</title></book><book><title>other</title></book></r>",
+        )
+        .unwrap();
+        let q = parse_pattern("//book[./title = 'wodehouse']").unwrap();
+        assert_eq!(exact_match_roots(&doc, &q).len(), 1);
+        // `/book` wants a top-level book; these are under <r>.
+        let q2 = parse_pattern("/book[./title = 'wodehouse']").unwrap();
+        assert!(exact_match_roots(&doc, &q2).is_empty());
+    }
+
+    #[test]
+    fn nested_predicates() {
+        let doc = parse_document(
+            "<r>\
+             <item><mail><text><bold/><keyword/></text></mail></item>\
+             <item><mail><text><bold/></text></mail></item>\
+             </r>",
+        )
+        .unwrap();
+        let q = parse_pattern("//item[./mail/text[./bold and ./keyword]]").unwrap();
+        assert_eq!(exact_match_roots(&doc, &q).len(), 1);
+    }
+}

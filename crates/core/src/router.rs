@@ -1,0 +1,255 @@
+//! Routing decisions (paper §6.1.4).
+//!
+//! "Given a partial match at the head of the router queue, the router
+//! needs to make a decision on which server to choose next ... a partial
+//! match should not be sent to a server that it has already gone
+//! through." Strategies: **static** (fixed permutation), **score-based**
+//! (`max_score` / `min_score`), and **size-based**
+//! (`min_alive_partial_matches`) — the paper's winner, which estimates
+//! how many extensions would survive pruning after each candidate server
+//! and picks the server minimizing that.
+
+use crate::context::QueryContext;
+use crate::partial::PartialMatch;
+use whirlpool_pattern::{QNodeId, StaticPlan};
+use whirlpool_score::Score;
+
+/// A routing strategy.
+#[derive(Debug, Clone)]
+pub enum RoutingStrategy {
+    /// Every match visits servers in the same fixed order.
+    Static(StaticPlan),
+    /// Send to the unvisited server expected to *increase* the match's
+    /// score the most. "does not result in fast executions as it reduces
+    /// the pruning opportunities."
+    MaxScore,
+    /// Send to the server expected to increase the score the *least*
+    /// ("performs reasonably well").
+    MinScore,
+    /// Send to the server expected to leave the fewest alive extensions
+    /// after pruning — `min_alive_partial_matches`, the default.
+    MinAlive,
+}
+
+impl RoutingStrategy {
+    /// Short name used by the experiment harness.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoutingStrategy::Static(_) => "static",
+            RoutingStrategy::MaxScore => "max_score",
+            RoutingStrategy::MinScore => "min_score",
+            RoutingStrategy::MinAlive => "min_alive_partial_matches",
+        }
+    }
+
+    /// Picks the next server for `m` (which must not be complete).
+    /// `threshold` is the current k-th score, used by the size-based
+    /// estimate.
+    pub fn choose(
+        &self,
+        ctx: &QueryContext<'_>,
+        m: &PartialMatch,
+        threshold: Score,
+    ) -> QNodeId {
+        ctx.metrics.add_routing_decision();
+        match self {
+            RoutingStrategy::Static(plan) => plan
+                .next_server(m.visited)
+                .expect("routing a complete match through a static plan"),
+            RoutingStrategy::MaxScore => {
+                self.pick(ctx, m, |s| expected_contribution(ctx, s), true)
+            }
+            RoutingStrategy::MinScore => {
+                self.pick(ctx, m, |s| expected_contribution(ctx, s), false)
+            }
+            RoutingStrategy::MinAlive => {
+                self.pick(ctx, m, |s| estimated_alive(ctx, m, s, threshold), false)
+            }
+        }
+    }
+
+    fn pick(
+        &self,
+        ctx: &QueryContext<'_>,
+        m: &PartialMatch,
+        score_fn: impl Fn(QNodeId) -> f64,
+        maximize: bool,
+    ) -> QNodeId {
+        let mut best: Option<(QNodeId, f64)> = None;
+        for s in m.unvisited(ctx.pattern.len()) {
+            let v = score_fn(s);
+            let better = match best {
+                None => true,
+                Some((_, bv)) => {
+                    if maximize {
+                        v > bv
+                    } else {
+                        v < bv
+                    }
+                }
+            };
+            if better {
+                best = Some((s, v));
+            }
+        }
+        best.expect("routing a complete match").0
+    }
+}
+
+/// Expected score contribution of `server` for an average candidate:
+/// the exact/relaxed bounds weighted by the sampled exact fraction, and
+/// zero for the sampled empty (null-path) fraction.
+fn expected_contribution(ctx: &QueryContext<'_>, server: QNodeId) -> f64 {
+    let sel = ctx.selectivity_of(server);
+    let exact = ctx.max_contribution(server);
+    let relaxed = ctx.model.max_relaxed_contribution(server);
+    let per_candidate = sel.exact_fraction * exact + (1.0 - sel.exact_fraction) * relaxed;
+    (1.0 - sel.empty_fraction) * per_candidate
+}
+
+/// Size-based estimate: how many extensions of `m` would be alive after
+/// processing at `server`, given the current `threshold`?
+///
+/// An extension with contribution `c` survives iff
+/// `m.max_final - max_contrib(server) + c ≥ threshold`, i.e.
+/// `c ≥ need`. Candidates score `exact` with the sampled exact fraction
+/// and `relaxed` otherwise; the null (empty) path contributes `c = 0`.
+fn estimated_alive(
+    ctx: &QueryContext<'_>,
+    m: &PartialMatch,
+    server: QNodeId,
+    threshold: Score,
+) -> f64 {
+    let sel = ctx.selectivity_of(server);
+    let server_max = ctx.max_contribution(server);
+    let need = threshold.value() - (m.max_final.value() - server_max);
+
+    let exact = ctx.max_contribution(server);
+    let relaxed = ctx.model.max_relaxed_contribution(server);
+
+    let surviving_fraction = sel.exact_fraction * survives(exact, need)
+        + (1.0 - sel.exact_fraction) * survives(relaxed, need);
+    let mut alive = sel.mean_candidates * surviving_fraction;
+    // The empty path yields one null extension per empty root.
+    if 0.0 >= need {
+        alive += sel.empty_fraction;
+    }
+    alive
+}
+
+fn survives(contribution: f64, need: f64) -> f64 {
+    if contribution >= need {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{ContextOptions, QueryContext, RelaxMode};
+    use whirlpool_index::TagIndex;
+    use whirlpool_pattern::{parse_pattern, StaticPlan};
+    use whirlpool_score::{Normalization, TfIdfModel};
+    use whirlpool_xml::parse_document;
+
+    /// items with very different server fanouts: `many` has 4 matches
+    /// per item, `rare` has at most one and is often missing.
+    const SRC: &str = "<r>\
+        <item><many/><many/><many/><many/><rare/></item>\
+        <item><many/><many/><many/><many/></item>\
+        <item><many/><many/><many/><many/><rare/></item>\
+        <item><many/><many/><many/><many/></item>\
+        </r>";
+
+    fn with_ctx(f: impl FnOnce(&QueryContext<'_>)) {
+        let doc = parse_document(SRC).unwrap();
+        let index = TagIndex::build(&doc);
+        let pattern = parse_pattern("//item[./many and ./rare]").unwrap();
+        let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
+        let ctx = QueryContext::new(
+            &doc,
+            &index,
+            &pattern,
+            &model,
+            ContextOptions { relax: RelaxMode::Relaxed, ..Default::default() },
+        );
+        f(&ctx);
+    }
+
+    #[test]
+    fn static_routing_follows_the_plan() {
+        with_ctx(|ctx| {
+            let plan = StaticPlan::new(vec![QNodeId(2), QNodeId(1)]);
+            let strategy = RoutingStrategy::Static(plan);
+            let m = ctx.make_root_matches().remove(0);
+            assert_eq!(strategy.choose(ctx, &m, Score::ZERO), QNodeId(2));
+        });
+    }
+
+    #[test]
+    fn min_alive_prefers_low_fanout_servers() {
+        with_ctx(|ctx| {
+            let m = ctx.make_root_matches().remove(0);
+            // With threshold 0 everything survives, so the estimate is the
+            // fanout: many≈4, rare≈0.5 — min_alive must pick rare (q2).
+            let s = RoutingStrategy::MinAlive.choose(ctx, &m, Score::ZERO);
+            assert_eq!(s, QNodeId(2));
+        });
+    }
+
+    #[test]
+    fn min_alive_accounts_for_pruning() {
+        with_ctx(|ctx| {
+            let m = ctx.make_root_matches().remove(0);
+            // With sparse weights both servers max out at 1.0 and the
+            // root match has max_final = 2.0. A threshold of 2.1 means
+            // need = 2.1 - (2.0 - 1.0) = 1.1 > 1.0 at either server: no
+            // extension can survive, both estimates collapse to 0, and
+            // the tie resolves to the first unvisited server (q1) —
+            // showing the threshold flipping the low-fanout choice of
+            // `min_alive_prefers_low_fanout_servers`.
+            let s = RoutingStrategy::MinAlive.choose(ctx, &m, Score::new(2.1));
+            assert_eq!(s, QNodeId(1), "high threshold flips the choice");
+        });
+    }
+
+    #[test]
+    fn max_score_picks_the_generous_server() {
+        with_ctx(|ctx| {
+            let m = ctx.make_root_matches().remove(0);
+            // Every item has a `many` child, so per Definition 4.2 the
+            // `many` predicate's idf — and with it the server's expected
+            // contribution — is 0. `rare` discriminates (idf ln 2) and,
+            // even discounted by its 50% empty fraction, contributes
+            // more. max_score therefore picks `rare`, min_score `many`.
+            let max = RoutingStrategy::MaxScore.choose(ctx, &m, Score::ZERO);
+            let min = RoutingStrategy::MinScore.choose(ctx, &m, Score::ZERO);
+            assert_eq!(max, QNodeId(2));
+            assert_eq!(min, QNodeId(1));
+        });
+    }
+
+    #[test]
+    fn visited_servers_are_skipped() {
+        with_ctx(|ctx| {
+            let m = ctx.make_root_matches().remove(0);
+            let mut out = Vec::new();
+            ctx.process_at_server(QNodeId(1), &m, &mut out);
+            let next = RoutingStrategy::MinAlive.choose(ctx, &out[0], Score::ZERO);
+            assert_eq!(next, QNodeId(2), "only q2 remains");
+        });
+    }
+
+    #[test]
+    fn routing_decisions_are_counted() {
+        with_ctx(|ctx| {
+            let m = ctx.make_root_matches().remove(0);
+            let before = ctx.metrics.snapshot().routing_decisions;
+            let _ = RoutingStrategy::MinAlive.choose(ctx, &m, Score::ZERO);
+            let _ = RoutingStrategy::MaxScore.choose(ctx, &m, Score::ZERO);
+            assert_eq!(ctx.metrics.snapshot().routing_decisions, before + 2);
+        });
+    }
+}

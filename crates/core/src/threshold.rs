@@ -1,0 +1,167 @@
+//! Threshold queries: all answers scoring at least τ.
+//!
+//! The paper contrasts its top-k goal with its predecessor's
+//! (Amer-Yahia/Cho/Srivastava, EDBT'02): "the goal was to identify all
+//! answers whose score exceeds a certain threshold (instead of top-k
+//! answers). Early pruning was performed using branch-and-bound
+//! techniques." This module provides that evaluation mode on the same
+//! adaptive machinery: a partial match is pruned as soon as its maximum
+//! possible final score falls below the fixed threshold, and every
+//! complete match that clears the threshold is returned.
+
+use crate::context::QueryContext;
+use crate::queue::{MatchQueue, QueuePolicy};
+use crate::router::RoutingStrategy;
+use crate::topk::RankedAnswer;
+use std::collections::HashMap;
+use whirlpool_score::Score;
+use whirlpool_xml::NodeId;
+
+/// Returns every answer whose score is at least `tau`, best first
+/// (one entry per root — the best completion), evaluated adaptively à
+/// la Whirlpool-S with branch-and-bound pruning against the fixed
+/// threshold.
+pub fn run_threshold(
+    ctx: &QueryContext<'_>,
+    routing: &RoutingStrategy,
+    tau: Score,
+) -> Vec<RankedAnswer> {
+    let full = ctx.full_mask();
+    let mut best: HashMap<NodeId, Score> = HashMap::new();
+    let mut queue = MatchQueue::new(QueuePolicy::MaxFinalScore, None);
+
+    let record = |best: &mut HashMap<NodeId, Score>, root: NodeId, score: Score| {
+        if score >= tau {
+            let entry = best.entry(root).or_insert(score);
+            *entry = (*entry).max(score);
+        }
+    };
+
+    for m in ctx.make_root_matches() {
+        if m.max_final < tau {
+            ctx.metrics.add_pruned();
+            continue;
+        }
+        if m.is_complete(full) {
+            record(&mut best, m.root(), m.score);
+        } else {
+            queue.push(ctx, m);
+        }
+    }
+
+    let mut exts = Vec::new();
+    while let Some(m) = queue.pop() {
+        // The threshold is fixed, so no pop-time re-check is needed —
+        // everything queued already cleared it.
+        let server = routing.choose(ctx, &m, tau);
+        exts.clear();
+        ctx.process_at_server(server, &m, &mut exts);
+        for e in exts.drain(..) {
+            if e.max_final < tau {
+                ctx.metrics.add_pruned();
+                continue;
+            }
+            if e.is_complete(full) {
+                record(&mut best, e.root(), e.score);
+            } else {
+                queue.push(ctx, e);
+            }
+        }
+    }
+
+    let mut answers: Vec<RankedAnswer> =
+        best.into_iter().map(|(root, score)| RankedAnswer { root, score }).collect();
+    answers.sort_by(|a, b| b.score.cmp(&a.score).then(a.root.cmp(&b.root)));
+    answers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{ContextOptions, RelaxMode};
+    use crate::engine::{evaluate_with_context, Algorithm, EvalOptions};
+    use whirlpool_index::TagIndex;
+    use whirlpool_pattern::parse_pattern;
+    use whirlpool_score::{Normalization, TfIdfModel};
+    use whirlpool_xml::parse_document;
+
+    const SRC: &str = "<shelf>\
+        <book><title>t</title><isbn>1</isbn><price>9</price></book>\
+        <book><title>t</title><isbn>2</isbn></book>\
+        <book><title>t</title></book>\
+        <book><x><title>t</title></x></book>\
+        <book><name/></book>\
+        </shelf>";
+
+    fn harness(relax: RelaxMode, f: impl FnOnce(&QueryContext<'_>)) {
+        let doc = parse_document(SRC).unwrap();
+        let index = TagIndex::build(&doc);
+        let pattern = parse_pattern("//book[./title and ./isbn and ./price]").unwrap();
+        let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
+        let ctx = QueryContext::new(
+            &doc,
+            &index,
+            &pattern,
+            &model,
+            ContextOptions { relax, ..Default::default() },
+        );
+        f(&ctx);
+    }
+
+    /// Reference: scores of all answers from an exhaustive top-k run.
+    fn all_answers(ctx: &QueryContext<'_>) -> Vec<RankedAnswer> {
+        evaluate_with_context(ctx, &Algorithm::LockStepNoPrune, &EvalOptions::top_k(1_000))
+            .answers
+    }
+
+    #[test]
+    fn threshold_selects_exactly_the_clearing_answers() {
+        let mut reference = Vec::new();
+        harness(RelaxMode::Relaxed, |ctx| reference = all_answers(ctx));
+        for tau in [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5] {
+            harness(RelaxMode::Relaxed, |ctx| {
+                let got = run_threshold(ctx, &RoutingStrategy::MinAlive, Score::new(tau));
+                let expected: Vec<_> =
+                    reference.iter().filter(|a| a.score.value() >= tau).collect();
+                assert_eq!(got.len(), expected.len(), "tau={tau}");
+                for (g, e) in got.iter().zip(&expected) {
+                    assert_eq!(g.score, e.score, "tau={tau}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn high_threshold_prunes_aggressively() {
+        let mut ops_low = 0;
+        let mut ops_high = 0;
+        harness(RelaxMode::Relaxed, |ctx| {
+            let _ = run_threshold(ctx, &RoutingStrategy::MinAlive, Score::new(0.0));
+            ops_low = ctx.metrics.snapshot().server_ops;
+        });
+        harness(RelaxMode::Relaxed, |ctx| {
+            let _ = run_threshold(ctx, &RoutingStrategy::MinAlive, Score::new(2.5));
+            ops_high = ctx.metrics.snapshot().server_ops;
+        });
+        assert!(ops_high < ops_low, "{ops_high} !< {ops_low}");
+    }
+
+    #[test]
+    fn impossible_threshold_returns_nothing_quickly() {
+        harness(RelaxMode::Relaxed, |ctx| {
+            let got = run_threshold(ctx, &RoutingStrategy::MinAlive, Score::new(100.0));
+            assert!(got.is_empty());
+            // Every root match is pruned before any server runs.
+            assert_eq!(ctx.metrics.snapshot().server_ops, 0);
+        });
+    }
+
+    #[test]
+    fn works_in_exact_mode() {
+        harness(RelaxMode::Exact, |ctx| {
+            let got = run_threshold(ctx, &RoutingStrategy::MinAlive, Score::new(0.0));
+            // Only the one fully-exact book survives exact evaluation.
+            assert_eq!(got.len(), 1);
+        });
+    }
+}

@@ -1,0 +1,298 @@
+//! The candidate top-k set.
+//!
+//! "The system maintains a candidate set of top-k (partial or complete)
+//! matches, along with their scores, as the basis for determining if a
+//! newly computed partial match, (i) updates the score of an existing
+//! match in the set, or (ii) replaces an existing match in the set, or
+//! (iii) is pruned ... Note that only one match with a given root node
+//! is present in the top-k set as the k returned answers must be
+//! distinct instantiations of the query root node." (§5.1)
+
+use crate::partial::PartialMatch;
+use std::collections::{BTreeSet, HashMap};
+use whirlpool_score::Score;
+use whirlpool_xml::NodeId;
+
+/// A ranked answer: a query-root document node and its score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedAnswer {
+    /// The instantiation of the query's returned node.
+    pub root: NodeId,
+    /// The answer's (current best) score.
+    pub score: Score,
+}
+
+/// Bounded best-per-root scoreboard with an ordered view.
+#[derive(Debug)]
+pub struct TopKSet {
+    k: usize,
+    /// root -> current entry score.
+    by_root: HashMap<NodeId, Score>,
+    /// (score, root), ascending — first element is the k-th (weakest)
+    /// entry.
+    ordered: BTreeSet<(Score, NodeId)>,
+}
+
+impl TopKSet {
+    /// Creates an empty set holding at most `k` entries.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "top-k with k = 0");
+        TopKSet { k, by_root: HashMap::new(), ordered: BTreeSet::new() }
+    }
+
+    /// The configured answer count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of entries currently held (≤ k).
+    pub fn len(&self) -> usize {
+        self.ordered.len()
+    }
+
+    /// True when no entry has been admitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.ordered.is_empty()
+    }
+
+    /// The pruning threshold: the k-th best current score once the set
+    /// is full, otherwise zero (nothing can be pruned while slots
+    /// remain — any match could still fill one).
+    pub fn threshold(&self) -> Score {
+        if self.ordered.len() < self.k {
+            Score::ZERO
+        } else {
+            self.ordered.iter().next().map(|(s, _)| *s).unwrap_or(Score::ZERO)
+        }
+    }
+
+    /// Should this match be discarded? True iff even its maximum
+    /// possible final score cannot beat the current k-th score (strict:
+    /// ties survive).
+    pub fn should_prune(&self, m: &PartialMatch) -> bool {
+        m.max_final < self.threshold()
+    }
+
+    /// Offers a match's current score for its root. Updates the
+    /// existing entry if this root already has a weaker one, inserts if
+    /// a slot is free, or evicts the weakest entry if this score beats
+    /// it. Returns `true` if the set changed.
+    pub fn offer(&mut self, root: NodeId, score: Score) -> bool {
+        if let Some(&existing) = self.by_root.get(&root) {
+            if score > existing {
+                self.ordered.remove(&(existing, root));
+                self.ordered.insert((score, root));
+                self.by_root.insert(root, score);
+                return true;
+            }
+            return false;
+        }
+        if self.ordered.len() < self.k {
+            self.ordered.insert((score, root));
+            self.by_root.insert(root, score);
+            return true;
+        }
+        let weakest = *self.ordered.iter().next().expect("full set is non-empty");
+        if score > weakest.0 {
+            self.ordered.remove(&weakest);
+            self.by_root.remove(&weakest.1);
+            self.ordered.insert((score, root));
+            self.by_root.insert(root, score);
+            return true;
+        }
+        false
+    }
+
+    /// Convenience: offer a partial match's current score.
+    pub fn offer_match(&mut self, m: &PartialMatch) -> bool {
+        self.offer(m.root(), m.score)
+    }
+
+    /// The current entries, best first.
+    pub fn ranked(&self) -> Vec<RankedAnswer> {
+        self.ordered
+            .iter()
+            .rev()
+            .map(|&(score, root)| RankedAnswer { root, score })
+            .collect()
+    }
+}
+
+/// Are two ranked answer lists equivalent as top-k results?
+///
+/// Engines (and thread interleavings) may resolve *score ties*
+/// differently, and any resolution is a correct top-k answer. Two lists
+/// are equivalent iff (1) their score vectors agree pairwise within
+/// `epsilon`, and (2) within every maximal group of tied scores the same
+/// root sets appear — except for a tied group that touches the end of
+/// the list, where different members of the tie may have been admitted.
+pub fn answers_equivalent(a: &[RankedAnswer], b: &[RankedAnswer], epsilon: f64) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    for (x, y) in a.iter().zip(b) {
+        if (x.score.value() - y.score.value()).abs() > epsilon {
+            return false;
+        }
+    }
+    let mut i = 0;
+    while i < a.len() {
+        let mut j = i + 1;
+        while j < a.len() && (a[j].score.value() - a[i].score.value()).abs() <= epsilon {
+            j += 1;
+        }
+        // A tie group cut off by the k boundary may legitimately hold
+        // different roots in the two lists.
+        if j < a.len() {
+            let mut ra: Vec<NodeId> = a[i..j].iter().map(|r| r.root).collect();
+            let mut rb: Vec<NodeId> = b[i..j].iter().map(|r| r.root).collect();
+            ra.sort_unstable();
+            rb.sort_unstable();
+            if ra != rb {
+                return false;
+            }
+        }
+        i = j;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    fn m(root: usize, score: f64, max_final: f64) -> PartialMatch {
+        let mut pm = PartialMatch::new_root(0, 1, n(root), score, 0.0);
+        pm.max_final = Score::new(max_final);
+        pm
+    }
+
+    #[test]
+    fn threshold_is_zero_until_full() {
+        let mut set = TopKSet::new(2);
+        assert_eq!(set.threshold(), Score::ZERO);
+        set.offer(n(1), Score::new(5.0));
+        assert_eq!(set.threshold(), Score::ZERO);
+        set.offer(n(2), Score::new(3.0));
+        assert_eq!(set.threshold(), Score::new(3.0));
+    }
+
+    #[test]
+    fn offers_update_replace_and_reject() {
+        let mut set = TopKSet::new(2);
+        assert!(set.offer(n(1), Score::new(1.0)));
+        assert!(set.offer(n(2), Score::new(2.0)));
+        // Same root, better score: update.
+        assert!(set.offer(n(1), Score::new(3.0)));
+        // Same root, worse score: no change.
+        assert!(!set.offer(n(1), Score::new(0.5)));
+        // New root beating the weakest: replace.
+        assert!(set.offer(n(3), Score::new(2.5)));
+        let ranked = set.ranked();
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].root, n(1));
+        assert_eq!(ranked[1].root, n(3));
+        // New root below the weakest: rejected.
+        assert!(!set.offer(n(4), Score::new(0.1)));
+    }
+
+    #[test]
+    fn pruning_respects_threshold_and_ties() {
+        let mut set = TopKSet::new(1);
+        set.offer(n(1), Score::new(2.0));
+        assert!(set.should_prune(&m(9, 0.0, 1.9)));
+        // Tie with the k-th score survives.
+        assert!(!set.should_prune(&m(9, 0.0, 2.0)));
+        assert!(!set.should_prune(&m(9, 0.0, 2.1)));
+    }
+
+    #[test]
+    fn nothing_pruned_while_slots_remain() {
+        let set = TopKSet::new(3);
+        assert!(!set.should_prune(&m(9, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn one_entry_per_root() {
+        let mut set = TopKSet::new(3);
+        set.offer(n(1), Score::new(1.0));
+        set.offer(n(1), Score::new(2.0));
+        set.offer(n(1), Score::new(1.5));
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.ranked()[0].score, Score::new(2.0));
+    }
+
+    #[test]
+    fn ranked_is_descending() {
+        let mut set = TopKSet::new(5);
+        for (i, s) in [(1, 0.3), (2, 0.9), (3, 0.1), (4, 0.7)] {
+            set.offer(n(i), Score::new(s));
+        }
+        let scores: Vec<f64> = set.ranked().iter().map(|a| a.score.value()).collect();
+        assert_eq!(scores, vec![0.9, 0.7, 0.3, 0.1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k = 0")]
+    fn zero_k_is_rejected() {
+        let _ = TopKSet::new(0);
+    }
+
+    #[test]
+    fn equivalence_accepts_tail_tie_swaps() {
+        let a = vec![
+            RankedAnswer { root: n(1), score: Score::new(3.0) },
+            RankedAnswer { root: n(2), score: Score::new(2.0) },
+        ];
+        let b_same = a.clone();
+        let b_tail_tie = vec![
+            RankedAnswer { root: n(1), score: Score::new(3.0) },
+            RankedAnswer { root: n(9), score: Score::new(2.0) },
+        ];
+        let b_wrong_score = vec![
+            RankedAnswer { root: n(1), score: Score::new(3.0) },
+            RankedAnswer { root: n(2), score: Score::new(1.0) },
+        ];
+        assert!(answers_equivalent(&a, &b_same, 1e-9));
+        // The 2.0 group touches the end: root swap allowed.
+        assert!(answers_equivalent(&a, &b_tail_tie, 1e-9));
+        assert!(!answers_equivalent(&a, &b_wrong_score, 1e-9));
+        assert!(!answers_equivalent(&a, &a[..1], 1e-9));
+    }
+
+    #[test]
+    fn equivalence_rejects_interior_root_swaps() {
+        let a = vec![
+            RankedAnswer { root: n(1), score: Score::new(3.0) },
+            RankedAnswer { root: n(2), score: Score::new(2.0) },
+        ];
+        let b = vec![
+            RankedAnswer { root: n(7), score: Score::new(3.0) },
+            RankedAnswer { root: n(2), score: Score::new(2.0) },
+        ];
+        // The 3.0 "group" does not touch the end; its roots must agree.
+        assert!(!answers_equivalent(&a, &b, 1e-9));
+    }
+
+    #[test]
+    fn equivalence_allows_reorder_within_interior_ties() {
+        let a = vec![
+            RankedAnswer { root: n(1), score: Score::new(3.0) },
+            RankedAnswer { root: n(2), score: Score::new(3.0) },
+            RankedAnswer { root: n(3), score: Score::new(1.0) },
+        ];
+        let b = vec![
+            RankedAnswer { root: n(2), score: Score::new(3.0) },
+            RankedAnswer { root: n(1), score: Score::new(3.0) },
+            RankedAnswer { root: n(3), score: Score::new(1.0) },
+        ];
+        assert!(answers_equivalent(&a, &b, 1e-9));
+    }
+}

@@ -1,0 +1,92 @@
+//! Small concurrency utilities.
+
+use parking_lot::{Condvar, Mutex};
+
+/// A counting semaphore used to cap concurrent server operations when
+/// simulating a `p`-processor machine on real threads.
+pub struct Semaphore {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Semaphore {
+    /// # Panics
+    /// Panics if `permits == 0` (would deadlock every acquirer).
+    pub fn new(permits: usize) -> Self {
+        assert!(permits > 0, "semaphore with zero permits");
+        Semaphore { permits: Mutex::new(permits), cv: Condvar::new() }
+    }
+
+    /// Blocks until a permit is available; the permit is released when
+    /// the guard drops.
+    pub fn acquire(&self) -> SemaphoreGuard<'_> {
+        let mut permits = self.permits.lock();
+        while *permits == 0 {
+            self.cv.wait(&mut permits);
+        }
+        *permits -= 1;
+        SemaphoreGuard { sem: self }
+    }
+
+    /// The number of currently available permits (racy; for tests).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn available(&self) -> usize {
+        *self.permits.lock()
+    }
+}
+
+/// RAII permit returned by [`Semaphore::acquire`].
+pub struct SemaphoreGuard<'a> {
+    sem: &'a Semaphore,
+}
+
+impl Drop for SemaphoreGuard<'_> {
+    fn drop(&mut self) {
+        let mut permits = self.sem.permits.lock();
+        *permits += 1;
+        self.sem.cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn permits_are_returned_on_drop() {
+        let sem = Semaphore::new(2);
+        let a = sem.acquire();
+        let b = sem.acquire();
+        assert_eq!(sem.available(), 0);
+        drop(a);
+        assert_eq!(sem.available(), 1);
+        drop(b);
+        assert_eq!(sem.available(), 2);
+    }
+
+    #[test]
+    fn concurrency_is_bounded() {
+        let sem = Semaphore::new(2);
+        let concurrent = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let _permit = sem.acquire();
+                    let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    concurrent.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero permits")]
+    fn zero_permits_rejected() {
+        let _ = Semaphore::new(0);
+    }
+}

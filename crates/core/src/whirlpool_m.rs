@@ -1,0 +1,445 @@
+//! Whirlpool-M: the multi-threaded adaptive engine.
+//!
+//! "Each server is handled by an individual thread. In addition to
+//! server threads, a thread handles the router, and the main thread
+//! checks for termination of top-k query execution" (§6.1.2). Each
+//! server owns a priority queue of waiting partial matches; survivors
+//! of a server operation go back to the router, which assigns them
+//! their next server; the top-k set is shared.
+//!
+//! Termination: a global in-flight counter tracks matches in queues or
+//! being processed; it reaches zero exactly when "there are no more
+//! partial matches in any of the server queues, the router queue, or
+//! being compared against the top-k set" (§5.1).
+
+use crate::context::{QueryContext, RelaxMode};
+use crate::queue::{MatchQueue, QueuePolicy};
+use crate::router::RoutingStrategy;
+use crate::topk::{RankedAnswer, TopKSet};
+use crate::util::Semaphore;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use whirlpool_pattern::QNodeId;
+
+/// Configuration for [`run_whirlpool_m`].
+#[derive(Debug, Clone)]
+pub struct WhirlpoolMConfig {
+    /// Per-server queue prioritization (the paper settled on
+    /// [`QueuePolicy::MaxFinalScore`]).
+    pub queue_policy: QueuePolicy,
+    /// Limit concurrent server operations to simulate a `p`-processor
+    /// machine (`None`: no limit — the paper's "∞ processors" runs).
+    /// Only observable when operations have real cost.
+    pub processors: Option<usize>,
+    /// Worker threads per server, all pulling from that server's queue.
+    /// `1` is the paper's architecture; larger values implement its
+    /// future-work proposal of "increasing the number of threads per
+    /// server for maximal parallelism" (§7).
+    pub threads_per_server: usize,
+}
+
+impl Default for WhirlpoolMConfig {
+    fn default() -> Self {
+        WhirlpoolMConfig {
+            queue_policy: QueuePolicy::MaxFinalScore,
+            processors: None,
+            threads_per_server: 1,
+        }
+    }
+}
+
+/// A lock+condvar guarded match queue shared between producer and
+/// consumer threads.
+struct SharedQueue {
+    inner: Mutex<MatchQueue>,
+    cv: Condvar,
+}
+
+impl SharedQueue {
+    fn new(policy: QueuePolicy, server: Option<QNodeId>) -> Self {
+        SharedQueue { inner: Mutex::new(MatchQueue::new(policy, server)), cv: Condvar::new() }
+    }
+
+    fn push(&self, ctx: &QueryContext<'_>, m: crate::partial::PartialMatch) {
+        self.inner.lock().push(ctx, m);
+        self.cv.notify_one();
+    }
+
+    /// Blocks until a match is available or `done` is set.
+    fn pop_wait(&self, done: &AtomicBool) -> Option<crate::partial::PartialMatch> {
+        let mut guard = self.inner.lock();
+        loop {
+            if let Some(m) = guard.pop() {
+                return Some(m);
+            }
+            if done.load(Ordering::Acquire) {
+                return None;
+            }
+            self.cv.wait(&mut guard);
+        }
+    }
+
+    /// Wakes every waiter. Must acquire the queue lock first: a waiter
+    /// that has checked the `done` flag (false) but not yet parked holds
+    /// the lock, and notifying without it would be a *lost wakeup* —
+    /// the notification fires before the wait begins and the thread
+    /// sleeps forever. Taking the lock orders this notify after that
+    /// waiter's `wait()`, which re-checks `done` on wake.
+    fn wake_all(&self) {
+        let _guard = self.inner.lock();
+        self.cv.notify_all();
+    }
+}
+
+struct Shared<'c, 'a> {
+    ctx: &'c QueryContext<'a>,
+    topk: Mutex<TopKSet>,
+    router_queue: SharedQueue,
+    server_queues: Vec<SharedQueue>,
+    /// Matches alive in the system (queued or being processed).
+    in_flight: AtomicI64,
+    done: AtomicBool,
+    done_cv: Condvar,
+    done_lock: Mutex<()>,
+    offer_partial: bool,
+    full_mask: u64,
+    sem: Option<Semaphore>,
+}
+
+impl Shared<'_, '_> {
+    /// Applies a net change to the in-flight count; the caller must have
+    /// already pushed any children it created. Signals completion when
+    /// the count reaches zero.
+    fn adjust_in_flight(&self, delta: i64) {
+        let now = self.in_flight.fetch_add(delta, Ordering::AcqRel) + delta;
+        debug_assert!(now >= 0, "in-flight count went negative");
+        if now == 0 {
+            self.done.store(true, Ordering::Release);
+            self.router_queue.wake_all();
+            for q in &self.server_queues {
+                q.wake_all();
+            }
+            let _g = self.done_lock.lock();
+            self.done_cv.notify_all();
+        }
+    }
+
+    fn server_queue(&self, server: QNodeId) -> &SharedQueue {
+        &self.server_queues[server.index() - 1]
+    }
+}
+
+/// Runs Whirlpool-M: one thread per server, one router thread, with the
+/// calling thread acting as the paper's "main thread [that] checks for
+/// termination".
+pub fn run_whirlpool_m(
+    ctx: &QueryContext<'_>,
+    routing: &RoutingStrategy,
+    k: usize,
+    config: &WhirlpoolMConfig,
+) -> Vec<RankedAnswer> {
+    let server_ids = ctx.server_ids();
+    let offer_partial = ctx.relax == RelaxMode::Relaxed;
+    let full_mask = ctx.full_mask();
+
+    let shared = Shared {
+        ctx,
+        topk: Mutex::new(TopKSet::new(k)),
+        router_queue: SharedQueue::new(QueuePolicy::MaxFinalScore, None),
+        server_queues: server_ids
+            .iter()
+            .map(|&s| SharedQueue::new(config.queue_policy, Some(s)))
+            .collect(),
+        in_flight: AtomicI64::new(0),
+        done: AtomicBool::new(false),
+        done_cv: Condvar::new(),
+        done_lock: Mutex::new(()),
+        offer_partial,
+        full_mask,
+        sem: config.processors.map(Semaphore::new),
+    };
+
+    // Seed the router queue with the root server's output.
+    let mut seeded = 0i64;
+    {
+        let mut topk = shared.topk.lock();
+        for m in ctx.make_root_matches() {
+            let complete = m.is_complete(full_mask);
+            if offer_partial || complete {
+                topk.offer_match(&m);
+            }
+            if !complete {
+                shared.router_queue.push(ctx, m);
+                seeded += 1;
+            }
+        }
+    }
+    if seeded == 0 {
+        return shared.topk.into_inner().ranked();
+    }
+    shared.in_flight.store(seeded, Ordering::Release);
+
+    let threads_per_server = config.threads_per_server.max(1);
+    std::thread::scope(|scope| {
+        // Router thread.
+        scope.spawn(|| router_loop(&shared, routing));
+        // Server threads (possibly several workers per server queue).
+        for &server in &server_ids {
+            for _ in 0..threads_per_server {
+                let shared = &shared;
+                scope.spawn(move || server_loop(shared, server));
+            }
+        }
+        // Main thread: wait for termination.
+        let mut guard = shared.done_lock.lock();
+        while !shared.done.load(Ordering::Acquire) {
+            shared.done_cv.wait(&mut guard);
+        }
+    });
+
+    shared.topk.into_inner().ranked()
+}
+
+fn router_loop(shared: &Shared<'_, '_>, routing: &RoutingStrategy) {
+    while let Some(m) = shared.router_queue.pop_wait(&shared.done) {
+        let threshold = shared.topk.lock().threshold();
+        let server = routing.choose(shared.ctx, &m, threshold);
+        shared.server_queue(server).push(shared.ctx, m);
+    }
+}
+
+fn server_loop(shared: &Shared<'_, '_>, server: QNodeId) {
+    let ctx = shared.ctx;
+    let mut exts = Vec::new();
+    while let Some(m) = shared.server_queue(server).pop_wait(&shared.done) {
+        if shared.topk.lock().should_prune(&m) {
+            ctx.metrics.add_pruned();
+            shared.adjust_in_flight(-1);
+            continue;
+        }
+
+        exts.clear();
+        {
+            // The processor budget covers the join work itself.
+            let _permit = shared.sem.as_ref().map(Semaphore::acquire);
+            ctx.process_at_server(server, &m, &mut exts);
+        }
+
+        let mut kept = 0i64;
+        {
+            let mut topk = shared.topk.lock();
+            exts.retain(|e| {
+                let complete = e.is_complete(shared.full_mask);
+                if shared.offer_partial || complete {
+                    topk.offer_match(e);
+                }
+                if complete {
+                    return false;
+                }
+                if topk.should_prune(e) {
+                    ctx.metrics.add_pruned();
+                    return false;
+                }
+                true
+            });
+        }
+        for e in exts.drain(..) {
+            shared.router_queue.push(ctx, e);
+            kept += 1;
+        }
+        shared.adjust_in_flight(kept - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ContextOptions;
+    use crate::lockstep::run_lockstep_noprune;
+    use whirlpool_index::TagIndex;
+    use whirlpool_pattern::{parse_pattern, StaticPlan};
+    use whirlpool_score::{Normalization, TfIdfModel};
+    use whirlpool_xml::parse_document;
+
+    const SRC: &str = "<shelf>\
+        <book><title>t</title><isbn>1</isbn><price>9</price></book>\
+        <book><title>t</title><isbn>2</isbn></book>\
+        <book><title>t</title></book>\
+        <book><extra><title>t</title><price>3</price></extra></book>\
+        <book><name/></book>\
+        <book><isbn>5</isbn><price>1</price></book>\
+        </shelf>";
+
+    fn harness(query: &str, relax: RelaxMode, f: impl FnOnce(&QueryContext<'_>, usize)) {
+        let doc = parse_document(SRC).unwrap();
+        let index = TagIndex::build(&doc);
+        let pattern = parse_pattern(query).unwrap();
+        let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
+        let ctx = QueryContext::new(
+            &doc,
+            &index,
+            &pattern,
+            &model,
+            ContextOptions { relax, ..Default::default() },
+        );
+        f(&ctx, pattern.server_ids().count());
+    }
+
+    #[test]
+    fn agrees_with_reference_for_all_k() {
+        let query = "//book[./title and ./isbn and ./price]";
+        for k in [1, 3, 6] {
+            let mut reference = Vec::new();
+            harness(query, RelaxMode::Relaxed, |ctx, servers| {
+                reference = run_lockstep_noprune(ctx, &StaticPlan::in_id_order(servers), k);
+            });
+            harness(query, RelaxMode::Relaxed, |ctx, _| {
+                let got = run_whirlpool_m(
+                    ctx,
+                    &RoutingStrategy::MinAlive,
+                    k,
+                    &WhirlpoolMConfig::default(),
+                );
+                let gs: Vec<_> = got.iter().map(|r| (r.root, r.score)).collect();
+                let rs: Vec<_> = reference.iter().map(|r| (r.root, r.score)).collect();
+                assert_eq!(gs, rs, "k={k}");
+            });
+        }
+    }
+
+    #[test]
+    fn processor_limit_does_not_change_answers() {
+        let query = "//book[./title and ./isbn and ./price]";
+        let mut reference = Vec::new();
+        harness(query, RelaxMode::Relaxed, |ctx, servers| {
+            reference = run_lockstep_noprune(ctx, &StaticPlan::in_id_order(servers), 3);
+        });
+        for procs in [1, 2, 4] {
+            harness(query, RelaxMode::Relaxed, |ctx, _| {
+                let got = run_whirlpool_m(
+                    ctx,
+                    &RoutingStrategy::MinAlive,
+                    3,
+                    &WhirlpoolMConfig {
+                        processors: Some(procs),
+                        ..WhirlpoolMConfig::default()
+                    },
+                );
+                let gs: Vec<_> = got.iter().map(|r| (r.root, r.score)).collect();
+                let rs: Vec<_> = reference.iter().map(|r| (r.root, r.score)).collect();
+                assert_eq!(gs, rs, "procs={procs}");
+            });
+        }
+    }
+
+    #[test]
+    fn exact_mode_terminates_and_agrees() {
+        let query = "//book[./title and ./isbn]";
+        let mut reference = Vec::new();
+        harness(query, RelaxMode::Exact, |ctx, servers| {
+            reference = run_lockstep_noprune(ctx, &StaticPlan::in_id_order(servers), 10);
+        });
+        harness(query, RelaxMode::Exact, |ctx, _| {
+            let got = run_whirlpool_m(
+                ctx,
+                &RoutingStrategy::MinAlive,
+                10,
+                &WhirlpoolMConfig::default(),
+            );
+            let gs: Vec<_> = got.iter().map(|r| (r.root, r.score)).collect();
+            let rs: Vec<_> = reference.iter().map(|r| (r.root, r.score)).collect();
+            assert_eq!(gs, rs);
+        });
+    }
+
+    #[test]
+    fn extra_threads_per_server_do_not_change_answers() {
+        let query = "//book[./title and ./isbn and ./price]";
+        let mut reference = Vec::new();
+        harness(query, RelaxMode::Relaxed, |ctx, servers| {
+            reference = run_lockstep_noprune(ctx, &StaticPlan::in_id_order(servers), 4);
+        });
+        for tps in [2usize, 4] {
+            harness(query, RelaxMode::Relaxed, |ctx, _| {
+                let got = run_whirlpool_m(
+                    ctx,
+                    &RoutingStrategy::MinAlive,
+                    4,
+                    &WhirlpoolMConfig {
+                        threads_per_server: tps,
+                        ..WhirlpoolMConfig::default()
+                    },
+                );
+                assert!(
+                    crate::topk::answers_equivalent(&got, &reference, 1e-9),
+                    "threads_per_server={tps}"
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn empty_root_set_returns_immediately() {
+        harness("//nosuchroot[./title]", RelaxMode::Relaxed, |ctx, _| {
+            let got = run_whirlpool_m(
+                ctx,
+                &RoutingStrategy::MinAlive,
+                5,
+                &WhirlpoolMConfig::default(),
+            );
+            assert!(got.is_empty());
+        });
+    }
+
+    #[test]
+    fn shutdown_handshake_survives_many_iterations() {
+        // Regression test for a lost-wakeup deadlock: `wake_all` must
+        // take the queue lock before notifying, or a thread that
+        // checked `done == false` but had not yet parked sleeps
+        // forever. The window is narrow — hammer the full
+        // start/evaluate/terminate cycle.
+        let doc = parse_document(SRC).unwrap();
+        let index = TagIndex::build(&doc);
+        let pattern = parse_pattern("//book[./title and ./isbn]").unwrap();
+        let model =
+            TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
+        for i in 0..300 {
+            let ctx = QueryContext::new(
+                &doc,
+                &index,
+                &pattern,
+                &model,
+                ContextOptions::default(),
+            );
+            let got = run_whirlpool_m(
+                &ctx,
+                &RoutingStrategy::MinAlive,
+                3,
+                &WhirlpoolMConfig::default(),
+            );
+            assert!(!got.is_empty(), "iteration {i}");
+        }
+    }
+
+    #[test]
+    fn repeated_runs_are_consistent() {
+        // The thread interleaving varies; the answer set must not.
+        let query = "//book[./title and ./price]";
+        let mut first: Option<Vec<(whirlpool_xml::NodeId, whirlpool_score::Score)>> = None;
+        for _ in 0..10 {
+            harness(query, RelaxMode::Relaxed, |ctx, _| {
+                let got = run_whirlpool_m(
+                    ctx,
+                    &RoutingStrategy::MinAlive,
+                    3,
+                    &WhirlpoolMConfig::default(),
+                );
+                let gs: Vec<_> = got.iter().map(|r| (r.root, r.score)).collect();
+                match &first {
+                    None => first = Some(gs),
+                    Some(f) => assert_eq!(&gs, f),
+                }
+            });
+        }
+    }
+}

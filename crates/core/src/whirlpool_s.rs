@@ -1,0 +1,237 @@
+//! Whirlpool-S: the single-threaded adaptive engine.
+//!
+//! "A partial match is processed by a server as soon as it is routed to
+//! it, therefore the servers' priority queues are not needed, and
+//! partial matches are only kept in the router's queue. ... the
+//! algorithm always chooses the partial match with the maximum possible
+//! final score as it is the one on top of the router queue" (§6.1.2) —
+//! the order MPro/Upper prove necessary for instance-optimal probing.
+
+use crate::context::{QueryContext, RelaxMode};
+use crate::queue::{MatchQueue, QueuePolicy};
+use crate::router::RoutingStrategy;
+use crate::topk::{RankedAnswer, TopKSet};
+
+/// Runs Whirlpool-S.
+///
+/// `queue_policy` defaults to [`QueuePolicy::MaxFinalScore`] in the
+/// public API; other policies are accepted for the ablation benches.
+pub fn run_whirlpool_s(
+    ctx: &QueryContext<'_>,
+    routing: &RoutingStrategy,
+    k: usize,
+    queue_policy: QueuePolicy,
+) -> Vec<RankedAnswer> {
+    run_whirlpool_s_batched(ctx, routing, k, queue_policy, 1)
+}
+
+/// Runs Whirlpool-S with *bulk routing* (`batch > 1`): up to `batch`
+/// queued matches that have visited the same server set share one
+/// routing decision. This implements the paper's §6.3.3 future-work
+/// proposal ("performing adaptivity operations 'in bulk', by grouping
+/// tuples based on similarity of scores or nodes, in order to decrease
+/// adaptivity overhead") — grouping by visited-set keeps the decision
+/// applicable to every member, and members are adjacent in the
+/// max-final-score queue, so their scores are similar by construction.
+pub fn run_whirlpool_s_batched(
+    ctx: &QueryContext<'_>,
+    routing: &RoutingStrategy,
+    k: usize,
+    queue_policy: QueuePolicy,
+    batch: usize,
+) -> Vec<RankedAnswer> {
+    let batch = batch.max(1);
+    let offer_partial = ctx.relax == RelaxMode::Relaxed;
+    let full = ctx.full_mask();
+    let mut topk = TopKSet::new(k);
+    let mut queue = MatchQueue::new(queue_policy, None);
+
+    for m in ctx.make_root_matches() {
+        let complete = m.is_complete(full); // single-node patterns
+        if offer_partial || complete {
+            topk.offer_match(&m);
+        }
+        if !complete {
+            queue.push(ctx, m);
+        }
+    }
+
+    let mut exts = Vec::new();
+    let mut group = Vec::new();
+    let mut put_back = Vec::new();
+    while let Some(m) = queue.pop() {
+        // Re-check at pop time: the threshold may have grown since the
+        // match was queued.
+        if topk.should_prune(&m) {
+            ctx.metrics.add_pruned();
+            continue;
+        }
+        debug_assert!(!m.is_complete(full), "complete matches are never queued");
+
+        // Bulk routing: gather queue neighbours with the same visited
+        // set; they all take the group head's routing decision.
+        group.clear();
+        let visited = m.visited;
+        group.push(m);
+        while group.len() < batch {
+            let Some(x) = queue.pop() else { break };
+            if topk.should_prune(&x) {
+                ctx.metrics.add_pruned();
+                continue;
+            }
+            if x.visited == visited {
+                group.push(x);
+            } else {
+                put_back.push(x);
+            }
+        }
+        for x in put_back.drain(..) {
+            queue.push(ctx, x);
+        }
+
+        let server = routing.choose(ctx, &group[0], topk.threshold());
+        for m in group.drain(..) {
+            exts.clear();
+            ctx.process_at_server(server, &m, &mut exts);
+            for e in exts.drain(..) {
+                let complete = e.is_complete(full);
+                if offer_partial || complete {
+                    topk.offer_match(&e);
+                }
+                if complete {
+                    continue;
+                }
+                if topk.should_prune(&e) {
+                    ctx.metrics.add_pruned();
+                    continue;
+                }
+                queue.push(ctx, e);
+            }
+        }
+    }
+
+    topk.ranked()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ContextOptions;
+    use crate::lockstep::{run_lockstep, run_lockstep_noprune};
+    use whirlpool_index::TagIndex;
+    use whirlpool_pattern::{parse_pattern, StaticPlan};
+    use whirlpool_score::{Normalization, TfIdfModel};
+    use whirlpool_xml::parse_document;
+
+    const SRC: &str = "<shelf>\
+        <book><title>t</title><isbn>1</isbn><price>9</price></book>\
+        <book><title>t</title><isbn>2</isbn></book>\
+        <book><title>t</title></book>\
+        <book><extra><title>t</title><price>3</price></extra></book>\
+        <book><name/></book>\
+        <book><isbn>5</isbn><price>1</price></book>\
+        </shelf>";
+
+    fn harness(
+        query: &str,
+        relax: RelaxMode,
+        f: impl FnOnce(&QueryContext<'_>, usize),
+    ) {
+        let doc = parse_document(SRC).unwrap();
+        let index = TagIndex::build(&doc);
+        let pattern = parse_pattern(query).unwrap();
+        let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
+        let ctx = QueryContext::new(
+            &doc,
+            &index,
+            &pattern,
+            &model,
+            ContextOptions { relax, ..Default::default() },
+        );
+        let servers = pattern.server_ids().count();
+        f(&ctx, servers);
+    }
+
+    #[test]
+    fn agrees_with_lockstep_noprune_reference() {
+        let query = "//book[./title and ./isbn and ./price]";
+        for k in [1, 2, 3, 6] {
+            let mut reference = Vec::new();
+            harness(query, RelaxMode::Relaxed, |ctx, servers| {
+                reference =
+                    run_lockstep_noprune(ctx, &StaticPlan::in_id_order(servers), k);
+            });
+            for routing in
+                [RoutingStrategy::MinAlive, RoutingStrategy::MaxScore, RoutingStrategy::MinScore]
+            {
+                harness(query, RelaxMode::Relaxed, |ctx, _| {
+                    let got =
+                        run_whirlpool_s(ctx, &routing, k, QueuePolicy::MaxFinalScore);
+                    assert!(
+                        crate::topk::answers_equivalent(&got, &reference, 1e-9),
+                        "k={k} routing={}: {got:?} vs {reference:?}",
+                        routing.name()
+                    );
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn static_routing_matches_lockstep_answers() {
+        let query = "//book[./title and ./price]";
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        harness(query, RelaxMode::Relaxed, |ctx, servers| {
+            a = run_lockstep(ctx, &StaticPlan::in_id_order(servers), 3, QueuePolicy::MaxFinalScore);
+        });
+        harness(query, RelaxMode::Relaxed, |ctx, servers| {
+            let routing = RoutingStrategy::Static(StaticPlan::in_id_order(servers));
+            b = run_whirlpool_s(ctx, &routing, 3, QueuePolicy::MaxFinalScore);
+        });
+        let sa: Vec<_> = a.iter().map(|r| (r.root, r.score)).collect();
+        let sb: Vec<_> = b.iter().map(|r| (r.root, r.score)).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn exact_mode_agrees_with_lockstep() {
+        let query = "//book[./title and ./isbn]";
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        harness(query, RelaxMode::Exact, |ctx, servers| {
+            a = run_lockstep_noprune(ctx, &StaticPlan::in_id_order(servers), 10);
+        });
+        harness(query, RelaxMode::Exact, |ctx, _| {
+            b = run_whirlpool_s(ctx, &RoutingStrategy::MinAlive, 10, QueuePolicy::MaxFinalScore);
+        });
+        assert_eq!(a.len(), b.len());
+        let sa: Vec<_> = a.iter().map(|r| (r.root, r.score)).collect();
+        let sb: Vec<_> = b.iter().map(|r| (r.root, r.score)).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn pruning_happens_for_small_k() {
+        harness("//book[./title and ./isbn and ./price]", RelaxMode::Relaxed, |ctx, _| {
+            let _ = run_whirlpool_s(ctx, &RoutingStrategy::MinAlive, 1, QueuePolicy::MaxFinalScore);
+            assert!(ctx.metrics.snapshot().pruned > 0);
+        });
+    }
+
+    #[test]
+    fn fifo_queue_still_terminates_with_right_answers() {
+        let query = "//book[./title and ./isbn]";
+        let mut reference = Vec::new();
+        harness(query, RelaxMode::Relaxed, |ctx, servers| {
+            reference = run_lockstep_noprune(ctx, &StaticPlan::in_id_order(servers), 4);
+        });
+        harness(query, RelaxMode::Relaxed, |ctx, _| {
+            let got =
+                run_whirlpool_s(ctx, &RoutingStrategy::MinAlive, 4, QueuePolicy::Fifo);
+            let gs: Vec<_> = got.iter().map(|r| (r.root, r.score)).collect();
+            let rs: Vec<_> = reference.iter().map(|r| (r.root, r.score)).collect();
+            assert_eq!(gs, rs);
+        });
+    }
+}

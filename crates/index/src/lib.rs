@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! Node indexes for structural joins.
+//!
+//! "When a query is executed on an XML document, the document is parsed
+//! and nodes involved in the query are stored in indexes along with
+//! their Dewey encoding" (paper §6.2.1). This crate provides:
+//!
+//! * [`TagIndex`] — per-tag (and per tag+value) postings in document
+//!   order, with O(log n) *descendant range scans*: all nodes with a
+//!   given tag inside a subtree form a contiguous posting range because
+//!   node ids are assigned in pre-order.
+//! * [`ServerSelectivity`] — sampled per-server statistics (candidate
+//!   fanout, exact-match fraction) that the adaptive routing strategies
+//!   use as their cost estimates ("such estimates could be obtained by
+//!   using work on selectivity estimation for XML", §6.1.4).
+
+mod selectivity;
+mod tagindex;
+
+pub use selectivity::{estimate_selectivity, ServerSelectivity};
+pub use tagindex::TagIndex;

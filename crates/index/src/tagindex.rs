@@ -1,0 +1,212 @@
+//! Tag and tag+value postings with subtree range scans.
+
+use std::collections::HashMap;
+use whirlpool_xml::{Document, NodeId, TagId};
+
+/// Postings for every tag (and every `(tag, text value)` pair) of a
+/// document, in document order, plus subtree extents for range scans.
+///
+/// Because [`NodeId`]s are assigned in pre-order, the descendants of a
+/// node `n` are exactly the ids in the half-open interval
+/// `(n, subtree_end(n))`; intersecting that interval with a sorted
+/// posting list is two binary searches.
+pub struct TagIndex {
+    /// `postings[tag]` = node ids with that tag, ascending.
+    postings: Vec<Vec<NodeId>>,
+    /// `(tag, direct text)` postings for value-equality predicates.
+    value_postings: HashMap<(TagId, Box<str>), Vec<NodeId>>,
+    /// `subtree_end[n]` = one past the last descendant of `n`.
+    subtree_end: Vec<u32>,
+}
+
+impl TagIndex {
+    /// Builds the index in two passes over the document.
+    pub fn build(doc: &Document) -> Self {
+        let mut postings: Vec<Vec<NodeId>> = vec![Vec::new(); doc.tags().len()];
+        let mut value_postings: HashMap<(TagId, Box<str>), Vec<NodeId>> = HashMap::new();
+        for id in doc.elements() {
+            let node = doc.node(id);
+            postings[node.tag.index()].push(id);
+            if let Some(text) = &node.text {
+                value_postings.entry((node.tag, text.clone())).or_default().push(id);
+            }
+        }
+
+        // Subtree extents: walk nodes in reverse (children before
+        // parents); a node's extent is the max of its own id+1 and its
+        // last child's extent.
+        let n = doc.len();
+        let mut subtree_end = vec![0u32; n];
+        for id in doc.all_nodes().collect::<Vec<_>>().into_iter().rev() {
+            let mut end = id.index() as u32 + 1;
+            if let Some(last_child) = doc.children(id).last() {
+                end = end.max(subtree_end[last_child.index()]);
+            }
+            subtree_end[id.index()] = end;
+        }
+
+        TagIndex { postings, value_postings, subtree_end }
+    }
+
+    /// All nodes with `tag`, in document order.
+    pub fn nodes_with_tag(&self, tag: TagId) -> &[NodeId] {
+        self.postings.get(tag.index()).map_or(&[], Vec::as_slice)
+    }
+
+    /// All nodes with `tag` whose direct text equals `value`.
+    pub fn nodes_with_tag_value(&self, tag: TagId, value: &str) -> &[NodeId] {
+        self.value_postings.get(&(tag, Box::from(value))).map_or(&[], Vec::as_slice)
+    }
+
+    /// One past the last descendant of `node` in id order.
+    pub fn subtree_end(&self, node: NodeId) -> NodeId {
+        NodeId::from_index(self.subtree_end[node.index()] as usize)
+    }
+
+    /// All proper descendants of `ancestor` (any tag), as the
+    /// contiguous node-id range `(ancestor, subtree_end)`. Wildcard
+    /// node tests scan this directly.
+    pub fn descendants_any(&self, ancestor: NodeId) -> impl Iterator<Item = NodeId> {
+        let start = ancestor.index() as u32 + 1;
+        let end = self.subtree_end[ancestor.index()];
+        (start..end).map(|i| NodeId::from_index(i as usize))
+    }
+
+    /// Number of proper descendants of `ancestor`.
+    pub fn count_descendants_any(&self, ancestor: NodeId) -> usize {
+        (self.subtree_end[ancestor.index()] as usize).saturating_sub(ancestor.index() + 1)
+    }
+
+    /// Nodes with `tag` that are proper descendants of `ancestor`
+    /// — a contiguous slice of the tag's postings.
+    pub fn descendants_with_tag(&self, ancestor: NodeId, tag: TagId) -> &[NodeId] {
+        let list = self.nodes_with_tag(tag);
+        let lo = list.partition_point(|&n| n <= ancestor);
+        let end = self.subtree_end[ancestor.index()];
+        let hi = list.partition_point(|&n| (n.index() as u32) < end);
+        &list[lo..hi]
+    }
+
+    /// Nodes with `tag` and direct text `value` that are proper
+    /// descendants of `ancestor`.
+    pub fn descendants_with_tag_value(
+        &self,
+        ancestor: NodeId,
+        tag: TagId,
+        value: &str,
+    ) -> &[NodeId] {
+        let list = self.nodes_with_tag_value(tag, value);
+        let lo = list.partition_point(|&n| n <= ancestor);
+        let end = self.subtree_end[ancestor.index()];
+        let hi = list.partition_point(|&n| (n.index() as u32) < end);
+        &list[lo..hi]
+    }
+
+    /// Number of `tag` descendants of `ancestor` (no slice materialized
+    /// beyond the two binary searches).
+    pub fn count_descendants_with_tag(&self, ancestor: NodeId, tag: TagId) -> usize {
+        self.descendants_with_tag(ancestor, tag).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whirlpool_xml::parse_document;
+
+    fn doc_and_index(src: &str) -> (Document, TagIndex) {
+        let doc = parse_document(src).unwrap();
+        let index = TagIndex::build(&doc);
+        (doc, index)
+    }
+
+    #[test]
+    fn postings_are_sorted_and_complete() {
+        let (doc, index) = doc_and_index("<a><b/><c><b/><b/></c></a>");
+        let b = doc.tag_id("b").unwrap();
+        let bs = index.nodes_with_tag(b);
+        assert_eq!(bs.len(), 3);
+        assert!(bs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn descendant_scan_matches_naive() {
+        let (doc, index) =
+            doc_and_index("<a><b/><c><b/><d><b/></d></c></a><a><b/></a>");
+        let a_tag = doc.tag_id("a").unwrap();
+        let b_tag = doc.tag_id("b").unwrap();
+        for a in doc.elements().filter(|&n| doc.tag(n) == a_tag) {
+            let scanned: Vec<_> = index.descendants_with_tag(a, b_tag).to_vec();
+            let naive: Vec<_> = doc
+                .descendants_or_self(a)
+                .skip(1)
+                .filter(|&n| doc.tag(n) == b_tag)
+                .collect();
+            assert_eq!(scanned, naive);
+        }
+    }
+
+    #[test]
+    fn self_is_not_its_own_descendant() {
+        let (doc, index) = doc_and_index("<a><a/></a>");
+        let a_tag = doc.tag_id("a").unwrap();
+        let outer = doc.children(doc.document_root()).next().unwrap();
+        let inner: Vec<_> = index.descendants_with_tag(outer, a_tag).to_vec();
+        assert_eq!(inner.len(), 1);
+        assert_ne!(inner[0], outer);
+    }
+
+    #[test]
+    fn value_postings() {
+        let (doc, index) =
+            doc_and_index("<r><t>x</t><t>y</t><s><t>x</t></s></r>");
+        let t = doc.tag_id("t").unwrap();
+        assert_eq!(index.nodes_with_tag_value(t, "x").len(), 2);
+        assert_eq!(index.nodes_with_tag_value(t, "y").len(), 1);
+        assert_eq!(index.nodes_with_tag_value(t, "z").len(), 0);
+        let s = doc.elements().find(|&n| doc.tag_str(n) == "s").unwrap();
+        assert_eq!(index.descendants_with_tag_value(s, t, "x").len(), 1);
+    }
+
+    #[test]
+    fn subtree_end_brackets_descendants() {
+        let (doc, index) = doc_and_index("<a><b><c/><d/></b><e/></a>");
+        let a = doc.children(doc.document_root()).next().unwrap();
+        let b = doc.children(a).next().unwrap();
+        // b's subtree = {b, c, d}; e is outside.
+        let end = index.subtree_end(b);
+        let e = doc.children(a).nth(1).unwrap();
+        assert_eq!(end, e);
+        for n in doc.descendants_or_self(b) {
+            assert!(n < end);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_empty() {
+        let (doc, index) = doc_and_index("<a/>");
+        let a = doc.children(doc.document_root()).next().unwrap();
+        // Interning a tag the index was not built with would be a logic
+        // error; the public API takes TagIds so this can't happen, but
+        // empty postings for an in-range tag must work:
+        let a_tag = doc.tag_id("a").unwrap();
+        assert!(index.descendants_with_tag(a, a_tag).is_empty());
+    }
+
+    #[test]
+    fn large_document_scan_consistency() {
+        let doc = whirlpool_xmark::generate(&whirlpool_xmark::GeneratorConfig::items(100));
+        let index = TagIndex::build(&doc);
+        let item = doc.tag_id("item").unwrap();
+        let parlist = doc.tag_id("parlist").unwrap();
+        for n in index.nodes_with_tag(item).iter().copied().take(25) {
+            let scanned = index.descendants_with_tag(n, parlist).len();
+            let naive = doc
+                .descendants_or_self(n)
+                .skip(1)
+                .filter(|&x| doc.tag(x) == parlist)
+                .count();
+            assert_eq!(scanned, naive);
+        }
+    }
+}

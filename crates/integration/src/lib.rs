@@ -1,0 +1,2 @@
+//! Host package for the repository-root `tests/` integration suites.
+//! See that directory for the tests themselves.

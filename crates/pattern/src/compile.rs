@@ -1,0 +1,217 @@
+//! Server predicate compilation — the paper's Algorithm 1.
+//!
+//! Each non-root query node becomes a *server*. For a partial match
+//! arriving at a server, the server must check predicates relating its
+//! candidate nodes to (a) the match's root node — always instantiated —
+//! and (b) any other instantiated query node related to the server node
+//! in the pattern. Because adaptive routing means "different partial
+//! matches may have gone through different sets of server operations",
+//! the predicates are compiled once per server as *conditional predicate
+//! sequences*: checked only against bound nodes, exact form first, then
+//! the relaxed form.
+
+use crate::ast::{AttrTest, QNodeId, TreePattern, ValueTest};
+use crate::axis::ComposedAxis;
+
+/// Which way a conditional predicate points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// The related query node is an ancestor of the server node in the
+    /// pattern: `axis.holds(other, server_candidate)`.
+    FromAncestor,
+    /// The related query node is a descendant of the server node:
+    /// `axis.holds(server_candidate, other)`.
+    ToDescendant,
+}
+
+/// A predicate between the server's query node and one other query node,
+/// checked only when the other node is instantiated in the partial
+/// match. `exact` is the composition of the original pattern edges; its
+/// relaxation (`ad`) is implied — the evaluation checks exact first,
+/// then relaxed (the paper's "ordered list of predicates (e.g., if not
+/// child, then descendant)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConditionalPredicate {
+    /// The related query node.
+    pub other: QNodeId,
+    /// Whether `other` sits above or below the server node in the
+    /// pattern.
+    pub direction: Direction,
+    /// The composition of the original pattern edges between them.
+    pub exact: ComposedAxis,
+}
+
+/// Everything a server needs to process partial matches (Algorithm 1's
+/// output for one server node).
+#[derive(Debug, Clone)]
+pub struct ServerSpec {
+    /// The query node this server instantiates.
+    pub qnode: QNodeId,
+    /// The node's tag (candidates must carry it; `*` matches any).
+    pub tag: String,
+    /// The node's content predicate, if any.
+    pub value: Option<ValueTest>,
+    /// The node's attribute predicates (all must hold).
+    pub attrs: Vec<AttrTest>,
+    /// The *exact* composed axis from the pattern root to this node
+    /// ("Relaxation_with_rootNode" before relaxation). Its relaxed form
+    /// (`ad`) defines the candidate universe: with subtree promotion and
+    /// edge generalization, any descendant of the root match with the
+    /// right tag can extend the match.
+    pub root_exact: ComposedAxis,
+    /// Conditional predicates against every pattern ancestor/descendant
+    /// of this node (Algorithm 1's loop over "each Node n' in Q").
+    pub conditional: Vec<ConditionalPredicate>,
+}
+
+/// Compiles one [`ServerSpec`] per non-root query node (Algorithm 1 run
+/// for every server).
+pub fn compile_servers(pattern: &TreePattern) -> Vec<ServerSpec> {
+    pattern.server_ids().map(|id| compile_server(pattern, id)).collect()
+}
+
+fn compile_server(pattern: &TreePattern, server: QNodeId) -> ServerSpec {
+    let node = pattern.node(server);
+
+    // getComposition(n, rootNode(Q)): compose edges along root -> n.
+    let root_exact = composition(pattern, QNodeId::ROOT, server)
+        .expect("every query node is reachable from the root");
+
+    let mut conditional = Vec::new();
+    for other in pattern.node_ids() {
+        if other == server {
+            continue;
+        }
+        // if isDescendant(n', n): predicate from the server node down to n'.
+        if pattern.is_pattern_ancestor(server, other) {
+            let exact = composition(pattern, server, other)
+                .expect("pattern ancestor has a path to its descendant");
+            conditional.push(ConditionalPredicate {
+                other,
+                direction: Direction::ToDescendant,
+                exact,
+            });
+        }
+        // if isDescendant(n, n') AND notRoot(n'): predicate from n' down to
+        // the server node (the root is covered by root_exact).
+        if !other.is_root() && pattern.is_pattern_ancestor(other, server) {
+            let exact = composition(pattern, other, server)
+                .expect("pattern ancestor has a path to its descendant");
+            conditional.push(ConditionalPredicate {
+                other,
+                direction: Direction::FromAncestor,
+                exact,
+            });
+        }
+    }
+
+    ServerSpec {
+        qnode: server,
+        tag: node.tag.clone(),
+        value: node.value.clone(),
+        attrs: node.attrs.clone(),
+        root_exact,
+        conditional,
+    }
+}
+
+/// Composes the pattern axes along the path `from -> to` (pattern
+/// ancestor to descendant). `None` if `from` is not an ancestor of `to`.
+pub fn composition(pattern: &TreePattern, from: QNodeId, to: QNodeId) -> Option<ComposedAxis> {
+    let path = pattern.path_between(from, to)?;
+    let axes: Vec<_> = path.iter().map(|(a, _)| *a).collect();
+    ComposedAxis::compose(&axes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Axis;
+    use crate::parse::parse_pattern;
+
+    #[test]
+    fn fig2a_publisher_server() {
+        // The paper's running example (§5.2.1): "the server corresponding
+        // to publisher needs to check predicates of the form
+        // pc(info, publisher) and pc(publisher, name) for the exact
+        // query. ... Allowing for subtree promotion ... would require
+        // checking for the predicate ad(book, publisher)."
+        let q =
+            parse_pattern("/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']")
+                .unwrap();
+        let servers = compile_servers(&q);
+        let publisher = servers.iter().find(|s| s.tag == "publisher").unwrap();
+
+        // Exact root predicate: book/*/publisher (pc ∘ pc); its relaxed
+        // form is the ad(book, publisher) the paper mentions.
+        assert_eq!(publisher.root_exact, ComposedAxis::ChildChain(2));
+        assert_eq!(publisher.root_exact.relaxed(), ComposedAxis::Descendant);
+
+        // Conditional predicates: from info (ancestor) and to name
+        // (descendant), both pc.
+        assert_eq!(publisher.conditional.len(), 2);
+        let from_info = publisher
+            .conditional
+            .iter()
+            .find(|c| c.direction == Direction::FromAncestor)
+            .unwrap();
+        assert_eq!(q.node(from_info.other).tag, "info");
+        assert_eq!(from_info.exact, ComposedAxis::ChildChain(1));
+        let to_name = publisher
+            .conditional
+            .iter()
+            .find(|c| c.direction == Direction::ToDescendant)
+            .unwrap();
+        assert_eq!(q.node(to_name.other).tag, "name");
+        assert_eq!(to_name.exact, ComposedAxis::ChildChain(1));
+    }
+
+    #[test]
+    fn component_predicates_of_def_4_1() {
+        // Definition 4.1's example uses sibling axes we don't model, but
+        // the composition rule it illustrates — a[./c[.//d]] giving
+        // a[.//d] — must hold.
+        let q = parse_pattern("/a[./b and ./c[.//d]]").unwrap();
+        let servers = compile_servers(&q);
+        let d = servers.iter().find(|s| s.tag == "d").unwrap();
+        assert_eq!(d.root_exact, ComposedAxis::Descendant);
+        let b = servers.iter().find(|s| s.tag == "b").unwrap();
+        assert_eq!(b.root_exact, ComposedAxis::ChildChain(1));
+    }
+
+    #[test]
+    fn unrelated_nodes_have_no_conditional_predicates() {
+        let q = parse_pattern("//item[./description/parlist and ./mailbox/mail/text]").unwrap();
+        let servers = compile_servers(&q);
+        let parlist = servers.iter().find(|s| s.tag == "parlist").unwrap();
+        // parlist relates only to description (ancestor); mailbox/mail/
+        // text are in a different branch.
+        assert_eq!(parlist.conditional.len(), 1);
+        assert_eq!(q.node(parlist.conditional[0].other).tag, "description");
+
+        let mail = servers.iter().find(|s| s.tag == "mail").unwrap();
+        let related: Vec<_> =
+            mail.conditional.iter().map(|c| q.node(c.other).tag.as_str()).collect();
+        assert_eq!(related, vec!["mailbox", "text"]);
+    }
+
+    #[test]
+    fn value_predicates_are_carried() {
+        let q = parse_pattern("/book[.//title = 'wodehouse']").unwrap();
+        let servers = compile_servers(&q);
+        assert_eq!(servers[0].value, Some(ValueTest::Eq("wodehouse".into())));
+        assert_eq!(servers[0].root_exact, ComposedAxis::Descendant);
+    }
+
+    #[test]
+    fn every_server_has_root_axis_from_pattern() {
+        let q = parse_pattern("//item[./mailbox/mail/text[./bold and ./keyword]]").unwrap();
+        let servers = compile_servers(&q);
+        let by_tag = |t: &str| servers.iter().find(|s| s.tag == t).unwrap();
+        assert_eq!(by_tag("mailbox").root_exact, ComposedAxis::ChildChain(1));
+        assert_eq!(by_tag("mail").root_exact, ComposedAxis::ChildChain(2));
+        assert_eq!(by_tag("text").root_exact, ComposedAxis::ChildChain(3));
+        assert_eq!(by_tag("bold").root_exact, ComposedAxis::ChildChain(4));
+        let _ = Axis::Child; // silence unused-import lint in some cfgs
+    }
+}

@@ -1,0 +1,127 @@
+//! Static evaluation plans.
+//!
+//! A static plan fixes the order in which every partial match visits the
+//! servers — the paper's baseline ("route each partial match through the
+//! same sequence of servers"). Figures 6 and 7 sweep *all* permutations
+//! of the default query's five servers (120 plans) and report
+//! min/median/max.
+
+use crate::ast::QNodeId;
+
+/// A fixed server visiting order. Must mention each server exactly once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticPlan {
+    order: Vec<QNodeId>,
+}
+
+impl StaticPlan {
+    /// Builds a plan from an explicit order.
+    ///
+    /// # Panics
+    /// Panics if the order contains the pattern root or duplicates.
+    pub fn new(order: Vec<QNodeId>) -> Self {
+        assert!(!order.iter().any(|q| q.is_root()), "plans order servers, not the root");
+        let mut seen = 0u64;
+        for q in &order {
+            assert!(seen & (1 << q.0) == 0, "duplicate server {q:?} in plan");
+            seen |= 1 << q.0;
+        }
+        StaticPlan { order }
+    }
+
+    /// The document-order plan: servers in query-node id order (the
+    /// natural left-deep plan of the paper's §2).
+    pub fn in_id_order(server_count: usize) -> Self {
+        StaticPlan { order: (1..=server_count as u8).map(QNodeId).collect() }
+    }
+
+    /// The visiting order.
+    pub fn order(&self) -> &[QNodeId] {
+        &self.order
+    }
+
+    /// The next unvisited server under this plan, given a visited-set
+    /// bitmask indexed by query-node id.
+    pub fn next_server(&self, visited: u64) -> Option<QNodeId> {
+        self.order.iter().copied().find(|q| visited & (1 << q.0) == 0)
+    }
+}
+
+/// All permutations of `items`, in lexicographic-by-position order.
+/// Sized for plan enumeration (5 servers → 120 plans), not for large n.
+pub fn permutations<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(items.len());
+    let mut used = vec![false; items.len()];
+    permute(items, &mut used, &mut current, &mut out);
+    out
+}
+
+fn permute<T: Clone>(
+    items: &[T],
+    used: &mut [bool],
+    current: &mut Vec<T>,
+    out: &mut Vec<Vec<T>>,
+) {
+    if current.len() == items.len() {
+        out.push(current.clone());
+        return;
+    }
+    for i in 0..items.len() {
+        if !used[i] {
+            used[i] = true;
+            current.push(items[i].clone());
+            permute(items, used, current, out);
+            current.pop();
+            used[i] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_count() {
+        assert_eq!(permutations(&[1]).len(), 1);
+        assert_eq!(permutations(&[1, 2, 3]).len(), 6);
+        // The paper's Figure 6: "all (120) possible permutations" of Q2's
+        // five servers.
+        assert_eq!(permutations(&[1, 2, 3, 4, 5]).len(), 120);
+    }
+
+    #[test]
+    fn permutations_are_distinct() {
+        let perms = permutations(&[1, 2, 3, 4]);
+        let set: std::collections::HashSet<_> = perms.iter().cloned().collect();
+        assert_eq!(set.len(), 24);
+    }
+
+    #[test]
+    fn next_server_follows_order() {
+        let plan = StaticPlan::new(vec![QNodeId(3), QNodeId(1), QNodeId(2)]);
+        assert_eq!(plan.next_server(0), Some(QNodeId(3)));
+        assert_eq!(plan.next_server(1 << 3), Some(QNodeId(1)));
+        assert_eq!(plan.next_server((1 << 3) | (1 << 1)), Some(QNodeId(2)));
+        assert_eq!(plan.next_server((1 << 3) | (1 << 1) | (1 << 2)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicates() {
+        let _ = StaticPlan::new(vec![QNodeId(1), QNodeId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "root")]
+    fn rejects_root() {
+        let _ = StaticPlan::new(vec![QNodeId(0)]);
+    }
+
+    #[test]
+    fn id_order_plan() {
+        let plan = StaticPlan::in_id_order(3);
+        assert_eq!(plan.order(), &[QNodeId(1), QNodeId(2), QNodeId(3)]);
+    }
+}

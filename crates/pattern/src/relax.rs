@@ -1,0 +1,309 @@
+//! Query relaxations (paper §2, following Amer-Yahia/Cho/Srivastava).
+//!
+//! Three relaxations, closed under composition:
+//!
+//! * **edge generalization** — replace a `pc` edge with `ad`;
+//! * **leaf deletion** — make a leaf node optional (in the rewriting
+//!   view: delete the leaf);
+//! * **subtree promotion** — move a subtree from its parent node to its
+//!   grandparent (the edge to the grandparent becomes `ad`).
+//!
+//! "These relaxations capture approximate answers but still guarantee
+//! that exact matches to the original query continue to be matches to
+//! the relaxed query."
+//!
+//! The engine never materializes relaxed queries — it encodes them in
+//! one outer-join plan (see [`crate::compile_servers`]). This module
+//! provides the *rewriting-based* definition so tests can verify the
+//! plan encoding agrees with it, and so callers can explore the
+//! relaxation space (`examples/relaxation_explorer.rs`).
+
+use crate::ast::{Axis, QNodeId, TreePattern};
+use std::collections::{HashSet, VecDeque};
+
+/// One applicable relaxation step at a specific query node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relaxation {
+    /// Replace the `pc` edge above `node` with `ad`.
+    EdgeGeneralization(QNodeId),
+    /// Delete the leaf `node`.
+    LeafDeletion(QNodeId),
+    /// Re-hang `node` (and its subtree) under its grandparent with `ad`.
+    SubtreePromotion(QNodeId),
+}
+
+/// All single-step relaxations applicable to `pattern`.
+pub fn applicable(pattern: &TreePattern) -> Vec<Relaxation> {
+    let mut out = Vec::new();
+    for id in pattern.node_ids().skip(1) {
+        let node = pattern.node(id);
+        if node.axis == Axis::Child {
+            out.push(Relaxation::EdgeGeneralization(id));
+        }
+        if node.children.is_empty() {
+            out.push(Relaxation::LeafDeletion(id));
+        }
+        if let Some(parent) = node.parent {
+            if !parent.is_root() {
+                out.push(Relaxation::SubtreePromotion(id));
+            }
+        }
+    }
+    out
+}
+
+/// Applies one relaxation, returning the relaxed pattern. Returns `None`
+/// if the relaxation is not applicable (wrong axis, non-leaf deletion,
+/// no grandparent, or deleting would leave the pattern without the
+/// target node's subtree intact).
+pub fn apply(pattern: &TreePattern, relaxation: Relaxation) -> Option<TreePattern> {
+    match relaxation {
+        Relaxation::EdgeGeneralization(id) => {
+            if id.is_root() || pattern.node(id).axis != Axis::Child {
+                return None;
+            }
+            let mut out = clone_nodes(pattern);
+            out[id.index()].2 = Axis::Descendant;
+            Some(rebuild(pattern, &out, None))
+        }
+        Relaxation::LeafDeletion(id) => {
+            if id.is_root() || !pattern.node(id).children.is_empty() {
+                return None;
+            }
+            let out = clone_nodes(pattern);
+            Some(rebuild(pattern, &out, Some(id)))
+        }
+        Relaxation::SubtreePromotion(id) => {
+            let parent = pattern.node(id).parent?;
+            if parent.is_root() {
+                return None;
+            }
+            let grandparent = pattern.node(parent).parent?;
+            let mut out = clone_nodes(pattern);
+            out[id.index()].1 = Some(grandparent);
+            out[id.index()].2 = Axis::Descendant;
+            Some(rebuild(pattern, &out, None))
+        }
+    }
+}
+
+/// `(tag, parent, axis, value, attrs)` working representation for
+/// rewrites.
+type WorkNode = (
+    String,
+    Option<QNodeId>,
+    Axis,
+    Option<crate::ast::ValueTest>,
+    Vec<crate::ast::AttrTest>,
+);
+
+fn clone_nodes(pattern: &TreePattern) -> Vec<WorkNode> {
+    pattern
+        .node_ids()
+        .map(|id| {
+            let n = pattern.node(id);
+            (n.tag.clone(), n.parent, n.axis, n.value.clone(), n.attrs.clone())
+        })
+        .collect()
+}
+
+/// Rebuilds a `TreePattern` from the working representation, optionally
+/// skipping one (leaf) node.
+fn rebuild(original: &TreePattern, nodes: &[WorkNode], skip: Option<QNodeId>) -> TreePattern {
+    let mut out = TreePattern::new(nodes[0].0.clone(), nodes[0].2);
+    for attr in &nodes[0].4 {
+        out.add_attr_test(QNodeId::ROOT, attr.clone());
+    }
+    // Old id -> new id.
+    let mut map: Vec<Option<QNodeId>> = vec![None; nodes.len()];
+    map[0] = Some(QNodeId::ROOT);
+    // Insert in an order where parents come first. Subtree promotion can
+    // only move a node to an *ancestor*, so original insertion order
+    // (parents before children) still works.
+    for id in original.node_ids().skip(1) {
+        if Some(id) == skip {
+            continue;
+        }
+        let (tag, parent, axis, value, attrs) = &nodes[id.index()];
+        let new_parent = map[parent.expect("non-root has parent").index()]
+            .expect("parent inserted before child");
+        let new_id = out.add_node(new_parent, *axis, tag.clone(), value.clone());
+        for attr in attrs {
+            out.add_attr_test(new_id, attr.clone());
+        }
+        map[id.index()] = Some(new_id);
+    }
+    out
+}
+
+/// Enumerates the closure of relaxations of `pattern` (including the
+/// pattern itself), deduplicated by canonical form, up to `limit`
+/// patterns. The paper cites the exponential size of this set as the
+/// reason to prefer plan-encoded relaxation; the limit keeps exploration
+/// bounded.
+pub fn enumerate(pattern: &TreePattern, limit: usize) -> Vec<TreePattern> {
+    let mut seen = HashSet::new();
+    let mut queue = VecDeque::new();
+    let mut out = Vec::new();
+    seen.insert(pattern.canonical_form());
+    queue.push_back(pattern.clone());
+    while let Some(p) = queue.pop_front() {
+        out.push(p.clone());
+        if out.len() >= limit {
+            break;
+        }
+        for r in applicable(&p) {
+            if let Some(relaxed) = apply(&p, r) {
+                let key = relaxed.canonical_form();
+                if seen.insert(key) {
+                    queue.push_back(relaxed);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The *fully relaxed* pattern: every node hangs directly under the root
+/// with an `ad` edge, every node optional — the weakest query whose
+/// exact matches are the engine's candidate universe. Returned here as
+/// the flattened (non-optional) pattern; optionality is an evaluation
+/// concern.
+pub fn fully_relaxed(pattern: &TreePattern) -> TreePattern {
+    let root = pattern.node(QNodeId::ROOT);
+    let mut out = TreePattern::new(root.tag.clone(), root.axis);
+    for attr in &root.attrs {
+        out.add_attr_test(QNodeId::ROOT, attr.clone());
+    }
+    for id in pattern.node_ids().skip(1) {
+        let n = pattern.node(id);
+        let new_id =
+            out.add_node(QNodeId::ROOT, Axis::Descendant, n.tag.clone(), n.value.clone());
+        for attr in &n.attrs {
+            out.add_attr_test(new_id, attr.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_pattern;
+
+    /// Figure 2(a): /book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']
+    fn fig2a() -> TreePattern {
+        parse_pattern("/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']").unwrap()
+    }
+
+    #[test]
+    fn edge_generalization_produces_fig2b() {
+        // Figure 2(b) = 2(a) with edge generalization on (book, title).
+        let q = fig2a();
+        let title = q.node_ids().find(|&id| q.node(id).tag == "title").unwrap();
+        let relaxed = apply(&q, Relaxation::EdgeGeneralization(title)).unwrap();
+        let expected =
+            parse_pattern("/book[.//title = 'wodehouse' and ./info/publisher/name = 'psmith']")
+                .unwrap();
+        assert_eq!(relaxed.canonical_form(), expected.canonical_form());
+    }
+
+    #[test]
+    fn fig2c_by_composition() {
+        // Figure 2(c) = subtree promotion (publisher) ∘ leaf deletion
+        // (info) ∘ edge generalization (book, title).
+        let q = fig2a();
+        let publisher = q.node_ids().find(|&id| q.node(id).tag == "publisher").unwrap();
+        let step1 = apply(&q, Relaxation::SubtreePromotion(publisher)).unwrap();
+        let info = step1.node_ids().find(|&id| step1.node(id).tag == "info").unwrap();
+        let step2 = apply(&step1, Relaxation::LeafDeletion(info)).unwrap();
+        let title = step2.node_ids().find(|&id| step2.node(id).tag == "title").unwrap();
+        let step3 = apply(&step2, Relaxation::EdgeGeneralization(title)).unwrap();
+
+        let expected =
+            parse_pattern("/book[.//title = 'wodehouse' and .//publisher/name = 'psmith']")
+                .unwrap();
+        assert_eq!(step3.canonical_form(), expected.canonical_form());
+    }
+
+    #[test]
+    fn fig2d_by_further_deletion() {
+        // Figure 2(d) = 2(c) + leaf deletion on name then publisher.
+        let fig2c =
+            parse_pattern("/book[.//title = 'wodehouse' and .//publisher/name = 'psmith']")
+                .unwrap();
+        let name = fig2c.node_ids().find(|&id| fig2c.node(id).tag == "name").unwrap();
+        let step1 = apply(&fig2c, Relaxation::LeafDeletion(name)).unwrap();
+        let publisher = step1.node_ids().find(|&id| step1.node(id).tag == "publisher").unwrap();
+        let step2 = apply(&step1, Relaxation::LeafDeletion(publisher)).unwrap();
+        let expected = parse_pattern("/book[.//title = 'wodehouse']").unwrap();
+        assert_eq!(step2.canonical_form(), expected.canonical_form());
+    }
+
+    #[test]
+    fn leaf_deletion_requires_a_leaf() {
+        let q = fig2a();
+        let info = q.node_ids().find(|&id| q.node(id).tag == "info").unwrap();
+        assert_eq!(apply(&q, Relaxation::LeafDeletion(info)), None);
+    }
+
+    #[test]
+    fn edge_generalization_requires_pc() {
+        let q = parse_pattern("//item[.//text]").unwrap();
+        let text = QNodeId(1);
+        assert_eq!(apply(&q, Relaxation::EdgeGeneralization(text)), None);
+    }
+
+    #[test]
+    fn promotion_requires_grandparent() {
+        let q = parse_pattern("//item[./name]").unwrap();
+        let name = QNodeId(1);
+        assert_eq!(apply(&q, Relaxation::SubtreePromotion(name)), None);
+    }
+
+    #[test]
+    fn promotion_carries_subtree() {
+        let q = parse_pattern("/a[./b/c[./d and ./e]]").unwrap();
+        let c = q.node_ids().find(|&id| q.node(id).tag == "c").unwrap();
+        let relaxed = apply(&q, Relaxation::SubtreePromotion(c)).unwrap();
+        let expected = parse_pattern("/a[./b and .//c[./d and ./e]]").unwrap();
+        assert_eq!(relaxed.canonical_form(), expected.canonical_form());
+    }
+
+    #[test]
+    fn enumerate_dedups_and_includes_original() {
+        let q = parse_pattern("//item[./description/parlist]").unwrap();
+        let all = enumerate(&q, 1000);
+        assert_eq!(all[0].canonical_form(), q.canonical_form());
+        let forms: HashSet<_> = all.iter().map(|p| p.canonical_form()).collect();
+        assert_eq!(forms.len(), all.len(), "no duplicates");
+        // Q1 relaxations include the single-node //item pattern.
+        assert!(forms.contains(&parse_pattern("//item").unwrap().canonical_form()));
+    }
+
+    #[test]
+    fn closure_grows_quickly_with_query_size() {
+        // The paper's motivation for plan-relaxation: "the exponential
+        // number of relaxed queries".
+        let q1 = enumerate(&parse_pattern("//item[./description/parlist]").unwrap(), 10_000);
+        let q2 = enumerate(
+            &parse_pattern("//item[./description/parlist and ./mailbox/mail/text]").unwrap(),
+            10_000,
+        );
+        assert!(q2.len() > q1.len() * 3, "q1={} q2={}", q1.len(), q2.len());
+    }
+
+    #[test]
+    fn fully_relaxed_flattens() {
+        let q = fig2a();
+        let flat = fully_relaxed(&q);
+        assert_eq!(flat.len(), q.len());
+        for id in flat.node_ids().skip(1) {
+            assert_eq!(flat.node(id).parent, Some(QNodeId::ROOT));
+            assert_eq!(flat.node(id).axis, Axis::Descendant);
+        }
+        // Value tests survive relaxation.
+        let title = flat.node_ids().find(|&id| flat.node(id).tag == "title").unwrap();
+        assert!(flat.node(title).value.is_some());
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests for the query model: parser/printer
+//! round-trips, relaxation laws, and Algorithm-1 compilation
+//! invariants.
+
+use proptest::prelude::*;
+use whirlpool_pattern::relax::{self, Relaxation};
+use whirlpool_pattern::{
+    compile_servers, parse_pattern, Axis, ComposedAxis, Direction, QNodeId, TreePattern,
+};
+
+const TAGS: [&str; 5] = ["item", "name", "text", "bold", "keyword"];
+
+#[derive(Debug, Clone)]
+struct QNode {
+    tag: usize,
+    axis: bool,
+    children: Vec<QNode>,
+}
+
+fn query_strategy() -> impl Strategy<Value = QNode> {
+    let leaf = (0usize..TAGS.len(), any::<bool>())
+        .prop_map(|(tag, axis)| QNode { tag, axis, children: vec![] });
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        (0usize..TAGS.len(), any::<bool>(), prop::collection::vec(inner, 0..3))
+            .prop_map(|(tag, axis, children)| QNode { tag, axis, children })
+    })
+}
+
+fn build(q: &QNode) -> TreePattern {
+    fn rec(q: &QNode, parent: QNodeId, p: &mut TreePattern) {
+        let axis = if q.axis { Axis::Descendant } else { Axis::Child };
+        let id = p.add_node(parent, axis, TAGS[q.tag], None);
+        for c in &q.children {
+            rec(c, id, p);
+        }
+    }
+    let mut p = TreePattern::new(TAGS[q.tag], if q.axis { Axis::Descendant } else { Axis::Child });
+    for c in &q.children {
+        rec(c, QNodeId::ROOT, &mut p);
+    }
+    p
+}
+
+proptest! {
+    /// Display → parse preserves the canonical form for any pattern.
+    #[test]
+    fn display_parse_roundtrip(q in query_strategy()) {
+        let pattern = build(&q);
+        let printed = pattern.to_string();
+        let reparsed = parse_pattern(&printed)
+            .unwrap_or_else(|e| panic!("cannot reparse {printed:?}: {e}"));
+        prop_assert_eq!(pattern.canonical_form(), reparsed.canonical_form());
+    }
+
+    /// Every applicable relaxation applies, changes the canonical form,
+    /// and never grows the pattern.
+    #[test]
+    fn applicable_relaxations_apply(q in query_strategy()) {
+        let pattern = build(&q);
+        for r in relax::applicable(&pattern) {
+            let relaxed = relax::apply(&pattern, r);
+            prop_assert!(relaxed.is_some(), "applicable {r:?} did not apply");
+            let relaxed = relaxed.unwrap();
+            prop_assert!(relaxed.len() <= pattern.len());
+            prop_assert_ne!(relaxed.canonical_form(), pattern.canonical_form());
+            match r {
+                Relaxation::LeafDeletion(_) => {
+                    prop_assert_eq!(relaxed.len(), pattern.len() - 1)
+                }
+                _ => prop_assert_eq!(relaxed.len(), pattern.len()),
+            }
+        }
+    }
+
+    /// Relaxation weakens: once fully relaxed, every edge is an
+    /// ancestor-descendant edge from the root, and repeated relaxation
+    /// of edges reaches that fixpoint for edge generalization.
+    #[test]
+    fn fully_relaxed_is_a_fixpoint(q in query_strategy()) {
+        let pattern = build(&q);
+        let flat = relax::fully_relaxed(&pattern);
+        // No edge generalization or subtree promotion applies to the
+        // flattened pattern (all edges are already root-level ad).
+        for r in relax::applicable(&flat) {
+            prop_assert!(
+                matches!(r, Relaxation::LeafDeletion(_)),
+                "non-deletion relaxation {r:?} still applicable to {flat}"
+            );
+        }
+    }
+
+    /// Algorithm 1 invariants: every server's root predicate composes
+    /// the axes along the pattern path (Descendant iff any edge on the
+    /// path is Descendant, exact depth otherwise), and conditional
+    /// predicates pair up: if server j lists i as an ancestor, server i
+    /// lists j as a descendant with the same composed axis.
+    #[test]
+    fn compiled_servers_are_consistent(q in query_strategy()) {
+        let pattern = build(&q);
+        let servers = compile_servers(&pattern);
+        prop_assert_eq!(servers.len(), pattern.len() - 1);
+
+        for spec in &servers {
+            // Root predicate vs a manual composition.
+            let path = pattern.path_between(QNodeId::ROOT, spec.qnode).unwrap();
+            let any_descendant = path.iter().any(|(a, _)| *a == Axis::Descendant);
+            match spec.root_exact {
+                ComposedAxis::Descendant => prop_assert!(any_descendant),
+                ComposedAxis::ChildChain(n) => {
+                    prop_assert!(!any_descendant);
+                    prop_assert_eq!(n as usize, path.len());
+                }
+            }
+
+            // Pairing of conditional predicates.
+            for cp in &spec.conditional {
+                if cp.other.is_root() {
+                    prop_assert_eq!(cp.direction, Direction::FromAncestor);
+                    continue;
+                }
+                let other_spec =
+                    servers.iter().find(|s| s.qnode == cp.other).expect("server exists");
+                let mirrored = other_spec
+                    .conditional
+                    .iter()
+                    .find(|mc| mc.other == spec.qnode)
+                    .expect("conditional predicates pair up");
+                prop_assert_ne!(mirrored.direction, cp.direction);
+                prop_assert_eq!(mirrored.exact, cp.exact);
+            }
+        }
+    }
+
+    /// The canonical form is invariant under shuffling sibling order at
+    /// build time.
+    #[test]
+    fn canonical_form_is_order_invariant(q in query_strategy()) {
+        let pattern = build(&q);
+        let mut reversed = q.clone();
+        fn rev(n: &mut QNode) {
+            n.children.reverse();
+            for c in &mut n.children {
+                rev(c);
+            }
+        }
+        rev(&mut reversed);
+        let pattern_rev = build(&reversed);
+        prop_assert_eq!(pattern.canonical_form(), pattern_rev.canonical_form());
+    }
+}
+
+proptest! {
+    /// The query parser never panics: any input either parses or
+    /// returns a positioned error.
+    #[test]
+    fn parser_never_panics(input in ".{0,60}") {
+        let _ = parse_pattern(&input);
+    }
+
+    /// Inputs built from query-language fragments stress the grammar
+    /// corners harder than uniform strings.
+    #[test]
+    fn parser_never_panics_on_fragment_soup(
+        parts in prop::collection::vec(
+            prop::sample::select(vec![
+                "/", "//", "[", "]", ".", "./", ".//", "and", "item", "*",
+                "@", "@id", "=", "'v'", "\"w\"", " ", "a", "-", ":",
+            ]),
+            0..14,
+        )
+    ) {
+        let input: String = parts.concat();
+        let _ = parse_pattern(&input);
+    }
+}

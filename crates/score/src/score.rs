@@ -1,0 +1,100 @@
+//! Totally-ordered score values.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A non-NaN score with a total order, usable as a priority-queue key.
+///
+/// Scores in this system are finite and non-negative by construction
+/// (sums of `idf · tf` terms); `Score` still orders any finite value via
+/// `f64::total_cmp` and refuses NaN at construction in debug builds.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Score(f64);
+
+impl Score {
+    /// The zero score.
+    pub const ZERO: Score = Score(0.0);
+
+    /// Wraps a score value (rejects NaN in debug builds).
+    pub fn new(value: f64) -> Self {
+        debug_assert!(!value.is_nan(), "NaN score");
+        Score(value)
+    }
+
+    /// The underlying value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Saturating-at-finite addition.
+    pub fn plus(self, other: f64) -> Score {
+        Score::new(self.0 + other)
+    }
+
+    /// The larger of the two scores.
+    pub fn max(self, other: Score) -> Score {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl From<f64> for Score {
+    fn from(v: f64) -> Self {
+        Score::new(v)
+    }
+}
+
+impl Eq for Score {}
+
+impl PartialOrd for Score {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Score {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl fmt::Debug for Score {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Score({:.4})", self.0)
+    }
+}
+
+impl fmt::Display for Score {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![Score::new(0.5), Score::new(-1.0), Score::ZERO, Score::new(2.0)];
+        v.sort();
+        assert_eq!(v, vec![Score::new(-1.0), Score::ZERO, Score::new(0.5), Score::new(2.0)]);
+    }
+
+    #[test]
+    fn plus_and_max() {
+        assert_eq!(Score::new(1.0).plus(0.5), Score::new(1.5));
+        assert_eq!(Score::new(1.0).max(Score::new(2.0)), Score::new(2.0));
+        assert_eq!(Score::new(3.0).max(Score::new(2.0)), Score::new(3.0));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        let _ = Score::new(f64::NAN);
+    }
+}

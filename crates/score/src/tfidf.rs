@@ -1,0 +1,254 @@
+//! The literal XML tf*idf of paper §4.
+//!
+//! Given an XPath query `Q` with answer node `q0` and other nodes `qi`:
+//!
+//! * **Component predicates** (Def. 4.1): `P_Q = { p(q0, qi) }`, where
+//!   `p` composes the axes along the pattern path from `q0` to `qi`,
+//!   plus the root's own `q0[parent::doc-root]`-style predicate.
+//! * **idf** (Def. 4.2): `log(|{n : tag(n)=q0}| / |{n : tag(n)=q0 ∧
+//!   ∃n'. tag(n')=qi ∧ p(n,n')}|)` — the fewer `q0` nodes satisfy the
+//!   predicate, the larger its idf.
+//! * **tf** (Def. 4.3): `|{n' : tag(n')=qi ∧ p(n,n')}|` — the number of
+//!   distinct ways a candidate answer satisfies the predicate.
+//! * **Score** (Def. 4.4): `Σ_i idf(p_i, D) · tf(p_i, n)`.
+//!
+//! Value-labelled leaves (`title (wodehouse)`) fold the value test into
+//! the predicate: only nodes passing it count for idf and tf.
+
+use whirlpool_index::TagIndex;
+use whirlpool_pattern::{AttrTest, ComposedAxis, QNodeId, TreePattern, ValueTest, WILDCARD};
+use whirlpool_xml::{Document, NodeId};
+
+/// One component predicate `p(q0, qi)` of a query.
+#[derive(Debug, Clone)]
+pub struct ComponentPredicate {
+    /// The query node `qi` (never the root).
+    pub qnode: QNodeId,
+    /// The composed axis from the returned node down to `qi`.
+    pub axis: ComposedAxis,
+    /// `qi`'s tag (`*` matches any).
+    pub tag: String,
+    /// `qi`'s value test, if any.
+    pub value: Option<ValueTest>,
+    /// `qi`'s attribute predicates.
+    pub attrs: Vec<AttrTest>,
+}
+
+/// Extracts the component predicates of a pattern (Definition 4.1),
+/// one per non-root query node, in query-node order.
+pub fn component_predicates(pattern: &TreePattern) -> Vec<ComponentPredicate> {
+    whirlpool_pattern::compile_servers(pattern)
+        .into_iter()
+        .map(|s| ComponentPredicate {
+            qnode: s.qnode,
+            axis: s.root_exact,
+            tag: s.tag,
+            value: s.value,
+            attrs: s.attrs,
+        })
+        .collect()
+}
+
+/// Does node `n'` (candidate for `qi`) satisfy the predicate against
+/// answer candidate `n`, including the value test?
+fn satisfies(doc: &Document, pred: &ComponentPredicate, n: NodeId, n_prime: NodeId) -> bool {
+    pred.axis.holds(doc.dewey(n), doc.dewey(n_prime))
+        && pred.value.as_ref().map_or(true, |v| v.matches(doc.text(n_prime)))
+        && pred.attrs.iter().all(|a| a.matches(doc.attribute(n_prime, &a.name)))
+}
+
+/// Candidate `qi` nodes under `n` for a predicate: the tag's posting
+/// range, or every descendant for a wildcard.
+fn candidates_under(
+    doc: &Document,
+    index: &TagIndex,
+    pred: &ComponentPredicate,
+    n: NodeId,
+) -> Vec<NodeId> {
+    if pred.tag == WILDCARD {
+        index.descendants_any(n).collect()
+    } else {
+        match doc.tag_id(&pred.tag) {
+            Some(tag) => index.descendants_with_tag(n, tag).to_vec(),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Definition 4.3: the number of distinct `qi` nodes satisfying
+/// `p(n, ·)`.
+pub fn tf(doc: &Document, index: &TagIndex, pred: &ComponentPredicate, n: NodeId) -> usize {
+    candidates_under(doc, index, pred, n)
+        .into_iter()
+        .filter(|&c| satisfies(doc, pred, n, c))
+        .count()
+}
+
+/// Definition 4.2: `log(N_q0 / N_satisfying)`, computed over all nodes
+/// with the answer tag. When no node satisfies the predicate the
+/// denominator is taken as 1 (maximal idf), keeping the value finite.
+pub fn idf(
+    doc: &Document,
+    index: &TagIndex,
+    answer_tag: &str,
+    pred: &ComponentPredicate,
+) -> f64 {
+    let q0_nodes: Vec<NodeId> = if answer_tag == WILDCARD {
+        doc.elements().collect()
+    } else {
+        match doc.tag_id(answer_tag) {
+            Some(tag) => index.nodes_with_tag(tag).to_vec(),
+            None => return 0.0,
+        }
+    };
+    if q0_nodes.is_empty() {
+        return 0.0;
+    }
+    let satisfying = q0_nodes
+        .iter()
+        .filter(|&&n| {
+            candidates_under(doc, index, pred, n)
+                .into_iter()
+                .any(|c| satisfies(doc, pred, n, c))
+        })
+        .count();
+    (q0_nodes.len() as f64 / satisfying.max(1) as f64).ln()
+}
+
+/// Definition 4.4: the full tf*idf score of answer `n`.
+///
+/// This is the *reference* scorer — the engines use the incremental
+/// [`crate::ScoreModel`] instead, which this function validates against
+/// in tests.
+pub fn score_answer(
+    doc: &Document,
+    index: &TagIndex,
+    pattern: &TreePattern,
+    n: NodeId,
+) -> f64 {
+    let answer_tag = &pattern.node(pattern.root()).tag;
+    component_predicates(pattern)
+        .iter()
+        .map(|pred| idf(doc, index, answer_tag, pred) * tf(doc, index, pred, n) as f64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whirlpool_pattern::parse_pattern;
+    use whirlpool_xml::parse_document;
+
+    fn setup(src: &str) -> (Document, TagIndex) {
+        let doc = parse_document(src).unwrap();
+        let index = TagIndex::build(&doc);
+        (doc, index)
+    }
+
+    fn books() -> (Document, TagIndex) {
+        // Four books; only some have an isbn / a price.
+        setup(
+            "<shelf>\
+             <book><title>wodehouse</title><isbn>1</isbn><price>9</price></book>\
+             <book><title>tolkien</title><isbn>2</isbn></book>\
+             <book><title>wodehouse</title></book>\
+             <book><info><title>austen</title></info></book>\
+             </shelf>",
+        )
+    }
+
+    #[test]
+    fn idf_rewards_selective_predicates() {
+        let (doc, index) = books();
+        let q = parse_pattern("//book[./title and ./isbn and ./price]").unwrap();
+        let preds = component_predicates(&q);
+        let idf_title = idf(&doc, &index, "book", &preds[0]);
+        let idf_isbn = idf(&doc, &index, "book", &preds[1]);
+        let idf_price = idf(&doc, &index, "book", &preds[2]);
+        // title (3/4 books) < isbn (2/4) < price (1/4).
+        assert!(idf_title < idf_isbn && idf_isbn < idf_price);
+        assert!((idf_title - (4.0f64 / 3.0).ln()).abs() < 1e-12);
+        assert!((idf_price - 4.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idf_of_never_satisfied_predicate_is_maximal_and_finite() {
+        let (doc, index) = books();
+        let q = parse_pattern("//book[./nosuch]").unwrap();
+        let preds = component_predicates(&q);
+        let v = idf(&doc, &index, "book", &preds[0]);
+        assert!((v - 4.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relaxed_predicate_has_smaller_idf() {
+        // The engine's score ordering (exact > relaxed) falls out of
+        // Definition 4.2: the relaxed predicate is satisfied by at least
+        // as many nodes, so its idf is no larger.
+        let (doc, index) = books();
+        let exact = component_predicates(&parse_pattern("//book[./title]").unwrap());
+        let relaxed = component_predicates(&parse_pattern("//book[.//title]").unwrap());
+        let idf_exact = idf(&doc, &index, "book", &exact[0]);
+        let idf_relaxed = idf(&doc, &index, "book", &relaxed[0]);
+        assert!(idf_relaxed < idf_exact, "{idf_relaxed} vs {idf_exact}");
+    }
+
+    #[test]
+    fn tf_counts_distinct_witnesses() {
+        let (doc, index) = setup(
+            "<shelf><book><title>a</title><title>b</title></book><book><title>c</title></book></shelf>",
+        );
+        let q = parse_pattern("//book[./title]").unwrap();
+        let preds = component_predicates(&q);
+        let book_tag = doc.tag_id("book").unwrap();
+        let books: Vec<_> = index.nodes_with_tag(book_tag).to_vec();
+        assert_eq!(tf(&doc, &index, &preds[0], books[0]), 2);
+        assert_eq!(tf(&doc, &index, &preds[0], books[1]), 1);
+    }
+
+    #[test]
+    fn value_tests_restrict_idf_and_tf() {
+        let (doc, index) = books();
+        let q = parse_pattern("//book[./title = 'wodehouse']").unwrap();
+        let preds = component_predicates(&q);
+        // Only 2 of 4 books have a wodehouse title as a child.
+        let v = idf(&doc, &index, "book", &preds[0]);
+        assert!((v - 2.0f64.ln()).abs() < 1e-12);
+        let book_tag = doc.tag_id("book").unwrap();
+        let books_nodes: Vec<_> = index.nodes_with_tag(book_tag).to_vec();
+        assert_eq!(tf(&doc, &index, &preds[0], books_nodes[0]), 1);
+        assert_eq!(tf(&doc, &index, &preds[0], books_nodes[1]), 0);
+    }
+
+    #[test]
+    fn score_answer_orders_richer_matches_higher() {
+        let (doc, index) = books();
+        let q = parse_pattern("//book[./title and ./isbn and ./price]").unwrap();
+        let book_tag = doc.tag_id("book").unwrap();
+        let books_nodes: Vec<_> = index.nodes_with_tag(book_tag).to_vec();
+        let scores: Vec<f64> =
+            books_nodes.iter().map(|&b| score_answer(&doc, &index, &q, b)).collect();
+        // Book 0 satisfies all three predicates; book 1 two; book 2 one;
+        // book 3 none (title is a grandchild, not a child).
+        assert!(scores[0] > scores[1]);
+        assert!(scores[1] > scores[2]);
+        assert!(scores[2] > scores[3]);
+        assert_eq!(scores[3], 0.0);
+    }
+
+    #[test]
+    fn composed_axis_predicates_score_descendants() {
+        let (doc, index) = books();
+        let q = parse_pattern("//book[.//title]").unwrap();
+        let book_tag = doc.tag_id("book").unwrap();
+        let books_nodes: Vec<_> = index.nodes_with_tag(book_tag).to_vec();
+        // Book 3's title is under info — satisfied by the ad predicate
+        // (tf = 1). Note the *idf* of this predicate is 0 here: every
+        // book satisfies it, so per Definition 4.2 it carries no
+        // discriminating power and the score is 0.
+        let preds = component_predicates(&q);
+        assert_eq!(tf(&doc, &index, &preds[0], books_nodes[3]), 1);
+        assert_eq!(idf(&doc, &index, "book", &preds[0]), 0.0);
+        assert_eq!(score_answer(&doc, &index, &q, books_nodes[3]), 0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based round-trip tests for the binary store.
+
+use proptest::prelude::*;
+use whirlpool_store::{read_store, write_store};
+use whirlpool_xml::{write_document, DocumentBuilder, WriteOptions};
+
+const TAGS: [&str; 6] = ["a", "b", "c", "item", "text", "name"];
+
+#[derive(Debug, Clone)]
+struct Tree {
+    tag: usize,
+    text: Option<String>,
+    attrs: Vec<(usize, String)>,
+    children: Vec<Tree>,
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let attr = (0usize..TAGS.len(), "[a-z0-9 ]{0,8}");
+    let leaf = (
+        0usize..TAGS.len(),
+        prop::option::of("[a-z <>&\"0-9]{0,12}"),
+        prop::collection::vec(attr.clone(), 0..2),
+    )
+        .prop_map(|(tag, text, attrs)| Tree { tag, text, attrs, children: vec![] });
+    leaf.prop_recursive(4, 40, 4, move |inner| {
+        (
+            0usize..TAGS.len(),
+            prop::option::of("[a-z <>&\"0-9]{0,12}"),
+            prop::collection::vec((0usize..TAGS.len(), "[a-z0-9 ]{0,8}"), 0..2),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(tag, text, attrs, children)| Tree { tag, text, attrs, children })
+    })
+}
+
+fn build(tree: &Tree, b: &mut DocumentBuilder) {
+    b.open(TAGS[tree.tag]);
+    // Attribute names must be unique per element; dedup by tag index.
+    let mut used = [false; TAGS.len()];
+    for (name, value) in &tree.attrs {
+        if !used[*name] {
+            used[*name] = true;
+            b.attribute(TAGS[*name], value);
+        }
+    }
+    if let Some(t) = &tree.text {
+        b.text(t);
+    }
+    for c in &tree.children {
+        build(c, b);
+    }
+    b.close();
+}
+
+proptest! {
+    /// write → read is lossless for arbitrary documents (checked via
+    /// canonical XML serialization and Dewey identity).
+    #[test]
+    fn store_roundtrip_is_lossless(trees in prop::collection::vec(tree_strategy(), 1..4)) {
+        let mut builder = DocumentBuilder::new();
+        for t in &trees {
+            build(t, &mut builder);
+        }
+        let doc = builder.finish();
+
+        let mut buf = Vec::new();
+        write_store(&doc, &mut buf).unwrap();
+        let reloaded = read_store(&mut buf.as_slice()).unwrap();
+
+        let opts = WriteOptions::default();
+        prop_assert_eq!(write_document(&doc, &opts), write_document(&reloaded, &opts));
+        prop_assert_eq!(doc.len(), reloaded.len());
+        for id in doc.elements() {
+            prop_assert_eq!(doc.dewey(id), reloaded.dewey(id));
+        }
+    }
+
+    /// Truncating a valid store anywhere always fails cleanly (no
+    /// panic, no silent partial document).
+    #[test]
+    fn truncation_always_errors(trees in prop::collection::vec(tree_strategy(), 1..3)) {
+        let mut builder = DocumentBuilder::new();
+        for t in &trees {
+            build(t, &mut builder);
+        }
+        let doc = builder.finish();
+        let mut buf = Vec::new();
+        write_store(&doc, &mut buf).unwrap();
+        for cut in (0..buf.len().saturating_sub(1)).step_by(7) {
+            prop_assert!(read_store(&mut &buf[..cut]).is_err(), "cut={cut}");
+        }
+    }
+}

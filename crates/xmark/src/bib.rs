@@ -1,0 +1,209 @@
+//! A heterogeneous bibliographic catalog generator.
+//!
+//! The paper's introduction motivates approximate top-k matching with
+//! "structurally heterogeneous data (e.g., querying books from
+//! different online sellers)" and cites the Library of Congress' XML
+//! repositories. This generator produces exactly that workload: one
+//! catalog holding the same kind of book records expressed in several
+//! *seller schemas*, so a query written against one schema matches the
+//! others only through relaxation — a scaled-up version of the paper's
+//! Figure 1.
+//!
+//! Schemas (per record, chosen per seller):
+//!
+//! * **canonical** — `book/title`, `book/author`,
+//!   `book/info/{publisher/name, isbn, price}` (Figure 1(a) shape);
+//! * **flat** — everything a direct child of `book` (publisher
+//!   promoted out of `info`, as in Figure 1(b));
+//! * **nested** — `title` under `metadata`, price under
+//!   `offer/price`, no publisher (Figure 1(c) shape);
+//! * **minimal** — only a `title` and an `author`.
+
+use crate::text;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use whirlpool_xml::{Document, DocumentBuilder};
+
+/// Configuration for [`generate_catalog`].
+#[derive(Debug, Clone)]
+pub struct CatalogConfig {
+    /// Number of book records.
+    pub books: usize,
+    /// RNG seed; equal configs generate identical catalogs.
+    pub seed: u64,
+    /// Number of distinct title phrases to draw from — smaller pools
+    /// make value-predicate queries (`./title = '…'`) more productive.
+    pub title_pool: usize,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        CatalogConfig { books: 200, seed: 42, title_pool: 40 }
+    }
+}
+
+/// The seller schemas, in generation proportion order.
+const SCHEMAS: [(&str, f64); 4] =
+    [("canonical", 0.4), ("flat", 0.25), ("nested", 0.2), ("minimal", 0.15)];
+
+/// Generates a heterogeneous catalog per `config`. Every `book` element
+/// carries a `schema` attribute naming the layout it was generated
+/// with, so tests and examples can verify ranking against the known
+/// structure.
+pub fn generate_catalog(config: &CatalogConfig) -> Document {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+
+    // Pre-draw the title pool.
+    let titles: Vec<String> =
+        (0..config.title_pool.max(1)).map(|_| text::phrase(&mut rng, 2, 4)).collect();
+
+    let mut b = DocumentBuilder::new();
+    b.open("catalog");
+    for i in 0..config.books {
+        let title = &titles[rng.gen_range(0..titles.len())];
+        let author = text::phrase(&mut rng, 2, 3);
+        let publisher = text::phrase(&mut rng, 1, 2);
+        let isbn = format!("{:09}", rng.gen_range(0..1_000_000_000u64));
+        let price = format!("{}.{:02}", rng.gen_range(5..120), rng.gen_range(0..100));
+
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut schema = SCHEMAS[0].0;
+        for (name, share) in SCHEMAS {
+            acc += share;
+            if u < acc {
+                schema = name;
+                break;
+            }
+        }
+
+        b.open("book");
+        b.attribute("id", &format!("bk{i}"));
+        b.attribute("schema", schema);
+        match schema {
+            "canonical" => {
+                b.leaf("title", title);
+                b.leaf("author", &author);
+                b.open("info");
+                b.open("publisher");
+                b.leaf("name", &publisher);
+                b.close();
+                b.leaf("isbn", &isbn);
+                b.leaf("price", &price);
+                b.close();
+            }
+            "flat" => {
+                b.leaf("title", title);
+                b.leaf("author", &author);
+                b.open("publisher");
+                b.leaf("name", &publisher);
+                b.close();
+                b.leaf("isbn", &isbn);
+                b.leaf("price", &price);
+            }
+            "nested" => {
+                b.open("metadata");
+                b.leaf("title", title);
+                b.leaf("author", &author);
+                b.close();
+                b.open("offer");
+                b.leaf("price", &price);
+                b.close();
+            }
+            _ => {
+                b.leaf("title", title);
+                b.leaf("author", &author);
+            }
+        }
+        b.close(); // book
+    }
+    b.close(); // catalog
+    b.finish()
+}
+
+/// The canonical-schema catalog query: a book with title, author,
+/// publisher name under info, an isbn and a price — written against the
+/// *canonical* layout; the other schemas only match through relaxation.
+pub const CATALOG_QUERY: &str =
+    "//book[./title and ./author and ./info[./publisher/name and ./isbn and ./price]]";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whirlpool_xml::DocumentStats;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let a = generate_catalog(&CatalogConfig::default());
+        let b = generate_catalog(&CatalogConfig::default());
+        let opts = whirlpool_xml::WriteOptions::default();
+        assert_eq!(
+            whirlpool_xml::write_document(&a, &opts),
+            whirlpool_xml::write_document(&b, &opts)
+        );
+        let stats = DocumentStats::compute(&a);
+        assert_eq!(stats.count_for(&a, "book"), 200);
+    }
+
+    #[test]
+    fn all_schemas_appear() {
+        let doc = generate_catalog(&CatalogConfig { books: 400, ..Default::default() });
+        let book = doc.tag_id("book").unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for n in doc.elements().filter(|&n| doc.tag(n) == book) {
+            seen.insert(doc.attribute(n, "schema").unwrap().to_string());
+        }
+        for (schema, _) in SCHEMAS {
+            assert!(seen.contains(schema), "missing schema {schema}");
+        }
+    }
+
+    #[test]
+    fn schemas_have_their_advertised_shapes() {
+        let doc = generate_catalog(&CatalogConfig { books: 300, ..Default::default() });
+        let book = doc.tag_id("book").unwrap();
+        for n in doc.elements().filter(|&n| doc.tag(n) == book) {
+            let schema = doc.attribute(n, "schema").unwrap();
+            let child_tags: Vec<&str> =
+                doc.children(n).map(|c| doc.tag_str(c)).collect();
+            match schema {
+                "canonical" => {
+                    assert!(child_tags.contains(&"info"));
+                    assert!(!child_tags.contains(&"publisher"));
+                    assert!(child_tags.contains(&"title"));
+                }
+                "flat" => {
+                    assert!(child_tags.contains(&"publisher"));
+                    assert!(!child_tags.contains(&"info"));
+                }
+                "nested" => {
+                    assert!(child_tags.contains(&"metadata"));
+                    assert!(!child_tags.contains(&"title"));
+                }
+                "minimal" => {
+                    assert_eq!(child_tags, vec!["title", "author"]);
+                }
+                other => panic!("unknown schema {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_query_parses_against_canonical() {
+        let q = crate::queries::parse(CATALOG_QUERY);
+        assert_eq!(q.len(), 8);
+    }
+
+    #[test]
+    fn titles_repeat_across_sellers() {
+        // The smaller title pool guarantees value-predicate queries have
+        // multiple matches across schemas.
+        let doc = generate_catalog(&CatalogConfig { books: 300, title_pool: 10, seed: 1 });
+        let title = doc.tag_id("title").unwrap();
+        let mut counts: std::collections::HashMap<&str, usize> = Default::default();
+        for n in doc.elements().filter(|&n| doc.tag(n) == title) {
+            *counts.entry(doc.text(n).unwrap()).or_default() += 1;
+        }
+        assert!(counts.values().any(|&c| c > 5), "titles should repeat: {counts:?}");
+    }
+}

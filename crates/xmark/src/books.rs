@@ -1,0 +1,163 @@
+//! The paper's running examples: the heterogeneous book collection of
+//! Figure 1 and the Figure 3 "book (d)" with known predicate scores.
+
+use whirlpool_xml::{Document, DocumentBuilder, NodeId};
+
+/// Builds the Figure 1 database: three structurally heterogeneous books.
+///
+/// * Book (a): `book/title`, `book/info/{publisher/name, isbn}`,
+///   `book/info/price` — matches Figure 2(a) exactly.
+/// * Book (b): the publisher hangs under `book` directly (not under
+///   `info`), the title holds a different location layout.
+/// * Book (c): `title` is a descendant (under `reviews`), publisher
+///   information is entirely missing.
+pub fn heterogeneous_collection() -> Document {
+    let mut b = DocumentBuilder::new();
+
+    // Book (a): /book[./title='wodehouse' and ./info/publisher/name='psmith']
+    b.open("book");
+    b.leaf("title", "wodehouse");
+    b.open("info");
+    b.open("publisher");
+    b.leaf("name", "psmith");
+    b.leaf("location", "london");
+    b.close(); // publisher
+    b.leaf("isbn", "1234");
+    b.leaf("price", "48.95");
+    b.close(); // info
+    b.close(); // book
+
+    // Book (b): publisher directly under book (subtree promotion needed).
+    b.open("book");
+    b.leaf("title", "wodehouse");
+    b.open("publisher");
+    b.leaf("name", "psmith");
+    b.close(); // publisher
+    b.open("info");
+    b.leaf("isbn", "1234");
+    b.leaf("location", "london");
+    b.leaf("price", "48.95");
+    b.close(); // info
+    b.close(); // book
+
+    // Book (c): title nested under reviews (edge generalization needed),
+    // publisher missing (leaf deletion needed).
+    b.open("book");
+    b.open("reviews");
+    b.leaf("title", "wodehouse");
+    b.close(); // reviews
+    b.open("info");
+    b.leaf("isbn", "1234");
+    b.leaf("price", "48.95");
+    b.close(); // info
+    b.close(); // book
+
+    b.finish()
+}
+
+/// The node handles of the Figure 3 example document: one book with
+/// three `title` matches, five `location` matches and one `price` match.
+#[derive(Debug, Clone)]
+pub struct Figure3Nodes {
+    /// The book (d) element — the query root match.
+    pub book: NodeId,
+    /// Its three `title` children, in score order.
+    pub titles: Vec<NodeId>,
+    /// Its five `location` children, in score order.
+    pub locations: Vec<NodeId>,
+    /// Its single `price` child.
+    pub prices: Vec<NodeId>,
+}
+
+/// Per-node predicate scores of the Figure 3 example: "three exact
+/// matches for title, each one of them with a score equal to 0.3, five
+/// approximate matches for location where approximate scores are 0.3,
+/// 0.2, 0.1, 0.1, and 0.1, and one exact match for price with score
+/// 0.2."
+pub const FIG3_TITLE_SCORES: [f64; 3] = [0.3, 0.3, 0.3];
+/// Scores of the five approximate `location` matches.
+pub const FIG3_LOCATION_SCORES: [f64; 5] = [0.3, 0.2, 0.1, 0.1, 0.1];
+/// Score of the single exact `price` match.
+pub const FIG3_PRICE_SCORES: [f64; 1] = [0.2];
+
+/// Builds the Figure 3 "book (d)" document and returns the match nodes
+/// in score order (pair them with the `FIG3_*_SCORES` constants).
+pub fn figure3_document() -> (Document, Figure3Nodes) {
+    let mut b = DocumentBuilder::new();
+    let book = b.open("book");
+    let titles: Vec<NodeId> =
+        (0..3).map(|i| b.leaf("title", &format!("title variant {i}"))).collect();
+    let locations: Vec<NodeId> =
+        (0..5).map(|i| b.leaf("location", &format!("location variant {i}"))).collect();
+    let prices = vec![b.leaf("price", "19.99")];
+    b.close();
+    let doc = b.finish();
+    (doc, Figure3Nodes { book, titles, locations, prices })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whirlpool_xml::DocumentStats;
+
+    #[test]
+    fn collection_has_three_books() {
+        let doc = heterogeneous_collection();
+        let stats = DocumentStats::compute(&doc);
+        assert_eq!(stats.count_for(&doc, "book"), 3);
+        assert_eq!(stats.count_for(&doc, "title"), 3);
+        assert_eq!(stats.count_for(&doc, "publisher"), 2);
+        assert_eq!(stats.count_for(&doc, "price"), 3);
+    }
+
+    #[test]
+    fn book_a_matches_fig2a_exactly() {
+        // Structural sanity: in book (a), publisher is a child of info
+        // which is a child of book, and title is a child of book.
+        let doc = heterogeneous_collection();
+        let book_tag = doc.tag_id("book").unwrap();
+        let book_a = doc.elements().find(|&n| doc.tag(n) == book_tag).unwrap();
+        let title =
+            doc.children(book_a).find(|&c| doc.tag_str(c) == "title").unwrap();
+        assert_eq!(doc.text(title), Some("wodehouse"));
+        let info = doc.children(book_a).find(|&c| doc.tag_str(c) == "info").unwrap();
+        let publisher =
+            doc.children(info).find(|&c| doc.tag_str(c) == "publisher").unwrap();
+        let name =
+            doc.children(publisher).find(|&c| doc.tag_str(c) == "name").unwrap();
+        assert_eq!(doc.text(name), Some("psmith"));
+    }
+
+    #[test]
+    fn book_c_title_is_a_strict_descendant() {
+        let doc = heterogeneous_collection();
+        let book_tag = doc.tag_id("book").unwrap();
+        let books: Vec<_> = doc.elements().filter(|&n| doc.tag(n) == book_tag).collect();
+        let book_c = books[2];
+        // No direct title child...
+        assert!(doc.children(book_c).all(|c| doc.tag_str(c) != "title"));
+        // ...but a title descendant.
+        assert!(doc
+            .descendants_or_self(book_c)
+            .skip(1)
+            .any(|n| doc.tag_str(n) == "title"));
+        // And no publisher at all.
+        assert!(doc
+            .descendants_or_self(book_c)
+            .all(|n| doc.tag_str(n) != "publisher"));
+    }
+
+    #[test]
+    fn figure3_counts_match_the_paper() {
+        let (doc, nodes) = figure3_document();
+        assert_eq!(nodes.titles.len(), FIG3_TITLE_SCORES.len());
+        assert_eq!(nodes.locations.len(), FIG3_LOCATION_SCORES.len());
+        assert_eq!(nodes.prices.len(), FIG3_PRICE_SCORES.len());
+        for &t in &nodes.titles {
+            assert_eq!(doc.parent(t), Some(nodes.book));
+        }
+        // 3 * 5 * 1 = 15 combinations — the paper's "15 tuples in this
+        // example".
+        assert_eq!(nodes.titles.len() * nodes.locations.len() * nodes.prices.len(), 15);
+    }
+}

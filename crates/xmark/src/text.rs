@@ -1,0 +1,95 @@
+//! Deterministic filler-text generation.
+//!
+//! XMark fills element content with words drawn from Shakespeare; the
+//! tf*idf experiments only need text with a plausible word-frequency
+//! skew, so we sample from a fixed vocabulary with a Zipf-ish bias
+//! (low-index words are proportionally more likely).
+
+use rand::Rng;
+
+/// Fixed vocabulary. Order matters: earlier words are sampled more
+/// often, giving the skewed term distribution tf*idf expects.
+pub(crate) const WORDS: &[&str] = &[
+    "the", "and", "of", "to", "a", "in", "that", "is", "was", "he", "for", "it", "with", "as",
+    "his", "on", "be", "at", "by", "had", "not", "are", "but", "from", "or", "have", "an", "they",
+    "which", "one", "you", "were", "her", "all", "she", "there", "would", "their", "we", "him",
+    "been", "has", "when", "who", "will", "more", "no", "if", "out", "so", "said", "what", "up",
+    "its", "about", "into", "than", "them", "can", "only", "other", "new", "some", "could",
+    "time", "these", "two", "may", "then", "do", "first", "any", "my", "now", "such", "like",
+    "our", "over", "man", "me", "even", "most", "made", "after", "also", "did", "many", "before",
+    "must", "through", "years", "where", "much", "your", "way", "well", "down", "should",
+    "because", "each", "just", "those", "people", "how", "too", "little", "state", "good",
+    "very", "make", "world", "still", "own", "see", "men", "work", "long", "get", "here",
+    "between", "both", "life", "being", "under", "never", "day", "same", "another", "know",
+    "while", "last", "might", "us", "great", "old", "year", "off", "come", "since", "against",
+    "go", "came", "right", "used", "take", "three", "merchant", "auction", "bidder", "gold",
+    "silver", "crown", "duke", "fair", "noble", "honest", "wicked", "gentle", "sweet", "bitter",
+    "purse", "fortune", "bargain", "trade", "wares", "goods", "ship", "voyage", "harbor",
+    "ledger", "seal", "parchment", "quill", "candle", "lantern", "velvet", "silk", "wool",
+    "amber", "ivory", "jade", "pearl", "copper", "bronze", "iron", "steel", "oak", "elm",
+];
+
+/// Emits `n` words into `out`, separated by single spaces (no trailing
+/// separator), using a Zipf-biased draw over [`WORDS`].
+pub(crate) fn push_words<R: Rng>(rng: &mut R, n: usize, out: &mut String) {
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(sample_word(rng));
+    }
+}
+
+/// One Zipf-biased word.
+pub(crate) fn sample_word<R: Rng>(rng: &mut R) -> &'static str {
+    // Square a uniform draw to bias toward the head of the list.
+    let u: f64 = rng.gen::<f64>();
+    let idx = ((u * u) * WORDS.len() as f64) as usize;
+    WORDS[idx.min(WORDS.len() - 1)]
+}
+
+/// A short phrase of `lo..=hi` words.
+pub(crate) fn phrase<R: Rng>(rng: &mut R, lo: usize, hi: usize) -> String {
+    let n = rng.gen_range(lo..=hi);
+    let mut s = String::with_capacity(n * 6);
+    push_words(rng, n, &mut s);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        assert_eq!(phrase(&mut a, 3, 8), phrase(&mut b, 3, 8));
+    }
+
+    #[test]
+    fn word_counts_are_respected() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let p = phrase(&mut rng, 5, 5);
+        assert_eq!(p.split(' ').count(), 5);
+        assert!(!p.starts_with(' ') && !p.ends_with(' '));
+    }
+
+    #[test]
+    fn distribution_is_head_biased() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut head = 0usize;
+        let trials = 10_000;
+        for _ in 0..trials {
+            let w = sample_word(&mut rng);
+            if WORDS[..20].contains(&w) {
+                head += 1;
+            }
+        }
+        // 20/200 = 10% of the vocabulary should attract far more than 10%
+        // of draws under the squared-uniform bias (expected ≈ 31%).
+        assert!(head > trials / 5, "head draws: {head}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Programmatic document construction.
+
+use crate::node::{Document, NodeId};
+
+/// A push-style builder over [`Document`], used by the synthetic data
+/// generators and by tests.
+///
+/// # Example
+///
+/// ```
+/// use whirlpool_xml::DocumentBuilder;
+///
+/// let mut b = DocumentBuilder::new();
+/// b.open("book");
+/// b.open("title");
+/// b.text("wodehouse");
+/// b.close(); // title
+/// b.close(); // book
+/// let doc = b.finish();
+/// assert_eq!(doc.len(), 3); // root + book + title
+/// ```
+pub struct DocumentBuilder {
+    doc: Document,
+    stack: Vec<NodeId>,
+}
+
+impl DocumentBuilder {
+    /// Creates a builder over a fresh, empty document.
+    pub fn new() -> Self {
+        DocumentBuilder { doc: Document::new(), stack: Vec::new() }
+    }
+
+    /// Opens a new element under the current one (or under the document
+    /// root) and makes it current. Returns its id.
+    pub fn open(&mut self, tag: &str) -> NodeId {
+        let tag = self.doc.intern_tag(tag);
+        let parent = self.stack.last().copied().unwrap_or_else(|| self.doc.document_root());
+        let id = self.doc.push_child(parent, tag);
+        self.stack.push(id);
+        id
+    }
+
+    /// Closes the current element.
+    ///
+    /// # Panics
+    /// Panics if no element is open.
+    pub fn close(&mut self) {
+        self.stack.pop().expect("close() with no open element");
+    }
+
+    /// Appends text to the current element.
+    ///
+    /// # Panics
+    /// Panics if no element is open.
+    pub fn text(&mut self, text: &str) {
+        let current = *self.stack.last().expect("text() with no open element");
+        self.doc.append_text(current, text);
+    }
+
+    /// Adds an attribute to the current element.
+    ///
+    /// # Panics
+    /// Panics if no element is open.
+    pub fn attribute(&mut self, name: &str, value: &str) {
+        let current = *self.stack.last().expect("attribute() with no open element");
+        let name = self.doc.intern_tag(name);
+        self.doc.push_attribute(current, name, value.into());
+    }
+
+    /// Convenience: `open(tag)`, `text(value)`, `close()`.
+    pub fn leaf(&mut self, tag: &str, value: &str) -> NodeId {
+        let id = self.open(tag);
+        self.text(value);
+        self.close();
+        id
+    }
+
+    /// Convenience: an empty element.
+    pub fn empty(&mut self, tag: &str) -> NodeId {
+        let id = self.open(tag);
+        self.close();
+        id
+    }
+
+    /// Depth of the currently open element stack.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Panics
+    /// Panics if elements are still open, which always indicates a bug in
+    /// the generator driving the builder.
+    pub fn finish(self) -> Document {
+        assert!(
+            self.stack.is_empty(),
+            "finish() with {} unclosed element(s)",
+            self.stack.len()
+        );
+        self.doc
+    }
+}
+
+impl Default for DocumentBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+    use crate::writer::{write_document, WriteOptions};
+
+    #[test]
+    fn builder_matches_parser() {
+        let mut b = DocumentBuilder::new();
+        b.open("book");
+        b.attribute("id", "b1");
+        b.leaf("title", "wodehouse");
+        b.open("info");
+        b.leaf("isbn", "1234");
+        b.close();
+        b.close();
+        let built = b.finish();
+
+        let parsed = parse_document(
+            r#"<book id="b1"><title>wodehouse</title><info><isbn>1234</isbn></info></book>"#,
+        )
+        .unwrap();
+
+        let opts = WriteOptions::default();
+        assert_eq!(write_document(&built, &opts), write_document(&parsed, &opts));
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn finish_panics_on_open_elements() {
+        let mut b = DocumentBuilder::new();
+        b.open("a");
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn empty_and_leaf_helpers() {
+        let mut b = DocumentBuilder::new();
+        b.open("r");
+        let e = b.empty("x");
+        let l = b.leaf("y", "v");
+        b.close();
+        let doc = b.finish();
+        assert_eq!(doc.text(e), None);
+        assert_eq!(doc.text(l), Some("v"));
+    }
+}

@@ -1,0 +1,249 @@
+//! Dewey order-based node identifiers.
+//!
+//! A Dewey identifier encodes the path of sibling ordinals from the
+//! document root to a node: the root is `[]`, its first child `[0]`, the
+//! third child of the first child `[0, 2]`, and so on. Dewey identifiers
+//! make the structural XPath axes the engine joins on cheap to decide:
+//!
+//! * `parent-child(a, b)` ⇔ `b = a ++ [i]` for some `i`;
+//! * `ancestor-descendant(a, b)` ⇔ `a` is a proper prefix of `b`;
+//! * document order ⇔ lexicographic order of the component vectors
+//!   (a node precedes its descendants).
+//!
+//! The engine's tag indexes keep postings sorted by Dewey identifier, so
+//! "all descendants of `n` with tag `t`" is a binary-searched contiguous
+//! range (see `whirlpool-index`).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A Dewey identifier: the sibling-ordinal path from the root.
+///
+/// Cheap to clone for shallow documents; comparison is lexicographic and
+/// therefore coincides with document (pre-)order.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Dewey {
+    components: Vec<u32>,
+}
+
+impl Dewey {
+    /// The identifier of the (synthetic) document root: the empty path.
+    pub fn root() -> Self {
+        Dewey { components: Vec::new() }
+    }
+
+    /// Builds an identifier from explicit components.
+    pub fn from_components(components: Vec<u32>) -> Self {
+        Dewey { components }
+    }
+
+    /// The sibling-ordinal components, root-first.
+    pub fn components(&self) -> &[u32] {
+        &self.components
+    }
+
+    /// Depth of the node; the root has depth 0.
+    pub fn depth(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The identifier of this node's `ordinal`-th child.
+    pub fn child(&self, ordinal: u32) -> Dewey {
+        let mut components = Vec::with_capacity(self.components.len() + 1);
+        components.extend_from_slice(&self.components);
+        components.push(ordinal);
+        Dewey { components }
+    }
+
+    /// The identifier of this node's parent, or `None` for the root.
+    pub fn parent(&self) -> Option<Dewey> {
+        if self.components.is_empty() {
+            None
+        } else {
+            Some(Dewey { components: self.components[..self.components.len() - 1].to_vec() })
+        }
+    }
+
+    /// True iff `self` is a proper ancestor of `other`
+    /// (the `ad` axis of the paper's tree patterns).
+    pub fn is_ancestor_of(&self, other: &Dewey) -> bool {
+        self.components.len() < other.components.len()
+            && other.components[..self.components.len()] == self.components[..]
+    }
+
+    /// True iff `self` is the parent of `other`
+    /// (the `pc` axis of the paper's tree patterns).
+    pub fn is_parent_of(&self, other: &Dewey) -> bool {
+        other.components.len() == self.components.len() + 1
+            && other.components[..self.components.len()] == self.components[..]
+    }
+
+    /// True iff `self` is an ancestor of `other` at exactly `depth` levels
+    /// above it. `depth == 1` is `is_parent_of`; this decides the composed
+    /// axis of a chain of `pc` edges (see `whirlpool-pattern`).
+    pub fn is_ancestor_at_depth(&self, other: &Dewey, depth: usize) -> bool {
+        other.components.len() == self.components.len() + depth
+            && other.components[..self.components.len()] == self.components[..]
+    }
+
+    /// True iff `self` and `other` are siblings (share a parent) and
+    /// `self` precedes `other` in document order.
+    pub fn is_preceding_sibling_of(&self, other: &Dewey) -> bool {
+        self.components.len() == other.components.len()
+            && !self.components.is_empty()
+            && self.components[..self.components.len() - 1]
+                == other.components[..self.components.len() - 1]
+            && self.components[self.components.len() - 1]
+                < other.components[other.components.len() - 1]
+    }
+
+    /// Length of the longest common prefix of the two identifiers — the
+    /// depth of the nodes' lowest common ancestor.
+    pub fn common_prefix_len(&self, other: &Dewey) -> usize {
+        self.components
+            .iter()
+            .zip(other.components.iter())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// The exclusive upper bound of the descendant range of `self`: the
+    /// smallest identifier (in document order) that is strictly after
+    /// every descendant of `self`. All descendants `d` of `self` satisfy
+    /// `self < d < self.descendant_upper_bound()` lexicographically.
+    ///
+    /// Returns `None` for ranges that are unbounded (only happens for a
+    /// component at `u32::MAX`, which the builders never produce).
+    pub fn descendant_upper_bound(&self) -> Option<Dewey> {
+        let mut components = self.components.clone();
+        let last = components.last_mut()?;
+        *last = last.checked_add(1)?;
+        Some(Dewey { components })
+    }
+}
+
+impl PartialOrd for Dewey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Dewey {
+    /// Lexicographic order on components — exactly document (pre-)order.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.components.cmp(&other.components)
+    }
+}
+
+impl fmt::Debug for Dewey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dewey({})", self)
+    }
+}
+
+impl fmt::Display for Dewey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.components.is_empty() {
+            return write!(f, "ε");
+        }
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(components: &[u32]) -> Dewey {
+        Dewey::from_components(components.to_vec())
+    }
+
+    #[test]
+    fn root_has_no_parent() {
+        assert_eq!(Dewey::root().parent(), None);
+        assert_eq!(Dewey::root().depth(), 0);
+    }
+
+    #[test]
+    fn child_and_parent_are_inverse() {
+        let n = d(&[0, 2, 5]);
+        assert_eq!(n.child(3).parent(), Some(n.clone()));
+        assert_eq!(n.child(3).components(), &[0, 2, 5, 3]);
+    }
+
+    #[test]
+    fn ancestor_descendant() {
+        assert!(d(&[0]).is_ancestor_of(&d(&[0, 1])));
+        assert!(d(&[0]).is_ancestor_of(&d(&[0, 1, 2])));
+        assert!(!d(&[0]).is_ancestor_of(&d(&[0])));
+        assert!(!d(&[0, 1]).is_ancestor_of(&d(&[0])));
+        assert!(!d(&[0, 1]).is_ancestor_of(&d(&[0, 2, 0])));
+        assert!(Dewey::root().is_ancestor_of(&d(&[7])));
+    }
+
+    #[test]
+    fn parent_child() {
+        assert!(d(&[0]).is_parent_of(&d(&[0, 4])));
+        assert!(!d(&[0]).is_parent_of(&d(&[0, 4, 1])));
+        assert!(!d(&[0]).is_parent_of(&d(&[1, 4])));
+        assert!(Dewey::root().is_parent_of(&d(&[3])));
+    }
+
+    #[test]
+    fn ancestor_at_depth() {
+        let a = d(&[1]);
+        assert!(a.is_ancestor_at_depth(&d(&[1, 0]), 1));
+        assert!(a.is_ancestor_at_depth(&d(&[1, 0, 9]), 2));
+        assert!(!a.is_ancestor_at_depth(&d(&[1, 0, 9]), 1));
+        assert!(!a.is_ancestor_at_depth(&d(&[2, 0]), 1));
+    }
+
+    #[test]
+    fn preceding_sibling() {
+        assert!(d(&[0, 1]).is_preceding_sibling_of(&d(&[0, 3])));
+        assert!(!d(&[0, 3]).is_preceding_sibling_of(&d(&[0, 1])));
+        assert!(!d(&[0, 1]).is_preceding_sibling_of(&d(&[1, 3])));
+        assert!(!d(&[0, 1]).is_preceding_sibling_of(&d(&[0, 1])));
+        // Roots are nobody's siblings.
+        assert!(!Dewey::root().is_preceding_sibling_of(&Dewey::root()));
+    }
+
+    #[test]
+    fn document_order_is_preorder() {
+        // A node sorts before its descendants and after its preceding siblings.
+        let mut ids = vec![d(&[1]), d(&[0, 0]), d(&[0]), d(&[0, 0, 0]), d(&[0, 1])];
+        ids.sort();
+        assert_eq!(ids, vec![d(&[0]), d(&[0, 0]), d(&[0, 0, 0]), d(&[0, 1]), d(&[1])]);
+    }
+
+    #[test]
+    fn descendant_upper_bound_brackets_descendants() {
+        let n = d(&[2, 1]);
+        let ub = n.descendant_upper_bound().unwrap();
+        assert_eq!(ub, d(&[2, 2]));
+        assert!(n < d(&[2, 1, 0]) && d(&[2, 1, 0]) < ub);
+        assert!(n < d(&[2, 1, 99, 5]) && d(&[2, 1, 99, 5]) < ub);
+        assert!(d(&[2, 2]) >= ub);
+        // The root's range is unbounded (no last component to bump).
+        assert_eq!(Dewey::root().descendant_upper_bound(), None);
+    }
+
+    #[test]
+    fn common_prefix() {
+        assert_eq!(d(&[0, 1, 2]).common_prefix_len(&d(&[0, 1, 5, 6])), 2);
+        assert_eq!(d(&[0]).common_prefix_len(&d(&[1])), 0);
+        assert_eq!(d(&[3, 4]).common_prefix_len(&d(&[3, 4])), 2);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Dewey::root().to_string(), "ε");
+        assert_eq!(d(&[0, 12, 3]).to_string(), "0.12.3");
+    }
+}

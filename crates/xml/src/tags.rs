@@ -1,0 +1,114 @@
+//! Element-tag interning.
+//!
+//! Documents routinely contain millions of elements drawn from a few
+//! dozen distinct tags; interning turns every structural comparison the
+//! engine performs into a `u32` comparison and keeps per-node storage
+//! fixed-size.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned element tag. Only meaningful relative to the
+/// [`TagInterner`] (and hence [`crate::Document`]) that produced it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TagId(pub(crate) u32);
+
+impl TagId {
+    /// The raw interner index, usable as a dense array key.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TagId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TagId({})", self.0)
+    }
+}
+
+/// Bidirectional map between tag strings and dense [`TagId`]s.
+#[derive(Clone, Default)]
+pub struct TagInterner {
+    by_name: HashMap<Box<str>, TagId>,
+    names: Vec<Box<str>>,
+}
+
+impl TagInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> TagId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = TagId(u32::try_from(self.names.len()).expect("more than u32::MAX distinct tags"));
+        self.names.push(name.into());
+        self.by_name.insert(name.into(), id);
+        id
+    }
+
+    /// Looks up an already-interned tag without inserting.
+    pub fn get(&self, name: &str) -> Option<TagId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The tag string for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this interner.
+    pub fn name(&self, id: TagId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct tags interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no tag has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (TagId, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (TagId(i as u32), n.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = TagInterner::new();
+        let a = t.intern("book");
+        let b = t.intern("title");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("book"), a);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn name_round_trips() {
+        let mut t = TagInterner::new();
+        let id = t.intern("publisher");
+        assert_eq!(t.name(id), "publisher");
+        assert_eq!(t.get("publisher"), Some(id));
+        assert_eq!(t.get("missing"), None);
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut t = TagInterner::new();
+        for (i, tag) in ["a", "b", "c"].iter().enumerate() {
+            assert_eq!(t.intern(tag).index(), i);
+        }
+        let collected: Vec<_> = t.iter().map(|(_, n)| n.to_string()).collect();
+        assert_eq!(collected, vec!["a", "b", "c"]);
+    }
+}

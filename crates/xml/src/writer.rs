@@ -1,0 +1,144 @@
+//! Document serialization.
+//!
+//! Used for document-size accounting in the experiments (the paper
+//! reports document sizes in megabytes of serialized XML) and for
+//! parser round-trip tests.
+
+use crate::node::{Document, NodeId};
+use std::fmt::Write as _;
+
+/// Serialization options.
+#[derive(Debug, Clone)]
+pub struct WriteOptions {
+    /// Pretty-print with this many spaces per depth level; `None` writes
+    /// compact output.
+    pub indent: Option<usize>,
+    /// Emit an `<?xml version="1.0"?>` declaration.
+    pub declaration: bool,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions { indent: None, declaration: false }
+    }
+}
+
+/// Serializes a whole document (the children of the synthetic root).
+pub fn write_document(doc: &Document, opts: &WriteOptions) -> String {
+    let mut out = String::new();
+    if opts.declaration {
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        if opts.indent.is_some() {
+            out.push('\n');
+        }
+    }
+    for child in doc.children(doc.document_root()) {
+        write_node_into(doc, child, opts, 0, &mut out);
+    }
+    out
+}
+
+/// Serializes the subtree rooted at `node`.
+pub fn write_node(doc: &Document, node: NodeId, opts: &WriteOptions) -> String {
+    let mut out = String::new();
+    write_node_into(doc, node, opts, 0, &mut out);
+    out
+}
+
+fn write_node_into(doc: &Document, node: NodeId, opts: &WriteOptions, depth: usize, out: &mut String) {
+    let data = doc.node(node);
+    let tag = doc.tag_name(data.tag);
+    if let Some(indent) = opts.indent {
+        if !out.is_empty() && !out.ends_with('\n') {
+            out.push('\n');
+        }
+        out.extend(std::iter::repeat(' ').take(indent * depth));
+    }
+    out.push('<');
+    out.push_str(tag);
+    for (name, value) in &data.attributes {
+        let _ = write!(out, " {}=\"", doc.tag_name(*name));
+        escape_into(value, true, out);
+        out.push('"');
+    }
+    let has_text = data.text.is_some();
+    if data.children.is_empty() && !has_text {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    if let Some(text) = &data.text {
+        escape_into(text, false, out);
+    }
+    for &child in &data.children {
+        write_node_into(doc, child, opts, depth + 1, out);
+    }
+    if opts.indent.is_some() && !data.children.is_empty() {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(opts.indent.unwrap() * depth));
+    }
+    out.push_str("</");
+    out.push_str(tag);
+    out.push('>');
+}
+
+fn escape_into(text: &str, in_attribute: bool, out: &mut String) {
+    for c in text.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if in_attribute => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    #[test]
+    fn writes_compact_xml() {
+        let doc = parse_document("<a x=\"1\"><b>t</b><c/></a>").unwrap();
+        let out = write_document(&doc, &WriteOptions::default());
+        assert_eq!(out, "<a x=\"1\"><b>t</b><c/></a>");
+    }
+
+    #[test]
+    fn escapes_special_characters() {
+        let doc = parse_document("<a y=\"&quot;q&quot;\">x &lt; &amp; y</a>").unwrap();
+        let out = write_document(&doc, &WriteOptions::default());
+        assert_eq!(out, "<a y=\"&quot;q&quot;\">x &lt; &amp; y</a>");
+    }
+
+    #[test]
+    fn round_trip_is_stable() {
+        let src = "<site><item id=\"i0\"><name>n &amp; m</name><incategory/></item></site>";
+        let doc = parse_document(src).unwrap();
+        let once = write_document(&doc, &WriteOptions::default());
+        let doc2 = parse_document(&once).unwrap();
+        let twice = write_document(&doc2, &WriteOptions::default());
+        assert_eq!(once, twice);
+        assert_eq!(once, src);
+    }
+
+    #[test]
+    fn pretty_print_indents() {
+        let doc = parse_document("<a><b><c/></b></a>").unwrap();
+        let out =
+            write_document(&doc, &WriteOptions { indent: Some(2), declaration: true });
+        assert!(out.starts_with("<?xml"));
+        assert!(out.contains("\n  <b>"));
+        assert!(out.contains("\n    <c/>"));
+    }
+
+    #[test]
+    fn write_node_serializes_subtree_only() {
+        let doc = parse_document("<a><b>t</b><c/></a>").unwrap();
+        let a = doc.children(doc.document_root()).next().unwrap();
+        let b = doc.children(a).next().unwrap();
+        assert_eq!(write_node(&doc, b, &WriteOptions::default()), "<b>t</b>");
+    }
+}

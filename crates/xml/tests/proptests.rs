@@ -1,0 +1,125 @@
+//! Property-based tests for the XML substrate: Dewey algebra laws and
+//! parser/writer round-trips over generated documents.
+
+use proptest::prelude::*;
+use whirlpool_xml::{parse_document, write_document, Dewey, DocumentBuilder, WriteOptions};
+
+fn dewey_strategy() -> impl Strategy<Value = Dewey> {
+    prop::collection::vec(0u32..6, 0..6).prop_map(Dewey::from_components)
+}
+
+proptest! {
+    /// Lexicographic order on Dewey ids is total and consistent with
+    /// ancestry: an ancestor always precedes its descendants.
+    #[test]
+    fn ancestor_precedes_descendant(a in dewey_strategy(), b in dewey_strategy()) {
+        if a.is_ancestor_of(&b) {
+            prop_assert!(a < b);
+            prop_assert!(!b.is_ancestor_of(&a));
+        }
+    }
+
+    /// parent-child implies ancestor-descendant with depth difference 1.
+    #[test]
+    fn parent_is_ancestor(a in dewey_strategy(), b in dewey_strategy()) {
+        if a.is_parent_of(&b) {
+            prop_assert!(a.is_ancestor_of(&b));
+            prop_assert_eq!(b.depth(), a.depth() + 1);
+            prop_assert_eq!(b.parent(), Some(a.clone()));
+        }
+    }
+
+    /// is_ancestor_at_depth generalizes both axes.
+    #[test]
+    fn ancestor_at_depth_consistency(a in dewey_strategy(), b in dewey_strategy()) {
+        prop_assert_eq!(a.is_parent_of(&b), a.is_ancestor_at_depth(&b, 1));
+        let any_depth = (1..=8).any(|d| a.is_ancestor_at_depth(&b, d));
+        prop_assert_eq!(a.is_ancestor_of(&b), any_depth);
+    }
+
+    /// Every descendant falls strictly inside the half-open Dewey range
+    /// (self, descendant_upper_bound), and non-descendants fall outside.
+    #[test]
+    fn descendant_range_is_tight(a in dewey_strategy(), b in dewey_strategy()) {
+        prop_assume!(a.depth() > 0);
+        let ub = a.descendant_upper_bound().unwrap();
+        let in_range = a < b && b < ub;
+        prop_assert_eq!(a.is_ancestor_of(&b), in_range);
+    }
+
+    /// child() then parent() round-trips.
+    #[test]
+    fn child_parent_roundtrip(a in dewey_strategy(), ord in 0u32..100) {
+        prop_assert_eq!(a.child(ord).parent(), Some(a));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Random document generation for parser round-trips.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Tree {
+    Node { tag: usize, text: Option<String>, children: Vec<Tree> },
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = (0usize..8, prop::option::of("[a-z <>&\"']{0,12}"))
+        .prop_map(|(tag, text)| Tree::Node { tag, text, children: vec![] });
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        (0usize..8, prop::option::of("[a-z <>&\"']{0,12}"), prop::collection::vec(inner, 0..4))
+            .prop_map(|(tag, text, children)| Tree::Node { tag, text, children })
+    })
+}
+
+const TAGS: [&str; 8] = ["a", "b", "c", "item", "name", "text", "bold", "keyword"];
+
+fn build(tree: &Tree, b: &mut DocumentBuilder) {
+    let Tree::Node { tag, text, children } = tree;
+    b.open(TAGS[*tag]);
+    if let Some(t) = text {
+        b.text(t);
+    }
+    for c in children {
+        build(c, b);
+    }
+    b.close();
+}
+
+proptest! {
+    /// write → parse → write is a fixpoint for any generated document,
+    /// including text needing entity escaping.
+    #[test]
+    fn writer_parser_roundtrip(tree in tree_strategy()) {
+        let mut builder = DocumentBuilder::new();
+        build(&tree, &mut builder);
+        let doc = builder.finish();
+        let opts = WriteOptions::default();
+        let first = write_document(&doc, &opts);
+        let reparsed = parse_document(&first).unwrap();
+        let second = write_document(&reparsed, &opts);
+        prop_assert_eq!(first, second);
+    }
+
+    /// Parsed documents assign Dewey ids consistent with parent links,
+    /// and NodeId order is document (pre-)order.
+    #[test]
+    fn parsed_dewey_invariants(tree in tree_strategy()) {
+        let mut builder = DocumentBuilder::new();
+        build(&tree, &mut builder);
+        let doc = builder.finish();
+        for id in doc.elements() {
+            let parent = doc.parent(id).unwrap();
+            prop_assert!(doc.dewey(parent).is_parent_of(doc.dewey(id)));
+            prop_assert!(parent < id, "parents precede children in NodeId order");
+        }
+        // Dewey order agrees with NodeId order.
+        let mut prev: Option<whirlpool_xml::NodeId> = None;
+        for id in doc.elements() {
+            if let Some(p) = prev {
+                prop_assert!(doc.dewey(p) < doc.dewey(id));
+            }
+            prev = Some(id);
+        }
+    }
+}

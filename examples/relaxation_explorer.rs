@@ -1,0 +1,56 @@
+//! Explore the relaxation space of a tree-pattern query (paper §2).
+//!
+//! Shows the single-step relaxations of a query, the size of the full
+//! relaxation closure (the paper's argument for encoding relaxations in
+//! the plan rather than rewriting: the closure is exponential), and the
+//! fully relaxed form the engine's candidate universe corresponds to.
+//!
+//! ```text
+//! cargo run --release -p whirlpool-examples --example relaxation_explorer ["//item[./a/b]"]
+//! ```
+
+use whirlpool_pattern::relax::{applicable, apply, enumerate, fully_relaxed, Relaxation};
+use whirlpool_pattern::parse_pattern;
+
+fn main() {
+    let query_src = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| whirlpool_xmark::queries::Q2.to_string());
+    let query = match parse_pattern(&query_src) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("cannot parse {query_src:?}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("query:           {query}");
+    println!("nodes:           {}", query.len());
+
+    println!("\nsingle-step relaxations:");
+    for r in applicable(&query) {
+        let relaxed = apply(&query, r).expect("applicable relaxation applies");
+        let label = match r {
+            Relaxation::EdgeGeneralization(q) => {
+                format!("edge generalization at {}", query.node(q).tag)
+            }
+            Relaxation::LeafDeletion(q) => format!("leaf deletion of {}", query.node(q).tag),
+            Relaxation::SubtreePromotion(q) => {
+                format!("subtree promotion of {}", query.node(q).tag)
+            }
+        };
+        println!("  {label:<38} -> {relaxed}");
+    }
+
+    let limit = 100_000;
+    let closure = enumerate(&query, limit);
+    if closure.len() >= limit {
+        println!("\nrelaxation closure: > {limit} distinct queries (truncated)");
+    } else {
+        println!("\nrelaxation closure: {} distinct queries", closure.len());
+    }
+    println!("(the engine never materializes these: relaxations are encoded");
+    println!(" in one outer-join plan via conditional predicate sequences)");
+
+    println!("\nfully relaxed:   {}", fully_relaxed(&query));
+}

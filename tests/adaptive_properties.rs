@@ -1,0 +1,250 @@
+//! Property-based system tests: on random documents × random queries,
+//! the adaptive engines must agree with the exhaustive baseline, the
+//! virtual-time scheduler must agree across processor counts, and
+//! Whirlpool-S must never do more work than LockStep under the same
+//! static plan (the minimal-probing property the paper imports from
+//! MPro/Upper).
+
+use proptest::prelude::*;
+use whirlpool_core::vtime::{simulate_whirlpool_m, VTimeConfig};
+use whirlpool_core::{
+    answers_equivalent, evaluate, Algorithm, ContextOptions, EvalOptions, QueryContext,
+    QueuePolicy, RoutingStrategy,
+};
+use whirlpool_index::TagIndex;
+use whirlpool_pattern::{Axis, StaticPlan, TreePattern};
+use whirlpool_score::{Normalization, TfIdfModel};
+use whirlpool_xml::{Document, DocumentBuilder};
+
+const TAGS: [&str; 4] = ["a", "b", "c", "d"];
+
+#[derive(Debug, Clone)]
+struct RandTree {
+    tag: usize,
+    children: Vec<RandTree>,
+}
+
+fn tree_strategy() -> impl Strategy<Value = RandTree> {
+    let leaf = (0usize..TAGS.len()).prop_map(|tag| RandTree { tag, children: vec![] });
+    leaf.prop_recursive(4, 40, 4, |inner| {
+        (0usize..TAGS.len(), prop::collection::vec(inner, 0..4))
+            .prop_map(|(tag, children)| RandTree { tag, children })
+    })
+}
+
+#[derive(Debug, Clone)]
+struct RandQuery {
+    tag: usize,
+    axis: bool,
+    children: Vec<RandQuery>,
+}
+
+fn query_strategy() -> impl Strategy<Value = RandQuery> {
+    let leaf = (0usize..TAGS.len(), any::<bool>())
+        .prop_map(|(tag, axis)| RandQuery { tag, axis, children: vec![] });
+    leaf.prop_recursive(2, 6, 2, |inner| {
+        (0usize..TAGS.len(), any::<bool>(), prop::collection::vec(inner, 0..3))
+            .prop_map(|(tag, axis, children)| RandQuery { tag, axis, children })
+    })
+}
+
+fn build_doc(trees: &[RandTree]) -> Document {
+    fn rec(t: &RandTree, b: &mut DocumentBuilder) {
+        b.open(TAGS[t.tag]);
+        for c in &t.children {
+            rec(c, b);
+        }
+        b.close();
+    }
+    let mut b = DocumentBuilder::new();
+    for t in trees {
+        rec(t, &mut b);
+    }
+    b.finish()
+}
+
+fn build_query(q: &RandQuery) -> TreePattern {
+    fn rec(q: &RandQuery, parent: whirlpool_pattern::QNodeId, p: &mut TreePattern) {
+        let axis = if q.axis { Axis::Descendant } else { Axis::Child };
+        let id = p.add_node(parent, axis, TAGS[q.tag], None);
+        for c in &q.children {
+            rec(c, id, p);
+        }
+    }
+    let mut p = TreePattern::new(TAGS[q.tag], Axis::Descendant);
+    for c in &q.children {
+        rec(c, p.root(), &mut p);
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Relaxed mode: every engine/routing combination returns a top-k
+    /// set equivalent to the exhaustive baseline.
+    #[test]
+    fn engines_agree_on_random_workloads(
+        trees in prop::collection::vec(tree_strategy(), 1..4),
+        q in query_strategy(),
+        k in 1usize..6,
+    ) {
+        let doc = build_doc(&trees);
+        let pattern = build_query(&q);
+        let index = TagIndex::build(&doc);
+        let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
+        let options = EvalOptions::top_k(k);
+        let reference =
+            evaluate(&doc, &index, &pattern, &model, &Algorithm::LockStepNoPrune, &options);
+        for alg in [
+            Algorithm::LockStep,
+            Algorithm::WhirlpoolS,
+            Algorithm::WhirlpoolM { processors: None },
+        ] {
+            let got = evaluate(&doc, &index, &pattern, &model, &alg, &options);
+            prop_assert!(
+                answers_equivalent(&got.answers, &reference.answers, 1e-9),
+                "alg={} query={} k={k}\n got {:?}\n ref {:?}",
+                alg.name(), pattern, got.answers, reference.answers
+            );
+        }
+        for routing in [RoutingStrategy::MaxScore, RoutingStrategy::MinScore] {
+            let mut options = EvalOptions::top_k(k);
+            options.routing = routing;
+            let got = evaluate(&doc, &index, &pattern, &model, &Algorithm::WhirlpoolS, &options);
+            prop_assert!(
+                answers_equivalent(&got.answers, &reference.answers, 1e-9),
+                "routing={} query={pattern} k={k}", options.routing.name()
+            );
+        }
+    }
+
+    /// The virtual-time scheduler returns the same answers at every
+    /// processor count and its makespan never increases with more
+    /// processors (same-cost schedules only get more parallel).
+    #[test]
+    fn vtime_consistent_across_processors(
+        trees in prop::collection::vec(tree_strategy(), 1..3),
+        q in query_strategy(),
+    ) {
+        let doc = build_doc(&trees);
+        let pattern = build_query(&q);
+        let index = TagIndex::build(&doc);
+        let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
+
+        let mut previous: Option<Vec<whirlpool_core::RankedAnswer>> = None;
+        for procs in [Some(1), Some(2), None] {
+            let ctx = QueryContext::new(&doc, &index, &pattern, &model, ContextOptions::default());
+            let sim = simulate_whirlpool_m(
+                &ctx,
+                &RoutingStrategy::MinAlive,
+                3,
+                QueuePolicy::MaxFinalScore,
+                &VTimeConfig { processors: procs, ..Default::default() },
+            );
+            if let Some(prev) = &previous {
+                prop_assert!(
+                    answers_equivalent(&sim.answers, prev, 1e-9),
+                    "procs={procs:?} query={pattern}"
+                );
+            }
+            previous = Some(sim.answers);
+        }
+    }
+
+    /// Minimal probing: under the same static plan, Whirlpool-S (which
+    /// processes the globally most-promising match next) never performs
+    /// more server operations than LockStep (which drains whole stages).
+    #[test]
+    fn whirlpool_s_never_outworks_lockstep_static(
+        trees in prop::collection::vec(tree_strategy(), 1..4),
+        q in query_strategy(),
+        k in 1usize..4,
+    ) {
+        let doc = build_doc(&trees);
+        let pattern = build_query(&q);
+        let index = TagIndex::build(&doc);
+        let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
+        let plan = StaticPlan::in_id_order(pattern.server_ids().count());
+
+        let mut options = EvalOptions::top_k(k);
+        options.routing = RoutingStrategy::Static(plan);
+
+        let lockstep =
+            evaluate(&doc, &index, &pattern, &model, &Algorithm::LockStep, &options);
+        let ws = evaluate(&doc, &index, &pattern, &model, &Algorithm::WhirlpoolS, &options);
+        prop_assert!(
+            ws.metrics.server_ops <= lockstep.metrics.server_ops,
+            "W-S {} ops > LockStep {} ops for query={pattern} k={k}",
+            ws.metrics.server_ops,
+            lockstep.metrics.server_ops
+        );
+    }
+}
+
+/// Deterministic-input stress matrix for the threaded engine: every
+/// combination of processor cap, threads-per-server, queue policy and
+/// injected op cost must terminate and return the reference answers.
+#[test]
+fn whirlpool_m_stress_matrix() {
+    use whirlpool_core::{run_whirlpool_m, WhirlpoolMConfig};
+    let doc = build_doc(&[RandTree {
+        tag: 0,
+        children: (0..12)
+            .map(|i| RandTree {
+                tag: 1 + (i % 3),
+                children: (0..(i % 4))
+                    .map(|j| RandTree { tag: 1 + (j % 3), children: vec![] })
+                    .collect(),
+            })
+            .collect(),
+    }]);
+    let pattern = build_query(&RandQuery {
+        tag: 1,
+        axis: true,
+        children: vec![
+            RandQuery { tag: 2, axis: false, children: vec![] },
+            RandQuery { tag: 3, axis: true, children: vec![] },
+        ],
+    });
+    let index = TagIndex::build(&doc);
+    let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
+    let reference = evaluate(
+        &doc,
+        &index,
+        &pattern,
+        &model,
+        &Algorithm::LockStepNoPrune,
+        &EvalOptions::top_k(5),
+    );
+
+    for processors in [None, Some(1), Some(3)] {
+        for threads_per_server in [1usize, 3] {
+            for queue_policy in [QueuePolicy::MaxFinalScore, QueuePolicy::Fifo] {
+                for op_cost in [None, Some(std::time::Duration::from_micros(50))] {
+                    let ctx = QueryContext::new(
+                        &doc,
+                        &index,
+                        &pattern,
+                        &model,
+                        whirlpool_core::ContextOptions {
+                            op_cost,
+                            ..Default::default()
+                        },
+                    );
+                    let got = run_whirlpool_m(
+                        &ctx,
+                        &RoutingStrategy::MinAlive,
+                        5,
+                        &WhirlpoolMConfig { queue_policy, processors, threads_per_server },
+                    );
+                    assert!(
+                        answers_equivalent(&got, &reference.answers, 1e-9),
+                        "procs={processors:?} tps={threads_per_server} \
+                         queue={queue_policy:?} cost={op_cost:?}"
+                    );
+                }
+            }
+        }
+    }
+}

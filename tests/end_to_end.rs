@@ -1,0 +1,148 @@
+//! Whole-pipeline tests: generate → serialize → reparse → index →
+//! evaluate, plus determinism and virtual-time consistency.
+
+use whirlpool_core::vtime::{simulate_whirlpool_m, VTimeConfig};
+use whirlpool_core::{
+    answers_equivalent, evaluate, Algorithm, ContextOptions, EvalOptions, QueryContext,
+    QueuePolicy, RoutingStrategy,
+};
+use whirlpool_index::TagIndex;
+use whirlpool_score::{Normalization, TfIdfModel};
+use whirlpool_xmark::{generate, queries, GeneratorConfig};
+use whirlpool_xml::{parse_document, write_document, DocumentStats, WriteOptions};
+
+#[test]
+fn serialize_reparse_preserves_answers() {
+    let doc = generate(&GeneratorConfig::items(80));
+    let xml = write_document(&doc, &WriteOptions::default());
+    let reparsed = parse_document(&xml).expect("generated XML parses");
+
+    // Same structure...
+    let s1 = DocumentStats::compute(&doc);
+    let s2 = DocumentStats::compute(&reparsed);
+    assert_eq!(s1.element_count, s2.element_count);
+    assert_eq!(s1.max_depth, s2.max_depth);
+
+    // ...and same top-k answers (NodeIds are assigned in document order,
+    // so they're comparable across the round-trip).
+    let query = queries::parse(queries::Q2);
+    let i1 = TagIndex::build(&doc);
+    let i2 = TagIndex::build(&reparsed);
+    let m1 = TfIdfModel::build(&doc, &i1, &query, Normalization::Sparse);
+    let m2 = TfIdfModel::build(&reparsed, &i2, &query, Normalization::Sparse);
+    let options = EvalOptions::top_k(10);
+    let r1 = evaluate(&doc, &i1, &query, &m1, &Algorithm::WhirlpoolS, &options);
+    let r2 = evaluate(&reparsed, &i2, &query, &m2, &Algorithm::WhirlpoolS, &options);
+    assert!(answers_equivalent(&r1.answers, &r2.answers, 1e-9));
+}
+
+#[test]
+fn whirlpool_s_is_deterministic() {
+    let doc = generate(&GeneratorConfig::items(60));
+    let index = TagIndex::build(&doc);
+    let query = queries::parse(queries::Q3);
+    let model = TfIdfModel::build(&doc, &index, &query, Normalization::Sparse);
+    let options = EvalOptions::top_k(15);
+    let first = evaluate(&doc, &index, &query, &model, &Algorithm::WhirlpoolS, &options);
+    for _ in 0..3 {
+        let again = evaluate(&doc, &index, &query, &model, &Algorithm::WhirlpoolS, &options);
+        // Bit-for-bit identical: answers, order, and work counters.
+        let a: Vec<_> = first.answers.iter().map(|r| (r.root, r.score)).collect();
+        let b: Vec<_> = again.answers.iter().map(|r| (r.root, r.score)).collect();
+        assert_eq!(a, b);
+        assert_eq!(first.metrics, again.metrics);
+    }
+}
+
+#[test]
+fn virtual_time_simulation_matches_real_answers() {
+    let doc = generate(&GeneratorConfig::items(60));
+    let index = TagIndex::build(&doc);
+    let query = queries::parse(queries::Q2);
+    let model = TfIdfModel::build(&doc, &index, &query, Normalization::Sparse);
+
+    let real = evaluate(
+        &doc,
+        &index,
+        &query,
+        &model,
+        &Algorithm::LockStepNoPrune,
+        &EvalOptions::top_k(15),
+    );
+
+    for procs in [Some(1), Some(2), Some(4), None] {
+        let ctx = QueryContext::new(&doc, &index, &query, &model, ContextOptions::default());
+        let sim = simulate_whirlpool_m(
+            &ctx,
+            &RoutingStrategy::MinAlive,
+            15,
+            QueuePolicy::MaxFinalScore,
+            &VTimeConfig { processors: procs, ..Default::default() },
+        );
+        assert!(
+            answers_equivalent(&sim.answers, &real.answers, 1e-9),
+            "procs={procs:?}"
+        );
+        assert!(sim.makespan > 0.0);
+    }
+}
+
+#[test]
+fn document_sizes_scale_the_workload() {
+    // More document ⇒ more candidate roots ⇒ more work, same code path
+    // as the Figure 11 experiment (at reduced scale).
+    let query = queries::parse(queries::Q1);
+    let mut ops = Vec::new();
+    for items in [20usize, 80, 320] {
+        let doc = generate(&GeneratorConfig::items(items));
+        let index = TagIndex::build(&doc);
+        let model = TfIdfModel::build(&doc, &index, &query, Normalization::Sparse);
+        let r = evaluate(
+            &doc,
+            &index,
+            &query,
+            &model,
+            &Algorithm::WhirlpoolS,
+            &EvalOptions::top_k(15),
+        );
+        ops.push(r.metrics.server_ops);
+    }
+    assert!(ops[0] < ops[1] && ops[1] < ops[2], "{ops:?}");
+}
+
+#[test]
+fn larger_k_means_less_pruning() {
+    let doc = generate(&GeneratorConfig::items(200));
+    let index = TagIndex::build(&doc);
+    let query = queries::parse(queries::Q2);
+    let model = TfIdfModel::build(&doc, &index, &query, Normalization::Sparse);
+    let mut created = Vec::new();
+    for k in [3usize, 15, 75] {
+        let r = evaluate(
+            &doc,
+            &index,
+            &query,
+            &model,
+            &Algorithm::WhirlpoolS,
+            &EvalOptions::top_k(k),
+        );
+        created.push(r.metrics.partials_created);
+    }
+    assert!(
+        created[0] <= created[1] && created[1] <= created[2],
+        "partial matches created should not decrease with k: {created:?}"
+    );
+}
+
+#[test]
+fn op_cost_injection_is_respected_end_to_end() {
+    let doc = generate(&GeneratorConfig::items(20));
+    let index = TagIndex::build(&doc);
+    let query = queries::parse(queries::Q1);
+    let model = TfIdfModel::build(&doc, &index, &query, Normalization::Sparse);
+    let mut options = EvalOptions::top_k(3);
+    options.op_cost = Some(std::time::Duration::from_micros(500));
+    let r = evaluate(&doc, &index, &query, &model, &Algorithm::WhirlpoolS, &options);
+    let floor = std::time::Duration::from_micros(500) * r.metrics.server_ops as u32;
+    assert!(r.elapsed >= floor, "{:?} < {floor:?}", r.elapsed);
+}

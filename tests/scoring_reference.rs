@@ -1,0 +1,134 @@
+//! The engines compute scores incrementally (per-binding idf at the
+//! satisfied level); Definition 4.4 defines them declaratively
+//! (Σ idf·tf). On *single-witness* documents — where every candidate
+//! answer has at most one witness per component predicate, so tf ∈
+//! {0, 1} and exact/relaxed coincide with satisfied/unsatisfied — the
+//! two must agree exactly.
+
+use whirlpool_core::{evaluate, Algorithm, EvalOptions};
+use whirlpool_index::TagIndex;
+use whirlpool_pattern::parse_pattern;
+use whirlpool_score::{tfidf, Normalization, TfIdfModel};
+use whirlpool_xml::parse_document;
+
+/// Each book satisfies each child predicate zero or one times, always
+/// at the exact (child) level.
+const SINGLE_WITNESS: &str = "<shelf>\
+    <book><title>a</title><isbn>1</isbn><price>5</price></book>\
+    <book><title>b</title><isbn>2</isbn></book>\
+    <book><title>c</title><price>6</price></book>\
+    <book><isbn>3</isbn></book>\
+    <book><title>d</title></book>\
+    <book/>\
+    </shelf>";
+
+#[test]
+fn engine_scores_equal_definition_4_4_on_single_witness_docs() {
+    let doc = parse_document(SINGLE_WITNESS).unwrap();
+    let index = TagIndex::build(&doc);
+    let query = parse_pattern("//book[./title and ./isbn and ./price]").unwrap();
+    let model = TfIdfModel::build(&doc, &index, &query, Normalization::None);
+    let result = evaluate(
+        &doc,
+        &index,
+        &query,
+        &model,
+        &Algorithm::LockStepNoPrune,
+        &EvalOptions::top_k(100),
+    );
+    assert_eq!(result.answers.len(), 6);
+    for answer in &result.answers {
+        let reference = tfidf::score_answer(&doc, &index, &query, answer.root);
+        // The engine additionally scores *relaxed* satisfaction, which
+        // Definition 4.4 (evaluated on the original predicates) gives 0;
+        // on this document no relaxed-only witnesses exist, so the
+        // scores must coincide.
+        assert!(
+            (answer.score.value() - reference).abs() < 1e-9,
+            "engine {} vs reference {} for {:?}",
+            answer.score.value(),
+            reference,
+            answer.root
+        );
+    }
+}
+
+#[test]
+fn engine_ranking_follows_definition_4_4() {
+    let doc = parse_document(SINGLE_WITNESS).unwrap();
+    let index = TagIndex::build(&doc);
+    let query = parse_pattern("//book[./title and ./isbn and ./price]").unwrap();
+    let model = TfIdfModel::build(&doc, &index, &query, Normalization::None);
+    let result = evaluate(
+        &doc,
+        &index,
+        &query,
+        &model,
+        &Algorithm::WhirlpoolS,
+        &EvalOptions::top_k(100),
+    );
+    let mut reference: Vec<(whirlpool_xml::NodeId, f64)> = result
+        .answers
+        .iter()
+        .map(|a| (a.root, tfidf::score_answer(&doc, &index, &query, a.root)))
+        .collect();
+    reference.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let engine_scores: Vec<f64> = result.answers.iter().map(|a| a.score.value()).collect();
+    let reference_scores: Vec<f64> = reference.iter().map(|(_, s)| *s).collect();
+    for (e, r) in engine_scores.iter().zip(&reference_scores) {
+        assert!((e - r).abs() < 1e-9, "{engine_scores:?} vs {reference_scores:?}");
+    }
+}
+
+#[test]
+fn relaxed_witnesses_score_between_zero_and_exact() {
+    // A book whose title is nested scores above a title-less book and
+    // below a book with an exact (child) title.
+    let doc = parse_document(
+        "<shelf>\
+         <book><title>x</title></book>\
+         <book><deep><title>x</title></deep></book>\
+         <book><other/></book>\
+         </shelf>",
+    )
+    .unwrap();
+    let index = TagIndex::build(&doc);
+    let query = parse_pattern("//book[./title]").unwrap();
+    let model = TfIdfModel::build(&doc, &index, &query, Normalization::None);
+    let result = evaluate(
+        &doc,
+        &index,
+        &query,
+        &model,
+        &Algorithm::WhirlpoolS,
+        &EvalOptions::top_k(3),
+    );
+    let scores: Vec<f64> = result.answers.iter().map(|a| a.score.value()).collect();
+    assert_eq!(scores.len(), 3);
+    assert!(scores[0] > scores[1], "exact beats relaxed: {scores:?}");
+    assert!(scores[1] > scores[2], "relaxed beats missing: {scores:?}");
+    assert_eq!(scores[2], 0.0);
+}
+
+#[test]
+fn normalizations_preserve_ranking() {
+    let doc = whirlpool_xmark::generate(&whirlpool_xmark::GeneratorConfig::items(50));
+    let index = TagIndex::build(&doc);
+    let query = whirlpool_xmark::queries::parse(whirlpool_xmark::queries::Q2);
+    let mut rankings = Vec::new();
+    for norm in [Normalization::None, Normalization::Dense] {
+        let model = TfIdfModel::build(&doc, &index, &query, norm);
+        let result = evaluate(
+            &doc,
+            &index,
+            &query,
+            &model,
+            &Algorithm::LockStepNoPrune,
+            &EvalOptions::top_k(20),
+        );
+        rankings.push(result.answers.iter().map(|a| a.root).collect::<Vec<_>>());
+    }
+    // Dense normalization divides every weight by the same constant, so
+    // the ranking must be identical to the unnormalized one.
+    assert_eq!(rankings[0], rankings[1]);
+}
