@@ -21,7 +21,9 @@ fn bench_dewey(c: &mut Criterion) {
     c.bench_function("dewey/is_ancestor_at_depth", |b| {
         b.iter(|| black_box(&shallow).is_ancestor_at_depth(black_box(&deep), 6))
     });
-    c.bench_function("dewey/cmp", |b| b.iter(|| black_box(&shallow).cmp(black_box(&deep))));
+    c.bench_function("dewey/cmp", |b| {
+        b.iter(|| black_box(&shallow).cmp(black_box(&deep)))
+    });
     c.bench_function("dewey/child", |b| b.iter(|| black_box(&deep).child(7)));
 }
 

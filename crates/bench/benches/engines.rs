@@ -21,13 +21,9 @@ fn bench_engines(c: &mut Criterion) {
             Algorithm::WhirlpoolS,
             Algorithm::WhirlpoolM { processors: None },
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(alg.name(), qname),
-                &query,
-                |b, query| {
-                    b.iter(|| workload.run(query, &model, &alg, &default_options(15)))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(alg.name(), qname), &query, |b, query| {
+                b.iter(|| workload.run(query, &model, &alg, &default_options(15)))
+            });
         }
     }
     group.finish();

@@ -11,7 +11,9 @@ fn bench_index(c: &mut Criterion) {
     let text = doc.tag_id("text").unwrap();
     let items: Vec<_> = index.nodes_with_tag(item).to_vec();
 
-    c.bench_function("index/build_1000_items", |b| b.iter(|| TagIndex::build(black_box(&doc))));
+    c.bench_function("index/build_1000_items", |b| {
+        b.iter(|| TagIndex::build(black_box(&doc)))
+    });
     c.bench_function("index/descendant_scan", |b| {
         let mut i = 0;
         b.iter(|| {

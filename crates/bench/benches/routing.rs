@@ -13,9 +13,11 @@ fn bench_routing(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("routing");
     group.sample_size(10);
-    for routing in
-        [RoutingStrategy::MaxScore, RoutingStrategy::MinScore, RoutingStrategy::MinAlive]
-    {
+    for routing in [
+        RoutingStrategy::MaxScore,
+        RoutingStrategy::MinScore,
+        RoutingStrategy::MinAlive,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("whirlpool_s", routing.name()),
             &routing,
@@ -35,13 +37,17 @@ fn bench_routing(c: &mut Criterion) {
     let mut group = c.benchmark_group("bulk_routing");
     group.sample_size(10);
     for batch in [1usize, 8, 64] {
-        group.bench_with_input(BenchmarkId::new("whirlpool_s", batch), &batch, |b, &batch| {
-            b.iter(|| {
-                let mut options = default_options(15);
-                options.router_batch = batch;
-                workload.run(&query, &model, &Algorithm::WhirlpoolS, &options)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("whirlpool_s", batch),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    let mut options = default_options(15);
+                    options.router_batch = batch;
+                    workload.run(&query, &model, &Algorithm::WhirlpoolS, &options)
+                })
+            },
+        );
     }
     group.finish();
 
@@ -50,13 +56,17 @@ fn bench_routing(c: &mut Criterion) {
     let mut group = c.benchmark_group("selectivity_sample");
     group.sample_size(10);
     for sample in [4usize, 64, 1024] {
-        group.bench_with_input(BenchmarkId::new("whirlpool_s", sample), &sample, |b, &sample| {
-            b.iter(|| {
-                let mut options = default_options(15);
-                options.selectivity_sample = sample;
-                workload.run(&query, &model, &Algorithm::WhirlpoolS, &options)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("whirlpool_s", sample),
+            &sample,
+            |b, &sample| {
+                b.iter(|| {
+                    let mut options = default_options(15);
+                    options.selectivity_sample = sample;
+                    workload.run(&query, &model, &Algorithm::WhirlpoolS, &options)
+                })
+            },
+        );
     }
     group.finish();
 
@@ -68,13 +78,17 @@ fn bench_routing(c: &mut Criterion) {
         ("max_next_score", QueuePolicy::MaxNextScore),
         ("max_final_score", QueuePolicy::MaxFinalScore),
     ] {
-        group.bench_with_input(BenchmarkId::new("whirlpool_s", name), &policy, |b, &policy| {
-            b.iter(|| {
-                let mut options = default_options(15);
-                options.queue = policy;
-                workload.run(&query, &model, &Algorithm::WhirlpoolS, &options)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("whirlpool_s", name),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut options = default_options(15);
+                    options.queue = policy;
+                    workload.run(&query, &model, &Algorithm::WhirlpoolS, &options)
+                })
+            },
+        );
     }
     group.finish();
 }

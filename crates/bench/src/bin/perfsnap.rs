@@ -1,0 +1,230 @@
+//! Performance snapshot for the hot-path allocation work: runs the
+//! Table-1 default configuration (Q2, 10 Mb document, k = 15) across
+//! all four engines with binding-buffer pooling on and off, and writes
+//! the medians plus allocation counters to `BENCH_core.json`.
+//!
+//! ```text
+//! cargo run --release -p whirlpool-bench --bin perfsnap
+//! cargo run --release -p whirlpool-bench --bin perfsnap -- --smoke
+//! cargo run --release -p whirlpool-bench --bin perfsnap -- --reps 7 --out BENCH_core.json
+//! ```
+//!
+//! `--smoke` shrinks the document and repetition count for CI and
+//! prints the JSON to stdout instead of writing a file; it still fails
+//! (exit 1) if any pooled run disagrees with its unpooled twin.
+
+use std::io::Write as _;
+use whirlpool_bench::{default_options, median, Workload};
+use whirlpool_core::{Algorithm, EvalOptions, EvalResult, MetricsSnapshot};
+use whirlpool_xmark::queries;
+
+struct ConfigStats {
+    wall_ms_median: f64,
+    metrics: MetricsSnapshot,
+}
+
+struct EngineRow {
+    name: &'static str,
+    pooled: ConfigStats,
+    unpooled: ConfigStats,
+    answers_identical: bool,
+}
+
+fn run_config(
+    workload: &Workload,
+    query: &whirlpool_pattern::TreePattern,
+    model: &dyn whirlpool_score::ScoreModel,
+    algorithm: &Algorithm,
+    options: &EvalOptions,
+    reps: usize,
+) -> (ConfigStats, EvalResult) {
+    let mut walls = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let result = workload.run(query, model, algorithm, options);
+        walls.push(result.elapsed.as_secs_f64() * 1e3);
+        last = Some(result);
+    }
+    let last = last.expect("reps >= 1");
+    (
+        ConfigStats {
+            wall_ms_median: median(&mut walls),
+            metrics: last.metrics,
+        },
+        last,
+    )
+}
+
+fn answer_key(r: &EvalResult) -> Vec<(usize, u64)> {
+    r.answers
+        .iter()
+        .map(|a| (a.root.index(), a.score.value().to_bits()))
+        .collect()
+}
+
+fn reduction(unpooled: f64, pooled: f64) -> f64 {
+    if unpooled <= 0.0 {
+        0.0
+    } else {
+        1.0 - pooled / unpooled
+    }
+}
+
+fn config_json(out: &mut String, label: &str, s: &ConfigStats, comma: bool) {
+    let m = &s.metrics;
+    out.push_str(&format!(
+        "      \"{label}\": {{\"wall_ms_median\": {:.3}, \"buffers_allocated\": {}, \
+         \"buffers_reused\": {}, \"pool_hit_rate\": {:.4}, \"partials_created\": {}, \
+         \"server_ops\": {}, \"pruned\": {}}}{}\n",
+        s.wall_ms_median,
+        m.buffers_allocated,
+        m.buffers_reused,
+        m.pool_hit_rate(),
+        m.partials_created,
+        m.server_ops,
+        m.pruned,
+        if comma { "," } else { "" },
+    ));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let value_of = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let reps: usize = match value_of("--reps") {
+        None => {
+            if smoke {
+                2
+            } else {
+                5
+            }
+        }
+        Some(v) => match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("perfsnap: --reps needs a positive integer, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+    };
+    let out_path = value_of("--out").unwrap_or_else(|| "BENCH_core.json".to_string());
+
+    // Table 1 defaults (bold column): Q2, 10 Mb, k = 15.
+    let (bytes, label) = if smoke {
+        (200_000, "smoke")
+    } else {
+        (10_000_000, "10M")
+    };
+    let k = 15;
+    eprintln!("perfsnap: generating {label} document ({bytes} bytes)...");
+    let workload = Workload::of_bytes(bytes, label);
+    let query = queries::parse(queries::Q2);
+    let model = workload.model(&query);
+
+    let engines = [
+        Algorithm::LockStepNoPrune,
+        Algorithm::LockStep,
+        Algorithm::WhirlpoolS,
+        Algorithm::WhirlpoolM { processors: None },
+    ];
+
+    let pooled_options = default_options(k);
+    let unpooled_options = EvalOptions {
+        pooling: false,
+        ..default_options(k)
+    };
+
+    let mut rows = Vec::new();
+    for algorithm in &engines {
+        eprintln!(
+            "perfsnap: {} ({} reps, pooled + unpooled)...",
+            algorithm.name(),
+            reps
+        );
+        let (unpooled, unpooled_last) = run_config(
+            &workload,
+            &query,
+            &model,
+            algorithm,
+            &unpooled_options,
+            reps,
+        );
+        let (pooled, pooled_last) =
+            run_config(&workload, &query, &model, algorithm, &pooled_options, reps);
+        rows.push(EngineRow {
+            name: algorithm.name(),
+            answers_identical: answer_key(&pooled_last) == answer_key(&unpooled_last),
+            pooled,
+            unpooled,
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"meta\": {{\"query\": \"Q2\", \"doc_label\": \"{label}\", \"doc_bytes\": {bytes}, \
+         \"k\": {k}, \"reps\": {reps}}},\n"
+    ));
+    json.push_str("  \"engines\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let alloc_red = reduction(
+            row.unpooled.metrics.buffers_allocated as f64,
+            row.pooled.metrics.buffers_allocated as f64,
+        );
+        let wall_red = reduction(row.unpooled.wall_ms_median, row.pooled.wall_ms_median);
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"name\": \"{}\",\n", row.name));
+        config_json(&mut json, "pooled", &row.pooled, true);
+        config_json(&mut json, "unpooled", &row.unpooled, true);
+        json.push_str(&format!(
+            "      \"alloc_reduction\": {:.4},\n      \"wall_reduction\": {:.4},\n      \
+             \"answers_identical\": {}\n",
+            alloc_red, wall_red, row.answers_identical
+        ));
+        json.push_str(if i + 1 < rows.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    for row in &rows {
+        let alloc_red = reduction(
+            row.unpooled.metrics.buffers_allocated as f64,
+            row.pooled.metrics.buffers_allocated as f64,
+        );
+        eprintln!(
+            "perfsnap: {:16} wall {:8.2} ms -> {:8.2} ms, buffer allocs {:>9} -> {:>9} \
+             ({:.1}% fewer), hit rate {:.3}, answers identical: {}",
+            row.name,
+            row.unpooled.wall_ms_median,
+            row.pooled.wall_ms_median,
+            row.unpooled.metrics.buffers_allocated,
+            row.pooled.metrics.buffers_allocated,
+            alloc_red * 100.0,
+            row.pooled.metrics.pool_hit_rate(),
+            row.answers_identical,
+        );
+    }
+
+    if rows.iter().any(|r| !r.answers_identical) {
+        eprintln!("perfsnap: FAIL — pooled and unpooled runs disagree");
+        std::process::exit(1);
+    }
+
+    if smoke {
+        print!("{json}");
+        eprintln!("perfsnap: smoke OK (no file written)");
+    } else {
+        let mut file = std::fs::File::create(&out_path)
+            .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+        file.write_all(json.as_bytes()).expect("write BENCH json");
+        eprintln!("perfsnap: wrote {out_path}");
+    }
+}

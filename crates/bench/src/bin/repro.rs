@@ -13,13 +13,10 @@
 
 use std::time::Instant;
 use whirlpool_bench::{
-    default_options, fig3_plans, fig3_run, median, millis, static_options, Workload,
-    WorkloadCache,
+    default_options, fig3_plans, fig3_run, median, millis, static_options, Workload, WorkloadCache,
 };
 use whirlpool_core::vtime::{sequential_virtual_time, simulate_whirlpool_m, VTimeConfig};
-use whirlpool_core::{
-    Algorithm, ContextOptions, QueryContext, QueuePolicy, RoutingStrategy,
-};
+use whirlpool_core::{Algorithm, ContextOptions, QueryContext, QueuePolicy, RoutingStrategy};
 use whirlpool_pattern::{permutations, QNodeId, StaticPlan, TreePattern};
 use whirlpool_xmark::queries;
 
@@ -33,22 +30,38 @@ struct Scale {
 
 impl Scale {
     fn full() -> Self {
-        Scale { small: 1_000_000, medium: 10_000_000, large: 50_000_000 }
+        Scale {
+            small: 1_000_000,
+            medium: 10_000_000,
+            large: 50_000_000,
+        }
     }
 
     fn quick() -> Self {
-        Scale { small: 50_000, medium: 500_000, large: 2_500_000 }
+        Scale {
+            small: 50_000,
+            medium: 500_000,
+            large: 2_500_000,
+        }
     }
 
     fn labels(&self) -> [(usize, &'static str); 3] {
-        [(self.small, "1M"), (self.medium, "10M"), (self.large, "50M")]
+        [
+            (self.small, "1M"),
+            (self.medium, "10M"),
+            (self.large, "50M"),
+        ]
     }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
     let all = ids.is_empty() || ids.contains(&"all");
     let scale = if quick { Scale::quick() } else { Scale::full() };
     let mut cache = WorkloadCache::new();
@@ -109,14 +122,30 @@ fn norms(cache: &mut WorkloadCache, scale: &Scale) {
     let models: Vec<(&str, Box<dyn ScoreModel>)> = vec![
         (
             "tf*idf sparse",
-            Box::new(TfIdfModel::build(&w.doc, &w.index, &query, Normalization::Sparse)),
+            Box::new(TfIdfModel::build(
+                &w.doc,
+                &w.index,
+                &query,
+                Normalization::Sparse,
+            )),
         ),
         (
             "tf*idf dense",
-            Box::new(TfIdfModel::build(&w.doc, &w.index, &query, Normalization::Dense)),
+            Box::new(TfIdfModel::build(
+                &w.doc,
+                &w.index,
+                &query,
+                Normalization::Dense,
+            )),
         ),
-        ("random sparse", Box::new(RandomScores::sparse(7, query.len()))),
-        ("random dense", Box::new(RandomScores::dense(7, query.len()))),
+        (
+            "random sparse",
+            Box::new(RandomScores::sparse(7, query.len())),
+        ),
+        (
+            "random dense",
+            Box::new(RandomScores::dense(7, query.len())),
+        ),
     ];
 
     println!(
@@ -124,7 +153,10 @@ fn norms(cache: &mut WorkloadCache, scale: &Scale) {
         "scoring", "engine", "time (ms)", "server ops", "matches", "pruned"
     );
     for (name, model) in &models {
-        for alg in [Algorithm::WhirlpoolS, Algorithm::WhirlpoolM { processors: None }] {
+        for alg in [
+            Algorithm::WhirlpoolS,
+            Algorithm::WhirlpoolM { processors: None },
+        ] {
             let r = w.run(&query, model.as_ref(), &alg, &default_options(15));
             println!(
                 "{:<16} {:<14} {:>12.1} {:>12} {:>14} {:>10}",
@@ -137,8 +169,10 @@ fn norms(cache: &mut WorkloadCache, scale: &Scale) {
             );
         }
     }
-    println!("
-(sparse spreads final scores -> the k-th threshold rises quickly and");
+    println!(
+        "
+(sparse spreads final scores -> the k-th threshold rises quickly and"
+    );
     println!(" prunes more; dense bunches scores -> less pruning, more work)");
 }
 
@@ -169,8 +203,14 @@ fn growth(cache: &mut WorkloadCache, scale: &Scale) {
         lockstep.last().map_or(0, |p| p.ops),
         adaptive.last().map_or(0, |p| p.ops)
     );
-    let total = lockstep.last().map_or(0, |p| p.ops).max(adaptive.last().map_or(0, |p| p.ops));
-    println!("{:>14} {:>14} {:>14}", "server ops", "LockStep", "Whirlpool-S");
+    let total = lockstep
+        .last()
+        .map_or(0, |p| p.ops)
+        .max(adaptive.last().map_or(0, |p| p.ops));
+    println!(
+        "{:>14} {:>14} {:>14}",
+        "server ops", "LockStep", "Whirlpool-S"
+    );
     let mut ops = total / 64;
     while ops <= total {
         println!(
@@ -198,7 +238,10 @@ fn scoring(quick: bool) {
     let v = whirlpool_bench::scoring::validate(42, per_level);
     println!("query: {}", whirlpool_bench::scoring::VALIDATION_QUERY);
     println!("{per_level} books per distortion level\n");
-    println!("{:<44} {:>10} {:>10}", "distortion level", "mean rank", "mean score");
+    println!(
+        "{:<44} {:>10} {:>10}",
+        "distortion level", "mean rank", "mean score"
+    );
     let labels = [
         "0: exact match",
         "1: title nested (edge generalization)",
@@ -208,10 +251,19 @@ fn scoring(quick: bool) {
         "5: irrelevant (wrong title)",
     ];
     for (l, label) in labels.iter().enumerate() {
-        println!("{:<44} {:>10.1} {:>10.4}", label, v.mean_rank[l], v.mean_score[l]);
+        println!(
+            "{:<44} {:>10.1} {:>10.4}",
+            label, v.mean_rank[l], v.mean_score[l]
+        );
     }
-    println!("\nprecision@{per_level} (ground truth = exact): {:.3}", v.precision_at_k);
-    println!("Kendall tau (distortion vs rank):       {:.3}", v.kendall_tau);
+    println!(
+        "\nprecision@{per_level} (ground truth = exact): {:.3}",
+        v.precision_at_k
+    );
+    println!(
+        "Kendall tau (distortion vs rank):       {:.3}",
+        v.kendall_tau
+    );
 }
 
 fn banner(title: &str) {
@@ -269,10 +321,15 @@ fn fig5(cache: &mut WorkloadCache, scale: &Scale) {
         "{:<14} {:>22} {:>16} {:>16}",
         "engine", "routing", "time (ms)", "server ops"
     );
-    for alg in [Algorithm::WhirlpoolS, Algorithm::WhirlpoolM { processors: None }] {
-        for routing in
-            [RoutingStrategy::MaxScore, RoutingStrategy::MinScore, RoutingStrategy::MinAlive]
-        {
+    for alg in [
+        Algorithm::WhirlpoolS,
+        Algorithm::WhirlpoolM { processors: None },
+    ] {
+        for routing in [
+            RoutingStrategy::MaxScore,
+            RoutingStrategy::MinScore,
+            RoutingStrategy::MinAlive,
+        ] {
             let mut options = default_options(15);
             options.routing = routing.clone();
             let r = w.run(&query, &model, &alg, &options);
@@ -335,7 +392,10 @@ fn fig67(cache: &mut WorkloadCache, scale: &Scale) {
         }
         let (adaptive_time, adaptive_ops) = if has_adaptive {
             let r = w.run(&query, &model, &alg, &default_options(15));
-            (Some(r.elapsed.as_secs_f64() * 1e3), Some(r.metrics.server_ops as f64))
+            (
+                Some(r.elapsed.as_secs_f64() * 1e3),
+                Some(r.metrics.server_ops as f64),
+            )
         } else {
             (None, None)
         };
@@ -364,7 +424,8 @@ fn fig67(cache: &mut WorkloadCache, scale: &Scale) {
             r.time_min,
             r.time_med,
             r.time_max,
-            r.adaptive_time.map_or("-".to_string(), |t| format!("{t:.1}")),
+            r.adaptive_time
+                .map_or("-".to_string(), |t| format!("{t:.1}")),
         );
     }
 
@@ -380,7 +441,8 @@ fn fig67(cache: &mut WorkloadCache, scale: &Scale) {
             r.ops_min,
             r.ops_med,
             r.ops_max,
-            r.adaptive_ops.map_or("-".to_string(), |o| format!("{o:.0}")),
+            r.adaptive_ops
+                .map_or("-".to_string(), |o| format!("{o:.0}")),
         );
     }
 }
@@ -406,16 +468,26 @@ fn fig8(cache: &mut WorkloadCache, scale: &Scale) {
         "op cost (ms)", "Whirlpool-S ADAPTIVE", "Whirlpool-S STATIC", "LockStep", "LockStep-NoPrun"
     );
     for &cost in &costs_ms {
-        let op_cost = if cost == 0.0 { None } else { Some(millis(cost)) };
+        let op_cost = if cost == 0.0 {
+            None
+        } else {
+            Some(millis(cost))
+        };
         let run = |alg: &Algorithm, routing: RoutingStrategy| -> f64 {
             let mut options = default_options(15);
             options.routing = routing;
             options.op_cost = op_cost;
             w.run(&query, &model, alg, &options).elapsed.as_secs_f64()
         };
-        let noprune = run(&Algorithm::LockStepNoPrune, RoutingStrategy::Static(plan.clone()));
+        let noprune = run(
+            &Algorithm::LockStepNoPrune,
+            RoutingStrategy::Static(plan.clone()),
+        );
         let lockstep = run(&Algorithm::LockStep, RoutingStrategy::Static(plan.clone()));
-        let ws_static = run(&Algorithm::WhirlpoolS, RoutingStrategy::Static(plan.clone()));
+        let ws_static = run(
+            &Algorithm::WhirlpoolS,
+            RoutingStrategy::Static(plan.clone()),
+        );
         let ws_adaptive = run(&Algorithm::WhirlpoolS, RoutingStrategy::MinAlive);
         println!(
             "{:>14.2} {:>22.3} {:>20.3} {:>12.3} {:>18.3}",
@@ -456,19 +528,17 @@ fn fig9(cache: &mut WorkloadCache, scale: &Scale) {
 
         print!("{name:<6}");
         for procs in [Some(1), Some(2), Some(4), None] {
-            let ctx = QueryContext::new(
-                &w.doc,
-                &w.index,
-                &query,
-                &model,
-                ContextOptions::default(),
-            );
+            let ctx =
+                QueryContext::new(&w.doc, &w.index, &query, &model, ContextOptions::default());
             let sim = simulate_whirlpool_m(
                 &ctx,
                 &RoutingStrategy::MinAlive,
                 15,
                 QueuePolicy::MaxFinalScore,
-                &VTimeConfig { processors: procs, ..cfg.clone() },
+                &VTimeConfig {
+                    processors: procs,
+                    ..cfg.clone()
+                },
             );
             print!("{:>12.3}", sim.makespan / s_time);
         }
@@ -565,7 +635,12 @@ fn table2(cache: &mut WorkloadCache, scale: &Scale) {
         for (_, query) in &queries_list {
             let model = w.model(query);
             let maximum = w
-                .run(query, &model, &Algorithm::LockStepNoPrune, &default_options(15))
+                .run(
+                    query,
+                    &model,
+                    &Algorithm::LockStepNoPrune,
+                    &default_options(15),
+                )
                 .metrics
                 .partials_created;
             let created = w

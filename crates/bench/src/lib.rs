@@ -27,7 +27,11 @@ impl Workload {
     pub fn of_megabytes(mb: usize) -> Workload {
         let doc = generate(&GeneratorConfig::megabytes(mb));
         let index = TagIndex::build(&doc);
-        Workload { doc, index, label: format!("{mb}M") }
+        Workload {
+            doc,
+            index,
+            label: format!("{mb}M"),
+        }
     }
 
     pub fn of_bytes(bytes: usize, label: impl Into<String>) -> Workload {
@@ -37,13 +41,21 @@ impl Workload {
             max_items: None,
         });
         let index = TagIndex::build(&doc);
-        Workload { doc, index, label: label.into() }
+        Workload {
+            doc,
+            index,
+            label: label.into(),
+        }
     }
 
     pub fn of_items(items: usize) -> Workload {
         let doc = generate(&GeneratorConfig::items(items));
         let index = TagIndex::build(&doc);
-        Workload { doc, index, label: format!("{items}items") }
+        Workload {
+            doc,
+            index,
+            label: format!("{items}items"),
+        }
     }
 
     pub fn stats(&self) -> DocumentStats {
@@ -116,12 +128,16 @@ pub fn default_options(k: usize) -> EvalOptions {
         op_cost: None,
         selectivity_sample: 64,
         router_batch: 1,
+        pooling: true,
     }
 }
 
 /// Options for a static-plan run.
 pub fn static_options(k: usize, plan: StaticPlan) -> EvalOptions {
-    EvalOptions { routing: RoutingStrategy::Static(plan), ..default_options(k) }
+    EvalOptions {
+        routing: RoutingStrategy::Static(plan),
+        ..default_options(k)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -146,8 +162,14 @@ pub struct Fig3Outcome {
 /// Plan 5 = price ▷ location ▷ title, Plan 6 = price ▷ title ▷
 /// location; Plans 1/2 are the remaining title-first orders.
 pub fn fig3_plans() -> Vec<(String, StaticPlan)> {
-    let orders: [[u8; 3]; 6] =
-        [[1, 2, 3], [1, 3, 2], [2, 1, 3], [2, 3, 1], [3, 2, 1], [3, 1, 2]];
+    let orders: [[u8; 3]; 6] = [
+        [1, 2, 3],
+        [1, 3, 2],
+        [2, 1, 3],
+        [2, 3, 1],
+        [3, 2, 1],
+        [3, 1, 2],
+    ];
     orders
         .iter()
         .enumerate()
@@ -197,7 +219,10 @@ pub fn fig3_run(plan: &StaticPlan, current_top_k: f64) -> Fig3Outcome {
         frontier = next;
     }
     let snapshot = ctx.metrics.snapshot();
-    Fig3Outcome { server_ops: snapshot.server_ops, comparisons: snapshot.predicate_comparisons }
+    Fig3Outcome {
+        server_ops: snapshot.server_ops,
+        comparisons: snapshot.predicate_comparisons,
+    }
 }
 
 /// Convenience: a `Duration` from fractional milliseconds.

@@ -52,7 +52,9 @@ pub struct ScoringValidation {
 /// level, interleaved deterministically from `seed` so document order
 /// carries no signal.
 pub fn build_corpus(seed: u64, per_level: usize) -> Document {
-    let mut slots: Vec<usize> = (0..LEVELS).flat_map(|l| std::iter::repeat(l).take(per_level)).collect();
+    let mut slots: Vec<usize> = (0..LEVELS)
+        .flat_map(|l| std::iter::repeat(l).take(per_level))
+        .collect();
     // Fisher-Yates with SplitMix64 — deterministic, dependency-free.
     let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut next = || {
@@ -159,12 +161,8 @@ pub fn validate(seed: u64, per_level: usize) -> ScoringValidation {
         mean_score[l] = score_sum[l] / n;
     }
 
-    let precision_at_k = levels
-        .iter()
-        .take(per_level)
-        .filter(|&&l| l == 0)
-        .count() as f64
-        / per_level as f64;
+    let precision_at_k =
+        levels.iter().take(per_level).filter(|&&l| l == 0).count() as f64 / per_level as f64;
 
     ScoringValidation {
         per_level,

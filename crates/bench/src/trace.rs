@@ -8,9 +8,7 @@
 //! threshold after every server operation, so the growth curves of
 //! LockStep and Whirlpool-S can be compared directly.
 
-use whirlpool_core::{
-    MatchQueue, QueryContext, QueuePolicy, RelaxMode, RoutingStrategy, TopKSet,
-};
+use whirlpool_core::{MatchQueue, QueryContext, QueuePolicy, RelaxMode, RoutingStrategy, TopKSet};
 use whirlpool_pattern::StaticPlan;
 
 /// One sample: threshold value after `ops` server operations.
@@ -21,11 +19,7 @@ pub struct GrowthPoint {
 }
 
 /// Samples the pruning threshold over a LockStep (with pruning) run.
-pub fn lockstep_growth(
-    ctx: &QueryContext<'_>,
-    plan: &StaticPlan,
-    k: usize,
-) -> Vec<GrowthPoint> {
+pub fn lockstep_growth(ctx: &QueryContext<'_>, plan: &StaticPlan, k: usize) -> Vec<GrowthPoint> {
     let offer_partial = ctx.relax == RelaxMode::Relaxed;
     let full = ctx.full_mask();
     let mut topk = TopKSet::new(k);
@@ -58,7 +52,10 @@ pub fn lockstep_growth(
                     next.push(e);
                 }
             }
-            trace.push(GrowthPoint { ops, threshold: topk.threshold().value() });
+            trace.push(GrowthPoint {
+                ops,
+                threshold: topk.threshold().value(),
+            });
         }
         frontier = next;
     }
@@ -106,14 +103,21 @@ pub fn whirlpool_s_growth(
                 queue.push(ctx, e);
             }
         }
-        trace.push(GrowthPoint { ops, threshold: topk.threshold().value() });
+        trace.push(GrowthPoint {
+            ops,
+            threshold: topk.threshold().value(),
+        });
     }
     trace
 }
 
 /// The threshold value after at most `ops` operations.
 pub fn threshold_at_ops(trace: &[GrowthPoint], ops: u64) -> f64 {
-    trace.iter().take_while(|p| p.ops <= ops).last().map_or(0.0, |p| p.threshold)
+    trace
+        .iter()
+        .take_while(|p| p.ops <= ops)
+        .last()
+        .map_or(0.0, |p| p.threshold)
 }
 
 /// Interpolates a trace at a fraction of its total operation count.
@@ -188,9 +192,18 @@ mod tests {
     #[test]
     fn fraction_interpolation() {
         let trace = vec![
-            GrowthPoint { ops: 1, threshold: 0.0 },
-            GrowthPoint { ops: 5, threshold: 1.0 },
-            GrowthPoint { ops: 10, threshold: 2.0 },
+            GrowthPoint {
+                ops: 1,
+                threshold: 0.0,
+            },
+            GrowthPoint {
+                ops: 5,
+                threshold: 1.0,
+            },
+            GrowthPoint {
+                ops: 10,
+                threshold: 2.0,
+            },
         ];
         assert_eq!(threshold_at_fraction(&trace, 0.0), 0.0);
         assert_eq!(threshold_at_fraction(&trace, 0.5), 1.0);

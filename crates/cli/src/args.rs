@@ -26,7 +26,9 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 fn err(message: impl Into<String>) -> ArgError {
-    ArgError { message: message.into() }
+    ArgError {
+        message: message.into(),
+    }
 }
 
 impl Parsed {
@@ -47,7 +49,9 @@ impl Parsed {
                     let value = it
                         .next()
                         .ok_or_else(|| err(format!("--{name} needs a value")))?;
-                    parsed.options.insert(name.to_string(), Some(value.to_string()));
+                    parsed
+                        .options
+                        .insert(name.to_string(), Some(value.to_string()));
                 } else {
                     parsed.options.insert(name.to_string(), None);
                 }
@@ -74,10 +78,7 @@ impl Parsed {
     /// Rejects unexpected extra positionals.
     pub fn expect_positionals(&self, n: usize) -> Result<(), ArgError> {
         if self.positional.len() > n {
-            return Err(err(format!(
-                "unexpected argument {:?}",
-                self.positional[n]
-            )));
+            return Err(err(format!("unexpected argument {:?}", self.positional[n])));
         }
         Ok(())
     }

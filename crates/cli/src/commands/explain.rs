@@ -50,7 +50,10 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     }
 
     writeln!(out)?;
-    writeln!(out, "conditional predicate sequences (exact-mode join checks):")?;
+    writeln!(
+        out,
+        "conditional predicate sequences (exact-mode join checks):"
+    )?;
     for server in ctx.server_ids() {
         let spec = ctx.server_spec(server);
         if spec.conditional.is_empty() {

@@ -23,7 +23,13 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     };
 
     let doc = generate(&config);
-    let xml = write_document(&doc, &WriteOptions { indent: None, declaration: true });
+    let xml = write_document(
+        &doc,
+        &WriteOptions {
+            indent: None,
+            declaration: true,
+        },
+    );
     std::fs::write(&path, &xml)
         .map_err(|e| CliError::Usage(format!("cannot write {path}: {e}")))?;
 

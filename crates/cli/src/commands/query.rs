@@ -4,16 +4,17 @@ use crate::args::Parsed;
 use crate::commands::{load_document, load_query};
 use crate::CliError;
 use std::io::Write;
-use whirlpool_core::{
-    evaluate, Algorithm, EvalOptions, QueuePolicy, RelaxMode, RoutingStrategy,
-};
+use whirlpool_core::{evaluate, Algorithm, EvalOptions, QueuePolicy, RelaxMode, RoutingStrategy};
 use whirlpool_index::TagIndex;
 use whirlpool_pattern::StaticPlan;
 use whirlpool_score::{Normalization, TfIdfModel};
 use whirlpool_xml::{write_node, WriteOptions};
 
 pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
-    let parsed = Parsed::parse(argv, &["k", "algorithm", "routing", "queue", "norm", "batch"])?;
+    let parsed = Parsed::parse(
+        argv,
+        &["k", "algorithm", "routing", "queue", "norm", "batch"],
+    )?;
     let file = parsed.positional(0, "file.xml")?.to_string();
     let query_src = parsed.positional(1, "query")?.to_string();
     parsed.expect_positionals(2)?;
@@ -41,9 +42,7 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
         "min-alive" => RoutingStrategy::MinAlive,
         "max-score" => RoutingStrategy::MaxScore,
         "min-score" => RoutingStrategy::MinScore,
-        "static" => {
-            RoutingStrategy::Static(StaticPlan::in_id_order(query.server_ids().count()))
-        }
+        "static" => RoutingStrategy::Static(StaticPlan::in_id_order(query.server_ids().count())),
         other => return Err(CliError::Usage(format!("--routing: unknown {other:?}"))),
     };
     let queue = match parsed.value("queue").unwrap_or("max-final") {
@@ -56,12 +55,17 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
 
     let options = EvalOptions {
         k: parsed.number("k", 10)?,
-        relax: if parsed.flag("exact") { RelaxMode::Exact } else { RelaxMode::Relaxed },
+        relax: if parsed.flag("exact") {
+            RelaxMode::Exact
+        } else {
+            RelaxMode::Relaxed
+        },
         routing,
         queue,
         op_cost: None,
         selectivity_sample: 64,
         router_batch: parsed.number("batch", 1)?,
+        pooling: !parsed.flag("no-pool"),
     };
 
     let result = evaluate(&doc, &index, &query, &model, &algorithm, &options);
@@ -74,13 +78,26 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "algorithm: {}", algorithm.name())?;
     writeln!(out, "answers:   {}", result.answers.len())?;
     for (rank, a) in result.answers.iter().enumerate() {
-        write!(out, "  #{:<3} score {:<8.4} node {:?}", rank + 1, a.score.value(), a.root)?;
+        write!(
+            out,
+            "  #{:<3} score {:<8.4} node {:?}",
+            rank + 1,
+            a.score.value(),
+            a.root
+        )?;
         if let Some(id) = doc.attribute(a.root, "id") {
             write!(out, "  id={id}")?;
         }
         writeln!(out)?;
         if parsed.flag("xml") {
-            let xml = write_node(&doc, a.root, &WriteOptions { indent: Some(2), declaration: false });
+            let xml = write_node(
+                &doc,
+                a.root,
+                &WriteOptions {
+                    indent: Some(2),
+                    declaration: false,
+                },
+            );
             for line in xml.lines() {
                 writeln!(out, "      {line}")?;
             }
@@ -126,7 +143,11 @@ fn write_json(
     writeln!(out, "{{")?;
     writeln!(out, "  \"query\": \"{}\",", escape(&query.to_string()))?;
     writeln!(out, "  \"algorithm\": \"{}\",", algorithm.name())?;
-    writeln!(out, "  \"elapsed_ms\": {:.3},", result.elapsed.as_secs_f64() * 1e3)?;
+    writeln!(
+        out,
+        "  \"elapsed_ms\": {:.3},",
+        result.elapsed.as_secs_f64() * 1e3
+    )?;
     let m = &result.metrics;
     writeln!(
         out,
@@ -135,7 +156,11 @@ fn write_json(
     )?;
     writeln!(out, "  \"answers\": [")?;
     for (i, a) in result.answers.iter().enumerate() {
-        let comma = if i + 1 < result.answers.len() { "," } else { "" };
+        let comma = if i + 1 < result.answers.len() {
+            ","
+        } else {
+            ""
+        };
         let id = doc
             .attribute(a.root, "id")
             .map(|v| format!(", \"id\": \"{}\"", escape(v)))

@@ -33,9 +33,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "stats" => commands::stats::run(&rest, out),
         "relax" => commands::relax::run(&rest, out),
         "explain" => commands::explain::run(&rest, out),
-        "help" | "--help" | "-h" => {
-            write!(out, "{}", HELP).map_err(CliError::from)
-        }
+        "help" | "--help" | "-h" => write!(out, "{}", HELP).map_err(CliError::from),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}; run `whirlpool help`"
         ))),

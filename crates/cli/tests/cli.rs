@@ -13,7 +13,9 @@ fn run_ok(argv: &[&str]) -> String {
 fn run_err(argv: &[&str]) -> String {
     let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
     let mut out = Vec::new();
-    run(&argv, &mut out).expect_err("expected failure").to_string()
+    run(&argv, &mut out)
+        .expect_err("expected failure")
+        .to_string()
 }
 
 /// A scratch directory unique to this test binary run.
@@ -40,7 +42,13 @@ fn sample_file() -> std::path::PathBuf {
 #[test]
 fn query_returns_ranked_answers() {
     let file = sample_file();
-    let out = run_ok(&["query", file.to_str().unwrap(), "//book[./title and ./isbn]", "--k", "3"]);
+    let out = run_ok(&[
+        "query",
+        file.to_str().unwrap(),
+        "//book[./title and ./isbn]",
+        "--k",
+        "3",
+    ]);
     assert!(out.contains("answers:   3"), "{out}");
     assert!(out.contains("#1"), "{out}");
     assert!(out.contains("id=a"), "{out}");
@@ -62,7 +70,14 @@ fn query_exact_mode_filters() {
 #[test]
 fn query_xml_flag_prints_fragments() {
     let file = sample_file();
-    let out = run_ok(&["query", file.to_str().unwrap(), "//book[./isbn]", "--k", "1", "--xml"]);
+    let out = run_ok(&[
+        "query",
+        file.to_str().unwrap(),
+        "//book[./isbn]",
+        "--k",
+        "1",
+        "--xml",
+    ]);
     assert!(out.contains("<isbn>"), "{out}");
 }
 
@@ -159,8 +174,22 @@ fn generate_then_stats_then_query_pipeline() {
 fn generate_is_seed_deterministic() {
     let p1 = scratch("gen1.xml");
     let p2 = scratch("gen2.xml");
-    run_ok(&["generate", p1.to_str().unwrap(), "--items", "20", "--seed", "9"]);
-    run_ok(&["generate", p2.to_str().unwrap(), "--items", "20", "--seed", "9"]);
+    run_ok(&[
+        "generate",
+        p1.to_str().unwrap(),
+        "--items",
+        "20",
+        "--seed",
+        "9",
+    ]);
+    run_ok(&[
+        "generate",
+        p2.to_str().unwrap(),
+        "--items",
+        "20",
+        "--seed",
+        "9",
+    ]);
     assert_eq!(std::fs::read(&p1).unwrap(), std::fs::read(&p2).unwrap());
 }
 
@@ -173,14 +202,28 @@ fn index_then_query_from_binary_store() {
     )
     .unwrap();
     let store_path = scratch("indexed.wpx");
-    let out = run_ok(&["index", xml_path.to_str().unwrap(), store_path.to_str().unwrap()]);
+    let out = run_ok(&[
+        "index",
+        xml_path.to_str().unwrap(),
+        store_path.to_str().unwrap(),
+    ]);
     assert!(out.contains("indexed"), "{out}");
 
     // Querying the store must give the same answers as the XML.
-    let from_xml =
-        run_ok(&["query", xml_path.to_str().unwrap(), "//book[./title and ./isbn]", "--k", "2"]);
-    let from_store =
-        run_ok(&["query", store_path.to_str().unwrap(), "//book[./title and ./isbn]", "--k", "2"]);
+    let from_xml = run_ok(&[
+        "query",
+        xml_path.to_str().unwrap(),
+        "//book[./title and ./isbn]",
+        "--k",
+        "2",
+    ]);
+    let from_store = run_ok(&[
+        "query",
+        store_path.to_str().unwrap(),
+        "//book[./title and ./isbn]",
+        "--k",
+        "2",
+    ]);
     let strip = |s: &str| {
         s.lines()
             .filter(|l| !l.starts_with("elapsed"))
@@ -205,7 +248,11 @@ fn relax_lists_relaxations() {
 #[test]
 fn explain_shows_weights_and_selectivity() {
     let file = sample_file();
-    let out = run_ok(&["explain", file.to_str().unwrap(), "//book[./title and ./isbn]"]);
+    let out = run_ok(&[
+        "explain",
+        file.to_str().unwrap(),
+        "//book[./title and ./isbn]",
+    ]);
     assert!(out.contains("root candidates: 3"), "{out}");
     assert!(out.contains("title"), "{out}");
     assert!(out.contains("w-exact"), "{out}");

@@ -2,9 +2,10 @@
 
 use crate::metrics::Metrics;
 use crate::partial::{Binding, PartialMatch};
+use crate::pool::MatchPool;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
-use whirlpool_index::{estimate_selectivity, ServerSelectivity, TagIndex};
+use whirlpool_index::{estimate_selectivity, RangeCursor, ServerSelectivity, TagIndex};
 use whirlpool_pattern::{
     compile_servers, Direction, QNodeId, ServerSpec, TreePattern, ValueTest, WILDCARD,
 };
@@ -27,14 +28,55 @@ pub enum RelaxMode {
     Relaxed,
 }
 
-/// How a server's candidate universe resolves against the document.
-enum CandidateTag {
+/// How a server's candidate universe resolves against the document,
+/// with the per-root candidate ranges precomputed at construction.
+enum ServerRange<'a> {
     /// The tag never occurs: the server always takes the null path.
     Absent,
-    /// A normal tag with postings.
-    Tag(TagId),
-    /// The wildcard: every descendant of the root match is a candidate.
+    /// The wildcard: every descendant of the root match is a candidate —
+    /// an id-contiguous range, scanned without materializing anything.
     Any,
+    /// A normal tag (or tag+value) posting list. `bounds` is aligned
+    /// with the context's `root_candidates`: `bounds[rank]` is the
+    /// `(lo, hi)` sub-slice of `list` holding that root's proper
+    /// descendants, computed in one cursor merge pass per server
+    /// instead of two binary searches per root at runtime. `tag` and
+    /// `by_value` survive only for the fallback scan when a match is
+    /// rooted outside the precomputed candidate set.
+    Postings {
+        list: &'a [NodeId],
+        bounds: Vec<(u32, u32)>,
+        tag: TagId,
+        by_value: bool,
+    },
+}
+
+/// A server's candidate stream for one match: either a posting
+/// sub-slice or the raw subtree id range (wildcard). Iterating
+/// allocates nothing.
+enum Candidates<'s> {
+    Slice(std::slice::Iter<'s, NodeId>),
+    Range(u32, u32),
+}
+
+impl Iterator for Candidates<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        match self {
+            Candidates::Slice(it) => it.next().copied(),
+            Candidates::Range(lo, hi) => {
+                if lo < hi {
+                    let n = NodeId::from_index(*lo as usize);
+                    *lo += 1;
+                    Some(n)
+                } else {
+                    None
+                }
+            }
+        }
+    }
 }
 
 /// Everything the engines share for one query evaluation: the document
@@ -56,8 +98,11 @@ pub struct QueryContext<'a> {
     pub metrics: Metrics,
     /// Compiled spec for each server; `servers[i]` serves `QNodeId(i+1)`.
     servers: Vec<ServerSpec>,
-    /// Resolved candidate universe per server.
-    server_tags: Vec<CandidateTag>,
+    /// Resolved candidate universe per server, with per-root ranges.
+    server_ranges: Vec<ServerRange<'a>>,
+    /// Node id → rank in `root_candidates` (`u32::MAX` for non-roots);
+    /// O(1) access to the precomputed candidate ranges.
+    root_rank: Vec<u32>,
     /// Sampled selectivity per server (same indexing as `servers`).
     selectivity: Vec<ServerSelectivity>,
     /// Max possible contribution per query node (indexed by QNodeId).
@@ -70,6 +115,9 @@ pub struct QueryContext<'a> {
     /// Injected artificial cost per server operation (busy-wait), for
     /// the Figure 8 experiment.
     op_cost: Option<Duration>,
+    /// Whether pools handed out by [`QueryContext::new_pool`] recycle
+    /// binding buffers (otherwise they degrade to plain allocation).
+    pooling: bool,
     seq: AtomicU64,
 }
 
@@ -82,11 +130,21 @@ pub struct ContextOptions {
     pub selectivity_sample: usize,
     /// Busy-wait per server operation (Figure 8's op-cost sweep).
     pub op_cost: Option<Duration>,
+    /// Recycle partial-match binding buffers through [`MatchPool`]s
+    /// (`true`, the default) or allocate each extension fresh. Answer
+    /// sets are identical either way; disabling exists for A/B
+    /// measurement of the allocator traffic.
+    pub pooling: bool,
 }
 
 impl Default for ContextOptions {
     fn default() -> Self {
-        ContextOptions { relax: RelaxMode::Relaxed, selectivity_sample: 64, op_cost: None }
+        ContextOptions {
+            relax: RelaxMode::Relaxed,
+            selectivity_sample: 64,
+            op_cost: None,
+            pooling: true,
+        }
     }
 }
 
@@ -102,17 +160,6 @@ impl<'a> QueryContext<'a> {
         options: ContextOptions,
     ) -> Self {
         let servers = compile_servers(pattern);
-        let server_tags = servers
-            .iter()
-            .map(|s| {
-                if s.tag == WILDCARD {
-                    CandidateTag::Any
-                } else {
-                    doc.tag_id(&s.tag).map_or(CandidateTag::Absent, CandidateTag::Tag)
-                }
-            })
-            .collect();
-
         let root_node = pattern.node(pattern.root());
         let root_universe: Vec<NodeId> = if root_node.tag == WILDCARD {
             doc.elements().collect()
@@ -129,14 +176,66 @@ impl<'a> QueryContext<'a> {
                 // `//tag`: anywhere.
                 whirlpool_pattern::Axis::Descendant => true,
             })
-            .filter(|&n| root_node.value.as_ref().map_or(true, |v| v.matches(doc.text(n))))
             .filter(|&n| {
-                root_node.attrs.iter().all(|a| a.matches(doc.attribute(n, &a.name)))
+                root_node
+                    .value
+                    .as_ref()
+                    .map_or(true, |v| v.matches(doc.text(n)))
+            })
+            .filter(|&n| {
+                root_node
+                    .attrs
+                    .iter()
+                    .all(|a| a.matches(doc.attribute(n, &a.name)))
             })
             .collect();
 
-        let selectivity =
-            estimate_selectivity(doc, index, &root_candidates, &servers, options.selectivity_sample);
+        // One merge pass per server: resolve its posting list once (the
+        // value-equality lookup included, so no repeated hashing at
+        // runtime) and record each root candidate's descendant range.
+        // Roots ascend in document order, so the cursor gallops.
+        let mut root_rank = vec![u32::MAX; doc.len()];
+        for (rank, &r) in root_candidates.iter().enumerate() {
+            root_rank[r.index()] = rank as u32;
+        }
+        let server_ranges = servers
+            .iter()
+            .map(|s| {
+                if s.tag == WILDCARD {
+                    return ServerRange::Any;
+                }
+                let Some(tag) = doc.tag_id(&s.tag) else {
+                    return ServerRange::Absent;
+                };
+                let (list, by_value) = match &s.value {
+                    Some(ValueTest::Eq(v)) => (index.nodes_with_tag_value(tag, v), true),
+                    _ => (index.nodes_with_tag(tag), false),
+                };
+                let mut cursor = RangeCursor::new(list);
+                let bounds = root_candidates
+                    .iter()
+                    .map(|&r| {
+                        let end = index.subtree_end(r).index() as u32;
+                        let (lo, hi) = cursor.bounds(r, end);
+                        (lo as u32, hi as u32)
+                    })
+                    .collect();
+                ServerRange::Postings {
+                    list,
+                    bounds,
+                    tag,
+                    by_value,
+                }
+            })
+            .collect();
+
+        let selectivity = estimate_selectivity(
+            doc,
+            index,
+            &root_candidates,
+            &servers,
+            options.selectivity_sample,
+        );
 
         let mut max_contrib = vec![0.0; pattern.len()];
         max_contrib[0] = model.max_contribution(QNodeId::ROOT);
@@ -153,13 +252,15 @@ impl<'a> QueryContext<'a> {
             relax: options.relax,
             metrics: Metrics::new(),
             servers,
-            server_tags,
+            server_ranges,
+            root_rank,
             selectivity,
             max_contrib,
             total_server_max,
             root_candidates,
             full_mask: PartialMatch::full_mask(pattern.len()),
             op_cost: options.op_cost,
+            pooling: options.pooling,
             seq: AtomicU64::new(0),
         }
     }
@@ -200,6 +301,14 @@ impl<'a> QueryContext<'a> {
         self.seq.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// A fresh binding-buffer pool honoring this context's pooling flag
+    /// and reporting into its metrics. Engines create one per run (one
+    /// per worker thread in Whirlpool-M — pools are intentionally not
+    /// thread-safe).
+    pub fn new_pool(&self) -> MatchPool<'_> {
+        MatchPool::reporting(self.pooling, &self.metrics)
+    }
+
     // -- match generation -------------------------------------------------
 
     /// The root server's output: one initial partial match per candidate
@@ -215,7 +324,8 @@ impl<'a> QueryContext<'a> {
                     self.next_seq(),
                     self.pattern.len(),
                     node,
-                    self.model.contribution(QNodeId::ROOT, node, MatchLevel::Exact),
+                    self.model
+                        .contribution(QNodeId::ROOT, node, MatchLevel::Exact),
                     self.total_server_max,
                 )
             })
@@ -238,6 +348,20 @@ impl<'a> QueryContext<'a> {
         m: &PartialMatch,
         out: &mut Vec<PartialMatch>,
     ) -> usize {
+        self.process_at_server_pooled(server, m, out, &mut self.new_pool())
+    }
+
+    /// [`process_at_server`](Self::process_at_server), but drawing the
+    /// extensions' binding buffers from `pool`. All engines call this
+    /// with a long-lived pool; the unpooled entry point above merely
+    /// wraps it with a throwaway one.
+    pub fn process_at_server_pooled(
+        &self,
+        server: QNodeId,
+        m: &PartialMatch,
+        out: &mut Vec<PartialMatch>,
+        pool: &mut MatchPool<'_>,
+    ) -> usize {
         debug_assert!(!m.has_visited(server));
         self.metrics.add_server_op();
         if let Some(cost) = self.op_cost {
@@ -250,22 +374,47 @@ impl<'a> QueryContext<'a> {
         let server_max = self.max_contrib[server.index()];
         let before = out.len();
 
-        let wildcard_candidates: Vec<NodeId>;
-        let candidates: &[NodeId] = match (&self.server_tags[server.index() - 1], &spec.value) {
-            (CandidateTag::Absent, _) => &[],
-            (CandidateTag::Any, _) => {
-                wildcard_candidates = self.index.descendants_any(root).collect();
-                &wildcard_candidates
+        let server_range = &self.server_ranges[server.index() - 1];
+        let candidates = match server_range {
+            ServerRange::Absent => Candidates::Slice([].iter()),
+            ServerRange::Any => Candidates::Range(
+                root.index() as u32 + 1,
+                self.index.subtree_end(root).index() as u32,
+            ),
+            ServerRange::Postings {
+                list,
+                bounds,
+                tag,
+                by_value,
+            } => {
+                match self.root_rank.get(root.index()).copied() {
+                    Some(rank) if rank != u32::MAX => {
+                        let (lo, hi) = bounds[rank as usize];
+                        Candidates::Slice(list[lo as usize..hi as usize].iter())
+                    }
+                    // A match rooted outside the precomputed candidate
+                    // set (reachable only by calling process_at_server
+                    // directly): fall back to the binary-search scan.
+                    _ => Candidates::Slice(
+                        if *by_value {
+                            match &spec.value {
+                                Some(ValueTest::Eq(v)) => {
+                                    self.index.descendants_with_tag_value(root, *tag, v)
+                                }
+                                _ => unreachable!("by_value without an Eq value test"),
+                            }
+                        } else {
+                            self.index.descendants_with_tag(root, *tag)
+                        }
+                        .iter(),
+                    ),
+                }
             }
-            (CandidateTag::Tag(tag), Some(ValueTest::Eq(v))) => {
-                self.index.descendants_with_tag_value(root, *tag, v)
-            }
-            (CandidateTag::Tag(tag), _) => self.index.descendants_with_tag(root, *tag),
         };
-        let is_wildcard = matches!(self.server_tags[server.index() - 1], CandidateTag::Any);
+        let is_wildcard = matches!(server_range, ServerRange::Any);
 
         let mut comparisons = 0u64;
-        for &cand in candidates {
+        for cand in candidates {
             // A wildcard universe may still carry a value test, checked
             // here rather than through the value postings.
             if is_wildcard {
@@ -326,8 +475,7 @@ impl<'a> QueryContext<'a> {
             let mut valid = true;
             if self.relax == RelaxMode::Exact {
                 for cp in &spec.conditional {
-                    let Binding::Matched { node: other, .. } = m.bindings[cp.other.index()]
-                    else {
+                    let Binding::Matched { node: other, .. } = m.bindings[cp.other.index()] else {
                         continue;
                     };
                     comparisons += 1;
@@ -350,7 +498,8 @@ impl<'a> QueryContext<'a> {
             }
 
             let contribution = self.model.contribution(server, cand, level);
-            out.push(m.extend(
+            out.push(m.extend_in(
+                pool,
                 self.next_seq(),
                 server,
                 Binding::Matched { node: cand, level },
@@ -363,7 +512,14 @@ impl<'a> QueryContext<'a> {
         // Outer-join semantics: no candidate ⇒ one null extension (the
         // leaf-deletion relaxation). In exact mode the match simply dies.
         if out.len() == before && self.relax == RelaxMode::Relaxed {
-            out.push(m.extend(self.next_seq(), server, Binding::Null, 0.0, server_max));
+            out.push(m.extend_in(
+                pool,
+                self.next_seq(),
+                server,
+                Binding::Null,
+                0.0,
+                server_max,
+            ));
         }
 
         let produced = out.len() - before;
@@ -403,7 +559,12 @@ mod tests {
             let index = TagIndex::build(&doc);
             let pattern = parse_pattern(query).unwrap();
             let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
-            Fixture { doc, index, pattern, model }
+            Fixture {
+                doc,
+                index,
+                pattern,
+                model,
+            }
         }
 
         fn ctx(&self, relax: RelaxMode) -> QueryContext<'_> {
@@ -412,7 +573,10 @@ mod tests {
                 &self.index,
                 &self.pattern,
                 &self.model,
-                ContextOptions { relax, ..ContextOptions::default() },
+                ContextOptions {
+                    relax,
+                    ..ContextOptions::default()
+                },
             )
         }
     }
@@ -466,7 +630,10 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert!(matches!(
             out[0].bindings[1],
-            Binding::Matched { level: MatchLevel::Exact, .. }
+            Binding::Matched {
+                level: MatchLevel::Exact,
+                ..
+            }
         ));
 
         // Book 1: title under reviews → relaxed level, lower score.
@@ -475,7 +642,10 @@ mod tests {
         assert_eq!(out1.len(), 1);
         assert!(matches!(
             out1[0].bindings[1],
-            Binding::Matched { level: MatchLevel::Relaxed, .. }
+            Binding::Matched {
+                level: MatchLevel::Relaxed,
+                ..
+            }
         ));
         assert!(out1[0].score < out[0].score);
 
@@ -534,7 +704,10 @@ mod tests {
             assert_eq!(after_pub.len(), 1);
             let level_is_exact = matches!(
                 after_pub[0].bindings[2],
-                Binding::Matched { level: MatchLevel::Exact, .. }
+                Binding::Matched {
+                    level: MatchLevel::Exact,
+                    ..
+                }
             );
             assert_eq!(
                 level_is_exact, expect_exact,

@@ -66,6 +66,10 @@ pub struct EvalOptions {
     /// routing, the paper's default; >1 = its §6.3.3 future-work
     /// proposal).
     pub router_batch: usize,
+    /// Recycle partial-match binding buffers through per-run (per-
+    /// thread, for Whirlpool-M) [`MatchPool`](crate::MatchPool)s.
+    /// Defaults to `true`; answer sets are identical either way.
+    pub pooling: bool,
 }
 
 impl EvalOptions {
@@ -80,6 +84,7 @@ impl EvalOptions {
             op_cost: None,
             selectivity_sample: 64,
             router_batch: 1,
+            pooling: true,
         }
     }
 }
@@ -137,6 +142,7 @@ pub fn evaluate(
             relax: options.relax,
             selectivity_sample: options.selectivity_sample,
             op_cost: options.op_cost,
+            pooling: options.pooling,
         },
     );
     evaluate_with_context(&ctx, algorithm, options)
@@ -178,7 +184,11 @@ pub fn evaluate_with_context(
     };
     let elapsed = start.elapsed();
 
-    EvalResult { answers, metrics: ctx.metrics.snapshot(), elapsed }
+    EvalResult {
+        answers,
+        metrics: ctx.metrics.snapshot(),
+        elapsed,
+    }
 }
 
 #[cfg(test)]
@@ -216,11 +226,17 @@ mod tests {
             Algorithm::LockStep,
             Algorithm::WhirlpoolS,
             Algorithm::WhirlpoolM { processors: None },
-            Algorithm::WhirlpoolM { processors: Some(2) },
+            Algorithm::WhirlpoolM {
+                processors: Some(2),
+            },
         ] {
             let got = evaluate(&doc, &index, &pattern, &model, &alg, &options);
             let gs: Vec<_> = got.answers.iter().map(|r| (r.root, r.score)).collect();
-            let rs: Vec<_> = reference.answers.iter().map(|r| (r.root, r.score)).collect();
+            let rs: Vec<_> = reference
+                .answers
+                .iter()
+                .map(|r| (r.root, r.score))
+                .collect();
             assert_eq!(gs, rs, "algorithm {}", alg.name());
         }
     }
@@ -254,9 +270,23 @@ mod tests {
         let pattern = parse_pattern("//book[./t]").unwrap();
         let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
         let mut options = EvalOptions::top_k(2);
-        let fast = evaluate(&doc, &index, &pattern, &model, &Algorithm::WhirlpoolS, &options);
+        let fast = evaluate(
+            &doc,
+            &index,
+            &pattern,
+            &model,
+            &Algorithm::WhirlpoolS,
+            &options,
+        );
         options.op_cost = Some(Duration::from_millis(5));
-        let slow = evaluate(&doc, &index, &pattern, &model, &Algorithm::WhirlpoolS, &options);
+        let slow = evaluate(
+            &doc,
+            &index,
+            &pattern,
+            &model,
+            &Algorithm::WhirlpoolS,
+            &options,
+        );
         assert!(slow.elapsed > fast.elapsed);
         assert!(slow.elapsed >= Duration::from_millis(5) * slow.metrics.server_ops as u32);
     }
@@ -264,6 +294,9 @@ mod tests {
     #[test]
     fn algorithm_names() {
         assert_eq!(Algorithm::LockStepNoPrune.name(), "LockStep-NoPrun");
-        assert_eq!(Algorithm::WhirlpoolM { processors: None }.name(), "Whirlpool-M");
+        assert_eq!(
+            Algorithm::WhirlpoolM { processors: None }.name(),
+            "Whirlpool-M"
+        );
     }
 }

@@ -64,6 +64,7 @@ mod lockstep;
 mod metrics;
 pub mod naive;
 mod partial;
+mod pool;
 mod queue;
 mod router;
 pub mod threshold;
@@ -78,6 +79,7 @@ pub use engine::{evaluate, evaluate_with_context, Algorithm, EvalOptions, EvalRe
 pub use lockstep::{run_lockstep, run_lockstep_noprune};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use partial::{Binding, PartialMatch};
+pub use pool::MatchPool;
 pub use queue::{MatchQueue, QueuePolicy};
 pub use router::RoutingStrategy;
 pub use threshold::run_threshold;

@@ -32,6 +32,7 @@ pub fn run_lockstep(
     let offer_partial = ctx.relax == RelaxMode::Relaxed;
     let full = ctx.full_mask();
     let mut topk = TopKSet::new(k);
+    let mut pool = ctx.new_pool();
     let mut frontier = ctx.make_root_matches();
     if offer_partial {
         for m in &frontier {
@@ -53,16 +54,19 @@ pub fn run_lockstep(
         for (_, m) in keyed {
             if topk.should_prune(&m) {
                 ctx.metrics.add_pruned();
+                pool.release(m);
                 continue;
             }
             exts.clear();
-            ctx.process_at_server(server, &m, &mut exts);
+            ctx.process_at_server_pooled(server, &m, &mut exts, &mut pool);
+            pool.release(m);
             for e in exts.drain(..) {
                 if offer_partial || e.is_complete(full) {
                     topk.offer_match(&e);
                 }
                 if topk.should_prune(&e) {
                     ctx.metrics.add_pruned();
+                    pool.release(e);
                     continue;
                 }
                 next.push(e);
@@ -96,6 +100,7 @@ pub fn run_lockstep_noprune(
 ) -> Vec<RankedAnswer> {
     let full = ctx.full_mask();
     let mut topk = TopKSet::new(k);
+    let mut pool = ctx.new_pool();
     let mut frontier = Vec::new();
     let mut next = Vec::new();
     for root_match in ctx.make_root_matches() {
@@ -104,13 +109,15 @@ pub fn run_lockstep_noprune(
         for &server in plan.order() {
             next.clear();
             for m in frontier.drain(..) {
-                ctx.process_at_server(server, &m, &mut next);
+                ctx.process_at_server_pooled(server, &m, &mut next, &mut pool);
+                pool.release(m);
             }
             std::mem::swap(&mut frontier, &mut next);
         }
         for m in frontier.drain(..) {
             debug_assert!(m.is_complete(full));
             topk.offer_match(&m);
+            pool.release(m);
         }
     }
     topk.ranked()
@@ -143,7 +150,10 @@ mod tests {
             &index,
             &pattern,
             &model,
-            ContextOptions { relax, ..Default::default() },
+            ContextOptions {
+                relax,
+                ..Default::default()
+            },
         );
         let plan = StaticPlan::in_id_order(pattern.server_ids().count());
         if prune {
@@ -156,8 +166,18 @@ mod tests {
     #[test]
     fn pruned_and_unpruned_agree_on_answers() {
         for k in [1, 2, 3, 5] {
-            let a = run("//book[./title and ./isbn and ./price]", k, RelaxMode::Relaxed, true);
-            let b = run("//book[./title and ./isbn and ./price]", k, RelaxMode::Relaxed, false);
+            let a = run(
+                "//book[./title and ./isbn and ./price]",
+                k,
+                RelaxMode::Relaxed,
+                true,
+            );
+            let b = run(
+                "//book[./title and ./isbn and ./price]",
+                k,
+                RelaxMode::Relaxed,
+                false,
+            );
             let sa: Vec<_> = a.iter().map(|r| (r.root, r.score)).collect();
             let sb: Vec<_> = b.iter().map(|r| (r.root, r.score)).collect();
             assert_eq!(sa, sb, "k={k}");
@@ -166,7 +186,12 @@ mod tests {
 
     #[test]
     fn best_answer_is_the_richest_book() {
-        let answers = run("//book[./title and ./isbn and ./price]", 5, RelaxMode::Relaxed, true);
+        let answers = run(
+            "//book[./title and ./isbn and ./price]",
+            5,
+            RelaxMode::Relaxed,
+            true,
+        );
         assert_eq!(answers.len(), 5);
         // Scores strictly decrease over the first three books (3, 2, 1
         // exact predicates satisfied).

@@ -5,7 +5,6 @@
 //! ally count individual join-predicate comparisons (the unit of
 //! Figure 3) and pruning/routing activity.
 
-use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Shared, thread-safe counters. All engines update the same set so the
@@ -24,6 +23,12 @@ pub struct Metrics {
     pub pruned: AtomicU64,
     /// Adaptive routing decisions taken.
     pub routing_decisions: AtomicU64,
+    /// Binding buffers allocated fresh from the heap (pool misses plus
+    /// all allocations when pooling is disabled).
+    pub buffers_allocated: AtomicU64,
+    /// Binding buffers recycled from a [`MatchPool`](crate::MatchPool)
+    /// free list instead of being allocated.
+    pub buffers_reused: AtomicU64,
 }
 
 impl Metrics {
@@ -62,6 +67,18 @@ impl Metrics {
         self.routing_decisions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts `n` binding buffers allocated fresh from the heap.
+    #[inline]
+    pub fn add_buffers_allocated(&self, n: u64) {
+        self.buffers_allocated.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts `n` binding buffers recycled from a pool free list.
+    #[inline]
+    pub fn add_buffers_reused(&self, n: u64) {
+        self.buffers_reused.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// A plain-value copy for reporting.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -70,12 +87,14 @@ impl Metrics {
             partials_created: self.partials_created.load(Ordering::Relaxed),
             pruned: self.pruned.load(Ordering::Relaxed),
             routing_decisions: self.routing_decisions.load(Ordering::Relaxed),
+            buffers_allocated: self.buffers_allocated.load(Ordering::Relaxed),
+            buffers_reused: self.buffers_reused.load(Ordering::Relaxed),
         }
     }
 }
 
-/// Plain-value counters, comparable and serializable.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+/// Plain-value counters, comparable and cheap to copy around.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// Partial matches processed by servers.
     pub server_ops: u64,
@@ -87,6 +106,23 @@ pub struct MetricsSnapshot {
     pub pruned: u64,
     /// Adaptive routing decisions taken.
     pub routing_decisions: u64,
+    /// Binding buffers allocated fresh from the heap.
+    pub buffers_allocated: u64,
+    /// Binding buffers recycled from a pool free list.
+    pub buffers_reused: u64,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of binding-buffer requests served from the pool, in
+    /// `[0, 1]`; zero when nothing was requested.
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.buffers_allocated + self.buffers_reused;
+        if total == 0 {
+            0.0
+        } else {
+            self.buffers_reused as f64 / total as f64
+        }
+    }
 }
 
 #[cfg(test)]

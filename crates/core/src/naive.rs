@@ -57,7 +57,11 @@ fn count_limited(
             return 0;
         }
     }
-    if !spec.attrs.iter().all(|a| a.matches(doc.attribute(node, &a.name))) {
+    if !spec
+        .attrs
+        .iter()
+        .all(|a| a.matches(doc.attribute(node, &a.name)))
+    {
         return 0;
     }
     let mut total = 1usize;
@@ -118,10 +122,7 @@ mod tests {
 
     #[test]
     fn counts_multiplicities() {
-        let doc = parse_document(
-            "<r><item><a/><a/><b/><b/><b/></item></r>",
-        )
-        .unwrap();
+        let doc = parse_document("<r><item><a/><a/><b/><b/><b/></item></r>").unwrap();
         let q = parse_pattern("//item[./a and ./b]").unwrap();
         let roots = exact_match_roots(&doc, &q);
         assert_eq!(roots.len(), 1);

@@ -65,9 +65,18 @@ impl PartialMatch {
     ///
     /// `root_contribution` is the root binding's own score;
     /// `remaining_max` is the sum of all servers' maximum contributions.
-    pub fn new_root(seq: u64, query_len: usize, root: NodeId, root_contribution: f64, remaining_max: f64) -> Self {
+    pub fn new_root(
+        seq: u64,
+        query_len: usize,
+        root: NodeId,
+        root_contribution: f64,
+        remaining_max: f64,
+    ) -> Self {
         let mut bindings = vec![Binding::Unbound; query_len].into_boxed_slice();
-        bindings[0] = Binding::Matched { node: root, level: MatchLevel::Exact };
+        bindings[0] = Binding::Matched {
+            node: root,
+            level: MatchLevel::Exact,
+        };
         let score = Score::new(root_contribution);
         PartialMatch {
             seq,
@@ -84,7 +93,9 @@ impl PartialMatch {
     /// Panics if the root binding is missing — impossible for matches
     /// produced by the engines.
     pub fn root(&self) -> NodeId {
-        self.bindings[0].node().expect("partial match without a root binding")
+        self.bindings[0]
+            .node()
+            .expect("partial match without a root binding")
     }
 
     /// Has the given server already processed this match?
@@ -96,6 +107,32 @@ impl PartialMatch {
     /// be `Null` — those took the leaf-deletion path).
     pub fn is_complete(&self, full_mask: u64) -> bool {
         self.visited == full_mask
+    }
+
+    /// [`extend`](Self::extend), but drawing the child's binding buffer
+    /// from `pool` instead of allocating — the engines' hot path.
+    /// Behavior is identical; only the allocator traffic differs.
+    pub fn extend_in(
+        &self,
+        pool: &mut crate::pool::MatchPool<'_>,
+        seq: u64,
+        server: QNodeId,
+        binding: Binding,
+        contribution: f64,
+        server_max: f64,
+    ) -> PartialMatch {
+        debug_assert!(!self.has_visited(server), "server visited twice");
+        let mut bindings = pool.acquire_copy(&self.bindings);
+        bindings[server.index()] = binding;
+        let score = self.score.plus(contribution);
+        let max_final = Score::new(self.max_final.value() - server_max + contribution);
+        PartialMatch {
+            seq,
+            bindings,
+            visited: self.visited | (1 << server.0),
+            score,
+            max_final,
+        }
     }
 
     /// Derives the child match produced by binding `server` to
@@ -115,7 +152,13 @@ impl PartialMatch {
         bindings[server.index()] = binding;
         let score = self.score.plus(contribution);
         let max_final = Score::new(self.max_final.value() - server_max + contribution);
-        PartialMatch { seq, bindings, visited: self.visited | (1 << server.0), score, max_final }
+        PartialMatch {
+            seq,
+            bindings,
+            visited: self.visited | (1 << server.0),
+            score,
+            max_final,
+        }
     }
 
     /// The bitmask covering a query of `len` nodes.
@@ -130,7 +173,9 @@ impl PartialMatch {
 
     /// Servers not yet visited, given the query length.
     pub fn unvisited(&self, query_len: usize) -> impl Iterator<Item = QNodeId> + '_ {
-        (1..query_len as u8).map(QNodeId).filter(move |q| !self.has_visited(*q))
+        (1..query_len as u8)
+            .map(QNodeId)
+            .filter(move |q| !self.has_visited(*q))
     }
 }
 
@@ -160,7 +205,10 @@ mod tests {
         let e = m.extend(
             1,
             QNodeId(1),
-            Binding::Matched { node: n(5), level: MatchLevel::Exact },
+            Binding::Matched {
+                node: n(5),
+                level: MatchLevel::Exact,
+            },
             0.4,
             1.0,
         );

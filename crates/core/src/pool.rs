@@ -1,0 +1,202 @@
+//! Recycling of partial-match binding buffers.
+//!
+//! Every [`PartialMatch::extend`] clones its parent's `Box<[Binding]>`,
+//! so the engines' hot loop is one heap allocation per extension —
+//! millions on the Table-1 workloads. A [`MatchPool`] is a free list of
+//! retired buffers: engines release the buffers of pruned, completed,
+//! and consumed matches back to their pool, and
+//! [`PartialMatch::extend_in`] copies the parent's bindings into a
+//! recycled buffer instead of allocating a fresh one. All buffers
+//! within one evaluation have the same width (the query length), so any
+//! retired buffer fits any extension.
+//!
+//! Pools are deliberately **not** shared between threads: Whirlpool-M
+//! gives each server thread its own pool, trading a little reuse for
+//! zero synchronization on the hot path. A disabled pool (see
+//! [`ContextOptions::pooling`](crate::ContextOptions)) degrades to
+//! plain allocation so the engines stay byte-identical in behavior
+//! either way — only the allocator traffic changes.
+//!
+//! [`PartialMatch::extend`]: crate::PartialMatch::extend
+//! [`PartialMatch::extend_in`]: crate::PartialMatch::extend_in
+
+use crate::metrics::Metrics;
+use crate::partial::{Binding, PartialMatch};
+
+/// A free list of retired binding buffers (see the module docs).
+///
+/// Obtain one from [`QueryContext::new_pool`](crate::QueryContext::new_pool)
+/// so that the pool inherits the context's pooling flag and reports its
+/// allocation counters into the context metrics when dropped.
+pub struct MatchPool<'m> {
+    free: Vec<Box<[Binding]>>,
+    enabled: bool,
+    allocated: u64,
+    reused: u64,
+    metrics: Option<&'m Metrics>,
+}
+
+impl<'m> MatchPool<'m> {
+    /// A stand-alone pool; `enabled: false` makes every acquisition a
+    /// plain allocation and every release a drop.
+    pub fn new(enabled: bool) -> MatchPool<'static> {
+        MatchPool {
+            free: Vec::new(),
+            enabled,
+            allocated: 0,
+            reused: 0,
+            metrics: None,
+        }
+    }
+
+    /// A pool that adds its counters to `metrics` when dropped.
+    pub fn reporting(enabled: bool, metrics: &'m Metrics) -> Self {
+        MatchPool {
+            free: Vec::new(),
+            enabled,
+            allocated: 0,
+            reused: 0,
+            metrics: Some(metrics),
+        }
+    }
+
+    /// Is recycling active (as opposed to plain allocation)?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// A buffer holding a copy of `src`: recycled when one is free,
+    /// freshly allocated otherwise.
+    #[inline]
+    pub fn acquire_copy(&mut self, src: &[Binding]) -> Box<[Binding]> {
+        if let Some(mut buf) = self.free.pop() {
+            debug_assert_eq!(buf.len(), src.len(), "pooled buffer width mismatch");
+            if buf.len() == src.len() {
+                self.reused += 1;
+                buf.copy_from_slice(src);
+                return buf;
+            }
+        }
+        self.allocated += 1;
+        src.to_vec().into_boxed_slice()
+    }
+
+    /// Retires a match, keeping its buffer for reuse.
+    #[inline]
+    pub fn release(&mut self, m: PartialMatch) {
+        if self.enabled {
+            self.free.push(m.bindings);
+        }
+    }
+
+    /// Buffers acquired by fresh allocation so far.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Buffers acquired by recycling so far.
+    pub fn reused(&self) -> u64 {
+        self.reused
+    }
+
+    /// Retired buffers currently waiting for reuse.
+    pub fn free_len(&self) -> usize {
+        self.free.len()
+    }
+}
+
+impl Drop for MatchPool<'_> {
+    fn drop(&mut self) {
+        if let Some(metrics) = self.metrics {
+            if self.allocated > 0 {
+                metrics.add_buffers_allocated(self.allocated);
+            }
+            if self.reused > 0 {
+                metrics.add_buffers_reused(self.reused);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whirlpool_pattern::QNodeId;
+    use whirlpool_score::MatchLevel;
+    use whirlpool_xml::NodeId;
+
+    fn root_match(seq: u64) -> PartialMatch {
+        PartialMatch::new_root(seq, 3, NodeId::from_index(1), 0.0, 2.0)
+    }
+
+    fn bind(i: usize) -> Binding {
+        Binding::Matched {
+            node: NodeId::from_index(i),
+            level: MatchLevel::Exact,
+        }
+    }
+
+    #[test]
+    fn recycles_released_buffers() {
+        let mut pool = MatchPool::new(true);
+        let parent = root_match(0);
+        let child = parent.extend_in(&mut pool, 1, QNodeId(1), bind(5), 0.5, 1.0);
+        assert_eq!(pool.allocated(), 1);
+        assert_eq!(pool.reused(), 0);
+
+        pool.release(child);
+        assert_eq!(pool.free_len(), 1);
+        let again = parent.extend_in(&mut pool, 2, QNodeId(2), bind(7), 0.25, 1.0);
+        assert_eq!(pool.reused(), 1);
+        assert_eq!(pool.free_len(), 0);
+        // The recycled buffer carries no trace of its previous life.
+        assert_eq!(again.bindings[1], Binding::Unbound);
+        assert_eq!(again.bindings[2], bind(7));
+    }
+
+    #[test]
+    fn pooled_extension_equals_plain_extension() {
+        let mut pool = MatchPool::new(true);
+        let parent = root_match(0);
+        // Churn the pool so the pooled path goes through a recycled
+        // buffer with stale contents.
+        let stale = parent.extend_in(&mut pool, 9, QNodeId(2), bind(9), 0.1, 1.0);
+        pool.release(stale);
+
+        let plain = parent.extend(1, QNodeId(1), bind(4), 0.5, 1.0);
+        let pooled = parent.extend_in(&mut pool, 1, QNodeId(1), bind(4), 0.5, 1.0);
+        assert_eq!(plain.bindings, pooled.bindings);
+        assert_eq!(plain.visited, pooled.visited);
+        assert_eq!(plain.score, pooled.score);
+        assert_eq!(plain.max_final, pooled.max_final);
+        assert!(pool.reused() >= 1);
+    }
+
+    #[test]
+    fn disabled_pool_never_recycles() {
+        let mut pool = MatchPool::new(false);
+        let parent = root_match(0);
+        let child = parent.extend_in(&mut pool, 1, QNodeId(1), bind(5), 0.5, 1.0);
+        pool.release(child);
+        assert_eq!(pool.free_len(), 0);
+        let _ = parent.extend_in(&mut pool, 2, QNodeId(2), bind(6), 0.5, 1.0);
+        assert_eq!(pool.allocated(), 2);
+        assert_eq!(pool.reused(), 0);
+    }
+
+    #[test]
+    fn drop_reports_into_metrics() {
+        let metrics = Metrics::new();
+        {
+            let mut pool = MatchPool::reporting(true, &metrics);
+            let parent = root_match(0);
+            let child = parent.extend_in(&mut pool, 1, QNodeId(1), bind(5), 0.5, 1.0);
+            pool.release(child);
+            let _ = parent.extend_in(&mut pool, 2, QNodeId(2), bind(6), 0.5, 1.0);
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.buffers_allocated, 1);
+        assert_eq!(snap.buffers_reused, 1);
+        assert!((snap.pool_hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -31,12 +31,7 @@ pub enum QueuePolicy {
 impl QueuePolicy {
     /// The priority key for `m` waiting on `server` (None for the
     /// router's server-agnostic queue).
-    pub fn key(
-        self,
-        ctx: &QueryContext<'_>,
-        m: &PartialMatch,
-        server: Option<QNodeId>,
-    ) -> Score {
+    pub fn key(self, ctx: &QueryContext<'_>, m: &PartialMatch, server: Option<QNodeId>) -> Score {
         match self {
             // FIFO keys are handled by the tie-break (earlier seq wins);
             // a constant key makes the heap a FIFO-by-seq queue.
@@ -82,7 +77,9 @@ impl PartialOrd for Entry {
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Max-heap on key, then min-heap on seq.
-        self.key.cmp(&other.key).then_with(|| other.seq.cmp(&self.seq))
+        self.key
+            .cmp(&other.key)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -90,7 +87,11 @@ impl MatchQueue {
     /// An empty queue under `policy`, feeding `server` (`None` for the
     /// router queue).
     pub fn new(policy: QueuePolicy, server: Option<QNodeId>) -> Self {
-        MatchQueue { policy, server, heap: BinaryHeap::new() }
+        MatchQueue {
+            policy,
+            server,
+            heap: BinaryHeap::new(),
+        }
     }
 
     /// Enqueues a match (its key is computed at push time).
@@ -139,7 +140,10 @@ mod tests {
             &index,
             &pattern,
             &model,
-            ContextOptions { relax: RelaxMode::Relaxed, ..Default::default() },
+            ContextOptions {
+                relax: RelaxMode::Relaxed,
+                ..Default::default()
+            },
         );
         f(&ctx);
     }
@@ -170,8 +174,9 @@ mod tests {
             q.push(ctx, m(0, 0.0, 1.0));
             q.push(ctx, m(1, 0.0, 3.0));
             q.push(ctx, m(2, 0.0, 2.0));
-            let finals: Vec<f64> =
-                std::iter::from_fn(|| q.pop()).map(|x| x.max_final.value()).collect();
+            let finals: Vec<f64> = std::iter::from_fn(|| q.pop())
+                .map(|x| x.max_final.value())
+                .collect();
             assert_eq!(finals, vec![3.0, 2.0, 1.0]);
         });
     }

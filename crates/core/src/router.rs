@@ -45,20 +45,13 @@ impl RoutingStrategy {
     /// Picks the next server for `m` (which must not be complete).
     /// `threshold` is the current k-th score, used by the size-based
     /// estimate.
-    pub fn choose(
-        &self,
-        ctx: &QueryContext<'_>,
-        m: &PartialMatch,
-        threshold: Score,
-    ) -> QNodeId {
+    pub fn choose(&self, ctx: &QueryContext<'_>, m: &PartialMatch, threshold: Score) -> QNodeId {
         ctx.metrics.add_routing_decision();
         match self {
             RoutingStrategy::Static(plan) => plan
                 .next_server(m.visited)
                 .expect("routing a complete match through a static plan"),
-            RoutingStrategy::MaxScore => {
-                self.pick(ctx, m, |s| expected_contribution(ctx, s), true)
-            }
+            RoutingStrategy::MaxScore => self.pick(ctx, m, |s| expected_contribution(ctx, s), true),
             RoutingStrategy::MinScore => {
                 self.pick(ctx, m, |s| expected_contribution(ctx, s), false)
             }
@@ -173,7 +166,10 @@ mod tests {
             &index,
             &pattern,
             &model,
-            ContextOptions { relax: RelaxMode::Relaxed, ..Default::default() },
+            ContextOptions {
+                relax: RelaxMode::Relaxed,
+                ..Default::default()
+            },
         );
         f(&ctx);
     }

@@ -28,6 +28,7 @@ pub fn run_threshold(
 ) -> Vec<RankedAnswer> {
     let full = ctx.full_mask();
     let mut best: HashMap<NodeId, Score> = HashMap::new();
+    let mut pool = ctx.new_pool();
     let mut queue = MatchQueue::new(QueuePolicy::MaxFinalScore, None);
 
     let record = |best: &mut HashMap<NodeId, Score>, root: NodeId, score: Score| {
@@ -40,10 +41,12 @@ pub fn run_threshold(
     for m in ctx.make_root_matches() {
         if m.max_final < tau {
             ctx.metrics.add_pruned();
+            pool.release(m);
             continue;
         }
         if m.is_complete(full) {
             record(&mut best, m.root(), m.score);
+            pool.release(m);
         } else {
             queue.push(ctx, m);
         }
@@ -55,22 +58,27 @@ pub fn run_threshold(
         // everything queued already cleared it.
         let server = routing.choose(ctx, &m, tau);
         exts.clear();
-        ctx.process_at_server(server, &m, &mut exts);
+        ctx.process_at_server_pooled(server, &m, &mut exts, &mut pool);
+        pool.release(m);
         for e in exts.drain(..) {
             if e.max_final < tau {
                 ctx.metrics.add_pruned();
+                pool.release(e);
                 continue;
             }
             if e.is_complete(full) {
                 record(&mut best, e.root(), e.score);
+                pool.release(e);
             } else {
                 queue.push(ctx, e);
             }
         }
     }
 
-    let mut answers: Vec<RankedAnswer> =
-        best.into_iter().map(|(root, score)| RankedAnswer { root, score }).collect();
+    let mut answers: Vec<RankedAnswer> = best
+        .into_iter()
+        .map(|(root, score)| RankedAnswer { root, score })
+        .collect();
     answers.sort_by(|a, b| b.score.cmp(&a.score).then(a.root.cmp(&b.root)));
     answers
 }
@@ -103,15 +111,17 @@ mod tests {
             &index,
             &pattern,
             &model,
-            ContextOptions { relax, ..Default::default() },
+            ContextOptions {
+                relax,
+                ..Default::default()
+            },
         );
         f(&ctx);
     }
 
     /// Reference: scores of all answers from an exhaustive top-k run.
     fn all_answers(ctx: &QueryContext<'_>) -> Vec<RankedAnswer> {
-        evaluate_with_context(ctx, &Algorithm::LockStepNoPrune, &EvalOptions::top_k(1_000))
-            .answers
+        evaluate_with_context(ctx, &Algorithm::LockStepNoPrune, &EvalOptions::top_k(1_000)).answers
     }
 
     #[test]
@@ -121,8 +131,10 @@ mod tests {
         for tau in [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5] {
             harness(RelaxMode::Relaxed, |ctx| {
                 let got = run_threshold(ctx, &RoutingStrategy::MinAlive, Score::new(tau));
-                let expected: Vec<_> =
-                    reference.iter().filter(|a| a.score.value() >= tau).collect();
+                let expected: Vec<_> = reference
+                    .iter()
+                    .filter(|a| a.score.value() >= tau)
+                    .collect();
                 assert_eq!(got.len(), expected.len(), "tau={tau}");
                 for (g, e) in got.iter().zip(&expected) {
                     assert_eq!(g.score, e.score, "tau={tau}");

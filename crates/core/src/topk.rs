@@ -40,7 +40,11 @@ impl TopKSet {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "top-k with k = 0");
-        TopKSet { k, by_root: HashMap::new(), ordered: BTreeSet::new() }
+        TopKSet {
+            k,
+            by_root: HashMap::new(),
+            ordered: BTreeSet::new(),
+        }
     }
 
     /// The configured answer count.
@@ -65,7 +69,11 @@ impl TopKSet {
         if self.ordered.len() < self.k {
             Score::ZERO
         } else {
-            self.ordered.iter().next().map(|(s, _)| *s).unwrap_or(Score::ZERO)
+            self.ordered
+                .iter()
+                .next()
+                .map(|(s, _)| *s)
+                .unwrap_or(Score::ZERO)
         }
     }
 
@@ -248,17 +256,35 @@ mod tests {
     #[test]
     fn equivalence_accepts_tail_tie_swaps() {
         let a = vec![
-            RankedAnswer { root: n(1), score: Score::new(3.0) },
-            RankedAnswer { root: n(2), score: Score::new(2.0) },
+            RankedAnswer {
+                root: n(1),
+                score: Score::new(3.0),
+            },
+            RankedAnswer {
+                root: n(2),
+                score: Score::new(2.0),
+            },
         ];
         let b_same = a.clone();
         let b_tail_tie = vec![
-            RankedAnswer { root: n(1), score: Score::new(3.0) },
-            RankedAnswer { root: n(9), score: Score::new(2.0) },
+            RankedAnswer {
+                root: n(1),
+                score: Score::new(3.0),
+            },
+            RankedAnswer {
+                root: n(9),
+                score: Score::new(2.0),
+            },
         ];
         let b_wrong_score = vec![
-            RankedAnswer { root: n(1), score: Score::new(3.0) },
-            RankedAnswer { root: n(2), score: Score::new(1.0) },
+            RankedAnswer {
+                root: n(1),
+                score: Score::new(3.0),
+            },
+            RankedAnswer {
+                root: n(2),
+                score: Score::new(1.0),
+            },
         ];
         assert!(answers_equivalent(&a, &b_same, 1e-9));
         // The 2.0 group touches the end: root swap allowed.
@@ -270,12 +296,24 @@ mod tests {
     #[test]
     fn equivalence_rejects_interior_root_swaps() {
         let a = vec![
-            RankedAnswer { root: n(1), score: Score::new(3.0) },
-            RankedAnswer { root: n(2), score: Score::new(2.0) },
+            RankedAnswer {
+                root: n(1),
+                score: Score::new(3.0),
+            },
+            RankedAnswer {
+                root: n(2),
+                score: Score::new(2.0),
+            },
         ];
         let b = vec![
-            RankedAnswer { root: n(7), score: Score::new(3.0) },
-            RankedAnswer { root: n(2), score: Score::new(2.0) },
+            RankedAnswer {
+                root: n(7),
+                score: Score::new(3.0),
+            },
+            RankedAnswer {
+                root: n(2),
+                score: Score::new(2.0),
+            },
         ];
         // The 3.0 "group" does not touch the end; its roots must agree.
         assert!(!answers_equivalent(&a, &b, 1e-9));
@@ -284,14 +322,32 @@ mod tests {
     #[test]
     fn equivalence_allows_reorder_within_interior_ties() {
         let a = vec![
-            RankedAnswer { root: n(1), score: Score::new(3.0) },
-            RankedAnswer { root: n(2), score: Score::new(3.0) },
-            RankedAnswer { root: n(3), score: Score::new(1.0) },
+            RankedAnswer {
+                root: n(1),
+                score: Score::new(3.0),
+            },
+            RankedAnswer {
+                root: n(2),
+                score: Score::new(3.0),
+            },
+            RankedAnswer {
+                root: n(3),
+                score: Score::new(1.0),
+            },
         ];
         let b = vec![
-            RankedAnswer { root: n(2), score: Score::new(3.0) },
-            RankedAnswer { root: n(1), score: Score::new(3.0) },
-            RankedAnswer { root: n(3), score: Score::new(1.0) },
+            RankedAnswer {
+                root: n(2),
+                score: Score::new(3.0),
+            },
+            RankedAnswer {
+                root: n(1),
+                score: Score::new(3.0),
+            },
+            RankedAnswer {
+                root: n(3),
+                score: Score::new(1.0),
+            },
         ];
         assert!(answers_equivalent(&a, &b, 1e-9));
     }

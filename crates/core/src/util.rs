@@ -14,7 +14,10 @@ impl Semaphore {
     /// Panics if `permits == 0` (would deadlock every acquirer).
     pub fn new(permits: usize) -> Self {
         assert!(permits > 0, "semaphore with zero permits");
-        Semaphore { permits: Mutex::new(permits), cv: Condvar::new() }
+        Semaphore {
+            permits: Mutex::new(permits),
+            cv: Condvar::new(),
+        }
     }
 
     /// Blocks until a permit is available; the permit is released when

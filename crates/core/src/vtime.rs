@@ -99,12 +99,15 @@ pub fn simulate_whirlpool_m(
     }
     let worker_count = worker_queue.len();
 
+    let mut pool = ctx.new_pool();
     for m in ctx.make_root_matches() {
         let complete = m.is_complete(full_mask);
         if offer_partial || complete {
             topk.offer_match(&m);
         }
-        if !complete {
+        if complete {
+            pool.release(m);
+        } else {
             queues[ROUTER].push(ctx, m);
         }
     }
@@ -129,7 +132,9 @@ pub fn simulate_whirlpool_m(
             let candidate = (0..worker_count)
                 .filter(|&w| running[w].is_none() && !queues[worker_queue[w]].is_empty())
                 .max_by(|&a, &b| {
-                    queues[worker_queue[a]].peek_key().cmp(&queues[worker_queue[b]].peek_key())
+                    queues[worker_queue[a]]
+                        .peek_key()
+                        .cmp(&queues[worker_queue[b]].peek_key())
                 });
             let Some(w) = candidate else { break };
             let q = worker_queue[w];
@@ -140,6 +145,7 @@ pub fn simulate_whirlpool_m(
             let m = queues[q].pop().expect("non-empty queue");
             if q != ROUTER && topk.should_prune(&m) {
                 ctx.metrics.add_pruned();
+                pool.release(m);
                 continue;
             }
             let duration = if q == ROUTER {
@@ -164,22 +170,29 @@ pub fn simulate_whirlpool_m(
         if q == ROUTER {
             let server = routing.choose(ctx, &m, topk.threshold());
             // server QNodeId -> queue index.
-            let t = server_ids.iter().position(|&s| s == server).expect("known server") + 1;
+            let t = server_ids
+                .iter()
+                .position(|&s| s == server)
+                .expect("known server")
+                + 1;
             queues[t].push(ctx, m);
         } else {
             let server = server_ids[q - 1];
             exts.clear();
-            ctx.process_at_server(server, &m, &mut exts);
+            ctx.process_at_server_pooled(server, &m, &mut exts, &mut pool);
+            pool.release(m);
             for e in exts.drain(..) {
                 let complete = e.is_complete(full_mask);
                 if offer_partial || complete {
                     topk.offer_match(&e);
                 }
                 if complete {
+                    pool.release(e);
                     continue;
                 }
                 if topk.should_prune(&e) {
                     ctx.metrics.add_pruned();
+                    pool.release(e);
                     continue;
                 }
                 queues[ROUTER].push(ctx, e);
@@ -187,7 +200,11 @@ pub fn simulate_whirlpool_m(
         }
     }
 
-    VTimeResult { makespan, answers: topk.ranked(), metrics: ctx.metrics.snapshot() }
+    VTimeResult {
+        makespan,
+        answers: topk.ranked(),
+        metrics: ctx.metrics.snapshot(),
+    }
 }
 
 /// The virtual execution time of a *sequential* engine run (Whirlpool-S
@@ -253,7 +270,10 @@ mod tests {
                     &RoutingStrategy::MinAlive,
                     3,
                     QueuePolicy::MaxFinalScore,
-                    &VTimeConfig { processors: procs, ..Default::default() },
+                    &VTimeConfig {
+                        processors: procs,
+                        ..Default::default()
+                    },
                 );
                 let gs: Vec<_> = result.answers.iter().map(|r| (r.root, r.score)).collect();
                 let rs: Vec<_> = reference.iter().map(|r| (r.root, r.score)).collect();
@@ -275,7 +295,10 @@ mod tests {
                     &RoutingStrategy::MinAlive,
                     3,
                     QueuePolicy::MaxFinalScore,
-                    &VTimeConfig { processors: procs, ..Default::default() },
+                    &VTimeConfig {
+                        processors: procs,
+                        ..Default::default()
+                    },
                 );
                 spans.push(r.makespan);
             });
@@ -290,7 +313,10 @@ mod tests {
     #[test]
     fn one_processor_costs_at_least_the_sequential_time() {
         harness(|ctx| {
-            let cfg = VTimeConfig { processors: Some(1), ..Default::default() };
+            let cfg = VTimeConfig {
+                processors: Some(1),
+                ..Default::default()
+            };
             let r = simulate_whirlpool_m(
                 ctx,
                 &RoutingStrategy::MinAlive,
@@ -319,7 +345,10 @@ mod tests {
                 &RoutingStrategy::MinAlive,
                 3,
                 QueuePolicy::MaxFinalScore,
-                &VTimeConfig { threads_per_server: 1, ..Default::default() },
+                &VTimeConfig {
+                    threads_per_server: 1,
+                    ..Default::default()
+                },
             );
             base = r.makespan;
             reference = r.answers;
@@ -331,9 +360,16 @@ mod tests {
                     &RoutingStrategy::MinAlive,
                     3,
                     QueuePolicy::MaxFinalScore,
-                    &VTimeConfig { threads_per_server: tps, ..Default::default() },
+                    &VTimeConfig {
+                        threads_per_server: tps,
+                        ..Default::default()
+                    },
                 );
-                assert!(r.makespan <= base * 1.05, "tps={tps}: {} vs {base}", r.makespan);
+                assert!(
+                    r.makespan <= base * 1.05,
+                    "tps={tps}: {} vs {base}",
+                    r.makespan
+                );
                 assert!(
                     crate::topk::answers_equivalent(&r.answers, &reference, 1e-9),
                     "tps={tps}"

@@ -57,7 +57,10 @@ struct SharedQueue {
 
 impl SharedQueue {
     fn new(policy: QueuePolicy, server: Option<QNodeId>) -> Self {
-        SharedQueue { inner: Mutex::new(MatchQueue::new(policy, server)), cv: Condvar::new() }
+        SharedQueue {
+            inner: Mutex::new(MatchQueue::new(policy, server)),
+            cv: Condvar::new(),
+        }
     }
 
     fn push(&self, ctx: &QueryContext<'_>, m: crate::partial::PartialMatch) {
@@ -210,10 +213,16 @@ fn router_loop(shared: &Shared<'_, '_>, routing: &RoutingStrategy) {
 
 fn server_loop(shared: &Shared<'_, '_>, server: QNodeId) {
     let ctx = shared.ctx;
+    // One pool per worker thread: recycling needs no synchronization,
+    // at the price of buffers retiring into whichever thread consumed
+    // them rather than the one that allocated them.
+    let mut pool = ctx.new_pool();
     let mut exts = Vec::new();
+    let mut survivors = Vec::new();
     while let Some(m) = shared.server_queue(server).pop_wait(&shared.done) {
         if shared.topk.lock().should_prune(&m) {
             ctx.metrics.add_pruned();
+            pool.release(m);
             shared.adjust_in_flight(-1);
             continue;
         }
@@ -222,28 +231,31 @@ fn server_loop(shared: &Shared<'_, '_>, server: QNodeId) {
         {
             // The processor budget covers the join work itself.
             let _permit = shared.sem.as_ref().map(Semaphore::acquire);
-            ctx.process_at_server(server, &m, &mut exts);
+            ctx.process_at_server_pooled(server, &m, &mut exts, &mut pool);
         }
+        pool.release(m);
 
         let mut kept = 0i64;
         {
             let mut topk = shared.topk.lock();
-            exts.retain(|e| {
+            for e in exts.drain(..) {
                 let complete = e.is_complete(shared.full_mask);
                 if shared.offer_partial || complete {
-                    topk.offer_match(e);
+                    topk.offer_match(&e);
                 }
                 if complete {
-                    return false;
+                    pool.release(e);
+                    continue;
                 }
-                if topk.should_prune(e) {
+                if topk.should_prune(&e) {
                     ctx.metrics.add_pruned();
-                    return false;
+                    pool.release(e);
+                    continue;
                 }
-                true
-            });
+                survivors.push(e);
+            }
         }
-        for e in exts.drain(..) {
+        for e in survivors.drain(..) {
             shared.router_queue.push(ctx, e);
             kept += 1;
         }
@@ -280,7 +292,10 @@ mod tests {
             &index,
             &pattern,
             &model,
-            ContextOptions { relax, ..Default::default() },
+            ContextOptions {
+                relax,
+                ..Default::default()
+            },
         );
         f(&ctx, pattern.server_ids().count());
     }
@@ -401,16 +416,9 @@ mod tests {
         let doc = parse_document(SRC).unwrap();
         let index = TagIndex::build(&doc);
         let pattern = parse_pattern("//book[./title and ./isbn]").unwrap();
-        let model =
-            TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
+        let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
         for i in 0..300 {
-            let ctx = QueryContext::new(
-                &doc,
-                &index,
-                &pattern,
-                &model,
-                ContextOptions::default(),
-            );
+            let ctx = QueryContext::new(&doc, &index, &pattern, &model, ContextOptions::default());
             let got = run_whirlpool_m(
                 &ctx,
                 &RoutingStrategy::MinAlive,

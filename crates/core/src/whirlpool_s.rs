@@ -44,6 +44,7 @@ pub fn run_whirlpool_s_batched(
     let offer_partial = ctx.relax == RelaxMode::Relaxed;
     let full = ctx.full_mask();
     let mut topk = TopKSet::new(k);
+    let mut pool = ctx.new_pool();
     let mut queue = MatchQueue::new(queue_policy, None);
 
     for m in ctx.make_root_matches() {
@@ -51,7 +52,9 @@ pub fn run_whirlpool_s_batched(
         if offer_partial || complete {
             topk.offer_match(&m);
         }
-        if !complete {
+        if complete {
+            pool.release(m);
+        } else {
             queue.push(ctx, m);
         }
     }
@@ -64,6 +67,7 @@ pub fn run_whirlpool_s_batched(
         // match was queued.
         if topk.should_prune(&m) {
             ctx.metrics.add_pruned();
+            pool.release(m);
             continue;
         }
         debug_assert!(!m.is_complete(full), "complete matches are never queued");
@@ -77,6 +81,7 @@ pub fn run_whirlpool_s_batched(
             let Some(x) = queue.pop() else { break };
             if topk.should_prune(&x) {
                 ctx.metrics.add_pruned();
+                pool.release(x);
                 continue;
             }
             if x.visited == visited {
@@ -92,17 +97,20 @@ pub fn run_whirlpool_s_batched(
         let server = routing.choose(ctx, &group[0], topk.threshold());
         for m in group.drain(..) {
             exts.clear();
-            ctx.process_at_server(server, &m, &mut exts);
+            ctx.process_at_server_pooled(server, &m, &mut exts, &mut pool);
+            pool.release(m);
             for e in exts.drain(..) {
                 let complete = e.is_complete(full);
                 if offer_partial || complete {
                     topk.offer_match(&e);
                 }
                 if complete {
+                    pool.release(e);
                     continue;
                 }
                 if topk.should_prune(&e) {
                     ctx.metrics.add_pruned();
+                    pool.release(e);
                     continue;
                 }
                 queue.push(ctx, e);
@@ -132,11 +140,7 @@ mod tests {
         <book><isbn>5</isbn><price>1</price></book>\
         </shelf>";
 
-    fn harness(
-        query: &str,
-        relax: RelaxMode,
-        f: impl FnOnce(&QueryContext<'_>, usize),
-    ) {
+    fn harness(query: &str, relax: RelaxMode, f: impl FnOnce(&QueryContext<'_>, usize)) {
         let doc = parse_document(SRC).unwrap();
         let index = TagIndex::build(&doc);
         let pattern = parse_pattern(query).unwrap();
@@ -146,7 +150,10 @@ mod tests {
             &index,
             &pattern,
             &model,
-            ContextOptions { relax, ..Default::default() },
+            ContextOptions {
+                relax,
+                ..Default::default()
+            },
         );
         let servers = pattern.server_ids().count();
         f(&ctx, servers);
@@ -158,15 +165,15 @@ mod tests {
         for k in [1, 2, 3, 6] {
             let mut reference = Vec::new();
             harness(query, RelaxMode::Relaxed, |ctx, servers| {
-                reference =
-                    run_lockstep_noprune(ctx, &StaticPlan::in_id_order(servers), k);
+                reference = run_lockstep_noprune(ctx, &StaticPlan::in_id_order(servers), k);
             });
-            for routing in
-                [RoutingStrategy::MinAlive, RoutingStrategy::MaxScore, RoutingStrategy::MinScore]
-            {
+            for routing in [
+                RoutingStrategy::MinAlive,
+                RoutingStrategy::MaxScore,
+                RoutingStrategy::MinScore,
+            ] {
                 harness(query, RelaxMode::Relaxed, |ctx, _| {
-                    let got =
-                        run_whirlpool_s(ctx, &routing, k, QueuePolicy::MaxFinalScore);
+                    let got = run_whirlpool_s(ctx, &routing, k, QueuePolicy::MaxFinalScore);
                     assert!(
                         crate::topk::answers_equivalent(&got, &reference, 1e-9),
                         "k={k} routing={}: {got:?} vs {reference:?}",
@@ -183,7 +190,12 @@ mod tests {
         let mut a = Vec::new();
         let mut b = Vec::new();
         harness(query, RelaxMode::Relaxed, |ctx, servers| {
-            a = run_lockstep(ctx, &StaticPlan::in_id_order(servers), 3, QueuePolicy::MaxFinalScore);
+            a = run_lockstep(
+                ctx,
+                &StaticPlan::in_id_order(servers),
+                3,
+                QueuePolicy::MaxFinalScore,
+            );
         });
         harness(query, RelaxMode::Relaxed, |ctx, servers| {
             let routing = RoutingStrategy::Static(StaticPlan::in_id_order(servers));
@@ -203,7 +215,12 @@ mod tests {
             a = run_lockstep_noprune(ctx, &StaticPlan::in_id_order(servers), 10);
         });
         harness(query, RelaxMode::Exact, |ctx, _| {
-            b = run_whirlpool_s(ctx, &RoutingStrategy::MinAlive, 10, QueuePolicy::MaxFinalScore);
+            b = run_whirlpool_s(
+                ctx,
+                &RoutingStrategy::MinAlive,
+                10,
+                QueuePolicy::MaxFinalScore,
+            );
         });
         assert_eq!(a.len(), b.len());
         let sa: Vec<_> = a.iter().map(|r| (r.root, r.score)).collect();
@@ -213,10 +230,19 @@ mod tests {
 
     #[test]
     fn pruning_happens_for_small_k() {
-        harness("//book[./title and ./isbn and ./price]", RelaxMode::Relaxed, |ctx, _| {
-            let _ = run_whirlpool_s(ctx, &RoutingStrategy::MinAlive, 1, QueuePolicy::MaxFinalScore);
-            assert!(ctx.metrics.snapshot().pruned > 0);
-        });
+        harness(
+            "//book[./title and ./isbn and ./price]",
+            RelaxMode::Relaxed,
+            |ctx, _| {
+                let _ = run_whirlpool_s(
+                    ctx,
+                    &RoutingStrategy::MinAlive,
+                    1,
+                    QueuePolicy::MaxFinalScore,
+                );
+                assert!(ctx.metrics.snapshot().pruned > 0);
+            },
+        );
     }
 
     #[test]
@@ -227,8 +253,7 @@ mod tests {
             reference = run_lockstep_noprune(ctx, &StaticPlan::in_id_order(servers), 4);
         });
         harness(query, RelaxMode::Relaxed, |ctx, _| {
-            let got =
-                run_whirlpool_s(ctx, &RoutingStrategy::MinAlive, 4, QueuePolicy::Fifo);
+            let got = run_whirlpool_s(ctx, &RoutingStrategy::MinAlive, 4, QueuePolicy::Fifo);
             let gs: Vec<_> = got.iter().map(|r| (r.root, r.score)).collect();
             let rs: Vec<_> = reference.iter().map(|r| (r.root, r.score)).collect();
             assert_eq!(gs, rs);

@@ -1,0 +1,167 @@
+//! Amortized descendant-range scans over sorted posting lists.
+//!
+//! [`TagIndex::descendants_with_tag`](crate::TagIndex::descendants_with_tag)
+//! answers each query with two binary searches over the full posting
+//! list. When a caller scans *many* ancestors in ascending document
+//! order — exactly what happens when a query context resolves every
+//! root candidate against a server's postings — the binary searches
+//! re-cover the same prefix over and over. A [`RangeCursor`] remembers
+//! where the previous range ended and *gallops* (exponential search)
+//! forward from there, so a full merge pass over `r` ancestors and an
+//! `n`-element posting list costs `O(n + r)` amortized instead of
+//! `O(r log n)`. Non-monotone queries are still answered correctly via
+//! a binary-search fallback.
+
+use whirlpool_xml::NodeId;
+
+/// A stateful scanner over one sorted posting list (see module docs).
+///
+/// The cursor never mutates the list; it only caches the lower bound of
+/// the previous query as a galloping start point.
+pub struct RangeCursor<'a> {
+    list: &'a [NodeId],
+    /// Lower bound returned by the previous `bounds` call; every id
+    /// before it was `<=` that call's ancestor.
+    pos: usize,
+}
+
+impl<'a> RangeCursor<'a> {
+    /// A cursor over `list`, which must be sorted ascending (posting
+    /// lists from [`TagIndex`](crate::TagIndex) always are).
+    pub fn new(list: &'a [NodeId]) -> Self {
+        debug_assert!(
+            list.windows(2).all(|w| w[0] < w[1]),
+            "posting list not sorted"
+        );
+        RangeCursor { list, pos: 0 }
+    }
+
+    /// The `[lo, hi)` index range of ids in the half-open id interval
+    /// `(ancestor, end)` — i.e. `ancestor`'s proper descendants when
+    /// `end` is its subtree end. Galloping applies whenever `ancestor`
+    /// is at or past the previous call's lower bound.
+    pub fn bounds(&mut self, ancestor: NodeId, end: u32) -> (usize, usize) {
+        let lo = if self.pos == 0 || self.list[self.pos - 1] <= ancestor {
+            gallop_past(self.list, self.pos, |n| n <= ancestor)
+        } else {
+            self.list.partition_point(|&n| n <= ancestor)
+        };
+        let hi = gallop_past(self.list, lo, |n| (n.index() as u32) < end);
+        self.pos = lo;
+        (lo, hi)
+    }
+
+    /// The sub-slice of ids in `(ancestor, end)`.
+    pub fn range(&mut self, ancestor: NodeId, end: u32) -> &'a [NodeId] {
+        let (lo, hi) = self.bounds(ancestor, end);
+        &self.list[lo..hi]
+    }
+}
+
+/// First index `>= start` whose element fails `pred`, assuming `pred`
+/// is monotone (true then false) over `list[start..]`: exponential
+/// probe doubling outward from `start`, then a binary search inside the
+/// bracketed window.
+fn gallop_past(list: &[NodeId], start: usize, pred: impl Fn(NodeId) -> bool) -> usize {
+    let mut step = 1usize;
+    let mut lo = start;
+    let mut probe = start;
+    while probe < list.len() && pred(list[probe]) {
+        lo = probe + 1;
+        probe += step;
+        step <<= 1;
+    }
+    let hi = probe.min(list.len());
+    lo + list[lo..hi].partition_point(|&n| pred(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TagIndex;
+    use whirlpool_xml::parse_document;
+
+    fn ids(indices: &[usize]) -> Vec<NodeId> {
+        indices.iter().map(|&i| NodeId::from_index(i)).collect()
+    }
+
+    /// Reference implementation: the two binary searches.
+    fn naive(list: &[NodeId], ancestor: NodeId, end: u32) -> (usize, usize) {
+        let lo = list.partition_point(|&n| n <= ancestor);
+        let hi = list.partition_point(|&n| (n.index() as u32) < end);
+        (lo, hi)
+    }
+
+    #[test]
+    fn ascending_queries_match_binary_search() {
+        let list = ids(&[2, 3, 5, 8, 13, 21, 34, 55]);
+        let mut cursor = RangeCursor::new(&list);
+        for (anc, end) in [(1, 4), (3, 9), (3, 60), (20, 40), (55, 100), (90, 95)] {
+            let a = NodeId::from_index(anc);
+            assert_eq!(
+                cursor.bounds(a, end),
+                naive(&list, a, end),
+                "anc {anc} end {end}"
+            );
+        }
+    }
+
+    #[test]
+    fn regressing_queries_fall_back_correctly() {
+        let list = ids(&[2, 3, 5, 8, 13, 21, 34, 55]);
+        let mut cursor = RangeCursor::new(&list);
+        for (anc, end) in [(30, 60), (1, 9), (20, 40), (0, 100), (55, 56)] {
+            let a = NodeId::from_index(anc);
+            assert_eq!(
+                cursor.bounds(a, end),
+                naive(&list, a, end),
+                "anc {anc} end {end}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_list_yields_empty_ranges() {
+        let list: Vec<NodeId> = Vec::new();
+        let mut cursor = RangeCursor::new(&list);
+        assert_eq!(cursor.bounds(NodeId::from_index(3), 10), (0, 0));
+        assert!(cursor.range(NodeId::from_index(4), 10).is_empty());
+    }
+
+    #[test]
+    fn merge_pass_equals_descendant_scans() {
+        let doc = whirlpool_xmark::generate(&whirlpool_xmark::GeneratorConfig::items(60));
+        let index = TagIndex::build(&doc);
+        let item = doc.tag_id("item").unwrap();
+        for tag_name in ["parlist", "keyword", "quantity", "bold"] {
+            let Some(tag) = doc.tag_id(tag_name) else {
+                continue;
+            };
+            let mut cursor = RangeCursor::new(index.nodes_with_tag(tag));
+            // Roots in document order: exactly the context's merge pass.
+            for &root in index.nodes_with_tag(item) {
+                let end = index.subtree_end(root).index() as u32;
+                assert_eq!(
+                    cursor.range(root, end),
+                    index.descendants_with_tag(root, tag),
+                    "tag {tag_name} root {root:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nested_ancestors_stay_consistent() {
+        // Nested same-tag roots: the next ancestor can sit *inside* the
+        // previous range; the gallop must still find the right bounds.
+        let doc = parse_document("<r><a><b/><a><b/><b/></a><b/></a><a><b/></a></r>").unwrap();
+        let index = TagIndex::build(&doc);
+        let a = doc.tag_id("a").unwrap();
+        let b = doc.tag_id("b").unwrap();
+        let mut cursor = RangeCursor::new(index.nodes_with_tag(b));
+        for &root in index.nodes_with_tag(a) {
+            let end = index.subtree_end(root).index() as u32;
+            assert_eq!(cursor.range(root, end), index.descendants_with_tag(root, b));
+        }
+    }
+}

@@ -10,13 +10,19 @@
 //!   order, with O(log n) *descendant range scans*: all nodes with a
 //!   given tag inside a subtree form a contiguous posting range because
 //!   node ids are assigned in pre-order.
+//! * [`RangeCursor`] — a reusable scanner over one posting list that
+//!   answers ascending descendant-range queries by galloping forward
+//!   from the previous answer, turning a per-root pair of binary
+//!   searches into one amortized merge pass.
 //! * [`ServerSelectivity`] — sampled per-server statistics (candidate
 //!   fanout, exact-match fraction) that the adaptive routing strategies
 //!   use as their cost estimates ("such estimates could be obtained by
 //!   using work on selectivity estimation for XML", §6.1.4).
 
+mod cursor;
 mod selectivity;
 mod tagindex;
 
+pub use cursor::RangeCursor;
 pub use selectivity::{estimate_selectivity, ServerSelectivity};
 pub use tagindex::TagIndex;

@@ -34,7 +34,11 @@ impl ServerSelectivity {
     /// Conservative default when no sample is available (no root
     /// candidates in the document).
     pub fn unknown() -> Self {
-        ServerSelectivity { mean_candidates: 1.0, exact_fraction: 1.0, empty_fraction: 0.0 }
+        ServerSelectivity {
+            mean_candidates: 1.0,
+            exact_fraction: 1.0,
+            empty_fraction: 0.0,
+        }
     }
 }
 
@@ -49,10 +53,18 @@ pub fn estimate_selectivity(
     sample_limit: usize,
 ) -> Vec<ServerSelectivity> {
     if roots.is_empty() || sample_limit == 0 {
-        return servers.iter().map(|_| ServerSelectivity::unknown()).collect();
+        return servers
+            .iter()
+            .map(|_| ServerSelectivity::unknown())
+            .collect();
     }
     let step = (roots.len() / sample_limit).max(1);
-    let sample: Vec<NodeId> = roots.iter().copied().step_by(step).take(sample_limit).collect();
+    let sample: Vec<NodeId> = roots
+        .iter()
+        .copied()
+        .step_by(step)
+        .take(sample_limit)
+        .collect();
 
     servers
         .iter()
@@ -80,9 +92,7 @@ pub fn estimate_selectivity(
                 } else {
                     let tag = tag.expect("checked above");
                     match &server.value {
-                        Some(ValueTest::Eq(v)) => {
-                            index.descendants_with_tag_value(root, tag, v)
-                        }
+                        Some(ValueTest::Eq(v)) => index.descendants_with_tag_value(root, tag, v),
                         _ => index.descendants_with_tag(root, tag),
                     }
                 };
@@ -101,7 +111,11 @@ pub fn estimate_selectivity(
             let n = sample.len() as f64;
             ServerSelectivity {
                 mean_candidates: total as f64 / n,
-                exact_fraction: if total == 0 { 0.0 } else { exact as f64 / total as f64 },
+                exact_fraction: if total == 0 {
+                    0.0
+                } else {
+                    exact as f64 / total as f64
+                },
                 empty_fraction: empty as f64 / n,
             }
         })

@@ -13,8 +13,10 @@ use whirlpool_xml::{Document, NodeId, TagId};
 pub struct TagIndex {
     /// `postings[tag]` = node ids with that tag, ascending.
     postings: Vec<Vec<NodeId>>,
-    /// `(tag, direct text)` postings for value-equality predicates.
-    value_postings: HashMap<(TagId, Box<str>), Vec<NodeId>>,
+    /// Per-tag, per-direct-text postings for value-equality predicates.
+    /// Nested (rather than keyed by `(TagId, Box<str>)`) so lookups can
+    /// borrow the query string instead of boxing it.
+    value_postings: HashMap<TagId, HashMap<Box<str>, Vec<NodeId>>>,
     /// `subtree_end[n]` = one past the last descendant of `n`.
     subtree_end: Vec<u32>,
 }
@@ -23,12 +25,17 @@ impl TagIndex {
     /// Builds the index in two passes over the document.
     pub fn build(doc: &Document) -> Self {
         let mut postings: Vec<Vec<NodeId>> = vec![Vec::new(); doc.tags().len()];
-        let mut value_postings: HashMap<(TagId, Box<str>), Vec<NodeId>> = HashMap::new();
+        let mut value_postings: HashMap<TagId, HashMap<Box<str>, Vec<NodeId>>> = HashMap::new();
         for id in doc.elements() {
             let node = doc.node(id);
             postings[node.tag.index()].push(id);
             if let Some(text) = &node.text {
-                value_postings.entry((node.tag, text.clone())).or_default().push(id);
+                value_postings
+                    .entry(node.tag)
+                    .or_default()
+                    .entry(text.clone())
+                    .or_default()
+                    .push(id);
             }
         }
 
@@ -45,7 +52,11 @@ impl TagIndex {
             subtree_end[id.index()] = end;
         }
 
-        TagIndex { postings, value_postings, subtree_end }
+        TagIndex {
+            postings,
+            value_postings,
+            subtree_end,
+        }
     }
 
     /// All nodes with `tag`, in document order.
@@ -55,7 +66,10 @@ impl TagIndex {
 
     /// All nodes with `tag` whose direct text equals `value`.
     pub fn nodes_with_tag_value(&self, tag: TagId, value: &str) -> &[NodeId] {
-        self.value_postings.get(&(tag, Box::from(value))).map_or(&[], Vec::as_slice)
+        self.value_postings
+            .get(&tag)
+            .and_then(|by_value| by_value.get(value))
+            .map_or(&[], Vec::as_slice)
     }
 
     /// One past the last descendant of `node` in id order.
@@ -107,6 +121,18 @@ impl TagIndex {
     pub fn count_descendants_with_tag(&self, ancestor: NodeId, tag: TagId) -> usize {
         self.descendants_with_tag(ancestor, tag).len()
     }
+
+    /// A [`RangeCursor`](crate::RangeCursor) over the postings of `tag`,
+    /// for amortized merge passes over many ancestors.
+    pub fn tag_cursor(&self, tag: TagId) -> crate::RangeCursor<'_> {
+        crate::RangeCursor::new(self.nodes_with_tag(tag))
+    }
+
+    /// A [`RangeCursor`](crate::RangeCursor) over the `(tag, value)`
+    /// postings.
+    pub fn tag_value_cursor(&self, tag: TagId, value: &str) -> crate::RangeCursor<'_> {
+        crate::RangeCursor::new(self.nodes_with_tag_value(tag, value))
+    }
 }
 
 #[cfg(test)]
@@ -131,8 +157,7 @@ mod tests {
 
     #[test]
     fn descendant_scan_matches_naive() {
-        let (doc, index) =
-            doc_and_index("<a><b/><c><b/><d><b/></d></c></a><a><b/></a>");
+        let (doc, index) = doc_and_index("<a><b/><c><b/><d><b/></d></c></a><a><b/></a>");
         let a_tag = doc.tag_id("a").unwrap();
         let b_tag = doc.tag_id("b").unwrap();
         for a in doc.elements().filter(|&n| doc.tag(n) == a_tag) {
@@ -158,8 +183,7 @@ mod tests {
 
     #[test]
     fn value_postings() {
-        let (doc, index) =
-            doc_and_index("<r><t>x</t><t>y</t><s><t>x</t></s></r>");
+        let (doc, index) = doc_and_index("<r><t>x</t><t>y</t><s><t>x</t></s></r>");
         let t = doc.tag_id("t").unwrap();
         assert_eq!(index.nodes_with_tag_value(t, "x").len(), 2);
         assert_eq!(index.nodes_with_tag_value(t, "y").len(), 1);

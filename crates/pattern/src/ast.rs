@@ -152,7 +152,10 @@ impl TreePattern {
         tag: impl Into<String>,
         value: Option<ValueTest>,
     ) -> QNodeId {
-        assert!(self.nodes.len() < 64, "tree patterns are limited to 64 nodes");
+        assert!(
+            self.nodes.len() < 64,
+            "tree patterns are limited to 64 nodes"
+        );
         assert!(parent.index() < self.nodes.len(), "parent out of range");
         let id = QNodeId(self.nodes.len() as u8);
         self.nodes.push(PatternNode {
@@ -251,7 +254,8 @@ impl TreePattern {
 
     /// Leaves of the pattern (nodes with no children).
     pub fn leaves(&self) -> impl Iterator<Item = QNodeId> + '_ {
-        self.node_ids().filter(|id| self.nodes[id.index()].children.is_empty())
+        self.node_ids()
+            .filter(|id| self.nodes[id.index()].children.is_empty())
     }
 
     /// A canonical text form: children are serialized sorted, so two
@@ -366,10 +370,20 @@ mod tests {
     /// `/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']`
     fn fig2a() -> TreePattern {
         let mut p = TreePattern::new("book", Axis::Child);
-        p.add_node(p.root(), Axis::Child, "title", Some(ValueTest::Eq("wodehouse".into())));
+        p.add_node(
+            p.root(),
+            Axis::Child,
+            "title",
+            Some(ValueTest::Eq("wodehouse".into())),
+        );
         let info = p.add_node(p.root(), Axis::Child, "info", None);
         let publisher = p.add_node(info, Axis::Child, "publisher", None);
-        p.add_node(publisher, Axis::Child, "name", Some(ValueTest::Eq("psmith".into())));
+        p.add_node(
+            publisher,
+            Axis::Child,
+            "name",
+            Some(ValueTest::Eq("psmith".into())),
+        );
         p
     }
 
@@ -398,7 +412,10 @@ mod tests {
     fn path_between_composes_edges() {
         let p = fig2a();
         let path = p.path_between(QNodeId(0), QNodeId(4)).unwrap();
-        let tags: Vec<_> = path.iter().map(|(_, id)| p.node(*id).tag.as_str()).collect();
+        let tags: Vec<_> = path
+            .iter()
+            .map(|(_, id)| p.node(*id).tag.as_str())
+            .collect();
         assert_eq!(tags, vec!["info", "publisher", "name"]);
         assert!(p.path_between(QNodeId(1), QNodeId(4)).is_none());
         assert_eq!(p.path_between(QNodeId(2), QNodeId(2)).unwrap().len(), 0);
@@ -435,5 +452,4 @@ mod tests {
         assert!(ValueTest::Contains("od".into()).matches(Some("wodehouse")));
         assert!(!ValueTest::Contains("zz".into()).matches(Some("wodehouse")));
     }
-
 }

@@ -107,11 +107,23 @@ mod tests {
     #[test]
     fn composition_rules() {
         use Axis::*;
-        assert_eq!(ComposedAxis::compose(&[Child]), Some(ComposedAxis::ChildChain(1)));
-        assert_eq!(ComposedAxis::compose(&[Child, Child]), Some(ComposedAxis::ChildChain(2)));
+        assert_eq!(
+            ComposedAxis::compose(&[Child]),
+            Some(ComposedAxis::ChildChain(1))
+        );
+        assert_eq!(
+            ComposedAxis::compose(&[Child, Child]),
+            Some(ComposedAxis::ChildChain(2))
+        );
         // The paper's example: pc ∘ ad = ad  (a[./c[.//d]] ⇒ a[.//d]).
-        assert_eq!(ComposedAxis::compose(&[Child, Descendant]), Some(ComposedAxis::Descendant));
-        assert_eq!(ComposedAxis::compose(&[Descendant, Child]), Some(ComposedAxis::Descendant));
+        assert_eq!(
+            ComposedAxis::compose(&[Child, Descendant]),
+            Some(ComposedAxis::Descendant)
+        );
+        assert_eq!(
+            ComposedAxis::compose(&[Descendant, Child]),
+            Some(ComposedAxis::Descendant)
+        );
         assert_eq!(ComposedAxis::compose(&[]), None);
     }
 
@@ -129,9 +141,17 @@ mod tests {
     #[test]
     fn exact_implies_relaxed() {
         // Whenever any exact composition holds, the relaxed form holds too.
-        let pairs = [(d(&[0]), d(&[0, 1])), (d(&[2]), d(&[2, 0, 0])), (d(&[1, 1]), d(&[1, 1, 0, 2, 3]))];
+        let pairs = [
+            (d(&[0]), d(&[0, 1])),
+            (d(&[2]), d(&[2, 0, 0])),
+            (d(&[1, 1]), d(&[1, 1, 0, 2, 3])),
+        ];
         for (a, b) in pairs {
-            for axis in [ComposedAxis::ChildChain(1), ComposedAxis::ChildChain(2), ComposedAxis::ChildChain(3)] {
+            for axis in [
+                ComposedAxis::ChildChain(1),
+                ComposedAxis::ChildChain(2),
+                ComposedAxis::ChildChain(3),
+            ] {
                 if axis.holds(&a, &b) {
                     assert!(axis.relaxed().holds(&a, &b));
                 }

@@ -67,7 +67,10 @@ pub struct ServerSpec {
 /// Compiles one [`ServerSpec`] per non-root query node (Algorithm 1 run
 /// for every server).
 pub fn compile_servers(pattern: &TreePattern) -> Vec<ServerSpec> {
-    pattern.server_ids().map(|id| compile_server(pattern, id)).collect()
+    pattern
+        .server_ids()
+        .map(|id| compile_server(pattern, id))
+        .collect()
 }
 
 fn compile_server(pattern: &TreePattern, server: QNodeId) -> ServerSpec {
@@ -136,9 +139,8 @@ mod tests {
         // pc(info, publisher) and pc(publisher, name) for the exact
         // query. ... Allowing for subtree promotion ... would require
         // checking for the predicate ad(book, publisher)."
-        let q =
-            parse_pattern("/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']")
-                .unwrap();
+        let q = parse_pattern("/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']")
+            .unwrap();
         let servers = compile_servers(&q);
         let publisher = servers.iter().find(|s| s.tag == "publisher").unwrap();
 
@@ -190,8 +192,11 @@ mod tests {
         assert_eq!(q.node(parlist.conditional[0].other).tag, "description");
 
         let mail = servers.iter().find(|s| s.tag == "mail").unwrap();
-        let related: Vec<_> =
-            mail.conditional.iter().map(|c| q.node(c.other).tag.as_str()).collect();
+        let related: Vec<_> = mail
+            .conditional
+            .iter()
+            .map(|c| q.node(c.other).tag.as_str())
+            .collect();
         assert_eq!(related, vec!["mailbox", "text"]);
     }
 

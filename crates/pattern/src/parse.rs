@@ -50,7 +50,9 @@ impl std::error::Error for PatternParseError {}
 pub fn parse_pattern(input: &str) -> Result<TreePattern, PatternParseError> {
     let mut p = P { src: input, pos: 0 };
     p.skip_ws();
-    let axis = p.parse_axis()?.ok_or_else(|| p.err("query must start with '/' or '//'"))?;
+    let axis = p
+        .parse_axis()?
+        .ok_or_else(|| p.err("query must start with '/' or '//'"))?;
     let name = p.parse_name()?;
     let mut pattern = TreePattern::new(name, axis);
     p.skip_ws();
@@ -78,7 +80,10 @@ struct P<'a> {
 
 impl<'a> P<'a> {
     fn err(&self, message: impl Into<String>) -> PatternParseError {
-        PatternParseError { message: message.into(), offset: self.pos }
+        PatternParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -262,13 +267,20 @@ fn set_value(pattern: &mut TreePattern, id: QNodeId, value: ValueTest) {
     // Rebuild the pattern with the value attached: patterns are tiny
     // (≤ 64 nodes), and keeping `TreePattern`'s public surface immutable
     // except for `add_node` preserves its invariants.
-    let mut rebuilt = TreePattern::new(pattern.node(QNodeId::ROOT).tag.clone(), pattern.node(QNodeId::ROOT).axis);
+    let mut rebuilt = TreePattern::new(
+        pattern.node(QNodeId::ROOT).tag.clone(),
+        pattern.node(QNodeId::ROOT).axis,
+    );
     if id == QNodeId::ROOT {
         set_root_value(&mut rebuilt, value.clone());
     }
     for qid in pattern.node_ids().skip(1) {
         let node = pattern.node(qid);
-        let v = if qid == id { Some(value.clone()) } else { node.value.clone() };
+        let v = if qid == id {
+            Some(value.clone())
+        } else {
+            node.value.clone()
+        };
         let new_id = rebuilt.add_node(node.parent.unwrap(), node.axis, node.tag.clone(), v);
         debug_assert_eq!(new_id, qid);
     }
@@ -302,13 +314,13 @@ mod tests {
 
     #[test]
     fn parses_q2() {
-        let q = parse_pattern(
-            "//item[./description/parlist and ./mailbox/mail/text]",
-        )
-        .unwrap();
+        let q = parse_pattern("//item[./description/parlist and ./mailbox/mail/text]").unwrap();
         assert_eq!(q.len(), 6);
         let tags: Vec<_> = q.node_ids().map(|id| q.node(id).tag.clone()).collect();
-        assert_eq!(tags, vec!["item", "description", "parlist", "mailbox", "mail", "text"]);
+        assert_eq!(
+            tags,
+            vec!["item", "description", "parlist", "mailbox", "mail", "text"]
+        );
     }
 
     #[test]
@@ -320,21 +332,27 @@ mod tests {
         assert_eq!(q.len(), 8);
         // text has two children: bold and keyword.
         let text = q.node_ids().find(|&id| q.node(id).tag == "text").unwrap();
-        let child_tags: Vec<_> =
-            q.node(text).children.iter().map(|&c| q.node(c).tag.clone()).collect();
+        let child_tags: Vec<_> = q
+            .node(text)
+            .children
+            .iter()
+            .map(|&c| q.node(c).tag.clone())
+            .collect();
         assert_eq!(child_tags, vec!["bold", "keyword"]);
         // name and incategory hang off the root.
-        let root_children: Vec<_> =
-            q.node(q.root()).children.iter().map(|&c| q.node(c).tag.clone()).collect();
+        let root_children: Vec<_> = q
+            .node(q.root())
+            .children
+            .iter()
+            .map(|&c| q.node(c).tag.clone())
+            .collect();
         assert_eq!(root_children, vec!["mailbox", "name", "incategory"]);
     }
 
     #[test]
     fn parses_value_tests() {
-        let q = parse_pattern(
-            "/book[.//title = 'wodehouse' and ./info/publisher/name = 'psmith']",
-        )
-        .unwrap();
+        let q = parse_pattern("/book[.//title = 'wodehouse' and ./info/publisher/name = 'psmith']")
+            .unwrap();
         assert_eq!(q.len(), 5);
         let title = q.node_ids().find(|&id| q.node(id).tag == "title").unwrap();
         assert_eq!(q.node(title).axis, Axis::Descendant);

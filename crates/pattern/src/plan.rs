@@ -20,7 +20,10 @@ impl StaticPlan {
     /// # Panics
     /// Panics if the order contains the pattern root or duplicates.
     pub fn new(order: Vec<QNodeId>) -> Self {
-        assert!(!order.iter().any(|q| q.is_root()), "plans order servers, not the root");
+        assert!(
+            !order.iter().any(|q| q.is_root()),
+            "plans order servers, not the root"
+        );
         let mut seen = 0u64;
         for q in &order {
             assert!(seen & (1 << q.0) == 0, "duplicate server {q:?} in plan");
@@ -32,7 +35,9 @@ impl StaticPlan {
     /// The document-order plan: servers in query-node id order (the
     /// natural left-deep plan of the paper's §2).
     pub fn in_id_order(server_count: usize) -> Self {
-        StaticPlan { order: (1..=server_count as u8).map(QNodeId).collect() }
+        StaticPlan {
+            order: (1..=server_count as u8).map(QNodeId).collect(),
+        }
     }
 
     /// The visiting order.
@@ -43,7 +48,10 @@ impl StaticPlan {
     /// The next unvisited server under this plan, given a visited-set
     /// bitmask indexed by query-node id.
     pub fn next_server(&self, visited: u64) -> Option<QNodeId> {
-        self.order.iter().copied().find(|q| visited & (1 << q.0) == 0)
+        self.order
+            .iter()
+            .copied()
+            .find(|q| visited & (1 << q.0) == 0)
     }
 }
 
@@ -57,12 +65,7 @@ pub fn permutations<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
     out
 }
 
-fn permute<T: Clone>(
-    items: &[T],
-    used: &mut [bool],
-    current: &mut Vec<T>,
-    out: &mut Vec<Vec<T>>,
-) {
+fn permute<T: Clone>(items: &[T], used: &mut [bool], current: &mut Vec<T>, out: &mut Vec<Vec<T>>) {
     if current.len() == items.len() {
         out.push(current.clone());
         return;

@@ -102,7 +102,13 @@ fn clone_nodes(pattern: &TreePattern) -> Vec<WorkNode> {
         .node_ids()
         .map(|id| {
             let n = pattern.node(id);
-            (n.tag.clone(), n.parent, n.axis, n.value.clone(), n.attrs.clone())
+            (
+                n.tag.clone(),
+                n.parent,
+                n.axis,
+                n.value.clone(),
+                n.attrs.clone(),
+            )
         })
         .collect()
 }
@@ -177,8 +183,12 @@ pub fn fully_relaxed(pattern: &TreePattern) -> TreePattern {
     }
     for id in pattern.node_ids().skip(1) {
         let n = pattern.node(id);
-        let new_id =
-            out.add_node(QNodeId::ROOT, Axis::Descendant, n.tag.clone(), n.value.clone());
+        let new_id = out.add_node(
+            QNodeId::ROOT,
+            Axis::Descendant,
+            n.tag.clone(),
+            n.value.clone(),
+        );
         for attr in &n.attrs {
             out.add_attr_test(new_id, attr.clone());
         }
@@ -213,11 +223,20 @@ mod tests {
         // Figure 2(c) = subtree promotion (publisher) ∘ leaf deletion
         // (info) ∘ edge generalization (book, title).
         let q = fig2a();
-        let publisher = q.node_ids().find(|&id| q.node(id).tag == "publisher").unwrap();
+        let publisher = q
+            .node_ids()
+            .find(|&id| q.node(id).tag == "publisher")
+            .unwrap();
         let step1 = apply(&q, Relaxation::SubtreePromotion(publisher)).unwrap();
-        let info = step1.node_ids().find(|&id| step1.node(id).tag == "info").unwrap();
+        let info = step1
+            .node_ids()
+            .find(|&id| step1.node(id).tag == "info")
+            .unwrap();
         let step2 = apply(&step1, Relaxation::LeafDeletion(info)).unwrap();
-        let title = step2.node_ids().find(|&id| step2.node(id).tag == "title").unwrap();
+        let title = step2
+            .node_ids()
+            .find(|&id| step2.node(id).tag == "title")
+            .unwrap();
         let step3 = apply(&step2, Relaxation::EdgeGeneralization(title)).unwrap();
 
         let expected =
@@ -229,12 +248,17 @@ mod tests {
     #[test]
     fn fig2d_by_further_deletion() {
         // Figure 2(d) = 2(c) + leaf deletion on name then publisher.
-        let fig2c =
-            parse_pattern("/book[.//title = 'wodehouse' and .//publisher/name = 'psmith']")
-                .unwrap();
-        let name = fig2c.node_ids().find(|&id| fig2c.node(id).tag == "name").unwrap();
+        let fig2c = parse_pattern("/book[.//title = 'wodehouse' and .//publisher/name = 'psmith']")
+            .unwrap();
+        let name = fig2c
+            .node_ids()
+            .find(|&id| fig2c.node(id).tag == "name")
+            .unwrap();
         let step1 = apply(&fig2c, Relaxation::LeafDeletion(name)).unwrap();
-        let publisher = step1.node_ids().find(|&id| step1.node(id).tag == "publisher").unwrap();
+        let publisher = step1
+            .node_ids()
+            .find(|&id| step1.node(id).tag == "publisher")
+            .unwrap();
         let step2 = apply(&step1, Relaxation::LeafDeletion(publisher)).unwrap();
         let expected = parse_pattern("/book[.//title = 'wodehouse']").unwrap();
         assert_eq!(step2.canonical_form(), expected.canonical_form());
@@ -285,7 +309,10 @@ mod tests {
     fn closure_grows_quickly_with_query_size() {
         // The paper's motivation for plan-relaxation: "the exponential
         // number of relaxed queries".
-        let q1 = enumerate(&parse_pattern("//item[./description/parlist]").unwrap(), 10_000);
+        let q1 = enumerate(
+            &parse_pattern("//item[./description/parlist]").unwrap(),
+            10_000,
+        );
         let q2 = enumerate(
             &parse_pattern("//item[./description/parlist and ./mailbox/mail/text]").unwrap(),
             10_000,
@@ -303,7 +330,10 @@ mod tests {
             assert_eq!(flat.node(id).axis, Axis::Descendant);
         }
         // Value tests survive relaxation.
-        let title = flat.node_ids().find(|&id| flat.node(id).tag == "title").unwrap();
+        let title = flat
+            .node_ids()
+            .find(|&id| flat.node(id).tag == "title")
+            .unwrap();
         assert!(flat.node(title).value.is_some());
     }
 }

@@ -18,23 +18,45 @@ struct QNode {
 }
 
 fn query_strategy() -> impl Strategy<Value = QNode> {
-    let leaf = (0usize..TAGS.len(), any::<bool>())
-        .prop_map(|(tag, axis)| QNode { tag, axis, children: vec![] });
+    let leaf = (0usize..TAGS.len(), any::<bool>()).prop_map(|(tag, axis)| QNode {
+        tag,
+        axis,
+        children: vec![],
+    });
     leaf.prop_recursive(3, 12, 3, |inner| {
-        (0usize..TAGS.len(), any::<bool>(), prop::collection::vec(inner, 0..3))
-            .prop_map(|(tag, axis, children)| QNode { tag, axis, children })
+        (
+            0usize..TAGS.len(),
+            any::<bool>(),
+            prop::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(tag, axis, children)| QNode {
+                tag,
+                axis,
+                children,
+            })
     })
 }
 
 fn build(q: &QNode) -> TreePattern {
     fn rec(q: &QNode, parent: QNodeId, p: &mut TreePattern) {
-        let axis = if q.axis { Axis::Descendant } else { Axis::Child };
+        let axis = if q.axis {
+            Axis::Descendant
+        } else {
+            Axis::Child
+        };
         let id = p.add_node(parent, axis, TAGS[q.tag], None);
         for c in &q.children {
             rec(c, id, p);
         }
     }
-    let mut p = TreePattern::new(TAGS[q.tag], if q.axis { Axis::Descendant } else { Axis::Child });
+    let mut p = TreePattern::new(
+        TAGS[q.tag],
+        if q.axis {
+            Axis::Descendant
+        } else {
+            Axis::Child
+        },
+    );
     for c in &q.children {
         rec(c, QNodeId::ROOT, &mut p);
     }

@@ -57,7 +57,10 @@ pub trait ScoreModel: Send + Sync {
     /// score any answer could reach.
     fn max_total(&self, servers: &[QNodeId]) -> Score {
         let total = self.max_root_contribution()
-            + servers.iter().map(|&s| self.max_contribution(s)).sum::<f64>();
+            + servers
+                .iter()
+                .map(|&s| self.max_contribution(s))
+                .sum::<f64>();
         Score::new(total)
     }
 }
@@ -189,7 +192,10 @@ impl FixedScores {
             let m = &mut max_per_server[server.index()];
             *m = m.max(value);
         }
-        FixedScores { scores, max_per_server }
+        FixedScores {
+            scores,
+            max_per_server,
+        }
     }
 }
 
@@ -201,7 +207,10 @@ impl ScoreModel for FixedScores {
     }
 
     fn max_contribution(&self, server: QNodeId) -> f64 {
-        self.max_per_server.get(server.index()).copied().unwrap_or(0.0)
+        self.max_per_server
+            .get(server.index())
+            .copied()
+            .unwrap_or(0.0)
     }
 }
 
@@ -218,12 +227,20 @@ pub struct RandomScores {
 impl RandomScores {
     /// Scores spread over the full [0, 1] range (fast pruning).
     pub fn sparse(seed: u64, server_count: usize) -> Self {
-        RandomScores { seed, dense: false, server_count }
+        RandomScores {
+            seed,
+            dense: false,
+            server_count,
+        }
     }
 
     /// Scores bunched in [0.8, 1.0] (slow pruning).
     pub fn dense(seed: u64, server_count: usize) -> Self {
-        RandomScores { seed, dense: true, server_count }
+        RandomScores {
+            seed,
+            dense: true,
+            server_count,
+        }
     }
 
     /// SplitMix64 over (seed, server, node) — stable across runs and
@@ -315,7 +332,10 @@ mod tests {
         let dense_ratio = dense.max_contribution(servers[0]) / dense.max_contribution(servers[1]);
         assert!((raw_ratio - dense_ratio).abs() < 1e-9);
         // And the global max is 1.
-        let max = servers.iter().map(|&s| dense.max_contribution(s)).fold(0.0f64, f64::max);
+        let max = servers
+            .iter()
+            .map(|&s| dense.max_contribution(s))
+            .fold(0.0f64, f64::max);
         assert!((max - 1.0).abs() < 1e-12);
     }
 
@@ -331,10 +351,12 @@ mod tests {
     fn fixed_scores_lookup() {
         let node = NodeId::from_index(5);
         let other = NodeId::from_index(6);
-        let model =
-            FixedScores::new(3, &[(QNodeId(1), node, 0.3), (QNodeId(2), node, 0.2)]);
+        let model = FixedScores::new(3, &[(QNodeId(1), node, 0.3), (QNodeId(2), node, 0.2)]);
         assert_eq!(model.contribution(QNodeId(1), node, MatchLevel::Exact), 0.3);
-        assert_eq!(model.contribution(QNodeId(1), other, MatchLevel::Exact), 0.0);
+        assert_eq!(
+            model.contribution(QNodeId(1), other, MatchLevel::Exact),
+            0.0
+        );
         assert_eq!(model.max_contribution(QNodeId(1)), 0.3);
         assert_eq!(model.max_contribution(QNodeId(2)), 0.2);
         assert_eq!(model.max_contribution(QNodeId(0)), 0.0);

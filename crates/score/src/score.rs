@@ -79,9 +79,22 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![Score::new(0.5), Score::new(-1.0), Score::ZERO, Score::new(2.0)];
+        let mut v = vec![
+            Score::new(0.5),
+            Score::new(-1.0),
+            Score::ZERO,
+            Score::new(2.0),
+        ];
         v.sort();
-        assert_eq!(v, vec![Score::new(-1.0), Score::ZERO, Score::new(0.5), Score::new(2.0)]);
+        assert_eq!(
+            v,
+            vec![
+                Score::new(-1.0),
+                Score::ZERO,
+                Score::new(0.5),
+                Score::new(2.0)
+            ]
+        );
     }
 
     #[test]

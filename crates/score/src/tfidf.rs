@@ -53,8 +53,14 @@ pub fn component_predicates(pattern: &TreePattern) -> Vec<ComponentPredicate> {
 /// answer candidate `n`, including the value test?
 fn satisfies(doc: &Document, pred: &ComponentPredicate, n: NodeId, n_prime: NodeId) -> bool {
     pred.axis.holds(doc.dewey(n), doc.dewey(n_prime))
-        && pred.value.as_ref().map_or(true, |v| v.matches(doc.text(n_prime)))
-        && pred.attrs.iter().all(|a| a.matches(doc.attribute(n_prime, &a.name)))
+        && pred
+            .value
+            .as_ref()
+            .map_or(true, |v| v.matches(doc.text(n_prime)))
+        && pred
+            .attrs
+            .iter()
+            .all(|a| a.matches(doc.attribute(n_prime, &a.name)))
 }
 
 /// Candidate `qi` nodes under `n` for a predicate: the tag's posting
@@ -87,12 +93,7 @@ pub fn tf(doc: &Document, index: &TagIndex, pred: &ComponentPredicate, n: NodeId
 /// Definition 4.2: `log(N_q0 / N_satisfying)`, computed over all nodes
 /// with the answer tag. When no node satisfies the predicate the
 /// denominator is taken as 1 (maximal idf), keeping the value finite.
-pub fn idf(
-    doc: &Document,
-    index: &TagIndex,
-    answer_tag: &str,
-    pred: &ComponentPredicate,
-) -> f64 {
+pub fn idf(doc: &Document, index: &TagIndex, answer_tag: &str, pred: &ComponentPredicate) -> f64 {
     let q0_nodes: Vec<NodeId> = if answer_tag == WILDCARD {
         doc.elements().collect()
     } else {
@@ -120,12 +121,7 @@ pub fn idf(
 /// This is the *reference* scorer — the engines use the incremental
 /// [`crate::ScoreModel`] instead, which this function validates against
 /// in tests.
-pub fn score_answer(
-    doc: &Document,
-    index: &TagIndex,
-    pattern: &TreePattern,
-    n: NodeId,
-) -> f64 {
+pub fn score_answer(doc: &Document, index: &TagIndex, pattern: &TreePattern, n: NodeId) -> f64 {
     let answer_tag = &pattern.node(pattern.root()).tag;
     component_predicates(pattern)
         .iter()
@@ -226,8 +222,10 @@ mod tests {
         let q = parse_pattern("//book[./title and ./isbn and ./price]").unwrap();
         let book_tag = doc.tag_id("book").unwrap();
         let books_nodes: Vec<_> = index.nodes_with_tag(book_tag).to_vec();
-        let scores: Vec<f64> =
-            books_nodes.iter().map(|&b| score_answer(&doc, &index, &q, b)).collect();
+        let scores: Vec<f64> = books_nodes
+            .iter()
+            .map(|&b| score_answer(&doc, &index, &q, b))
+            .collect();
         // Book 0 satisfies all three predicates; book 1 two; book 2 one;
         // book 3 none (title is a grandchild, not a child).
         assert!(scores[0] > scores[1]);

@@ -84,7 +84,10 @@ pub fn write_store(doc: &Document, w: &mut impl Write) -> io::Result<()> {
     w.write_all(&VERSION.to_le_bytes())?;
 
     // Body goes through the checksum accumulator.
-    let mut out = Hashing { inner: w, hash: FNV_OFFSET };
+    let mut out = Hashing {
+        inner: w,
+        hash: FNV_OFFSET,
+    };
 
     let tags = doc.tags();
     out.put_u32(tags.len() as u32)?;
@@ -129,7 +132,10 @@ pub fn read_store(r: &mut impl Read) -> Result<Document, StoreError> {
         return Err(StoreError::UnsupportedVersion(version));
     }
 
-    let mut input = HashingReader { inner: r, hash: FNV_OFFSET };
+    let mut input = HashingReader {
+        inner: r,
+        hash: FNV_OFFSET,
+    };
 
     // Tag table.
     let tag_count = input.get_u32()? as usize;
@@ -211,7 +217,9 @@ pub fn load_file(path: impl AsRef<Path>) -> Result<Document, StoreError> {
 /// Does this file start with the store magic? (Cheap sniffing for CLIs
 /// that accept both `.xml` and store files.)
 pub fn is_store_file(path: impl AsRef<Path>) -> bool {
-    let Ok(mut f) = std::fs::File::open(path) else { return false };
+    let Ok(mut f) = std::fs::File::open(path) else {
+        return false;
+    };
     let mut magic = [0u8; 4];
     f.read_exact(&mut magic).is_ok() && &magic == MAGIC
 }
@@ -222,7 +230,9 @@ const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 fn fnv(hash: u64, bytes: &[u8]) -> u64 {
-    bytes.iter().fold(hash, |h, &b| (h ^ b as u64).wrapping_mul(FNV_PRIME))
+    bytes
+        .iter()
+        .fold(hash, |h, &b| (h ^ b as u64).wrapping_mul(FNV_PRIME))
 }
 
 struct Hashing<'a, W: Write> {
@@ -283,7 +293,9 @@ impl<R: Read> HashingReader<'_, R> {
         // Guard against absurd lengths from corrupt input before
         // allocating.
         if len > 1 << 30 {
-            return Err(StoreError::Corrupt(format!("{what} length {len} is implausible")));
+            return Err(StoreError::Corrupt(format!(
+                "{what} length {len} is implausible"
+            )));
         }
         let mut buf = vec![0u8; len];
         self.get(&mut buf)?;
@@ -315,7 +327,10 @@ mod tests {
         write_store(&doc, &mut buf).unwrap();
         let reloaded = read_store(&mut buf.as_slice()).unwrap();
         let opts = WriteOptions::default();
-        assert_eq!(write_document(&doc, &opts), write_document(&reloaded, &opts));
+        assert_eq!(
+            write_document(&doc, &opts),
+            write_document(&reloaded, &opts)
+        );
         reloaded
     }
 
@@ -351,7 +366,12 @@ mod tests {
         let xml = write_document(&doc, &WriteOptions::default());
         let mut buf = Vec::new();
         write_store(&doc, &mut buf).unwrap();
-        assert!(buf.len() < xml.len(), "store {} vs xml {}", buf.len(), xml.len());
+        assert!(
+            buf.len() < xml.len(),
+            "store {} vs xml {}",
+            buf.len(),
+            xml.len()
+        );
     }
 
     #[test]

@@ -21,7 +21,12 @@ fn tree_strategy() -> impl Strategy<Value = Tree> {
         prop::option::of("[a-z <>&\"0-9]{0,12}"),
         prop::collection::vec(attr.clone(), 0..2),
     )
-        .prop_map(|(tag, text, attrs)| Tree { tag, text, attrs, children: vec![] });
+        .prop_map(|(tag, text, attrs)| Tree {
+            tag,
+            text,
+            attrs,
+            children: vec![],
+        });
     leaf.prop_recursive(4, 40, 4, move |inner| {
         (
             0usize..TAGS.len(),
@@ -29,7 +34,12 @@ fn tree_strategy() -> impl Strategy<Value = Tree> {
             prop::collection::vec((0usize..TAGS.len(), "[a-z0-9 ]{0,8}"), 0..2),
             prop::collection::vec(inner, 0..4),
         )
-            .prop_map(|(tag, text, attrs, children)| Tree { tag, text, attrs, children })
+            .prop_map(|(tag, text, attrs, children)| Tree {
+                tag,
+                text,
+                attrs,
+                children,
+            })
     })
 }
 

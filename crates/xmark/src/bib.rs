@@ -38,13 +38,21 @@ pub struct CatalogConfig {
 
 impl Default for CatalogConfig {
     fn default() -> Self {
-        CatalogConfig { books: 200, seed: 42, title_pool: 40 }
+        CatalogConfig {
+            books: 200,
+            seed: 42,
+            title_pool: 40,
+        }
     }
 }
 
 /// The seller schemas, in generation proportion order.
-const SCHEMAS: [(&str, f64); 4] =
-    [("canonical", 0.4), ("flat", 0.25), ("nested", 0.2), ("minimal", 0.15)];
+const SCHEMAS: [(&str, f64); 4] = [
+    ("canonical", 0.4),
+    ("flat", 0.25),
+    ("nested", 0.2),
+    ("minimal", 0.15),
+];
 
 /// Generates a heterogeneous catalog per `config`. Every `book` element
 /// carries a `schema` attribute naming the layout it was generated
@@ -54,8 +62,9 @@ pub fn generate_catalog(config: &CatalogConfig) -> Document {
     let mut rng = SmallRng::seed_from_u64(config.seed);
 
     // Pre-draw the title pool.
-    let titles: Vec<String> =
-        (0..config.title_pool.max(1)).map(|_| text::phrase(&mut rng, 2, 4)).collect();
+    let titles: Vec<String> = (0..config.title_pool.max(1))
+        .map(|_| text::phrase(&mut rng, 2, 4))
+        .collect();
 
     let mut b = DocumentBuilder::new();
     b.open("catalog");
@@ -147,7 +156,10 @@ mod tests {
 
     #[test]
     fn all_schemas_appear() {
-        let doc = generate_catalog(&CatalogConfig { books: 400, ..Default::default() });
+        let doc = generate_catalog(&CatalogConfig {
+            books: 400,
+            ..Default::default()
+        });
         let book = doc.tag_id("book").unwrap();
         let mut seen = std::collections::HashSet::new();
         for n in doc.elements().filter(|&n| doc.tag(n) == book) {
@@ -160,12 +172,14 @@ mod tests {
 
     #[test]
     fn schemas_have_their_advertised_shapes() {
-        let doc = generate_catalog(&CatalogConfig { books: 300, ..Default::default() });
+        let doc = generate_catalog(&CatalogConfig {
+            books: 300,
+            ..Default::default()
+        });
         let book = doc.tag_id("book").unwrap();
         for n in doc.elements().filter(|&n| doc.tag(n) == book) {
             let schema = doc.attribute(n, "schema").unwrap();
-            let child_tags: Vec<&str> =
-                doc.children(n).map(|c| doc.tag_str(c)).collect();
+            let child_tags: Vec<&str> = doc.children(n).map(|c| doc.tag_str(c)).collect();
             match schema {
                 "canonical" => {
                     assert!(child_tags.contains(&"info"));
@@ -198,12 +212,19 @@ mod tests {
     fn titles_repeat_across_sellers() {
         // The smaller title pool guarantees value-predicate queries have
         // multiple matches across schemas.
-        let doc = generate_catalog(&CatalogConfig { books: 300, title_pool: 10, seed: 1 });
+        let doc = generate_catalog(&CatalogConfig {
+            books: 300,
+            title_pool: 10,
+            seed: 1,
+        });
         let title = doc.tag_id("title").unwrap();
         let mut counts: std::collections::HashMap<&str, usize> = Default::default();
         for n in doc.elements().filter(|&n| doc.tag(n) == title) {
             *counts.entry(doc.text(n).unwrap()).or_default() += 1;
         }
-        assert!(counts.values().any(|&c| c > 5), "titles should repeat: {counts:?}");
+        assert!(
+            counts.values().any(|&c| c > 5),
+            "titles should repeat: {counts:?}"
+        );
     }
 }

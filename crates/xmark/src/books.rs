@@ -85,14 +85,24 @@ pub const FIG3_PRICE_SCORES: [f64; 1] = [0.2];
 pub fn figure3_document() -> (Document, Figure3Nodes) {
     let mut b = DocumentBuilder::new();
     let book = b.open("book");
-    let titles: Vec<NodeId> =
-        (0..3).map(|i| b.leaf("title", &format!("title variant {i}"))).collect();
-    let locations: Vec<NodeId> =
-        (0..5).map(|i| b.leaf("location", &format!("location variant {i}"))).collect();
+    let titles: Vec<NodeId> = (0..3)
+        .map(|i| b.leaf("title", &format!("title variant {i}")))
+        .collect();
+    let locations: Vec<NodeId> = (0..5)
+        .map(|i| b.leaf("location", &format!("location variant {i}")))
+        .collect();
     let prices = vec![b.leaf("price", "19.99")];
     b.close();
     let doc = b.finish();
-    (doc, Figure3Nodes { book, titles, locations, prices })
+    (
+        doc,
+        Figure3Nodes {
+            book,
+            titles,
+            locations,
+            prices,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -117,14 +127,23 @@ mod tests {
         let doc = heterogeneous_collection();
         let book_tag = doc.tag_id("book").unwrap();
         let book_a = doc.elements().find(|&n| doc.tag(n) == book_tag).unwrap();
-        let title =
-            doc.children(book_a).find(|&c| doc.tag_str(c) == "title").unwrap();
+        let title = doc
+            .children(book_a)
+            .find(|&c| doc.tag_str(c) == "title")
+            .unwrap();
         assert_eq!(doc.text(title), Some("wodehouse"));
-        let info = doc.children(book_a).find(|&c| doc.tag_str(c) == "info").unwrap();
-        let publisher =
-            doc.children(info).find(|&c| doc.tag_str(c) == "publisher").unwrap();
-        let name =
-            doc.children(publisher).find(|&c| doc.tag_str(c) == "name").unwrap();
+        let info = doc
+            .children(book_a)
+            .find(|&c| doc.tag_str(c) == "info")
+            .unwrap();
+        let publisher = doc
+            .children(info)
+            .find(|&c| doc.tag_str(c) == "publisher")
+            .unwrap();
+        let name = doc
+            .children(publisher)
+            .find(|&c| doc.tag_str(c) == "name")
+            .unwrap();
         assert_eq!(doc.text(name), Some("psmith"));
     }
 
@@ -158,6 +177,9 @@ mod tests {
         }
         // 3 * 5 * 1 = 15 combinations — the paper's "15 tuples in this
         // example".
-        assert_eq!(nodes.titles.len() * nodes.locations.len() * nodes.prices.len(), 15);
+        assert_eq!(
+            nodes.titles.len() * nodes.locations.len() * nodes.prices.len(),
+            15
+        );
     }
 }

@@ -24,12 +24,20 @@ impl GeneratorConfig {
     /// A document of approximately `mb` megabytes (the paper uses 1, 10
     /// and 50 Mb).
     pub fn megabytes(mb: usize) -> Self {
-        GeneratorConfig { target_bytes: mb * 1_000_000, seed: 42, max_items: None }
+        GeneratorConfig {
+            target_bytes: mb * 1_000_000,
+            seed: 42,
+            max_items: None,
+        }
     }
 
     /// A tiny document with exactly `n` items, for tests.
     pub fn items(n: usize) -> Self {
-        GeneratorConfig { target_bytes: usize::MAX, seed: 42, max_items: Some(n) }
+        GeneratorConfig {
+            target_bytes: usize::MAX,
+            seed: 42,
+            max_items: Some(n),
+        }
     }
 
     /// Replaces the RNG seed.
@@ -39,7 +47,14 @@ impl GeneratorConfig {
     }
 }
 
-const REGIONS: [&str; 6] = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+const REGIONS: [&str; 6] = [
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
 
 /// Generates an XMark-like document per `config`.
 pub fn generate(config: &GeneratorConfig) -> Document {
@@ -287,7 +302,11 @@ mod tests {
 
     #[test]
     fn hits_target_size_within_tolerance() {
-        let config = GeneratorConfig { target_bytes: 200_000, seed: 1, max_items: None };
+        let config = GeneratorConfig {
+            target_bytes: 200_000,
+            seed: 1,
+            max_items: None,
+        };
         let doc = generate(&config);
         let stats = DocumentStats::compute(&doc);
         let actual = stats.serialized_bytes as f64;
@@ -303,9 +322,26 @@ mod tests {
         let doc = generate(&GeneratorConfig::items(300));
         let stats = DocumentStats::compute(&doc);
         for tag in [
-            "site", "regions", "item", "location", "quantity", "name", "payment", "description",
-            "parlist", "listitem", "shipping", "incategory", "mailbox", "mail", "from", "to",
-            "date", "text", "bold", "keyword",
+            "site",
+            "regions",
+            "item",
+            "location",
+            "quantity",
+            "name",
+            "payment",
+            "description",
+            "parlist",
+            "listitem",
+            "shipping",
+            "incategory",
+            "mailbox",
+            "mail",
+            "from",
+            "to",
+            "date",
+            "text",
+            "bold",
+            "keyword",
         ] {
             assert!(stats.count_for(&doc, tag) > 0, "missing tag {tag}");
         }
@@ -330,8 +366,7 @@ mod tests {
                 .children(id)
                 .find(|&c| doc.tag(c) == description_tag)
                 .expect("every item has a description");
-            let direct =
-                doc.children(description).any(|c| doc.tag(c) == parlist_tag);
+            let direct = doc.children(description).any(|c| doc.tag(c) == parlist_tag);
             let any = doc
                 .descendants_or_self(description)
                 .skip(1)
@@ -346,7 +381,10 @@ mod tests {
             }
         }
         assert!(direct_parlist > 100, "direct parlists: {direct_parlist}");
-        assert!(no_incategory > 50, "items without incategory: {no_incategory}");
+        assert!(
+            no_incategory > 50,
+            "items without incategory: {no_incategory}"
+        );
         // Nested-only parlists arise from the text|parlist listitem
         // choice; with the direct branch always rooted at description the
         // nested-only case cannot occur in this layout, so we instead

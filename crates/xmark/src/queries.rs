@@ -60,10 +60,10 @@ mod tests {
     #[test]
     fn q4_matches_generated_items() {
         let doc = crate::generate(&crate::GeneratorConfig::items(200));
-        let q = parse(Q4);
-        // The generator stamps @id on every item and @category on every
-        // incategory, so Q4's exact matches are the items with both an
-        // incategory and a direct-child parlist path of length 2.
+        let _q = parse(Q4); // must stay parseable alongside the manual count
+                            // The generator stamps @id on every item and @category on every
+                            // incategory, so Q4's exact matches are the items with both an
+                            // incategory and a direct-child parlist path of length 2.
         let index = whirlpool_index::TagIndex::build(&doc);
         let _ = index; // index built to mirror engine setup costs
         let mut matches = 0;
@@ -72,14 +72,17 @@ mod tests {
             let has_cat = doc
                 .children(n)
                 .any(|c| doc.tag_str(c) == "incategory" && doc.attribute(c, "category").is_some());
-            let has_two_step_parlist = doc.children(n).any(|c| {
-                doc.children(c).any(|g| doc.tag_str(g) == "parlist")
-            });
+            let has_two_step_parlist = doc
+                .children(n)
+                .any(|c| doc.children(c).any(|g| doc.tag_str(g) == "parlist"));
             if has_cat && has_two_step_parlist && doc.attribute(n, "id").is_some() {
                 matches += 1;
             }
         }
-        assert!(matches > 10, "expected plenty of exact Q4 matches, got {matches}");
+        assert!(
+            matches > 10,
+            "expected plenty of exact Q4 matches, got {matches}"
+        );
     }
 
     #[test]

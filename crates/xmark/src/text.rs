@@ -10,23 +10,194 @@ use rand::Rng;
 /// Fixed vocabulary. Order matters: earlier words are sampled more
 /// often, giving the skewed term distribution tf*idf expects.
 pub(crate) const WORDS: &[&str] = &[
-    "the", "and", "of", "to", "a", "in", "that", "is", "was", "he", "for", "it", "with", "as",
-    "his", "on", "be", "at", "by", "had", "not", "are", "but", "from", "or", "have", "an", "they",
-    "which", "one", "you", "were", "her", "all", "she", "there", "would", "their", "we", "him",
-    "been", "has", "when", "who", "will", "more", "no", "if", "out", "so", "said", "what", "up",
-    "its", "about", "into", "than", "them", "can", "only", "other", "new", "some", "could",
-    "time", "these", "two", "may", "then", "do", "first", "any", "my", "now", "such", "like",
-    "our", "over", "man", "me", "even", "most", "made", "after", "also", "did", "many", "before",
-    "must", "through", "years", "where", "much", "your", "way", "well", "down", "should",
-    "because", "each", "just", "those", "people", "how", "too", "little", "state", "good",
-    "very", "make", "world", "still", "own", "see", "men", "work", "long", "get", "here",
-    "between", "both", "life", "being", "under", "never", "day", "same", "another", "know",
-    "while", "last", "might", "us", "great", "old", "year", "off", "come", "since", "against",
-    "go", "came", "right", "used", "take", "three", "merchant", "auction", "bidder", "gold",
-    "silver", "crown", "duke", "fair", "noble", "honest", "wicked", "gentle", "sweet", "bitter",
-    "purse", "fortune", "bargain", "trade", "wares", "goods", "ship", "voyage", "harbor",
-    "ledger", "seal", "parchment", "quill", "candle", "lantern", "velvet", "silk", "wool",
-    "amber", "ivory", "jade", "pearl", "copper", "bronze", "iron", "steel", "oak", "elm",
+    "the",
+    "and",
+    "of",
+    "to",
+    "a",
+    "in",
+    "that",
+    "is",
+    "was",
+    "he",
+    "for",
+    "it",
+    "with",
+    "as",
+    "his",
+    "on",
+    "be",
+    "at",
+    "by",
+    "had",
+    "not",
+    "are",
+    "but",
+    "from",
+    "or",
+    "have",
+    "an",
+    "they",
+    "which",
+    "one",
+    "you",
+    "were",
+    "her",
+    "all",
+    "she",
+    "there",
+    "would",
+    "their",
+    "we",
+    "him",
+    "been",
+    "has",
+    "when",
+    "who",
+    "will",
+    "more",
+    "no",
+    "if",
+    "out",
+    "so",
+    "said",
+    "what",
+    "up",
+    "its",
+    "about",
+    "into",
+    "than",
+    "them",
+    "can",
+    "only",
+    "other",
+    "new",
+    "some",
+    "could",
+    "time",
+    "these",
+    "two",
+    "may",
+    "then",
+    "do",
+    "first",
+    "any",
+    "my",
+    "now",
+    "such",
+    "like",
+    "our",
+    "over",
+    "man",
+    "me",
+    "even",
+    "most",
+    "made",
+    "after",
+    "also",
+    "did",
+    "many",
+    "before",
+    "must",
+    "through",
+    "years",
+    "where",
+    "much",
+    "your",
+    "way",
+    "well",
+    "down",
+    "should",
+    "because",
+    "each",
+    "just",
+    "those",
+    "people",
+    "how",
+    "too",
+    "little",
+    "state",
+    "good",
+    "very",
+    "make",
+    "world",
+    "still",
+    "own",
+    "see",
+    "men",
+    "work",
+    "long",
+    "get",
+    "here",
+    "between",
+    "both",
+    "life",
+    "being",
+    "under",
+    "never",
+    "day",
+    "same",
+    "another",
+    "know",
+    "while",
+    "last",
+    "might",
+    "us",
+    "great",
+    "old",
+    "year",
+    "off",
+    "come",
+    "since",
+    "against",
+    "go",
+    "came",
+    "right",
+    "used",
+    "take",
+    "three",
+    "merchant",
+    "auction",
+    "bidder",
+    "gold",
+    "silver",
+    "crown",
+    "duke",
+    "fair",
+    "noble",
+    "honest",
+    "wicked",
+    "gentle",
+    "sweet",
+    "bitter",
+    "purse",
+    "fortune",
+    "bargain",
+    "trade",
+    "wares",
+    "goods",
+    "ship",
+    "voyage",
+    "harbor",
+    "ledger",
+    "seal",
+    "parchment",
+    "quill",
+    "candle",
+    "lantern",
+    "velvet",
+    "silk",
+    "wool",
+    "amber",
+    "ivory",
+    "jade",
+    "pearl",
+    "copper",
+    "bronze",
+    "iron",
+    "steel",
+    "oak",
+    "elm",
 ];
 
 /// Emits `n` words into `out`, separated by single spaces (no trailing

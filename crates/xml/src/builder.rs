@@ -27,14 +27,21 @@ pub struct DocumentBuilder {
 impl DocumentBuilder {
     /// Creates a builder over a fresh, empty document.
     pub fn new() -> Self {
-        DocumentBuilder { doc: Document::new(), stack: Vec::new() }
+        DocumentBuilder {
+            doc: Document::new(),
+            stack: Vec::new(),
+        }
     }
 
     /// Opens a new element under the current one (or under the document
     /// root) and makes it current. Returns its id.
     pub fn open(&mut self, tag: &str) -> NodeId {
         let tag = self.doc.intern_tag(tag);
-        let parent = self.stack.last().copied().unwrap_or_else(|| self.doc.document_root());
+        let parent = self
+            .stack
+            .last()
+            .copied()
+            .unwrap_or_else(|| self.doc.document_root());
         let id = self.doc.push_child(parent, tag);
         self.stack.push(id);
         id
@@ -132,7 +139,10 @@ mod tests {
         .unwrap();
 
         let opts = WriteOptions::default();
-        assert_eq!(write_document(&built, &opts), write_document(&parsed, &opts));
+        assert_eq!(
+            write_document(&built, &opts),
+            write_document(&parsed, &opts)
+        );
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub struct Dewey {
 impl Dewey {
     /// The identifier of the (synthetic) document root: the empty path.
     pub fn root() -> Self {
-        Dewey { components: Vec::new() }
+        Dewey {
+            components: Vec::new(),
+        }
     }
 
     /// Builds an identifier from explicit components.
@@ -60,7 +62,9 @@ impl Dewey {
         if self.components.is_empty() {
             None
         } else {
-            Some(Dewey { components: self.components[..self.components.len() - 1].to_vec() })
+            Some(Dewey {
+                components: self.components[..self.components.len() - 1].to_vec(),
+            })
         }
     }
 
@@ -219,7 +223,10 @@ mod tests {
         // A node sorts before its descendants and after its preceding siblings.
         let mut ids = vec![d(&[1]), d(&[0, 0]), d(&[0]), d(&[0, 0, 0]), d(&[0, 1])];
         ids.sort();
-        assert_eq!(ids, vec![d(&[0]), d(&[0, 0]), d(&[0, 0, 0]), d(&[0, 1]), d(&[1])]);
+        assert_eq!(
+            ids,
+            vec![d(&[0]), d(&[0, 0]), d(&[0, 0, 0]), d(&[0, 1]), d(&[1])]
+        );
     }
 
     #[test]

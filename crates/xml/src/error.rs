@@ -80,7 +80,10 @@ impl fmt::Display for ParseErrorKind {
                 write!(f, "unexpected character {found:?}, expected {expected}")
             }
             ParseErrorKind::MismatchedClosingTag { opened, closed } => {
-                write!(f, "closing tag </{closed}> does not match open element <{opened}>")
+                write!(
+                    f,
+                    "closing tag </{closed}> does not match open element <{opened}>"
+                )
             }
             ParseErrorKind::UnmatchedClosingTag { tag } => {
                 write!(f, "closing tag </{tag}> has no matching open element")

@@ -190,7 +190,10 @@ impl Document {
     /// Pre-order depth-first traversal of the subtree rooted at `id`
     /// (including `id` itself).
     pub fn descendants_or_self(&self, id: NodeId) -> Descendants<'_> {
-        Descendants { doc: self, stack: vec![id] }
+        Descendants {
+            doc: self,
+            stack: vec![id],
+        }
     }
 
     // -- mutation (used by the parser and builder) ----------------------

@@ -76,8 +76,11 @@ impl<'a> Parser<'a> {
             }
         }
         if !self.stack.is_empty() {
-            let tags =
-                self.stack.iter().map(|&id| self.doc.tag_str(id).to_string()).collect::<Vec<_>>();
+            let tags = self
+                .stack
+                .iter()
+                .map(|&id| self.doc.tag_str(id).to_string())
+                .collect::<Vec<_>>();
             return Err(self.error(ParseErrorKind::UnclosedElements { tags }));
         }
         Ok(self.doc)
@@ -87,11 +90,18 @@ impl<'a> Parser<'a> {
 
     fn position(&self) -> Position {
         let column = self.src[self.line_start..self.pos].chars().count() as u32 + 1;
-        Position { line: self.line, column, offset: self.pos }
+        Position {
+            line: self.line,
+            column,
+            offset: self.pos,
+        }
     }
 
     fn error(&self, kind: ParseErrorKind) -> ParseError {
-        ParseError { kind, position: self.position() }
+        ParseError {
+            kind,
+            position: self.position(),
+        }
     }
 
     fn eof_error(&self, context: &'static str) -> ParseError {
@@ -180,11 +190,15 @@ impl<'a> Parser<'a> {
             out.push_str(&rest[..amp]);
             let after = &rest[amp + 1..];
             let semi = after.find(';').ok_or_else(|| {
-                self.error(ParseErrorKind::InvalidEntity { entity: truncate(after) })
+                self.error(ParseErrorKind::InvalidEntity {
+                    entity: truncate(after),
+                })
             })?;
             let entity = &after[..semi];
             out.push(decode_entity(entity).ok_or_else(|| {
-                self.error(ParseErrorKind::InvalidEntity { entity: entity.to_string() })
+                self.error(ParseErrorKind::InvalidEntity {
+                    entity: entity.to_string(),
+                })
             })?);
             rest = &after[semi + 1..];
         }
@@ -285,7 +299,9 @@ impl<'a> Parser<'a> {
                 }
                 Ok(())
             }
-            None => Err(self.error(ParseErrorKind::UnmatchedClosingTag { tag: name.to_string() })),
+            None => Err(self.error(ParseErrorKind::UnmatchedClosingTag {
+                tag: name.to_string(),
+            })),
         }
     }
 
@@ -293,7 +309,11 @@ impl<'a> Parser<'a> {
         self.pos += 1; // "<"
         let name = self.parse_name("element name")?;
         let tag = self.doc.intern_tag(name);
-        let parent = self.stack.last().copied().unwrap_or_else(|| self.doc.document_root());
+        let parent = self
+            .stack
+            .last()
+            .copied()
+            .unwrap_or_else(|| self.doc.document_root());
         let node = self.doc.push_child(parent, tag);
 
         // Attributes.
@@ -360,12 +380,19 @@ impl<'a> Parser<'a> {
                     let value = self.decode_text(start, self.pos)?;
                     self.bump(); // closing quote
                     let attr_id = self.doc.intern_tag(attr_name);
-                    if self.doc.node(node).attributes.iter().any(|(n, _)| *n == attr_id) {
+                    if self
+                        .doc
+                        .node(node)
+                        .attributes
+                        .iter()
+                        .any(|(n, _)| *n == attr_id)
+                    {
                         return Err(self.error(ParseErrorKind::DuplicateAttribute {
                             name: attr_name.to_string(),
                         }));
                     }
-                    self.doc.push_attribute(node, attr_id, value.into_boxed_str());
+                    self.doc
+                        .push_attribute(node, attr_id, value.into_boxed_str());
                 }
                 None => return Err(self.eof_error("element tag")),
             }
@@ -455,19 +482,28 @@ mod tests {
     #[test]
     fn rejects_mismatched_tags() {
         let err = parse_document("<a><b></a></b>").unwrap_err();
-        assert!(matches!(err.kind, ParseErrorKind::MismatchedClosingTag { .. }), "{err}");
+        assert!(
+            matches!(err.kind, ParseErrorKind::MismatchedClosingTag { .. }),
+            "{err}"
+        );
     }
 
     #[test]
     fn rejects_unclosed_elements() {
         let err = parse_document("<a><b>").unwrap_err();
-        assert!(matches!(err.kind, ParseErrorKind::UnclosedElements { .. }), "{err}");
+        assert!(
+            matches!(err.kind, ParseErrorKind::UnclosedElements { .. }),
+            "{err}"
+        );
     }
 
     #[test]
     fn rejects_unmatched_closing_tag() {
         let err = parse_document("<a/></b>").unwrap_err();
-        assert!(matches!(err.kind, ParseErrorKind::UnmatchedClosingTag { .. }), "{err}");
+        assert!(
+            matches!(err.kind, ParseErrorKind::UnmatchedClosingTag { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -479,13 +515,19 @@ mod tests {
     #[test]
     fn rejects_bad_entity() {
         let err = parse_document("<a>&nosuch;</a>").unwrap_err();
-        assert!(matches!(err.kind, ParseErrorKind::InvalidEntity { .. }), "{err}");
+        assert!(
+            matches!(err.kind, ParseErrorKind::InvalidEntity { .. }),
+            "{err}"
+        );
     }
 
     #[test]
     fn rejects_duplicate_attribute() {
         let err = parse_document(r#"<a x="1" x="2"/>"#).unwrap_err();
-        assert!(matches!(err.kind, ParseErrorKind::DuplicateAttribute { .. }), "{err}");
+        assert!(
+            matches!(err.kind, ParseErrorKind::DuplicateAttribute { .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -48,7 +48,11 @@ impl DocumentStats {
             element_count: doc.len().saturating_sub(1),
             tag_counts,
             max_depth,
-            mean_fanout: if parents == 0 { 0.0 } else { child_links as f64 / parents as f64 },
+            mean_fanout: if parents == 0 {
+                0.0
+            } else {
+                child_links as f64 / parents as f64
+            },
             text_bytes,
             serialized_bytes: serialized.len(),
         }
@@ -56,7 +60,10 @@ impl DocumentStats {
 
     /// Count of elements with the given tag name.
     pub fn count_for(&self, doc: &Document, tag: &str) -> usize {
-        doc.tag_id(tag).and_then(|id| self.tag_counts.get(&id)).copied().unwrap_or(0)
+        doc.tag_id(tag)
+            .and_then(|id| self.tag_counts.get(&id))
+            .copied()
+            .unwrap_or(0)
     }
 }
 

@@ -75,7 +75,10 @@ impl TagInterner {
 
     /// Iterates over `(id, name)` pairs in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (TagId, &str)> {
-        self.names.iter().enumerate().map(|(i, n)| (TagId(i as u32), n.as_ref()))
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (TagId(i as u32), n.as_ref()))
     }
 }
 

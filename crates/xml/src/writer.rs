@@ -8,19 +8,13 @@ use crate::node::{Document, NodeId};
 use std::fmt::Write as _;
 
 /// Serialization options.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct WriteOptions {
     /// Pretty-print with this many spaces per depth level; `None` writes
     /// compact output.
     pub indent: Option<usize>,
     /// Emit an `<?xml version="1.0"?>` declaration.
     pub declaration: bool,
-}
-
-impl Default for WriteOptions {
-    fn default() -> Self {
-        WriteOptions { indent: None, declaration: false }
-    }
 }
 
 /// Serializes a whole document (the children of the synthetic root).
@@ -45,7 +39,13 @@ pub fn write_node(doc: &Document, node: NodeId, opts: &WriteOptions) -> String {
     out
 }
 
-fn write_node_into(doc: &Document, node: NodeId, opts: &WriteOptions, depth: usize, out: &mut String) {
+fn write_node_into(
+    doc: &Document,
+    node: NodeId,
+    opts: &WriteOptions,
+    depth: usize,
+    out: &mut String,
+) {
     let data = doc.node(node);
     let tag = doc.tag_name(data.tag);
     if let Some(indent) = opts.indent {
@@ -73,9 +73,11 @@ fn write_node_into(doc: &Document, node: NodeId, opts: &WriteOptions, depth: usi
     for &child in &data.children {
         write_node_into(doc, child, opts, depth + 1, out);
     }
-    if opts.indent.is_some() && !data.children.is_empty() {
-        out.push('\n');
-        out.extend(std::iter::repeat(' ').take(opts.indent.unwrap() * depth));
+    if let Some(indent) = opts.indent {
+        if !data.children.is_empty() {
+            out.push('\n');
+            out.extend(std::iter::repeat(' ').take(indent * depth));
+        }
     }
     out.push_str("</");
     out.push_str(tag);
@@ -127,8 +129,13 @@ mod tests {
     #[test]
     fn pretty_print_indents() {
         let doc = parse_document("<a><b><c/></b></a>").unwrap();
-        let out =
-            write_document(&doc, &WriteOptions { indent: Some(2), declaration: true });
+        let out = write_document(
+            &doc,
+            &WriteOptions {
+                indent: Some(2),
+                declaration: true,
+            },
+        );
         assert!(out.starts_with("<?xml"));
         assert!(out.contains("\n  <b>"));
         assert!(out.contains("\n    <c/>"));

@@ -12,7 +12,9 @@ fn ok(src: &str) -> whirlpool_xml::Document {
 
 #[track_caller]
 fn fails(src: &str) -> ParseErrorKind {
-    parse_document(src).expect_err(&format!("{src:?} should NOT parse")).kind
+    parse_document(src)
+        .expect_err(&format!("{src:?} should NOT parse"))
+        .kind
 }
 
 #[test]
@@ -69,26 +71,41 @@ fn malformed_battery() {
     assert!(matches!(fails("<a>"), K::UnclosedElements { .. }));
     assert!(matches!(fails("</a>"), K::UnmatchedClosingTag { .. }));
     assert!(matches!(fails("<a></b>"), K::MismatchedClosingTag { .. }));
-    assert!(matches!(fails("<a><b></a></b>"), K::MismatchedClosingTag { .. }));
+    assert!(matches!(
+        fails("<a><b></a></b>"),
+        K::MismatchedClosingTag { .. }
+    ));
     // Truncations of every construct.
     assert!(matches!(fails("<a"), K::UnexpectedEof { .. }));
     assert!(matches!(fails("<a x="), K::UnexpectedEof { .. }));
     assert!(matches!(fails("<a x=\"v"), K::UnexpectedEof { .. }));
-    assert!(matches!(fails("<!-- never closed"), K::UnexpectedEof { .. }));
-    assert!(matches!(fails("<a><![CDATA[oops</a>"), K::UnexpectedEof { .. }));
+    assert!(matches!(
+        fails("<!-- never closed"),
+        K::UnexpectedEof { .. }
+    ));
+    assert!(matches!(
+        fails("<a><![CDATA[oops</a>"),
+        K::UnexpectedEof { .. }
+    ));
     assert!(matches!(fails("<!DOCTYPE r ["), K::UnexpectedEof { .. }));
     assert!(matches!(fails("<a><?pi"), K::UnexpectedEof { .. }));
     // Attribute problems.
     assert!(matches!(fails("<a x=1/>"), K::UnexpectedChar { .. }));
     assert!(matches!(fails("<a x \"1\"/>"), K::UnexpectedChar { .. }));
-    assert!(matches!(fails("<a x=\"1\" x=\"2\"/>"), K::DuplicateAttribute { .. }));
+    assert!(matches!(
+        fails("<a x=\"1\" x=\"2\"/>"),
+        K::DuplicateAttribute { .. }
+    ));
     // Bad names.
     assert!(matches!(fails("<1a/>"), K::UnexpectedChar { .. }));
     assert!(matches!(fails("< a/>"), K::UnexpectedChar { .. }));
     // Entities.
     assert!(matches!(fails("<a>&bogus;</a>"), K::InvalidEntity { .. }));
     assert!(matches!(fails("<a>&#xZZ;</a>"), K::InvalidEntity { .. }));
-    assert!(matches!(fails("<a>&#1114112;</a>"), K::InvalidEntity { .. })); // > U+10FFFF
+    assert!(matches!(
+        fails("<a>&#1114112;</a>"),
+        K::InvalidEntity { .. }
+    )); // > U+10FFFF
     assert!(matches!(fails("<a>& amp;</a>"), K::InvalidEntity { .. }));
     // Content outside the root.
     assert!(matches!(fails("junk<a/>"), K::TextOutsideRoot));
@@ -99,11 +116,9 @@ fn malformed_battery() {
 
 #[test]
 fn structural_invariants_hold_for_parsed_documents() {
-    let doc = ok(
-        "<site><regions><europe><item id=\"i0\"><name>n</name>\
+    let doc = ok("<site><regions><europe><item id=\"i0\"><name>n</name>\
          <description><parlist><listitem><text>t<bold>b</bold></text>\
-         </listitem></parlist></description></item></europe></regions></site>",
-    );
+         </listitem></parlist></description></item></europe></regions></site>");
     // Every element's Dewey id is its parent's id extended by one
     // component, and NodeIds are assigned in document order.
     let mut prev = None;

@@ -60,22 +60,42 @@ proptest! {
 
 #[derive(Debug, Clone)]
 enum Tree {
-    Node { tag: usize, text: Option<String>, children: Vec<Tree> },
+    Node {
+        tag: usize,
+        text: Option<String>,
+        children: Vec<Tree>,
+    },
 }
 
 fn tree_strategy() -> impl Strategy<Value = Tree> {
-    let leaf = (0usize..8, prop::option::of("[a-z <>&\"']{0,12}"))
-        .prop_map(|(tag, text)| Tree::Node { tag, text, children: vec![] });
+    let leaf =
+        (0usize..8, prop::option::of("[a-z <>&\"']{0,12}")).prop_map(|(tag, text)| Tree::Node {
+            tag,
+            text,
+            children: vec![],
+        });
     leaf.prop_recursive(4, 32, 4, |inner| {
-        (0usize..8, prop::option::of("[a-z <>&\"']{0,12}"), prop::collection::vec(inner, 0..4))
-            .prop_map(|(tag, text, children)| Tree::Node { tag, text, children })
+        (
+            0usize..8,
+            prop::option::of("[a-z <>&\"']{0,12}"),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(tag, text, children)| Tree::Node {
+                tag,
+                text,
+                children,
+            })
     })
 }
 
 const TAGS: [&str; 8] = ["a", "b", "c", "item", "name", "text", "bold", "keyword"];
 
 fn build(tree: &Tree, b: &mut DocumentBuilder) {
-    let Tree::Node { tag, text, children } = tree;
+    let Tree::Node {
+        tag,
+        text,
+        children,
+    } = tree;
     b.open(TAGS[*tag]);
     if let Some(t) = text {
         b.text(t);

@@ -7,16 +7,17 @@
 //! cargo run --release -p whirlpool-examples --example auction_topk [size_mb]
 //! ```
 
-use whirlpool_core::{
-    answers_equivalent, evaluate, Algorithm, EvalOptions, EvalResult,
-};
+use whirlpool_core::{answers_equivalent, evaluate, Algorithm, EvalOptions, EvalResult};
 use whirlpool_index::TagIndex;
 use whirlpool_score::{Normalization, TfIdfModel};
 use whirlpool_xmark::{generate, queries, GeneratorConfig};
 use whirlpool_xml::DocumentStats;
 
 fn main() {
-    let size_mb: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let size_mb: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let k = 15;
 
     eprintln!("generating ~{size_mb} Mb document…");

@@ -32,7 +32,14 @@ fn main() {
     // Exact evaluation: book (a) only.
     let mut options = EvalOptions::top_k(3);
     options.relax = RelaxMode::Exact;
-    let exact = evaluate(&doc, &index, &query, &model, &Algorithm::WhirlpoolS, &options);
+    let exact = evaluate(
+        &doc,
+        &index,
+        &query,
+        &model,
+        &Algorithm::WhirlpoolS,
+        &options,
+    );
     println!("exact matches: {}", exact.answers.len());
     for a in &exact.answers {
         println!("  score {:.4}  {}", a.score.value(), preview(&doc, a.root));
@@ -41,14 +48,30 @@ fn main() {
     // Relaxed evaluation: all three books, ranked by structural
     // similarity to the query.
     options.relax = RelaxMode::Relaxed;
-    let relaxed = evaluate(&doc, &index, &query, &model, &Algorithm::WhirlpoolS, &options);
+    let relaxed = evaluate(
+        &doc,
+        &index,
+        &query,
+        &model,
+        &Algorithm::WhirlpoolS,
+        &options,
+    );
     println!("\napproximate matches (relaxed): {}", relaxed.answers.len());
     for (rank, a) in relaxed.answers.iter().enumerate() {
-        println!("  #{} score {:.4}  {}", rank + 1, a.score.value(), preview(&doc, a.root));
+        println!(
+            "  #{} score {:.4}  {}",
+            rank + 1,
+            a.score.value(),
+            preview(&doc, a.root)
+        );
     }
 
     assert_eq!(exact.answers.len(), 1, "only book (a) matches exactly");
-    assert_eq!(relaxed.answers.len(), 3, "relaxation admits all three books");
+    assert_eq!(
+        relaxed.answers.len(),
+        3,
+        "relaxation admits all three books"
+    );
     assert_eq!(
         relaxed.answers[0].root, exact.answers[0].root,
         "the exact match ranks first among approximate answers"

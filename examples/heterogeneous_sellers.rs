@@ -19,7 +19,10 @@ use whirlpool_xmark::bib::{generate_catalog, CatalogConfig, CATALOG_QUERY};
 use whirlpool_xmark::queries;
 
 fn main() {
-    let doc = generate_catalog(&CatalogConfig { books: 500, ..Default::default() });
+    let doc = generate_catalog(&CatalogConfig {
+        books: 500,
+        ..Default::default()
+    });
     let index = TagIndex::build(&doc);
     let query = queries::parse(CATALOG_QUERY);
     println!("query:   {query}\n");
@@ -29,19 +32,36 @@ fn main() {
     // Exact evaluation: canonical-schema records only.
     let mut options = EvalOptions::top_k(500);
     options.relax = RelaxMode::Exact;
-    let exact = evaluate(&doc, &index, &query, &model, &Algorithm::WhirlpoolS, &options);
+    let exact = evaluate(
+        &doc,
+        &index,
+        &query,
+        &model,
+        &Algorithm::WhirlpoolS,
+        &options,
+    );
     let exact_schemas: Vec<&str> = exact
         .answers
         .iter()
         .filter_map(|a| doc.attribute(a.root, "schema"))
         .collect();
-    println!("exact matches: {} (all canonical: {})", exact.answers.len(),
-        exact_schemas.iter().all(|&s| s == "canonical"));
+    println!(
+        "exact matches: {} (all canonical: {})",
+        exact.answers.len(),
+        exact_schemas.iter().all(|&s| s == "canonical")
+    );
     assert!(exact_schemas.iter().all(|&s| s == "canonical"));
 
     // Relaxed evaluation: every seller's records come back, ranked.
     options.relax = RelaxMode::Relaxed;
-    let relaxed = evaluate(&doc, &index, &query, &model, &Algorithm::WhirlpoolS, &options);
+    let relaxed = evaluate(
+        &doc,
+        &index,
+        &query,
+        &model,
+        &Algorithm::WhirlpoolS,
+        &options,
+    );
     println!("approximate matches: {}\n", relaxed.answers.len());
 
     // Mean score per schema.
@@ -52,8 +72,10 @@ fn main() {
         e.0 += a.score.value();
         e.1 += 1;
     }
-    let mut rows: Vec<(&str, f64, usize)> =
-        sums.into_iter().map(|(s, (sum, n))| (s, sum / n as f64, n)).collect();
+    let mut rows: Vec<(&str, f64, usize)> = sums
+        .into_iter()
+        .map(|(s, (sum, n))| (s, sum / n as f64, n))
+        .collect();
     rows.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     println!("{:<12} {:>8} {:>12}", "schema", "records", "mean score");
@@ -64,6 +86,10 @@ fn main() {
     // Schemas rank by distance from the query's layout.
     let order: Vec<&str> = rows.iter().map(|r| r.0).collect();
     assert_eq!(order[0], "canonical", "canonical schema scores best");
-    assert_eq!(*order.last().unwrap(), "minimal", "minimal schema scores worst");
+    assert_eq!(
+        *order.last().unwrap(),
+        "minimal",
+        "minimal schema scores worst"
+    );
     println!("\nok: ranking follows structural fidelity to the query");
 }

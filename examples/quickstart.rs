@@ -52,7 +52,11 @@ fn main() {
         let id = doc.attribute(answer.root, "id").unwrap_or("?");
         let xml = write_node(&doc, answer.root, &WriteOptions::default());
         let preview: String = xml.chars().take(60).collect();
-        println!("  #{} score {:.4}  book {id}  {preview}…", rank + 1, answer.score.value());
+        println!(
+            "  #{} score {:.4}  book {id}  {preview}…",
+            rank + 1,
+            answer.score.value()
+        );
     }
 
     println!("\nwork: {:?}", result.metrics);

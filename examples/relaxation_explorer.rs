@@ -9,8 +9,8 @@
 //! cargo run --release -p whirlpool-examples --example relaxation_explorer ["//item[./a/b]"]
 //! ```
 
-use whirlpool_pattern::relax::{applicable, apply, enumerate, fully_relaxed, Relaxation};
 use whirlpool_pattern::parse_pattern;
+use whirlpool_pattern::relax::{applicable, apply, enumerate, fully_relaxed, Relaxation};
 
 fn main() {
     let query_src = std::env::args()

@@ -12,7 +12,10 @@ use whirlpool_score::{Normalization, Score, TfIdfModel};
 use whirlpool_xmark::{generate, queries, GeneratorConfig};
 
 fn main() {
-    let tau: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4.0);
+    let tau: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4.0);
     let doc = generate(&GeneratorConfig::items(400));
     let index = TagIndex::build(&doc);
     let query = queries::parse(queries::Q2);

@@ -1,0 +1,343 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of criterion's API the workspace's benches
+//! use — [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], [`black_box`], and the
+//! `criterion_group!` / `criterion_main!` macros — as a compact
+//! median-of-samples timing loop printing one line per benchmark.
+//! There are no HTML reports, no statistics beyond median/min/max, and
+//! no baseline comparisons. Honor `--bench` being passed by cargo and
+//! a `CRITERION_SAMPLES` override; everything else about the real CLI
+//! is accepted and ignored.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported from `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units of work per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name plus a parameter rendering.
+    pub fn new<P: Display>(function_id: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    /// An id from a parameter rendering alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median/min/max of per-iteration wall time, filled by `iter`.
+    result: Option<(Duration, Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording median/min/max across samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up pass, also used to pick an inner batch size so that
+        // one sample takes a measurable slice of wall time.
+        let warm = Instant::now();
+        black_box(routine());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(10);
+        let batch = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            times.push(start.elapsed() / batch);
+        }
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        self.result = Some((median, times[0], times[times.len() - 1]));
+    }
+}
+
+fn configured_samples(default_samples: usize) -> usize {
+    std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_samples)
+        .max(1)
+}
+
+fn report(
+    name: &str,
+    result: Option<(Duration, Duration, Duration)>,
+    throughput: Option<Throughput>,
+) {
+    let Some((median, min, max)) = result else {
+        println!("{name:<56} (no measurement)");
+        return;
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let gib = bytes as f64 / (1u64 << 30) as f64 / median.as_secs_f64();
+            format!("  {gib:>8.3} GiB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let meps = n as f64 / 1e6 / median.as_secs_f64();
+            format!("  {meps:>8.3} Melem/s")
+        }
+        None => String::new(),
+    };
+    println!("{name:<56} median {median:>12.3?}  [{min:.3?} .. {max:.3?}]{rate}");
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    samples: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench` plus any user filter; accept the
+        // first non-flag argument as a substring filter like criterion.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            samples: configured_samples(11),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.samples = configured_samples(samples);
+        self
+    }
+
+    /// Configures measurement time; accepted for API compatibility.
+    pub fn measurement_time(self, _duration: Duration) -> Self {
+        self
+    }
+
+    /// Configures warm-up time; accepted for API compatibility.
+    pub fn warm_up_time(self, _duration: Duration) -> Self {
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: group_name.to_string(),
+            samples: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut routine: R,
+    ) -> &mut Self {
+        if self.matches(name) {
+            let mut bencher = Bencher {
+                samples: self.samples,
+                result: None,
+            };
+            routine(&mut bencher);
+            report(name, bencher.result, None);
+        }
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    samples: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = Some(configured_samples(samples));
+        self
+    }
+
+    /// Sets the throughput used to report rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Configures measurement time; accepted for API compatibility.
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    fn run<R: FnMut(&mut Bencher)>(&mut self, id: &str, mut routine: R) {
+        let full = format!("{}/{id}", self.name);
+        if !self.parent.matches(&full) {
+            return;
+        }
+        let mut bencher = Bencher {
+            samples: self.samples.unwrap_or(self.parent.samples),
+            result: None,
+        };
+        routine(&mut bencher);
+        report(&full, bencher.result, self.throughput);
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut routine: R,
+    ) -> &mut Self {
+        self.run(&id.into_benchmark_id().id, |b| routine(b));
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, |b| routine(b, input));
+        self
+    }
+
+    /// Closes the group (reports are emitted eagerly; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Conversion into [`BenchmarkId`] for `bench_function` arguments.
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+/// Declares a benchmark group entry point, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_measurement() {
+        let mut bencher = Bencher {
+            samples: 3,
+            result: None,
+        };
+        bencher.iter(|| black_box(40 + 2));
+        let (median, min, max) = bencher.result.expect("no measurement");
+        assert!(min <= median && median <= max);
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut criterion = Criterion {
+            samples: 2,
+            filter: None,
+        };
+        let mut total = 0u64;
+        {
+            let mut group = criterion.benchmark_group("shim");
+            group.throughput(Throughput::Bytes(1024));
+            group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+                b.iter(|| {
+                    total = total.wrapping_add(n);
+                    black_box(total)
+                })
+            });
+            group.finish();
+        }
+        criterion.bench_function("standalone", |b| b.iter(|| black_box(1)));
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut criterion = Criterion {
+            samples: 2,
+            filter: Some("zzz-no-match".into()),
+        };
+        let mut ran = false;
+        criterion.bench_function("skipped", |_b| ran = true);
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,735 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset of proptest's API this workspace uses as a
+//! deterministic generate-and-check harness: the [`proptest!`] macro,
+//! the [`Strategy`] trait with `prop_map`/`prop_recursive`, integer
+//! range / tuple / regex-literal strategies, and the
+//! `prop::{collection, option, sample}` combinators. There is no
+//! shrinking — a failing case reports its `Debug`-formatted inputs and
+//! re-raises the panic. Case streams are seeded from the test's module
+//! path, so failures reproduce exactly across runs.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG (SplitMix64)
+// ---------------------------------------------------------------------------
+
+/// Deterministic random source used for all generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x6A09_E667_F3BC_C909,
+        }
+    }
+
+    /// Creates the generator for a named test, optionally re-seeded via
+    /// the `PROPTEST_SEED` environment variable.
+    pub fn for_test(name: &str) -> Self {
+        if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+            if let Ok(seed) = seed.parse::<u64>() {
+                return TestRng::from_seed(seed);
+            }
+        }
+        // FNV-1a over the test name keeps streams distinct per test.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng::from_seed(h)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let zone = u64::MAX - (u64::MAX - bound) % bound;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Number of cases per property, honoring `PROPTEST_CASES`.
+pub fn runtime_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.parse().unwrap_or(configured),
+        Err(_) => configured,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+/// Per-property configuration (subset: case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait + combinators
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds recursive values: `leaf` at depth 0, otherwise `expand`
+    /// applied to a strategy for the next level down. The `_size` and
+    /// `_branch` hints are accepted for API compatibility.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _size: u32,
+        _branch: u32,
+        expand: F,
+    ) -> Recursive<Self>
+    where
+        Self: Sized + Clone + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S + 'static,
+    {
+        Recursive {
+            leaf: self,
+            depth,
+            expand: Rc::new(ExpandFn(expand)),
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe mirror of [`Strategy`] for boxing.
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A reference-counted, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Object-safe wrapper so `Recursive` needs only the closure type.
+trait DynExpand<T> {
+    fn expand_dyn(&self, inner: BoxedStrategy<T>, rng: &mut TestRng) -> T;
+}
+
+struct ExpandFn<F>(F);
+
+impl<T, S, F> DynExpand<T> for ExpandFn<F>
+where
+    T: Debug,
+    S: Strategy<Value = T>,
+    F: Fn(BoxedStrategy<T>) -> S,
+{
+    fn expand_dyn(&self, inner: BoxedStrategy<T>, rng: &mut TestRng) -> T {
+        (self.0)(inner).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_recursive`].
+pub struct Recursive<L: Strategy> {
+    leaf: L,
+    depth: u32,
+    expand: Rc<dyn DynExpand<L::Value>>,
+}
+
+impl<L: Strategy + Clone> Clone for Recursive<L> {
+    fn clone(&self) -> Self {
+        Recursive {
+            leaf: self.leaf.clone(),
+            depth: self.depth,
+            expand: Rc::clone(&self.expand),
+        }
+    }
+}
+
+impl<L> Strategy for Recursive<L>
+where
+    L: Strategy + Clone + 'static,
+    L::Value: 'static,
+{
+    type Value = L::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> L::Value {
+        // Bias toward leaves as depth is consumed so sizes vary; depth 0
+        // always yields a leaf, guaranteeing termination.
+        if self.depth == 0 || rng.below(4) == 0 {
+            return self.leaf.generate(rng);
+        }
+        let next = Recursive {
+            leaf: self.leaf.clone(),
+            depth: self.depth - 1,
+            expand: Rc::clone(&self.expand),
+        };
+        self.expand.expand_dyn(next.boxed(), rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Marker for [`any`]-generable types.
+pub trait Arbitrary: Debug + Sized {
+    /// Draws one value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy for the full domain of `T` (see [`any`]).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(std::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, G)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-literal string strategies
+// ---------------------------------------------------------------------------
+
+/// `&str` strategies interpret the string as a regex from the small
+/// dialect this workspace uses: `[class]{lo,hi}`, `.{lo,hi}`, and
+/// plain-literal patterns. Character classes support ranges (`a-z`)
+/// and literal members (including space and XML metacharacters).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match compile_pattern(self) {
+            CompiledPattern::Literal(s) => s,
+            CompiledPattern::Class {
+                alphabet,
+                min_len,
+                max_len,
+            } => {
+                let len = if max_len > min_len {
+                    min_len + rng.below((max_len - min_len + 1) as u64) as usize
+                } else {
+                    min_len
+                };
+                let mut out = String::with_capacity(len);
+                for _ in 0..len {
+                    let idx = rng.below(alphabet.len() as u64) as usize;
+                    out.push(alphabet[idx]);
+                }
+                out
+            }
+        }
+    }
+}
+
+enum CompiledPattern {
+    Literal(String),
+    Class {
+        alphabet: Vec<char>,
+        min_len: usize,
+        max_len: usize,
+    },
+}
+
+/// Alphabet used by the `.` metacharacter: printable ASCII plus a few
+/// multibyte and control characters to exercise parser edge cases.
+fn dot_alphabet() -> Vec<char> {
+    let mut alphabet: Vec<char> = (0x20u8..0x7f).map(char::from).collect();
+    alphabet.extend(['\t', '\n', 'é', 'λ', '→', '\u{1F600}']);
+    alphabet
+}
+
+fn compile_pattern(pattern: &str) -> CompiledPattern {
+    let chars: Vec<char> = pattern.chars().collect();
+    let (alphabet, rest) = match chars.first() {
+        Some('[') => {
+            let close = chars
+                .iter()
+                .position(|&c| c == ']')
+                .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+            let mut alphabet = Vec::new();
+            let mut i = 1;
+            while i < close {
+                if i + 2 < close && chars[i + 1] == '-' {
+                    let (lo, hi) = (chars[i], chars[i + 2]);
+                    assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                    alphabet.extend((lo..=hi).filter(|c| c.is_ascii() || lo == hi));
+                    i += 3;
+                } else {
+                    alphabet.push(chars[i]);
+                    i += 1;
+                }
+            }
+            assert!(!alphabet.is_empty(), "empty class in pattern {pattern:?}");
+            (alphabet, &chars[close + 1..])
+        }
+        Some('.') => (dot_alphabet(), &chars[1..]),
+        _ => return CompiledPattern::Literal(pattern.to_string()),
+    };
+    let (min_len, max_len) = parse_repetition(rest, pattern);
+    CompiledPattern::Class {
+        alphabet,
+        min_len,
+        max_len,
+    }
+}
+
+fn parse_repetition(rest: &[char], pattern: &str) -> (usize, usize) {
+    if rest.is_empty() {
+        return (1, 1);
+    }
+    assert!(
+        rest.first() == Some(&'{') && rest.last() == Some(&'}'),
+        "unsupported repetition in pattern {pattern:?}"
+    );
+    let body: String = rest[1..rest.len() - 1].iter().collect();
+    match body.split_once(',') {
+        Some((lo, hi)) => {
+            let lo = lo.trim().parse().expect("bad repetition lower bound");
+            let hi = hi.trim().parse().expect("bad repetition upper bound");
+            assert!(lo <= hi, "inverted repetition in pattern {pattern:?}");
+            (lo, hi)
+        }
+        None => {
+            let n = body.trim().parse().expect("bad repetition count");
+            (n, n)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// prop:: combinator namespace
+// ---------------------------------------------------------------------------
+
+/// Combinator namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s with lengths drawn from `size`.
+        #[derive(Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                assert!(self.size.start < self.size.end, "empty vec size range");
+                let span = (self.size.end - self.size.start) as u64;
+                let len = self.size.start + rng.below(span) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// A `Vec` strategy: each element from `element`, length in `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy yielding `None` about a quarter of the time.
+        #[derive(Clone)]
+        pub struct OptionStrategy<S>(S);
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.0.generate(rng))
+                }
+            }
+        }
+
+        /// An `Option` strategy over `inner`.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+        use std::fmt::Debug;
+
+        /// Strategy drawing uniformly from a fixed set of options.
+        #[derive(Clone)]
+        pub struct Select<T>(Vec<T>);
+
+        impl<T: Debug + Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                let idx = rng.below(self.0.len() as u64) as usize;
+                self.0[idx].clone()
+            }
+        }
+
+        /// A strategy choosing one of `options` uniformly.
+        pub fn select<T: Debug + Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select over empty options");
+            Select(options)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// item becomes a `#[test]`-able function running the body across
+/// generated cases. No shrinking; failing inputs are printed verbatim.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __cases = $crate::runtime_cases(__cfg.cases);
+            let mut __rng =
+                $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __inputs =
+                    format!(concat!($(stringify!($arg), " = {:?}; "),+), $(&$arg),+);
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || -> () { $body }),
+                );
+                if let ::std::result::Result::Err(__panic) = __outcome {
+                    eprintln!(
+                        "proptest: case {}/{} of `{}` failed with inputs: {}",
+                        __case + 1,
+                        __cases,
+                        stringify!($name),
+                        __inputs,
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        BoxedStrategy, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(u8),
+        Node(Vec<Tree>),
+    }
+
+    fn tree_strategy() -> impl Strategy<Value = Tree> {
+        (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 16, 3, |inner| {
+                prop::collection::vec(inner, 1..4).prop_map(Tree::Node)
+            })
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 1,
+            Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 5usize..=9) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((5..=9).contains(&y));
+        }
+
+        #[test]
+        fn regex_class_respects_alphabet(s in "[a-c0-1]{2,5}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 5, "bad length {}", s.len());
+            prop_assert!(s.chars().all(|c| "abc01".contains(c)));
+        }
+
+        #[test]
+        fn tuples_options_and_selects(
+            pair in (0u8..4, "[x-z]{1,2}"),
+            opt in prop::option::of(0i32..5),
+            pick in prop::sample::select(vec!["a", "b", "c"]),
+        ) {
+            prop_assert!(pair.0 < 4);
+            prop_assert_ne!(pair.1.len(), 0);
+            if let Some(v) = opt {
+                prop_assert!((0..5).contains(&v));
+            }
+            prop_assert!(["a", "b", "c"].contains(&pick));
+        }
+
+        #[test]
+        fn recursion_terminates(t in tree_strategy()) {
+            prop_assert!(depth(&t) <= 5);
+        }
+
+        #[test]
+        fn assume_skips(v in any::<bool>()) {
+            prop_assume!(v);
+            prop_assert!(v);
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = crate::TestRng::from_seed(9);
+        let mut b = crate::TestRng::from_seed(9);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn dot_pattern_covers_lengths() {
+        let mut rng = crate::TestRng::from_seed(5);
+        let strat = ".{0,60}";
+        let mut saw_empty = false;
+        let mut saw_long = false;
+        for _ in 0..4096 {
+            let s = Strategy::generate(&strat, &mut rng);
+            let n = s.chars().count();
+            assert!(n <= 60);
+            saw_empty |= n == 0;
+            saw_long |= n > 40;
+        }
+        assert!(saw_empty && saw_long);
+    }
+}

@@ -25,7 +25,10 @@ struct RandTree {
 }
 
 fn tree_strategy() -> impl Strategy<Value = RandTree> {
-    let leaf = (0usize..TAGS.len()).prop_map(|tag| RandTree { tag, children: vec![] });
+    let leaf = (0usize..TAGS.len()).prop_map(|tag| RandTree {
+        tag,
+        children: vec![],
+    });
     leaf.prop_recursive(4, 40, 4, |inner| {
         (0usize..TAGS.len(), prop::collection::vec(inner, 0..4))
             .prop_map(|(tag, children)| RandTree { tag, children })
@@ -40,11 +43,22 @@ struct RandQuery {
 }
 
 fn query_strategy() -> impl Strategy<Value = RandQuery> {
-    let leaf = (0usize..TAGS.len(), any::<bool>())
-        .prop_map(|(tag, axis)| RandQuery { tag, axis, children: vec![] });
+    let leaf = (0usize..TAGS.len(), any::<bool>()).prop_map(|(tag, axis)| RandQuery {
+        tag,
+        axis,
+        children: vec![],
+    });
     leaf.prop_recursive(2, 6, 2, |inner| {
-        (0usize..TAGS.len(), any::<bool>(), prop::collection::vec(inner, 0..3))
-            .prop_map(|(tag, axis, children)| RandQuery { tag, axis, children })
+        (
+            0usize..TAGS.len(),
+            any::<bool>(),
+            prop::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(tag, axis, children)| RandQuery {
+                tag,
+                axis,
+                children,
+            })
     })
 }
 
@@ -65,7 +79,11 @@ fn build_doc(trees: &[RandTree]) -> Document {
 
 fn build_query(q: &RandQuery) -> TreePattern {
     fn rec(q: &RandQuery, parent: whirlpool_pattern::QNodeId, p: &mut TreePattern) {
-        let axis = if q.axis { Axis::Descendant } else { Axis::Child };
+        let axis = if q.axis {
+            Axis::Descendant
+        } else {
+            Axis::Child
+        };
         let id = p.add_node(parent, axis, TAGS[q.tag], None);
         for c in &q.children {
             rec(c, id, p);
@@ -194,7 +212,10 @@ fn whirlpool_m_stress_matrix() {
             .map(|i| RandTree {
                 tag: 1 + (i % 3),
                 children: (0..(i % 4))
-                    .map(|j| RandTree { tag: 1 + (j % 3), children: vec![] })
+                    .map(|j| RandTree {
+                        tag: 1 + (j % 3),
+                        children: vec![],
+                    })
                     .collect(),
             })
             .collect(),
@@ -203,8 +224,16 @@ fn whirlpool_m_stress_matrix() {
         tag: 1,
         axis: true,
         children: vec![
-            RandQuery { tag: 2, axis: false, children: vec![] },
-            RandQuery { tag: 3, axis: true, children: vec![] },
+            RandQuery {
+                tag: 2,
+                axis: false,
+                children: vec![],
+            },
+            RandQuery {
+                tag: 3,
+                axis: true,
+                children: vec![],
+            },
         ],
     });
     let index = TagIndex::build(&doc);
@@ -236,7 +265,11 @@ fn whirlpool_m_stress_matrix() {
                         &ctx,
                         &RoutingStrategy::MinAlive,
                         5,
-                        &WhirlpoolMConfig { queue_policy, processors, threads_per_server },
+                        &WhirlpoolMConfig {
+                            queue_policy,
+                            processors,
+                            threads_per_server,
+                        },
                     );
                     assert!(
                         answers_equivalent(&got, &reference.answers, 1e-9),

@@ -32,7 +32,14 @@ fn serialize_reparse_preserves_answers() {
     let m2 = TfIdfModel::build(&reparsed, &i2, &query, Normalization::Sparse);
     let options = EvalOptions::top_k(10);
     let r1 = evaluate(&doc, &i1, &query, &m1, &Algorithm::WhirlpoolS, &options);
-    let r2 = evaluate(&reparsed, &i2, &query, &m2, &Algorithm::WhirlpoolS, &options);
+    let r2 = evaluate(
+        &reparsed,
+        &i2,
+        &query,
+        &m2,
+        &Algorithm::WhirlpoolS,
+        &options,
+    );
     assert!(answers_equivalent(&r1.answers, &r2.answers, 1e-9));
 }
 
@@ -43,9 +50,23 @@ fn whirlpool_s_is_deterministic() {
     let query = queries::parse(queries::Q3);
     let model = TfIdfModel::build(&doc, &index, &query, Normalization::Sparse);
     let options = EvalOptions::top_k(15);
-    let first = evaluate(&doc, &index, &query, &model, &Algorithm::WhirlpoolS, &options);
+    let first = evaluate(
+        &doc,
+        &index,
+        &query,
+        &model,
+        &Algorithm::WhirlpoolS,
+        &options,
+    );
     for _ in 0..3 {
-        let again = evaluate(&doc, &index, &query, &model, &Algorithm::WhirlpoolS, &options);
+        let again = evaluate(
+            &doc,
+            &index,
+            &query,
+            &model,
+            &Algorithm::WhirlpoolS,
+            &options,
+        );
         // Bit-for-bit identical: answers, order, and work counters.
         let a: Vec<_> = first.answers.iter().map(|r| (r.root, r.score)).collect();
         let b: Vec<_> = again.answers.iter().map(|r| (r.root, r.score)).collect();
@@ -77,7 +98,10 @@ fn virtual_time_simulation_matches_real_answers() {
             &RoutingStrategy::MinAlive,
             15,
             QueuePolicy::MaxFinalScore,
-            &VTimeConfig { processors: procs, ..Default::default() },
+            &VTimeConfig {
+                processors: procs,
+                ..Default::default()
+            },
         );
         assert!(
             answers_equivalent(&sim.answers, &real.answers, 1e-9),
@@ -142,7 +166,14 @@ fn op_cost_injection_is_respected_end_to_end() {
     let model = TfIdfModel::build(&doc, &index, &query, Normalization::Sparse);
     let mut options = EvalOptions::top_k(3);
     options.op_cost = Some(std::time::Duration::from_micros(500));
-    let r = evaluate(&doc, &index, &query, &model, &Algorithm::WhirlpoolS, &options);
+    let r = evaluate(
+        &doc,
+        &index,
+        &query,
+        &model,
+        &Algorithm::WhirlpoolS,
+        &options,
+    );
     let floor = std::time::Duration::from_micros(500) * r.metrics.server_ops as u32;
     assert!(r.elapsed >= floor, "{:?} < {floor:?}", r.elapsed);
 }

@@ -2,6 +2,7 @@
 //! configuration: the adaptive engines only reorder and prune work that
 //! provably cannot affect the answer.
 
+use proptest::prelude::*;
 use whirlpool_core::{
     answers_equivalent, evaluate, Algorithm, EvalOptions, QueuePolicy, RelaxMode, RoutingStrategy,
 };
@@ -16,7 +17,9 @@ fn algorithms() -> Vec<Algorithm> {
         Algorithm::LockStep,
         Algorithm::WhirlpoolS,
         Algorithm::WhirlpoolM { processors: None },
-        Algorithm::WhirlpoolM { processors: Some(2) },
+        Algorithm::WhirlpoolM {
+            processors: Some(2),
+        },
     ]
 }
 
@@ -28,8 +31,14 @@ fn engines_agree_on_xmark_for_all_queries_and_k() {
         let model = TfIdfModel::build(&doc, &index, &query, Normalization::Sparse);
         for k in [1, 5, 15] {
             let options = EvalOptions::top_k(k);
-            let reference =
-                evaluate(&doc, &index, &query, &model, &Algorithm::LockStepNoPrune, &options);
+            let reference = evaluate(
+                &doc,
+                &index,
+                &query,
+                &model,
+                &Algorithm::LockStepNoPrune,
+                &options,
+            );
             for alg in algorithms() {
                 let got = evaluate(&doc, &index, &query, &model, &alg, &options);
                 assert!(
@@ -66,7 +75,14 @@ fn engines_agree_under_all_routing_strategies() {
     ] {
         let mut options = EvalOptions::top_k(10);
         options.routing = routing.clone();
-        let got = evaluate(&doc, &index, &query, &model, &Algorithm::WhirlpoolS, &options);
+        let got = evaluate(
+            &doc,
+            &index,
+            &query,
+            &model,
+            &Algorithm::WhirlpoolS,
+            &options,
+        );
         assert!(
             answers_equivalent(&got.answers, &reference.answers, 1e-9),
             "routing={}",
@@ -95,7 +111,10 @@ fn engines_agree_under_all_queue_policies() {
         QueuePolicy::MaxNextScore,
         QueuePolicy::MaxFinalScore,
     ] {
-        for alg in [Algorithm::WhirlpoolS, Algorithm::WhirlpoolM { processors: None }] {
+        for alg in [
+            Algorithm::WhirlpoolS,
+            Algorithm::WhirlpoolM { processors: None },
+        ] {
             let mut options = EvalOptions::top_k(5);
             options.queue = queue;
             let got = evaluate(&doc, &index, &query, &model, &alg, &options);
@@ -189,7 +208,14 @@ fn bulk_routing_preserves_answers_and_amortizes_decisions() {
     for batch in [1usize, 4, 16, 64] {
         let mut options = EvalOptions::top_k(10);
         options.router_batch = batch;
-        let got = evaluate(&doc, &index, &query, &model, &Algorithm::WhirlpoolS, &options);
+        let got = evaluate(
+            &doc,
+            &index,
+            &query,
+            &model,
+            &Algorithm::WhirlpoolS,
+            &options,
+        );
         assert!(
             answers_equivalent(&got.answers, &reference.answers, 1e-9),
             "batch={batch}"
@@ -209,13 +235,76 @@ fn k_larger_than_answer_universe() {
     let query = queries::parse(queries::Q1);
     let model = TfIdfModel::build(&doc, &index, &query, Normalization::Sparse);
     let options = EvalOptions::top_k(1000);
-    let reference =
-        evaluate(&doc, &index, &query, &model, &Algorithm::LockStepNoPrune, &options);
+    let reference = evaluate(
+        &doc,
+        &index,
+        &query,
+        &model,
+        &Algorithm::LockStepNoPrune,
+        &options,
+    );
     // Every item appears (relaxed mode never loses a root).
     assert_eq!(reference.answers.len(), 10);
     for alg in algorithms() {
         let got = evaluate(&doc, &index, &query, &model, &alg, &options);
-        assert!(answers_equivalent(&got.answers, &reference.answers, 1e-9), "{}", alg.name());
+        assert!(
+            answers_equivalent(&got.answers, &reference.answers, 1e-9),
+            "{}",
+            alg.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Binding-buffer pooling is a pure allocator optimization: on a
+    /// random workload (document size, query, k, score model), every
+    /// engine must return the same top-k with pooling on and off — and
+    /// the pooled run must actually recycle buffers.
+    #[test]
+    fn pooling_never_changes_the_topk(
+        items in 10usize..80,
+        k in 1usize..12,
+        seed in 0u64..1_000_000,
+        query_idx in 0usize..3,
+        dense in any::<bool>(),
+    ) {
+        let doc = generate(&GeneratorConfig::items(items));
+        let index = TagIndex::build(&doc);
+        let (name, query) = queries::benchmark_queries().swap_remove(query_idx);
+        let model: Box<dyn ScoreModel> = if dense {
+            Box::new(RandomScores::dense(seed, query.len()))
+        } else {
+            Box::new(RandomScores::sparse(seed, query.len()))
+        };
+
+        let pooled_options = EvalOptions::top_k(k);
+        let unpooled_options = EvalOptions { pooling: false, ..EvalOptions::top_k(k) };
+        for alg in algorithms() {
+            let pooled = evaluate(&doc, &index, &query, model.as_ref(), &alg, &pooled_options);
+            let unpooled =
+                evaluate(&doc, &index, &query, model.as_ref(), &alg, &unpooled_options);
+            prop_assert!(
+                answers_equivalent(&pooled.answers, &unpooled.answers, 1e-9),
+                "{name} items={items} k={k} seed={seed} alg={}:\n pooled {:?}\n plain  {:?}",
+                alg.name(),
+                pooled.answers,
+                unpooled.answers
+            );
+            prop_assert!(
+                unpooled.metrics.buffers_reused == 0,
+                "disabled pool must never recycle ({})",
+                alg.name()
+            );
+            prop_assert!(
+                pooled.metrics.buffers_allocated <= unpooled.metrics.buffers_allocated,
+                "pooling increased allocations for {}: {} > {}",
+                alg.name(),
+                pooled.metrics.buffers_allocated,
+                unpooled.metrics.buffers_allocated
+            );
+        }
     }
 }
 
@@ -227,8 +316,14 @@ fn exact_mode_equivalence() {
         let model = TfIdfModel::build(&doc, &index, &query, Normalization::Sparse);
         let mut options = EvalOptions::top_k(10);
         options.relax = RelaxMode::Exact;
-        let reference =
-            evaluate(&doc, &index, &query, &model, &Algorithm::LockStepNoPrune, &options);
+        let reference = evaluate(
+            &doc,
+            &index,
+            &query,
+            &model,
+            &Algorithm::LockStepNoPrune,
+            &options,
+        );
         for alg in algorithms() {
             let got = evaluate(&doc, &index, &query, &model, &alg, &options);
             assert!(

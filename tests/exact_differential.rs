@@ -3,9 +3,7 @@
 //! property-generated random documents/queries.
 
 use proptest::prelude::*;
-use whirlpool_core::{
-    evaluate, naive, Algorithm, EvalOptions, RelaxMode,
-};
+use whirlpool_core::{evaluate, naive, Algorithm, EvalOptions, RelaxMode};
 use whirlpool_index::TagIndex;
 use whirlpool_pattern::{parse_pattern, Axis, TreePattern};
 use whirlpool_score::{Normalization, TfIdfModel};
@@ -60,7 +58,10 @@ fn handcrafted_edge_cases() {
             "//b[.//t = 'q']",
         ),
         // Deep chains with pc composition.
-        ("<r><i><m><n><o/></n></m></i><i><m><o/></m></i></r>", "//i[./m/n/o]"),
+        (
+            "<r><i><m><n><o/></n></m></i><i><m><o/></m></i></r>",
+            "//i[./m/n/o]",
+        ),
         // Nested predicates.
         (
             "<r><i><t><b/><k/></t></i><i><t><b/></t></i></r>",
@@ -91,7 +92,10 @@ struct RandomTree {
 }
 
 fn tree_strategy() -> impl Strategy<Value = RandomTree> {
-    let leaf = (0usize..TAGS.len()).prop_map(|tag| RandomTree { tag, children: vec![] });
+    let leaf = (0usize..TAGS.len()).prop_map(|tag| RandomTree {
+        tag,
+        children: vec![],
+    });
     leaf.prop_recursive(4, 24, 3, |inner| {
         (0usize..TAGS.len(), prop::collection::vec(inner, 0..4))
             .prop_map(|(tag, children)| RandomTree { tag, children })
@@ -106,11 +110,22 @@ struct RandomQuery {
 }
 
 fn query_strategy() -> impl Strategy<Value = RandomQuery> {
-    let leaf = (0usize..TAGS.len(), any::<bool>())
-        .prop_map(|(tag, axis)| RandomQuery { tag, axis, children: vec![] });
+    let leaf = (0usize..TAGS.len(), any::<bool>()).prop_map(|(tag, axis)| RandomQuery {
+        tag,
+        axis,
+        children: vec![],
+    });
     leaf.prop_recursive(3, 8, 2, |inner| {
-        (0usize..TAGS.len(), any::<bool>(), prop::collection::vec(inner, 0..3))
-            .prop_map(|(tag, axis, children)| RandomQuery { tag, axis, children })
+        (
+            0usize..TAGS.len(),
+            any::<bool>(),
+            prop::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(tag, axis, children)| RandomQuery {
+                tag,
+                axis,
+                children,
+            })
     })
 }
 
@@ -129,7 +144,11 @@ fn build_doc(tree: &RandomTree) -> Document {
 
 fn build_query(q: &RandomQuery) -> TreePattern {
     fn rec(q: &RandomQuery, parent: whirlpool_pattern::QNodeId, p: &mut TreePattern) {
-        let axis = if q.axis { Axis::Descendant } else { Axis::Child };
+        let axis = if q.axis {
+            Axis::Descendant
+        } else {
+            Axis::Child
+        };
         let id = p.add_node(parent, axis, TAGS[q.tag], None);
         for c in &q.children {
             rec(c, id, p);

@@ -5,8 +5,8 @@
 use std::collections::HashSet;
 use whirlpool_core::{evaluate, naive, Algorithm, EvalOptions};
 use whirlpool_index::TagIndex;
-use whirlpool_pattern::relax;
 use whirlpool_pattern::parse_pattern;
+use whirlpool_pattern::relax;
 use whirlpool_score::{Normalization, TfIdfModel};
 use whirlpool_xmark::{books, generate, queries, GeneratorConfig};
 use whirlpool_xml::{Document, NodeId};
@@ -32,8 +32,12 @@ fn engine_positive_roots(
     let options = EvalOptions::top_k(1_000_000);
     let result = evaluate(doc, &index, query, &model, &Algorithm::WhirlpoolS, &options);
     let all: HashSet<NodeId> = result.answers.iter().map(|a| a.root).collect();
-    let positive: HashSet<NodeId> =
-        result.answers.iter().filter(|a| a.score.value() > 0.0).map(|a| a.root).collect();
+    let positive: HashSet<NodeId> = result
+        .answers
+        .iter()
+        .filter(|a| a.score.value() > 0.0)
+        .map(|a| a.root)
+        .collect();
     (all, positive)
 }
 
@@ -50,10 +54,18 @@ fn books_example_matches_figure_2() {
 
     let fig2c =
         parse_pattern("/book[.//title = 'wodehouse' and .//publisher/name = 'psmith']").unwrap();
-    assert_eq!(naive::exact_match_roots(&doc, &fig2c).len(), 2, "books (a) and (b)");
+    assert_eq!(
+        naive::exact_match_roots(&doc, &fig2c).len(),
+        2,
+        "books (a) and (b)"
+    );
 
     let fig2d = parse_pattern("/book[.//title = 'wodehouse']").unwrap();
-    assert_eq!(naive::exact_match_roots(&doc, &fig2d).len(), 3, "all three books");
+    assert_eq!(
+        naive::exact_match_roots(&doc, &fig2d).len(),
+        3,
+        "all three books"
+    );
 
     let (all, _) = engine_positive_roots(&doc, &query);
     assert_eq!(all.len(), 3, "relaxed evaluation admits all three books");
@@ -72,7 +84,10 @@ fn engine_covers_the_relaxation_closure() {
         let closure = closure_roots(&doc, &query);
         let (all, _) = engine_positive_roots(&doc, &query);
         for r in &closure {
-            assert!(all.contains(r), "{name}: closure root {r:?} missing from engine answers");
+            assert!(
+                all.contains(r),
+                "{name}: closure root {r:?} missing from engine answers"
+            );
         }
     }
 }
@@ -86,8 +101,14 @@ fn exact_matches_score_highest() {
         let index = TagIndex::build(&doc);
         let model = TfIdfModel::build(&doc, &index, &query, Normalization::None);
         let options = EvalOptions::top_k(1_000_000);
-        let result =
-            evaluate(&doc, &index, &query, &model, &Algorithm::WhirlpoolS, &options);
+        let result = evaluate(
+            &doc,
+            &index,
+            &query,
+            &model,
+            &Algorithm::WhirlpoolS,
+            &options,
+        );
         let exact: HashSet<NodeId> = naive::exact_match_roots(&doc, &query).into_iter().collect();
         if exact.is_empty() {
             continue;
@@ -113,11 +134,11 @@ fn relaxation_never_loses_exact_answers() {
     // original query continue to be matches to the relaxed query."
     let doc = generate(&GeneratorConfig::items(25));
     let query = queries::parse(queries::Q1);
-    let exact_roots: HashSet<NodeId> =
-        naive::exact_match_roots(&doc, &query).into_iter().collect();
+    let exact_roots: HashSet<NodeId> = naive::exact_match_roots(&doc, &query).into_iter().collect();
     for relaxed in relax::enumerate(&query, 10_000) {
-        let relaxed_roots: HashSet<NodeId> =
-            naive::exact_match_roots(&doc, &relaxed).into_iter().collect();
+        let relaxed_roots: HashSet<NodeId> = naive::exact_match_roots(&doc, &relaxed)
+            .into_iter()
+            .collect();
         for r in &exact_roots {
             assert!(
                 relaxed_roots.contains(r),

@@ -76,7 +76,10 @@ fn engine_ranking_follows_definition_4_4() {
     let engine_scores: Vec<f64> = result.answers.iter().map(|a| a.score.value()).collect();
     let reference_scores: Vec<f64> = reference.iter().map(|(_, s)| *s).collect();
     for (e, r) in engine_scores.iter().zip(&reference_scores) {
-        assert!((e - r).abs() < 1e-9, "{engine_scores:?} vs {reference_scores:?}");
+        assert!(
+            (e - r).abs() < 1e-9,
+            "{engine_scores:?} vs {reference_scores:?}"
+        );
     }
 }
 

@@ -1,9 +1,7 @@
 //! Tests for the query-language extensions: wildcard node tests (`*`)
 //! and attribute predicates (`@name`, `@name = 'value'`).
 
-use whirlpool_core::{
-    answers_equivalent, evaluate, naive, Algorithm, EvalOptions, RelaxMode,
-};
+use whirlpool_core::{answers_equivalent, evaluate, naive, Algorithm, EvalOptions, RelaxMode};
 use whirlpool_index::TagIndex;
 use whirlpool_pattern::{parse_pattern, relax};
 use whirlpool_score::{Normalization, TfIdfModel};
@@ -22,7 +20,14 @@ fn exact_roots(doc: &Document, query: &str) -> Vec<NodeId> {
     let model = TfIdfModel::build(doc, &index, &pattern, Normalization::Sparse);
     let mut options = EvalOptions::top_k(1000);
     options.relax = RelaxMode::Exact;
-    let result = evaluate(doc, &index, &pattern, &model, &Algorithm::WhirlpoolS, &options);
+    let result = evaluate(
+        doc,
+        &index,
+        &pattern,
+        &model,
+        &Algorithm::WhirlpoolS,
+        &options,
+    );
     let mut roots: Vec<NodeId> = result.answers.iter().map(|a| a.root).collect();
     roots.sort_unstable();
     roots
@@ -109,7 +114,10 @@ fn relaxed_mode_scores_attribute_matches_higher() {
     let top = result.answers[0].root;
     assert_eq!(doc.attribute(top, "id"), Some("i1"));
     assert!(result.answers[0].score > result.answers[1].score);
-    assert!(result.answers[1].score.value() > 0.0, "nested cat7 still scores");
+    assert!(
+        result.answers[1].score.value() > 0.0,
+        "nested cat7 still scores"
+    );
     assert_eq!(result.answers[3].score.value(), 0.0);
 }
 
@@ -125,8 +133,14 @@ fn engines_agree_with_extensions() {
         let index = TagIndex::build(&doc);
         let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
         let options = EvalOptions::top_k(4);
-        let reference =
-            evaluate(&doc, &index, &pattern, &model, &Algorithm::LockStepNoPrune, &options);
+        let reference = evaluate(
+            &doc,
+            &index,
+            &pattern,
+            &model,
+            &Algorithm::LockStepNoPrune,
+            &options,
+        );
         for alg in [
             Algorithm::LockStep,
             Algorithm::WhirlpoolS,
@@ -166,8 +180,8 @@ fn display_roundtrips_extensions() {
     ] {
         let q = parse_pattern(src).unwrap();
         let printed = q.to_string();
-        let reparsed = parse_pattern(&printed)
-            .unwrap_or_else(|e| panic!("cannot reparse {printed:?}: {e}"));
+        let reparsed =
+            parse_pattern(&printed).unwrap_or_else(|e| panic!("cannot reparse {printed:?}: {e}"));
         assert_eq!(q.canonical_form(), reparsed.canonical_form(), "{src}");
     }
 }
@@ -202,9 +216,18 @@ fn q4_on_generated_data_agrees_with_naive() {
     let index = TagIndex::build(&doc);
     let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
     let options = EvalOptions::top_k(15);
-    let reference =
-        evaluate(&doc, &index, &pattern, &model, &Algorithm::LockStepNoPrune, &options);
-    for alg in [Algorithm::WhirlpoolS, Algorithm::WhirlpoolM { processors: None }] {
+    let reference = evaluate(
+        &doc,
+        &index,
+        &pattern,
+        &model,
+        &Algorithm::LockStepNoPrune,
+        &options,
+    );
+    for alg in [
+        Algorithm::WhirlpoolS,
+        Algorithm::WhirlpoolM { processors: None },
+    ] {
         let got = evaluate(&doc, &index, &pattern, &model, &alg, &options);
         assert!(
             answers_equivalent(&got.answers, &reference.answers, 1e-9),
