@@ -75,7 +75,9 @@ fn config_json(out: &mut String, label: &str, s: &ConfigStats, comma: bool) {
     out.push_str(&format!(
         "      \"{label}\": {{\"wall_ms_median\": {:.3}, \"buffers_allocated\": {}, \
          \"buffers_reused\": {}, \"pool_hit_rate\": {:.4}, \"partials_created\": {}, \
-         \"server_ops\": {}, \"pruned\": {}}}{}\n",
+         \"server_ops\": {}, \"pruned\": {}, \"deadline_hits\": {}, \
+         \"servers_failed\": {}, \"matches_redistributed\": {}, \
+         \"answers_degraded\": {}}}{}\n",
         s.wall_ms_median,
         m.buffers_allocated,
         m.buffers_reused,
@@ -83,6 +85,10 @@ fn config_json(out: &mut String, label: &str, s: &ConfigStats, comma: bool) {
         m.partials_created,
         m.server_ops,
         m.pruned,
+        m.deadline_hits,
+        m.servers_failed,
+        m.matches_redistributed,
+        m.answers_degraded,
         if comma { "," } else { "" },
     ));
 }

@@ -129,6 +129,9 @@ pub fn default_options(k: usize) -> EvalOptions {
         selectivity_sample: 64,
         router_batch: 1,
         pooling: true,
+        deadline: None,
+        max_server_ops: None,
+        fault_plan: None,
     }
 }
 

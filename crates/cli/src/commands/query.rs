@@ -4,7 +4,10 @@ use crate::args::Parsed;
 use crate::commands::{load_document, load_query};
 use crate::CliError;
 use std::io::Write;
-use whirlpool_core::{evaluate, Algorithm, EvalOptions, QueuePolicy, RelaxMode, RoutingStrategy};
+use std::time::Duration;
+use whirlpool_core::{
+    evaluate, Algorithm, EvalOptions, FaultPlan, QueuePolicy, RelaxMode, RoutingStrategy,
+};
 use whirlpool_index::TagIndex;
 use whirlpool_pattern::StaticPlan;
 use whirlpool_score::{Normalization, TfIdfModel};
@@ -13,7 +16,18 @@ use whirlpool_xml::{write_node, WriteOptions};
 pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     let parsed = Parsed::parse(
         argv,
-        &["k", "algorithm", "routing", "queue", "norm", "batch"],
+        &[
+            "k",
+            "algorithm",
+            "routing",
+            "queue",
+            "norm",
+            "batch",
+            "deadline-ms",
+            "max-ops",
+            "fault",
+            "fault-seed",
+        ],
     )?;
     let file = parsed.positional(0, "file.xml")?.to_string();
     let query_src = parsed.positional(1, "query")?.to_string();
@@ -53,6 +67,29 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
         other => return Err(CliError::Usage(format!("--queue: unknown {other:?}"))),
     };
 
+    let deadline = parsed
+        .value("deadline-ms")
+        .map(|v| {
+            v.parse::<u64>()
+                .map(Duration::from_millis)
+                .map_err(|_| CliError::Usage(format!("--deadline-ms: not a number: {v:?}")))
+        })
+        .transpose()?;
+    let max_server_ops = parsed
+        .value("max-ops")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| CliError::Usage(format!("--max-ops: not a number: {v:?}")))
+        })
+        .transpose()?;
+    let fault_seed: u64 = parsed.number("fault-seed", 0)?;
+    let fault_plan = parsed
+        .value("fault")
+        .map(|spec| {
+            FaultPlan::parse(spec, fault_seed).map_err(|e| CliError::Usage(format!("--fault: {e}")))
+        })
+        .transpose()?;
+
     let options = EvalOptions {
         k: parsed.number("k", 10)?,
         relax: if parsed.flag("exact") {
@@ -66,6 +103,9 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
         selectivity_sample: 64,
         router_batch: parsed.number("batch", 1)?,
         pooling: !parsed.flag("no-pool"),
+        deadline,
+        max_server_ops,
+        fault_plan,
     };
 
     let result = evaluate(&doc, &index, &query, &model, &algorithm, &options);
@@ -76,6 +116,17 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
 
     writeln!(out, "query:     {query}")?;
     writeln!(out, "algorithm: {}", algorithm.name())?;
+    match result.completeness {
+        whirlpool_core::Completeness::Exact => writeln!(out, "result:    exact")?,
+        whirlpool_core::Completeness::Truncated {
+            pending_matches,
+            score_bound,
+        } => writeln!(
+            out,
+            "result:    truncated ({pending_matches} matches unresolved, \
+             no missing answer can score above {score_bound:.4})"
+        )?,
+    }
     writeln!(out, "answers:   {}", result.answers.len())?;
     for (rank, a) in result.answers.iter().enumerate() {
         write!(
@@ -112,6 +163,23 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
         result.metrics.pruned
     )?;
     writeln!(out, "elapsed:   {:?}", result.elapsed)?;
+    if parsed.flag("stats") {
+        writeln!(
+            out,
+            "anytime:   {} deadline hits, {} servers failed, {} matches redistributed, {} answers degraded",
+            result.metrics.deadline_hits,
+            result.metrics.servers_failed,
+            result.metrics.matches_redistributed,
+            result.metrics.answers_degraded
+        )?;
+        writeln!(
+            out,
+            "pool:      {} buffers allocated, {} reused ({:.1}% hit rate)",
+            result.metrics.buffers_allocated,
+            result.metrics.buffers_reused,
+            result.metrics.pool_hit_rate() * 100.0
+        )?;
+    }
     Ok(())
 }
 
@@ -143,6 +211,15 @@ fn write_json(
     writeln!(out, "{{")?;
     writeln!(out, "  \"query\": \"{}\",", escape(&query.to_string()))?;
     writeln!(out, "  \"algorithm\": \"{}\",", algorithm.name())?;
+    writeln!(out, "  \"result\": \"{}\",", result.completeness.label())?;
+    if let whirlpool_core::Completeness::Truncated {
+        pending_matches,
+        score_bound,
+    } = result.completeness
+    {
+        writeln!(out, "  \"pending_matches\": {pending_matches},")?;
+        writeln!(out, "  \"score_bound\": {score_bound:.6},")?;
+    }
     writeln!(
         out,
         "  \"elapsed_ms\": {:.3},",
@@ -151,8 +228,9 @@ fn write_json(
     let m = &result.metrics;
     writeln!(
         out,
-        "  \"metrics\": {{\"server_ops\": {}, \"predicate_comparisons\": {},          \"partials_created\": {}, \"pruned\": {}, \"routing_decisions\": {}}},",
-        m.server_ops, m.predicate_comparisons, m.partials_created, m.pruned, m.routing_decisions
+        "  \"metrics\": {{\"server_ops\": {}, \"predicate_comparisons\": {},          \"partials_created\": {}, \"pruned\": {}, \"routing_decisions\": {},          \"deadline_hits\": {}, \"servers_failed\": {}, \"matches_redistributed\": {},          \"answers_degraded\": {}}},",
+        m.server_ops, m.predicate_comparisons, m.partials_created, m.pruned, m.routing_decisions,
+        m.deadline_hits, m.servers_failed, m.matches_redistributed, m.answers_degraded
     )?;
     writeln!(out, "  \"answers\": [")?;
     for (i, a) in result.answers.iter().enumerate() {

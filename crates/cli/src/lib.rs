@@ -64,6 +64,16 @@ QUERY OPTIONS:
   --norm NAME        sparse | dense | none   (default sparse)
   --xml              print each answer's XML fragment
   --json             machine-readable output
+  --stats            print robustness and pool counters
+  --deadline-ms N    anytime budget: stop after N ms and return the
+                     current top-k (tagged truncated, with a bound on
+                     what any missing answer could score)
+  --max-ops N        anytime budget: stop after N server operations
+                     (deterministic, unlike --deadline-ms)
+  --fault SPEC       inject server faults, e.g. server=2:panic@100
+                     (kinds: panic@OPS | fail@OPS | delay@MICROS;
+                     comma-separate to fault several servers)
+  --fault-seed S     RNG seed for injected delays (default 0)
 
 GENERATE OPTIONS:
   --mb N             approximate serialized megabytes (default 1)

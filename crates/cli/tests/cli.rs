@@ -144,6 +144,83 @@ fn query_rejects_bad_options() {
 }
 
 #[test]
+fn query_without_budget_reports_exact() {
+    let file = sample_file();
+    let out = run_ok(&["query", file.to_str().unwrap(), "//book[./title]"]);
+    assert!(out.contains("result:    exact"), "{out}");
+}
+
+#[test]
+fn query_with_zero_op_budget_reports_truncated() {
+    let file = sample_file();
+    let f = file.to_str().unwrap();
+    let out = run_ok(&["query", f, "//book[./title and ./isbn]", "--max-ops", "0"]);
+    assert!(out.contains("result:    truncated"), "{out}");
+    assert!(out.contains("can score above"), "{out}");
+
+    let json = run_ok(&[
+        "query",
+        f,
+        "//book[./title and ./isbn]",
+        "--max-ops",
+        "0",
+        "--json",
+    ]);
+    assert!(json.contains("\"result\": \"truncated\""), "{json}");
+    assert!(json.contains("\"pending_matches\""), "{json}");
+    assert!(json.contains("\"score_bound\""), "{json}");
+}
+
+#[test]
+fn query_stats_flag_prints_robustness_counters() {
+    let file = sample_file();
+    let out = run_ok(&[
+        "query",
+        file.to_str().unwrap(),
+        "//book[./title]",
+        "--stats",
+    ]);
+    assert!(out.contains("deadline hits"), "{out}");
+    assert!(out.contains("servers failed"), "{out}");
+}
+
+#[test]
+fn query_fault_injection_survives_and_is_reported() {
+    let file = sample_file();
+    let f = file.to_str().unwrap();
+    for alg in ["whirlpool-s", "whirlpool-m", "lockstep", "noprune"] {
+        let out = run_ok(&[
+            "query",
+            f,
+            "//book[./title and ./isbn]",
+            "--algorithm",
+            alg,
+            "--fault",
+            "server=1:fail@0",
+            "--fault-seed",
+            "3",
+            "--stats",
+            "--json",
+        ]);
+        assert!(
+            out.contains("\"result\": \"truncated\""),
+            "alg={alg}: {out}"
+        );
+        assert!(out.contains("\"servers_failed\": 1"), "alg={alg}: {out}");
+    }
+}
+
+#[test]
+fn query_rejects_bad_fault_specs() {
+    let file = sample_file();
+    let f = file.to_str().unwrap();
+    for bad in ["nope", "server=0:panic@1", "server=1:explode@3"] {
+        let err = run_err(&["query", f, "//book[./title]", "--fault", bad]);
+        assert!(err.contains("fault"), "spec={bad}: {err}");
+    }
+}
+
+#[test]
 fn generate_then_stats_then_query_pipeline() {
     let out_path = scratch("generated.xml");
     let generated = run_ok(&[

@@ -334,6 +334,29 @@ impl<'a> QueryContext<'a> {
         matches
     }
 
+    /// Degrades `m` past a dead server: binds `server` to the
+    /// outer-join null, scoring the predicate as the leaf-deletion
+    /// relaxation (contribution 0). No server operation is counted —
+    /// the server never ran.
+    pub fn degrade_at_server(
+        &self,
+        server: QNodeId,
+        m: &PartialMatch,
+        pool: &mut MatchPool<'_>,
+    ) -> PartialMatch {
+        let mut e = m.extend_in(
+            pool,
+            self.next_seq(),
+            server,
+            Binding::Null,
+            0.0,
+            self.max_contrib[server.index()],
+        );
+        e.degraded = true;
+        self.metrics.add_created(1);
+        e
+    }
+
     /// One server operation: extends `m` at `server` with every valid
     /// candidate (or the outer-join null), pushing the extensions onto
     /// `out`. Returns the number of extensions produced.

@@ -1,13 +1,15 @@
 //! The top-level evaluation API.
 
 use crate::context::{ContextOptions, QueryContext, RelaxMode};
-use crate::lockstep::{run_lockstep, run_lockstep_noprune};
+use crate::error::Completeness;
+use crate::fault::{Budget, FaultPlan, RunControl};
+use crate::lockstep::{run_lockstep_anytime, run_lockstep_noprune_anytime};
 use crate::metrics::MetricsSnapshot;
 use crate::queue::QueuePolicy;
 use crate::router::RoutingStrategy;
 use crate::topk::RankedAnswer;
-use crate::whirlpool_m::{run_whirlpool_m, WhirlpoolMConfig};
-use crate::whirlpool_s::run_whirlpool_s_batched;
+use crate::whirlpool_m::{run_whirlpool_m_anytime, WhirlpoolMConfig};
+use crate::whirlpool_s::run_whirlpool_s_anytime;
 use std::time::{Duration, Instant};
 use whirlpool_index::TagIndex;
 use whirlpool_pattern::{StaticPlan, TreePattern};
@@ -70,6 +72,16 @@ pub struct EvalOptions {
     /// thread, for Whirlpool-M) [`MatchPool`](crate::MatchPool)s.
     /// Defaults to `true`; answer sets are identical either way.
     pub pooling: bool,
+    /// Wall-clock budget: when it expires the engine stops consuming
+    /// work and returns the current top-k as an anytime answer tagged
+    /// [`Completeness::Truncated`]. `None`: run to completion.
+    pub deadline: Option<Duration>,
+    /// Server-operation budget, checked at queue-pop granularity like
+    /// `deadline`. Deterministic, unlike wall-clock deadlines.
+    pub max_server_ops: Option<u64>,
+    /// Injected faults for robustness testing (`None`: the fault layer
+    /// is compiled out of the hot path behind a single branch).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl EvalOptions {
@@ -85,6 +97,9 @@ impl EvalOptions {
             selectivity_sample: 64,
             router_batch: 1,
             pooling: true,
+            deadline: None,
+            max_server_ops: None,
+            fault_plan: None,
         }
     }
 }
@@ -94,6 +109,10 @@ impl EvalOptions {
 pub struct EvalResult {
     /// Top-k answers, best first.
     pub answers: Vec<RankedAnswer>,
+    /// Is `answers` the true top-k, or an anytime prefix cut short by a
+    /// budget or a server failure? Truncated results carry a score
+    /// bound certifying what any missing answer could have scored.
+    pub completeness: Completeness,
     /// Work counters.
     pub metrics: MetricsSnapshot,
     /// Wall-clock time of the evaluation proper (excludes index and
@@ -160,18 +179,30 @@ pub fn evaluate_with_context(
         _ => StaticPlan::in_id_order(ctx.pattern.server_ids().count()),
     };
 
+    // The budget's clock starts here, with the evaluation proper.
+    let control = RunControl::new(
+        Budget::new(options.deadline, options.max_server_ops),
+        options.fault_plan.as_ref(),
+        ctx.pattern.len(),
+    );
+
     let start = Instant::now();
-    let answers = match algorithm {
-        Algorithm::LockStepNoPrune => run_lockstep_noprune(ctx, &static_plan, options.k),
-        Algorithm::LockStep => run_lockstep(ctx, &static_plan, options.k, options.queue),
-        Algorithm::WhirlpoolS => run_whirlpool_s_batched(
+    let run = match algorithm {
+        Algorithm::LockStepNoPrune => {
+            run_lockstep_noprune_anytime(ctx, &static_plan, options.k, &control)
+        }
+        Algorithm::LockStep => {
+            run_lockstep_anytime(ctx, &static_plan, options.k, options.queue, &control)
+        }
+        Algorithm::WhirlpoolS => run_whirlpool_s_anytime(
             ctx,
             &options.routing,
             options.k,
             options.queue,
             options.router_batch,
+            &control,
         ),
-        Algorithm::WhirlpoolM { processors } => run_whirlpool_m(
+        Algorithm::WhirlpoolM { processors } => run_whirlpool_m_anytime(
             ctx,
             &options.routing,
             options.k,
@@ -180,12 +211,14 @@ pub fn evaluate_with_context(
                 processors: *processors,
                 ..WhirlpoolMConfig::default()
             },
+            &control,
         ),
     };
     let elapsed = start.elapsed();
 
     EvalResult {
-        answers,
+        answers: run.answers,
+        completeness: run.completeness,
         metrics: ctx.metrics.snapshot(),
         elapsed,
     }

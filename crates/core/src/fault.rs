@@ -1,0 +1,652 @@
+//! Fault injection and evaluation budgets — the anytime control plane.
+//!
+//! A [`FaultPlan`] makes chosen servers *delay* (per-op latency drawn
+//! from the seeded shim RNG), *fail* (return an error after N ops), or
+//! *panic* (poison themselves mid-extension). A [`Budget`] bounds the
+//! run by wall-clock deadline and/or a server-operation cap. Both are
+//! carried by a [`RunControl`], which every engine consults at
+//! queue-pop granularity; `RunControl::unlimited()` is a no-op fast
+//! path so the robustness layer costs nothing when idle.
+
+use crate::error::{Completeness, EngineError};
+use crate::metrics::Metrics;
+use crate::topk::RankedAnswer;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use whirlpool_pattern::QNodeId;
+use whirlpool_score::Score;
+
+/// What an injected fault does to its server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Every operation busy-waits a latency drawn uniformly from
+    /// `[0, 2 * mean]` (seeded, deterministic per op).
+    Delay {
+        /// Mean injected latency per operation.
+        mean: Duration,
+    },
+    /// Operations succeed `after_ops` times, then return
+    /// [`EngineError::ServerFailed`] forever.
+    Fail {
+        /// Operations completed before the failure.
+        after_ops: u64,
+    },
+    /// Operations succeed `after_ops` times, then panic — poisoning the
+    /// server thread mid-extension.
+    Panic {
+        /// Operations completed before the panic.
+        after_ops: u64,
+    },
+}
+
+/// A seeded, per-server fault assignment, wired through
+/// [`EvalOptions`](crate::EvalOptions) and the CLI `--fault` flag.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the delay-latency stream.
+    pub seed: u64,
+    faults: Vec<(QNodeId, FaultKind)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given RNG seed.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds a fault for `server`, replacing any previous one.
+    pub fn with(mut self, server: QNodeId, kind: FaultKind) -> Self {
+        self.faults.retain(|(s, _)| *s != server);
+        self.faults.push((server, kind));
+        self
+    }
+
+    /// The configured faults.
+    pub fn faults(&self) -> &[(QNodeId, FaultKind)] {
+        &self.faults
+    }
+
+    /// Parses a CLI-style spec: `server=<id>:<kind>@<arg>` where kind is
+    /// `panic` or `fail` (arg = ops before the fault) or `delay`
+    /// (arg = mean latency in microseconds). Examples:
+    /// `server=2:panic@100`, `server=1:fail@0`, `server=3:delay@250`.
+    pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, EngineError> {
+        let bad = || EngineError::InvalidFaultSpec(spec.to_string());
+        let mut plan = FaultPlan::seeded(seed);
+        for part in spec.split(',') {
+            let rest = part.trim().strip_prefix("server=").ok_or_else(bad)?;
+            let (id, action) = rest.split_once(':').ok_or_else(bad)?;
+            let id: u8 = id.parse().map_err(|_| bad())?;
+            if id == 0 {
+                // The root server runs before evaluation proper; it
+                // cannot be faulted.
+                return Err(bad());
+            }
+            let (kind, arg) = action.split_once('@').ok_or_else(bad)?;
+            let arg: u64 = arg.parse().map_err(|_| bad())?;
+            let kind = match kind {
+                "panic" => FaultKind::Panic { after_ops: arg },
+                "fail" => FaultKind::Fail { after_ops: arg },
+                "delay" => FaultKind::Delay {
+                    mean: Duration::from_micros(arg),
+                },
+                _ => return Err(bad()),
+            };
+            plan = plan.with(QNodeId(id), kind);
+        }
+        if plan.faults.is_empty() {
+            return Err(bad());
+        }
+        Ok(plan)
+    }
+}
+
+/// Per-server runtime fault state: op counters and the dead flag.
+struct ServerFaultState {
+    kind: Option<FaultKind>,
+    ops: AtomicU64,
+    dead: AtomicBool,
+}
+
+/// Instantiated fault state for one evaluation.
+pub struct FaultState {
+    seed: u64,
+    /// Indexed by `QNodeId::index()`; slot 0 (the root) is never
+    /// faulted.
+    servers: Vec<ServerFaultState>,
+}
+
+impl FaultState {
+    fn new(plan: &FaultPlan, query_len: usize) -> Self {
+        let servers = (0..query_len)
+            .map(|i| ServerFaultState {
+                kind: plan
+                    .faults
+                    .iter()
+                    .find(|(s, _)| s.index() == i)
+                    .map(|(_, k)| *k),
+                ops: AtomicU64::new(0),
+                dead: AtomicBool::new(false),
+            })
+            .collect();
+        FaultState {
+            seed: plan.seed,
+            servers,
+        }
+    }
+
+    /// Runs the injected fault, if any, for one operation at `server`:
+    /// delays busy-wait, failures return `Err`, panics panic. Called
+    /// *before* the server mutates any state, so a caught panic leaves
+    /// the match intact for degradation.
+    fn before_op(&self, server: QNodeId) -> Result<(), EngineError> {
+        let slot = &self.servers[server.index()];
+        let Some(kind) = slot.kind else {
+            return Ok(());
+        };
+        if slot.dead.load(Ordering::Acquire) {
+            return Err(EngineError::ServerFailed {
+                server,
+                after_ops: slot.ops.load(Ordering::Relaxed),
+            });
+        }
+        let op = slot.ops.fetch_add(1, Ordering::Relaxed);
+        match kind {
+            FaultKind::Delay { mean } => {
+                let micros = mean.as_micros() as u64;
+                if micros > 0 {
+                    let mut rng = rand::rngs::SmallRng::seed_from_u64(
+                        self.seed ^ ((server.0 as u64) << 48) ^ op,
+                    );
+                    let drawn = rng.gen_range(0..=2 * micros);
+                    busy_wait(Duration::from_micros(drawn));
+                }
+                Ok(())
+            }
+            FaultKind::Fail { after_ops } => {
+                if op >= after_ops {
+                    Err(EngineError::ServerFailed { server, after_ops })
+                } else {
+                    Ok(())
+                }
+            }
+            FaultKind::Panic { after_ops } => {
+                if op >= after_ops {
+                    panic!("injected fault: server q{} panicked at op {op}", server.0);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn is_dead(&self, server: QNodeId) -> bool {
+        self.servers[server.index()].dead.load(Ordering::Acquire)
+    }
+
+    /// Marks `server` dead; `true` the first time.
+    fn mark_dead(&self, server: QNodeId) -> bool {
+        !self.servers[server.index()]
+            .dead
+            .swap(true, Ordering::AcqRel)
+    }
+}
+
+/// Wall-clock and operation-count limits for one evaluation.
+pub struct Budget {
+    start: Instant,
+    deadline: Option<Duration>,
+    max_ops: Option<u64>,
+}
+
+impl Budget {
+    /// No limits.
+    pub fn unlimited() -> Self {
+        Budget {
+            start: Instant::now(),
+            deadline: None,
+            max_ops: None,
+        }
+    }
+
+    /// A budget starting now.
+    pub fn new(deadline: Option<Duration>, max_ops: Option<u64>) -> Self {
+        Budget {
+            start: Instant::now(),
+            deadline,
+            max_ops,
+        }
+    }
+
+    /// Has the budget expired? Checked at queue-pop granularity; the
+    /// no-limit path is two `Option` tests.
+    #[inline]
+    pub fn exhausted(&self, metrics: &Metrics) -> bool {
+        if let Some(max) = self.max_ops {
+            if metrics.server_ops.load(Ordering::Relaxed) >= max {
+                return true;
+            }
+        }
+        if let Some(d) = self.deadline {
+            if self.start.elapsed() >= d {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Everything an engine consults while running: the budget and the
+/// instantiated fault state. `Sync`, shared by reference across the
+/// Whirlpool-M threads.
+pub struct RunControl {
+    budget: Budget,
+    faults: Option<FaultState>,
+}
+
+impl RunControl {
+    /// No budget, no faults — the zero-overhead default.
+    pub fn unlimited() -> Self {
+        RunControl {
+            budget: Budget::unlimited(),
+            faults: None,
+        }
+    }
+
+    /// Builds the control plane for one run. `query_len` sizes the
+    /// per-server fault slots.
+    pub fn new(budget: Budget, plan: Option<&FaultPlan>, query_len: usize) -> Self {
+        RunControl {
+            budget,
+            faults: plan.map(|p| FaultState::new(p, query_len)),
+        }
+    }
+
+    /// Has the run's budget expired?
+    #[inline]
+    pub fn exhausted(&self, metrics: &Metrics) -> bool {
+        self.budget.exhausted(metrics)
+    }
+
+    /// Injects the fault (if any) for one operation at `server`.
+    #[inline]
+    pub fn before_op(&self, server: QNodeId) -> Result<(), EngineError> {
+        match &self.faults {
+            None => Ok(()),
+            Some(f) => f.before_op(server),
+        }
+    }
+
+    /// Is `server` marked dead?
+    #[inline]
+    pub fn is_dead(&self, server: QNodeId) -> bool {
+        match &self.faults {
+            None => false,
+            Some(f) => f.is_dead(server),
+        }
+    }
+
+    /// Marks `server` dead; `true` the first time (callers count
+    /// `servers_failed` on `true`).
+    pub fn mark_dead(&self, server: QNodeId) -> bool {
+        match &self.faults {
+            None => false,
+            Some(f) => f.mark_dead(server),
+        }
+    }
+
+    /// Does this run inject any faults at all?
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
+    }
+}
+
+/// The outcome of one anytime engine run.
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    /// Top-k answers, best first.
+    pub answers: Vec<RankedAnswer>,
+    /// Whether `answers` is the true top-k or an anytime prefix.
+    pub completeness: Completeness,
+}
+
+impl EngineRun {
+    /// An exact (complete) run.
+    pub fn exact(answers: Vec<RankedAnswer>) -> Self {
+        EngineRun {
+            answers,
+            completeness: Completeness::Exact,
+        }
+    }
+}
+
+/// Shared truncation accounting: whether the run stopped early, how
+/// many matches were abandoned or degraded, and the max-score bound
+/// over them. Thread-safe (Whirlpool-M workers all report into one).
+pub(crate) struct Truncation {
+    truncated: AtomicBool,
+    /// Set only on budget expiry: engines stop consuming and drain.
+    /// (`truncated` alone — e.g. from a server death — keeps the run
+    /// going in degraded mode.)
+    expired: AtomicBool,
+    pending: AtomicU64,
+    /// Max `max_final` over dropped/degraded matches, as f64 bits.
+    /// Scores are non-negative, so the zero initializer is the identity.
+    bound_bits: AtomicU64,
+}
+
+impl Truncation {
+    pub(crate) fn new() -> Self {
+        Truncation {
+            truncated: AtomicBool::new(false),
+            expired: AtomicBool::new(false),
+            pending: AtomicU64::new(0),
+            bound_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Flags the run as truncated; `true` the first time.
+    pub(crate) fn mark(&self) -> bool {
+        !self.truncated.swap(true, Ordering::AcqRel)
+    }
+
+    pub(crate) fn is_truncated(&self) -> bool {
+        self.truncated.load(Ordering::Acquire)
+    }
+
+    /// Flags the run's budget as expired (which truncates it); `true`
+    /// the first time.
+    pub(crate) fn expire(&self) -> bool {
+        self.truncated.store(true, Ordering::Release);
+        !self.expired.swap(true, Ordering::AcqRel)
+    }
+
+    pub(crate) fn is_expired(&self) -> bool {
+        self.expired.load(Ordering::Acquire)
+    }
+
+    /// Accounts one match abandoned unprocessed or completed through
+    /// degradation: its `max_final` caps what the true evaluation could
+    /// have scored it.
+    pub(crate) fn account(&self, max_final: Score) {
+        self.pending.fetch_add(1, Ordering::Relaxed);
+        self.track(max_final.value());
+    }
+
+    fn track(&self, v: f64) {
+        let mut cur = self.bound_bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.bound_bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Folds the accounting into a [`Completeness`]: the certificate is
+    /// the max over abandoned/degraded matches joined with the best
+    /// returned score (a returned answer is its own bound).
+    pub(crate) fn finish(&self, answers: &[RankedAnswer]) -> Completeness {
+        if !self.is_truncated() {
+            return Completeness::Exact;
+        }
+        let mut bound = f64::from_bits(self.bound_bits.load(Ordering::Acquire));
+        if let Some(best) = answers.first() {
+            bound = bound.max(best.score.value());
+        }
+        Completeness::Truncated {
+            pending_matches: self.pending.load(Ordering::Acquire),
+            score_bound: bound,
+        }
+    }
+}
+
+/// Runs one fault-guarded server operation: the injected fault (if
+/// any) fires first, then the real work. Returns `true` if the
+/// operation ran; `false` if the server is — or just became — dead, in
+/// which case the caller degrades the match. A failing operation is
+/// retried once before the server is declared dead; panics are isolated
+/// with `catch_unwind` (sound because faults fire *before* any state
+/// mutation, and a caught real panic only abandons that one
+/// extension batch).
+///
+/// The fault-free path adds a single branch over calling
+/// [`QueryContext::process_at_server_pooled`] directly.
+pub(crate) fn guarded_process(
+    ctx: &crate::context::QueryContext<'_>,
+    control: &RunControl,
+    trunc: &Truncation,
+    server: QNodeId,
+    m: &crate::partial::PartialMatch,
+    exts: &mut Vec<crate::partial::PartialMatch>,
+    pool: &mut crate::pool::MatchPool<'_>,
+) -> bool {
+    if !control.has_faults() {
+        ctx.process_at_server_pooled(server, m, exts, pool);
+        return true;
+    }
+    if control.is_dead(server) {
+        return false;
+    }
+    for attempt in 0..2 {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+            || -> Result<(), EngineError> {
+                control.before_op(server)?;
+                ctx.process_at_server_pooled(server, m, exts, pool);
+                Ok(())
+            },
+        ));
+        match outcome {
+            Ok(Ok(())) => return true,
+            Ok(Err(_)) | Err(_) => {
+                // Release anything produced before the abort, then
+                // retry once; a second abort marks the server dead.
+                for e in exts.drain(..) {
+                    pool.release(e);
+                }
+                if attempt == 1 {
+                    if control.mark_dead(server) {
+                        ctx.metrics.add_server_failed();
+                    }
+                    trunc.mark();
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Degrades `m` to completion: every remaining unvisited server —
+/// the caller has established that none of them is alive — is bound to
+/// the outer-join null with the leaf-deletion score. Only meaningful in
+/// relaxed mode; exact mode drops such matches instead.
+pub(crate) fn degrade_to_completion(
+    ctx: &crate::context::QueryContext<'_>,
+    m: crate::partial::PartialMatch,
+    pool: &mut crate::pool::MatchPool<'_>,
+) -> crate::partial::PartialMatch {
+    let full = ctx.full_mask();
+    let mut cur = m;
+    while !cur.is_complete(full) {
+        let s = cur
+            .unvisited(ctx.pattern.len())
+            .next()
+            .expect("incomplete match has an unvisited server");
+        let e = ctx.degrade_at_server(s, &cur, pool);
+        pool.release(cur);
+        cur = e;
+    }
+    cur
+}
+
+/// Spins for (at least) `duration` — sleeping would distort the
+/// multi-threaded latency experiments just as it would for `op_cost`.
+fn busy_wait(duration: Duration) {
+    let start = Instant::now();
+    while start.elapsed() < duration {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_documented_forms() {
+        let p = FaultPlan::parse("server=2:panic@100", 7).unwrap();
+        assert_eq!(p.seed, 7);
+        assert_eq!(
+            p.faults(),
+            &[(QNodeId(2), FaultKind::Panic { after_ops: 100 })]
+        );
+        let p = FaultPlan::parse("server=1:fail@0,server=3:delay@250", 1).unwrap();
+        assert_eq!(p.faults().len(), 2);
+        assert_eq!(
+            p.faults()[1],
+            (
+                QNodeId(3),
+                FaultKind::Delay {
+                    mean: Duration::from_micros(250)
+                }
+            )
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "",
+            "server=",
+            "server=1",
+            "server=1:panic",
+            "server=1:explode@3",
+            "server=x:panic@1",
+            "server=1:panic@x",
+            "server=0:panic@1", // the root server cannot be faulted
+            "panic@1",
+        ] {
+            assert!(
+                matches!(
+                    FaultPlan::parse(bad, 0),
+                    Err(EngineError::InvalidFaultSpec(_))
+                ),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn fail_fault_fires_after_n_ops() {
+        let plan = FaultPlan::seeded(0).with(QNodeId(1), FaultKind::Fail { after_ops: 2 });
+        let state = FaultState::new(&plan, 3);
+        assert!(state.before_op(QNodeId(1)).is_ok());
+        assert!(state.before_op(QNodeId(1)).is_ok());
+        assert_eq!(
+            state.before_op(QNodeId(1)),
+            Err(EngineError::ServerFailed {
+                server: QNodeId(1),
+                after_ops: 2
+            })
+        );
+        // Unfaulted servers never fail.
+        for _ in 0..10 {
+            assert!(state.before_op(QNodeId(2)).is_ok());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault")]
+    fn panic_fault_panics() {
+        let plan = FaultPlan::seeded(0).with(QNodeId(1), FaultKind::Panic { after_ops: 0 });
+        let state = FaultState::new(&plan, 2);
+        let _ = state.before_op(QNodeId(1));
+    }
+
+    #[test]
+    fn dead_marking_is_idempotent() {
+        let plan = FaultPlan::seeded(0).with(QNodeId(1), FaultKind::Fail { after_ops: 0 });
+        let state = FaultState::new(&plan, 2);
+        assert!(!state.is_dead(QNodeId(1)));
+        assert!(state.mark_dead(QNodeId(1)), "first marking reports true");
+        assert!(!state.mark_dead(QNodeId(1)), "second marking reports false");
+        assert!(state.is_dead(QNodeId(1)));
+        // A dead server fails fast without advancing its op counter.
+        assert!(state.before_op(QNodeId(1)).is_err());
+    }
+
+    #[test]
+    fn budget_max_ops_trips() {
+        let metrics = Metrics::new();
+        let b = Budget::new(None, Some(2));
+        assert!(!b.exhausted(&metrics));
+        metrics.add_server_op();
+        metrics.add_server_op();
+        assert!(b.exhausted(&metrics));
+    }
+
+    #[test]
+    fn budget_deadline_trips() {
+        let metrics = Metrics::new();
+        let b = Budget::new(Some(Duration::ZERO), None);
+        assert!(b.exhausted(&metrics));
+        let b = Budget::new(Some(Duration::from_secs(3600)), None);
+        assert!(!b.exhausted(&metrics));
+    }
+
+    #[test]
+    fn unlimited_control_is_inert() {
+        let metrics = Metrics::new();
+        let c = RunControl::unlimited();
+        assert!(!c.exhausted(&metrics));
+        assert!(c.before_op(QNodeId(1)).is_ok());
+        assert!(!c.is_dead(QNodeId(1)));
+        assert!(!c.mark_dead(QNodeId(1)));
+        assert!(!c.has_faults());
+    }
+
+    #[test]
+    fn truncation_accumulates_the_bound() {
+        let t = Truncation::new();
+        assert!(matches!(t.finish(&[]), Completeness::Exact));
+        t.mark();
+        t.account(Score::new(1.5));
+        t.account(Score::new(0.5));
+        match t.finish(&[]) {
+            Completeness::Truncated {
+                pending_matches,
+                score_bound,
+            } => {
+                assert_eq!(pending_matches, 2);
+                assert!((score_bound - 1.5).abs() < 1e-12);
+            }
+            c => panic!("expected truncated, got {c:?}"),
+        }
+    }
+
+    #[test]
+    fn delay_fault_is_deterministic_and_slow() {
+        let plan = FaultPlan::seeded(42).with(
+            QNodeId(1),
+            FaultKind::Delay {
+                mean: Duration::from_micros(200),
+            },
+        );
+        let state = FaultState::new(&plan, 2);
+        let start = Instant::now();
+        for _ in 0..20 {
+            state.before_op(QNodeId(1)).unwrap();
+        }
+        // 20 draws with mean 200µs: even a very unlucky stream takes
+        // visible time.
+        assert!(start.elapsed() >= Duration::from_micros(200));
+    }
+}

@@ -60,6 +60,8 @@
 
 mod context;
 mod engine;
+mod error;
+mod fault;
 mod lockstep;
 mod metrics;
 pub mod naive;
@@ -76,7 +78,11 @@ mod whirlpool_s;
 
 pub use context::{ContextOptions, QueryContext, RelaxMode};
 pub use engine::{evaluate, evaluate_with_context, Algorithm, EvalOptions, EvalResult};
-pub use lockstep::{run_lockstep, run_lockstep_noprune};
+pub use error::{Completeness, EngineError};
+pub use fault::{Budget, EngineRun, FaultKind, FaultPlan, RunControl};
+pub use lockstep::{
+    run_lockstep, run_lockstep_anytime, run_lockstep_noprune, run_lockstep_noprune_anytime,
+};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use partial::{Binding, PartialMatch};
 pub use pool::MatchPool;
@@ -84,5 +90,5 @@ pub use queue::{MatchQueue, QueuePolicy};
 pub use router::RoutingStrategy;
 pub use threshold::run_threshold;
 pub use topk::{answers_equivalent, RankedAnswer, TopKSet};
-pub use whirlpool_m::{run_whirlpool_m, WhirlpoolMConfig};
-pub use whirlpool_s::{run_whirlpool_s, run_whirlpool_s_batched};
+pub use whirlpool_m::{run_whirlpool_m, run_whirlpool_m_anytime, WhirlpoolMConfig};
+pub use whirlpool_s::{run_whirlpool_s, run_whirlpool_s_anytime, run_whirlpool_s_batched};

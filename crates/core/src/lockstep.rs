@@ -13,6 +13,7 @@
 //!   possible number of partial matches" denominator of Table 2.
 
 use crate::context::{QueryContext, RelaxMode};
+use crate::fault::{guarded_process, EngineRun, RunControl, Truncation};
 use crate::partial::PartialMatch;
 use crate::queue::QueuePolicy;
 use crate::topk::{RankedAnswer, TopKSet};
@@ -29,8 +30,23 @@ pub fn run_lockstep(
     k: usize,
     queue_policy: QueuePolicy,
 ) -> Vec<RankedAnswer> {
+    run_lockstep_anytime(ctx, plan, k, queue_policy, &RunControl::unlimited()).answers
+}
+
+/// LockStep with pruning under a [`RunControl`]: budget expiry returns
+/// the current top-k as a truncated prefix, and matches headed for a
+/// dead server are degraded past it (relaxed mode) or dropped with
+/// their bound recorded (exact mode).
+pub fn run_lockstep_anytime(
+    ctx: &QueryContext<'_>,
+    plan: &StaticPlan,
+    k: usize,
+    queue_policy: QueuePolicy,
+    control: &RunControl,
+) -> EngineRun {
     let offer_partial = ctx.relax == RelaxMode::Relaxed;
     let full = ctx.full_mask();
+    let trunc = Truncation::new();
     let mut topk = TopKSet::new(k);
     let mut pool = ctx.new_pool();
     let mut frontier = ctx.make_root_matches();
@@ -40,7 +56,7 @@ pub fn run_lockstep(
         }
     }
 
-    for &server in plan.order() {
+    'stages: for &server in plan.order() {
         // Best-first within the stage: sort descending by the policy key
         // (ties by seq ascending, matching MatchQueue).
         let mut keyed: Vec<(whirlpool_score::Score, PartialMatch)> = frontier
@@ -51,18 +67,49 @@ pub fn run_lockstep(
 
         let mut next = Vec::new();
         let mut exts = Vec::new();
-        for (_, m) in keyed {
+        let mut stage = keyed.into_iter();
+        while let Some((_, m)) = stage.next() {
+            if control.exhausted(&ctx.metrics) {
+                if trunc.expire() {
+                    ctx.metrics.add_deadline_hit();
+                }
+                // Drain: account everything still pending, then stop.
+                for m in std::iter::once(m)
+                    .chain(stage.map(|(_, m)| m))
+                    .chain(next.drain(..))
+                {
+                    trunc.account(m.max_final);
+                    pool.release(m);
+                }
+                break 'stages;
+            }
             if topk.should_prune(&m) {
                 ctx.metrics.add_pruned();
                 pool.release(m);
                 continue;
             }
             exts.clear();
-            ctx.process_at_server_pooled(server, &m, &mut exts, &mut pool);
-            pool.release(m);
+            if guarded_process(ctx, control, &trunc, server, &m, &mut exts, &mut pool) {
+                pool.release(m);
+            } else {
+                // The stage's server is dead. Relaxed mode degrades the
+                // match past it (null binding, leaf-deletion score);
+                // exact mode can only drop it and record its bound.
+                trunc.account(m.max_final);
+                if offer_partial {
+                    let e = ctx.degrade_at_server(server, &m, &mut pool);
+                    ctx.metrics.add_match_redistributed();
+                    exts.push(e);
+                }
+                pool.release(m);
+            }
             for e in exts.drain(..) {
-                if offer_partial || e.is_complete(full) {
+                let complete = e.is_complete(full);
+                if offer_partial || complete {
                     topk.offer_match(&e);
+                }
+                if complete && e.degraded {
+                    ctx.metrics.add_answer_degraded();
                 }
                 if topk.should_prune(&e) {
                     ctx.metrics.add_pruned();
@@ -84,7 +131,12 @@ pub fn run_lockstep(
             }
         }
     }
-    topk.ranked()
+    let answers = topk.ranked();
+    let completeness = trunc.finish(&answers);
+    EngineRun {
+        answers,
+        completeness,
+    }
 }
 
 /// LockStep without pruning: every partial match goes through every
@@ -98,29 +150,77 @@ pub fn run_lockstep_noprune(
     plan: &StaticPlan,
     k: usize,
 ) -> Vec<RankedAnswer> {
+    run_lockstep_noprune_anytime(ctx, plan, k, &RunControl::unlimited()).answers
+}
+
+/// LockStep-NoPrun under a [`RunControl`]: the budget is checked before
+/// every server operation (root matches not yet started are accounted
+/// on expiry), and dead servers degrade (relaxed) or drop (exact) the
+/// matches that reach them.
+pub fn run_lockstep_noprune_anytime(
+    ctx: &QueryContext<'_>,
+    plan: &StaticPlan,
+    k: usize,
+    control: &RunControl,
+) -> EngineRun {
+    let offer_partial = ctx.relax == RelaxMode::Relaxed;
     let full = ctx.full_mask();
+    let trunc = Truncation::new();
     let mut topk = TopKSet::new(k);
     let mut pool = ctx.new_pool();
-    let mut frontier = Vec::new();
+    let mut frontier: Vec<PartialMatch> = Vec::new();
     let mut next = Vec::new();
-    for root_match in ctx.make_root_matches() {
+    let mut roots = ctx.make_root_matches().into_iter();
+    'roots: while let Some(root_match) = roots.next() {
         frontier.clear();
         frontier.push(root_match);
         for &server in plan.order() {
             next.clear();
-            for m in frontier.drain(..) {
-                ctx.process_at_server_pooled(server, &m, &mut next, &mut pool);
-                pool.release(m);
+            let mut stage = std::mem::take(&mut frontier).into_iter();
+            while let Some(m) = stage.next() {
+                if control.exhausted(&ctx.metrics) {
+                    if trunc.expire() {
+                        ctx.metrics.add_deadline_hit();
+                    }
+                    for m in std::iter::once(m)
+                        .chain(stage)
+                        .chain(next.drain(..))
+                        .chain(roots)
+                    {
+                        trunc.account(m.max_final);
+                        pool.release(m);
+                    }
+                    break 'roots;
+                }
+                if guarded_process(ctx, control, &trunc, server, &m, &mut next, &mut pool) {
+                    pool.release(m);
+                } else {
+                    trunc.account(m.max_final);
+                    if offer_partial {
+                        let e = ctx.degrade_at_server(server, &m, &mut pool);
+                        ctx.metrics.add_match_redistributed();
+                        next.push(e);
+                    }
+                    pool.release(m);
+                }
             }
             std::mem::swap(&mut frontier, &mut next);
         }
         for m in frontier.drain(..) {
             debug_assert!(m.is_complete(full));
             topk.offer_match(&m);
+            if m.degraded {
+                ctx.metrics.add_answer_degraded();
+            }
             pool.release(m);
         }
     }
-    topk.ranked()
+    let answers = topk.ranked();
+    let completeness = trunc.finish(&answers);
+    EngineRun {
+        answers,
+        completeness,
+    }
 }
 
 #[cfg(test)]

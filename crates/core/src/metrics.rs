@@ -29,6 +29,16 @@ pub struct Metrics {
     /// Binding buffers recycled from a [`MatchPool`](crate::MatchPool)
     /// free list instead of being allocated.
     pub buffers_reused: AtomicU64,
+    /// Evaluations cut short by a deadline or operation budget.
+    pub deadline_hits: AtomicU64,
+    /// Servers that failed or panicked and were isolated.
+    pub servers_failed: AtomicU64,
+    /// Partial matches rescued from a dead server and re-routed to
+    /// survivors.
+    pub matches_redistributed: AtomicU64,
+    /// Answers completed through degradation (a dead server's predicate
+    /// scored as the leaf-deletion relaxation).
+    pub answers_degraded: AtomicU64,
 }
 
 impl Metrics {
@@ -79,6 +89,30 @@ impl Metrics {
         self.buffers_reused.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Counts one budget expiry (deadline or op cap).
+    #[inline]
+    pub fn add_deadline_hit(&self) {
+        self.deadline_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one server failure (fault or panic, first detection).
+    #[inline]
+    pub fn add_server_failed(&self) {
+        self.servers_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one partial match redistributed away from a dead server.
+    #[inline]
+    pub fn add_match_redistributed(&self) {
+        self.matches_redistributed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one answer completed through degradation.
+    #[inline]
+    pub fn add_answer_degraded(&self) {
+        self.answers_degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A plain-value copy for reporting.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -89,6 +123,10 @@ impl Metrics {
             routing_decisions: self.routing_decisions.load(Ordering::Relaxed),
             buffers_allocated: self.buffers_allocated.load(Ordering::Relaxed),
             buffers_reused: self.buffers_reused.load(Ordering::Relaxed),
+            deadline_hits: self.deadline_hits.load(Ordering::Relaxed),
+            servers_failed: self.servers_failed.load(Ordering::Relaxed),
+            matches_redistributed: self.matches_redistributed.load(Ordering::Relaxed),
+            answers_degraded: self.answers_degraded.load(Ordering::Relaxed),
         }
     }
 }
@@ -110,6 +148,14 @@ pub struct MetricsSnapshot {
     pub buffers_allocated: u64,
     /// Binding buffers recycled from a pool free list.
     pub buffers_reused: u64,
+    /// Evaluations cut short by a deadline or operation budget.
+    pub deadline_hits: u64,
+    /// Servers that failed or panicked and were isolated.
+    pub servers_failed: u64,
+    /// Partial matches rescued from a dead server and re-routed.
+    pub matches_redistributed: u64,
+    /// Answers completed through degradation.
+    pub answers_degraded: u64,
 }
 
 impl MetricsSnapshot {
@@ -138,12 +184,21 @@ mod tests {
         m.add_created(3);
         m.add_pruned();
         m.add_routing_decision();
+        m.add_deadline_hit();
+        m.add_server_failed();
+        m.add_match_redistributed();
+        m.add_match_redistributed();
+        m.add_answer_degraded();
         let s = m.snapshot();
         assert_eq!(s.server_ops, 2);
         assert_eq!(s.predicate_comparisons, 5);
         assert_eq!(s.partials_created, 3);
         assert_eq!(s.pruned, 1);
         assert_eq!(s.routing_decisions, 1);
+        assert_eq!(s.deadline_hits, 1);
+        assert_eq!(s.servers_failed, 1);
+        assert_eq!(s.matches_redistributed, 2);
+        assert_eq!(s.answers_degraded, 1);
     }
 
     #[test]

@@ -46,18 +46,41 @@ impl RoutingStrategy {
     /// `threshold` is the current k-th score, used by the size-based
     /// estimate.
     pub fn choose(&self, ctx: &QueryContext<'_>, m: &PartialMatch, threshold: Score) -> QNodeId {
+        self.try_choose(ctx, m, threshold, |_| true)
+            .expect("routing a complete match")
+    }
+
+    /// Picks the next server for `m` among the unvisited servers that
+    /// `eligible` admits (the fault layer passes "is alive"). Returns
+    /// `None` when no admitted server remains — a complete match, or
+    /// one whose every remaining server is dead.
+    pub fn try_choose(
+        &self,
+        ctx: &QueryContext<'_>,
+        m: &PartialMatch,
+        threshold: Score,
+        eligible: impl Fn(QNodeId) -> bool,
+    ) -> Option<QNodeId> {
         ctx.metrics.add_routing_decision();
         match self {
             RoutingStrategy::Static(plan) => plan
-                .next_server(m.visited)
-                .expect("routing a complete match through a static plan"),
-            RoutingStrategy::MaxScore => self.pick(ctx, m, |s| expected_contribution(ctx, s), true),
+                .order()
+                .iter()
+                .copied()
+                .find(|&s| !m.has_visited(s) && eligible(s)),
+            RoutingStrategy::MaxScore => {
+                self.pick(ctx, m, |s| expected_contribution(ctx, s), true, eligible)
+            }
             RoutingStrategy::MinScore => {
-                self.pick(ctx, m, |s| expected_contribution(ctx, s), false)
+                self.pick(ctx, m, |s| expected_contribution(ctx, s), false, eligible)
             }
-            RoutingStrategy::MinAlive => {
-                self.pick(ctx, m, |s| estimated_alive(ctx, m, s, threshold), false)
-            }
+            RoutingStrategy::MinAlive => self.pick(
+                ctx,
+                m,
+                |s| estimated_alive(ctx, m, s, threshold),
+                false,
+                eligible,
+            ),
         }
     }
 
@@ -67,9 +90,13 @@ impl RoutingStrategy {
         m: &PartialMatch,
         score_fn: impl Fn(QNodeId) -> f64,
         maximize: bool,
-    ) -> QNodeId {
+        eligible: impl Fn(QNodeId) -> bool,
+    ) -> Option<QNodeId> {
         let mut best: Option<(QNodeId, f64)> = None;
         for s in m.unvisited(ctx.pattern.len()) {
+            if !eligible(s) {
+                continue;
+            }
             let v = score_fn(s);
             let better = match best {
                 None => true,
@@ -85,7 +112,7 @@ impl RoutingStrategy {
                 best = Some((s, v));
             }
         }
-        best.expect("routing a complete match").0
+        best.map(|(s, _)| s)
     }
 }
 
@@ -235,6 +262,37 @@ mod tests {
             ctx.process_at_server(QNodeId(1), &m, &mut out);
             let next = RoutingStrategy::MinAlive.choose(ctx, &out[0], Score::ZERO);
             assert_eq!(next, QNodeId(2), "only q2 remains");
+        });
+    }
+
+    #[test]
+    fn dead_servers_are_never_chosen() {
+        with_ctx(|ctx| {
+            let m = ctx.make_root_matches().remove(0);
+            // The fault layer filters candidates through `eligible`:
+            // with q2 dead, every strategy must fall back to q1 — even
+            // those that would otherwise prefer q2 — and with both
+            // servers dead no route exists at all.
+            let q2_dead = |s: QNodeId| s != QNodeId(2);
+            for strategy in [
+                RoutingStrategy::Static(StaticPlan::new(vec![QNodeId(2), QNodeId(1)])),
+                RoutingStrategy::MaxScore,
+                RoutingStrategy::MinScore,
+                RoutingStrategy::MinAlive,
+            ] {
+                assert_eq!(
+                    strategy.try_choose(ctx, &m, Score::ZERO, q2_dead),
+                    Some(QNodeId(1)),
+                    "{}",
+                    strategy.name()
+                );
+                assert_eq!(
+                    strategy.try_choose(ctx, &m, Score::ZERO, |_| false),
+                    None,
+                    "{}",
+                    strategy.name()
+                );
+            }
         });
     }
 

@@ -11,8 +11,19 @@
 //! being processed; it reaches zero exactly when "there are no more
 //! partial matches in any of the server queues, the router queue, or
 //! being compared against the top-k set" (§5.1).
+//!
+//! Fault tolerance: a server whose injected fault fires (or that
+//! panics) is isolated — its worker marks it dead, closes its queue,
+//! and rescues the queued matches; the router stops routing to it and
+//! finishes stranded matches through degradation (relaxed mode binds
+//! the dead server to the outer-join null, scoring the predicate as
+//! the leaf-deletion relaxation). Termination detection is unchanged:
+//! every rescued match either re-enters the router queue (count
+//! unchanged) or leaves the system (count decremented).
 
 use crate::context::{QueryContext, RelaxMode};
+use crate::fault::{guarded_process, EngineRun, RunControl, Truncation};
+use crate::partial::PartialMatch;
 use crate::queue::{MatchQueue, QueuePolicy};
 use crate::router::RoutingStrategy;
 use crate::topk::{RankedAnswer, TopKSet};
@@ -48,38 +59,79 @@ impl Default for WhirlpoolMConfig {
     }
 }
 
+/// A match queue plus its closed flag, guarded by one lock so that
+/// "push to a live queue" and "close and rescue everything queued" are
+/// atomic with respect to each other.
+struct QueueState {
+    queue: MatchQueue,
+    closed: bool,
+}
+
 /// A lock+condvar guarded match queue shared between producer and
 /// consumer threads.
 struct SharedQueue {
-    inner: Mutex<MatchQueue>,
+    inner: Mutex<QueueState>,
     cv: Condvar,
 }
 
 impl SharedQueue {
     fn new(policy: QueuePolicy, server: Option<QNodeId>) -> Self {
         SharedQueue {
-            inner: Mutex::new(MatchQueue::new(policy, server)),
+            inner: Mutex::new(QueueState {
+                queue: MatchQueue::new(policy, server),
+                closed: false,
+            }),
             cv: Condvar::new(),
         }
     }
 
-    fn push(&self, ctx: &QueryContext<'_>, m: crate::partial::PartialMatch) {
-        self.inner.lock().push(ctx, m);
+    /// Pushes `m` unless the queue has been closed; a closed queue
+    /// hands the match back so the caller can re-route it.
+    fn push(&self, ctx: &QueryContext<'_>, m: PartialMatch) -> Result<(), PartialMatch> {
+        {
+            let mut guard = self.inner.lock();
+            if guard.closed {
+                return Err(m);
+            }
+            guard.queue.push(ctx, m);
+        }
         self.cv.notify_one();
+        Ok(())
     }
 
-    /// Blocks until a match is available or `done` is set.
-    fn pop_wait(&self, done: &AtomicBool) -> Option<crate::partial::PartialMatch> {
+    /// Blocks until a match is available, the queue is closed, or
+    /// `done` is set.
+    fn pop_wait(&self, done: &AtomicBool) -> Option<PartialMatch> {
         let mut guard = self.inner.lock();
         loop {
-            if let Some(m) = guard.pop() {
+            if let Some(m) = guard.queue.pop() {
                 return Some(m);
             }
-            if done.load(Ordering::Acquire) {
+            if guard.closed || done.load(Ordering::Acquire) {
                 return None;
             }
             self.cv.wait(&mut guard);
         }
+    }
+
+    /// Closes the queue and removes everything still in it, in one lock
+    /// acquisition: any push that loses the race gets its match back
+    /// (`push` returns `Err`) and re-routes, so no match is stranded in
+    /// a closed queue. Notifying after the drop is safe here — unlike
+    /// the `done` flag, `closed` is set under the queue lock itself, so
+    /// a waiter that saw `closed == false` was parked before we took
+    /// the lock and receives the notification.
+    fn close_and_drain(&self) -> Vec<PartialMatch> {
+        let mut rescued = Vec::new();
+        {
+            let mut guard = self.inner.lock();
+            guard.closed = true;
+            while let Some(m) = guard.queue.pop() {
+                rescued.push(m);
+            }
+        }
+        self.cv.notify_all();
+        rescued
     }
 
     /// Wakes every waiter. Must acquire the queue lock first: a waiter
@@ -141,6 +193,22 @@ pub fn run_whirlpool_m(
     k: usize,
     config: &WhirlpoolMConfig,
 ) -> Vec<RankedAnswer> {
+    run_whirlpool_m_anytime(ctx, routing, k, config, &RunControl::unlimited()).answers
+}
+
+/// Whirlpool-M under a [`RunControl`]: deadlines and op budgets turn
+/// every consumer into a draining one (each abandoned match's score
+/// bound is recorded before the run returns its anytime prefix), and a
+/// server killed by an injected fault or panic is isolated without
+/// aborting or hanging the run — its queued matches are redistributed
+/// to the survivors or completed through degradation.
+pub fn run_whirlpool_m_anytime(
+    ctx: &QueryContext<'_>,
+    routing: &RoutingStrategy,
+    k: usize,
+    config: &WhirlpoolMConfig,
+    control: &RunControl,
+) -> EngineRun {
     let server_ids = ctx.server_ids();
     let offer_partial = ctx.relax == RelaxMode::Relaxed;
     let full_mask = ctx.full_mask();
@@ -172,25 +240,29 @@ pub fn run_whirlpool_m(
                 topk.offer_match(&m);
             }
             if !complete {
-                shared.router_queue.push(ctx, m);
+                push_to_router(&shared, m);
                 seeded += 1;
             }
         }
     }
     if seeded == 0 {
-        return shared.topk.into_inner().ranked();
+        return EngineRun::exact(shared.topk.into_inner().ranked());
     }
     shared.in_flight.store(seeded, Ordering::Release);
 
+    let trunc = Truncation::new();
     let threads_per_server = config.threads_per_server.max(1);
     std::thread::scope(|scope| {
         // Router thread.
-        scope.spawn(|| router_loop(&shared, routing));
+        {
+            let (shared, trunc) = (&shared, &trunc);
+            scope.spawn(move || router_loop(shared, routing, control, trunc));
+        }
         // Server threads (possibly several workers per server queue).
         for &server in &server_ids {
             for _ in 0..threads_per_server {
-                let shared = &shared;
-                scope.spawn(move || server_loop(shared, server));
+                let (shared, trunc) = (&shared, &trunc);
+                scope.spawn(move || server_loop(shared, server, control, trunc));
             }
         }
         // Main thread: wait for termination.
@@ -200,18 +272,145 @@ pub fn run_whirlpool_m(
         }
     });
 
-    shared.topk.into_inner().ranked()
-}
-
-fn router_loop(shared: &Shared<'_, '_>, routing: &RoutingStrategy) {
-    while let Some(m) = shared.router_queue.pop_wait(&shared.done) {
-        let threshold = shared.topk.lock().threshold();
-        let server = routing.choose(shared.ctx, &m, threshold);
-        shared.server_queue(server).push(shared.ctx, m);
+    let answers = shared.topk.into_inner().ranked();
+    let completeness = trunc.finish(&answers);
+    EngineRun {
+        answers,
+        completeness,
     }
 }
 
-fn server_loop(shared: &Shared<'_, '_>, server: QNodeId) {
+/// Pushes to the router queue, which is never closed.
+fn push_to_router(shared: &Shared<'_, '_>, m: PartialMatch) {
+    if shared.router_queue.push(shared.ctx, m).is_err() {
+        unreachable!("the router queue is never closed");
+    }
+}
+
+/// Drains one match on budget expiry: its bound is recorded and it
+/// leaves the system.
+fn drain_expired(
+    shared: &Shared<'_, '_>,
+    trunc: &Truncation,
+    m: PartialMatch,
+    pool: &mut crate::pool::MatchPool<'_>,
+) {
+    if trunc.expire() {
+        shared.ctx.metrics.add_deadline_hit();
+    }
+    trunc.account(m.max_final);
+    pool.release(m);
+    shared.adjust_in_flight(-1);
+}
+
+fn router_loop(
+    shared: &Shared<'_, '_>,
+    routing: &RoutingStrategy,
+    control: &RunControl,
+    trunc: &Truncation,
+) {
+    let ctx = shared.ctx;
+    // The router only needs a pool on the degraded paths; it is idle
+    // (and allocates nothing) in fault-free runs.
+    let mut pool = ctx.new_pool();
+    while let Some(m) = shared.router_queue.pop_wait(&shared.done) {
+        if trunc.is_expired() || control.exhausted(&ctx.metrics) {
+            drain_expired(shared, trunc, m, &mut pool);
+            continue;
+        }
+        let threshold = shared.topk.lock().threshold();
+        let mut m = m;
+        loop {
+            let choice = routing.try_choose(ctx, &m, threshold, |s| !control.is_dead(s));
+            let Some(server) = choice else {
+                // Every remaining server for this match is dead.
+                finish_unroutable(shared, trunc, m, &mut pool);
+                break;
+            };
+            match shared.server_queue(server).push(ctx, m) {
+                Ok(()) => break,
+                Err(back) => {
+                    // The queue closed between the aliveness check and
+                    // the push (its server just died): re-route among
+                    // the survivors.
+                    ctx.metrics.add_match_redistributed();
+                    m = back;
+                }
+            }
+        }
+    }
+}
+
+/// Completes a match none of whose remaining servers is alive: relaxed
+/// mode degrades it to completion and offers it; exact mode can only
+/// drop it. Either way its bound is recorded and it leaves the system.
+fn finish_unroutable(
+    shared: &Shared<'_, '_>,
+    trunc: &Truncation,
+    m: PartialMatch,
+    pool: &mut crate::pool::MatchPool<'_>,
+) {
+    let ctx = shared.ctx;
+    trunc.account(m.max_final);
+    if shared.offer_partial {
+        ctx.metrics.add_match_redistributed();
+        let done = crate::fault::degrade_to_completion(ctx, m, pool);
+        shared.topk.lock().offer_match(&done);
+        ctx.metrics.add_answer_degraded();
+        pool.release(done);
+    } else {
+        pool.release(m);
+    }
+    shared.adjust_in_flight(-1);
+}
+
+/// Rescues one match that reached dead `server`: relaxed mode degrades
+/// it past the server and sends it back to the router (unless it is
+/// now complete or prunable); exact mode drops it with its bound
+/// recorded.
+fn handle_dead_server_match(
+    shared: &Shared<'_, '_>,
+    trunc: &Truncation,
+    server: QNodeId,
+    m: PartialMatch,
+    pool: &mut crate::pool::MatchPool<'_>,
+) {
+    let ctx = shared.ctx;
+    trunc.account(m.max_final);
+    if !shared.offer_partial {
+        pool.release(m);
+        shared.adjust_in_flight(-1);
+        return;
+    }
+    let e = ctx.degrade_at_server(server, &m, pool);
+    ctx.metrics.add_match_redistributed();
+    pool.release(m);
+    let complete = e.is_complete(shared.full_mask);
+    let keep = {
+        let mut topk = shared.topk.lock();
+        topk.offer_match(&e);
+        if complete {
+            false
+        } else if topk.should_prune(&e) {
+            ctx.metrics.add_pruned();
+            false
+        } else {
+            true
+        }
+    };
+    if keep {
+        // The rescued match stays in flight: net count change is zero.
+        push_to_router(shared, e);
+    } else {
+        if complete {
+            ctx.metrics.add_answer_degraded();
+        }
+        pool.release(e);
+        shared.adjust_in_flight(-1);
+    }
+}
+
+fn server_loop(shared: &Shared<'_, '_>, server: QNodeId, control: &RunControl, trunc: &Truncation) {
     let ctx = shared.ctx;
     // One pool per worker thread: recycling needs no synchronization,
     // at the price of buffers retiring into whichever thread consumed
@@ -220,6 +419,10 @@ fn server_loop(shared: &Shared<'_, '_>, server: QNodeId) {
     let mut exts = Vec::new();
     let mut survivors = Vec::new();
     while let Some(m) = shared.server_queue(server).pop_wait(&shared.done) {
+        if trunc.is_expired() || control.exhausted(&ctx.metrics) {
+            drain_expired(shared, trunc, m, &mut pool);
+            continue;
+        }
         if shared.topk.lock().should_prune(&m) {
             ctx.metrics.add_pruned();
             pool.release(m);
@@ -228,10 +431,21 @@ fn server_loop(shared: &Shared<'_, '_>, server: QNodeId) {
         }
 
         exts.clear();
-        {
+        let ran = {
             // The processor budget covers the join work itself.
             let _permit = shared.sem.as_ref().map(Semaphore::acquire);
-            ctx.process_at_server_pooled(server, &m, &mut exts, &mut pool);
+            guarded_process(ctx, control, trunc, server, &m, &mut exts, &mut pool)
+        };
+        if !ran {
+            // This server is dead (it may have just died under us).
+            // Close its queue, rescue everything queued — including the
+            // match in hand — and let this worker retire; sibling
+            // workers wake on the closed queue and retire too.
+            handle_dead_server_match(shared, trunc, server, m, &mut pool);
+            for rescued in shared.server_queue(server).close_and_drain() {
+                handle_dead_server_match(shared, trunc, server, rescued, &mut pool);
+            }
+            return;
         }
         pool.release(m);
 
@@ -244,6 +458,9 @@ fn server_loop(shared: &Shared<'_, '_>, server: QNodeId) {
                     topk.offer_match(&e);
                 }
                 if complete {
+                    if e.degraded {
+                        ctx.metrics.add_answer_degraded();
+                    }
                     pool.release(e);
                     continue;
                 }
@@ -256,7 +473,7 @@ fn server_loop(shared: &Shared<'_, '_>, server: QNodeId) {
             }
         }
         for e in survivors.drain(..) {
-            shared.router_queue.push(ctx, e);
+            push_to_router(shared, e);
             kept += 1;
         }
         shared.adjust_in_flight(kept - 1);

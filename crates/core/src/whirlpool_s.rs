@@ -8,6 +8,7 @@
 //! the order MPro/Upper prove necessary for instance-optimal probing.
 
 use crate::context::{QueryContext, RelaxMode};
+use crate::fault::{degrade_to_completion, guarded_process, EngineRun, RunControl, Truncation};
 use crate::queue::{MatchQueue, QueuePolicy};
 use crate::router::RoutingStrategy;
 use crate::topk::{RankedAnswer, TopKSet};
@@ -40,9 +41,34 @@ pub fn run_whirlpool_s_batched(
     queue_policy: QueuePolicy,
     batch: usize,
 ) -> Vec<RankedAnswer> {
+    run_whirlpool_s_anytime(
+        ctx,
+        routing,
+        k,
+        queue_policy,
+        batch,
+        &RunControl::unlimited(),
+    )
+    .answers
+}
+
+/// Whirlpool-S under a [`RunControl`]: the budget is checked at every
+/// queue pop (expiry drains the router queue, recording each abandoned
+/// match's score bound), routing skips dead servers, and a match whose
+/// every remaining server is dead is degraded to completion (relaxed
+/// mode) or dropped with its bound recorded (exact mode).
+pub fn run_whirlpool_s_anytime(
+    ctx: &QueryContext<'_>,
+    routing: &RoutingStrategy,
+    k: usize,
+    queue_policy: QueuePolicy,
+    batch: usize,
+    control: &RunControl,
+) -> EngineRun {
     let batch = batch.max(1);
     let offer_partial = ctx.relax == RelaxMode::Relaxed;
     let full = ctx.full_mask();
+    let trunc = Truncation::new();
     let mut topk = TopKSet::new(k);
     let mut pool = ctx.new_pool();
     let mut queue = MatchQueue::new(queue_policy, None);
@@ -63,6 +89,18 @@ pub fn run_whirlpool_s_batched(
     let mut group = Vec::new();
     let mut put_back = Vec::new();
     while let Some(m) = queue.pop() {
+        if control.exhausted(&ctx.metrics) {
+            if trunc.expire() {
+                ctx.metrics.add_deadline_hit();
+            }
+            trunc.account(m.max_final);
+            pool.release(m);
+            while let Some(x) = queue.pop() {
+                trunc.account(x.max_final);
+                pool.release(x);
+            }
+            break;
+        }
         // Re-check at pop time: the threshold may have grown since the
         // match was queued.
         if topk.should_prune(&m) {
@@ -94,10 +132,33 @@ pub fn run_whirlpool_s_batched(
             queue.push(ctx, x);
         }
 
-        let server = routing.choose(ctx, &group[0], topk.threshold());
+        let choice = routing.try_choose(ctx, &group[0], topk.threshold(), |s| !control.is_dead(s));
+        let Some(server) = choice else {
+            // Every remaining server is dead: finish the group through
+            // degradation, or drop it in exact mode.
+            for m in group.drain(..) {
+                trunc.account(m.max_final);
+                if offer_partial {
+                    ctx.metrics.add_match_redistributed();
+                    let done = degrade_to_completion(ctx, m, &mut pool);
+                    topk.offer_match(&done);
+                    ctx.metrics.add_answer_degraded();
+                    pool.release(done);
+                } else {
+                    pool.release(m);
+                }
+            }
+            continue;
+        };
         for m in group.drain(..) {
             exts.clear();
-            ctx.process_at_server_pooled(server, &m, &mut exts, &mut pool);
+            if !guarded_process(ctx, control, &trunc, server, &m, &mut exts, &mut pool) {
+                // The chosen server died under us: requeue the match so
+                // the next pop re-routes it among the survivors.
+                ctx.metrics.add_match_redistributed();
+                queue.push(ctx, m);
+                continue;
+            }
             pool.release(m);
             for e in exts.drain(..) {
                 let complete = e.is_complete(full);
@@ -105,6 +166,9 @@ pub fn run_whirlpool_s_batched(
                     topk.offer_match(&e);
                 }
                 if complete {
+                    if e.degraded {
+                        ctx.metrics.add_answer_degraded();
+                    }
                     pool.release(e);
                     continue;
                 }
@@ -118,7 +182,12 @@ pub fn run_whirlpool_s_batched(
         }
     }
 
-    topk.ranked()
+    let answers = topk.ranked();
+    let completeness = trunc.finish(&answers);
+    EngineRun {
+        answers,
+        completeness,
+    }
 }
 
 #[cfg(test)]

@@ -64,14 +64,14 @@ pub fn apply(pattern: &TreePattern, relaxation: Relaxation) -> Option<TreePatter
             }
             let mut out = clone_nodes(pattern);
             out[id.index()].2 = Axis::Descendant;
-            Some(rebuild(pattern, &out, None))
+            rebuild(pattern, &out, None)
         }
         Relaxation::LeafDeletion(id) => {
             if id.is_root() || !pattern.node(id).children.is_empty() {
                 return None;
             }
             let out = clone_nodes(pattern);
-            Some(rebuild(pattern, &out, Some(id)))
+            rebuild(pattern, &out, Some(id))
         }
         Relaxation::SubtreePromotion(id) => {
             let parent = pattern.node(id).parent?;
@@ -82,7 +82,7 @@ pub fn apply(pattern: &TreePattern, relaxation: Relaxation) -> Option<TreePatter
             let mut out = clone_nodes(pattern);
             out[id.index()].1 = Some(grandparent);
             out[id.index()].2 = Axis::Descendant;
-            Some(rebuild(pattern, &out, None))
+            rebuild(pattern, &out, None)
         }
     }
 }
@@ -114,8 +114,15 @@ fn clone_nodes(pattern: &TreePattern) -> Vec<WorkNode> {
 }
 
 /// Rebuilds a `TreePattern` from the working representation, optionally
-/// skipping one (leaf) node.
-fn rebuild(original: &TreePattern, nodes: &[WorkNode], skip: Option<QNodeId>) -> TreePattern {
+/// skipping one (leaf) node. Returns `None` instead of panicking when
+/// the working representation is inconsistent — a parentless non-root
+/// node, or a child whose parent was not inserted first (possible only
+/// if a rewrite corrupted the parent pointers).
+fn rebuild(
+    original: &TreePattern,
+    nodes: &[WorkNode],
+    skip: Option<QNodeId>,
+) -> Option<TreePattern> {
     let mut out = TreePattern::new(nodes[0].0.clone(), nodes[0].2);
     for attr in &nodes[0].4 {
         out.add_attr_test(QNodeId::ROOT, attr.clone());
@@ -131,15 +138,14 @@ fn rebuild(original: &TreePattern, nodes: &[WorkNode], skip: Option<QNodeId>) ->
             continue;
         }
         let (tag, parent, axis, value, attrs) = &nodes[id.index()];
-        let new_parent = map[parent.expect("non-root has parent").index()]
-            .expect("parent inserted before child");
+        let new_parent = map[(*parent)?.index()]?;
         let new_id = out.add_node(new_parent, *axis, tag.clone(), value.clone());
         for attr in attrs {
             out.add_attr_test(new_id, attr.clone());
         }
         map[id.index()] = Some(new_id);
     }
-    out
+    Some(out)
 }
 
 /// Enumerates the closure of relaxations of `pattern` (including the

@@ -1,0 +1,87 @@
+//! Fuzz the relaxation rewriter: random relaxation sequences applied to
+//! random tree patterns must never panic, and every accepted step must
+//! produce a structurally sound pattern.
+
+use proptest::prelude::*;
+use whirlpool_pattern::relax::{applicable, apply, Relaxation};
+use whirlpool_pattern::{parse_pattern, QNodeId, TreePattern};
+
+/// A small pool of structurally varied queries to start from.
+const QUERIES: &[&str] = &[
+    "//item",
+    "//item[./name]",
+    "//item[./description/parlist]",
+    "//item[./description/parlist and ./mailbox/mail/text]",
+    "/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']",
+    "/a[./b/c[./d and ./e]]",
+    "//item[@id = 'item3' and ./incategory[@category]]",
+    "//item[./*/parlist]",
+    "/r[.//x and ./y[./z]]",
+];
+
+fn sanity_check(p: &TreePattern) {
+    // Parent pointers are consistent and acyclic (ids only decrease
+    // toward the root), and node 0 is the only root.
+    for id in p.node_ids() {
+        let node = p.node(id);
+        match node.parent {
+            None => assert!(id.is_root(), "non-root {id:?} lost its parent"),
+            Some(parent) => {
+                assert!(parent.index() < id.index(), "parent after child");
+                assert!(
+                    p.node(parent).children.contains(&id),
+                    "parent {parent:?} does not list {id:?} as a child"
+                );
+            }
+        }
+    }
+    // The canonical form is printable (walks the whole structure).
+    let _ = p.canonical_form();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Applying any sequence of relaxation steps — chosen from the
+    /// applicable set by random index — never panics, and each result
+    /// stays structurally sound.
+    #[test]
+    fn random_relaxation_sequences_never_panic(
+        query_idx in 0..QUERIES.len(),
+        picks in prop::collection::vec(any::<u16>(), 0..12),
+    ) {
+        let mut p = parse_pattern(QUERIES[query_idx]).unwrap();
+        for pick in picks {
+            let options = applicable(&p);
+            if options.is_empty() {
+                break;
+            }
+            let r = options[pick as usize % options.len()];
+            if let Some(next) = apply(&p, r) {
+                sanity_check(&next);
+                p = next;
+            }
+        }
+    }
+
+    /// `apply` with arbitrary (possibly inapplicable) relaxations on
+    /// arbitrary node ids returns `None` rather than panicking, as long
+    /// as the id is in range.
+    #[test]
+    fn arbitrary_relaxations_are_rejected_not_panicked(
+        query_idx in 0..QUERIES.len(),
+        kind in 0..3u8,
+        raw_id in any::<u8>(),
+    ) {
+        let p = parse_pattern(QUERIES[query_idx]).unwrap();
+        let id = QNodeId(raw_id % p.len() as u8);
+        let r = match kind {
+            0 => Relaxation::EdgeGeneralization(id),
+            1 => Relaxation::LeafDeletion(id),
+            _ => Relaxation::SubtreePromotion(id),
+        };
+        if let Some(next) = apply(&p, r) {
+            sanity_check(&next);
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Anytime evaluation and fault tolerance, end to end.
+//!
+//! Two families of guarantees:
+//!
+//! * **Budgets** (deadline / `max_server_ops`): a run cut short returns
+//!   the current top-k tagged `Truncated` with a *score bound* — a
+//!   certificate that no answer missing from the prefix could score
+//!   above it. With no budget the result is byte-identical to the
+//!   pre-existing exact behavior.
+//! * **Faults**: a server that fails or panics is isolated; the run
+//!   completes without aborting or hanging, survivors absorb the dead
+//!   server's work, and the same score-bound certificate covers
+//!   whatever was degraded.
+//!
+//! Note on "monotonicity": the literal property "a smaller budget's
+//! answers are a prefix of a larger budget's" is *false* — per-root
+//! scores improve as more matches complete, so rankings shift. The true
+//! monotone quantities, asserted here for the deterministic sequential
+//! engines, are (1) the per-root score of any root present in both
+//! runs, and (2) the k-th score once the set is full.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use whirlpool_core::{
+    evaluate, Algorithm, Completeness, EvalOptions, FaultKind, FaultPlan, RankedAnswer,
+};
+use whirlpool_index::TagIndex;
+use whirlpool_pattern::QNodeId;
+use whirlpool_score::{Normalization, TfIdfModel};
+use whirlpool_xmark::{generate, queries, GeneratorConfig};
+
+const EPS: f64 = 1e-9;
+
+struct Fixture {
+    doc: whirlpool_xml::Document,
+    index: TagIndex,
+    query: whirlpool_pattern::TreePattern,
+}
+
+impl Fixture {
+    fn new(items: usize) -> Self {
+        let doc = generate(&GeneratorConfig::items(items));
+        let index = TagIndex::build(&doc);
+        let query = queries::parse(queries::Q2);
+        Fixture { doc, index, query }
+    }
+
+    fn eval(&self, algorithm: &Algorithm, options: &EvalOptions) -> whirlpool_core::EvalResult {
+        let model = TfIdfModel::build(&self.doc, &self.index, &self.query, Normalization::Sparse);
+        evaluate(
+            &self.doc,
+            &self.index,
+            &self.query,
+            &model,
+            algorithm,
+            options,
+        )
+    }
+}
+
+fn algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::LockStepNoPrune,
+        Algorithm::LockStep,
+        Algorithm::WhirlpoolS,
+        Algorithm::WhirlpoolM { processors: None },
+    ]
+}
+
+/// Checks the anytime certificate of `truncated` against the exact
+/// top-k: every returned answer scores within the bound, and every
+/// exact answer *missing* from the truncated prefix could not have
+/// beaten it.
+fn assert_certificate_valid(
+    truncated: &[RankedAnswer],
+    completeness: &Completeness,
+    exact: &[RankedAnswer],
+    context: &str,
+) {
+    let Some(bound) = completeness.score_bound() else {
+        panic!("{context}: expected a truncated result, got {completeness:?}");
+    };
+    for a in truncated {
+        assert!(
+            a.score.value() <= bound + EPS,
+            "{context}: returned answer {a:?} above the bound {bound}"
+        );
+    }
+    for e in exact {
+        let present = truncated.iter().any(|a| a.root == e.root);
+        assert!(
+            present || e.score.value() <= bound + EPS,
+            "{context}: missing answer {e:?} exceeds the bound {bound}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Budgets.
+
+#[test]
+fn no_budget_means_exact_for_every_engine() {
+    let fx = Fixture::new(40);
+    for alg in algorithms() {
+        let r = fx.eval(&alg, &EvalOptions::top_k(5));
+        assert!(r.completeness.is_exact(), "{}", alg.name());
+        assert_eq!(r.metrics.deadline_hits, 0, "{}", alg.name());
+    }
+}
+
+#[test]
+fn zero_op_budget_returns_certified_prefix() {
+    let fx = Fixture::new(40);
+    let exact = fx
+        .eval(&Algorithm::WhirlpoolS, &EvalOptions::top_k(5))
+        .answers;
+    for alg in algorithms() {
+        let mut options = EvalOptions::top_k(5);
+        options.max_server_ops = Some(0);
+        let r = fx.eval(&alg, &options);
+        assert!(
+            !r.completeness.is_exact(),
+            "{}: a zero budget cannot complete this query",
+            alg.name()
+        );
+        assert!(r.metrics.deadline_hits >= 1, "{}", alg.name());
+        assert_certificate_valid(&r.answers, &r.completeness, &exact, alg.name());
+    }
+}
+
+#[test]
+fn generous_op_budget_is_exact_and_identical() {
+    let fx = Fixture::new(40);
+    let reference = fx.eval(&Algorithm::WhirlpoolS, &EvalOptions::top_k(5));
+    let mut options = EvalOptions::top_k(5);
+    options.max_server_ops = Some(u64::MAX);
+    let r = fx.eval(&Algorithm::WhirlpoolS, &options);
+    assert!(r.completeness.is_exact());
+    assert_eq!(r.metrics.deadline_hits, 0);
+    let got: Vec<_> = r.answers.iter().map(|a| (a.root, a.score)).collect();
+    let want: Vec<_> = reference
+        .answers
+        .iter()
+        .map(|a| (a.root, a.score))
+        .collect();
+    assert_eq!(got, want, "a non-binding budget changed the answers");
+}
+
+#[test]
+fn tight_deadline_still_returns() {
+    let fx = Fixture::new(60);
+    for alg in algorithms() {
+        let mut options = EvalOptions::top_k(5);
+        options.deadline = Some(Duration::ZERO);
+        let r = fx.eval(&alg, &options);
+        // An already-expired deadline: the run must return promptly and
+        // label itself honestly (seed-only answers may still surface).
+        assert!(
+            !r.completeness.is_exact() || r.answers.is_empty(),
+            "{}",
+            alg.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Budget monotonicity for the deterministic sequential engines:
+    /// growing the op budget never worsens the k-th score (once full)
+    /// or any root's score, and every prefix carries a valid
+    /// certificate against the exact answer.
+    #[test]
+    fn op_budgets_improve_monotonically(
+        items in 15usize..50,
+        k in 1usize..8,
+        small in 0u64..60,
+        extra in 1u64..200,
+        lockstep in any::<bool>(),
+    ) {
+        let fx = Fixture::new(items);
+        let alg = if lockstep { Algorithm::LockStep } else { Algorithm::WhirlpoolS };
+        let exact = fx.eval(&alg, &EvalOptions::top_k(k));
+        prop_assert!(exact.completeness.is_exact());
+
+        let run = |ops: u64| {
+            let mut options = EvalOptions::top_k(k);
+            options.max_server_ops = Some(ops);
+            fx.eval(&alg, &options)
+        };
+        let r1 = run(small);
+        let r2 = run(small + extra);
+
+        for r in [&r1, &r2] {
+            if let Completeness::Truncated { .. } = r.completeness {
+                assert_certificate_valid(&r.answers, &r.completeness, &exact.answers, alg.name());
+            }
+        }
+        // Per-root: a root surviving into both prefixes never loses score.
+        for a1 in &r1.answers {
+            if let Some(a2) = r2.answers.iter().find(|a| a.root == a1.root) {
+                prop_assert!(
+                    a2.score.value() + EPS >= a1.score.value(),
+                    "root {:?} got worse with a larger budget: {} -> {}",
+                    a1.root, a1.score.value(), a2.score.value()
+                );
+            }
+        }
+        // k-th score: once the small-budget set is full, the bigger
+        // budget's k-th entry is at least as good.
+        if r1.answers.len() == k {
+            prop_assert!(r2.answers.len() == k);
+            let kth1 = r1.answers[k - 1].score.value();
+            let kth2 = r2.answers[k - 1].score.value();
+            prop_assert!(kth2 + EPS >= kth1, "k-th score regressed: {kth1} -> {kth2}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Faults.
+
+#[test]
+fn panic_fault_is_isolated_in_whirlpool_m() {
+    let fx = Fixture::new(30);
+    let exact = fx
+        .eval(&Algorithm::WhirlpoolS, &EvalOptions::top_k(5))
+        .answers;
+    let mut options = EvalOptions::top_k(5);
+    options.fault_plan =
+        Some(FaultPlan::seeded(7).with(QNodeId(2), FaultKind::Panic { after_ops: 3 }));
+    let r = fx.eval(&Algorithm::WhirlpoolM { processors: None }, &options);
+    // The run returned at all: the panic neither aborted the process
+    // nor hung termination detection.
+    assert_eq!(r.metrics.servers_failed, 1, "exactly one server died");
+    assert!(
+        r.metrics.matches_redistributed > 0,
+        "the dead server's matches were rescued"
+    );
+    assert!(
+        !r.completeness.is_exact(),
+        "a lost server means the result cannot claim exactness"
+    );
+    assert_certificate_valid(&r.answers, &r.completeness, &exact, "whirlpool-m panic");
+    // Degradation keeps relaxed answers flowing: every item root is
+    // still reachable, so the prefix holds a full k answers.
+    assert_eq!(r.answers.len(), 5);
+}
+
+#[test]
+fn fail_fault_degrades_gracefully_in_every_engine() {
+    let fx = Fixture::new(30);
+    let exact = fx
+        .eval(&Algorithm::WhirlpoolS, &EvalOptions::top_k(5))
+        .answers;
+    for alg in algorithms() {
+        let mut options = EvalOptions::top_k(5);
+        options.fault_plan =
+            Some(FaultPlan::seeded(1).with(QNodeId(1), FaultKind::Fail { after_ops: 2 }));
+        let r = fx.eval(&alg, &options);
+        assert_eq!(r.metrics.servers_failed, 1, "{}", alg.name());
+        assert!(!r.completeness.is_exact(), "{}", alg.name());
+        assert_certificate_valid(&r.answers, &r.completeness, &exact, alg.name());
+    }
+}
+
+#[test]
+fn delay_fault_changes_timing_but_not_answers() {
+    let fx = Fixture::new(25);
+    let reference = fx.eval(&Algorithm::WhirlpoolS, &EvalOptions::top_k(5));
+    let mut options = EvalOptions::top_k(5);
+    options.fault_plan = Some(FaultPlan::seeded(3).with(
+        QNodeId(1),
+        FaultKind::Delay {
+            mean: Duration::from_micros(50),
+        },
+    ));
+    let r = fx.eval(&Algorithm::WhirlpoolS, &options);
+    assert!(r.completeness.is_exact(), "a slow server is not a dead one");
+    assert_eq!(r.metrics.servers_failed, 0);
+    let got: Vec<_> = r.answers.iter().map(|a| (a.root, a.score)).collect();
+    let want: Vec<_> = reference
+        .answers
+        .iter()
+        .map(|a| (a.root, a.score))
+        .collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn exact_mode_drops_rather_than_degrades() {
+    let fx = Fixture::new(30);
+    for alg in algorithms() {
+        let mut options = EvalOptions::top_k(5);
+        options.relax = whirlpool_core::RelaxMode::Exact;
+        options.fault_plan =
+            Some(FaultPlan::seeded(1).with(QNodeId(1), FaultKind::Fail { after_ops: 0 }));
+        let r = fx.eval(&alg, &options);
+        assert!(!r.completeness.is_exact(), "{}", alg.name());
+        // Exact semantics admit no null bindings: nothing is degraded.
+        assert_eq!(r.metrics.answers_degraded, 0, "{}", alg.name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Whirlpool-M under an arbitrary single-server fault always
+    /// terminates with a certified result: no hang, no abort, at most
+    /// one dead server, answers within the bound.
+    #[test]
+    fn whirlpool_m_survives_any_single_server_fault(
+        seed in 0u64..1000,
+        server in 1u8..4,
+        panics in any::<bool>(),
+        after_ops in 0u64..30,
+        k in 1usize..8,
+    ) {
+        let fx = Fixture::new(25);
+        let exact = fx.eval(&Algorithm::WhirlpoolS, &EvalOptions::top_k(k)).answers;
+        let kind = if panics {
+            FaultKind::Panic { after_ops }
+        } else {
+            FaultKind::Fail { after_ops }
+        };
+        let mut options = EvalOptions::top_k(k);
+        options.fault_plan = Some(FaultPlan::seeded(seed).with(QNodeId(server), kind));
+        let r = fx.eval(&Algorithm::WhirlpoolM { processors: None }, &options);
+        prop_assert!(r.metrics.servers_failed <= 1);
+        match r.completeness {
+            Completeness::Exact => {
+                // The faulted server died after the query had already
+                // drained — only possible if the fault never fired.
+                prop_assert!(r.metrics.servers_failed == 0);
+            }
+            Completeness::Truncated { .. } => {
+                assert_certificate_valid(&r.answers, &r.completeness, &exact, "fault prop");
+            }
+        }
+    }
+}

@@ -304,6 +304,24 @@ proptest! {
                 pooled.metrics.buffers_allocated,
                 unpooled.metrics.buffers_allocated
             );
+            // With no deadline, op budget, or fault plan configured the
+            // anytime layer must be invisible: both runs are exact and
+            // none of its counters ever move.
+            prop_assert!(
+                pooled.completeness.is_exact() && unpooled.completeness.is_exact(),
+                "idle robustness layer truncated a run ({})",
+                alg.name()
+            );
+            for run in [&pooled, &unpooled] {
+                prop_assert!(
+                    run.metrics.deadline_hits == 0
+                        && run.metrics.servers_failed == 0
+                        && run.metrics.matches_redistributed == 0
+                        && run.metrics.answers_degraded == 0,
+                    "idle robustness layer touched its counters ({})",
+                    alg.name()
+                );
+            }
         }
     }
 }
