@@ -1,7 +1,11 @@
-//! Performance snapshot for the hot-path allocation work: runs the
-//! Table-1 default configuration (Q2, 10 Mb document, k = 15) across
-//! all four engines with binding-buffer pooling on and off, and writes
-//! the medians plus allocation counters to `BENCH_core.json`.
+//! Performance snapshot: runs the Table-1 default configuration (Q2,
+//! 10 Mb document, k = 15) across all four engines with binding-buffer
+//! pooling on and off, and writes the medians plus allocation counters
+//! to `BENCH_core.json`. A third traced run per engine pins the cost of
+//! the observability layer (`BENCH_core.json`'s `trace_overhead`
+//! fields; the untraced rows are the ≤ 2 % regression anchor) and its
+//! aggregated event stream — score-progress curve, per-server latency
+//! histograms, phase times — goes to `BENCH_trace.json`.
 //!
 //! ```text
 //! cargo run --release -p whirlpool-bench --bin perfsnap
@@ -10,10 +14,11 @@
 //! ```
 //!
 //! `--smoke` shrinks the document and repetition count for CI and
-//! prints the JSON to stdout instead of writing a file; it still fails
+//! prints the JSON to stdout instead of writing files; it still fails
 //! (exit 1) if any pooled run disagrees with its unpooled twin.
 
 use std::io::Write as _;
+use whirlpool_bench::aggregate::TraceAggregate;
 use whirlpool_bench::{default_options, median, Workload};
 use whirlpool_core::{Algorithm, EvalOptions, EvalResult, MetricsSnapshot};
 use whirlpool_xmark::queries;
@@ -28,6 +33,12 @@ struct EngineRow {
     pooled: ConfigStats,
     unpooled: ConfigStats,
     answers_identical: bool,
+    /// Median wall time with event tracing on, and whether the traced
+    /// run returned the same answers (tracing must not perturb results).
+    traced_wall_ms: f64,
+    traced_identical: bool,
+    aggregate: TraceAggregate,
+    trace_events: usize,
 }
 
 fn run_config(
@@ -144,11 +155,15 @@ fn main() {
         pooling: false,
         ..default_options(k)
     };
+    let traced_options = EvalOptions {
+        trace: true,
+        ..default_options(k)
+    };
 
     let mut rows = Vec::new();
     for algorithm in &engines {
         eprintln!(
-            "perfsnap: {} ({} reps, pooled + unpooled)...",
+            "perfsnap: {} ({} reps, pooled + unpooled + traced)...",
             algorithm.name(),
             reps
         );
@@ -162,9 +177,16 @@ fn main() {
         );
         let (pooled, pooled_last) =
             run_config(&workload, &query, &model, algorithm, &pooled_options, reps);
+        let (traced, traced_last) =
+            run_config(&workload, &query, &model, algorithm, &traced_options, reps);
+        let trace = traced_last.trace.as_ref();
         rows.push(EngineRow {
             name: algorithm.name(),
             answers_identical: answer_key(&pooled_last) == answer_key(&unpooled_last),
+            traced_wall_ms: traced.wall_ms_median,
+            traced_identical: answer_key(&traced_last) == answer_key(&pooled_last),
+            aggregate: trace.map(TraceAggregate::from_trace).unwrap_or_default(),
+            trace_events: trace.map_or(0, |t| t.events.len()),
             pooled,
             unpooled,
         });
@@ -187,10 +209,23 @@ fn main() {
         json.push_str(&format!("      \"name\": \"{}\",\n", row.name));
         config_json(&mut json, "pooled", &row.pooled, true);
         config_json(&mut json, "unpooled", &row.unpooled, true);
+        let trace_overhead = if row.pooled.wall_ms_median > 0.0 {
+            row.traced_wall_ms / row.pooled.wall_ms_median - 1.0
+        } else {
+            0.0
+        };
         json.push_str(&format!(
             "      \"alloc_reduction\": {:.4},\n      \"wall_reduction\": {:.4},\n      \
-             \"answers_identical\": {}\n",
-            alloc_red, wall_red, row.answers_identical
+             \"answers_identical\": {},\n      \
+             \"trace_overhead\": {{\"traced_wall_ms\": {:.3}, \"overhead_frac\": {:.4}, \
+             \"events\": {}, \"answers_identical\": {}}}\n",
+            alloc_red,
+            wall_red,
+            row.answers_identical,
+            row.traced_wall_ms,
+            trace_overhead,
+            row.trace_events,
+            row.traced_identical,
         ));
         json.push_str(if i + 1 < rows.len() {
             "    },\n"
@@ -199,6 +234,26 @@ fn main() {
         });
     }
     json.push_str("  ]\n}\n");
+
+    // BENCH_trace.json: the aggregated event stream per engine —
+    // score-progress trajectory (threshold vs. server ops), per-server
+    // latency histograms, and phase wall time.
+    let mut trace_json = String::new();
+    trace_json.push_str("{\n");
+    trace_json.push_str(&format!(
+        "  \"meta\": {{\"query\": \"Q2\", \"doc_label\": \"{label}\", \"doc_bytes\": {bytes}, \
+         \"k\": {k}, \"progress_max_points\": 64}},\n"
+    ));
+    trace_json.push_str("  \"engines\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        trace_json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"aggregate\": ",
+            row.name
+        ));
+        row.aggregate.push_json(&mut trace_json, 64);
+        trace_json.push_str(if i + 1 < rows.len() { "},\n" } else { "}\n" });
+    }
+    trace_json.push_str("  ]\n}\n");
 
     for row in &rows {
         let alloc_red = reduction(
@@ -217,20 +272,43 @@ fn main() {
             row.pooled.metrics.pool_hit_rate(),
             row.answers_identical,
         );
+        eprintln!(
+            "perfsnap: {:16} traced {:8.2} ms ({:+.1}% vs untraced), {} events, \
+             answers identical: {}",
+            row.name,
+            row.traced_wall_ms,
+            if row.pooled.wall_ms_median > 0.0 {
+                (row.traced_wall_ms / row.pooled.wall_ms_median - 1.0) * 100.0
+            } else {
+                0.0
+            },
+            row.trace_events,
+            row.traced_identical,
+        );
     }
 
     if rows.iter().any(|r| !r.answers_identical) {
         eprintln!("perfsnap: FAIL — pooled and unpooled runs disagree");
         std::process::exit(1);
     }
+    if rows.iter().any(|r| !r.traced_identical) {
+        eprintln!("perfsnap: FAIL — tracing changed the answer set");
+        std::process::exit(1);
+    }
 
     if smoke {
         print!("{json}");
-        eprintln!("perfsnap: smoke OK (no file written)");
+        eprintln!("perfsnap: smoke OK (no files written)");
     } else {
         let mut file = std::fs::File::create(&out_path)
             .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
         file.write_all(json.as_bytes()).expect("write BENCH json");
         eprintln!("perfsnap: wrote {out_path}");
+        let trace_path = "BENCH_trace.json";
+        let mut file = std::fs::File::create(trace_path)
+            .unwrap_or_else(|e| panic!("cannot create {trace_path}: {e}"));
+        file.write_all(trace_json.as_bytes())
+            .expect("write BENCH trace json");
+        eprintln!("perfsnap: wrote {trace_path}");
     }
 }

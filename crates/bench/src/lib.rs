@@ -1,6 +1,19 @@
 //! Shared experiment harness for the paper-figure reproduction
-//! (`src/bin/repro.rs`) and the Criterion benches.
+//! (`src/bin/repro.rs`), the performance snapshot (`src/bin/perfsnap.rs`),
+//! and the Criterion benches.
+//!
+//! Three layers:
+//!
+//! * [`Workload`] / [`WorkloadCache`] — XMark-like documents with their
+//!   indexes, generated once per size and shared across experiments.
+//! * [`trace`] — instrumented engine loops that sample the pruning
+//!   threshold per operation (predates the structured event layer;
+//!   kept for its direct, re-implementable growth curves).
+//! * [`aggregate`] — post-processing over [`whirlpool_core::trace`]
+//!   event streams: per-server latency histograms, score-progress
+//!   curves, and phase timings, as emitted into `BENCH_trace.json`.
 
+pub mod aggregate;
 pub mod scoring;
 pub mod trace;
 
@@ -132,6 +145,7 @@ pub fn default_options(k: usize) -> EvalOptions {
         deadline: None,
         max_server_ops: None,
         fault_plan: None,
+        trace: false,
     }
 }
 

@@ -27,6 +27,7 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
             "max-ops",
             "fault",
             "fault-seed",
+            "trace-out",
         ],
     )?;
     let file = parsed.positional(0, "file.xml")?.to_string();
@@ -90,6 +91,16 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
         })
         .transpose()?;
 
+    let trace_out = parsed.value("trace-out").map(str::to_string);
+    let explain = parsed.flag("explain");
+    if (trace_out.is_some() || explain) && !whirlpool_core::trace::tracing_compiled() {
+        return Err(CliError::Usage(
+            "--trace-out/--explain need the `trace` cargo feature (build without \
+             --no-default-features)"
+                .to_string(),
+        ));
+    }
+
     let options = EvalOptions {
         k: parsed.number("k", 10)?,
         relax: if parsed.flag("exact") {
@@ -106,11 +117,22 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
         deadline,
         max_server_ops,
         fault_plan,
+        trace: trace_out.is_some() || explain,
     };
 
     let result = evaluate(&doc, &index, &query, &model, &algorithm, &options);
 
+    if let (Some(path), Some(trace)) = (&trace_out, &result.trace) {
+        let mut file = std::fs::File::create(path)
+            .map_err(|e| CliError::Usage(format!("--trace-out {path}: {e}")))?;
+        trace
+            .write_chrome_trace(&mut file)
+            .map_err(|e| CliError::Usage(format!("--trace-out {path}: {e}")))?;
+    }
+
     if parsed.flag("json") {
+        // --explain is a human-readable view; it is skipped in JSON
+        // mode so the output stays machine-parseable.
         return write_json(out, &doc, &query, &algorithm, &result);
     }
 
@@ -178,6 +200,109 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
             result.metrics.buffers_allocated,
             result.metrics.buffers_reused,
             result.metrics.pool_hit_rate() * 100.0
+        )?;
+    }
+    if explain {
+        if let Some(trace) = &result.trace {
+            write_explain(out, trace)?;
+        }
+    }
+    Ok(())
+}
+
+/// Renders the `--explain` view: where the router sent matches and
+/// why, how pruning went, and how the threshold grew.
+fn write_explain(out: &mut dyn Write, trace: &whirlpool_core::TraceData) -> Result<(), CliError> {
+    let s = trace.summary();
+    writeln!(out, "explain:")?;
+    writeln!(
+        out,
+        "  matches:   {} spawned = {} consumed + {} pruned + {} completed + {} abandoned{}",
+        s.spawned,
+        s.consumed,
+        s.pruned,
+        s.completed,
+        s.abandoned,
+        if s.balanced() { "" } else { "  (UNBALANCED)" }
+    )?;
+    if s.degraded_completions > 0 {
+        writeln!(
+            out,
+            "  degraded:  {} answers completed past dead servers",
+            s.degraded_completions
+        )?;
+    }
+    writeln!(out, "  routing:   {} decisions", s.routed)?;
+    for (server, st) in &s.per_server {
+        writeln!(
+            out,
+            "    q{}: {} matches routed here, {} ops ({} extensions, mean {:.1}µs, max {}µs)",
+            server.0,
+            st.routed_to,
+            st.ops,
+            st.produced,
+            st.mean_us(),
+            st.max_us
+        )?;
+    }
+    match (s.thresholds.first(), s.thresholds.last()) {
+        (Some((_, first)), Some((_, last))) => {
+            writeln!(
+                out,
+                "  threshold: {first:.4} -> {last:.4} over {} samples",
+                s.thresholds.len()
+            )?;
+        }
+        _ => writeln!(out, "  threshold: never sampled (no server operations)")?,
+    }
+    // A few concrete decisions, first and last, to show the adaptive
+    // choice and what the alternatives scored.
+    let explains: Vec<_> = trace.explains().collect();
+    let shown: Vec<usize> = if explains.len() <= 4 {
+        (0..explains.len()).collect()
+    } else {
+        vec![0, 1, explains.len() - 2, explains.len() - 1]
+    };
+    let mut last_printed = None;
+    for i in shown {
+        if last_printed == Some(i) {
+            continue;
+        }
+        if let Some(prev) = last_printed {
+            if i > prev + 1 {
+                writeln!(out, "    ...")?;
+            }
+        }
+        last_printed = Some(i);
+        let x = explains[i];
+        let chosen = match x.chosen {
+            Some(q) => format!("q{}", q.0),
+            None => "none (all dead)".to_string(),
+        };
+        let mut cands = String::new();
+        for c in &x.candidates {
+            if !cands.is_empty() {
+                cands.push_str(", ");
+            }
+            cands.push_str(&format!(
+                "q{}={:.3}{}",
+                c.server.0,
+                c.estimate,
+                if c.eligible { "" } else { " (dead)" }
+            ));
+        }
+        writeln!(
+            out,
+            "    match #{}: {} -> {chosen}  [{cands}] threshold {:.4}, queue {}{}",
+            x.seq,
+            x.strategy,
+            x.threshold,
+            x.queue_len,
+            if x.group > 1 {
+                format!(", group of {}", x.group)
+            } else {
+                String::new()
+            }
         )?;
     }
     Ok(())

@@ -74,6 +74,12 @@ QUERY OPTIONS:
                      (kinds: panic@OPS | fail@OPS | delay@MICROS;
                      comma-separate to fault several servers)
   --fault-seed S     RNG seed for injected delays (default 0)
+  --trace-out FILE   record a structured event trace and write it as
+                     Chrome trace-event JSON (open in Perfetto or
+                     chrome://tracing)
+  --explain          print a routing/pruning summary: where matches
+                     went, what the alternatives scored, how the
+                     threshold grew
 
 GENERATE OPTIONS:
   --mb N             approximate serialized megabytes (default 1)

@@ -82,6 +82,12 @@ pub struct EvalOptions {
     /// Injected faults for robustness testing (`None`: the fault layer
     /// is compiled out of the hot path behind a single branch).
     pub fault_plan: Option<FaultPlan>,
+    /// Record a structured event trace of the run (see
+    /// [`trace`](crate::trace)) and return it on
+    /// [`EvalResult::trace`]. Off by default; when off, every emit
+    /// site in the engines is one inlined branch. Ignored (the trace
+    /// comes back empty) when the `trace` cargo feature is disabled.
+    pub trace: bool,
 }
 
 impl EvalOptions {
@@ -100,6 +106,7 @@ impl EvalOptions {
             deadline: None,
             max_server_ops: None,
             fault_plan: None,
+            trace: false,
         }
     }
 }
@@ -118,6 +125,8 @@ pub struct EvalResult {
     /// Wall-clock time of the evaluation proper (excludes index and
     /// model construction).
     pub elapsed: Duration,
+    /// The structured event trace, when [`EvalOptions::trace`] was set.
+    pub trace: Option<crate::trace::TraceData>,
 }
 
 /// Evaluates `pattern` over `doc` with the chosen engine.
@@ -180,11 +189,15 @@ pub fn evaluate_with_context(
     };
 
     // The budget's clock starts here, with the evaluation proper.
-    let control = RunControl::new(
+    let mut control = RunControl::new(
         Budget::new(options.deadline, options.max_server_ops),
         options.fault_plan.as_ref(),
         ctx.pattern.len(),
     );
+    let tracer = options.trace.then(crate::trace::Tracer::new);
+    if let Some(t) = &tracer {
+        control = control.with_tracer(t.clone());
+    }
 
     let start = Instant::now();
     let run = match algorithm {
@@ -221,6 +234,7 @@ pub fn evaluate_with_context(
         completeness: run.completeness,
         metrics: ctx.metrics.snapshot(),
         elapsed,
+        trace: tracer.map(|t| t.finish()),
     }
 }
 

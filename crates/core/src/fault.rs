@@ -239,20 +239,22 @@ impl Budget {
     }
 }
 
-/// Everything an engine consults while running: the budget and the
-/// instantiated fault state. `Sync`, shared by reference across the
-/// Whirlpool-M threads.
+/// Everything an engine consults while running: the budget, the
+/// instantiated fault state, and the (optional) tracer. `Sync`, shared
+/// by reference across the Whirlpool-M threads.
 pub struct RunControl {
     budget: Budget,
     faults: Option<FaultState>,
+    tracer: Option<crate::trace::Tracer>,
 }
 
 impl RunControl {
-    /// No budget, no faults — the zero-overhead default.
+    /// No budget, no faults, no tracer — the zero-overhead default.
     pub fn unlimited() -> Self {
         RunControl {
             budget: Budget::unlimited(),
             faults: None,
+            tracer: None,
         }
     }
 
@@ -262,6 +264,31 @@ impl RunControl {
         RunControl {
             budget,
             faults: plan.map(|p| FaultState::new(p, query_len)),
+            tracer: None,
+        }
+    }
+
+    /// Attaches a tracer: every engine running under this control
+    /// records its event stream into it.
+    pub fn with_tracer(mut self, tracer: crate::trace::Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Is a tracer attached (and tracing compiled in)? Engines use this
+    /// to skip building worker names for handles that would be
+    /// disabled anyway.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        crate::trace::tracing_compiled() && self.tracer.is_some()
+    }
+
+    /// Opens a per-worker recording handle: disabled (every emit is an
+    /// inlined no-op branch) unless a tracer is attached.
+    pub fn trace_worker(&self, name: &str) -> crate::trace::WorkerTrace {
+        match &self.tracer {
+            Some(t) => t.worker(name),
+            None => crate::trace::WorkerTrace::disabled(),
         }
     }
 

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # Whirlpool — adaptive top-k query processing for XML
 //!
@@ -71,6 +71,7 @@ mod queue;
 mod router;
 pub mod threshold;
 mod topk;
+pub mod trace;
 mod util;
 pub mod vtime;
 mod whirlpool_m;
@@ -90,5 +91,6 @@ pub use queue::{MatchQueue, QueuePolicy};
 pub use router::RoutingStrategy;
 pub use threshold::run_threshold;
 pub use topk::{answers_equivalent, RankedAnswer, TopKSet};
+pub use trace::{TraceData, TraceSummary, Tracer, WorkerTrace};
 pub use whirlpool_m::{run_whirlpool_m, run_whirlpool_m_anytime, WhirlpoolMConfig};
 pub use whirlpool_s::{run_whirlpool_s, run_whirlpool_s_anytime, run_whirlpool_s_batched};

@@ -49,14 +49,26 @@ pub fn run_lockstep_anytime(
     let trunc = Truncation::new();
     let mut topk = TopKSet::new(k);
     let mut pool = ctx.new_pool();
+    let mut tr = control.trace_worker("lockstep");
+    tr.span_begin("seed");
     let mut frontier = ctx.make_root_matches();
-    if offer_partial {
-        for m in &frontier {
+    for m in &frontier {
+        tr.spawned(m);
+        if offer_partial {
             topk.offer_match(m);
         }
+        if m.is_complete(full) {
+            // Single-node patterns: the root match is already an
+            // answer and no stage will ever consume it.
+            tr.completed(m);
+        }
     }
+    tr.span_end("seed");
 
     'stages: for &server in plan.order() {
+        if tr.enabled() {
+            tr.span_begin(&format!("stage q{}", server.0));
+        }
         // Best-first within the stage: sort descending by the policy key
         // (ties by seq ascending, matching MatchQueue).
         let mut keyed: Vec<(whirlpool_score::Score, PartialMatch)> = frontier
@@ -79,23 +91,35 @@ pub fn run_lockstep_anytime(
                     .chain(next.drain(..))
                 {
                     trunc.account(m.max_final);
+                    if !m.is_complete(full) {
+                        // Complete matches already reached their
+                        // `completed` trace terminal when offered.
+                        tr.abandoned(&m);
+                    }
                     pool.release(m);
+                }
+                if tr.enabled() {
+                    tr.span_end(&format!("stage q{}", server.0));
                 }
                 break 'stages;
             }
             if topk.should_prune(&m) {
                 ctx.metrics.add_pruned();
+                tr.pruned(&m, topk.threshold());
                 pool.release(m);
                 continue;
             }
             exts.clear();
+            let t0 = tr.op_start();
             if guarded_process(ctx, control, &trunc, server, &m, &mut exts, &mut pool) {
+                tr.server_op(server, m.seq, exts.len(), t0);
                 pool.release(m);
             } else {
                 // The stage's server is dead. Relaxed mode degrades the
                 // match past it (null binding, leaf-deletion score);
                 // exact mode can only drop it and record its bound.
                 trunc.account(m.max_final);
+                tr.abandoned(&m);
                 if offer_partial {
                     let e = ctx.degrade_at_server(server, &m, &mut pool);
                     ctx.metrics.add_match_redistributed();
@@ -104,12 +128,21 @@ pub fn run_lockstep_anytime(
                 pool.release(m);
             }
             for e in exts.drain(..) {
+                tr.spawned(&e);
                 let complete = e.is_complete(full);
                 if offer_partial || complete {
                     topk.offer_match(&e);
                 }
                 if complete && e.degraded {
                     ctx.metrics.add_answer_degraded();
+                }
+                if complete {
+                    tr.completed(&e);
+                } else if topk.should_prune(&e) {
+                    // Trace terminal states are exclusive: a complete
+                    // match's terminal is `completed` even if the
+                    // engine also discards it against the threshold.
+                    tr.pruned(&e, topk.threshold());
                 }
                 if topk.should_prune(&e) {
                     ctx.metrics.add_pruned();
@@ -118,8 +151,15 @@ pub fn run_lockstep_anytime(
                 }
                 next.push(e);
             }
+            if tr.enabled() {
+                tr.threshold(topk.threshold());
+            }
         }
         frontier = next;
+        if tr.enabled() {
+            tr.span_end(&format!("stage q{}", server.0));
+            tr.queue_depth(crate::trace::QueueId::Router, frontier.len());
+        }
     }
 
     // In exact mode the surviving frontier holds the complete matches
@@ -168,9 +208,17 @@ pub fn run_lockstep_noprune_anytime(
     let trunc = Truncation::new();
     let mut topk = TopKSet::new(k);
     let mut pool = ctx.new_pool();
+    let mut tr = control.trace_worker("lockstep-noprune");
     let mut frontier: Vec<PartialMatch> = Vec::new();
     let mut next = Vec::new();
-    let mut roots = ctx.make_root_matches().into_iter();
+    tr.span_begin("seed");
+    let root_matches = ctx.make_root_matches();
+    for m in &root_matches {
+        tr.spawned(m);
+    }
+    tr.span_end("seed");
+    tr.span_begin("evaluate");
+    let mut roots = root_matches.into_iter();
     'roots: while let Some(root_match) = roots.next() {
         frontier.clear();
         frontier.push(root_match);
@@ -188,14 +236,22 @@ pub fn run_lockstep_noprune_anytime(
                         .chain(roots)
                     {
                         trunc.account(m.max_final);
+                        // Unlike the pruning variant, completes here
+                        // have not been offered yet: abandonment is
+                        // their one trace terminal.
+                        tr.abandoned(&m);
                         pool.release(m);
                     }
                     break 'roots;
                 }
+                let before = next.len();
+                let t0 = tr.op_start();
                 if guarded_process(ctx, control, &trunc, server, &m, &mut next, &mut pool) {
+                    tr.server_op(server, m.seq, next.len() - before, t0);
                     pool.release(m);
                 } else {
                     trunc.account(m.max_final);
+                    tr.abandoned(&m);
                     if offer_partial {
                         let e = ctx.degrade_at_server(server, &m, &mut pool);
                         ctx.metrics.add_match_redistributed();
@@ -203,18 +259,25 @@ pub fn run_lockstep_noprune_anytime(
                     }
                     pool.release(m);
                 }
+                if tr.enabled() {
+                    for e in &next[before.min(next.len())..] {
+                        tr.spawned(e);
+                    }
+                }
             }
             std::mem::swap(&mut frontier, &mut next);
         }
         for m in frontier.drain(..) {
             debug_assert!(m.is_complete(full));
             topk.offer_match(&m);
+            tr.completed(&m);
             if m.degraded {
                 ctx.metrics.add_answer_degraded();
             }
             pool.release(m);
         }
     }
+    tr.span_end("evaluate");
     let answers = topk.ranked();
     let completeness = trunc.finish(&answers);
     EngineRun {

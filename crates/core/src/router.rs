@@ -84,6 +84,45 @@ impl RoutingStrategy {
         }
     }
 
+    /// Scores every unvisited server of `m` the way
+    /// [`try_choose`](RoutingStrategy::try_choose) would, without
+    /// choosing (or counting a routing decision). This is the router's
+    /// *explain* record: the observability layer captures it alongside
+    /// each traced decision so a trace shows not just where a match
+    /// went but what the alternatives scored. For the score-based
+    /// strategies the estimate is the expected contribution, for
+    /// `min_alive_partial_matches` the expected number of surviving
+    /// extensions, and for `static` the server's plan position.
+    pub fn explain(
+        &self,
+        ctx: &QueryContext<'_>,
+        m: &PartialMatch,
+        threshold: Score,
+        eligible: impl Fn(QNodeId) -> bool,
+    ) -> Vec<crate::trace::RouteCandidate> {
+        m.unvisited(ctx.pattern.len())
+            .map(|s| {
+                let estimate = match self {
+                    RoutingStrategy::Static(plan) => plan
+                        .order()
+                        .iter()
+                        .position(|&p| p == s)
+                        .map(|i| i as f64)
+                        .unwrap_or(f64::MAX),
+                    RoutingStrategy::MaxScore | RoutingStrategy::MinScore => {
+                        expected_contribution(ctx, s)
+                    }
+                    RoutingStrategy::MinAlive => estimated_alive(ctx, m, s, threshold),
+                };
+                crate::trace::RouteCandidate {
+                    server: s,
+                    estimate,
+                    eligible: eligible(s),
+                }
+            })
+            .collect()
+    }
+
     fn pick(
         &self,
         ctx: &QueryContext<'_>,

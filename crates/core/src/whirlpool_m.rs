@@ -134,6 +134,12 @@ impl SharedQueue {
         rescued
     }
 
+    /// Current queue depth (takes the lock; used only by the tracing
+    /// layer when it samples queue depths).
+    fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
     /// Wakes every waiter. Must acquire the queue lock first: a waiter
     /// that has checked the `done` flag (false) but not yet parked holds
     /// the lock, and notifying without it would be a *lost wakeup* —
@@ -185,8 +191,8 @@ impl Shared<'_, '_> {
 }
 
 /// Runs Whirlpool-M: one thread per server, one router thread, with the
-/// calling thread acting as the paper's "main thread [that] checks for
-/// termination".
+/// calling thread acting as the paper's "main thread \[that\] checks
+/// for termination".
 pub fn run_whirlpool_m(
     ctx: &QueryContext<'_>,
     routing: &RoutingStrategy,
@@ -231,20 +237,27 @@ pub fn run_whirlpool_m_anytime(
     };
 
     // Seed the router queue with the root server's output.
+    let mut seed_tr = control.trace_worker("main");
+    seed_tr.span_begin("seed");
     let mut seeded = 0i64;
     {
         let mut topk = shared.topk.lock();
         for m in ctx.make_root_matches() {
+            seed_tr.spawned(&m);
             let complete = m.is_complete(full_mask);
             if offer_partial || complete {
                 topk.offer_match(&m);
             }
-            if !complete {
+            if complete {
+                seed_tr.completed(&m);
+            } else {
                 push_to_router(&shared, m);
                 seeded += 1;
             }
         }
     }
+    seed_tr.span_end("seed");
+    drop(seed_tr);
     if seeded == 0 {
         return EngineRun::exact(shared.topk.into_inner().ranked());
     }
@@ -294,11 +307,13 @@ fn drain_expired(
     trunc: &Truncation,
     m: PartialMatch,
     pool: &mut crate::pool::MatchPool<'_>,
+    tr: &mut crate::trace::WorkerTrace,
 ) {
     if trunc.expire() {
         shared.ctx.metrics.add_deadline_hit();
     }
     trunc.account(m.max_final);
+    tr.abandoned(&m);
     pool.release(m);
     shared.adjust_in_flight(-1);
 }
@@ -313,18 +328,39 @@ fn router_loop(
     // The router only needs a pool on the degraded paths; it is idle
     // (and allocates nothing) in fault-free runs.
     let mut pool = ctx.new_pool();
+    let mut tr = control.trace_worker("router");
+    tr.span_begin("route");
     while let Some(m) = shared.router_queue.pop_wait(&shared.done) {
         if trunc.is_expired() || control.exhausted(&ctx.metrics) {
-            drain_expired(shared, trunc, m, &mut pool);
+            drain_expired(shared, trunc, m, &mut pool, &mut tr);
             continue;
         }
         let threshold = shared.topk.lock().threshold();
+        if tr.enabled() {
+            tr.queue_depth(crate::trace::QueueId::Router, shared.router_queue.len());
+        }
         let mut m = m;
         loop {
+            let candidates = if tr.enabled() {
+                routing.explain(ctx, &m, threshold, |s| !control.is_dead(s))
+            } else {
+                Vec::new()
+            };
             let choice = routing.try_choose(ctx, &m, threshold, |s| !control.is_dead(s));
+            if tr.enabled() {
+                tr.routed(crate::trace::RouteExplain {
+                    seq: m.seq,
+                    strategy: routing.name(),
+                    threshold: threshold.value(),
+                    queue_len: shared.router_queue.len(),
+                    group: 1,
+                    chosen: choice,
+                    candidates,
+                });
+            }
             let Some(server) = choice else {
                 // Every remaining server for this match is dead.
-                finish_unroutable(shared, trunc, m, &mut pool);
+                finish_unroutable(shared, trunc, m, &mut pool, &mut tr);
                 break;
             };
             match shared.server_queue(server).push(ctx, m) {
@@ -339,6 +375,7 @@ fn router_loop(
             }
         }
     }
+    tr.span_end("route");
 }
 
 /// Completes a match none of whose remaining servers is alive: relaxed
@@ -349,13 +386,17 @@ fn finish_unroutable(
     trunc: &Truncation,
     m: PartialMatch,
     pool: &mut crate::pool::MatchPool<'_>,
+    tr: &mut crate::trace::WorkerTrace,
 ) {
     let ctx = shared.ctx;
     trunc.account(m.max_final);
+    tr.abandoned(&m);
     if shared.offer_partial {
         ctx.metrics.add_match_redistributed();
         let done = crate::fault::degrade_to_completion(ctx, m, pool);
+        tr.spawned(&done);
         shared.topk.lock().offer_match(&done);
+        tr.completed(&done);
         ctx.metrics.add_answer_degraded();
         pool.release(done);
     } else {
@@ -374,9 +415,11 @@ fn handle_dead_server_match(
     server: QNodeId,
     m: PartialMatch,
     pool: &mut crate::pool::MatchPool<'_>,
+    tr: &mut crate::trace::WorkerTrace,
 ) {
     let ctx = shared.ctx;
     trunc.account(m.max_final);
+    tr.abandoned(&m);
     if !shared.offer_partial {
         pool.release(m);
         shared.adjust_in_flight(-1);
@@ -385,18 +428,20 @@ fn handle_dead_server_match(
     let e = ctx.degrade_at_server(server, &m, pool);
     ctx.metrics.add_match_redistributed();
     pool.release(m);
+    tr.spawned(&e);
     let complete = e.is_complete(shared.full_mask);
-    let keep = {
+    let (keep, threshold) = {
         let mut topk = shared.topk.lock();
         topk.offer_match(&e);
-        if complete {
+        let keep = if complete {
             false
         } else if topk.should_prune(&e) {
             ctx.metrics.add_pruned();
             false
         } else {
             true
-        }
+        };
+        (keep, topk.threshold())
     };
     if keep {
         // The rescued match stays in flight: net count change is zero.
@@ -404,6 +449,9 @@ fn handle_dead_server_match(
     } else {
         if complete {
             ctx.metrics.add_answer_degraded();
+            tr.completed(&e);
+        } else {
+            tr.pruned(&e, threshold);
         }
         pool.release(e);
         shared.adjust_in_flight(-1);
@@ -418,19 +466,38 @@ fn server_loop(shared: &Shared<'_, '_>, server: QNodeId, control: &RunControl, t
     let mut pool = ctx.new_pool();
     let mut exts = Vec::new();
     let mut survivors = Vec::new();
+    let mut tr = if control.tracing() {
+        control.trace_worker(&format!("server q{}", server.0))
+    } else {
+        crate::trace::WorkerTrace::disabled()
+    };
+    tr.span_begin("serve");
     while let Some(m) = shared.server_queue(server).pop_wait(&shared.done) {
         if trunc.is_expired() || control.exhausted(&ctx.metrics) {
-            drain_expired(shared, trunc, m, &mut pool);
+            drain_expired(shared, trunc, m, &mut pool, &mut tr);
             continue;
         }
-        if shared.topk.lock().should_prune(&m) {
-            ctx.metrics.add_pruned();
-            pool.release(m);
-            shared.adjust_in_flight(-1);
-            continue;
+        if tr.enabled() {
+            tr.queue_depth(
+                crate::trace::QueueId::Server(server),
+                shared.server_queue(server).len(),
+            );
+        }
+        {
+            let topk = shared.topk.lock();
+            if topk.should_prune(&m) {
+                let threshold = topk.threshold();
+                drop(topk);
+                ctx.metrics.add_pruned();
+                tr.pruned(&m, threshold);
+                pool.release(m);
+                shared.adjust_in_flight(-1);
+                continue;
+            }
         }
 
         exts.clear();
+        let t0 = tr.op_start();
         let ran = {
             // The processor budget covers the join work itself.
             let _permit = shared.sem.as_ref().map(Semaphore::acquire);
@@ -441,23 +508,27 @@ fn server_loop(shared: &Shared<'_, '_>, server: QNodeId, control: &RunControl, t
             // Close its queue, rescue everything queued — including the
             // match in hand — and let this worker retire; sibling
             // workers wake on the closed queue and retire too.
-            handle_dead_server_match(shared, trunc, server, m, &mut pool);
+            handle_dead_server_match(shared, trunc, server, m, &mut pool, &mut tr);
             for rescued in shared.server_queue(server).close_and_drain() {
-                handle_dead_server_match(shared, trunc, server, rescued, &mut pool);
+                handle_dead_server_match(shared, trunc, server, rescued, &mut pool, &mut tr);
             }
+            tr.span_end("serve");
             return;
         }
+        tr.server_op(server, m.seq, exts.len(), t0);
         pool.release(m);
 
         let mut kept = 0i64;
         {
             let mut topk = shared.topk.lock();
             for e in exts.drain(..) {
+                tr.spawned(&e);
                 let complete = e.is_complete(shared.full_mask);
                 if shared.offer_partial || complete {
                     topk.offer_match(&e);
                 }
                 if complete {
+                    tr.completed(&e);
                     if e.degraded {
                         ctx.metrics.add_answer_degraded();
                     }
@@ -466,10 +537,14 @@ fn server_loop(shared: &Shared<'_, '_>, server: QNodeId, control: &RunControl, t
                 }
                 if topk.should_prune(&e) {
                     ctx.metrics.add_pruned();
+                    tr.pruned(&e, topk.threshold());
                     pool.release(e);
                     continue;
                 }
                 survivors.push(e);
+            }
+            if tr.enabled() {
+                tr.threshold(topk.threshold());
             }
         }
         for e in survivors.drain(..) {
@@ -478,6 +553,7 @@ fn server_loop(shared: &Shared<'_, '_>, server: QNodeId, control: &RunControl, t
         }
         shared.adjust_in_flight(kept - 1);
     }
+    tr.span_end("serve");
 }
 
 #[cfg(test)]

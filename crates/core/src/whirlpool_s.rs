@@ -72,19 +72,25 @@ pub fn run_whirlpool_s_anytime(
     let mut topk = TopKSet::new(k);
     let mut pool = ctx.new_pool();
     let mut queue = MatchQueue::new(queue_policy, None);
+    let mut tr = control.trace_worker("whirlpool-s");
 
+    tr.span_begin("seed");
     for m in ctx.make_root_matches() {
+        tr.spawned(&m);
         let complete = m.is_complete(full); // single-node patterns
         if offer_partial || complete {
             topk.offer_match(&m);
         }
         if complete {
+            tr.completed(&m);
             pool.release(m);
         } else {
             queue.push(ctx, m);
         }
     }
+    tr.span_end("seed");
 
+    tr.span_begin("route-and-process");
     let mut exts = Vec::new();
     let mut group = Vec::new();
     let mut put_back = Vec::new();
@@ -94,9 +100,11 @@ pub fn run_whirlpool_s_anytime(
                 ctx.metrics.add_deadline_hit();
             }
             trunc.account(m.max_final);
+            tr.abandoned(&m);
             pool.release(m);
             while let Some(x) = queue.pop() {
                 trunc.account(x.max_final);
+                tr.abandoned(&x);
                 pool.release(x);
             }
             break;
@@ -105,6 +113,7 @@ pub fn run_whirlpool_s_anytime(
         // match was queued.
         if topk.should_prune(&m) {
             ctx.metrics.add_pruned();
+            tr.pruned(&m, topk.threshold());
             pool.release(m);
             continue;
         }
@@ -119,6 +128,7 @@ pub fn run_whirlpool_s_anytime(
             let Some(x) = queue.pop() else { break };
             if topk.should_prune(&x) {
                 ctx.metrics.add_pruned();
+                tr.pruned(&x, topk.threshold());
                 pool.release(x);
                 continue;
             }
@@ -132,16 +142,36 @@ pub fn run_whirlpool_s_anytime(
             queue.push(ctx, x);
         }
 
-        let choice = routing.try_choose(ctx, &group[0], topk.threshold(), |s| !control.is_dead(s));
+        let threshold = topk.threshold();
+        let candidates = if tr.enabled() {
+            routing.explain(ctx, &group[0], threshold, |s| !control.is_dead(s))
+        } else {
+            Vec::new()
+        };
+        let choice = routing.try_choose(ctx, &group[0], threshold, |s| !control.is_dead(s));
+        if tr.enabled() {
+            tr.routed(crate::trace::RouteExplain {
+                seq: group[0].seq,
+                strategy: routing.name(),
+                threshold: threshold.value(),
+                queue_len: queue.len(),
+                group: group.len(),
+                chosen: choice,
+                candidates,
+            });
+        }
         let Some(server) = choice else {
             // Every remaining server is dead: finish the group through
             // degradation, or drop it in exact mode.
             for m in group.drain(..) {
                 trunc.account(m.max_final);
+                tr.abandoned(&m);
                 if offer_partial {
                     ctx.metrics.add_match_redistributed();
                     let done = degrade_to_completion(ctx, m, &mut pool);
+                    tr.spawned(&done);
                     topk.offer_match(&done);
+                    tr.completed(&done);
                     ctx.metrics.add_answer_degraded();
                     pool.release(done);
                 } else {
@@ -152,6 +182,7 @@ pub fn run_whirlpool_s_anytime(
         };
         for m in group.drain(..) {
             exts.clear();
+            let t0 = tr.op_start();
             if !guarded_process(ctx, control, &trunc, server, &m, &mut exts, &mut pool) {
                 // The chosen server died under us: requeue the match so
                 // the next pop re-routes it among the survivors.
@@ -159,13 +190,16 @@ pub fn run_whirlpool_s_anytime(
                 queue.push(ctx, m);
                 continue;
             }
+            tr.server_op(server, m.seq, exts.len(), t0);
             pool.release(m);
             for e in exts.drain(..) {
+                tr.spawned(&e);
                 let complete = e.is_complete(full);
                 if offer_partial || complete {
                     topk.offer_match(&e);
                 }
                 if complete {
+                    tr.completed(&e);
                     if e.degraded {
                         ctx.metrics.add_answer_degraded();
                     }
@@ -174,13 +208,19 @@ pub fn run_whirlpool_s_anytime(
                 }
                 if topk.should_prune(&e) {
                     ctx.metrics.add_pruned();
+                    tr.pruned(&e, topk.threshold());
                     pool.release(e);
                     continue;
                 }
                 queue.push(ctx, e);
             }
         }
+        if tr.enabled() {
+            tr.threshold(topk.threshold());
+            tr.queue_depth(crate::trace::QueueId::Router, queue.len());
+        }
     }
+    tr.span_end("route-and-process");
 
     let answers = topk.ranked();
     let completeness = trunc.finish(&answers);
