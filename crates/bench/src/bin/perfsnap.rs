@@ -15,7 +15,14 @@
 //!
 //! `--smoke` shrinks the document and repetition count for CI and
 //! prints the JSON to stdout instead of writing files; it still fails
-//! (exit 1) if any pooled run disagrees with its unpooled twin.
+//! (exit 1) if any pooled run disagrees with its unpooled twin, and it
+//! additionally gates the pooled path's performance: Whirlpool-M's
+//! pooled median must not exceed its unpooled median by more than 5 %
+//! (the sharded-pool regression guard).
+//!
+//! A `scaling` section sweeps Whirlpool-M's processor cap (1, 2, 4,
+//! unbounded) at the pooled defaults so the snapshot records how the
+//! engine behaves as simulated cores are added.
 
 use std::io::Write as _;
 use whirlpool_bench::aggregate::TraceAggregate;
@@ -116,7 +123,7 @@ fn main() {
     let reps: usize = match value_of("--reps") {
         None => {
             if smoke {
-                2
+                3
             } else {
                 5
             }
@@ -192,6 +199,36 @@ fn main() {
         });
     }
 
+    // Processor-count sweep: Whirlpool-M at the pooled defaults with
+    // the semaphore cap at 1, 2, 4, and unbounded. Every config must
+    // return the reference answer set; the snapshot records how wall
+    // time responds to added (simulated) cores.
+    let reference_key = answer_key(&{
+        let (_, last) = run_config(
+            &workload,
+            &query,
+            &model,
+            &Algorithm::LockStepNoPrune,
+            &pooled_options,
+            1,
+        );
+        last
+    });
+    let mut scaling = Vec::new();
+    for processors in [Some(1usize), Some(2), Some(4), None] {
+        let label = processors.map_or("unbounded".to_string(), |p| p.to_string());
+        eprintln!("perfsnap: Whirlpool-M scaling, processors = {label} ({reps} reps)...");
+        let (stats, last) = run_config(
+            &workload,
+            &query,
+            &model,
+            &Algorithm::WhirlpoolM { processors },
+            &pooled_options,
+            reps,
+        );
+        scaling.push((processors, stats, answer_key(&last) == reference_key));
+    }
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!(
@@ -233,7 +270,20 @@ fn main() {
             "    }\n"
         });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"scaling\": {\"engine\": \"Whirlpool-M\", \"configs\": [\n");
+    for (i, (processors, stats, identical)) in scaling.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"processors\": {}, \"wall_ms_median\": {:.3}, \"server_ops\": {}, \
+             \"answers_identical\": {}}}{}\n",
+            processors.map_or("null".to_string(), |p| p.to_string()),
+            stats.wall_ms_median,
+            stats.metrics.server_ops,
+            identical,
+            if i + 1 < scaling.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]}\n}\n");
 
     // BENCH_trace.json: the aggregated event stream per engine —
     // score-progress trajectory (threshold vs. server ops), per-server
@@ -246,9 +296,14 @@ fn main() {
     ));
     trace_json.push_str("  \"engines\": [\n");
     for (i, row) in rows.iter().enumerate() {
+        let overhead_frac = if row.pooled.wall_ms_median > 0.0 {
+            row.traced_wall_ms / row.pooled.wall_ms_median - 1.0
+        } else {
+            0.0
+        };
         trace_json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"aggregate\": ",
-            row.name
+            "    {{\"name\": \"{}\", \"overhead_frac\": {:.4}, \"aggregate\": ",
+            row.name, overhead_frac
         ));
         row.aggregate.push_json(&mut trace_json, 64);
         trace_json.push_str(if i + 1 < rows.len() { "},\n" } else { "}\n" });
@@ -287,6 +342,15 @@ fn main() {
         );
     }
 
+    for (processors, stats, identical) in &scaling {
+        eprintln!(
+            "perfsnap: Whirlpool-M   processors {:>9} wall {:8.2} ms, answers identical: {}",
+            processors.map_or("unbounded".to_string(), |p| p.to_string()),
+            stats.wall_ms_median,
+            identical,
+        );
+    }
+
     if rows.iter().any(|r| !r.answers_identical) {
         eprintln!("perfsnap: FAIL — pooled and unpooled runs disagree");
         std::process::exit(1);
@@ -294,6 +358,21 @@ fn main() {
     if rows.iter().any(|r| !r.traced_identical) {
         eprintln!("perfsnap: FAIL — tracing changed the answer set");
         std::process::exit(1);
+    }
+    if scaling.iter().any(|(_, _, identical)| !identical) {
+        eprintln!("perfsnap: FAIL — a scaling config changed the answer set");
+        std::process::exit(1);
+    }
+    // Pooled-regression gate: with sharded pools, recycling buffers must
+    // not cost wall time on the threaded engine. 5 % headroom for noise.
+    if let Some(m) = rows.iter().find(|r| r.name == "Whirlpool-M") {
+        if m.pooled.wall_ms_median > m.unpooled.wall_ms_median * 1.05 {
+            eprintln!(
+                "perfsnap: FAIL — Whirlpool-M pooled {:.2} ms exceeds unpooled {:.2} ms by >5%",
+                m.pooled.wall_ms_median, m.unpooled.wall_ms_median
+            );
+            std::process::exit(1);
+        }
     }
 
     if smoke {

@@ -28,6 +28,7 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
             "fault",
             "fault-seed",
             "trace-out",
+            "threads",
         ],
     )?;
     let file = parsed.positional(0, "file.xml")?.to_string();
@@ -118,6 +119,13 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
         max_server_ops,
         fault_plan,
         trace: trace_out.is_some() || explain,
+        threads_per_server: {
+            let threads: usize = parsed.number("threads", 1)?;
+            if threads == 0 {
+                return Err(CliError::Usage("--threads must be at least 1".to_string()));
+            }
+            threads
+        },
     };
 
     let result = evaluate(&doc, &index, &query, &model, &algorithm, &options);

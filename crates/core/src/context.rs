@@ -309,6 +309,14 @@ impl<'a> QueryContext<'a> {
         MatchPool::reporting(self.pooling, &self.metrics)
     }
 
+    /// Like [`QueryContext::new_pool`], but as a shard of `hub`:
+    /// Whirlpool-M's worker pools rebalance whole blocks of buffers
+    /// through the shared hub so that consumer-heavy workers stop
+    /// hoarding buffers that producer-heavy workers keep allocating.
+    pub fn new_pool_shared<'p>(&'p self, hub: &'p crate::pool::PoolHub) -> MatchPool<'p> {
+        MatchPool::reporting_shared(self.pooling, &self.metrics, hub)
+    }
+
     // -- match generation -------------------------------------------------
 
     /// The root server's output: one initial partial match per candidate

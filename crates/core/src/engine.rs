@@ -88,6 +88,10 @@ pub struct EvalOptions {
     /// site in the engines is one inlined branch. Ignored (the trace
     /// comes back empty) when the `trace` cargo feature is disabled.
     pub trace: bool,
+    /// Worker threads per server for Whirlpool-M (`1` is the paper's
+    /// one-thread-per-server architecture; larger values implement its
+    /// §7 future-work proposal). Ignored by the other engines.
+    pub threads_per_server: usize,
 }
 
 impl EvalOptions {
@@ -107,6 +111,7 @@ impl EvalOptions {
             max_server_ops: None,
             fault_plan: None,
             trace: false,
+            threads_per_server: 1,
         }
     }
 }
@@ -222,7 +227,7 @@ pub fn evaluate_with_context(
             &WhirlpoolMConfig {
                 queue_policy: options.queue,
                 processors: *processors,
-                ..WhirlpoolMConfig::default()
+                threads_per_server: options.threads_per_server.max(1),
             },
             &control,
         ),

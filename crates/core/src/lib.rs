@@ -86,11 +86,11 @@ pub use lockstep::{
 };
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use partial::{Binding, PartialMatch};
-pub use pool::MatchPool;
+pub use pool::{MatchPool, PoolHub};
 pub use queue::{MatchQueue, QueuePolicy};
 pub use router::RoutingStrategy;
 pub use threshold::run_threshold;
-pub use topk::{answers_equivalent, RankedAnswer, TopKSet};
+pub use topk::{answers_equivalent, RankedAnswer, SharedTopK, TopKSet};
 pub use trace::{TraceData, TraceSummary, Tracer, WorkerTrace};
 pub use whirlpool_m::{run_whirlpool_m, run_whirlpool_m_anytime, WhirlpoolMConfig};
 pub use whirlpool_s::{run_whirlpool_s, run_whirlpool_s_anytime, run_whirlpool_s_batched};

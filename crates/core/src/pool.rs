@@ -22,6 +22,68 @@
 
 use crate::metrics::Metrics;
 use crate::partial::{Binding, PartialMatch};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Buffers moved per rebalancing exchange between a worker shard and
+/// its [`PoolHub`].
+const HUB_BLOCK: usize = 64;
+
+/// A worker shard donates a block once its local free list exceeds
+/// this (it keeps `HUB_SHARD_MAX - HUB_BLOCK` buffers for itself).
+const HUB_SHARD_MAX: usize = 256;
+
+/// A shared reservoir of retired binding buffers backing per-worker
+/// [`MatchPool`] shards.
+///
+/// Whirlpool-M gives every worker thread its own pool so the per-match
+/// acquire/release path stays synchronization-free, but worker-local
+/// free lists strand buffers: a worker that mostly *consumes* matches
+/// (its server sits late in routing orders) hoards buffers that the
+/// workers spawning matches keep allocating fresh. The hub rebalances
+/// in **blocks** of [`HUB_BLOCK`] buffers — a shard that runs dry takes
+/// a whole block under one lock acquisition, a shard that overflows
+/// [`HUB_SHARD_MAX`] donates one — so the hub lock is touched once per
+/// block, not once per match.
+#[derive(Default)]
+pub struct PoolHub {
+    blocks: Mutex<Vec<Vec<Box<[Binding]>>>>,
+    rebalances: AtomicU64,
+}
+
+impl PoolHub {
+    /// An empty hub.
+    pub fn new() -> Self {
+        PoolHub::default()
+    }
+
+    /// Block-exchange operations performed (takes + gives), for
+    /// observability and tests.
+    pub fn rebalances(&self) -> u64 {
+        self.rebalances.load(Ordering::Relaxed)
+    }
+
+    /// Buffers currently parked in the hub.
+    pub fn buffered(&self) -> usize {
+        self.blocks.lock().iter().map(Vec::len).sum()
+    }
+
+    fn take_block(&self) -> Option<Vec<Box<[Binding]>>> {
+        let block = self.blocks.lock().pop();
+        if block.is_some() {
+            self.rebalances.fetch_add(1, Ordering::Relaxed);
+        }
+        block
+    }
+
+    fn give_block(&self, block: Vec<Box<[Binding]>>) {
+        if block.is_empty() {
+            return;
+        }
+        self.rebalances.fetch_add(1, Ordering::Relaxed);
+        self.blocks.lock().push(block);
+    }
+}
 
 /// A free list of retired binding buffers (see the module docs).
 ///
@@ -34,6 +96,7 @@ pub struct MatchPool<'m> {
     allocated: u64,
     reused: u64,
     metrics: Option<&'m Metrics>,
+    hub: Option<&'m PoolHub>,
 }
 
 impl<'m> MatchPool<'m> {
@@ -46,6 +109,7 @@ impl<'m> MatchPool<'m> {
             allocated: 0,
             reused: 0,
             metrics: None,
+            hub: None,
         }
     }
 
@@ -57,6 +121,22 @@ impl<'m> MatchPool<'m> {
             allocated: 0,
             reused: 0,
             metrics: Some(metrics),
+            hub: None,
+        }
+    }
+
+    /// A reporting pool that is a *shard* of `hub`: local misses pull a
+    /// block of buffers from the hub before allocating, local overflow
+    /// donates a block back, and the remaining free list is returned to
+    /// the hub on drop.
+    pub fn reporting_shared(enabled: bool, metrics: &'m Metrics, hub: &'m PoolHub) -> Self {
+        MatchPool {
+            free: Vec::new(),
+            enabled,
+            allocated: 0,
+            reused: 0,
+            metrics: Some(metrics),
+            hub: enabled.then_some(hub),
         }
     }
 
@@ -69,6 +149,11 @@ impl<'m> MatchPool<'m> {
     /// freshly allocated otherwise.
     #[inline]
     pub fn acquire_copy(&mut self, src: &[Binding]) -> Box<[Binding]> {
+        if self.free.is_empty() {
+            if let Some(block) = self.hub.and_then(PoolHub::take_block) {
+                self.free = block;
+            }
+        }
         if let Some(mut buf) = self.free.pop() {
             debug_assert_eq!(buf.len(), src.len(), "pooled buffer width mismatch");
             if buf.len() == src.len() {
@@ -86,6 +171,11 @@ impl<'m> MatchPool<'m> {
     pub fn release(&mut self, m: PartialMatch) {
         if self.enabled {
             self.free.push(m.bindings);
+            if self.free.len() >= HUB_SHARD_MAX {
+                if let Some(hub) = self.hub {
+                    hub.give_block(self.free.split_off(self.free.len() - HUB_BLOCK));
+                }
+            }
         }
     }
 
@@ -107,6 +197,12 @@ impl<'m> MatchPool<'m> {
 
 impl Drop for MatchPool<'_> {
     fn drop(&mut self) {
+        if let Some(hub) = self.hub {
+            // A retiring shard (worker exit, dead server) returns its
+            // buffers so surviving workers reuse them instead of
+            // allocating fresh ones.
+            hub.give_block(std::mem::take(&mut self.free));
+        }
         if let Some(metrics) = self.metrics {
             if self.allocated > 0 {
                 metrics.add_buffers_allocated(self.allocated);
@@ -182,6 +278,51 @@ mod tests {
         let _ = parent.extend_in(&mut pool, 2, QNodeId(2), bind(6), 0.5, 1.0);
         assert_eq!(pool.allocated(), 2);
         assert_eq!(pool.reused(), 0);
+    }
+
+    #[test]
+    fn shard_overflow_donates_blocks_and_misses_take_them() {
+        let metrics = Metrics::new();
+        let hub = PoolHub::new();
+        let parent = root_match(0);
+        {
+            // Producer shard: releases far more than it acquires (the
+            // extensions are allocated outside the pool).
+            let mut producer = MatchPool::reporting_shared(true, &metrics, &hub);
+            for i in 0..HUB_SHARD_MAX + HUB_BLOCK {
+                let child = parent.extend(i as u64, QNodeId(1), bind(1), 0.1, 1.0);
+                producer.release(child);
+            }
+            // Crossing HUB_SHARD_MAX twice → at least two donations.
+            assert!(hub.buffered() >= HUB_BLOCK);
+            assert!(producer.free_len() < HUB_SHARD_MAX);
+        }
+        // Drop donated the remainder too.
+        assert_eq!(hub.buffered(), HUB_SHARD_MAX + HUB_BLOCK);
+        let gives = hub.rebalances();
+        assert!(gives >= 3, "expected >= 3 rebalances, got {gives}");
+
+        // Consumer shard: starts empty, must reuse hub buffers instead
+        // of allocating.
+        let mut consumer = MatchPool::reporting_shared(true, &metrics, &hub);
+        let c = parent.extend_in(&mut consumer, 0, QNodeId(2), bind(2), 0.1, 1.0);
+        assert_eq!(consumer.allocated(), 0);
+        assert_eq!(consumer.reused(), 1);
+        assert!(hub.rebalances() > gives);
+        consumer.release(c);
+    }
+
+    #[test]
+    fn disabled_shared_pool_bypasses_the_hub() {
+        let metrics = Metrics::new();
+        let hub = PoolHub::new();
+        let parent = root_match(0);
+        let mut pool = MatchPool::reporting_shared(false, &metrics, &hub);
+        let child = parent.extend_in(&mut pool, 1, QNodeId(1), bind(1), 0.1, 1.0);
+        pool.release(child);
+        drop(pool);
+        assert_eq!(hub.buffered(), 0);
+        assert_eq!(hub.rebalances(), 0);
     }
 
     #[test]

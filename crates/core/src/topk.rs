@@ -9,7 +9,10 @@
 //! distinct instantiations of the query root node." (§5.1)
 
 use crate::partial::PartialMatch;
+use parking_lot::{Mutex, MutexGuard};
 use std::collections::{BTreeSet, HashMap};
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
 use whirlpool_score::Score;
 use whirlpool_xml::NodeId;
 
@@ -126,6 +129,116 @@ impl TopKSet {
             .rev()
             .map(|&(score, root)| RankedAnswer { root, score })
             .collect()
+    }
+}
+
+/// A [`TopKSet`] shared between threads, with a lock-free threshold
+/// snapshot for the hot prune path.
+///
+/// The k-th best score is monotone non-decreasing over a run: offers
+/// only ever raise entry scores or evict weaker entries, and the
+/// threshold stays zero until the set fills. A stale copy of it is
+/// therefore always **≤** the live value, which makes two lock-free
+/// shortcuts sound:
+///
+/// * **Pruning** against the snapshot ([`SharedTopK::should_prune`])
+///   is conservative — a match the snapshot condemns
+///   (`max_final < snapshot ≤ live threshold`) would also be condemned
+///   under the lock. Matches the snapshot spares are re-checked at
+///   their next prune point.
+/// * **Offer skipping** ([`SharedTopK::offer_is_noop`]): a score
+///   strictly below a *positive* snapshot cannot change the set. A
+///   positive snapshot proves the set was full (fullness is monotone
+///   too), so insertion needs `score > weakest ≥ snapshot` and a
+///   same-root update needs `score > existing ≥ threshold ≥ snapshot`
+///   — both impossible. Such offers skip the lock entirely.
+///
+/// The snapshot is refreshed from the live set whenever a
+/// [`SharedTopK::lock`] guard drops, i.e. only when some thread
+/// actually touched the set.
+#[derive(Debug)]
+pub struct SharedTopK {
+    inner: Mutex<TopKSet>,
+    /// `f64::to_bits` of the last published threshold. Monotone
+    /// non-decreasing as an f64 (not as raw bits, which is fine — it is
+    /// only ever decoded, never compared as an integer).
+    threshold_bits: AtomicU64,
+}
+
+impl SharedTopK {
+    /// An empty shared set holding at most `k` entries.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        SharedTopK {
+            inner: Mutex::new(TopKSet::new(k)),
+            threshold_bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+
+    /// The last published threshold: a single relaxed load, always ≤
+    /// the live [`TopKSet::threshold`].
+    #[inline]
+    pub fn threshold_snapshot(&self) -> Score {
+        Score::new(f64::from_bits(self.threshold_bits.load(Ordering::Relaxed)))
+    }
+
+    /// Lock-free conservative prune check: true only if the live set
+    /// would also prune `m` (strict, so ties survive — matching
+    /// [`TopKSet::should_prune`]).
+    #[inline]
+    pub fn should_prune(&self, m: &PartialMatch) -> bool {
+        m.max_final < self.threshold_snapshot()
+    }
+
+    /// Can offering `score` be skipped without taking the lock? True
+    /// only when the offer is provably a no-op on the live set (see the
+    /// type docs for the proof).
+    #[inline]
+    pub fn offer_is_noop(&self, score: Score) -> bool {
+        score < self.threshold_snapshot()
+    }
+
+    /// Locks the set for reading or writing. Dropping the guard
+    /// publishes the (possibly raised) threshold into the snapshot.
+    pub fn lock(&self) -> SharedTopKGuard<'_> {
+        SharedTopKGuard {
+            bits: &self.threshold_bits,
+            guard: self.inner.lock(),
+        }
+    }
+
+    /// Unwraps the final set once all threads are done.
+    pub fn into_inner(self) -> TopKSet {
+        self.inner.into_inner()
+    }
+}
+
+/// Write access to a [`SharedTopK`]; publishes the threshold snapshot
+/// on drop.
+pub struct SharedTopKGuard<'a> {
+    bits: &'a AtomicU64,
+    guard: MutexGuard<'a, TopKSet>,
+}
+
+impl Deref for SharedTopKGuard<'_> {
+    type Target = TopKSet;
+    fn deref(&self) -> &TopKSet {
+        &self.guard
+    }
+}
+
+impl DerefMut for SharedTopKGuard<'_> {
+    fn deref_mut(&mut self) -> &mut TopKSet {
+        &mut self.guard
+    }
+}
+
+impl Drop for SharedTopKGuard<'_> {
+    fn drop(&mut self) {
+        self.bits
+            .store(self.guard.threshold().value().to_bits(), Ordering::Release);
     }
 }
 
@@ -251,6 +364,49 @@ mod tests {
     #[should_panic(expected = "k = 0")]
     fn zero_k_is_rejected() {
         let _ = TopKSet::new(0);
+    }
+
+    #[test]
+    fn snapshot_is_published_on_guard_drop() {
+        let shared = SharedTopK::new(2);
+        assert_eq!(shared.threshold_snapshot(), Score::ZERO);
+        {
+            let mut g = shared.lock();
+            g.offer(n(1), Score::new(5.0));
+            g.offer(n(2), Score::new(3.0));
+            // Not yet published: the guard is still alive.
+            assert_eq!(shared.threshold_snapshot(), Score::ZERO);
+        }
+        assert_eq!(shared.threshold_snapshot(), Score::new(3.0));
+        assert_eq!(shared.into_inner().threshold(), Score::new(3.0));
+    }
+
+    #[test]
+    fn snapshot_prune_is_conservative() {
+        let shared = SharedTopK::new(1);
+        shared.lock().offer(n(1), Score::new(2.0));
+        // Below the snapshot: pruned, as under the lock.
+        assert!(shared.should_prune(&m(9, 0.0, 1.9)));
+        // Ties survive, exactly like TopKSet::should_prune.
+        assert!(!shared.should_prune(&m(9, 0.0, 2.0)));
+    }
+
+    #[test]
+    fn offer_skipping_needs_a_positive_snapshot() {
+        let shared = SharedTopK::new(2);
+        // Empty set: snapshot is zero, nothing may be skipped.
+        assert!(!shared.offer_is_noop(Score::ZERO));
+        assert!(!shared.offer_is_noop(Score::new(0.5)));
+        {
+            let mut g = shared.lock();
+            g.offer(n(1), Score::new(4.0));
+            g.offer(n(2), Score::new(2.0));
+        }
+        // Full set, snapshot 2.0: strictly weaker offers are no-ops.
+        assert!(shared.offer_is_noop(Score::new(1.9)));
+        assert!(!shared.offer_is_noop(Score::new(2.0)));
+        // Cross-check the claim against the live set.
+        assert!(!shared.lock().offer(n(3), Score::new(1.9)));
     }
 
     #[test]

@@ -4,9 +4,15 @@
 //! server-operation latencies, routing *explain* records, threshold and
 //! queue-depth samples) into a [`Tracer`]. Recording is lock-free on
 //! the hot path: each worker thread owns a [`WorkerTrace`] handle with
-//! a private event buffer and takes the tracer's single lock only once,
-//! when the handle is dropped and its buffer is flushed. When tracing
-//! is disabled — the default — every emit method is an inlined
+//! a private event buffer that flushes into the tracer in blocks —
+//! once the buffer reaches [`FLUSH_BLOCK`] events and a final time
+//! when the handle is dropped — so the tracer's single lock is taken
+//! once per thousands of events, never per event. Timestamps come from
+//! a cached clock re-read every [`TS_REFRESH`] events: lifecycle
+//! events carry microsecond timestamps that are coarse by up to one
+//! refresh window, while server-operation *durations* still use
+//! dedicated precise clock reads ([`WorkerTrace::op_start`]). When
+//! tracing is disabled — the default — every emit method is an inlined
 //! `Option` test that the optimizer removes, and building with
 //! `--no-default-features` (dropping the `trace` cargo feature)
 //! compiles the recording paths out entirely.
@@ -64,6 +70,17 @@ use whirlpool_pattern::QNodeId;
 pub const fn tracing_compiled() -> bool {
     cfg!(feature = "trace")
 }
+
+/// Buffered events per worker before a block flush into the tracer's
+/// shared store (the final partial block flushes on drop).
+pub const FLUSH_BLOCK: usize = 8192;
+
+/// Events stamped per clock read: the first event after a refresh
+/// reads the monotonic clock, the next `TS_REFRESH - 1` reuse the
+/// cached value. Event timestamps are therefore coarse by up to one
+/// refresh window; per-worker ordering is unaffected (the cache is
+/// monotone within a worker).
+pub const TS_REFRESH: u32 = 32;
 
 /// Identifies the queue a [`TraceEventKind::QueueDepth`] sample
 /// belongs to.
@@ -254,22 +271,29 @@ impl Tracer {
                 tid,
                 name: name.to_string(),
                 events: Vec::new(),
+                ts_us: 0,
+                until_refresh: 0,
             }),
         }
     }
 
-    /// Collects every flushed buffer into a [`TraceData`], merged and
-    /// sorted by timestamp. Call after all [`WorkerTrace`] handles are
+    /// Collects every flushed block into a [`TraceData`], merged and
+    /// sorted by timestamp. A worker that flushed multiple blocks
+    /// appears once. Call after all [`WorkerTrace`] handles are
     /// dropped (an engine drops its handles before returning).
     pub fn finish(&self) -> TraceData {
         let mut flushed = self.inner.flushed.lock();
         let mut workers: Vec<(u32, String)> = Vec::new();
         let mut events = Vec::new();
         for (tid, name, buf) in flushed.drain(..) {
-            workers.push((tid, name));
+            if !workers.iter().any(|(t, _)| *t == tid) {
+                workers.push((tid, name));
+            }
             events.extend(buf);
         }
         workers.sort_by_key(|(tid, _)| *tid);
+        // Stable sort: blocks were flushed in per-worker order, so
+        // events with equal (coarse) timestamps keep their emit order.
         events.sort_by_key(|e: &TraceEvent| e.ts_us);
         TraceData { workers, events }
     }
@@ -280,6 +304,11 @@ struct WorkerInner {
     tid: u32,
     name: String,
     events: Vec<TraceEvent>,
+    /// Cached timestamp, re-read from the clock every [`TS_REFRESH`]
+    /// events.
+    ts_us: u64,
+    /// Events left before the next clock read.
+    until_refresh: u32,
 }
 
 /// A per-worker recording handle (see [`Tracer::worker`]). All emit
@@ -308,9 +337,21 @@ impl WorkerTrace {
     #[inline]
     fn push(&mut self, kind: TraceEventKind) {
         if let Some(w) = &mut self.inner {
-            let ts_us = w.tracer.inner.start.elapsed().as_micros() as u64;
-            let tid = w.tid;
+            if w.until_refresh == 0 {
+                w.ts_us = w.tracer.inner.start.elapsed().as_micros() as u64;
+                w.until_refresh = TS_REFRESH;
+            }
+            w.until_refresh -= 1;
+            let (ts_us, tid) = (w.ts_us, w.tid);
             w.events.push(TraceEvent { ts_us, tid, kind });
+            if w.events.len() >= FLUSH_BLOCK {
+                let block = std::mem::replace(&mut w.events, Vec::with_capacity(FLUSH_BLOCK));
+                w.tracer
+                    .inner
+                    .flushed
+                    .lock()
+                    .push((w.tid, w.name.clone(), block));
+            }
         }
     }
 
@@ -428,10 +469,17 @@ impl WorkerTrace {
         }
     }
 
-    /// Samples the top-k threshold.
+    /// Samples the top-k threshold. Threshold samples bypass the cached
+    /// clock: the monotone-threshold invariant is checked over the
+    /// *merged* stream in timestamp order, so each sample needs a
+    /// timestamp taken while the sampled value is still current — call
+    /// sites sample while holding the top-k lock.
     #[inline]
     pub fn threshold(&mut self, value: whirlpool_score::Score) {
         if self.enabled() {
+            if let Some(w) = &mut self.inner {
+                w.until_refresh = 0;
+            }
             self.push(TraceEventKind::ThresholdSample {
                 value: value.value(),
             });
@@ -826,6 +874,36 @@ mod tests {
         let s = data.summary();
         assert!(s.unmatched_spans.is_empty());
         assert_eq!(s.thresholds.len(), 1);
+    }
+
+    #[test]
+    #[cfg(feature = "trace")]
+    fn block_flushing_dedupes_workers_and_keeps_order() {
+        let tracer = Tracer::new();
+        let mut w = tracer.worker("w0");
+        let total = FLUSH_BLOCK + 10;
+        for i in 0..total {
+            w.push(TraceEventKind::MatchSpawned {
+                seq: i as u64,
+                score: 0.0,
+                max_final: 1.0,
+            });
+        }
+        drop(w);
+        let data = tracer.finish();
+        // Two flushed blocks, one worker entry.
+        assert_eq!(data.workers, vec![(0, "w0".to_string())]);
+        assert_eq!(data.events.len(), total);
+        // Per-worker emit order survives coarse timestamps + merge.
+        let seqs: Vec<u64> = data
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::MatchSpawned { seq, .. } => Some(seq),
+                _ => None,
+            })
+            .collect();
+        assert!(seqs.windows(2).all(|p| p[0] < p[1]), "emit order lost");
     }
 
     #[test]

@@ -24,13 +24,22 @@
 use crate::context::{QueryContext, RelaxMode};
 use crate::fault::{guarded_process, EngineRun, RunControl, Truncation};
 use crate::partial::PartialMatch;
+use crate::pool::PoolHub;
 use crate::queue::{MatchQueue, QueuePolicy};
 use crate::router::RoutingStrategy;
-use crate::topk::{RankedAnswer, TopKSet};
+use crate::topk::{RankedAnswer, SharedTopK};
 use crate::util::Semaphore;
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use whirlpool_pattern::QNodeId;
+
+/// Matches a worker moves per queue-lock acquisition: servers drain up
+/// to this many waiting matches in one pop, the router drains up to
+/// this many survivors in one pop and hands each server its routed
+/// group in one push. Batching cuts lock traffic ~`DRAIN_BATCH`× at
+/// the price of slightly staler priority order *within* a batch (a
+/// higher-priority arrival cannot preempt matches already drained).
+const DRAIN_BATCH: usize = 32;
 
 /// Configuration for [`run_whirlpool_m`].
 #[derive(Debug, Clone)]
@@ -99,16 +108,51 @@ impl SharedQueue {
         Ok(())
     }
 
-    /// Blocks until a match is available, the queue is closed, or
-    /// `done` is set.
-    fn pop_wait(&self, done: &AtomicBool) -> Option<PartialMatch> {
+    /// Pushes a whole batch under one lock acquisition, draining
+    /// `batch`. A closed queue leaves `batch` untouched and returns
+    /// `false` so the caller can re-route every match in it.
+    fn push_batch(&self, ctx: &QueryContext<'_>, batch: &mut Vec<PartialMatch>) -> bool {
+        if batch.is_empty() {
+            return true;
+        }
+        let many = batch.len() > 1;
+        {
+            let mut guard = self.inner.lock();
+            if guard.closed {
+                return false;
+            }
+            for m in batch.drain(..) {
+                guard.queue.push(ctx, m);
+            }
+        }
+        // One wake per batch; notify_all only when there is work for
+        // more than one sibling worker.
+        if many {
+            self.cv.notify_all();
+        } else {
+            self.cv.notify_one();
+        }
+        true
+    }
+
+    /// Blocks until at least one match is available, then drains up to
+    /// `max` of them into `out` — all under the single lock
+    /// acquisition. Returns `false` (with `out` untouched) once the
+    /// queue is closed or `done` is set with nothing left to drain.
+    fn pop_wait_batch(&self, done: &AtomicBool, max: usize, out: &mut Vec<PartialMatch>) -> bool {
         let mut guard = self.inner.lock();
         loop {
-            if let Some(m) = guard.queue.pop() {
-                return Some(m);
+            if !guard.queue.is_empty() {
+                while out.len() < max {
+                    match guard.queue.pop() {
+                        Some(m) => out.push(m),
+                        None => break,
+                    }
+                }
+                return true;
             }
             if guard.closed || done.load(Ordering::Acquire) {
-                return None;
+                return false;
             }
             self.cv.wait(&mut guard);
         }
@@ -154,7 +198,13 @@ impl SharedQueue {
 
 struct Shared<'c, 'a> {
     ctx: &'c QueryContext<'a>,
-    topk: Mutex<TopKSet>,
+    /// Top-k set behind a lock-free threshold snapshot: the hot prune
+    /// paths read the snapshot (one relaxed load) and take the lock
+    /// only for offers that could actually change the set.
+    topk: SharedTopK,
+    /// Reservoir rebalancing binding buffers between the per-worker
+    /// pool shards in whole blocks.
+    pool_hub: PoolHub,
     router_queue: SharedQueue,
     server_queues: Vec<SharedQueue>,
     /// Matches alive in the system (queued or being processed).
@@ -221,7 +271,8 @@ pub fn run_whirlpool_m_anytime(
 
     let shared = Shared {
         ctx,
-        topk: Mutex::new(TopKSet::new(k)),
+        topk: SharedTopK::new(k),
+        pool_hub: PoolHub::new(),
         router_queue: SharedQueue::new(QueuePolicy::MaxFinalScore, None),
         server_queues: server_ids
             .iter()
@@ -239,7 +290,7 @@ pub fn run_whirlpool_m_anytime(
     // Seed the router queue with the root server's output.
     let mut seed_tr = control.trace_worker("main");
     seed_tr.span_begin("seed");
-    let mut seeded = 0i64;
+    let mut seeds = Vec::new();
     {
         let mut topk = shared.topk.lock();
         for m in ctx.make_root_matches() {
@@ -251,11 +302,12 @@ pub fn run_whirlpool_m_anytime(
             if complete {
                 seed_tr.completed(&m);
             } else {
-                push_to_router(&shared, m);
-                seeded += 1;
+                seeds.push(m);
             }
         }
     }
+    let seeded = seeds.len() as i64;
+    push_to_router_batch(&shared, &mut seeds);
     seed_tr.span_end("seed");
     drop(seed_tr);
     if seeded == 0 {
@@ -293,9 +345,10 @@ pub fn run_whirlpool_m_anytime(
     }
 }
 
-/// Pushes to the router queue, which is never closed.
-fn push_to_router(shared: &Shared<'_, '_>, m: PartialMatch) {
-    if shared.router_queue.push(shared.ctx, m).is_err() {
+/// Pushes a batch to the router queue (one lock acquisition), which is
+/// never closed.
+fn push_to_router_batch(shared: &Shared<'_, '_>, batch: &mut Vec<PartialMatch>) {
+    if !shared.router_queue.push_batch(shared.ctx, batch) {
         unreachable!("the router queue is never closed");
     }
 }
@@ -327,20 +380,31 @@ fn router_loop(
     let ctx = shared.ctx;
     // The router only needs a pool on the degraded paths; it is idle
     // (and allocates nothing) in fault-free runs.
-    let mut pool = ctx.new_pool();
+    let mut pool = ctx.new_pool_shared(&shared.pool_hub);
     let mut tr = control.trace_worker("router");
     tr.span_begin("route");
-    while let Some(m) = shared.router_queue.pop_wait(&shared.done) {
-        if trunc.is_expired() || control.exhausted(&ctx.metrics) {
-            drain_expired(shared, trunc, m, &mut pool, &mut tr);
-            continue;
-        }
-        let threshold = shared.topk.lock().threshold();
-        if tr.enabled() {
-            tr.queue_depth(crate::trace::QueueId::Router, shared.router_queue.len());
-        }
-        let mut m = m;
-        loop {
+    let mut batch = Vec::new();
+    // One out-queue per server: decisions stay per-match, queue pushes
+    // are per (batch × server).
+    let mut groups: Vec<Vec<PartialMatch>> =
+        shared.server_queues.iter().map(|_| Vec::new()).collect();
+    while shared
+        .router_queue
+        .pop_wait_batch(&shared.done, DRAIN_BATCH, &mut batch)
+    {
+        let threshold = shared.topk.threshold_snapshot();
+        let queue_len = if tr.enabled() {
+            let len = shared.router_queue.len();
+            tr.queue_depth(crate::trace::QueueId::Router, len);
+            len
+        } else {
+            0
+        };
+        for m in batch.drain(..) {
+            if trunc.is_expired() || control.exhausted(&ctx.metrics) {
+                drain_expired(shared, trunc, m, &mut pool, &mut tr);
+                continue;
+            }
             let candidates = if tr.enabled() {
                 routing.explain(ctx, &m, threshold, |s| !control.is_dead(s))
             } else {
@@ -352,30 +416,77 @@ fn router_loop(
                     seq: m.seq,
                     strategy: routing.name(),
                     threshold: threshold.value(),
-                    queue_len: shared.router_queue.len(),
+                    queue_len,
                     group: 1,
                     chosen: choice,
                     candidates,
                 });
             }
-            let Some(server) = choice else {
+            match choice {
+                Some(server) => groups[server.index() - 1].push(m),
                 // Every remaining server for this match is dead.
-                finish_unroutable(shared, trunc, m, &mut pool, &mut tr);
-                break;
-            };
-            match shared.server_queue(server).push(ctx, m) {
-                Ok(()) => break,
-                Err(back) => {
-                    // The queue closed between the aliveness check and
-                    // the push (its server just died): re-route among
-                    // the survivors.
+                None => finish_unroutable(shared, trunc, m, &mut pool, &mut tr),
+            }
+        }
+        for (i, group) in groups.iter_mut().enumerate() {
+            if !shared.server_queues[i].push_batch(ctx, group) {
+                // The queue closed between the aliveness check and the
+                // push (its server just died): re-route each match
+                // among the survivors.
+                for m in group.drain(..) {
                     ctx.metrics.add_match_redistributed();
-                    m = back;
+                    reroute(shared, routing, control, trunc, m, &mut pool, &mut tr);
                 }
             }
         }
     }
     tr.span_end("route");
+}
+
+/// Re-routes one match that lost a race with a closing queue,
+/// re-choosing among the surviving servers until a push lands or no
+/// server remains.
+fn reroute(
+    shared: &Shared<'_, '_>,
+    routing: &RoutingStrategy,
+    control: &RunControl,
+    trunc: &Truncation,
+    mut m: PartialMatch,
+    pool: &mut crate::pool::MatchPool<'_>,
+    tr: &mut crate::trace::WorkerTrace,
+) {
+    let ctx = shared.ctx;
+    loop {
+        let threshold = shared.topk.threshold_snapshot();
+        let candidates = if tr.enabled() {
+            routing.explain(ctx, &m, threshold, |s| !control.is_dead(s))
+        } else {
+            Vec::new()
+        };
+        let choice = routing.try_choose(ctx, &m, threshold, |s| !control.is_dead(s));
+        if tr.enabled() {
+            tr.routed(crate::trace::RouteExplain {
+                seq: m.seq,
+                strategy: routing.name(),
+                threshold: threshold.value(),
+                queue_len: shared.router_queue.len(),
+                group: 1,
+                chosen: choice,
+                candidates,
+            });
+        }
+        let Some(server) = choice else {
+            finish_unroutable(shared, trunc, m, pool, tr);
+            return;
+        };
+        match shared.server_queue(server).push(ctx, m) {
+            Ok(()) => return,
+            Err(back) => {
+                ctx.metrics.add_match_redistributed();
+                m = back;
+            }
+        }
+    }
 }
 
 /// Completes a match none of whose remaining servers is alive: relaxed
@@ -445,7 +556,9 @@ fn handle_dead_server_match(
     };
     if keep {
         // The rescued match stays in flight: net count change is zero.
-        push_to_router(shared, e);
+        if shared.router_queue.push(ctx, e).is_err() {
+            unreachable!("the router queue is never closed");
+        }
     } else {
         if complete {
             ctx.metrics.add_answer_degraded();
@@ -460,11 +573,12 @@ fn handle_dead_server_match(
 
 fn server_loop(shared: &Shared<'_, '_>, server: QNodeId, control: &RunControl, trunc: &Truncation) {
     let ctx = shared.ctx;
-    // One pool per worker thread: recycling needs no synchronization,
-    // at the price of buffers retiring into whichever thread consumed
-    // them rather than the one that allocated them.
-    let mut pool = ctx.new_pool();
+    // One pool shard per worker thread: per-match recycling needs no
+    // synchronization; whole blocks of buffers rebalance through the
+    // shared hub when a shard runs dry or overflows.
+    let mut pool = ctx.new_pool_shared(&shared.pool_hub);
     let mut exts = Vec::new();
+    let mut local = Vec::new();
     let mut survivors = Vec::new();
     let mut tr = if control.tracing() {
         control.trace_worker(&format!("server q{}", server.0))
@@ -472,86 +586,138 @@ fn server_loop(shared: &Shared<'_, '_>, server: QNodeId, control: &RunControl, t
         crate::trace::WorkerTrace::disabled()
     };
     tr.span_begin("serve");
-    while let Some(m) = shared.server_queue(server).pop_wait(&shared.done) {
-        if trunc.is_expired() || control.exhausted(&ctx.metrics) {
-            drain_expired(shared, trunc, m, &mut pool, &mut tr);
-            continue;
-        }
+    let queue = shared.server_queue(server);
+    while queue.pop_wait_batch(&shared.done, DRAIN_BATCH, &mut local) {
         if tr.enabled() {
-            tr.queue_depth(
-                crate::trace::QueueId::Server(server),
-                shared.server_queue(server).len(),
-            );
+            tr.queue_depth(crate::trace::QueueId::Server(server), queue.len());
         }
-        {
-            let topk = shared.topk.lock();
-            if topk.should_prune(&m) {
-                let threshold = topk.threshold();
-                drop(topk);
-                ctx.metrics.add_pruned();
-                tr.pruned(&m, threshold);
-                pool.release(m);
-                shared.adjust_in_flight(-1);
+        // Process the drained batch highest-priority first (the drain
+        // preserved heap order; reverse so pop() walks it front-first).
+        local.reverse();
+        // Net in-flight change accumulated across the batch; applied
+        // in one atomic op at settle time, before the survivors are
+        // pushed, so the count never undercounts live matches.
+        let mut net = 0i64;
+        while let Some(m) = local.pop() {
+            if trunc.is_expired() || control.exhausted(&ctx.metrics) {
+                drain_expired(shared, trunc, m, &mut pool, &mut tr);
                 continue;
             }
-        }
-
-        exts.clear();
-        let t0 = tr.op_start();
-        let ran = {
-            // The processor budget covers the join work itself.
-            let _permit = shared.sem.as_ref().map(Semaphore::acquire);
-            guarded_process(ctx, control, trunc, server, &m, &mut exts, &mut pool)
-        };
-        if !ran {
-            // This server is dead (it may have just died under us).
-            // Close its queue, rescue everything queued — including the
-            // match in hand — and let this worker retire; sibling
-            // workers wake on the closed queue and retire too.
-            handle_dead_server_match(shared, trunc, server, m, &mut pool, &mut tr);
-            for rescued in shared.server_queue(server).close_and_drain() {
-                handle_dead_server_match(shared, trunc, server, rescued, &mut pool, &mut tr);
+            if shared.topk.should_prune(&m) {
+                // Conservative lock-free check: the snapshot only
+                // condemns matches the live threshold also would.
+                ctx.metrics.add_pruned();
+                tr.pruned(&m, shared.topk.threshold_snapshot());
+                pool.release(m);
+                net -= 1;
+                continue;
             }
-            tr.span_end("serve");
-            return;
-        }
-        tr.server_op(server, m.seq, exts.len(), t0);
-        pool.release(m);
 
-        let mut kept = 0i64;
-        {
-            let mut topk = shared.topk.lock();
-            for e in exts.drain(..) {
-                tr.spawned(&e);
-                let complete = e.is_complete(shared.full_mask);
-                if shared.offer_partial || complete {
-                    topk.offer_match(&e);
+            exts.clear();
+            let t0 = tr.op_start();
+            let ran = {
+                // The processor budget covers the join work itself.
+                let _permit = shared.sem.as_ref().map(Semaphore::acquire);
+                guarded_process(ctx, control, trunc, server, &m, &mut exts, &mut pool)
+            };
+            if !ran {
+                // This server is dead (it may have just died under
+                // us). Settle the batch so far, then close its queue
+                // and rescue everything still waiting — the match in
+                // hand, the rest of the drained batch, and the queue —
+                // and let this worker retire; sibling workers wake on
+                // the closed queue and retire too.
+                if net != 0 {
+                    shared.adjust_in_flight(net);
                 }
-                if complete {
-                    tr.completed(&e);
-                    if e.degraded {
-                        ctx.metrics.add_answer_degraded();
+                push_to_router_batch(shared, &mut survivors);
+                handle_dead_server_match(shared, trunc, server, m, &mut pool, &mut tr);
+                while let Some(rest) = local.pop() {
+                    handle_dead_server_match(shared, trunc, server, rest, &mut pool, &mut tr);
+                }
+                for rescued in queue.close_and_drain() {
+                    handle_dead_server_match(shared, trunc, server, rescued, &mut pool, &mut tr);
+                }
+                tr.span_end("serve");
+                return;
+            }
+            tr.server_op(server, m.seq, exts.len(), t0);
+            pool.release(m);
+            net -= 1;
+
+            // The threshold snapshot decides, without the lock, whether
+            // any extension's offer could change the top-k set; the
+            // lock is taken only when one could.
+            let snap = shared.topk.threshold_snapshot();
+            let offers_needed = exts.iter().any(|e| {
+                (shared.offer_partial || e.is_complete(shared.full_mask)) && e.score >= snap
+            });
+            if offers_needed {
+                let mut topk = shared.topk.lock();
+                for e in exts.drain(..) {
+                    tr.spawned(&e);
+                    let complete = e.is_complete(shared.full_mask);
+                    if shared.offer_partial || complete {
+                        topk.offer_match(&e);
                     }
-                    pool.release(e);
-                    continue;
+                    if complete {
+                        tr.completed(&e);
+                        if e.degraded {
+                            ctx.metrics.add_answer_degraded();
+                        }
+                        pool.release(e);
+                        continue;
+                    }
+                    if topk.should_prune(&e) {
+                        ctx.metrics.add_pruned();
+                        tr.pruned(&e, topk.threshold());
+                        pool.release(e);
+                        continue;
+                    }
+                    net += 1;
+                    survivors.push(e);
                 }
-                if topk.should_prune(&e) {
-                    ctx.metrics.add_pruned();
-                    tr.pruned(&e, topk.threshold());
-                    pool.release(e);
-                    continue;
+                if tr.enabled() {
+                    tr.threshold(topk.threshold());
                 }
-                survivors.push(e);
-            }
-            if tr.enabled() {
-                tr.threshold(topk.threshold());
+            } else {
+                // Every offer is provably a no-op on the live set (see
+                // SharedTopK): stay off the lock and prune against the
+                // snapshot, which is conservative.
+                for e in exts.drain(..) {
+                    tr.spawned(&e);
+                    if e.is_complete(shared.full_mask) {
+                        tr.completed(&e);
+                        if e.degraded {
+                            ctx.metrics.add_answer_degraded();
+                        }
+                        pool.release(e);
+                        continue;
+                    }
+                    if e.max_final < snap {
+                        ctx.metrics.add_pruned();
+                        tr.pruned(&e, snap);
+                        pool.release(e);
+                        continue;
+                    }
+                    net += 1;
+                    survivors.push(e);
+                }
+                // No threshold sample here: the snapshot is stale by
+                // construction, and a stale value timestamped now would
+                // break the merged stream's monotonicity. The locked
+                // branch samples the live value whenever it changes.
             }
         }
-        for e in survivors.drain(..) {
-            push_to_router(shared, e);
-            kept += 1;
+        // Settle the batch: the net count change lands in one atomic op
+        // *before* the survivors become visible to other workers, so the
+        // count never dips below the true number of live matches (the
+        // survivors are part of `net`, so it cannot reach zero while any
+        // exist).
+        if net != 0 {
+            shared.adjust_in_flight(net);
         }
-        shared.adjust_in_flight(kept - 1);
+        push_to_router_batch(shared, &mut survivors);
     }
     tr.span_end("serve");
 }

@@ -281,3 +281,95 @@ fn whirlpool_m_stress_matrix() {
         }
     }
 }
+
+/// Regression: a server worker must apply its batch's net in-flight
+/// delta *before* pushing survivors to the router. With the opposite
+/// order, a sibling worker could drain and retire the survivors (its
+/// own −1s landing first) and drive the count transiently negative —
+/// or through zero, terminating the run early. This workload (found
+/// by `engines_agree_on_random_workloads`) reliably tripped the
+/// negative-count assertion within a few hundred runs.
+#[test]
+fn batched_settle_never_undercounts_in_flight() {
+    fn t(tag: usize, children: Vec<RandTree>) -> RandTree {
+        RandTree { tag, children }
+    }
+    let trees = vec![
+        t(
+            2,
+            vec![
+                t(3, vec![]),
+                t(1, vec![t(3, vec![]), t(3, vec![]), t(3, vec![])]),
+                t(
+                    0,
+                    vec![
+                        t(1, vec![t(0, vec![]), t(3, vec![]), t(2, vec![])]),
+                        t(
+                            0,
+                            vec![
+                                t(0, vec![t(2, vec![])]),
+                                t(0, vec![t(1, vec![]), t(1, vec![])]),
+                                t(3, vec![]),
+                            ],
+                        ),
+                        t(
+                            1,
+                            vec![
+                                t(0, vec![t(2, vec![])]),
+                                t(0, vec![t(0, vec![])]),
+                                t(3, vec![t(3, vec![])]),
+                            ],
+                        ),
+                    ],
+                ),
+            ],
+        ),
+        t(3, vec![]),
+    ];
+    let q = RandQuery {
+        tag: 0,
+        axis: false,
+        children: vec![
+            RandQuery {
+                tag: 3,
+                axis: true,
+                children: vec![],
+            },
+            RandQuery {
+                tag: 0,
+                axis: true,
+                children: vec![],
+            },
+        ],
+    };
+    let k = 4;
+    let doc = build_doc(&trees);
+    let pattern = build_query(&q);
+    let index = TagIndex::build(&doc);
+    let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
+    let options = EvalOptions::top_k(k);
+    let reference = evaluate(
+        &doc,
+        &index,
+        &pattern,
+        &model,
+        &Algorithm::LockStepNoPrune,
+        &options,
+    );
+    for alg in [
+        Algorithm::LockStep,
+        Algorithm::WhirlpoolS,
+        Algorithm::WhirlpoolM { processors: None },
+    ] {
+        for iter in 0..300 {
+            let got = evaluate(&doc, &index, &pattern, &model, &alg, &options);
+            assert!(
+                answers_equivalent(&got.answers, &reference.answers, 1e-9),
+                "iter={iter} alg={} k={k}\n got {:?}\n ref {:?}",
+                alg.name(),
+                got.answers,
+                reference.answers
+            );
+        }
+    }
+}

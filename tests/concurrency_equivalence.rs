@@ -1,0 +1,233 @@
+//! Equivalence of the contention-free Whirlpool-M concurrency layer.
+//!
+//! The atomic threshold snapshot, sharded match pools, and batched
+//! router/server queues are pure performance machinery: they must be
+//! invisible in the answer set. This suite pins that claim where it is
+//! most at risk — under real thread interleavings:
+//!
+//! * Whirlpool-M at 1, 2, 4, and 8 worker threads per server returns a
+//!   top-k set equivalent to single-threaded Whirlpool-S, in both
+//!   relaxed and exact modes, on random documents × random queries.
+//! * Under deterministic panic injection (a server poisons itself
+//!   mid-run) every thread count still terminates — no hang in
+//!   termination detection, no lost rescue — and the degraded result
+//!   carries a valid anytime certificate against the exact answers.
+//!
+//! CI runs this file at several `PROPTEST_SEED`s with the thread counts
+//! above, so the snapshot/sharding/batching protocols see many distinct
+//! schedules per change.
+
+use proptest::prelude::*;
+use whirlpool_core::{
+    answers_equivalent, evaluate, Algorithm, Completeness, EvalOptions, FaultKind, FaultPlan,
+    RankedAnswer, RelaxMode,
+};
+use whirlpool_index::TagIndex;
+use whirlpool_pattern::{Axis, QNodeId, TreePattern};
+use whirlpool_score::{Normalization, TfIdfModel};
+use whirlpool_xml::{Document, DocumentBuilder};
+
+const TAGS: [&str; 4] = ["a", "b", "c", "d"];
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const EPS: f64 = 1e-9;
+
+#[derive(Debug, Clone)]
+struct RandTree {
+    tag: usize,
+    children: Vec<RandTree>,
+}
+
+fn tree_strategy() -> impl Strategy<Value = RandTree> {
+    let leaf = (0usize..TAGS.len()).prop_map(|tag| RandTree {
+        tag,
+        children: vec![],
+    });
+    leaf.prop_recursive(4, 40, 4, |inner| {
+        (0usize..TAGS.len(), prop::collection::vec(inner, 0..4))
+            .prop_map(|(tag, children)| RandTree { tag, children })
+    })
+}
+
+#[derive(Debug, Clone)]
+struct RandQuery {
+    tag: usize,
+    axis: bool,
+    children: Vec<RandQuery>,
+}
+
+fn query_strategy() -> impl Strategy<Value = RandQuery> {
+    let leaf = (0usize..TAGS.len(), any::<bool>()).prop_map(|(tag, axis)| RandQuery {
+        tag,
+        axis,
+        children: vec![],
+    });
+    leaf.prop_recursive(2, 6, 2, |inner| {
+        (
+            0usize..TAGS.len(),
+            any::<bool>(),
+            prop::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(tag, axis, children)| RandQuery {
+                tag,
+                axis,
+                children,
+            })
+    })
+}
+
+fn build_doc(trees: &[RandTree]) -> Document {
+    fn rec(t: &RandTree, b: &mut DocumentBuilder) {
+        b.open(TAGS[t.tag]);
+        for c in &t.children {
+            rec(c, b);
+        }
+        b.close();
+    }
+    let mut b = DocumentBuilder::new();
+    for t in trees {
+        rec(t, &mut b);
+    }
+    b.finish()
+}
+
+fn build_query(q: &RandQuery) -> TreePattern {
+    fn rec(q: &RandQuery, parent: QNodeId, p: &mut TreePattern) {
+        let axis = if q.axis {
+            Axis::Descendant
+        } else {
+            Axis::Child
+        };
+        let id = p.add_node(parent, axis, TAGS[q.tag], None);
+        for c in &q.children {
+            rec(c, id, p);
+        }
+    }
+    let mut p = TreePattern::new(TAGS[q.tag], Axis::Descendant);
+    for c in &q.children {
+        rec(c, p.root(), &mut p);
+    }
+    p
+}
+
+/// Anytime certificate check (same contract as `anytime_faults.rs`):
+/// every returned answer is within the bound, and every exact answer
+/// missing from the prefix could not have beaten it.
+fn assert_certificate_valid(
+    truncated: &[RankedAnswer],
+    completeness: &Completeness,
+    exact: &[RankedAnswer],
+    context: &str,
+) {
+    let Some(bound) = completeness.score_bound() else {
+        panic!("{context}: expected a truncated result, got {completeness:?}");
+    };
+    for a in truncated {
+        assert!(
+            a.score.value() <= bound + EPS,
+            "{context}: returned answer {a:?} above the bound {bound}"
+        );
+    }
+    for e in exact {
+        let present = truncated.iter().any(|a| a.root == e.root);
+        assert!(
+            present || e.score.value() <= bound + EPS,
+            "{context}: missing answer {e:?} exceeds the bound {bound}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Thread-count sweep, fault-free: Whirlpool-M with the snapshot
+    /// threshold, sharded pools, and batched queues agrees with
+    /// Whirlpool-S at every worker multiplicity, in both relax modes.
+    #[test]
+    fn whirlpool_m_matches_whirlpool_s_at_every_thread_count(
+        trees in prop::collection::vec(tree_strategy(), 1..4),
+        q in query_strategy(),
+        k in 1usize..8,
+        exact_mode in any::<bool>(),
+    ) {
+        let doc = build_doc(&trees);
+        let pattern = build_query(&q);
+        let index = TagIndex::build(&doc);
+        let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
+        let relax = if exact_mode { RelaxMode::Exact } else { RelaxMode::Relaxed };
+        let mut options = EvalOptions::top_k(k);
+        options.relax = relax;
+        let reference =
+            evaluate(&doc, &index, &pattern, &model, &Algorithm::WhirlpoolS, &options);
+        for threads in THREAD_COUNTS {
+            let mut options = EvalOptions::top_k(k);
+            options.relax = relax;
+            options.threads_per_server = threads;
+            let got = evaluate(
+                &doc, &index, &pattern, &model,
+                &Algorithm::WhirlpoolM { processors: None },
+                &options,
+            );
+            prop_assert!(
+                answers_equivalent(&got.answers, &reference.answers, EPS),
+                "threads={threads} relax={relax:?} query={pattern} k={k}\n got {:?}\n ref {:?}",
+                got.answers, reference.answers
+            );
+        }
+    }
+
+    /// Thread-count sweep under deterministic panic injection: a server
+    /// that poisons itself mid-run is isolated at every worker
+    /// multiplicity — the run terminates and the degraded prefix is
+    /// certified against the exact answers.
+    #[test]
+    fn panic_faults_stay_isolated_at_every_thread_count(
+        trees in prop::collection::vec(tree_strategy(), 1..4),
+        q in query_strategy(),
+        seed in 0u64..1000,
+        server_pick in 0usize..8,
+        after_ops in 0u64..20,
+        k in 1usize..6,
+    ) {
+        let doc = build_doc(&trees);
+        let pattern = build_query(&q);
+        let servers = pattern.server_ids().count();
+        prop_assume!(servers > 0);
+        let server = QNodeId(1 + (server_pick % servers) as u8);
+        let index = TagIndex::build(&doc);
+        let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
+        let exact =
+            evaluate(&doc, &index, &pattern, &model, &Algorithm::WhirlpoolS,
+                     &EvalOptions::top_k(k)).answers;
+        for threads in THREAD_COUNTS {
+            let mut options = EvalOptions::top_k(k);
+            options.threads_per_server = threads;
+            options.fault_plan = Some(
+                FaultPlan::seeded(seed).with(server, FaultKind::Panic { after_ops }),
+            );
+            let r = evaluate(
+                &doc, &index, &pattern, &model,
+                &Algorithm::WhirlpoolM { processors: None },
+                &options,
+            );
+            match r.completeness {
+                Completeness::Exact => {
+                    // The fault never fired (the query drained first).
+                    prop_assert!(r.metrics.servers_failed == 0);
+                    prop_assert!(
+                        answers_equivalent(&r.answers, &exact, EPS),
+                        "threads={threads}: exact-complete run disagrees"
+                    );
+                }
+                Completeness::Truncated { .. } => {
+                    prop_assert!(r.metrics.servers_failed >= 1);
+                    assert_certificate_valid(
+                        &r.answers,
+                        &r.completeness,
+                        &exact,
+                        &format!("threads={threads} server={server:?} after={after_ops}"),
+                    );
+                }
+            }
+        }
+    }
+}
