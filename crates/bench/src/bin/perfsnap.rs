@@ -23,11 +23,25 @@
 //! A `scaling` section sweeps Whirlpool-M's processor cap (1, 2, 4,
 //! unbounded) at the pooled defaults so the snapshot records how the
 //! engine behaves as simulated cores are added.
+//!
+//! A `kernel` section microbenchmarks one server operation in
+//! isolation — the retired Dewey-materializing kernel
+//! ([`QueryContext::process_at_server_dewey_reference`]) against the
+//! live columnar one — as per-op latency medians and log2-ns
+//! histograms.
+//!
+//! `--compare <old BENCH_core.json>` diffs this run's pooled
+//! wall-clock medians against a previous snapshot and exits non-zero
+//! when any engine regressed by more than 15 % (skipped with a warning
+//! when the old snapshot was taken on a different document label).
 
 use std::io::Write as _;
+use std::time::Instant;
 use whirlpool_bench::aggregate::TraceAggregate;
 use whirlpool_bench::{default_options, median, Workload};
-use whirlpool_core::{Algorithm, EvalOptions, EvalResult, MetricsSnapshot};
+use whirlpool_core::{
+    Algorithm, ContextOptions, EvalOptions, EvalResult, MetricsSnapshot, QueryContext,
+};
 use whirlpool_xmark::queries;
 
 struct ConfigStats {
@@ -71,6 +85,126 @@ fn run_config(
         },
         last,
     )
+}
+
+/// Per-op latency of one server-op kernel: the median and a log2(ns)
+/// histogram (bucket `i` counts ops with `2^i <= ns < 2^(i+1)`).
+struct KernelSide {
+    median_ns: f64,
+    hist: [u64; 24],
+}
+
+impl KernelSide {
+    fn from_samples(mut ns: Vec<f64>) -> KernelSide {
+        let mut hist = [0u64; 24];
+        for &v in &ns {
+            let bucket = (v.max(1.0).log2() as usize).min(23);
+            hist[bucket] += 1;
+        }
+        KernelSide {
+            median_ns: median(&mut ns),
+            hist,
+        }
+    }
+
+    fn push_json(&self, out: &mut String, label: &str, comma: bool) {
+        let buckets: Vec<String> = self.hist.iter().map(u64::to_string).collect();
+        out.push_str(&format!(
+            "    \"{label}\": {{\"median_ns\": {:.1}, \"hist_log2_ns\": [{}]}}{}\n",
+            self.median_ns,
+            buckets.join(", "),
+            if comma { "," } else { "" },
+        ));
+    }
+}
+
+/// Microbenchmarks one server operation per (sampled root match,
+/// server) pair under both kernels. The Dewey reference and the
+/// columnar kernel see identical inputs (fresh root matches, same
+/// candidate ranges), so the per-op deltas isolate the predicate-check
+/// rewrite itself.
+fn kernel_microbench(
+    workload: &Workload,
+    query: &whirlpool_pattern::TreePattern,
+    model: &dyn whirlpool_score::ScoreModel,
+    cap: usize,
+) -> (KernelSide, KernelSide, usize) {
+    let ctx = QueryContext::new(
+        &workload.doc,
+        &workload.index,
+        query,
+        model,
+        ContextOptions::default(),
+    );
+    let mut pool = ctx.new_pool();
+    let matches = ctx.make_root_matches();
+    let step = (matches.len() / cap.max(1)).max(1);
+    let sample: Vec<_> = matches.iter().step_by(step).take(cap).collect();
+    let servers: Vec<whirlpool_pattern::QNodeId> = query.server_ids().collect();
+
+    let mut out = Vec::new();
+    let mut dewey_ns = Vec::with_capacity(sample.len() * servers.len());
+    let mut columnar_ns = Vec::with_capacity(sample.len() * servers.len());
+    for &m in &sample {
+        for &server in &servers {
+            out.clear();
+            let t = Instant::now();
+            ctx.process_at_server_dewey_reference(server, m, &mut out, &mut pool);
+            dewey_ns.push(t.elapsed().as_nanos() as f64);
+            for e in out.drain(..) {
+                pool.release(e);
+            }
+            let t = Instant::now();
+            ctx.process_at_server_pooled(server, m, &mut out, &mut pool);
+            columnar_ns.push(t.elapsed().as_nanos() as f64);
+            for e in out.drain(..) {
+                pool.release(e);
+            }
+        }
+    }
+    let ops = dewey_ns.len();
+    (
+        KernelSide::from_samples(dewey_ns),
+        KernelSide::from_samples(columnar_ns),
+        ops,
+    )
+}
+
+/// Extracts `(engine name, pooled wall-ms median)` pairs from a
+/// previously written snapshot. Hand-rolled to match `config_json`'s
+/// output shape — the repo carries no JSON parser dependency.
+fn parse_snapshot_pooled(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while let Some(i) = text[pos..].find("\"name\": \"") {
+        let start = pos + i + "\"name\": \"".len();
+        let Some(name_len) = text[start..].find('"') else {
+            break;
+        };
+        let name = text[start..start + name_len].to_string();
+        pos = start + name_len;
+        let marker = "\"pooled\": {\"wall_ms_median\": ";
+        let Some(j) = text[pos..].find(marker) else {
+            continue;
+        };
+        let vstart = pos + j + marker.len();
+        let vend = vstart
+            + text[vstart..]
+                .find([',', '}'])
+                .unwrap_or(text.len() - vstart);
+        if let Ok(v) = text[vstart..vend].trim().parse::<f64>() {
+            out.push((name, v));
+        }
+    }
+    out
+}
+
+/// The old snapshot's `doc_label`, for refusing cross-scale diffs.
+fn parse_snapshot_label(text: &str) -> Option<String> {
+    let marker = "\"doc_label\": \"";
+    let start = text.find(marker)? + marker.len();
+    let len = text[start..].find('"')?;
+    Some(text[start..start + len].to_string())
 }
 
 fn answer_key(r: &EvalResult) -> Vec<(usize, u64)> {
@@ -229,6 +363,13 @@ fn main() {
         scaling.push((processors, stats, answer_key(&last) == reference_key));
     }
 
+    // Kernel microbench: per-op latency of the retired Dewey kernel vs
+    // the live columnar one, over a sample of root matches.
+    let kernel_cap = if smoke { 500 } else { 2000 };
+    eprintln!("perfsnap: kernel microbench (Dewey reference vs columnar, {kernel_cap} roots)...");
+    let (kernel_dewey, kernel_columnar, kernel_ops) =
+        kernel_microbench(&workload, &query, &model, kernel_cap);
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!(
@@ -283,7 +424,21 @@ fn main() {
             if i + 1 < scaling.len() { "," } else { "" },
         ));
     }
-    json.push_str("  ]}\n}\n");
+    json.push_str("  ]},\n");
+    let kernel_speedup = if kernel_columnar.median_ns > 0.0 {
+        kernel_dewey.median_ns / kernel_columnar.median_ns
+    } else {
+        1.0
+    };
+    json.push_str(&format!(
+        "  \"kernel\": {{\n    \"ops_per_side\": {kernel_ops},\n"
+    ));
+    kernel_dewey.push_json(&mut json, "dewey", true);
+    kernel_columnar.push_json(&mut json, "columnar", true);
+    json.push_str(&format!(
+        "    \"median_speedup\": {kernel_speedup:.3}\n  }}\n"
+    ));
+    json.push_str("}\n");
 
     // BENCH_trace.json: the aggregated event stream per engine —
     // score-progress trajectory (threshold vs. server ops), per-server
@@ -351,6 +506,12 @@ fn main() {
         );
     }
 
+    eprintln!(
+        "perfsnap: kernel per-op median {:.0} ns (dewey) -> {:.0} ns (columnar), {:.2}x, \
+         {} ops/side",
+        kernel_dewey.median_ns, kernel_columnar.median_ns, kernel_speedup, kernel_ops,
+    );
+
     if rows.iter().any(|r| !r.answers_identical) {
         eprintln!("perfsnap: FAIL — pooled and unpooled runs disagree");
         std::process::exit(1);
@@ -377,7 +538,6 @@ fn main() {
 
     if smoke {
         print!("{json}");
-        eprintln!("perfsnap: smoke OK (no files written)");
     } else {
         let mut file = std::fs::File::create(&out_path)
             .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
@@ -389,5 +549,58 @@ fn main() {
         file.write_all(trace_json.as_bytes())
             .expect("write BENCH trace json");
         eprintln!("perfsnap: wrote {trace_path}");
+    }
+
+    // Snapshot-diff gate: any engine whose pooled median exceeds the
+    // old snapshot's by more than 15 % fails the run. Cross-scale
+    // comparisons (different doc labels) are refused, not guessed at.
+    // Runs after the files are written so a failing run still leaves
+    // the new snapshot behind for inspection (CI uploads it).
+    if let Some(old_path) = value_of("--compare") {
+        let old = std::fs::read_to_string(&old_path)
+            .unwrap_or_else(|e| panic!("cannot read {old_path}: {e}"));
+        let old_label = parse_snapshot_label(&old);
+        if old_label.as_deref() != Some(label) {
+            eprintln!(
+                "perfsnap: WARN — --compare skipped: {old_path} was taken on doc_label {:?}, \
+                 this run is {label:?}",
+                old_label.as_deref().unwrap_or("<missing>"),
+            );
+        } else {
+            let baselines = parse_snapshot_pooled(&old);
+            let mut regressed = false;
+            for row in &rows {
+                let Some((_, old_ms)) = baselines.iter().find(|(n, _)| n == row.name) else {
+                    eprintln!("perfsnap: WARN — {} absent from {old_path}", row.name);
+                    continue;
+                };
+                let delta = if *old_ms > 0.0 {
+                    row.pooled.wall_ms_median / old_ms - 1.0
+                } else {
+                    0.0
+                };
+                let verdict = if delta > 0.15 {
+                    regressed = true;
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                eprintln!(
+                    "perfsnap: compare {:16} pooled {:8.2} ms vs {:8.2} ms ({:+.1}%) {verdict}",
+                    row.name,
+                    row.pooled.wall_ms_median,
+                    old_ms,
+                    delta * 100.0,
+                );
+            }
+            if regressed {
+                eprintln!("perfsnap: FAIL — pooled wall-clock regressed >15% against {old_path}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if smoke {
+        eprintln!("perfsnap: smoke OK");
     }
 }

@@ -142,6 +142,7 @@ pub fn default_options(k: usize) -> EvalOptions {
         selectivity_sample: 64,
         router_batch: 1,
         pooling: true,
+        op_batching: true,
         deadline: None,
         max_server_ops: None,
         fault_plan: None,

@@ -115,6 +115,7 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
         selectivity_sample: 64,
         router_batch: parsed.number("batch", 1)?,
         pooling: !parsed.flag("no-pool"),
+        op_batching: !parsed.flag("no-op-batching"),
         deadline,
         max_server_ops,
         fault_plan,
@@ -186,8 +187,10 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     }
     writeln!(
         out,
-        "work:      {} server ops, {} comparisons, {} matches created, {} pruned",
+        "work:      {} server ops ({} locate batches), {} comparisons, {} matches created, \
+         {} pruned",
         result.metrics.server_ops,
+        result.metrics.server_op_batches,
         result.metrics.predicate_comparisons,
         result.metrics.partials_created,
         result.metrics.pruned
@@ -361,9 +364,10 @@ fn write_json(
     let m = &result.metrics;
     writeln!(
         out,
-        "  \"metrics\": {{\"server_ops\": {}, \"predicate_comparisons\": {},          \"partials_created\": {}, \"pruned\": {}, \"routing_decisions\": {},          \"deadline_hits\": {}, \"servers_failed\": {}, \"matches_redistributed\": {},          \"answers_degraded\": {}}},",
-        m.server_ops, m.predicate_comparisons, m.partials_created, m.pruned, m.routing_decisions,
-        m.deadline_hits, m.servers_failed, m.matches_redistributed, m.answers_degraded
+        "  \"metrics\": {{\"server_ops\": {}, \"server_op_batches\": {}, \"predicate_comparisons\": {},          \"partials_created\": {}, \"pruned\": {}, \"routing_decisions\": {},          \"deadline_hits\": {}, \"servers_failed\": {}, \"matches_redistributed\": {},          \"answers_degraded\": {}}},",
+        m.server_ops, m.server_op_batches, m.predicate_comparisons, m.partials_created, m.pruned,
+        m.routing_decisions, m.deadline_hits, m.servers_failed, m.matches_redistributed,
+        m.answers_degraded
     )?;
     writeln!(out, "  \"answers\": [")?;
     for (i, a) in result.answers.iter().enumerate() {

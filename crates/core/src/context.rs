@@ -10,7 +10,7 @@ use whirlpool_pattern::{
     compile_servers, Direction, QNodeId, ServerSpec, TreePattern, ValueTest, WILDCARD,
 };
 use whirlpool_score::{MatchLevel, ScoreModel};
-use whirlpool_xml::{Document, NodeId, TagId};
+use whirlpool_xml::{Document, NodeId};
 
 /// Whether relaxations are admitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -40,15 +40,34 @@ enum ServerRange<'a> {
     /// with the context's `root_candidates`: `bounds[rank]` is the
     /// `(lo, hi)` sub-slice of `list` holding that root's proper
     /// descendants, computed in one cursor merge pass per server
-    /// instead of two binary searches per root at runtime. `tag` and
-    /// `by_value` survive only for the fallback scan when a match is
-    /// rooted outside the precomputed candidate set.
+    /// instead of two binary searches per root at runtime. Matches
+    /// rooted outside the precomputed candidate set partition `list`
+    /// directly (it is already value-resolved).
     Postings {
         list: &'a [NodeId],
         bounds: Vec<(u32, u32)>,
-        tag: TagId,
-        by_value: bool,
     },
+}
+
+/// One match's candidate range at a server, resolved ahead of
+/// evaluation: the *locate* half of the split server operation.
+///
+/// Produced by [`QueryContext::locate_batch_at_server`] (one galloping
+/// cursor sweep per batch, document order) and consumed by
+/// [`QueryContext::process_located_at_server_pooled`] (the columnar
+/// predicate kernel). Plain index pairs, so a batch plan is a flat
+/// `Vec<Located>` with no borrows into the context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Located {
+    /// The server's tag never occurs in the document: the evaluation
+    /// half goes straight to the outer-join null path.
+    Absent,
+    /// Wildcard universe: the raw node-id range `[lo, hi)` under the
+    /// match's root.
+    Any(u32, u32),
+    /// The sub-slice `[lo, hi)` of the server's posting list holding
+    /// the root's proper descendants.
+    Slice(u32, u32),
 }
 
 /// A server's candidate stream for one match: either a posting
@@ -118,6 +137,10 @@ pub struct QueryContext<'a> {
     /// Whether pools handed out by [`QueryContext::new_pool`] recycle
     /// binding buffers (otherwise they degrade to plain allocation).
     pooling: bool,
+    /// Whether the engines should locate candidate ranges for whole
+    /// batches of same-server matches up front (one cursor sweep per
+    /// batch) instead of per match.
+    op_batching: bool,
     seq: AtomicU64,
 }
 
@@ -135,6 +158,12 @@ pub struct ContextOptions {
     /// sets are identical either way; disabling exists for A/B
     /// measurement of the allocator traffic.
     pub pooling: bool,
+    /// Resolve candidate ranges for whole same-server batches up front
+    /// (`true`, the default) or per match. The evaluation order, trace
+    /// events, metrics, and routing decisions are identical either way
+    /// (the locate half is a pure function of the match root); the
+    /// differential suite pins batched == unbatched.
+    pub op_batching: bool,
 }
 
 impl Default for ContextOptions {
@@ -144,6 +173,7 @@ impl Default for ContextOptions {
             selectivity_sample: 64,
             op_cost: None,
             pooling: true,
+            op_batching: true,
         }
     }
 }
@@ -207,9 +237,9 @@ impl<'a> QueryContext<'a> {
                 let Some(tag) = doc.tag_id(&s.tag) else {
                     return ServerRange::Absent;
                 };
-                let (list, by_value) = match &s.value {
-                    Some(ValueTest::Eq(v)) => (index.nodes_with_tag_value(tag, v), true),
-                    _ => (index.nodes_with_tag(tag), false),
+                let list = match &s.value {
+                    Some(ValueTest::Eq(v)) => index.nodes_with_tag_value(tag, v),
+                    _ => index.nodes_with_tag(tag),
                 };
                 let mut cursor = RangeCursor::new(list);
                 let bounds = root_candidates
@@ -220,12 +250,7 @@ impl<'a> QueryContext<'a> {
                         (lo as u32, hi as u32)
                     })
                     .collect();
-                ServerRange::Postings {
-                    list,
-                    bounds,
-                    tag,
-                    by_value,
-                }
+                ServerRange::Postings { list, bounds }
             })
             .collect();
 
@@ -261,6 +286,7 @@ impl<'a> QueryContext<'a> {
             full_mask: PartialMatch::full_mask(pattern.len()),
             op_cost: options.op_cost,
             pooling: options.pooling,
+            op_batching: options.op_batching,
             seq: AtomicU64::new(0),
         }
     }
@@ -295,6 +321,11 @@ impl<'a> QueryContext<'a> {
     /// Candidate bindings for the pattern root, in document order.
     pub fn root_candidates(&self) -> &[NodeId] {
         &self.root_candidates
+    }
+
+    /// Should the engines locate candidate ranges batch-at-a-time?
+    pub fn op_batching(&self) -> bool {
+        self.op_batching
     }
 
     fn next_seq(&self) -> u64 {
@@ -383,13 +414,156 @@ impl<'a> QueryContext<'a> {
     }
 
     /// [`process_at_server`](Self::process_at_server), but drawing the
-    /// extensions' binding buffers from `pool`. All engines call this
-    /// with a long-lived pool; the unpooled entry point above merely
-    /// wraps it with a throwaway one.
+    /// extensions' binding buffers from `pool`. Locates the match's
+    /// candidate range and evaluates it; the engines' batch paths split
+    /// the two halves ([`locate_batch_at_server`]
+    /// [`process_located_at_server_pooled`]) so a whole drained batch
+    /// is located in one sweep.
+    ///
+    /// [`locate_batch_at_server`]: Self::locate_batch_at_server
+    /// [`process_located_at_server_pooled`]: Self::process_located_at_server_pooled
     pub fn process_at_server_pooled(
         &self,
         server: QNodeId,
         m: &PartialMatch,
+        out: &mut Vec<PartialMatch>,
+        pool: &mut MatchPool<'_>,
+    ) -> usize {
+        let loc = self.locate_one(server, m.root());
+        self.process_located_at_server_pooled(server, m, loc, out, pool)
+    }
+
+    /// Resolves one match root's candidate range at `server`: the
+    /// *locate* half of a server operation, a pure function of the
+    /// root (no metrics, no extensions).
+    fn locate_one(&self, server: QNodeId, root: NodeId) -> Located {
+        match &self.server_ranges[server.index() - 1] {
+            ServerRange::Absent => Located::Absent,
+            ServerRange::Any => Located::Any(
+                root.index() as u32 + 1,
+                self.index.subtree_end(root).index() as u32,
+            ),
+            ServerRange::Postings { list, bounds } => {
+                match self.root_rank.get(root.index()).copied() {
+                    Some(rank) if rank != u32::MAX => {
+                        let (lo, hi) = bounds[rank as usize];
+                        Located::Slice(lo, hi)
+                    }
+                    // A match rooted outside the precomputed candidate
+                    // set (reachable only by calling process_at_server
+                    // directly): fall back to the binary-search scan.
+                    _ => {
+                        let lo = list.partition_point(|&n| n <= root);
+                        let end = self.index.subtree_end(root).index() as u32;
+                        let hi = list.partition_point(|&n| (n.index() as u32) < end);
+                        Located::Slice(lo as u32, hi as u32)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Locates the candidate ranges of a whole batch of matches bound
+    /// for `server`, given their roots in the engine's processing
+    /// order. The plan is written into `plan` (cleared first), aligned
+    /// with `roots`.
+    ///
+    /// Roots inside the precomputed candidate set resolve O(1) against
+    /// the per-root `bounds` table (itself the product of one galloping
+    /// [`RangeCursor`] sweep per server at construction). Any stragglers
+    /// rooted outside that set are sorted into document order and
+    /// resolved in one further galloping cursor sweep over the server's
+    /// postings — never per-match binary searches.
+    ///
+    /// Locating is a pure function of each root, so the plan is
+    /// insensitive to batch order and the evaluation half can run in
+    /// whatever priority order the engine chooses: batched and
+    /// unbatched runs produce identical extensions, metrics, traces,
+    /// and routing decisions.
+    pub fn locate_batch_at_server(
+        &self,
+        server: QNodeId,
+        roots: &[NodeId],
+        plan: &mut Vec<Located>,
+    ) {
+        plan.clear();
+        self.metrics.add_server_op_batch();
+        match &self.server_ranges[server.index() - 1] {
+            ServerRange::Absent => plan.extend(roots.iter().map(|_| Located::Absent)),
+            ServerRange::Any => plan.extend(roots.iter().map(|&r| {
+                Located::Any(
+                    r.index() as u32 + 1,
+                    self.index.subtree_end(r).index() as u32,
+                )
+            })),
+            ServerRange::Postings { list, bounds } => {
+                let mut misses: Vec<(u32, NodeId)> = Vec::new();
+                plan.extend(roots.iter().enumerate().map(|(i, &r)| {
+                    match self.root_rank.get(r.index()).copied() {
+                        Some(rank) if rank != u32::MAX => {
+                            let (lo, hi) = bounds[rank as usize];
+                            Located::Slice(lo, hi)
+                        }
+                        _ => {
+                            misses.push((i as u32, r));
+                            Located::Slice(0, 0)
+                        }
+                    }
+                }));
+                if !misses.is_empty() {
+                    misses.sort_unstable_by_key(|&(_, r)| r);
+                    let mut cursor = RangeCursor::new(list);
+                    for (i, r) in misses {
+                        let end = self.index.subtree_end(r).index() as u32;
+                        let (lo, hi) = cursor.bounds(r, end);
+                        plan[i as usize] = Located::Slice(lo as u32, hi as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One batched server operation over a slice of matches bound for
+    /// the same server: locates every match's candidate range in one
+    /// sweep ([`locate_batch_at_server`](Self::locate_batch_at_server)),
+    /// then evaluates the matches in slice order. Returns the number of
+    /// extensions pushed onto `out`.
+    ///
+    /// The engines inline this composition so they can interleave their
+    /// per-match bookkeeping (pruning, tracing, routing) between the
+    /// evaluation steps; semantics are identical.
+    pub fn process_batch_at_server_pooled(
+        &self,
+        server: QNodeId,
+        batch: &[PartialMatch],
+        out: &mut Vec<PartialMatch>,
+        pool: &mut MatchPool<'_>,
+    ) -> usize {
+        let roots: Vec<NodeId> = batch.iter().map(PartialMatch::root).collect();
+        let mut plan = Vec::new();
+        self.locate_batch_at_server(server, &roots, &mut plan);
+        batch
+            .iter()
+            .zip(&plan)
+            .map(|(m, &loc)| self.process_located_at_server_pooled(server, m, loc, out, pool))
+            .sum()
+    }
+
+    /// The *evaluate* half of a server operation: extends `m` with
+    /// every valid candidate in its pre-located range `loc` (or the
+    /// outer-join null), drawing buffers from `pool`.
+    ///
+    /// All structural predicates resolve through the flat
+    /// [`StructuralColumns`](whirlpool_index::StructuralColumns) —
+    /// parent lookups, depth deltas, and pre-order containment tests —
+    /// so the candidate loop performs no Dewey materialization (pinned
+    /// by a `debug_assert` on [`Document::dewey`]'s read counter; Dewey
+    /// paths serve answer serialization only).
+    pub fn process_located_at_server_pooled(
+        &self,
+        server: QNodeId,
+        m: &PartialMatch,
+        loc: Located,
         out: &mut Vec<PartialMatch>,
         pool: &mut MatchPool<'_>,
     ) -> usize {
@@ -401,48 +575,25 @@ impl<'a> QueryContext<'a> {
 
         let spec = self.server_spec(server);
         let root = m.root();
-        let root_dewey = self.doc.dewey(root);
         let server_max = self.max_contrib[server.index()];
         let before = out.len();
+        let columns = self.index.columns();
 
-        let server_range = &self.server_ranges[server.index() - 1];
-        let candidates = match server_range {
-            ServerRange::Absent => Candidates::Slice([].iter()),
-            ServerRange::Any => Candidates::Range(
-                root.index() as u32 + 1,
-                self.index.subtree_end(root).index() as u32,
-            ),
-            ServerRange::Postings {
-                list,
-                bounds,
-                tag,
-                by_value,
-            } => {
-                match self.root_rank.get(root.index()).copied() {
-                    Some(rank) if rank != u32::MAX => {
-                        let (lo, hi) = bounds[rank as usize];
-                        Candidates::Slice(list[lo as usize..hi as usize].iter())
-                    }
-                    // A match rooted outside the precomputed candidate
-                    // set (reachable only by calling process_at_server
-                    // directly): fall back to the binary-search scan.
-                    _ => Candidates::Slice(
-                        if *by_value {
-                            match &spec.value {
-                                Some(ValueTest::Eq(v)) => {
-                                    self.index.descendants_with_tag_value(root, *tag, v)
-                                }
-                                _ => unreachable!("by_value without an Eq value test"),
-                            }
-                        } else {
-                            self.index.descendants_with_tag(root, *tag)
-                        }
-                        .iter(),
-                    ),
-                }
+        let candidates = match loc {
+            Located::Absent => Candidates::Slice([].iter()),
+            Located::Any(lo, hi) => Candidates::Range(lo, hi),
+            Located::Slice(lo, hi) => {
+                let ServerRange::Postings { list, .. } = &self.server_ranges[server.index() - 1]
+                else {
+                    unreachable!("Located::Slice at a server without postings");
+                };
+                Candidates::Slice(list[lo as usize..hi as usize].iter())
             }
         };
-        let is_wildcard = matches!(server_range, ServerRange::Any);
+        let is_wildcard = matches!(loc, Located::Any(..));
+
+        #[cfg(debug_assertions)]
+        let dewey_reads_before = self.doc.dewey_reads();
 
         let mut comparisons = 0u64;
         for cand in candidates {
@@ -476,17 +627,17 @@ impl<'a> QueryContext<'a> {
                 }
             }
 
-            let cand_dewey = self.doc.dewey(cand);
-
             // Root predicate: the exact composed form decides the score
             // level; the relaxed form (ad) holds by construction of the
-            // range scan. Scoring is *root-relative* (the component
-            // predicates of Definition 4.1 all relate the returned node
-            // to the server node), which keeps a tuple's score
-            // independent of the order servers ran in — a property the
-            // engine-equivalence guarantees rely on.
+            // range scan, so the columnar in-range test suffices (pc is
+            // one parent lookup, depth-bounded chains one depth delta).
+            // Scoring is *root-relative* (the component predicates of
+            // Definition 4.1 all relate the returned node to the server
+            // node), which keeps a tuple's score independent of the
+            // order servers ran in — a property the engine-equivalence
+            // guarantees rely on.
             comparisons += 1;
-            let level = if spec.root_exact.holds(root_dewey, cand_dewey) {
+            let level = if columns.holds_in_range(spec.root_exact, root, cand) {
                 MatchLevel::Exact
             } else {
                 MatchLevel::Relaxed
@@ -503,6 +654,147 @@ impl<'a> QueryContext<'a> {
             // the (ad) universe is valid: subtree promotion and edge
             // generalization have already weakened every conditional
             // predicate, and scores follow the root predicate above.
+            let mut valid = true;
+            if self.relax == RelaxMode::Exact {
+                for cp in &spec.conditional {
+                    let Binding::Matched { node: other, .. } = m.bindings[cp.other.index()] else {
+                        continue;
+                    };
+                    comparisons += 1;
+                    let holds_exact = match cp.direction {
+                        Direction::FromAncestor => columns.holds(cp.exact, other, cand),
+                        Direction::ToDescendant => columns.holds(cp.exact, cand, other),
+                    };
+                    if !holds_exact {
+                        valid = false;
+                        break;
+                    }
+                }
+            }
+            if !valid {
+                continue;
+            }
+
+            let contribution = self.model.contribution(server, cand, level);
+            out.push(m.extend_in(
+                pool,
+                self.next_seq(),
+                server,
+                Binding::Matched { node: cand, level },
+                contribution,
+                server_max,
+            ));
+        }
+
+        // The grep-able no-Dewey guarantee: the candidate loop above
+        // must not have touched doc.dewey.
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            self.doc.dewey_reads(),
+            dewey_reads_before,
+            "hot candidate loop materialized a Dewey path"
+        );
+
+        self.metrics.add_comparisons(comparisons);
+
+        // Outer-join semantics: no candidate ⇒ one null extension (the
+        // leaf-deletion relaxation). In exact mode the match simply dies.
+        if out.len() == before && self.relax == RelaxMode::Relaxed {
+            out.push(m.extend_in(
+                pool,
+                self.next_seq(),
+                server,
+                Binding::Null,
+                0.0,
+                server_max,
+            ));
+        }
+
+        let produced = out.len() - before;
+        self.metrics.add_created(produced as u64);
+        produced
+    }
+
+    /// The pre-columnar server operation, kept verbatim as the
+    /// measurement baseline for the kernel microbench (`perfsnap`'s
+    /// `kernel` section) and as a differential oracle in tests: every
+    /// structural predicate is evaluated by materializing and
+    /// prefix-comparing Dewey paths (O(depth) per candidate) exactly as
+    /// the engines did before the columnar kernels.
+    ///
+    /// Counts the same metrics as the live kernel; not called by any
+    /// engine.
+    pub fn process_at_server_dewey_reference(
+        &self,
+        server: QNodeId,
+        m: &PartialMatch,
+        out: &mut Vec<PartialMatch>,
+        pool: &mut MatchPool<'_>,
+    ) -> usize {
+        debug_assert!(!m.has_visited(server));
+        self.metrics.add_server_op();
+        if let Some(cost) = self.op_cost {
+            busy_wait(cost);
+        }
+
+        let spec = self.server_spec(server);
+        let root = m.root();
+        let root_dewey = self.doc.dewey(root);
+        let server_max = self.max_contrib[server.index()];
+        let before = out.len();
+
+        let loc = self.locate_one(server, root);
+        let candidates = match loc {
+            Located::Absent => Candidates::Slice([].iter()),
+            Located::Any(lo, hi) => Candidates::Range(lo, hi),
+            Located::Slice(lo, hi) => {
+                let ServerRange::Postings { list, .. } = &self.server_ranges[server.index() - 1]
+                else {
+                    unreachable!("Located::Slice at a server without postings");
+                };
+                Candidates::Slice(list[lo as usize..hi as usize].iter())
+            }
+        };
+        let is_wildcard = matches!(loc, Located::Any(..));
+
+        let mut comparisons = 0u64;
+        for cand in candidates {
+            if is_wildcard {
+                if let Some(v) = &spec.value {
+                    comparisons += 1;
+                    if !v.matches(self.doc.text(cand)) {
+                        continue;
+                    }
+                }
+            } else if let Some(v @ ValueTest::Contains(_)) = &spec.value {
+                comparisons += 1;
+                if !v.matches(self.doc.text(cand)) {
+                    continue;
+                }
+            }
+
+            if !spec.attrs.is_empty() {
+                comparisons += spec.attrs.len() as u64;
+                if !spec
+                    .attrs
+                    .iter()
+                    .all(|a| a.matches(self.doc.attribute(cand, &a.name)))
+                {
+                    continue;
+                }
+            }
+
+            let cand_dewey = self.doc.dewey(cand);
+            comparisons += 1;
+            let level = if spec.root_exact.holds(root_dewey, cand_dewey) {
+                MatchLevel::Exact
+            } else {
+                MatchLevel::Relaxed
+            };
+            if self.relax == RelaxMode::Exact && level != MatchLevel::Exact {
+                continue;
+            }
+
             let mut valid = true;
             if self.relax == RelaxMode::Exact {
                 for cp in &spec.conditional {
@@ -540,8 +832,6 @@ impl<'a> QueryContext<'a> {
         }
         self.metrics.add_comparisons(comparisons);
 
-        // Outer-join semantics: no candidate ⇒ one null extension (the
-        // leaf-deletion relaxation). In exact mode the match simply dies.
         if out.len() == before && self.relax == RelaxMode::Relaxed {
             out.push(m.extend_in(
                 pool,

@@ -72,6 +72,14 @@ pub struct EvalOptions {
     /// thread, for Whirlpool-M) [`MatchPool`](crate::MatchPool)s.
     /// Defaults to `true`; answer sets are identical either way.
     pub pooling: bool,
+    /// Locate candidate ranges for whole drained same-server batches in
+    /// one sweep
+    /// ([`locate_batch_at_server`](crate::QueryContext::locate_batch_at_server))
+    /// instead of per match. Defaults to `true`; answers, metrics,
+    /// traces, and routing decisions are identical either way (pinned
+    /// by the batching differential suite) — disabling exists for A/B
+    /// measurement.
+    pub op_batching: bool,
     /// Wall-clock budget: when it expires the engine stops consuming
     /// work and returns the current top-k as an anytime answer tagged
     /// [`Completeness::Truncated`]. `None`: run to completion.
@@ -107,6 +115,7 @@ impl EvalOptions {
             selectivity_sample: 64,
             router_batch: 1,
             pooling: true,
+            op_batching: true,
             deadline: None,
             max_server_ops: None,
             fault_plan: None,
@@ -176,6 +185,7 @@ pub fn evaluate(
             selectivity_sample: options.selectivity_sample,
             op_cost: options.op_cost,
             pooling: options.pooling,
+            op_batching: options.op_batching,
         },
     );
     evaluate_with_context(&ctx, algorithm, options)

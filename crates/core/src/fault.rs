@@ -491,6 +491,55 @@ pub(crate) fn guarded_process(
     false
 }
 
+/// [`guarded_process`] for the batched path: the match's candidate
+/// range was already resolved by
+/// [`QueryContext::locate_batch_at_server`], so the guarded work is the
+/// evaluation half only. Fault semantics are identical — locating is a
+/// pure read with no per-server fault site.
+#[allow(clippy::too_many_arguments)] // guarded_process's signature plus the plan entry
+pub(crate) fn guarded_process_located(
+    ctx: &crate::context::QueryContext<'_>,
+    control: &RunControl,
+    trunc: &Truncation,
+    server: QNodeId,
+    m: &crate::partial::PartialMatch,
+    loc: crate::context::Located,
+    exts: &mut Vec<crate::partial::PartialMatch>,
+    pool: &mut crate::pool::MatchPool<'_>,
+) -> bool {
+    if !control.has_faults() {
+        ctx.process_located_at_server_pooled(server, m, loc, exts, pool);
+        return true;
+    }
+    if control.is_dead(server) {
+        return false;
+    }
+    for attempt in 0..2 {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+            || -> Result<(), EngineError> {
+                control.before_op(server)?;
+                ctx.process_located_at_server_pooled(server, m, loc, exts, pool);
+                Ok(())
+            },
+        ));
+        match outcome {
+            Ok(Ok(())) => return true,
+            Ok(Err(_)) | Err(_) => {
+                for e in exts.drain(..) {
+                    pool.release(e);
+                }
+                if attempt == 1 {
+                    if control.mark_dead(server) {
+                        ctx.metrics.add_server_failed();
+                    }
+                    trunc.mark();
+                }
+            }
+        }
+    }
+    false
+}
+
 /// Degrades `m` to completion: every remaining unvisited server —
 /// the caller has established that none of them is alive — is bound to
 /// the outer-join null with the leaf-deletion score. Only meaningful in

@@ -77,7 +77,7 @@ pub mod vtime;
 mod whirlpool_m;
 mod whirlpool_s;
 
-pub use context::{ContextOptions, QueryContext, RelaxMode};
+pub use context::{ContextOptions, Located, QueryContext, RelaxMode};
 pub use engine::{evaluate, evaluate_with_context, Algorithm, EvalOptions, EvalResult};
 pub use error::{Completeness, EngineError};
 pub use fault::{Budget, EngineRun, FaultKind, FaultPlan, RunControl};

@@ -12,8 +12,8 @@
 //!   and sorts at the end. Its partial-match count is the "maximum
 //!   possible number of partial matches" denominator of Table 2.
 
-use crate::context::{QueryContext, RelaxMode};
-use crate::fault::{guarded_process, EngineRun, RunControl, Truncation};
+use crate::context::{Located, QueryContext, RelaxMode};
+use crate::fault::{guarded_process, guarded_process_located, EngineRun, RunControl, Truncation};
 use crate::partial::PartialMatch;
 use crate::queue::QueuePolicy;
 use crate::topk::{RankedAnswer, TopKSet};
@@ -65,6 +65,7 @@ pub fn run_lockstep_anytime(
     }
     tr.span_end("seed");
 
+    let mut locs: Vec<Located> = Vec::new();
     'stages: for &server in plan.order() {
         if tr.enabled() {
             tr.span_begin(&format!("stage q{}", server.0));
@@ -77,10 +78,24 @@ pub fn run_lockstep_anytime(
             .collect();
         keyed.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.seq.cmp(&b.1.seq)));
 
+        // Resolve every stage member's candidate range in one batched
+        // sweep (document order inside `locate_batch_at_server`), then
+        // evaluate in the best-first order chosen above. Location is a
+        // pure function of the match root, so hoisting it out of the
+        // priority loop cannot change any answer or counter.
+        let batching = ctx.op_batching();
+        if batching {
+            let roots: Vec<_> = keyed.iter().map(|(_, m)| m.root()).collect();
+            ctx.locate_batch_at_server(server, &roots, &mut locs);
+        }
+
         let mut next = Vec::new();
         let mut exts = Vec::new();
+        let mut at = 0usize;
         let mut stage = keyed.into_iter();
         while let Some((_, m)) = stage.next() {
+            let loc = if batching { locs[at] } else { Located::Absent };
+            at += 1;
             if control.exhausted(&ctx.metrics) {
                 if trunc.expire() {
                     ctx.metrics.add_deadline_hit();
@@ -111,7 +126,12 @@ pub fn run_lockstep_anytime(
             }
             exts.clear();
             let t0 = tr.op_start();
-            if guarded_process(ctx, control, &trunc, server, &m, &mut exts, &mut pool) {
+            let ran = if batching {
+                guarded_process_located(ctx, control, &trunc, server, &m, loc, &mut exts, &mut pool)
+            } else {
+                guarded_process(ctx, control, &trunc, server, &m, &mut exts, &mut pool)
+            };
+            if ran {
                 tr.server_op(server, m.seq, exts.len(), t0);
                 pool.release(m);
             } else {
@@ -218,14 +238,26 @@ pub fn run_lockstep_noprune_anytime(
     }
     tr.span_end("seed");
     tr.span_begin("evaluate");
+    let batching = ctx.op_batching();
+    let mut locs: Vec<Located> = Vec::new();
     let mut roots = root_matches.into_iter();
     'roots: while let Some(root_match) = roots.next() {
         frontier.clear();
         frontier.push(root_match);
         for &server in plan.order() {
             next.clear();
+            // All matches in this stage share one root (the engine runs
+            // root-by-root), so the batched locate collapses to a single
+            // range resolution reused across the whole stage.
+            if batching {
+                let stage_roots: Vec<_> = frontier.iter().map(|m| m.root()).collect();
+                ctx.locate_batch_at_server(server, &stage_roots, &mut locs);
+            }
+            let mut at = 0usize;
             let mut stage = std::mem::take(&mut frontier).into_iter();
             while let Some(m) = stage.next() {
+                let loc = if batching { locs[at] } else { Located::Absent };
+                at += 1;
                 if control.exhausted(&ctx.metrics) {
                     if trunc.expire() {
                         ctx.metrics.add_deadline_hit();
@@ -246,7 +278,14 @@ pub fn run_lockstep_noprune_anytime(
                 }
                 let before = next.len();
                 let t0 = tr.op_start();
-                if guarded_process(ctx, control, &trunc, server, &m, &mut next, &mut pool) {
+                let ran = if batching {
+                    guarded_process_located(
+                        ctx, control, &trunc, server, &m, loc, &mut next, &mut pool,
+                    )
+                } else {
+                    guarded_process(ctx, control, &trunc, server, &m, &mut next, &mut pool)
+                };
+                if ran {
                     tr.server_op(server, m.seq, next.len() - before, t0);
                     pool.release(m);
                 } else {

@@ -14,6 +14,11 @@ pub struct Metrics {
     /// Partial matches processed by a server ("server operations",
     /// Figure 7).
     pub server_ops: AtomicU64,
+    /// Batched locate sweeps: calls to
+    /// [`locate_batch_at_server`](crate::QueryContext::locate_batch_at_server),
+    /// each resolving the candidate ranges of one drained same-server
+    /// batch.
+    pub server_op_batches: AtomicU64,
     /// Individual join-predicate comparisons (Figure 3's unit).
     pub predicate_comparisons: AtomicU64,
     /// Partial matches created, including the initial root matches
@@ -51,6 +56,12 @@ impl Metrics {
     #[inline]
     pub fn add_server_op(&self) {
         self.server_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one batched locate sweep.
+    #[inline]
+    pub fn add_server_op_batch(&self) {
+        self.server_op_batches.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts `n` join-predicate comparisons.
@@ -117,6 +128,7 @@ impl Metrics {
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             server_ops: self.server_ops.load(Ordering::Relaxed),
+            server_op_batches: self.server_op_batches.load(Ordering::Relaxed),
             predicate_comparisons: self.predicate_comparisons.load(Ordering::Relaxed),
             partials_created: self.partials_created.load(Ordering::Relaxed),
             pruned: self.pruned.load(Ordering::Relaxed),
@@ -136,6 +148,8 @@ impl Metrics {
 pub struct MetricsSnapshot {
     /// Partial matches processed by servers.
     pub server_ops: u64,
+    /// Batched locate sweeps over same-server match groups.
+    pub server_op_batches: u64,
     /// Individual join-predicate comparisons.
     pub predicate_comparisons: u64,
     /// Partial matches created (root matches included).

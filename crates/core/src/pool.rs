@@ -41,9 +41,9 @@ const HUB_SHARD_MAX: usize = 256;
 /// free lists strand buffers: a worker that mostly *consumes* matches
 /// (its server sits late in routing orders) hoards buffers that the
 /// workers spawning matches keep allocating fresh. The hub rebalances
-/// in **blocks** of [`HUB_BLOCK`] buffers — a shard that runs dry takes
+/// in **blocks** of `HUB_BLOCK` buffers — a shard that runs dry takes
 /// a whole block under one lock acquisition, a shard that overflows
-/// [`HUB_SHARD_MAX`] donates one — so the hub lock is touched once per
+/// `HUB_SHARD_MAX` donates one — so the hub lock is touched once per
 /// block, not once per match.
 #[derive(Default)]
 pub struct PoolHub {

@@ -21,8 +21,8 @@
 //! every rescued match either re-enters the router queue (count
 //! unchanged) or leaves the system (count decremented).
 
-use crate::context::{QueryContext, RelaxMode};
-use crate::fault::{guarded_process, EngineRun, RunControl, Truncation};
+use crate::context::{Located, QueryContext, RelaxMode};
+use crate::fault::{guarded_process, guarded_process_located, EngineRun, RunControl, Truncation};
 use crate::partial::PartialMatch;
 use crate::pool::PoolHub;
 use crate::queue::{MatchQueue, QueuePolicy};
@@ -577,8 +577,10 @@ fn server_loop(shared: &Shared<'_, '_>, server: QNodeId, control: &RunControl, t
     // synchronization; whole blocks of buffers rebalance through the
     // shared hub when a shard runs dry or overflows.
     let mut pool = ctx.new_pool_shared(&shared.pool_hub);
+    let batching = ctx.op_batching();
     let mut exts = Vec::new();
     let mut local = Vec::new();
+    let mut locs: Vec<Located> = Vec::new();
     let mut survivors = Vec::new();
     let mut tr = if control.tracing() {
         control.trace_worker(&format!("server q{}", server.0))
@@ -594,11 +596,23 @@ fn server_loop(shared: &Shared<'_, '_>, server: QNodeId, control: &RunControl, t
         // Process the drained batch highest-priority first (the drain
         // preserved heap order; reverse so pop() walks it front-first).
         local.reverse();
+        // One document-order locate sweep resolves every drained
+        // match's candidate range before any is evaluated; `locs` stays
+        // aligned with `local` and the two are popped in lockstep.
+        if batching {
+            let roots: Vec<_> = local.iter().map(|m| m.root()).collect();
+            ctx.locate_batch_at_server(server, &roots, &mut locs);
+        }
         // Net in-flight change accumulated across the batch; applied
         // in one atomic op at settle time, before the survivors are
         // pushed, so the count never undercounts live matches.
         let mut net = 0i64;
         while let Some(m) = local.pop() {
+            let loc = if batching {
+                locs.pop().expect("locs stays aligned with local")
+            } else {
+                Located::Absent
+            };
             if trunc.is_expired() || control.exhausted(&ctx.metrics) {
                 drain_expired(shared, trunc, m, &mut pool, &mut tr);
                 continue;
@@ -618,7 +632,13 @@ fn server_loop(shared: &Shared<'_, '_>, server: QNodeId, control: &RunControl, t
             let ran = {
                 // The processor budget covers the join work itself.
                 let _permit = shared.sem.as_ref().map(Semaphore::acquire);
-                guarded_process(ctx, control, trunc, server, &m, &mut exts, &mut pool)
+                if batching {
+                    guarded_process_located(
+                        ctx, control, trunc, server, &m, loc, &mut exts, &mut pool,
+                    )
+                } else {
+                    guarded_process(ctx, control, trunc, server, &m, &mut exts, &mut pool)
+                }
             };
             if !ran {
                 // This server is dead (it may have just died under

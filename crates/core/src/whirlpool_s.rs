@@ -7,8 +7,11 @@
 //! final score as it is the one on top of the router queue" (§6.1.2) —
 //! the order MPro/Upper prove necessary for instance-optimal probing.
 
-use crate::context::{QueryContext, RelaxMode};
-use crate::fault::{degrade_to_completion, guarded_process, EngineRun, RunControl, Truncation};
+use crate::context::{Located, QueryContext, RelaxMode};
+use crate::fault::{
+    degrade_to_completion, guarded_process, guarded_process_located, EngineRun, RunControl,
+    Truncation,
+};
 use crate::queue::{MatchQueue, QueuePolicy};
 use crate::router::RoutingStrategy;
 use crate::topk::{RankedAnswer, TopKSet};
@@ -91,9 +94,11 @@ pub fn run_whirlpool_s_anytime(
     tr.span_end("seed");
 
     tr.span_begin("route-and-process");
+    let batching = ctx.op_batching();
     let mut exts = Vec::new();
     let mut group = Vec::new();
     let mut put_back = Vec::new();
+    let mut locs: Vec<Located> = Vec::new();
     while let Some(m) = queue.pop() {
         if control.exhausted(&ctx.metrics) {
             if trunc.expire() {
@@ -180,10 +185,23 @@ pub fn run_whirlpool_s_anytime(
             }
             continue;
         };
-        for m in group.drain(..) {
+        // One locate sweep for the whole routed group (a batch of one
+        // when bulk routing is off), then per-member evaluation in the
+        // group's queue order with bookkeeping unchanged.
+        if batching {
+            let roots: Vec<_> = group.iter().map(|x| x.root()).collect();
+            ctx.locate_batch_at_server(server, &roots, &mut locs);
+        }
+        for (at, m) in group.drain(..).enumerate() {
+            let loc = if batching { locs[at] } else { Located::Absent };
             exts.clear();
             let t0 = tr.op_start();
-            if !guarded_process(ctx, control, &trunc, server, &m, &mut exts, &mut pool) {
+            let ran = if batching {
+                guarded_process_located(ctx, control, &trunc, server, &m, loc, &mut exts, &mut pool)
+            } else {
+                guarded_process(ctx, control, &trunc, server, &m, &mut exts, &mut pool)
+            };
+            if !ran {
                 // The chosen server died under us: requeue the match so
                 // the next pop re-routes it among the survivors.
                 ctx.metrics.add_match_redistributed();

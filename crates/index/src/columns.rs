@@ -1,0 +1,207 @@
+//! Flat per-node structural columns.
+//!
+//! The scoring model only ever needs *root-relative* structural facts
+//! about a candidate — parent-of, depth delta, containment (paper
+//! Definitions 4.1–4.4). All three are O(1) lookups against flat
+//! arrays indexed by [`NodeId`], so the server-op hot loop never has
+//! to materialize and prefix-compare Dewey paths (an O(depth) walk per
+//! candidate). Dewey encodings remain the answer-serialization format;
+//! these columns are the evaluation format.
+
+use whirlpool_pattern::ComposedAxis;
+use whirlpool_xml::{Document, NodeId};
+
+/// Sentinel parent value for the synthetic document root.
+const NO_PARENT: u32 = u32::MAX;
+
+/// Flat structural columns for one document: `parent`, `depth`, and
+/// `subtree_end`, all indexed by raw node id.
+///
+/// Built in the same pass as [`TagIndex::build`](crate::TagIndex::build)
+/// and exposed through [`TagIndex::columns`](crate::TagIndex::columns).
+/// Because node ids are assigned in pre-order, containment is the pure
+/// integer test `a < b && b < subtree_end[a]`, and the composed
+/// structural predicates of the compiled plan reduce to one or two
+/// integer comparisons (see [`StructuralColumns::holds`]).
+pub struct StructuralColumns {
+    /// `parent[n]` = raw id of `n`'s parent; `u32::MAX` for the root.
+    parent: Vec<u32>,
+    /// `depth[n]` = depth of `n` (document root is 0).
+    depth: Vec<u16>,
+    /// `subtree_end[n]` = one past the last descendant of `n`.
+    subtree_end: Vec<u32>,
+}
+
+impl StructuralColumns {
+    /// Builds the columns in one forward pass (parent, depth) and one
+    /// reverse pass (subtree extents) over the node arena — no
+    /// intermediate allocation.
+    pub fn build(doc: &Document) -> Self {
+        let n = doc.len();
+        let mut parent = vec![NO_PARENT; n];
+        let mut depth = vec![0u16; n];
+        for id in doc.elements() {
+            let p = doc
+                .parent(id)
+                .expect("non-root node without a parent")
+                .index();
+            parent[id.index()] = p as u32;
+            depth[id.index()] = depth[p]
+                .checked_add(1)
+                .expect("document deeper than u16::MAX");
+        }
+
+        // Subtree extents: ids are pre-order, so every descendant of a
+        // node has a larger id and (walking ids in reverse) is final
+        // before its parent is visited — fold each node's extent into
+        // its parent's.
+        let mut subtree_end: Vec<u32> = (1..=n as u32).collect();
+        for id in (1..n).rev() {
+            let p = parent[id] as usize;
+            if subtree_end[id] > subtree_end[p] {
+                subtree_end[p] = subtree_end[id];
+            }
+        }
+
+        StructuralColumns {
+            parent,
+            depth,
+            subtree_end,
+        }
+    }
+
+    /// The parent of `n`, `None` for the document root.
+    #[inline]
+    pub fn parent_of(&self, n: NodeId) -> Option<NodeId> {
+        match self.parent[n.index()] {
+            NO_PARENT => None,
+            p => Some(NodeId::from_index(p as usize)),
+        }
+    }
+
+    /// The depth of `n`; the document root has depth 0.
+    #[inline]
+    pub fn depth_of(&self, n: NodeId) -> usize {
+        self.depth[n.index()] as usize
+    }
+
+    /// One past the last descendant of `n`, as a raw id.
+    #[inline]
+    pub fn subtree_end_raw(&self, n: NodeId) -> u32 {
+        self.subtree_end[n.index()]
+    }
+
+    /// The raw `subtree_end` column (shared with
+    /// [`TagIndex`](crate::TagIndex)'s range scans).
+    #[inline]
+    pub(crate) fn subtree_end_column(&self) -> &[u32] {
+        &self.subtree_end
+    }
+
+    /// True iff `ancestor` is a *proper* ancestor of `descendant`:
+    /// with pre-order ids, `a < d && d < subtree_end[a]`.
+    #[inline]
+    pub fn contains(&self, ancestor: NodeId, descendant: NodeId) -> bool {
+        ancestor < descendant && (descendant.index() as u32) < self.subtree_end[ancestor.index()]
+    }
+
+    /// True iff `parent` is the parent of `child`.
+    #[inline]
+    pub fn is_parent(&self, parent: NodeId, child: NodeId) -> bool {
+        self.parent[child.index()] == parent.index() as u32
+    }
+
+    /// Does the composed structural predicate hold between two
+    /// arbitrary nodes? The columnar equivalent of
+    /// [`ComposedAxis::holds`] on Dewey paths:
+    ///
+    /// * `ChildChain(1)` (pc) — one parent lookup;
+    /// * `ChildChain(n)` — containment plus a depth delta;
+    /// * `Descendant` (ad) — containment.
+    #[inline]
+    pub fn holds(&self, axis: ComposedAxis, ancestor: NodeId, descendant: NodeId) -> bool {
+        match axis {
+            ComposedAxis::ChildChain(1) => self.is_parent(ancestor, descendant),
+            ComposedAxis::ChildChain(n) => {
+                self.contains(ancestor, descendant)
+                    && self.depth[descendant.index()] as u32
+                        == self.depth[ancestor.index()] as u32 + n
+            }
+            ComposedAxis::Descendant => self.contains(ancestor, descendant),
+        }
+    }
+
+    /// [`holds`](Self::holds) for a `descendant` already known to be a
+    /// proper descendant of `ancestor` (the range-scan invariant of the
+    /// server-op candidate loop): containment needs no re-check, so
+    /// `Descendant` is free and `ChildChain(n)` is one depth compare.
+    #[inline]
+    pub fn holds_in_range(&self, axis: ComposedAxis, ancestor: NodeId, descendant: NodeId) -> bool {
+        debug_assert!(self.contains(ancestor, descendant));
+        match axis {
+            ComposedAxis::ChildChain(1) => self.is_parent(ancestor, descendant),
+            ComposedAxis::ChildChain(n) => {
+                self.depth[descendant.index()] as u32 == self.depth[ancestor.index()] as u32 + n
+            }
+            ComposedAxis::Descendant => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whirlpool_xml::parse_document;
+
+    fn columns(src: &str) -> (whirlpool_xml::Document, StructuralColumns) {
+        let doc = parse_document(src).unwrap();
+        let cols = StructuralColumns::build(&doc);
+        (doc, cols)
+    }
+
+    #[test]
+    fn parent_and_depth_match_document() {
+        let (doc, cols) = columns("<a><b><c/><d/></b><e/></a>");
+        for id in doc.all_nodes() {
+            assert_eq!(cols.parent_of(id), doc.parent(id), "{id:?}");
+            assert_eq!(cols.depth_of(id), doc.depth(id), "{id:?}");
+        }
+        assert_eq!(cols.parent_of(doc.document_root()), None);
+    }
+
+    #[test]
+    fn containment_matches_dewey() {
+        let (doc, cols) = columns("<a><b><c/><d/></b><e/></a><a><b/></a>");
+        for x in doc.all_nodes() {
+            for y in doc.all_nodes() {
+                assert_eq!(cols.contains(x, y), doc.is_ancestor(x, y), "{x:?} {y:?}");
+                assert_eq!(cols.is_parent(x, y), doc.is_parent(x, y), "{x:?} {y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn composed_axes_match_dewey_holds() {
+        let (doc, cols) = columns("<a><b><c><d/></c></b><c/></a>");
+        for axis in [
+            ComposedAxis::ChildChain(1),
+            ComposedAxis::ChildChain(2),
+            ComposedAxis::ChildChain(3),
+            ComposedAxis::Descendant,
+        ] {
+            for x in doc.all_nodes() {
+                for y in doc.all_nodes() {
+                    let by_dewey = axis.holds(doc.dewey(x), doc.dewey(y));
+                    assert_eq!(cols.holds(axis, x, y), by_dewey, "{axis:?} {x:?} {y:?}");
+                    if cols.contains(x, y) {
+                        assert_eq!(
+                            cols.holds_in_range(axis, x, y),
+                            by_dewey,
+                            "in-range {axis:?} {x:?} {y:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

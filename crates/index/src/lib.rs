@@ -14,15 +14,22 @@
 //!   answers ascending descendant-range queries by galloping forward
 //!   from the previous answer, turning a per-root pair of binary
 //!   searches into one amortized merge pass.
+//! * [`StructuralColumns`] — flat per-node `parent`/`depth`/
+//!   `subtree_end` columns built alongside the postings, turning the
+//!   compiled structural predicates (pc, ad, depth-bounded chains) into
+//!   one or two integer comparisons so the server-op hot loop never
+//!   decodes Dewey paths.
 //! * [`ServerSelectivity`] — sampled per-server statistics (candidate
 //!   fanout, exact-match fraction) that the adaptive routing strategies
 //!   use as their cost estimates ("such estimates could be obtained by
 //!   using work on selectivity estimation for XML", §6.1.4).
 
+mod columns;
 mod cursor;
 mod selectivity;
 mod tagindex;
 
+pub use columns::StructuralColumns;
 pub use cursor::RangeCursor;
 pub use selectivity::{estimate_selectivity, ServerSelectivity};
 pub use tagindex::TagIndex;

@@ -1,5 +1,6 @@
 //! Tag and tag+value postings with subtree range scans.
 
+use crate::columns::StructuralColumns;
 use std::collections::HashMap;
 use whirlpool_xml::{Document, NodeId, TagId};
 
@@ -17,12 +18,18 @@ pub struct TagIndex {
     /// Nested (rather than keyed by `(TagId, Box<str>)`) so lookups can
     /// borrow the query string instead of boxing it.
     value_postings: HashMap<TagId, HashMap<Box<str>, Vec<NodeId>>>,
-    /// `subtree_end[n]` = one past the last descendant of `n`.
-    subtree_end: Vec<u32>,
+    /// Flat parent/depth/subtree-extent columns, built alongside the
+    /// postings. The `subtree_end` range scans below read its extent
+    /// column.
+    columns: StructuralColumns,
 }
 
 impl TagIndex {
-    /// Builds the index in two passes over the document.
+    /// Builds the index in two passes over the document: one forward
+    /// pass filling the postings and the parent/depth columns, one
+    /// reverse pass over raw node ids for the subtree extents (both
+    /// inside [`StructuralColumns::build`]; no intermediate id vector
+    /// is materialized).
     pub fn build(doc: &Document) -> Self {
         let mut postings: Vec<Vec<NodeId>> = vec![Vec::new(); doc.tags().len()];
         let mut value_postings: HashMap<TagId, HashMap<Box<str>, Vec<NodeId>>> = HashMap::new();
@@ -39,24 +46,18 @@ impl TagIndex {
             }
         }
 
-        // Subtree extents: walk nodes in reverse (children before
-        // parents); a node's extent is the max of its own id+1 and its
-        // last child's extent.
-        let n = doc.len();
-        let mut subtree_end = vec![0u32; n];
-        for id in doc.all_nodes().collect::<Vec<_>>().into_iter().rev() {
-            let mut end = id.index() as u32 + 1;
-            if let Some(last_child) = doc.children(id).last() {
-                end = end.max(subtree_end[last_child.index()]);
-            }
-            subtree_end[id.index()] = end;
-        }
-
         TagIndex {
             postings,
             value_postings,
-            subtree_end,
+            columns: StructuralColumns::build(doc),
         }
+    }
+
+    /// The document's flat structural columns (parent, depth, subtree
+    /// extents) — the O(1) predicate tables behind the server-op
+    /// kernels.
+    pub fn columns(&self) -> &StructuralColumns {
+        &self.columns
     }
 
     /// All nodes with `tag`, in document order.
@@ -74,7 +75,13 @@ impl TagIndex {
 
     /// One past the last descendant of `node` in id order.
     pub fn subtree_end(&self, node: NodeId) -> NodeId {
-        NodeId::from_index(self.subtree_end[node.index()] as usize)
+        NodeId::from_index(self.extent(node) as usize)
+    }
+
+    /// Raw subtree extent of `node` from the shared column.
+    #[inline]
+    fn extent(&self, node: NodeId) -> u32 {
+        self.columns.subtree_end_column()[node.index()]
     }
 
     /// All proper descendants of `ancestor` (any tag), as the
@@ -82,13 +89,13 @@ impl TagIndex {
     /// node tests scan this directly.
     pub fn descendants_any(&self, ancestor: NodeId) -> impl Iterator<Item = NodeId> {
         let start = ancestor.index() as u32 + 1;
-        let end = self.subtree_end[ancestor.index()];
+        let end = self.extent(ancestor);
         (start..end).map(|i| NodeId::from_index(i as usize))
     }
 
     /// Number of proper descendants of `ancestor`.
     pub fn count_descendants_any(&self, ancestor: NodeId) -> usize {
-        (self.subtree_end[ancestor.index()] as usize).saturating_sub(ancestor.index() + 1)
+        (self.extent(ancestor) as usize).saturating_sub(ancestor.index() + 1)
     }
 
     /// Nodes with `tag` that are proper descendants of `ancestor`
@@ -96,7 +103,7 @@ impl TagIndex {
     pub fn descendants_with_tag(&self, ancestor: NodeId, tag: TagId) -> &[NodeId] {
         let list = self.nodes_with_tag(tag);
         let lo = list.partition_point(|&n| n <= ancestor);
-        let end = self.subtree_end[ancestor.index()];
+        let end = self.extent(ancestor);
         let hi = list.partition_point(|&n| (n.index() as u32) < end);
         &list[lo..hi]
     }
@@ -111,7 +118,7 @@ impl TagIndex {
     ) -> &[NodeId] {
         let list = self.nodes_with_tag_value(tag, value);
         let lo = list.partition_point(|&n| n <= ancestor);
-        let end = self.subtree_end[ancestor.index()];
+        let end = self.extent(ancestor);
         let hi = list.partition_point(|&n| (n.index() as u32) < end);
         &list[lo..hi]
     }

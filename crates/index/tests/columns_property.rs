@@ -1,0 +1,99 @@
+//! Property tests: [`StructuralColumns`] must agree with the
+//! Dewey-derived structural relations on arbitrary documents.
+//!
+//! The columns are the engines' hot-path replacement for Dewey prefix
+//! comparisons, so every relation they answer — parent, depth,
+//! containment, and the compiled [`ComposedAxis`] predicates — is
+//! checked pairwise against the [`Document`]'s Dewey-backed oracle, on
+//! both randomized element trees and seeded XMark-like documents.
+
+use proptest::prelude::*;
+use whirlpool_index::TagIndex;
+use whirlpool_pattern::ComposedAxis;
+use whirlpool_xmark::{generate, GeneratorConfig};
+use whirlpool_xml::{Document, DocumentBuilder};
+
+const TAGS: [&str; 4] = ["a", "b", "c", "d"];
+
+#[derive(Debug, Clone)]
+struct RandTree {
+    tag: usize,
+    children: Vec<RandTree>,
+}
+
+fn tree_strategy() -> impl Strategy<Value = RandTree> {
+    let leaf = (0usize..TAGS.len()).prop_map(|tag| RandTree {
+        tag,
+        children: vec![],
+    });
+    leaf.prop_recursive(5, 48, 4, |inner| {
+        (0usize..TAGS.len(), prop::collection::vec(inner, 0..4))
+            .prop_map(|(tag, children)| RandTree { tag, children })
+    })
+}
+
+fn build_doc(trees: &[RandTree]) -> Document {
+    fn rec(t: &RandTree, b: &mut DocumentBuilder) {
+        b.open(TAGS[t.tag]);
+        for c in &t.children {
+            rec(c, b);
+        }
+        b.close();
+    }
+    let mut b = DocumentBuilder::new();
+    for t in trees {
+        rec(t, &mut b);
+    }
+    b.finish()
+}
+
+/// Pairwise agreement between the columns and the Dewey oracle.
+fn assert_columns_agree(doc: &Document) {
+    let index = TagIndex::build(doc);
+    let columns = index.columns();
+    let axes = [
+        ComposedAxis::ChildChain(1),
+        ComposedAxis::ChildChain(2),
+        ComposedAxis::ChildChain(3),
+        ComposedAxis::Descendant,
+    ];
+    for n in doc.all_nodes() {
+        assert_eq!(columns.parent_of(n), doc.parent(n), "parent of {n:?}");
+        assert_eq!(columns.depth_of(n), doc.depth(n), "depth of {n:?}");
+        for m in doc.all_nodes() {
+            assert_eq!(
+                columns.contains(n, m),
+                doc.is_ancestor(n, m),
+                "containment {n:?} -> {m:?}"
+            );
+            for axis in axes {
+                assert_eq!(
+                    columns.holds(axis, n, m),
+                    axis.holds(doc.dewey(n), doc.dewey(m)),
+                    "{axis:?} {n:?} -> {m:?}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn columns_agree_with_dewey_on_random_trees(
+        trees in prop::collection::vec(tree_strategy(), 1..4),
+    ) {
+        assert_columns_agree(&build_doc(&trees));
+    }
+
+    #[test]
+    fn columns_agree_with_dewey_on_xmark_documents(seed in 0u64..1000) {
+        let doc = generate(&GeneratorConfig {
+            target_bytes: 4_000,
+            seed,
+            max_items: None,
+        });
+        assert_columns_agree(&doc);
+    }
+}

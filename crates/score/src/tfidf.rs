@@ -51,8 +51,20 @@ pub fn component_predicates(pattern: &TreePattern) -> Vec<ComponentPredicate> {
 
 /// Does node `n'` (candidate for `qi`) satisfy the predicate against
 /// answer candidate `n`, including the value test?
-fn satisfies(doc: &Document, pred: &ComponentPredicate, n: NodeId, n_prime: NodeId) -> bool {
-    pred.axis.holds(doc.dewey(n), doc.dewey(n_prime))
+///
+/// The structural part runs on the index's
+/// [`StructuralColumns`](whirlpool_index::StructuralColumns) — model
+/// construction walks every (answer, candidate) pair, so the integer
+/// containment/depth checks pay off here just as they do in the
+/// engines' hot loop.
+fn satisfies(
+    doc: &Document,
+    index: &TagIndex,
+    pred: &ComponentPredicate,
+    n: NodeId,
+    n_prime: NodeId,
+) -> bool {
+    index.columns().holds(pred.axis, n, n_prime)
         && pred
             .value
             .as_ref()
@@ -86,7 +98,7 @@ fn candidates_under(
 pub fn tf(doc: &Document, index: &TagIndex, pred: &ComponentPredicate, n: NodeId) -> usize {
     candidates_under(doc, index, pred, n)
         .into_iter()
-        .filter(|&c| satisfies(doc, pred, n, c))
+        .filter(|&c| satisfies(doc, index, pred, n, c))
         .count()
 }
 
@@ -110,7 +122,7 @@ pub fn idf(doc: &Document, index: &TagIndex, answer_tag: &str, pred: &ComponentP
         .filter(|&&n| {
             candidates_under(doc, index, pred, n)
                 .into_iter()
-                .any(|c| satisfies(doc, pred, n, c))
+                .any(|c| satisfies(doc, index, pred, n, c))
         })
         .count();
     (q0_nodes.len() as f64 / satisfying.max(1) as f64).ln()

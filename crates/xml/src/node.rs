@@ -59,6 +59,10 @@ pub struct NodeData {
 pub struct Document {
     nodes: Vec<NodeData>,
     tags: TagInterner,
+    /// Debug-build counter of [`Document::dewey`] lookups, backing the
+    /// engines' "no Dewey materialization on the hot path" assertion.
+    #[cfg(debug_assertions)]
+    dewey_reads: std::sync::atomic::AtomicU64,
 }
 
 impl Document {
@@ -81,6 +85,8 @@ impl Document {
                 dewey: Dewey::root(),
             }],
             tags,
+            #[cfg(debug_assertions)]
+            dewey_reads: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -122,7 +128,22 @@ impl Document {
 
     /// The node's Dewey identifier.
     pub fn dewey(&self, id: NodeId) -> &Dewey {
+        #[cfg(debug_assertions)]
+        self.dewey_reads
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         &self.nodes[id.index()].dewey
+    }
+
+    /// Number of [`Document::dewey`] lookups since construction.
+    ///
+    /// Debug builds only. The server-op candidate loops
+    /// `debug_assert!` that this counter does not move while they run:
+    /// structural predicates must resolve through the columnar tables
+    /// (`StructuralColumns` in `whirlpool-index`), with Dewey paths
+    /// reserved for answer serialization.
+    #[cfg(debug_assertions)]
+    pub fn dewey_reads(&self) -> u64 {
+        self.dewey_reads.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// The node's parent, `None` for the document root.

@@ -1,0 +1,196 @@
+//! Batched server operations are a pure performance change.
+//!
+//! The batch entry point splits a server operation into *locate*
+//! (resolve every drained match's candidate range in one document-order
+//! sweep) and *evaluate* (unchanged, in the engine's own priority
+//! order). Locating is a pure function of the match root, so:
+//!
+//! * the deterministic engines (both LockSteps, Whirlpool-S) must
+//!   produce identical answers, scores, and work counters with
+//!   `op_batching` on or off;
+//! * Whirlpool-M (whose interleavings are scheduler-dependent either
+//!   way) must keep its answer set and its trace conservation law.
+
+use whirlpool_core::{
+    answers_equivalent, evaluate, trace::tracing_compiled, Algorithm, EvalOptions, EvalResult,
+    RelaxMode,
+};
+use whirlpool_index::TagIndex;
+use whirlpool_pattern::TreePattern;
+use whirlpool_score::{Normalization, TfIdfModel};
+use whirlpool_xmark::{generate, queries, GeneratorConfig};
+use whirlpool_xml::Document;
+
+struct Fixture {
+    doc: Document,
+    index: TagIndex,
+}
+
+impl Fixture {
+    fn new(items: usize) -> Fixture {
+        let doc = generate(&GeneratorConfig::items(items));
+        let index = TagIndex::build(&doc);
+        Fixture { doc, index }
+    }
+
+    fn eval(&self, query: &TreePattern, alg: &Algorithm, options: &EvalOptions) -> EvalResult {
+        let model = TfIdfModel::build(&self.doc, &self.index, query, Normalization::Sparse);
+        evaluate(&self.doc, &self.index, query, &model, alg, options)
+    }
+}
+
+fn options(k: usize, relax: RelaxMode, op_batching: bool) -> EvalOptions {
+    EvalOptions {
+        relax,
+        op_batching,
+        ..EvalOptions::top_k(k)
+    }
+}
+
+/// Bit-exact answer identity: roots and score bit patterns.
+fn answer_key(r: &EvalResult) -> Vec<(usize, u64)> {
+    r.answers
+        .iter()
+        .map(|a| (a.root.index(), a.score.value().to_bits()))
+        .collect()
+}
+
+#[test]
+fn deterministic_engines_are_bit_identical_batched_vs_unbatched() {
+    let fx = Fixture::new(120);
+    let deterministic = [
+        Algorithm::LockStepNoPrune,
+        Algorithm::LockStep,
+        Algorithm::WhirlpoolS,
+    ];
+    for (name, query) in queries::benchmark_queries() {
+        for relax in [RelaxMode::Relaxed, RelaxMode::Exact] {
+            for alg in &deterministic {
+                let batched = fx.eval(&query, alg, &options(10, relax, true));
+                let unbatched = fx.eval(&query, alg, &options(10, relax, false));
+                let tag = format!("{name} {relax:?} {}", alg.name());
+                assert_eq!(
+                    answer_key(&batched),
+                    answer_key(&unbatched),
+                    "{tag}: answers diverged"
+                );
+                // The batch path must replay the same work, not merely
+                // reach the same answers: compare the counters the
+                // kernel feeds, one by one (`server_op_batches` is the
+                // single counter allowed to differ).
+                let (b, u) = (&batched.metrics, &unbatched.metrics);
+                assert_eq!(b.server_ops, u.server_ops, "{tag}: server_ops");
+                assert_eq!(
+                    b.partials_created, u.partials_created,
+                    "{tag}: partials_created"
+                );
+                assert_eq!(
+                    b.predicate_comparisons, u.predicate_comparisons,
+                    "{tag}: predicate_comparisons"
+                );
+                assert_eq!(b.pruned, u.pruned, "{tag}: pruned");
+                assert_eq!(
+                    b.routing_decisions, u.routing_decisions,
+                    "{tag}: routing_decisions"
+                );
+                assert_eq!(
+                    u.server_op_batches, 0,
+                    "{tag}: unbatched run performed locate sweeps"
+                );
+                if b.server_ops > 0 {
+                    assert!(
+                        b.server_op_batches > 0,
+                        "{tag}: batched run performed no locate sweeps"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bulk_routed_whirlpool_s_is_bit_identical_batched_vs_unbatched() {
+    let fx = Fixture::new(120);
+    let query = queries::parse(queries::Q2);
+    for relax in [RelaxMode::Relaxed, RelaxMode::Exact] {
+        let mut on = options(10, relax, true);
+        on.router_batch = 4;
+        let mut off = options(10, relax, false);
+        off.router_batch = 4;
+        let batched = fx.eval(&query, &Algorithm::WhirlpoolS, &on);
+        let unbatched = fx.eval(&query, &Algorithm::WhirlpoolS, &off);
+        assert_eq!(
+            answer_key(&batched),
+            answer_key(&unbatched),
+            "{relax:?}: bulk-routed answers diverged"
+        );
+        assert_eq!(
+            batched.metrics.server_ops, unbatched.metrics.server_ops,
+            "{relax:?}: bulk-routed server_ops"
+        );
+        assert_eq!(
+            batched.metrics.partials_created, unbatched.metrics.partials_created,
+            "{relax:?}: bulk-routed partials_created"
+        );
+    }
+}
+
+#[test]
+fn whirlpool_m_keeps_answers_across_batching_and_threads() {
+    let fx = Fixture::new(120);
+    let query = queries::parse(queries::Q2);
+    for relax in [RelaxMode::Relaxed, RelaxMode::Exact] {
+        let reference = fx.eval(
+            &query,
+            &Algorithm::LockStepNoPrune,
+            &options(10, relax, false),
+        );
+        for threads in [1, 4, 8] {
+            for op_batching in [true, false] {
+                let mut o = options(10, relax, op_batching);
+                o.threads_per_server = threads;
+                let got = fx.eval(&query, &Algorithm::WhirlpoolM { processors: None }, &o);
+                assert!(
+                    answers_equivalent(&got.answers, &reference.answers, 1e-9),
+                    "{relax:?} threads={threads} batching={op_batching}: answers diverged\n \
+                     got {:?}\n ref {:?}",
+                    got.answers,
+                    reference.answers
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn whirlpool_m_batched_traces_conserve_matches() {
+    if !tracing_compiled() {
+        return;
+    }
+    let fx = Fixture::new(120);
+    let query = queries::parse(queries::Q2);
+    for relax in [RelaxMode::Relaxed, RelaxMode::Exact] {
+        for threads in [1, 4, 8] {
+            let mut o = options(10, relax, true);
+            o.threads_per_server = threads;
+            o.trace = true;
+            let got = fx.eval(&query, &Algorithm::WhirlpoolM { processors: None }, &o);
+            let trace = got.trace.as_ref().expect("trace requested");
+            let summary = trace.summary();
+            assert!(
+                summary.balanced(),
+                "{relax:?} threads={threads}: conservation violated — {} spawned vs \
+                 {} consumed + {} pruned + {} completed + {} abandoned",
+                summary.spawned,
+                summary.consumed,
+                summary.pruned,
+                summary.completed,
+                summary.abandoned
+            );
+            assert_eq!(
+                summary.consumed, got.metrics.server_ops,
+                "{relax:?} threads={threads}: ServerOp events vs server_ops metric"
+            );
+        }
+    }
+}
