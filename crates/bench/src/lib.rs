@@ -147,7 +147,7 @@ pub fn default_options(k: usize) -> EvalOptions {
         max_server_ops: None,
         fault_plan: None,
         trace: false,
-        threads_per_server: 1,
+        threads: 1,
     }
 }
 

@@ -120,7 +120,7 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
         max_server_ops,
         fault_plan,
         trace: trace_out.is_some() || explain,
-        threads_per_server: {
+        threads: {
             let threads: usize = parsed.number("threads", 1)?;
             if threads == 0 {
                 return Err(CliError::Usage("--threads must be at least 1".to_string()));

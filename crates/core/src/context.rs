@@ -5,7 +5,7 @@ use crate::partial::{Binding, PartialMatch};
 use crate::pool::MatchPool;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
-use whirlpool_index::{estimate_selectivity, RangeCursor, ServerSelectivity, TagIndex};
+use whirlpool_index::{estimate_selectivity, mask_count, RangeCursor, ServerSelectivity, TagIndex};
 use whirlpool_pattern::{
     compile_servers, Direction, QNodeId, ServerSpec, TreePattern, ValueTest, WILDCARD,
 };
@@ -553,12 +553,22 @@ impl<'a> QueryContext<'a> {
     /// every valid candidate in its pre-located range `loc` (or the
     /// outer-join null), drawing buffers from `pool`.
     ///
-    /// All structural predicates resolve through the flat
-    /// [`StructuralColumns`](whirlpool_index::StructuralColumns) —
-    /// parent lookups, depth deltas, and pre-order containment tests —
-    /// so the candidate loop performs no Dewey materialization (pinned
-    /// by a `debug_assert` on [`Document::dewey`]'s read counter; Dewey
-    /// paths serve answer serialization only).
+    /// The candidate range is evaluated *columnar*: candidate ids are
+    /// gathered into a flat scratch vector (a straight copy unless the
+    /// spec carries value/attribute tests, which are filtered scalar
+    /// first — they touch strings, not columns), then every structural
+    /// predicate runs as a branch-free
+    /// [`KERNEL_LANE`](whirlpool_index::KERNEL_LANE)-chunked byte-mask
+    /// sweep over the flat
+    /// [`StructuralColumns`](whirlpool_index::StructuralColumns): one
+    /// level sweep for the root predicate, then one refining sweep per
+    /// bound conditional predicate. Per-candidate branching only
+    /// returns for the survivors' extension pushes. Comparison counts
+    /// replicate the scalar loop exactly (the root sweep costs one
+    /// comparison per candidate; each conditional sweep costs one per
+    /// candidate still alive when it runs, which is precisely the
+    /// scalar early-break). No Dewey materialization anywhere (pinned
+    /// by a `debug_assert` on [`Document::dewey`]'s read counter).
     pub fn process_located_at_server_pooled(
         &self,
         server: QNodeId,
@@ -579,123 +589,169 @@ impl<'a> QueryContext<'a> {
         let before = out.len();
         let columns = self.index.columns();
 
-        let candidates = match loc {
-            Located::Absent => Candidates::Slice([].iter()),
-            Located::Any(lo, hi) => Candidates::Range(lo, hi),
-            Located::Slice(lo, hi) => {
-                let ServerRange::Postings { list, .. } = &self.server_ranges[server.index() - 1]
-                else {
-                    unreachable!("Located::Slice at a server without postings");
-                };
-                Candidates::Slice(list[lo as usize..hi as usize].iter())
-            }
-        };
-        let is_wildcard = matches!(loc, Located::Any(..));
-
         #[cfg(debug_assertions)]
         let dewey_reads_before = self.doc.dewey_reads();
 
         let mut comparisons = 0u64;
-        for cand in candidates {
-            // A wildcard universe may still carry a value test, checked
-            // here rather than through the value postings.
-            if is_wildcard {
-                if let Some(v) = &spec.value {
-                    comparisons += 1;
-                    if !v.matches(self.doc.text(cand)) {
-                        continue;
-                    }
-                }
-            } else if let Some(v @ ValueTest::Contains(_)) = &spec.value {
-                // Contains-style value tests are not indexable; filter
-                // here.
-                comparisons += 1;
-                if !v.matches(self.doc.text(cand)) {
-                    continue;
-                }
-            }
+        let mut lanes = 0u64;
+        KERNEL_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            let ids = &mut scratch.ids;
+            ids.clear();
 
-            // Attribute predicates.
-            if !spec.attrs.is_empty() {
-                comparisons += spec.attrs.len() as u64;
-                if !spec
-                    .attrs
-                    .iter()
-                    .all(|a| a.matches(self.doc.attribute(cand, &a.name)))
-                {
-                    continue;
+            // Gather: candidate raw ids surviving the (scalar) value
+            // and attribute prefilters, in range order. With neither
+            // test present — the common case — this is a bulk copy.
+            let is_wildcard = matches!(loc, Located::Any(..));
+            let value_test = if is_wildcard {
+                // A wildcard universe may still carry a value test,
+                // checked here rather than through the value postings.
+                spec.value.as_ref()
+            } else {
+                // Contains-style value tests are not indexable; filter
+                // here. (Eq tests resolved into the posting list.)
+                match &spec.value {
+                    Some(v @ ValueTest::Contains(_)) => Some(v),
+                    _ => None,
+                }
+            };
+            let candidates = match loc {
+                Located::Absent => Candidates::Slice([].iter()),
+                Located::Any(lo, hi) => Candidates::Range(lo, hi),
+                Located::Slice(lo, hi) => {
+                    let ServerRange::Postings { list, .. } =
+                        &self.server_ranges[server.index() - 1]
+                    else {
+                        unreachable!("Located::Slice at a server without postings");
+                    };
+                    Candidates::Slice(list[lo as usize..hi as usize].iter())
+                }
+            };
+            if value_test.is_none() && spec.attrs.is_empty() {
+                match candidates {
+                    Candidates::Slice(it) => ids.extend(it.map(|n| n.index() as u32)),
+                    Candidates::Range(lo, hi) => ids.extend(lo..hi),
+                }
+            } else {
+                for cand in candidates {
+                    if let Some(v) = value_test {
+                        comparisons += 1;
+                        if !v.matches(self.doc.text(cand)) {
+                            continue;
+                        }
+                    }
+                    if !spec.attrs.is_empty() {
+                        comparisons += spec.attrs.len() as u64;
+                        if !spec
+                            .attrs
+                            .iter()
+                            .all(|a| a.matches(self.doc.attribute(cand, &a.name)))
+                        {
+                            continue;
+                        }
+                    }
+                    ids.push(cand.index() as u32);
                 }
             }
 
             // Root predicate: the exact composed form decides the score
             // level; the relaxed form (ad) holds by construction of the
-            // range scan, so the columnar in-range test suffices (pc is
-            // one parent lookup, depth-bounded chains one depth delta).
-            // Scoring is *root-relative* (the component predicates of
-            // Definition 4.1 all relate the returned node to the server
-            // node), which keeps a tuple's score independent of the
-            // order servers ran in — a property the engine-equivalence
-            // guarantees rely on.
-            comparisons += 1;
-            let level = if columns.holds_in_range(spec.root_exact, root, cand) {
-                MatchLevel::Exact
-            } else {
-                MatchLevel::Relaxed
-            };
-            if self.relax == RelaxMode::Exact && level != MatchLevel::Exact {
-                continue;
-            }
+            // range scan, so the columnar in-range sweep suffices (pc
+            // is one parent compare, depth-bounded chains one depth
+            // compare, per lane element). Scoring is *root-relative*
+            // (the component predicates of Definition 4.1 all relate
+            // the returned node to the server node), which keeps a
+            // tuple's score independent of the order servers ran in — a
+            // property the engine-equivalence guarantees rely on.
+            comparisons += ids.len() as u64;
+            let level = &mut scratch.level;
+            level.clear();
+            level.resize(ids.len(), 0);
+            lanes += columns.sweep_in_range(spec.root_exact, root, ids, level);
 
-            // Conditional predicate sequence against bound neighbours:
-            // in exact mode these are *join* predicates — every pair of
-            // related query nodes is checked exactly once, at whichever
-            // of the two servers runs second, so validity is
-            // order-independent too. In relaxed mode any candidate in
-            // the (ad) universe is valid: subtree promotion and edge
-            // generalization have already weakened every conditional
-            // predicate, and scores follow the root predicate above.
-            let mut valid = true;
             if self.relax == RelaxMode::Exact {
+                // Exact mode: non-exact candidates die at the root
+                // predicate, then the conditional predicate sequence
+                // refines the alive mask against bound neighbours.
+                // These are *join* predicates — every pair of related
+                // query nodes is checked exactly once, at whichever of
+                // the two servers runs second, so validity is
+                // order-independent too.
+                let alive = &mut scratch.alive;
+                alive.clear();
+                alive.extend_from_slice(level);
                 for cp in &spec.conditional {
                     let Binding::Matched { node: other, .. } = m.bindings[cp.other.index()] else {
                         continue;
                     };
-                    comparisons += 1;
-                    let holds_exact = match cp.direction {
-                        Direction::FromAncestor => columns.holds(cp.exact, other, cand),
-                        Direction::ToDescendant => columns.holds(cp.exact, cand, other),
-                    };
-                    if !holds_exact {
-                        valid = false;
+                    let alive_now = mask_count(alive);
+                    if alive_now == 0 {
                         break;
                     }
+                    comparisons += alive_now;
+                    lanes += match cp.direction {
+                        Direction::FromAncestor => {
+                            columns.sweep_refine_from_ancestor(cp.exact, other, ids, alive)
+                        }
+                        Direction::ToDescendant => {
+                            columns.sweep_refine_to_descendant(cp.exact, other, ids, alive)
+                        }
+                    };
+                }
+                for (&c, &ok) in ids.iter().zip(alive.iter()) {
+                    if ok == 0 {
+                        continue;
+                    }
+                    let cand = NodeId::from_index(c as usize);
+                    let level = MatchLevel::Exact;
+                    let contribution = self.model.contribution(server, cand, level);
+                    out.push(m.extend_in(
+                        pool,
+                        self.next_seq(),
+                        server,
+                        Binding::Matched { node: cand, level },
+                        contribution,
+                        server_max,
+                    ));
+                }
+            } else {
+                // Relaxed mode: every candidate in the (ad) universe is
+                // valid — subtree promotion and edge generalization
+                // have already weakened every conditional predicate —
+                // and the level mask decides the score level.
+                for (&c, &exact) in ids.iter().zip(level.iter()) {
+                    let cand = NodeId::from_index(c as usize);
+                    let level = if exact != 0 {
+                        MatchLevel::Exact
+                    } else {
+                        MatchLevel::Relaxed
+                    };
+                    let contribution = self.model.contribution(server, cand, level);
+                    out.push(m.extend_in(
+                        pool,
+                        self.next_seq(),
+                        server,
+                        Binding::Matched { node: cand, level },
+                        contribution,
+                        server_max,
+                    ));
                 }
             }
-            if !valid {
-                continue;
-            }
+        });
 
-            let contribution = self.model.contribution(server, cand, level);
-            out.push(m.extend_in(
-                pool,
-                self.next_seq(),
-                server,
-                Binding::Matched { node: cand, level },
-                contribution,
-                server_max,
-            ));
-        }
-
-        // The grep-able no-Dewey guarantee: the candidate loop above
+        // The grep-able no-Dewey guarantee: the candidate kernel above
         // must not have touched doc.dewey.
         #[cfg(debug_assertions)]
         debug_assert_eq!(
             self.doc.dewey_reads(),
             dewey_reads_before,
-            "hot candidate loop materialized a Dewey path"
+            "hot candidate kernel materialized a Dewey path"
         );
 
         self.metrics.add_comparisons(comparisons);
+        if lanes > 0 {
+            self.metrics.add_kernel_lanes(lanes);
+        }
 
         // Outer-join semantics: no candidate ⇒ one null extension (the
         // leaf-deletion relaxation). In exact mode the match simply dies.
@@ -847,6 +903,28 @@ impl<'a> QueryContext<'a> {
         self.metrics.add_created(produced as u64);
         produced
     }
+}
+
+/// Reusable per-thread buffers for the columnar evaluate kernel:
+/// gathered candidate ids plus the level/alive byte masks. Thread-local
+/// so the kernel allocates nothing per operation after warm-up, on any
+/// engine's worker threads, without widening the `QueryContext` sharing
+/// contract.
+struct KernelScratch {
+    ids: Vec<u32>,
+    level: Vec<u8>,
+    alive: Vec<u8>,
+}
+
+thread_local! {
+    static KERNEL_SCRATCH: std::cell::RefCell<KernelScratch> =
+        const {
+            std::cell::RefCell::new(KernelScratch {
+                ids: Vec::new(),
+                level: Vec::new(),
+                alive: Vec::new(),
+            })
+        };
 }
 
 /// Spins for (at least) `duration`. Used to inject per-operation cost:

@@ -96,10 +96,13 @@ pub struct EvalOptions {
     /// site in the engines is one inlined branch. Ignored (the trace
     /// comes back empty) when the `trace` cargo feature is disabled.
     pub trace: bool,
-    /// Worker threads per server for Whirlpool-M (`1` is the paper's
-    /// one-thread-per-server architecture; larger values implement its
-    /// §7 future-work proposal). Ignored by the other engines.
-    pub threads_per_server: usize,
+    /// Total scheduler worker threads for Whirlpool-M, independent of
+    /// query size: server queues get home workers round-robin and idle
+    /// workers steal whole batches from loaded foreign queues. `1`
+    /// serializes all server work onto one worker; larger values
+    /// implement the paper's §7 "maximal parallelism" future-work
+    /// proposal. Ignored by the other engines.
+    pub threads: usize,
 }
 
 impl EvalOptions {
@@ -120,7 +123,7 @@ impl EvalOptions {
             max_server_ops: None,
             fault_plan: None,
             trace: false,
-            threads_per_server: 1,
+            threads: 1,
         }
     }
 }
@@ -237,7 +240,7 @@ pub fn evaluate_with_context(
             &WhirlpoolMConfig {
                 queue_policy: options.queue,
                 processors: *processors,
-                threads_per_server: options.threads_per_server.max(1),
+                threads: options.threads.max(1),
             },
             &control,
         ),

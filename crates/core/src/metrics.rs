@@ -44,6 +44,16 @@ pub struct Metrics {
     /// Answers completed through degradation (a dead server's predicate
     /// scored as the leaf-deletion relaxation).
     pub answers_degraded: AtomicU64,
+    /// Times a worker ran out of home-queue work and successfully stole
+    /// from another worker's server queue.
+    pub steal_events: AtomicU64,
+    /// Whole drain batches transferred by stealing (one steal event can
+    /// move at most one batch, so this currently equals `steal_events`;
+    /// kept separate so a future multi-batch steal shows up).
+    pub batches_stolen: AtomicU64,
+    /// Fixed-width lanes swept by the columnar evaluate kernels (one
+    /// lane = one fixed-width chunk of candidates tested branch-free).
+    pub kernel_lanes: AtomicU64,
 }
 
 impl Metrics {
@@ -124,6 +134,19 @@ impl Metrics {
         self.answers_degraded.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one successful steal moving `batches` drain batches.
+    #[inline]
+    pub fn add_steal(&self, batches: u64) {
+        self.steal_events.fetch_add(1, Ordering::Relaxed);
+        self.batches_stolen.fetch_add(batches, Ordering::Relaxed);
+    }
+
+    /// Counts `n` fixed-width kernel lanes swept.
+    #[inline]
+    pub fn add_kernel_lanes(&self, n: u64) {
+        self.kernel_lanes.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// A plain-value copy for reporting.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -139,6 +162,9 @@ impl Metrics {
             servers_failed: self.servers_failed.load(Ordering::Relaxed),
             matches_redistributed: self.matches_redistributed.load(Ordering::Relaxed),
             answers_degraded: self.answers_degraded.load(Ordering::Relaxed),
+            steal_events: self.steal_events.load(Ordering::Relaxed),
+            batches_stolen: self.batches_stolen.load(Ordering::Relaxed),
+            kernel_lanes: self.kernel_lanes.load(Ordering::Relaxed),
         }
     }
 }
@@ -170,6 +196,12 @@ pub struct MetricsSnapshot {
     pub matches_redistributed: u64,
     /// Answers completed through degradation.
     pub answers_degraded: u64,
+    /// Successful batch steals by idle workers.
+    pub steal_events: u64,
+    /// Whole drain batches moved by stealing.
+    pub batches_stolen: u64,
+    /// Fixed-width lanes swept by the columnar evaluate kernels.
+    pub kernel_lanes: u64,
 }
 
 impl MetricsSnapshot {
@@ -181,6 +213,17 @@ impl MetricsSnapshot {
             0.0
         } else {
             self.buffers_reused as f64 / total as f64
+        }
+    }
+
+    /// Fraction of drained batches that arrived by stealing rather than
+    /// from a worker's own home queues, in `[0, 1]`; zero when no
+    /// batches were drained at all.
+    pub fn steal_rate(&self) -> f64 {
+        if self.server_op_batches == 0 {
+            0.0
+        } else {
+            self.batches_stolen as f64 / self.server_op_batches as f64
         }
     }
 }

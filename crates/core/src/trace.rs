@@ -31,6 +31,7 @@
 //! | [`TraceEventKind::Routed`] | the router takes one routing decision (with per-candidate estimates) |
 //! | [`TraceEventKind::ThresholdSample`] | the top-k threshold is sampled after an operation |
 //! | [`TraceEventKind::QueueDepth`] | a queue's depth is sampled |
+//! | [`TraceEventKind::BatchStolen`] | an idle worker stole one drain batch from another worker's server queue |
 //! | [`TraceEventKind::SpanBegin`]/[`SpanEnd`](TraceEventKind::SpanEnd) | a worker enters/leaves a phase |
 //!
 //! The lifecycle events obey a conservation law checked by
@@ -202,6 +203,14 @@ pub enum TraceEventKind {
         queue: QueueId,
         /// Matches currently queued.
         depth: usize,
+    },
+    /// An idle worker stole one drain batch from another worker's
+    /// server queue (Whirlpool-M's work-stealing scheduler).
+    BatchStolen {
+        /// The server whose queue was raided.
+        victim: QNodeId,
+        /// Matches moved (at most one drain batch).
+        moved: usize,
     },
 }
 
@@ -493,6 +502,14 @@ impl WorkerTrace {
             self.push(TraceEventKind::QueueDepth { queue, depth });
         }
     }
+
+    /// Records one successful batch steal from `victim`'s queue.
+    #[inline]
+    pub fn stolen(&mut self, victim: QNodeId, moved: usize) {
+        if self.enabled() {
+            self.push(TraceEventKind::BatchStolen { victim, moved });
+        }
+    }
 }
 
 impl Drop for WorkerTrace {
@@ -558,6 +575,10 @@ pub struct TraceSummary {
     pub degraded_completions: u64,
     /// Routing decisions recorded.
     pub routed: u64,
+    /// Successful batch steals recorded.
+    pub steals: u64,
+    /// Matches moved across workers by stealing.
+    pub stolen_matches: u64,
     /// Per-server operation statistics, indexed by `QNodeId::index() - 1`.
     pub per_server: Vec<(QNodeId, ServerOpStats)>,
     /// `(ts_us, value)` threshold trajectory, in time order.
@@ -641,6 +662,10 @@ impl TraceData {
                     s.thresholds.push((e.ts_us, *value));
                 }
                 TraceEventKind::QueueDepth { .. } => {}
+                TraceEventKind::BatchStolen { moved, .. } => {
+                    s.steals += 1;
+                    s.stolen_matches += *moved as u64;
+                }
             }
         }
         for (_, name) in open {
@@ -809,6 +834,13 @@ impl TraceData {
                          \"args\": {{\"depth\": {depth}}}}}"
                     )?;
                 }
+                TraceEventKind::BatchStolen { victim, moved } => write!(
+                    out,
+                    "    {{\"name\": \"stolen\", \"cat\": \"scheduler\", \"ph\": \"i\", \"s\": \"t\", \
+                     \"ts\": {ts}, \"pid\": 1, \"tid\": {tid}, \
+                     \"args\": {{\"victim\": \"q{}\", \"moved\": {moved}}}}}",
+                    victim.0
+                )?,
             }
         }
         writeln!(out)?;

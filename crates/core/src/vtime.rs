@@ -4,12 +4,21 @@
 //! 1, 2, 4 and "∞" processors. This reproduction runs on whatever CPU
 //! count the host has (often 1), so the processor sweep is replayed as
 //! a **discrete-event simulation**: the same task graph Whirlpool-M
-//! executes — per-server single-threaded task queues, a router thread,
-//! the shared top-k set — scheduled onto `p` virtual processors, with
-//! the per-operation costs supplied by [`VTimeConfig`]. The simulation
-//! reuses the *real* server operation and routing code, so answer sets
-//! and work counters are identical to a real run with the same
-//! schedule; only time is virtual.
+//! executes — per-server priority queues served by a worker pool, a
+//! router thread, the shared top-k set — scheduled onto `p` virtual
+//! processors, with the per-operation costs supplied by
+//! [`VTimeConfig`]. The simulation reuses the *real* server operation
+//! and routing code, so answer sets and work counters are identical to
+//! a real run with the same schedule; only time is virtual.
+//!
+//! The scheduler model mirrors the real engine's worker pool: each of
+//! the [`VTimeConfig::threads`] virtual workers serves its *home*
+//! queues (indices congruent to its id mod the pool size) best-head
+//! first, and when every home queue is dry it *steals* from the
+//! most-loaded foreign queue — recorded through the same
+//! `steal_events` counter as the real scheduler (at op granularity,
+//! since the simulation schedules single operations, not drain-batch
+//! chunks).
 //!
 //! The thread-synchronization overhead that makes Whirlpool-M slower
 //! than Whirlpool-S on small queries/single processors in the paper is
@@ -36,9 +45,12 @@ pub struct VTimeConfig {
     /// Per-task scheduling/synchronization overhead of the threaded
     /// engine (charged in Whirlpool-M only).
     pub thread_overhead: f64,
-    /// Worker threads per server (the paper's future-work §7 proposal;
-    /// 1 = the paper's architecture).
-    pub threads_per_server: usize,
+    /// Scheduler pool workers, mirroring
+    /// [`WhirlpoolMConfig::threads`](crate::WhirlpoolMConfig::threads):
+    /// every virtual worker serves its home queues first and steals
+    /// from the most-loaded foreign queue when they are dry. The router
+    /// is a separate virtual thread, as in the real engine.
+    pub threads: usize,
 }
 
 impl Default for VTimeConfig {
@@ -48,7 +60,7 @@ impl Default for VTimeConfig {
             server_op_cost: 1.8e-3,
             router_cost: 0.05e-3,
             thread_overhead: 0.02e-3,
-            threads_per_server: 1,
+            threads: 1,
         }
     }
 }
@@ -80,24 +92,39 @@ pub fn simulate_whirlpool_m(
     let offer_partial = ctx.relax == RelaxMode::Relaxed;
     let full_mask = ctx.full_mask();
     let max_procs = config.processors.unwrap_or(usize::MAX);
-    let tps = config.threads_per_server.max(1);
+    let pool_workers = config.threads.max(1);
+    let n_servers = server_ids.len();
 
     let mut topk = TopKSet::new(k);
-    // queues[0] = router; queues[i] = server i. Workers map onto queues:
-    // worker 0 is the router thread; then `tps` workers per server, all
-    // draining that server's queue.
-    let mut queues: Vec<MatchQueue> = Vec::with_capacity(server_ids.len() + 1);
+    // queues[0] = router; queues[i] = server i. Worker 0 is the router
+    // thread; workers 1..=pool_workers form the scheduler pool, each
+    // homing the server queues congruent to its pool index.
+    let mut queues: Vec<MatchQueue> = Vec::with_capacity(n_servers + 1);
     queues.push(MatchQueue::new(QueuePolicy::MaxFinalScore, None));
     for &s in &server_ids {
         queues.push(MatchQueue::new(queue_policy, Some(s)));
     }
-    let mut worker_queue: Vec<usize> = vec![ROUTER];
-    for queue_idx in 1..queues.len() {
-        for _ in 0..tps {
-            worker_queue.push(queue_idx);
+    let worker_count = pool_workers + 1;
+    // Which queue would this worker serve next, and is it a steal?
+    // Mirrors the real worker loop: best-priority head among the home
+    // queues first, else the most-loaded foreign queue.
+    let queue_for = |w: usize, queues: &[MatchQueue]| -> Option<(usize, bool)> {
+        if w == ROUTER {
+            return (!queues[ROUTER].is_empty()).then_some((ROUTER, false));
         }
-    }
-    let worker_count = worker_queue.len();
+        let pw = w - 1;
+        let home = (pw..n_servers)
+            .step_by(pool_workers)
+            .filter(|&qi| !queues[qi + 1].is_empty())
+            .max_by(|&a, &b| queues[a + 1].peek_key().cmp(&queues[b + 1].peek_key()));
+        if let Some(qi) = home {
+            return Some((qi + 1, false));
+        }
+        (0..n_servers)
+            .filter(|&qi| qi % pool_workers != pw && !queues[qi + 1].is_empty())
+            .max_by_key(|&qi| queues[qi + 1].len())
+            .map(|qi| (qi + 1, true))
+    };
 
     let mut pool = ctx.new_pool();
     for m in ctx.make_root_matches() {
@@ -112,9 +139,12 @@ pub fn simulate_whirlpool_m(
         }
     }
 
-    // Event-driven schedule: (finish_time, worker) completions.
+    // Event-driven schedule: (finish_time, worker) completions. Each
+    // running worker remembers the queue it popped from, since the
+    // pool mapping is dynamic.
     let mut events: BinaryHeap<Reverse<(OrderedF64, usize)>> = BinaryHeap::new();
-    let mut running: Vec<Option<crate::partial::PartialMatch>> = vec![None; worker_count];
+    let mut running: Vec<Option<(usize, crate::partial::PartialMatch)>> = Vec::new();
+    running.resize_with(worker_count, || None);
     let mut busy = 0usize;
     let mut now = 0.0f64;
     let mut makespan = 0.0f64;
@@ -122,22 +152,24 @@ pub fn simulate_whirlpool_m(
 
     loop {
         // Start tasks on idle workers while processors are free. Workers
-        // whose queue head has the highest priority go first — mirroring
-        // the fact that on a real machine the OS runs whichever threads
-        // are runnable, and all queues pop best-first anyway.
+        // whose chosen queue head has the highest priority go first —
+        // mirroring the fact that on a real machine the OS runs
+        // whichever threads are runnable, and all queues pop best-first
+        // anyway.
         loop {
             if busy >= max_procs {
                 break;
             }
             let candidate = (0..worker_count)
-                .filter(|&w| running[w].is_none() && !queues[worker_queue[w]].is_empty())
-                .max_by(|&a, &b| {
-                    queues[worker_queue[a]]
-                        .peek_key()
-                        .cmp(&queues[worker_queue[b]].peek_key())
-                });
-            let Some(w) = candidate else { break };
-            let q = worker_queue[w];
+                .filter(|&w| running[w].is_none())
+                .filter_map(|w| queue_for(w, &queues).map(|(q, stolen)| (w, q, stolen)))
+                .max_by(|&(_, a, _), &(_, b, _)| queues[a].peek_key().cmp(&queues[b].peek_key()));
+            let Some((w, q, stolen)) = candidate else {
+                break;
+            };
+            if stolen {
+                ctx.metrics.add_steal(1);
+            }
 
             // Pop; for server workers, pruning happens at pop time and
             // consumes no processor time (as in the real engine, where
@@ -153,7 +185,7 @@ pub fn simulate_whirlpool_m(
             } else {
                 config.server_op_cost + config.thread_overhead
             };
-            running[w] = Some(m);
+            running[w] = Some((q, m));
             busy += 1;
             events.push(Reverse((OrderedF64(now + duration), w)));
         }
@@ -164,9 +196,8 @@ pub fn simulate_whirlpool_m(
         now = t_fin;
         makespan = makespan.max(now);
         busy -= 1;
-        let m = running[worker].take().expect("completion for idle worker");
+        let (q, m) = running[worker].take().expect("completion for idle worker");
 
-        let q = worker_queue[worker];
         if q == ROUTER {
             let server = routing.choose(ctx, &m, topk.threshold());
             // server QNodeId -> queue index.
@@ -297,6 +328,9 @@ mod tests {
                     QueuePolicy::MaxFinalScore,
                     &VTimeConfig {
                         processors: procs,
+                        // Enough pool workers that the processor cap,
+                        // not the pool size, is the binding constraint.
+                        threads: 8,
                         ..Default::default()
                     },
                 );
@@ -332,11 +366,11 @@ mod tests {
     }
 
     #[test]
-    fn extra_server_threads_help_when_one_server_is_the_bottleneck() {
-        // With unlimited processors but one thread per server, a single
-        // hot server serializes its operations; more threads per server
-        // (the paper's §7 future-work knob) must not hurt and typically
-        // shortens the makespan — and answers stay equivalent.
+    fn extra_pool_workers_help_when_one_server_is_the_bottleneck() {
+        // With one pool worker, everything serializes onto one virtual
+        // thread; more workers (the real scheduler's `threads` knob)
+        // must not hurt and typically shortens the makespan — and
+        // answers stay equivalent.
         let mut base = 0.0;
         let mut reference = Vec::new();
         harness(|ctx| {
@@ -346,14 +380,14 @@ mod tests {
                 3,
                 QueuePolicy::MaxFinalScore,
                 &VTimeConfig {
-                    threads_per_server: 1,
+                    threads: 1,
                     ..Default::default()
                 },
             );
             base = r.makespan;
             reference = r.answers;
         });
-        for tps in [2usize, 4] {
+        for threads in [2usize, 4, 8] {
             harness(|ctx| {
                 let r = simulate_whirlpool_m(
                     ctx,
@@ -361,21 +395,53 @@ mod tests {
                     3,
                     QueuePolicy::MaxFinalScore,
                     &VTimeConfig {
-                        threads_per_server: tps,
+                        threads,
                         ..Default::default()
                     },
                 );
                 assert!(
                     r.makespan <= base * 1.05,
-                    "tps={tps}: {} vs {base}",
+                    "threads={threads}: {} vs {base}",
                     r.makespan
                 );
                 assert!(
                     crate::topk::answers_equivalent(&r.answers, &reference, 1e-9),
-                    "tps={tps}"
+                    "threads={threads}"
                 );
             });
         }
+    }
+
+    #[test]
+    fn steals_appear_with_multiple_workers_and_never_alone() {
+        // One pool worker homes every queue: no steals by construction.
+        harness(|ctx| {
+            let r = simulate_whirlpool_m(
+                ctx,
+                &RoutingStrategy::MinAlive,
+                3,
+                QueuePolicy::MaxFinalScore,
+                &VTimeConfig {
+                    threads: 1,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(r.metrics.steal_events, 0);
+        });
+        // More workers than servers: the surplus lives off stealing.
+        harness(|ctx| {
+            let r = simulate_whirlpool_m(
+                ctx,
+                &RoutingStrategy::MinAlive,
+                3,
+                QueuePolicy::MaxFinalScore,
+                &VTimeConfig {
+                    threads: 8,
+                    ..Default::default()
+                },
+            );
+            assert!(r.metrics.steal_events > 0, "{:?}", r.metrics.steal_events);
+        });
     }
 
     #[test]

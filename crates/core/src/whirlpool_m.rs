@@ -1,36 +1,53 @@
-//! Whirlpool-M: the multi-threaded adaptive engine.
+//! Whirlpool-M: the multi-threaded adaptive engine, scheduled by a
+//! work-stealing worker pool.
 //!
-//! "Each server is handled by an individual thread. In addition to
-//! server threads, a thread handles the router, and the main thread
-//! checks for termination of top-k query execution" (§6.1.2). Each
-//! server owns a priority queue of waiting partial matches; survivors
-//! of a server operation go back to the router, which assigns them
-//! their next server; the top-k set is shared.
+//! The paper assigns "each server ... an individual thread" (§6.1.2),
+//! which caps parallelism at the number of query nodes and leaves
+//! threads idle whenever routing skews load toward one server. Here
+//! the per-server priority queues stay (they carry the paper's
+//! prioritization semantics), but they are *served* by a pool of N
+//! workers (N = `threads`, independent of query size): every server
+//! queue has a home worker (`queue index mod N`), each worker drains
+//! its home queues round-robin in [`DRAIN_BATCH`]-sized batches, and a
+//! worker whose home queues are dry *steals* one whole batch from the
+//! most-loaded foreign queue. Batches pop in heap order, so per-server
+//! priority order is preserved within every batch, stolen or not. A
+//! dedicated router thread assigns survivors their next server; the
+//! top-k set is shared.
 //!
 //! Termination: a global in-flight counter tracks matches in queues or
 //! being processed; it reaches zero exactly when "there are no more
 //! partial matches in any of the server queues, the router queue, or
-//! being compared against the top-k set" (§5.1).
+//! being compared against the top-k set" (§5.1). Each worker settles
+//! its batch's net count change in one atomic op *before* publishing
+//! the batch's survivors, so the count never undercounts live matches
+//! — the settling protocol is per-batch, not per-queue, and therefore
+//! unaffected by which worker drained the batch.
 //!
 //! Fault tolerance: a server whose injected fault fires (or that
-//! panics) is isolated — its worker marks it dead, closes its queue,
-//! and rescues the queued matches; the router stops routing to it and
-//! finishes stranded matches through degradation (relaxed mode binds
-//! the dead server to the outer-join null, scoring the predicate as
-//! the leaf-deletion relaxation). Termination detection is unchanged:
-//! every rescued match either re-enters the router queue (count
-//! unchanged) or leaves the system (count decremented).
+//! panics) is isolated — the worker processing it marks it dead,
+//! closes its queue, and rescues the queued matches; the router stops
+//! routing to it and finishes stranded matches through degradation
+//! (relaxed mode binds the dead server to the outer-join null, scoring
+//! the predicate as the leaf-deletion relaxation). The worker itself
+//! does *not* retire: it moves on to its other queues. A panic that
+//! escapes the fault layer entirely (no fault plan — e.g. a panicking
+//! score model) is caught at batch granularity: the in-hand match and
+//! the rest of the batch are accounted into the truncation certificate
+//! and the worker continues, so the run still terminates with a valid
+//! anytime bound. Every rescued match either re-enters the router
+//! queue (count unchanged) or leaves the system (count decremented).
 
 use crate::context::{Located, QueryContext, RelaxMode};
 use crate::fault::{guarded_process, guarded_process_located, EngineRun, RunControl, Truncation};
 use crate::partial::PartialMatch;
-use crate::pool::PoolHub;
+use crate::pool::{MatchPool, PoolHub};
 use crate::queue::{MatchQueue, QueuePolicy};
 use crate::router::RoutingStrategy;
 use crate::topk::{RankedAnswer, SharedTopK};
 use crate::util::Semaphore;
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use whirlpool_pattern::QNodeId;
 
 /// Matches a worker moves per queue-lock acquisition: servers drain up
@@ -51,11 +68,14 @@ pub struct WhirlpoolMConfig {
     /// machine (`None`: no limit — the paper's "∞ processors" runs).
     /// Only observable when operations have real cost.
     pub processors: Option<usize>,
-    /// Worker threads per server, all pulling from that server's queue.
-    /// `1` is the paper's architecture; larger values implement its
-    /// future-work proposal of "increasing the number of threads per
-    /// server for maximal parallelism" (§7).
-    pub threads_per_server: usize,
+    /// Total worker threads in the scheduler pool, independent of query
+    /// size. Server queues are assigned home workers round-robin and
+    /// idle workers steal whole batches from loaded foreign queues;
+    /// `1` serializes every server operation onto one worker (plus the
+    /// router thread), larger values realize the paper's future-work
+    /// proposal of "maximal parallelism" (§7) without one thread per
+    /// server.
+    pub threads: usize,
 }
 
 impl Default for WhirlpoolMConfig {
@@ -63,7 +83,7 @@ impl Default for WhirlpoolMConfig {
         WhirlpoolMConfig {
             queue_policy: QueuePolicy::MaxFinalScore,
             processors: None,
-            threads_per_server: 1,
+            threads: 1,
         }
     }
 }
@@ -158,6 +178,25 @@ impl SharedQueue {
         }
     }
 
+    /// Drains up to `max` matches into `out` without blocking — the
+    /// worker-pool drain/steal primitive. Returns `true` when at least
+    /// one match was moved; an empty or closed queue returns `false`
+    /// immediately. Popping preserves heap order, so the batch carries
+    /// the queue's priority order with it wherever it is processed.
+    fn try_pop_batch(&self, max: usize, out: &mut Vec<PartialMatch>) -> bool {
+        let mut guard = self.inner.lock();
+        if guard.closed || guard.queue.is_empty() {
+            return false;
+        }
+        while out.len() < max {
+            match guard.queue.pop() {
+                Some(m) => out.push(m),
+                None => break,
+            }
+        }
+        !out.is_empty()
+    }
+
     /// Closes the queue and removes everything still in it, in one lock
     /// acquisition: any push that loses the race gets its match back
     /// (`push` returns `Err`) and re-routes, so no match is stranded in
@@ -212,6 +251,13 @@ struct Shared<'c, 'a> {
     done: AtomicBool,
     done_cv: Condvar,
     done_lock: Mutex<()>,
+    /// Bumped after every push that makes server-queue work visible
+    /// (and on termination). Workers snapshot it before scanning their
+    /// queues and re-check it under `work_lock` before parking, which
+    /// closes the scan/park lost-wakeup window.
+    work_version: AtomicU64,
+    work_lock: Mutex<()>,
+    work_cv: Condvar,
     offer_partial: bool,
     full_mask: u64,
     sem: Option<Semaphore>,
@@ -227,12 +273,22 @@ impl Shared<'_, '_> {
         if now == 0 {
             self.done.store(true, Ordering::Release);
             self.router_queue.wake_all();
-            for q in &self.server_queues {
-                q.wake_all();
-            }
+            self.signal_work();
             let _g = self.done_lock.lock();
             self.done_cv.notify_all();
         }
+    }
+
+    /// Publishes new server-queue work (or termination) to the worker
+    /// pool. The version bump is `Release`, so a worker whose `Acquire`
+    /// snapshot observes it also observes the push that preceded it;
+    /// the notify takes `work_lock` first, which orders it after any
+    /// in-progress park decision (the same lost-wakeup argument as
+    /// [`SharedQueue::wake_all`]).
+    fn signal_work(&self) {
+        self.work_version.fetch_add(1, Ordering::Release);
+        let _g = self.work_lock.lock();
+        self.work_cv.notify_all();
     }
 
     fn server_queue(&self, server: QNodeId) -> &SharedQueue {
@@ -240,9 +296,10 @@ impl Shared<'_, '_> {
     }
 }
 
-/// Runs Whirlpool-M: one thread per server, one router thread, with the
-/// calling thread acting as the paper's "main thread \[that\] checks
-/// for termination".
+/// Runs Whirlpool-M: a pool of [`WhirlpoolMConfig::threads`] workers
+/// serving every server queue (with batch stealing), one router
+/// thread, and the calling thread acting as the paper's "main thread
+/// \[that\] checks for termination".
 pub fn run_whirlpool_m(
     ctx: &QueryContext<'_>,
     routing: &RoutingStrategy,
@@ -282,6 +339,9 @@ pub fn run_whirlpool_m_anytime(
         done: AtomicBool::new(false),
         done_cv: Condvar::new(),
         done_lock: Mutex::new(()),
+        work_version: AtomicU64::new(0),
+        work_lock: Mutex::new(()),
+        work_cv: Condvar::new(),
         offer_partial,
         full_mask,
         sem: config.processors.map(Semaphore::new),
@@ -316,19 +376,18 @@ pub fn run_whirlpool_m_anytime(
     shared.in_flight.store(seeded, Ordering::Release);
 
     let trunc = Truncation::new();
-    let threads_per_server = config.threads_per_server.max(1);
+    let workers = config.threads.max(1);
     std::thread::scope(|scope| {
         // Router thread.
         {
             let (shared, trunc) = (&shared, &trunc);
             scope.spawn(move || router_loop(shared, routing, control, trunc));
         }
-        // Server threads (possibly several workers per server queue).
-        for &server in &server_ids {
-            for _ in 0..threads_per_server {
-                let (shared, trunc) = (&shared, &trunc);
-                scope.spawn(move || server_loop(shared, server, control, trunc));
-            }
+        // Worker pool: N workers serve all the server queues between
+        // them, N independent of the query size.
+        for worker_id in 0..workers {
+            let (shared, trunc) = (&shared, &trunc);
+            scope.spawn(move || worker_loop(shared, worker_id, workers, control, trunc));
         }
         // Main thread: wait for termination.
         let mut guard = shared.done_lock.lock();
@@ -428,8 +487,14 @@ fn router_loop(
                 None => finish_unroutable(shared, trunc, m, &mut pool, &mut tr),
             }
         }
+        let mut pushed = false;
         for (i, group) in groups.iter_mut().enumerate() {
-            if !shared.server_queues[i].push_batch(ctx, group) {
+            if group.is_empty() {
+                continue;
+            }
+            if shared.server_queues[i].push_batch(ctx, group) {
+                pushed = true;
+            } else {
                 // The queue closed between the aliveness check and the
                 // push (its server just died): re-route each match
                 // among the survivors.
@@ -438,6 +503,9 @@ fn router_loop(
                     reroute(shared, routing, control, trunc, m, &mut pool, &mut tr);
                 }
             }
+        }
+        if pushed {
+            shared.signal_work();
         }
     }
     tr.span_end("route");
@@ -480,7 +548,10 @@ fn reroute(
             return;
         };
         match shared.server_queue(server).push(ctx, m) {
-            Ok(()) => return,
+            Ok(()) => {
+                shared.signal_work();
+                return;
+            }
             Err(back) => {
                 ctx.metrics.add_match_redistributed();
                 m = back;
@@ -571,175 +642,350 @@ fn handle_dead_server_match(
     }
 }
 
-fn server_loop(shared: &Shared<'_, '_>, server: QNodeId, control: &RunControl, trunc: &Truncation) {
+/// Per-batch working state. It lives outside the batch loop so a panic
+/// that escapes the fault layer can be settled at batch granularity:
+/// [`abandon_batch`] accounts the in-hand match and the unprocessed
+/// remainder into the truncation certificate and still publishes the
+/// survivors the batch had already produced.
+#[derive(Default)]
+struct BatchWork {
+    /// Drained batch, highest priority last (processed back-to-front).
+    local: Vec<PartialMatch>,
+    /// Candidate ranges aligned with `local` (batched locate mode).
+    locs: Vec<Located>,
+    /// Extensions produced by the match currently being processed.
+    exts: Vec<PartialMatch>,
+    /// Extensions that survived pruning, awaiting the router.
+    survivors: Vec<PartialMatch>,
+    /// Net in-flight change accumulated across the batch; applied in
+    /// one atomic op at settle time, before the survivors are pushed.
+    net: i64,
+    /// The match whose server op is running right now. Stored here —
+    /// not in a loop local — so `abandon_batch` can account it.
+    in_hand: Option<PartialMatch>,
+}
+
+/// One scheduler worker: drains its home queues (indices congruent to
+/// `worker_id` mod `n_workers`) round-robin one batch at a time, steals
+/// a whole batch from the most-loaded foreign queue when every home
+/// queue is dry, and parks on the global work signal when there is
+/// nothing to do anywhere.
+fn worker_loop(
+    shared: &Shared<'_, '_>,
+    worker_id: usize,
+    n_workers: usize,
+    control: &RunControl,
+    trunc: &Truncation,
+) {
     let ctx = shared.ctx;
     // One pool shard per worker thread: per-match recycling needs no
     // synchronization; whole blocks of buffers rebalance through the
     // shared hub when a shard runs dry or overflows.
     let mut pool = ctx.new_pool_shared(&shared.pool_hub);
-    let batching = ctx.op_batching();
-    let mut exts = Vec::new();
-    let mut local = Vec::new();
-    let mut locs: Vec<Located> = Vec::new();
-    let mut survivors = Vec::new();
+    let server_ids = ctx.server_ids();
+    let n_servers = shared.server_queues.len();
+    let mut work = BatchWork::default();
     let mut tr = if control.tracing() {
-        control.trace_worker(&format!("server q{}", server.0))
+        control.trace_worker(&format!("worker {worker_id}"))
     } else {
         crate::trace::WorkerTrace::disabled()
     };
     tr.span_begin("serve");
-    let queue = shared.server_queue(server);
-    while queue.pop_wait_batch(&shared.done, DRAIN_BATCH, &mut local) {
-        if tr.enabled() {
-            tr.queue_depth(crate::trace::QueueId::Server(server), queue.len());
-        }
-        // Process the drained batch highest-priority first (the drain
-        // preserved heap order; reverse so pop() walks it front-first).
-        local.reverse();
-        // One document-order locate sweep resolves every drained
-        // match's candidate range before any is evaluated; `locs` stays
-        // aligned with `local` and the two are popped in lockstep.
-        if batching {
-            let roots: Vec<_> = local.iter().map(|m| m.root()).collect();
-            ctx.locate_batch_at_server(server, &roots, &mut locs);
-        }
-        // Net in-flight change accumulated across the batch; applied
-        // in one atomic op at settle time, before the survivors are
-        // pushed, so the count never undercounts live matches.
-        let mut net = 0i64;
-        while let Some(m) = local.pop() {
-            let loc = if batching {
-                locs.pop().expect("locs stays aligned with local")
-            } else {
-                Located::Absent
-            };
-            if trunc.is_expired() || control.exhausted(&ctx.metrics) {
-                drain_expired(shared, trunc, m, &mut pool, &mut tr);
-                continue;
-            }
-            if shared.topk.should_prune(&m) {
-                // Conservative lock-free check: the snapshot only
-                // condemns matches the live threshold also would.
-                ctx.metrics.add_pruned();
-                tr.pruned(&m, shared.topk.threshold_snapshot());
-                pool.release(m);
-                net -= 1;
-                continue;
-            }
-
-            exts.clear();
-            let t0 = tr.op_start();
-            let ran = {
-                // The processor budget covers the join work itself.
-                let _permit = shared.sem.as_ref().map(Semaphore::acquire);
-                if batching {
-                    guarded_process_located(
-                        ctx, control, trunc, server, &m, loc, &mut exts, &mut pool,
-                    )
-                } else {
-                    guarded_process(ctx, control, trunc, server, &m, &mut exts, &mut pool)
-                }
-            };
-            if !ran {
-                // This server is dead (it may have just died under
-                // us). Settle the batch so far, then close its queue
-                // and rescue everything still waiting — the match in
-                // hand, the rest of the drained batch, and the queue —
-                // and let this worker retire; sibling workers wake on
-                // the closed queue and retire too.
-                if net != 0 {
-                    shared.adjust_in_flight(net);
-                }
-                push_to_router_batch(shared, &mut survivors);
-                handle_dead_server_match(shared, trunc, server, m, &mut pool, &mut tr);
-                while let Some(rest) = local.pop() {
-                    handle_dead_server_match(shared, trunc, server, rest, &mut pool, &mut tr);
-                }
-                for rescued in queue.close_and_drain() {
-                    handle_dead_server_match(shared, trunc, server, rescued, &mut pool, &mut tr);
-                }
-                tr.span_end("serve");
-                return;
-            }
-            tr.server_op(server, m.seq, exts.len(), t0);
-            pool.release(m);
-            net -= 1;
-
-            // The threshold snapshot decides, without the lock, whether
-            // any extension's offer could change the top-k set; the
-            // lock is taken only when one could.
-            let snap = shared.topk.threshold_snapshot();
-            let offers_needed = exts.iter().any(|e| {
-                (shared.offer_partial || e.is_complete(shared.full_mask)) && e.score >= snap
-            });
-            if offers_needed {
-                let mut topk = shared.topk.lock();
-                for e in exts.drain(..) {
-                    tr.spawned(&e);
-                    let complete = e.is_complete(shared.full_mask);
-                    if shared.offer_partial || complete {
-                        topk.offer_match(&e);
-                    }
-                    if complete {
-                        tr.completed(&e);
-                        if e.degraded {
-                            ctx.metrics.add_answer_degraded();
-                        }
-                        pool.release(e);
-                        continue;
-                    }
-                    if topk.should_prune(&e) {
-                        ctx.metrics.add_pruned();
-                        tr.pruned(&e, topk.threshold());
-                        pool.release(e);
-                        continue;
-                    }
-                    net += 1;
-                    survivors.push(e);
-                }
-                if tr.enabled() {
-                    tr.threshold(topk.threshold());
-                }
-            } else {
-                // Every offer is provably a no-op on the live set (see
-                // SharedTopK): stay off the lock and prune against the
-                // snapshot, which is conservative.
-                for e in exts.drain(..) {
-                    tr.spawned(&e);
-                    if e.is_complete(shared.full_mask) {
-                        tr.completed(&e);
-                        if e.degraded {
-                            ctx.metrics.add_answer_degraded();
-                        }
-                        pool.release(e);
-                        continue;
-                    }
-                    if e.max_final < snap {
-                        ctx.metrics.add_pruned();
-                        tr.pruned(&e, snap);
-                        pool.release(e);
-                        continue;
-                    }
-                    net += 1;
-                    survivors.push(e);
-                }
-                // No threshold sample here: the snapshot is stale by
-                // construction, and a stale value timestamped now would
-                // break the merged stream's monotonicity. The locked
-                // branch samples the live value whenever it changes.
+    loop {
+        // Snapshot the version *before* scanning: any push the scan
+        // could miss bumps the version afterwards (Release ordering),
+        // so the park at the bottom sees a changed version and rescans
+        // instead of sleeping — the scan/park lost-wakeup window is
+        // closed by the version, the notify by `work_lock`.
+        let version = shared.work_version.load(Ordering::Acquire);
+        let mut found = false;
+        // Home queues first, one batch each per sweep so no home queue
+        // starves another. With one worker every queue is home, so
+        // `steal_events` is zero by construction in serial runs.
+        for qi in (worker_id..n_servers).step_by(n_workers) {
+            if shared.server_queues[qi].try_pop_batch(DRAIN_BATCH, &mut work.local) {
+                found = true;
+                let server = server_ids[qi];
+                serve_batch(
+                    shared, server, &mut work, control, trunc, &mut pool, &mut tr,
+                );
             }
         }
-        // Settle the batch: the net count change lands in one atomic op
-        // *before* the survivors become visible to other workers, so the
-        // count never dips below the true number of live matches (the
-        // survivors are part of `net`, so it cannot reach zero while any
-        // exist).
-        if net != 0 {
-            shared.adjust_in_flight(net);
+        if !found && !shared.done.load(Ordering::Acquire) {
+            // Every home queue is dry: steal one whole batch from the
+            // most-loaded foreign queue. The batch pops in heap order,
+            // so the stolen work is exactly that server's current
+            // highest-priority prefix and per-server priority order is
+            // preserved within the batch.
+            let victim = (0..n_servers)
+                .filter(|qi| qi % n_workers != worker_id)
+                .map(|qi| (shared.server_queues[qi].len(), qi))
+                .max();
+            if let Some((len, qi)) = victim {
+                if len > 0 && shared.server_queues[qi].try_pop_batch(DRAIN_BATCH, &mut work.local) {
+                    found = true;
+                    let server = server_ids[qi];
+                    ctx.metrics.add_steal(1);
+                    tr.stolen(server, work.local.len());
+                    serve_batch(
+                        shared, server, &mut work, control, trunc, &mut pool, &mut tr,
+                    );
+                }
+            }
         }
-        push_to_router_batch(shared, &mut survivors);
+        if found {
+            continue;
+        }
+        if shared.done.load(Ordering::Acquire) {
+            break;
+        }
+        let mut guard = shared.work_lock.lock();
+        if shared.done.load(Ordering::Acquire)
+            || shared.work_version.load(Ordering::Acquire) != version
+        {
+            continue;
+        }
+        shared.work_cv.wait(&mut guard);
     }
     tr.span_end("serve");
+}
+
+/// Serves one drained batch on behalf of `server`, catching any panic
+/// that escapes the fault layer (e.g. a panicking score model when no
+/// fault plan is active, so [`guarded_process`] runs unguarded). The
+/// panic is settled at batch granularity — see [`abandon_batch`] — and
+/// the worker keeps running, so a poisoned batch truncates the result
+/// instead of hanging or aborting the run.
+fn serve_batch(
+    shared: &Shared<'_, '_>,
+    server: QNodeId,
+    work: &mut BatchWork,
+    control: &RunControl,
+    trunc: &Truncation,
+    pool: &mut MatchPool<'_>,
+    tr: &mut crate::trace::WorkerTrace,
+) {
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        process_batch(shared, server, work, control, trunc, pool, tr);
+    }));
+    if caught.is_err() {
+        abandon_batch(shared, trunc, work, pool, tr);
+    }
+}
+
+/// Settles a batch whose processing panicked outside the fault layer.
+/// The in-hand match and the unprocessed remainder are accounted into
+/// the truncation certificate and leave the system; extensions of the
+/// in-hand match were never admitted (no spawn event, not yet counted
+/// in-flight), so their buffers are simply recycled. The net count
+/// change — including the kills — lands in one atomic op *before* the
+/// already-produced survivors are pushed, preserving the settling
+/// protocol's no-undercount invariant.
+fn abandon_batch(
+    shared: &Shared<'_, '_>,
+    trunc: &Truncation,
+    work: &mut BatchWork,
+    pool: &mut MatchPool<'_>,
+    tr: &mut crate::trace::WorkerTrace,
+) {
+    trunc.mark();
+    let mut killed = 0i64;
+    if let Some(m) = work.in_hand.take() {
+        trunc.account(m.max_final);
+        tr.abandoned(&m);
+        pool.release(m);
+        killed += 1;
+    }
+    while let Some(m) = work.local.pop() {
+        trunc.account(m.max_final);
+        tr.abandoned(&m);
+        pool.release(m);
+        killed += 1;
+    }
+    for e in work.exts.drain(..) {
+        pool.release(e);
+    }
+    work.locs.clear();
+    let delta = work.net - killed;
+    work.net = 0;
+    // `net` credits every survivor, so the count cannot reach zero
+    // while the survivors below are still unpublished.
+    if delta != 0 {
+        shared.adjust_in_flight(delta);
+    }
+    push_to_router_batch(shared, &mut work.survivors);
+}
+
+fn process_batch(
+    shared: &Shared<'_, '_>,
+    server: QNodeId,
+    work: &mut BatchWork,
+    control: &RunControl,
+    trunc: &Truncation,
+    pool: &mut MatchPool<'_>,
+    tr: &mut crate::trace::WorkerTrace,
+) {
+    let ctx = shared.ctx;
+    let batching = ctx.op_batching();
+    let queue = shared.server_queue(server);
+    if tr.enabled() {
+        tr.queue_depth(crate::trace::QueueId::Server(server), queue.len());
+    }
+    // Process the drained batch highest-priority first (the drain
+    // preserved heap order; reverse so pop() walks it front-first).
+    work.local.reverse();
+    // One document-order locate sweep resolves every drained match's
+    // candidate range before any is evaluated; `locs` stays aligned
+    // with `local` and the two are popped in lockstep.
+    if batching {
+        let roots: Vec<_> = work.local.iter().map(|m| m.root()).collect();
+        ctx.locate_batch_at_server(server, &roots, &mut work.locs);
+    }
+    // Net in-flight change accumulated across the batch; applied in
+    // one atomic op at settle time, before the survivors are pushed,
+    // so the count never undercounts live matches.
+    work.net = 0;
+    while let Some(m) = work.local.pop() {
+        let loc = if batching {
+            work.locs.pop().expect("locs stays aligned with local")
+        } else {
+            Located::Absent
+        };
+        if trunc.is_expired() || control.exhausted(&ctx.metrics) {
+            drain_expired(shared, trunc, m, pool, tr);
+            continue;
+        }
+        if shared.topk.should_prune(&m) {
+            // Conservative lock-free check: the snapshot only
+            // condemns matches the live threshold also would.
+            ctx.metrics.add_pruned();
+            tr.pruned(&m, shared.topk.threshold_snapshot());
+            pool.release(m);
+            work.net -= 1;
+            continue;
+        }
+
+        work.exts.clear();
+        let t0 = tr.op_start();
+        // The match lives in the batch state while the join runs so a
+        // panic escaping the fault layer can still account it.
+        work.in_hand = Some(m);
+        let ran = {
+            let BatchWork {
+                ref in_hand,
+                ref mut exts,
+                ..
+            } = *work;
+            let m = in_hand.as_ref().expect("in-hand match was just stored");
+            // The processor budget covers the join work itself.
+            let _permit = shared.sem.as_ref().map(Semaphore::acquire);
+            if batching {
+                guarded_process_located(ctx, control, trunc, server, m, loc, exts, pool)
+            } else {
+                guarded_process(ctx, control, trunc, server, m, exts, pool)
+            }
+        };
+        let m = work.in_hand.take().expect("in-hand match is present");
+        if !ran {
+            // This server is dead (it may have just died under us).
+            // Settle the batch so far, then close its queue and rescue
+            // everything still waiting — the match in hand, the rest of
+            // the drained batch, and the queue. The *worker* does not
+            // retire: it moves on to the other queues it serves.
+            if work.net != 0 {
+                shared.adjust_in_flight(work.net);
+                work.net = 0;
+            }
+            push_to_router_batch(shared, &mut work.survivors);
+            handle_dead_server_match(shared, trunc, server, m, pool, tr);
+            while let Some(rest) = work.local.pop() {
+                handle_dead_server_match(shared, trunc, server, rest, pool, tr);
+            }
+            for rescued in queue.close_and_drain() {
+                handle_dead_server_match(shared, trunc, server, rescued, pool, tr);
+            }
+            work.locs.clear();
+            return;
+        }
+        tr.server_op(server, m.seq, work.exts.len(), t0);
+        pool.release(m);
+        work.net -= 1;
+
+        // The threshold snapshot decides, without the lock, whether
+        // any extension's offer could change the top-k set; the
+        // lock is taken only when one could.
+        let snap = shared.topk.threshold_snapshot();
+        let offers_needed = work
+            .exts
+            .iter()
+            .any(|e| (shared.offer_partial || e.is_complete(shared.full_mask)) && e.score >= snap);
+        if offers_needed {
+            let mut topk = shared.topk.lock();
+            for e in work.exts.drain(..) {
+                tr.spawned(&e);
+                let complete = e.is_complete(shared.full_mask);
+                if shared.offer_partial || complete {
+                    topk.offer_match(&e);
+                }
+                if complete {
+                    tr.completed(&e);
+                    if e.degraded {
+                        ctx.metrics.add_answer_degraded();
+                    }
+                    pool.release(e);
+                    continue;
+                }
+                if topk.should_prune(&e) {
+                    ctx.metrics.add_pruned();
+                    tr.pruned(&e, topk.threshold());
+                    pool.release(e);
+                    continue;
+                }
+                work.net += 1;
+                work.survivors.push(e);
+            }
+            if tr.enabled() {
+                tr.threshold(topk.threshold());
+            }
+        } else {
+            // Every offer is provably a no-op on the live set (see
+            // SharedTopK): stay off the lock and prune against the
+            // snapshot, which is conservative.
+            for e in work.exts.drain(..) {
+                tr.spawned(&e);
+                if e.is_complete(shared.full_mask) {
+                    tr.completed(&e);
+                    if e.degraded {
+                        ctx.metrics.add_answer_degraded();
+                    }
+                    pool.release(e);
+                    continue;
+                }
+                if e.max_final < snap {
+                    ctx.metrics.add_pruned();
+                    tr.pruned(&e, snap);
+                    pool.release(e);
+                    continue;
+                }
+                work.net += 1;
+                work.survivors.push(e);
+            }
+            // No threshold sample here: the snapshot is stale by
+            // construction, and a stale value timestamped now would
+            // break the merged stream's monotonicity. The locked
+            // branch samples the live value whenever it changes.
+        }
+    }
+    // Settle the batch: the net count change lands in one atomic op
+    // *before* the survivors become visible to other workers, so the
+    // count never dips below the true number of live matches (the
+    // survivors are part of `net`, so it cannot reach zero while any
+    // exist).
+    if work.net != 0 {
+        shared.adjust_in_flight(work.net);
+        work.net = 0;
+    }
+    push_to_router_batch(shared, &mut work.survivors);
 }
 
 #[cfg(test)]
@@ -847,26 +1093,29 @@ mod tests {
     }
 
     #[test]
-    fn extra_threads_per_server_do_not_change_answers() {
+    fn extra_workers_do_not_change_answers() {
         let query = "//book[./title and ./isbn and ./price]";
         let mut reference = Vec::new();
         harness(query, RelaxMode::Relaxed, |ctx, servers| {
             reference = run_lockstep_noprune(ctx, &StaticPlan::in_id_order(servers), 4);
         });
-        for tps in [2usize, 4] {
+        // Worker counts below, at, and above the number of server
+        // queues: above, the surplus workers have no home queues and
+        // live entirely off stealing.
+        for threads in [2usize, 4, 8] {
             harness(query, RelaxMode::Relaxed, |ctx, _| {
                 let got = run_whirlpool_m(
                     ctx,
                     &RoutingStrategy::MinAlive,
                     4,
                     &WhirlpoolMConfig {
-                        threads_per_server: tps,
+                        threads,
                         ..WhirlpoolMConfig::default()
                     },
                 );
                 assert!(
                     crate::topk::answers_equivalent(&got, &reference, 1e-9),
-                    "threads_per_server={tps}"
+                    "threads={threads}"
                 );
             });
         }

@@ -14,6 +14,62 @@ use whirlpool_xml::{Document, NodeId};
 /// Sentinel parent value for the synthetic document root.
 const NO_PARENT: u32 = u32::MAX;
 
+/// Fixed lane width of the branch-free batch sweeps: candidate ids are
+/// processed in chunks of this many elements, each chunk a straight-
+/// line loop with no data-dependent branches, so the compiler can
+/// autovectorize the compares against the flat columns.
+pub const KERNEL_LANE: usize = 16;
+
+/// Lanes needed to sweep `n` candidates (the unit of the
+/// `kernel_lanes` metric): `ceil(n / KERNEL_LANE)`.
+#[inline]
+pub fn lanes_for(n: usize) -> u64 {
+    n.div_ceil(KERNEL_LANE) as u64
+}
+
+/// Number of set entries in a 0/1 byte mask.
+#[inline]
+pub fn mask_count(mask: &[u8]) -> u64 {
+    mask.iter().map(|&b| b as u64).sum()
+}
+
+/// Applies `f` to every candidate id, writing a 0/1 byte per element:
+/// full [`KERNEL_LANE`]-wide chunks run as fixed-width inner loops, the
+/// tail element-wise. Returns the lanes swept.
+#[inline]
+fn sweep_map(cands: &[u32], out: &mut [u8], f: impl Fn(u32) -> u8) -> u64 {
+    debug_assert_eq!(cands.len(), out.len());
+    let mut cs = cands.chunks_exact(KERNEL_LANE);
+    let mut os = out.chunks_exact_mut(KERNEL_LANE);
+    for (c, o) in (&mut cs).zip(&mut os) {
+        for i in 0..KERNEL_LANE {
+            o[i] = f(c[i]);
+        }
+    }
+    for (c, o) in cs.remainder().iter().zip(os.into_remainder()) {
+        *o = f(*c);
+    }
+    lanes_for(cands.len())
+}
+
+/// [`sweep_map`], but ANDing into an existing alive mask
+/// (`alive[i] &= f(cands[i])`). Returns the lanes swept.
+#[inline]
+fn sweep_refine(cands: &[u32], alive: &mut [u8], f: impl Fn(u32) -> u8) -> u64 {
+    debug_assert_eq!(cands.len(), alive.len());
+    let mut cs = cands.chunks_exact(KERNEL_LANE);
+    let mut os = alive.chunks_exact_mut(KERNEL_LANE);
+    for (c, o) in (&mut cs).zip(&mut os) {
+        for i in 0..KERNEL_LANE {
+            o[i] &= f(c[i]);
+        }
+    }
+    for (c, o) in cs.remainder().iter().zip(os.into_remainder()) {
+        *o &= f(*c);
+    }
+    lanes_for(cands.len())
+}
+
 /// Flat structural columns for one document: `parent`, `depth`, and
 /// `subtree_end`, all indexed by raw node id.
 ///
@@ -146,6 +202,97 @@ impl StructuralColumns {
             ComposedAxis::Descendant => true,
         }
     }
+
+    /// Batch form of [`holds_in_range`](Self::holds_in_range): writes
+    /// `out[i] = holds_in_range(axis, ancestor, cands[i])` as 0/1
+    /// bytes, one branch-free [`KERNEL_LANE`]-chunked sweep per axis
+    /// shape (the axis dispatch is hoisted out of the loop). Every
+    /// `cands[i]` must already lie in `ancestor`'s subtree range.
+    /// Returns the lanes swept.
+    pub fn sweep_in_range(
+        &self,
+        axis: ComposedAxis,
+        ancestor: NodeId,
+        cands: &[u32],
+        out: &mut [u8],
+    ) -> u64 {
+        match axis {
+            ComposedAxis::ChildChain(1) => {
+                let p = ancestor.index() as u32;
+                sweep_map(cands, out, |c| (self.parent[c as usize] == p) as u8)
+            }
+            ComposedAxis::ChildChain(n) => {
+                let want = self.depth[ancestor.index()] as u32 + n;
+                sweep_map(cands, out, |c| {
+                    (self.depth[c as usize] as u32 == want) as u8
+                })
+            }
+            ComposedAxis::Descendant => {
+                out.fill(1);
+                lanes_for(cands.len())
+            }
+        }
+    }
+
+    /// Batch conditional-predicate sweep, ancestor fixed: ANDs
+    /// `holds(axis, ancestor, cands[i])` into `alive[i]` for every
+    /// candidate (no range precondition — containment is re-checked
+    /// branch-free). Returns the lanes swept.
+    pub fn sweep_refine_from_ancestor(
+        &self,
+        axis: ComposedAxis,
+        ancestor: NodeId,
+        cands: &[u32],
+        alive: &mut [u8],
+    ) -> u64 {
+        let a = ancestor.index() as u32;
+        match axis {
+            ComposedAxis::ChildChain(1) => {
+                sweep_refine(cands, alive, |c| (self.parent[c as usize] == a) as u8)
+            }
+            ComposedAxis::ChildChain(n) => {
+                let end = self.subtree_end[a as usize];
+                let want = self.depth[a as usize] as u32 + n;
+                sweep_refine(cands, alive, |c| {
+                    ((a < c) & (c < end) & (self.depth[c as usize] as u32 == want)) as u8
+                })
+            }
+            ComposedAxis::Descendant => {
+                let end = self.subtree_end[a as usize];
+                sweep_refine(cands, alive, |c| ((a < c) & (c < end)) as u8)
+            }
+        }
+    }
+
+    /// Batch conditional-predicate sweep, descendant fixed: ANDs
+    /// `holds(axis, cands[i], descendant)` into `alive[i]` for every
+    /// candidate. Returns the lanes swept.
+    pub fn sweep_refine_to_descendant(
+        &self,
+        axis: ComposedAxis,
+        descendant: NodeId,
+        cands: &[u32],
+        alive: &mut [u8],
+    ) -> u64 {
+        let d = descendant.index() as u32;
+        match axis {
+            ComposedAxis::ChildChain(1) => {
+                let p = self.parent[d as usize];
+                sweep_refine(cands, alive, |c| (c == p) as u8)
+            }
+            ComposedAxis::ChildChain(n) => {
+                let d_depth = self.depth[d as usize] as u32;
+                sweep_refine(cands, alive, |c| {
+                    ((c < d)
+                        & (d < self.subtree_end[c as usize])
+                        & (d_depth == self.depth[c as usize] as u32 + n)) as u8
+                })
+            }
+            ComposedAxis::Descendant => sweep_refine(cands, alive, |c| {
+                ((c < d) & (d < self.subtree_end[c as usize])) as u8
+            }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -178,6 +325,76 @@ mod tests {
                 assert_eq!(cols.is_parent(x, y), doc.is_parent(x, y), "{x:?} {y:?}");
             }
         }
+    }
+
+    #[test]
+    fn lane_sweeps_match_scalar_predicates() {
+        // Deep + wide enough to cross the KERNEL_LANE chunk boundary.
+        let mut src = String::from("<a><b>");
+        for _ in 0..(3 * KERNEL_LANE) {
+            src.push_str("<c><d/></c>");
+        }
+        src.push_str("</b><c/></a>");
+        let (doc, cols) = columns(&src);
+        let axes = [
+            ComposedAxis::ChildChain(1),
+            ComposedAxis::ChildChain(2),
+            ComposedAxis::ChildChain(3),
+            ComposedAxis::Descendant,
+        ];
+        for fixed in doc.all_nodes() {
+            // In-range sweep: candidates are `fixed`'s proper subtree.
+            let lo = fixed.index() as u32 + 1;
+            let hi = cols.subtree_end_raw(fixed);
+            let in_range: Vec<u32> = (lo..hi).collect();
+            let every: Vec<u32> = doc.all_nodes().map(|n| n.index() as u32).collect();
+            for axis in axes {
+                let mut mask = vec![0u8; in_range.len()];
+                let lanes = cols.sweep_in_range(axis, fixed, &in_range, &mut mask);
+                assert_eq!(lanes, lanes_for(in_range.len()));
+                for (i, &c) in in_range.iter().enumerate() {
+                    let cand = NodeId::from_index(c as usize);
+                    assert_eq!(
+                        mask[i] != 0,
+                        cols.holds_in_range(axis, fixed, cand),
+                        "in-range {axis:?} {fixed:?} {cand:?}"
+                    );
+                }
+
+                let mut alive = vec![1u8; every.len()];
+                cols.sweep_refine_from_ancestor(axis, fixed, &every, &mut alive);
+                for (i, &c) in every.iter().enumerate() {
+                    let cand = NodeId::from_index(c as usize);
+                    assert_eq!(
+                        alive[i] != 0,
+                        cols.holds(axis, fixed, cand),
+                        "from-ancestor {axis:?} {fixed:?} {cand:?}"
+                    );
+                }
+
+                let mut alive = vec![1u8; every.len()];
+                cols.sweep_refine_to_descendant(axis, fixed, &every, &mut alive);
+                for (i, &c) in every.iter().enumerate() {
+                    let cand = NodeId::from_index(c as usize);
+                    assert_eq!(
+                        alive[i] != 0,
+                        cols.holds(axis, cand, fixed),
+                        "to-descendant {axis:?} {cand:?} {fixed:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refine_sweeps_only_clear_bits() {
+        let (doc, cols) = columns("<a><b><c/></b><b/></a>");
+        let every: Vec<u32> = doc.all_nodes().map(|n| n.index() as u32).collect();
+        let root = doc.all_nodes().next().unwrap();
+        let mut alive = vec![0u8; every.len()];
+        cols.sweep_refine_from_ancestor(ComposedAxis::Descendant, root, &every, &mut alive);
+        assert!(alive.iter().all(|&b| b == 0), "refine set a dead bit");
+        assert_eq!(mask_count(&alive), 0);
     }
 
     #[test]

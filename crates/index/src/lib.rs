@@ -29,7 +29,7 @@ mod cursor;
 mod selectivity;
 mod tagindex;
 
-pub use columns::StructuralColumns;
+pub use columns::{lanes_for, mask_count, StructuralColumns, KERNEL_LANE};
 pub use cursor::RangeCursor;
 pub use selectivity::{estimate_selectivity, ServerSelectivity};
 pub use tagindex::TagIndex;

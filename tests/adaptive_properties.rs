@@ -248,7 +248,7 @@ fn whirlpool_m_stress_matrix() {
     );
 
     for processors in [None, Some(1), Some(3)] {
-        for threads_per_server in [1usize, 3] {
+        for threads in [1usize, 3] {
             for queue_policy in [QueuePolicy::MaxFinalScore, QueuePolicy::Fifo] {
                 for op_cost in [None, Some(std::time::Duration::from_micros(50))] {
                     let ctx = QueryContext::new(
@@ -268,12 +268,12 @@ fn whirlpool_m_stress_matrix() {
                         &WhirlpoolMConfig {
                             queue_policy,
                             processors,
-                            threads_per_server,
+                            threads,
                         },
                     );
                     assert!(
                         answers_equivalent(&got, &reference.answers, 1e-9),
-                        "procs={processors:?} tps={threads_per_server} \
+                        "procs={processors:?} threads={threads} \
                          queue={queue_policy:?} cost={op_cost:?}"
                     );
                 }

@@ -148,7 +148,7 @@ fn whirlpool_m_keeps_answers_across_batching_and_threads() {
         for threads in [1, 4, 8] {
             for op_batching in [true, false] {
                 let mut o = options(10, relax, op_batching);
-                o.threads_per_server = threads;
+                o.threads = threads;
                 let got = fx.eval(&query, &Algorithm::WhirlpoolM { processors: None }, &o);
                 assert!(
                     answers_equivalent(&got.answers, &reference.answers, 1e-9),
@@ -172,7 +172,7 @@ fn whirlpool_m_batched_traces_conserve_matches() {
     for relax in [RelaxMode::Relaxed, RelaxMode::Exact] {
         for threads in [1, 4, 8] {
             let mut o = options(10, relax, true);
-            o.threads_per_server = threads;
+            o.threads = threads;
             o.trace = true;
             let got = fx.eval(&query, &Algorithm::WhirlpoolM { processors: None }, &o);
             let trace = got.trace.as_ref().expect("trace requested");

@@ -12,20 +12,30 @@
 //!   mid-run) every thread count still terminates — no hang in
 //!   termination detection, no lost rescue — and the degraded result
 //!   carries a valid anytime certificate against the exact answers.
+//! * On *skewed-routing* documents — one hot server receives nearly
+//!   every match, so idle workers live off batch stealing — the
+//!   worker-pool scheduler still agrees with Whirlpool-S at every pool
+//!   size and in both relax modes.
+//! * A panic that escapes the fault layer entirely (a panicking score
+//!   model with **no** fault plan, so `guarded_process` runs
+//!   unguarded) is caught at batch granularity by the worker itself:
+//!   the run terminates at every pool size and returns a certified
+//!   truncated prefix, even when the poisoned batch was stolen.
 //!
 //! CI runs this file at several `PROPTEST_SEED`s with the thread counts
 //! above, so the snapshot/sharding/batching protocols see many distinct
 //! schedules per change.
 
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 use whirlpool_core::{
     answers_equivalent, evaluate, Algorithm, Completeness, EvalOptions, FaultKind, FaultPlan,
     RankedAnswer, RelaxMode,
 };
 use whirlpool_index::TagIndex;
 use whirlpool_pattern::{Axis, QNodeId, TreePattern};
-use whirlpool_score::{Normalization, TfIdfModel};
-use whirlpool_xml::{Document, DocumentBuilder};
+use whirlpool_score::{MatchLevel, Normalization, ScoreModel, TfIdfModel};
+use whirlpool_xml::{Document, DocumentBuilder, NodeId};
 
 const TAGS: [&str; 4] = ["a", "b", "c", "d"];
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -161,7 +171,7 @@ proptest! {
         for threads in THREAD_COUNTS {
             let mut options = EvalOptions::top_k(k);
             options.relax = relax;
-            options.threads_per_server = threads;
+            options.threads = threads;
             let got = evaluate(
                 &doc, &index, &pattern, &model,
                 &Algorithm::WhirlpoolM { processors: None },
@@ -200,7 +210,7 @@ proptest! {
                      &EvalOptions::top_k(k)).answers;
         for threads in THREAD_COUNTS {
             let mut options = EvalOptions::top_k(k);
-            options.threads_per_server = threads;
+            options.threads = threads;
             options.fault_plan = Some(
                 FaultPlan::seeded(seed).with(server, FaultKind::Panic { after_ops }),
             );
@@ -229,5 +239,184 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+/// A document where almost every routed match lands on the same server:
+/// `hot` elements each carry two `b` children and one `c`, so the `b`
+/// server's queue dwarfs the others and workers whose home queues run
+/// dry must steal from it to stay busy.
+fn build_hot_server_doc(hot: usize) -> Document {
+    let mut b = DocumentBuilder::new();
+    for i in 0..hot {
+        b.open("a");
+        b.open("b");
+        b.close();
+        b.open("b");
+        b.close();
+        if i % 3 != 0 {
+            b.open("c");
+            b.close();
+        }
+        b.close();
+    }
+    // A few structurally different trees so routing has real choices.
+    for _ in 0..3 {
+        b.open("d");
+        b.open("a");
+        b.open("c");
+        b.close();
+        b.close();
+        b.close();
+    }
+    b.finish()
+}
+
+fn hot_server_query() -> TreePattern {
+    let mut p = TreePattern::new("a", Axis::Descendant);
+    p.add_node(p.root(), Axis::Child, "b", None);
+    p.add_node(p.root(), Axis::Child, "c", None);
+    p
+}
+
+/// Skewed routing: one hot server, workers forced onto the steal path.
+/// The answer set must match Whirlpool-S at every pool size, in both
+/// relax modes, across repeated runs (each run is a fresh schedule).
+#[test]
+fn skewed_hot_server_routing_agrees_at_every_worker_count() {
+    let doc = build_hot_server_doc(60);
+    let pattern = hot_server_query();
+    let index = TagIndex::build(&doc);
+    let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
+    for relax in [RelaxMode::Relaxed, RelaxMode::Exact] {
+        let mut options = EvalOptions::top_k(10);
+        options.relax = relax;
+        let reference = evaluate(
+            &doc,
+            &index,
+            &pattern,
+            &model,
+            &Algorithm::WhirlpoolS,
+            &options,
+        );
+        for threads in THREAD_COUNTS {
+            for rep in 0..3 {
+                let mut options = EvalOptions::top_k(10);
+                options.relax = relax;
+                options.threads = threads;
+                let got = evaluate(
+                    &doc,
+                    &index,
+                    &pattern,
+                    &model,
+                    &Algorithm::WhirlpoolM { processors: None },
+                    &options,
+                );
+                assert!(
+                    answers_equivalent(&got.answers, &reference.answers, EPS),
+                    "threads={threads} relax={relax:?} rep={rep}\n got {:?}\n ref {:?}",
+                    got.answers,
+                    reference.answers
+                );
+            }
+        }
+    }
+}
+
+/// A score model that panics after a fixed number of contribution
+/// calls. With no fault plan active the fault layer runs *unguarded*,
+/// so the panic escapes into the worker itself and exercises the
+/// batch-granularity panic guard (`serve_batch`/`abandon_batch`).
+struct PanickingModel<'m> {
+    inner: &'m TfIdfModel,
+    calls: AtomicU64,
+    panic_after: u64,
+}
+
+impl ScoreModel for PanickingModel<'_> {
+    fn contribution(&self, server: QNodeId, node: NodeId, level: MatchLevel) -> f64 {
+        if self.calls.fetch_add(1, Ordering::Relaxed) >= self.panic_after {
+            panic!("injected score-model panic (no fault plan)");
+        }
+        self.inner.contribution(server, node, level)
+    }
+
+    fn max_contribution(&self, server: QNodeId) -> f64 {
+        self.inner.max_contribution(server)
+    }
+
+    fn max_relaxed_contribution(&self, server: QNodeId) -> f64 {
+        self.inner.max_relaxed_contribution(server)
+    }
+}
+
+/// Certified termination when a worker panics outside the fault layer,
+/// including mid-steal on the hot-server workload: the run must not
+/// hang or abort at any pool size, and the truncated prefix must carry
+/// a certificate valid against the panic-free exact answers.
+#[test]
+fn worker_panic_outside_fault_layer_terminates_with_certificate() {
+    let doc = build_hot_server_doc(40);
+    let pattern = hot_server_query();
+    let index = TagIndex::build(&doc);
+    let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
+    let options = EvalOptions::top_k(8);
+    let exact = evaluate(
+        &doc,
+        &index,
+        &pattern,
+        &model,
+        &Algorithm::WhirlpoolS,
+        &options,
+    )
+    .answers;
+
+    // Calibrate: total contribution calls in one fault-free M run. The
+    // panic threshold is set halfway so it fires while the workers are
+    // deep in server operations (well past the seed phase, which runs
+    // on the unguarded main thread).
+    let counting = PanickingModel {
+        inner: &model,
+        calls: AtomicU64::new(0),
+        panic_after: u64::MAX,
+    };
+    evaluate(
+        &doc,
+        &index,
+        &pattern,
+        &counting,
+        &Algorithm::WhirlpoolM { processors: None },
+        &options,
+    );
+    let total_calls = counting.calls.load(Ordering::Relaxed);
+    assert!(total_calls > 20, "workload too small: {total_calls} calls");
+
+    for threads in THREAD_COUNTS {
+        let panicking = PanickingModel {
+            inner: &model,
+            calls: AtomicU64::new(0),
+            panic_after: total_calls / 2,
+        };
+        let mut options = EvalOptions::top_k(8);
+        options.threads = threads;
+        let r = evaluate(
+            &doc,
+            &index,
+            &pattern,
+            &panicking,
+            &Algorithm::WhirlpoolM { processors: None },
+            &options,
+        );
+        assert!(
+            matches!(r.completeness, Completeness::Truncated { .. }),
+            "threads={threads}: expected truncation, got {:?}",
+            r.completeness
+        );
+        assert_certificate_valid(
+            &r.answers,
+            &r.completeness,
+            &exact,
+            &format!("threads={threads} panic_after={}", total_calls / 2),
+        );
     }
 }
