@@ -186,6 +186,156 @@ fn kernel_microbench(
     )
 }
 
+/// Daemon serving benchmark: steady-state latency percentiles plus the
+/// shed rate under 2x admission overload.
+struct ServeBenchStats {
+    workers: usize,
+    max_inflight: usize,
+    steady_requests: usize,
+    steady_p50_ms: f64,
+    steady_p99_ms: f64,
+    overload_clients: usize,
+    overload_total: usize,
+    overload_served: usize,
+    overload_shed: usize,
+    overload_p50_ms: f64,
+    overload_p99_ms: f64,
+    conserved: bool,
+}
+
+impl ServeBenchStats {
+    fn shed_rate(&self) -> f64 {
+        if self.overload_total == 0 {
+            0.0
+        } else {
+            self.overload_shed as f64 / self.overload_total as f64
+        }
+    }
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+/// One raw-HTTP query round trip; returns (status, wall ms).
+fn serve_request(addr: std::net::SocketAddr, body: &str) -> (u16, f64) {
+    use std::io::{Read as _, Write as _};
+    let raw = format!(
+        "POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let t = Instant::now();
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect to bench daemon");
+    conn.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    conn.write_all(raw.as_bytes()).expect("send bench query");
+    let mut response = String::new();
+    conn.read_to_string(&mut response)
+        .expect("read bench reply");
+    let status = response
+        .split(' ')
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    (status, t.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Runs the daemon benchmark: `steady` sequential requests for the
+/// no-contention percentiles, then `2 * max_inflight` concurrent
+/// clients (each sending `per_client` requests with a small artificial
+/// per-op cost so evaluations genuinely overlap) for the overload shed
+/// rate. The conservation law is checked at quiescence.
+fn serve_bench(items: usize, steady: usize, per_client: usize) -> ServeBenchStats {
+    use whirlpool_serve::{start, DocState, Registry, ServeConfig};
+    let mut registry = Registry::new();
+    registry.insert(DocState::new(
+        "bench",
+        whirlpool_xmark::generate(&whirlpool_xmark::GeneratorConfig::items(items)),
+    ));
+    let config = ServeConfig::default();
+    let workers = config.workers;
+    let max_inflight = config.max_inflight;
+    // What the daemon can hold without shedding: evaluations in the
+    // workers plus connections parked in the accept queue. "2x
+    // overload" doubles that.
+    let holding_capacity = config.workers + config.queue_depth;
+    let handle = start(config, registry).expect("bench daemon");
+    let addr = handle.addr();
+    let steady_body = format!("{{\"query\": \"{}\", \"k\": 15}}", queries::Q2);
+
+    let mut steady_ms = Vec::with_capacity(steady);
+    for _ in 0..steady {
+        let (status, ms) = serve_request(addr, &steady_body);
+        assert_eq!(status, 200, "steady-state bench query must succeed");
+        steady_ms.push(ms);
+    }
+    steady_ms.sort_by(|a, b| a.total_cmp(b));
+
+    let overload_clients = holding_capacity * 2;
+    let overload_body = format!(
+        "{{\"query\": \"{}\", \"k\": 15, \"op_cost_us\": 200}}",
+        queries::Q2
+    );
+    let joined: Vec<(Vec<u16>, Vec<f64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..overload_clients)
+            .map(|_| {
+                let body = overload_body.clone();
+                scope.spawn(move || {
+                    let mut statuses = Vec::with_capacity(per_client);
+                    let mut served_ms = Vec::new();
+                    for _ in 0..per_client {
+                        let (status, ms) = serve_request(addr, &body);
+                        if status == 200 {
+                            served_ms.push(ms);
+                        }
+                        statuses.push(status);
+                    }
+                    (statuses, served_ms)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("overload client"))
+            .collect()
+    });
+    let statuses: Vec<u16> = joined.iter().flat_map(|(s, _)| s.iter().copied()).collect();
+    let mut overload_ms: Vec<f64> = joined
+        .iter()
+        .flat_map(|(_, ms)| ms.iter().copied())
+        .collect();
+    overload_ms.sort_by(|a, b| a.total_cmp(b));
+
+    // Quiesce, then check the conservation law on the daemon's own
+    // counters: every admitted request settled exactly once.
+    let deadline = Instant::now() + std::time::Duration::from_secs(10);
+    while handle.inflight() > 0 && Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let snapshot = handle.metrics().snapshot();
+    let conserved = snapshot.conserved();
+    handle.shutdown();
+
+    ServeBenchStats {
+        workers,
+        max_inflight,
+        steady_requests: steady,
+        steady_p50_ms: percentile(&steady_ms, 0.50),
+        steady_p99_ms: percentile(&steady_ms, 0.99),
+        overload_clients,
+        overload_total: statuses.len(),
+        overload_served: statuses.iter().filter(|&&s| s == 200).count(),
+        overload_shed: statuses.iter().filter(|&&s| s == 429).count(),
+        overload_p50_ms: percentile(&overload_ms, 0.50),
+        overload_p99_ms: percentile(&overload_ms, 0.99),
+        conserved,
+    }
+}
+
 /// Extracts `(engine name, pooled wall-ms median)` pairs from a
 /// previously written snapshot. Hand-rolled to match `config_json`'s
 /// output shape — the repo carries no JSON parser dependency.
@@ -458,6 +608,18 @@ fn main() {
     let (kernel_dewey, kernel_columnar, kernel_ops) =
         kernel_microbench(&workload, &query, &model, kernel_cap);
 
+    // Daemon serving: steady-state latency percentiles and the shed
+    // rate at 2x admission overload, on a fixed medium document (the
+    // per-request pipeline rebuilds the score model, so the document
+    // scale is deliberately independent of the engine rows above).
+    let (serve_items, serve_steady, serve_per_client) =
+        if smoke { (40, 20, 5) } else { (200, 100, 25) };
+    eprintln!(
+        "perfsnap: serve bench ({serve_items} items, {serve_steady} steady requests, \
+         2x overload)..."
+    );
+    let serve = serve_bench(serve_items, serve_steady, serve_per_client);
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!(
@@ -548,7 +710,27 @@ fn main() {
     kernel_dewey.push_json(&mut json, "dewey", true);
     kernel_columnar.push_json(&mut json, "columnar", true);
     json.push_str(&format!(
-        "    \"median_speedup\": {kernel_speedup:.3}\n  }}\n"
+        "    \"median_speedup\": {kernel_speedup:.3}\n  }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"serve\": {{\n    \"workers\": {}, \"max_inflight\": {},\n    \
+         \"steady\": {{\"requests\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}},\n    \
+         \"overload\": {{\"clients\": {}, \"requests\": {}, \"served\": {}, \"shed\": {}, \
+         \"shed_rate\": {:.4}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}},\n    \
+         \"conserved\": {}\n  }}\n",
+        serve.workers,
+        serve.max_inflight,
+        serve.steady_requests,
+        serve.steady_p50_ms,
+        serve.steady_p99_ms,
+        serve.overload_clients,
+        serve.overload_total,
+        serve.overload_served,
+        serve.overload_shed,
+        serve.shed_rate(),
+        serve.overload_p50_ms,
+        serve.overload_p99_ms,
+        serve.conserved,
     ));
     json.push_str("}\n");
 
@@ -633,6 +815,20 @@ fn main() {
         kernel_dewey.median_ns, kernel_columnar.median_ns, kernel_speedup, kernel_ops,
     );
 
+    eprintln!(
+        "perfsnap: serve steady p50 {:.2} ms / p99 {:.2} ms; 2x overload ({} clients): \
+         {}/{} served, shed rate {:.3}, p50 {:.2} ms / p99 {:.2} ms, conserved: {}",
+        serve.steady_p50_ms,
+        serve.steady_p99_ms,
+        serve.overload_clients,
+        serve.overload_served,
+        serve.overload_total,
+        serve.shed_rate(),
+        serve.overload_p50_ms,
+        serve.overload_p99_ms,
+        serve.conserved,
+    );
+
     if rows.iter().any(|r| !r.answers_identical) {
         eprintln!("perfsnap: FAIL — pooled and unpooled runs disagree");
         std::process::exit(1);
@@ -659,6 +855,15 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    // Serve conservation gate: the daemon's outcome counters must
+    // account for every admitted request exactly once — a leak here
+    // means a worker died or a request settled twice.
+    if !serve.conserved {
+        eprintln!(
+            "perfsnap: FAIL — serve counters violate admitted = exact + degraded + timed_out"
+        );
+        std::process::exit(1);
     }
     // Scheduler-scaling gate: the virtual 4-worker makespan must not
     // exceed the 1-worker one (virtual time, so it holds on single-core

@@ -146,6 +146,7 @@ pub fn default_options(k: usize) -> EvalOptions {
         deadline: None,
         max_server_ops: None,
         fault_plan: None,
+        cancel: None,
         trace: false,
         threads: 1,
     }

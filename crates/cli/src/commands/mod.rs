@@ -5,6 +5,7 @@ pub mod generate;
 pub mod index;
 pub mod query;
 pub mod relax;
+pub mod serve;
 pub mod stats;
 
 use crate::CliError;

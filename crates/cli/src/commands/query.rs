@@ -119,6 +119,7 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
         deadline,
         max_server_ops,
         fault_plan,
+        cancel: None,
         trace: trace_out.is_some() || explain,
         threads: {
             let threads: usize = parsed.number("threads", 1)?;

@@ -1,0 +1,121 @@
+//! `whirlpool serve` — the long-lived query daemon.
+
+use crate::args::Parsed;
+use crate::commands::load_document;
+use crate::CliError;
+use std::io::Write;
+use std::time::Duration;
+use whirlpool_serve::{DocState, Registry, ServeConfig};
+
+const VALUE_FLAGS: &[&str] = &[
+    "addr",
+    "workers",
+    "max-inflight",
+    "queue-depth",
+    "deadline-ms",
+    "capacity-ops",
+    "retries",
+];
+
+/// Parses flags and documents; pulled out of `run` so the daemonless
+/// half is unit-testable.
+fn configure(argv: &[&str]) -> Result<(ServeConfig, Registry), CliError> {
+    let parsed = Parsed::parse(argv, VALUE_FLAGS)?;
+    if parsed.positional_len() == 0 {
+        return Err(CliError::Usage(
+            "serve needs at least one <file.xml> to load".into(),
+        ));
+    }
+
+    let mut registry = Registry::new();
+    for i in 0..parsed.positional_len() {
+        let path = parsed.positional(i, "file.xml")?;
+        let doc = load_document(path)?;
+        // Clients address documents by file stem: `corpus/a.xml` → "a".
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(path)
+            .to_string();
+        registry.insert(DocState::new(name, doc));
+    }
+
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        addr: parsed.value("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        workers: parsed.number("workers", defaults.workers)?,
+        queue_depth: parsed.number("queue-depth", defaults.queue_depth)?,
+        max_inflight: parsed.number("max-inflight", defaults.max_inflight)?,
+        capacity_ops: parsed.number("capacity-ops", defaults.capacity_ops)?,
+        base_deadline: Duration::from_millis(
+            parsed.number("deadline-ms", defaults.base_deadline.as_millis() as u64)?,
+        ),
+        retries: parsed.number("retries", defaults.retries)?,
+        ..defaults
+    };
+    Ok((config, registry))
+}
+
+pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
+    let (config, registry) = configure(argv)?;
+    writeln!(
+        out,
+        "loaded {} document(s); listening on {} ({} workers, {} inflight, {}ms deadline)",
+        registry.len(),
+        config.addr,
+        config.workers,
+        config.max_inflight,
+        config.base_deadline.as_millis(),
+    )?;
+    out.flush()?;
+    whirlpool_serve::serve_blocking(config, registry)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_doc(dir: &std::path::Path, name: &str, xml: &str) -> String {
+        let path = dir.join(name);
+        std::fs::write(&path, xml).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn configure_loads_documents_and_flags() {
+        let dir = std::env::temp_dir().join(format!("wp-serve-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = write_doc(&dir, "alpha.xml", "<r><a/></r>");
+        let b = write_doc(&dir, "beta.xml", "<r><b/></r>");
+
+        let (config, registry) = configure(&[
+            &a,
+            &b,
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--deadline-ms",
+            "500",
+        ])
+        .unwrap();
+        assert_eq!(registry.len(), 2);
+        assert!(registry.get("alpha").is_some(), "named by file stem");
+        assert!(registry.get("beta").is_some());
+        assert_eq!(config.workers, 2);
+        assert_eq!(config.base_deadline, Duration::from_millis(500));
+        assert_eq!(config.addr, "127.0.0.1:0");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn serve_without_documents_is_a_usage_error() {
+        match configure(&[]) {
+            Err(CliError::Usage(m)) => assert!(m.contains("file.xml"), "{m}"),
+            Err(other) => panic!("wrong error class: {other:?}"),
+            Ok(_) => panic!("no documents must not configure a daemon"),
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! whirlpool stats <file.xml>
 //! whirlpool relax <query> [--limit N]
 //! whirlpool explain <file.xml> <query>
+//! whirlpool serve <file.xml>... [--addr HOST:PORT] [--workers N]
 //! whirlpool help
 //! ```
 //!
@@ -33,6 +34,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "stats" => commands::stats::run(&rest, out),
         "relax" => commands::relax::run(&rest, out),
         "explain" => commands::explain::run(&rest, out),
+        "serve" => commands::serve::run(&rest, out),
         "help" | "--help" | "-h" => write!(out, "{}", HELP).map_err(CliError::from),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}; run `whirlpool help`"
@@ -50,6 +52,7 @@ USAGE:
   whirlpool stats <file.xml>                     document statistics
   whirlpool relax <query> [--limit N]            show the relaxation space
   whirlpool explain <file.xml> <query>           compiled servers & weights
+  whirlpool serve <file.xml>...                  run the HTTP query daemon
   whirlpool help                                 this text
 
 QUERY OPTIONS:
@@ -85,6 +88,22 @@ GENERATE OPTIONS:
   --mb N             approximate serialized megabytes (default 1)
   --items N          exact item count (overrides --mb)
   --seed S           RNG seed (default 42)
+
+SERVE OPTIONS:
+  --addr HOST:PORT   bind address (default 127.0.0.1:7878)
+  --workers N        query worker threads (default 4)
+  --max-inflight N   admission token bucket (default 4)
+  --queue-depth N    accepted connections awaiting a worker (default 8)
+  --deadline-ms N    full-service deadline; the overload ladder shrinks
+                     it under pressure (default 2000)
+  --capacity-ops N   server-op spend considered affordable at zero load
+                     (default 5000000)
+  --retries N        re-runs after a transient server fault (default 1)
+  Endpoints: GET /healthz, GET /metrics, POST /query with a JSON body
+  {\"doc\": \"name\", \"query\": \"//a[./b]\", \"k\": 5, \"fault\": \"server=2:fail@10\"}
+  (doc defaults to the only loaded document; documents are named by
+  file stem). Overloaded requests get 429 + Retry-After; degraded
+  answers carry the anytime certificate.
 
 Every command that reads a document accepts both XML files and binary
 stores produced by `whirlpool index` (detected by content, not name).

@@ -1,5 +1,6 @@
 //! Shared, immutable evaluation state plus the server operation itself.
 
+use crate::fault::{OpInterrupt, INTERRUPT_SPAN};
 use crate::metrics::Metrics;
 use crate::partial::{Binding, PartialMatch};
 use crate::pool::MatchPool;
@@ -68,6 +69,20 @@ pub enum Located {
     /// The sub-slice `[lo, hi)` of the server's posting list holding
     /// the root's proper descendants.
     Slice(u32, u32),
+}
+
+/// Outcome of one interruptible server operation.
+#[derive(Debug, Clone, Copy)]
+pub struct OpOutcome {
+    /// Extensions pushed onto `out` (including the outer-join null,
+    /// when that path was taken).
+    pub produced: usize,
+    /// The operation stopped at a mid-kernel [`OpInterrupt`] check
+    /// before exhausting its candidate range. The extensions already
+    /// produced are valid; the caller must account the match's
+    /// `max_final` into the run's truncation certificate to cover the
+    /// unproduced tail.
+    pub interrupted: bool,
 }
 
 /// A server's candidate stream for one match: either a posting
@@ -318,6 +333,16 @@ impl<'a> QueryContext<'a> {
         self.full_mask
     }
 
+    /// A pre-execution cost estimate for this query on this document,
+    /// from the root-candidate count and the sampled per-server
+    /// selectivity (see
+    /// [`estimate_query_cost`](whirlpool_index::estimate_query_cost)).
+    /// Admission controllers use it to reject queries whose predicted
+    /// work would not fit the current capacity.
+    pub fn cost_estimate(&self) -> whirlpool_index::QueryCostEstimate {
+        whirlpool_index::estimate_query_cost(self.root_candidates.len(), &self.selectivity)
+    }
+
     /// Candidate bindings for the pattern root, in document order.
     pub fn root_candidates(&self) -> &[NodeId] {
         &self.root_candidates
@@ -431,6 +456,23 @@ impl<'a> QueryContext<'a> {
     ) -> usize {
         let loc = self.locate_one(server, m.root());
         self.process_located_at_server_pooled(server, m, loc, out, pool)
+    }
+
+    /// [`process_at_server_pooled`](Self::process_at_server_pooled)
+    /// with a mid-kernel interruption check (see
+    /// [`process_located_at_server_interruptible`]).
+    ///
+    /// [`process_located_at_server_interruptible`]: Self::process_located_at_server_interruptible
+    pub fn process_at_server_interruptible(
+        &self,
+        server: QNodeId,
+        m: &PartialMatch,
+        out: &mut Vec<PartialMatch>,
+        pool: &mut MatchPool<'_>,
+        interrupt: Option<&OpInterrupt>,
+    ) -> OpOutcome {
+        let loc = self.locate_one(server, m.root());
+        self.process_located_at_server_interruptible(server, m, loc, out, pool, interrupt)
     }
 
     /// Resolves one match root's candidate range at `server`: the
@@ -577,6 +619,37 @@ impl<'a> QueryContext<'a> {
         out: &mut Vec<PartialMatch>,
         pool: &mut MatchPool<'_>,
     ) -> usize {
+        self.process_located_at_server_interruptible(server, m, loc, out, pool, None)
+            .produced
+    }
+
+    /// [`process_located_at_server_pooled`] with a mid-kernel
+    /// interruption check: with `interrupt` present, the kernel runs in
+    /// segments of [`INTERRUPT_SPAN`] candidates and consults
+    /// [`OpInterrupt::tripped`] between segments (and every span of a
+    /// filtered gather), so one oversized operation overshoots a
+    /// deadline — or outlives a cancelled client — by at most one
+    /// span's work instead of the whole candidate range.
+    ///
+    /// With `interrupt` absent (or never tripped) the extensions,
+    /// comparison counts, and lane counts are identical to the plain
+    /// path: segment boundaries are lane-aligned and every predicate is
+    /// still evaluated per candidate in the same order. A tripped check
+    /// stops the kernel before its next segment; extensions already
+    /// pushed are valid, no outer-join null is emitted for the aborted
+    /// tail, and [`OpOutcome::interrupted`] tells the caller to account
+    /// the match into the truncation certificate.
+    ///
+    /// [`process_located_at_server_pooled`]: Self::process_located_at_server_pooled
+    pub fn process_located_at_server_interruptible(
+        &self,
+        server: QNodeId,
+        m: &PartialMatch,
+        loc: Located,
+        out: &mut Vec<PartialMatch>,
+        pool: &mut MatchPool<'_>,
+        interrupt: Option<&OpInterrupt>,
+    ) -> OpOutcome {
         debug_assert!(!m.has_visited(server));
         self.metrics.add_server_op();
         if let Some(cost) = self.op_cost {
@@ -589,11 +662,15 @@ impl<'a> QueryContext<'a> {
         let before = out.len();
         let columns = self.index.columns();
 
+        // Per-thread snapshot: concurrent requests over a shared
+        // document may read Dewey paths legitimately on *their*
+        // threads while this kernel runs.
         #[cfg(debug_assertions)]
-        let dewey_reads_before = self.doc.dewey_reads();
+        let dewey_reads_before = whirlpool_xml::Document::dewey_reads_this_thread();
 
         let mut comparisons = 0u64;
         let mut lanes = 0u64;
+        let mut interrupted = false;
         KERNEL_SCRATCH.with(|scratch| {
             let scratch = &mut *scratch.borrow_mut();
             let ids = &mut scratch.ids;
@@ -633,7 +710,22 @@ impl<'a> QueryContext<'a> {
                     Candidates::Range(lo, hi) => ids.extend(lo..hi),
                 }
             } else {
+                // The filtered gather touches strings per candidate, so
+                // it gets the same span-periodic interruption check as
+                // the sweeps below; a trip truncates the gather and
+                // skips the kernel entirely.
+                let mut since_check = 0usize;
                 for cand in candidates {
+                    if let Some(i) = interrupt {
+                        since_check += 1;
+                        if since_check >= INTERRUPT_SPAN {
+                            since_check = 0;
+                            if i.tripped() {
+                                interrupted = true;
+                                break;
+                            }
+                        }
+                    }
                     if let Some(v) = value_test {
                         comparisons += 1;
                         if !v.matches(self.doc.text(cand)) {
@@ -663,78 +755,109 @@ impl<'a> QueryContext<'a> {
             // the returned node to the server node), which keeps a
             // tuple's score independent of the order servers ran in — a
             // property the engine-equivalence guarantees rely on.
-            comparisons += ids.len() as u64;
+            //
+            // The sweeps run in lane-aligned segments: one segment of
+            // everything without an interrupt, INTERRUPT_SPAN
+            // candidates per segment with one. Refinement is
+            // per-candidate, so segmentation changes neither the
+            // extensions nor the comparison/lane counts.
+            let ids: &[u32] = ids;
+            let span = if interrupt.is_some() {
+                INTERRUPT_SPAN
+            } else {
+                usize::MAX
+            };
             let level = &mut scratch.level;
             level.clear();
             level.resize(ids.len(), 0);
-            lanes += columns.sweep_in_range(spec.root_exact, root, ids, level);
-
+            let alive = &mut scratch.alive;
             if self.relax == RelaxMode::Exact {
-                // Exact mode: non-exact candidates die at the root
-                // predicate, then the conditional predicate sequence
-                // refines the alive mask against bound neighbours.
-                // These are *join* predicates — every pair of related
-                // query nodes is checked exactly once, at whichever of
-                // the two servers runs second, so validity is
-                // order-independent too.
-                let alive = &mut scratch.alive;
                 alive.clear();
-                alive.extend_from_slice(level);
-                for cp in &spec.conditional {
-                    let Binding::Matched { node: other, .. } = m.bindings[cp.other.index()] else {
-                        continue;
-                    };
-                    let alive_now = mask_count(alive);
-                    if alive_now == 0 {
-                        break;
-                    }
-                    comparisons += alive_now;
-                    lanes += match cp.direction {
-                        Direction::FromAncestor => {
-                            columns.sweep_refine_from_ancestor(cp.exact, other, ids, alive)
+                alive.resize(ids.len(), 0);
+            }
+            let mut seg = 0usize;
+            while seg < ids.len() && !interrupted {
+                let end = seg.saturating_add(span).min(ids.len());
+                let seg_ids = &ids[seg..end];
+                let seg_level = &mut level[seg..end];
+                comparisons += seg_ids.len() as u64;
+                lanes += columns.sweep_in_range(spec.root_exact, root, seg_ids, seg_level);
+
+                if self.relax == RelaxMode::Exact {
+                    // Exact mode: non-exact candidates die at the root
+                    // predicate, then the conditional predicate
+                    // sequence refines the alive mask against bound
+                    // neighbours. These are *join* predicates — every
+                    // pair of related query nodes is checked exactly
+                    // once, at whichever of the two servers runs
+                    // second, so validity is order-independent too.
+                    let seg_alive = &mut alive[seg..end];
+                    seg_alive.copy_from_slice(seg_level);
+                    for cp in &spec.conditional {
+                        let Binding::Matched { node: other, .. } = m.bindings[cp.other.index()]
+                        else {
+                            continue;
+                        };
+                        let alive_now = mask_count(seg_alive);
+                        if alive_now == 0 {
+                            break;
                         }
-                        Direction::ToDescendant => {
-                            columns.sweep_refine_to_descendant(cp.exact, other, ids, alive)
-                        }
-                    };
-                }
-                for (&c, &ok) in ids.iter().zip(alive.iter()) {
-                    if ok == 0 {
-                        continue;
+                        comparisons += alive_now;
+                        lanes += match cp.direction {
+                            Direction::FromAncestor => columns
+                                .sweep_refine_from_ancestor(cp.exact, other, seg_ids, seg_alive),
+                            Direction::ToDescendant => columns
+                                .sweep_refine_to_descendant(cp.exact, other, seg_ids, seg_alive),
+                        };
                     }
-                    let cand = NodeId::from_index(c as usize);
-                    let level = MatchLevel::Exact;
-                    let contribution = self.model.contribution(server, cand, level);
-                    out.push(m.extend_in(
-                        pool,
-                        self.next_seq(),
-                        server,
-                        Binding::Matched { node: cand, level },
-                        contribution,
-                        server_max,
-                    ));
+                    for (&c, &ok) in seg_ids.iter().zip(seg_alive.iter()) {
+                        if ok == 0 {
+                            continue;
+                        }
+                        let cand = NodeId::from_index(c as usize);
+                        let level = MatchLevel::Exact;
+                        let contribution = self.model.contribution(server, cand, level);
+                        out.push(m.extend_in(
+                            pool,
+                            self.next_seq(),
+                            server,
+                            Binding::Matched { node: cand, level },
+                            contribution,
+                            server_max,
+                        ));
+                    }
+                } else {
+                    // Relaxed mode: every candidate in the (ad)
+                    // universe is valid — subtree promotion and edge
+                    // generalization have already weakened every
+                    // conditional predicate — and the level mask
+                    // decides the score level.
+                    for (&c, &exact) in seg_ids.iter().zip(seg_level.iter()) {
+                        let cand = NodeId::from_index(c as usize);
+                        let level = if exact != 0 {
+                            MatchLevel::Exact
+                        } else {
+                            MatchLevel::Relaxed
+                        };
+                        let contribution = self.model.contribution(server, cand, level);
+                        out.push(m.extend_in(
+                            pool,
+                            self.next_seq(),
+                            server,
+                            Binding::Matched { node: cand, level },
+                            contribution,
+                            server_max,
+                        ));
+                    }
                 }
-            } else {
-                // Relaxed mode: every candidate in the (ad) universe is
-                // valid — subtree promotion and edge generalization
-                // have already weakened every conditional predicate —
-                // and the level mask decides the score level.
-                for (&c, &exact) in ids.iter().zip(level.iter()) {
-                    let cand = NodeId::from_index(c as usize);
-                    let level = if exact != 0 {
-                        MatchLevel::Exact
-                    } else {
-                        MatchLevel::Relaxed
-                    };
-                    let contribution = self.model.contribution(server, cand, level);
-                    out.push(m.extend_in(
-                        pool,
-                        self.next_seq(),
-                        server,
-                        Binding::Matched { node: cand, level },
-                        contribution,
-                        server_max,
-                    ));
+
+                seg = end;
+                if seg < ids.len() {
+                    if let Some(i) = interrupt {
+                        if i.tripped() {
+                            interrupted = true;
+                        }
+                    }
                 }
             }
         });
@@ -743,7 +866,7 @@ impl<'a> QueryContext<'a> {
         // must not have touched doc.dewey.
         #[cfg(debug_assertions)]
         debug_assert_eq!(
-            self.doc.dewey_reads(),
+            whirlpool_xml::Document::dewey_reads_this_thread(),
             dewey_reads_before,
             "hot candidate kernel materialized a Dewey path"
         );
@@ -754,8 +877,11 @@ impl<'a> QueryContext<'a> {
         }
 
         // Outer-join semantics: no candidate ⇒ one null extension (the
-        // leaf-deletion relaxation). In exact mode the match simply dies.
-        if out.len() == before && self.relax == RelaxMode::Relaxed {
+        // leaf-deletion relaxation). In exact mode the match simply
+        // dies. An interrupted kernel emits no null — the match is
+        // accounted into the truncation certificate instead, so the
+        // unexplored candidates are never misrepresented as absent.
+        if out.len() == before && self.relax == RelaxMode::Relaxed && !interrupted {
             out.push(m.extend_in(
                 pool,
                 self.next_seq(),
@@ -768,7 +894,10 @@ impl<'a> QueryContext<'a> {
 
         let produced = out.len() - before;
         self.metrics.add_created(produced as u64);
-        produced
+        OpOutcome {
+            produced,
+            interrupted,
+        }
     }
 
     /// The pre-columnar server operation, kept verbatim as the
@@ -1151,5 +1280,102 @@ mod tests {
         ctx.process_at_server(QNodeId(1), &roots[0], &mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].bindings[1], Binding::Null);
+    }
+
+    /// Builds one root with `children` direct `<c/>` children so a
+    /// single server op has a candidate population far larger than one
+    /// interrupt span.
+    fn wide_fixture(children: usize) -> Fixture {
+        let mut src = String::with_capacity(children * 4 + 16);
+        src.push_str("<r>");
+        for _ in 0..children {
+            src.push_str("<c/>");
+        }
+        src.push_str("</r>");
+        Fixture::new(&src, "//r[./c]")
+    }
+
+    #[test]
+    fn tripped_interrupt_stops_within_one_span() {
+        let total = INTERRUPT_SPAN * 4;
+        let f = wide_fixture(total);
+        let ctx = f.ctx(RelaxMode::Relaxed);
+        let roots = ctx.make_root_matches();
+        let mut pool = ctx.new_pool();
+        let mut out = Vec::new();
+
+        let token = crate::fault::CancelToken::new();
+        token.cancel();
+        let control = crate::fault::RunControl::new(
+            crate::fault::Budget::new(None, None).with_cancel(Some(token)),
+            None,
+            f.pattern.len(),
+        );
+        let o = ctx.process_at_server_interruptible(
+            QNodeId(1),
+            &roots[0],
+            &mut out,
+            &mut pool,
+            control.op_interrupt(),
+        );
+
+        assert!(o.interrupted);
+        assert_eq!(o.produced, out.len());
+        // The trip is detected at segment boundaries, so an op can
+        // overshoot by at most one span — never by the whole candidate
+        // population.
+        assert_eq!(o.produced, INTERRUPT_SPAN);
+        assert!(o.produced < total);
+    }
+
+    #[test]
+    fn untripped_interrupt_leaves_the_kernel_bit_identical() {
+        // Deliberately not a multiple of the span or the lane width, so
+        // the segmented sweep exercises a ragged tail.
+        let total = INTERRUPT_SPAN * 2 + 37;
+        for relax in [RelaxMode::Exact, RelaxMode::Relaxed] {
+            let f = wide_fixture(total);
+
+            let plain_ctx = f.ctx(relax);
+            let roots = plain_ctx.make_root_matches();
+            let mut plain_out = Vec::new();
+            let produced_plain = plain_ctx.process_at_server_pooled(
+                QNodeId(1),
+                &roots[0],
+                &mut plain_out,
+                &mut plain_ctx.new_pool(),
+            );
+
+            let seg_ctx = f.ctx(relax);
+            let seg_roots = seg_ctx.make_root_matches();
+            let token = crate::fault::CancelToken::new();
+            let control = crate::fault::RunControl::new(
+                crate::fault::Budget::new(None, None).with_cancel(Some(token)),
+                None,
+                f.pattern.len(),
+            );
+            let mut seg_out = Vec::new();
+            let o = seg_ctx.process_at_server_interruptible(
+                QNodeId(1),
+                &seg_roots[0],
+                &mut seg_out,
+                &mut seg_ctx.new_pool(),
+                control.op_interrupt(),
+            );
+
+            assert!(!o.interrupted);
+            assert_eq!(o.produced, produced_plain);
+            let bindings =
+                |v: &Vec<PartialMatch>| v.iter().map(|m| m.bindings.clone()).collect::<Vec<_>>();
+            assert_eq!(bindings(&seg_out), bindings(&plain_out));
+
+            // Work accounting must not drift either: the segmented
+            // sweep does the same comparisons over the same lanes.
+            let plain = plain_ctx.metrics.snapshot();
+            let seg = seg_ctx.metrics.snapshot();
+            assert_eq!(seg.predicate_comparisons, plain.predicate_comparisons);
+            assert_eq!(seg.kernel_lanes, plain.kernel_lanes);
+            assert_eq!(seg.partials_created, plain.partials_created);
+        }
     }
 }

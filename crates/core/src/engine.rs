@@ -90,6 +90,15 @@ pub struct EvalOptions {
     /// Injected faults for robustness testing (`None`: the fault layer
     /// is compiled out of the hot path behind a single branch).
     pub fault_plan: Option<FaultPlan>,
+    /// Cooperative cancellation: the holder keeps a clone of the token
+    /// and trips it to make the run drain to a certified
+    /// [`Completeness::Truncated`] anytime answer. Checked wherever the
+    /// budget is (queue pops, plus every
+    /// [`INTERRUPT_SPAN`](crate::INTERRUPT_SPAN) candidates inside the
+    /// columnar kernels), so cancelled runs return their worker
+    /// threads promptly. `None`: no cancellation site is compiled into
+    /// the hot path.
+    pub cancel: Option<crate::fault::CancelToken>,
     /// Record a structured event trace of the run (see
     /// [`trace`](crate::trace)) and return it on
     /// [`EvalResult::trace`]. Off by default; when off, every emit
@@ -122,6 +131,7 @@ impl EvalOptions {
             deadline: None,
             max_server_ops: None,
             fault_plan: None,
+            cancel: None,
             trace: false,
             threads: 1,
         }
@@ -208,7 +218,7 @@ pub fn evaluate_with_context(
 
     // The budget's clock starts here, with the evaluation proper.
     let mut control = RunControl::new(
-        Budget::new(options.deadline, options.max_server_ops),
+        Budget::new(options.deadline, options.max_server_ops).with_cancel(options.cancel.clone()),
         options.fault_plan.as_ref(),
         ctx.pattern.len(),
     );
@@ -363,5 +373,97 @@ mod tests {
             Algorithm::WhirlpoolM { processors: None }.name(),
             "Whirlpool-M"
         );
+    }
+
+    #[test]
+    fn pre_cancelled_token_yields_a_certified_truncation() {
+        let doc = parse_document(
+            "<shelf>\
+             <book><title>a</title><isbn>1</isbn></book>\
+             <book><title>b</title><isbn>2</isbn></book>\
+             </shelf>",
+        )
+        .unwrap();
+        let index = TagIndex::build(&doc);
+        let pattern = parse_pattern("//book[./title and ./isbn]").unwrap();
+        let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
+
+        let token = crate::fault::CancelToken::new();
+        token.cancel();
+        let mut options = EvalOptions::top_k(2);
+        options.cancel = Some(token);
+
+        for alg in [
+            Algorithm::LockStepNoPrune,
+            Algorithm::LockStep,
+            Algorithm::WhirlpoolS,
+            Algorithm::WhirlpoolM {
+                processors: Some(2),
+            },
+        ] {
+            let result = evaluate(&doc, &index, &pattern, &model, &alg, &options);
+            match result.completeness {
+                Completeness::Truncated {
+                    pending_matches, ..
+                } => assert!(pending_matches > 0, "algorithm {}", alg.name()),
+                Completeness::Exact => {
+                    panic!("{} ignored a pre-cancelled token", alg.name())
+                }
+            }
+            assert_eq!(result.metrics.cancellations, 1, "algorithm {}", alg.name());
+            assert_eq!(result.metrics.deadline_hits, 0, "algorithm {}", alg.name());
+        }
+    }
+
+    #[test]
+    fn untripped_token_changes_nothing() {
+        let doc = parse_document(
+            "<shelf>\
+             <book><title>a</title><isbn>1</isbn><price>3</price></book>\
+             <book><title>b</title><isbn>2</isbn></book>\
+             <book><x><title>c</title></x></book>\
+             </shelf>",
+        )
+        .unwrap();
+        let index = TagIndex::build(&doc);
+        let pattern = parse_pattern("//book[./title and ./isbn and ./price]").unwrap();
+        let model = TfIdfModel::build(&doc, &index, &pattern, Normalization::Sparse);
+
+        let plain = EvalOptions::top_k(3);
+        let mut tokened = EvalOptions::top_k(3);
+        tokened.cancel = Some(crate::fault::CancelToken::new());
+
+        let a = evaluate(
+            &doc,
+            &index,
+            &pattern,
+            &model,
+            &Algorithm::WhirlpoolS,
+            &plain,
+        );
+        let b = evaluate(
+            &doc,
+            &index,
+            &pattern,
+            &model,
+            &Algorithm::WhirlpoolS,
+            &tokened,
+        );
+        assert_eq!(a.completeness, Completeness::Exact);
+        assert_eq!(b.completeness, Completeness::Exact);
+        let key = |r: &EvalResult| {
+            r.answers
+                .iter()
+                .map(|a| (a.root, a.score))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&a), key(&b));
+        assert_eq!(a.metrics.server_ops, b.metrics.server_ops);
+        assert_eq!(
+            a.metrics.predicate_comparisons,
+            b.metrics.predicate_comparisons
+        );
+        assert_eq!(a.metrics.kernel_lanes, b.metrics.kernel_lanes);
+        assert_eq!(b.metrics.cancellations, 0);
     }
 }

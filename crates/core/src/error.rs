@@ -9,6 +9,35 @@
 
 use whirlpool_pattern::QNodeId;
 
+/// The underlying cause of an [`EngineError::InvalidFaultSpec`]: the
+/// malformed `--fault` specification itself, kept as its own
+/// [`std::error::Error`] type so the chain survives
+/// [`source`](std::error::Error::source)-walking error reporters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError {
+    /// The specification text that failed to parse.
+    pub spec: String,
+}
+
+impl FaultSpecError {
+    /// Wraps the offending spec text.
+    pub fn new(spec: impl Into<String>) -> Self {
+        FaultSpecError { spec: spec.into() }
+    }
+}
+
+impl std::fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "malformed spec {:?} (expected server=<id>:<delay|fail|panic>@<n>)",
+            self.spec
+        )
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
 /// An error raised inside an engine, router, or fault-injected server.
 ///
 /// Engines never surface these to the caller as hard failures: a failed
@@ -30,8 +59,10 @@ pub enum EngineError {
         /// The query node whose server panicked.
         server: QNodeId,
     },
-    /// A `--fault` specification could not be parsed.
-    InvalidFaultSpec(String),
+    /// A `--fault` specification could not be parsed. The offending
+    /// spec is carried as the error's
+    /// [`source`](std::error::Error::source).
+    InvalidFaultSpec(FaultSpecError),
     /// A routing decision was requested for a match with no live
     /// unvisited server left.
     NoRouteAvailable,
@@ -46,11 +77,8 @@ impl std::fmt::Display for EngineError {
             EngineError::ServerPanicked { server } => {
                 write!(f, "server q{} panicked", server.0)
             }
-            EngineError::InvalidFaultSpec(spec) => {
-                write!(
-                    f,
-                    "invalid fault spec {spec:?} (expected server=<id>:<delay|fail|panic>@<n>)"
-                )
+            EngineError::InvalidFaultSpec(cause) => {
+                write!(f, "invalid fault spec: {cause}")
             }
             EngineError::NoRouteAvailable => {
                 write!(f, "no live unvisited server to route to")
@@ -59,7 +87,16 @@ impl std::fmt::Display for EngineError {
     }
 }
 
-impl std::error::Error for EngineError {}
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::InvalidFaultSpec(cause) => Some(cause),
+            EngineError::ServerFailed { .. }
+            | EngineError::ServerPanicked { .. }
+            | EngineError::NoRouteAvailable => None,
+        }
+    }
+}
 
 /// How complete an evaluation's answer set is.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -119,9 +156,23 @@ mod tests {
         assert!(e.to_string().contains("100"));
         let p = EngineError::ServerPanicked { server: QNodeId(1) };
         assert!(p.to_string().contains("panicked"));
-        assert!(EngineError::InvalidFaultSpec("x".into())
+        assert!(EngineError::InvalidFaultSpec(FaultSpecError::new("x"))
             .to_string()
             .contains("fault spec"));
+    }
+
+    #[test]
+    fn source_chains_to_the_offending_spec() {
+        use std::error::Error;
+        let e = EngineError::InvalidFaultSpec(FaultSpecError::new("server=oops"));
+        let src = e.source().expect("invalid spec has a source");
+        assert!(src.to_string().contains("server=oops"));
+        assert!(src.downcast_ref::<FaultSpecError>().is_some());
+        // Leaf errors report no source rather than a dangling chain.
+        assert!(EngineError::NoRouteAvailable.source().is_none());
+        assert!(EngineError::ServerPanicked { server: QNodeId(1) }
+            .source()
+            .is_none());
     }
 
     #[test]

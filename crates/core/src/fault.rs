@@ -13,6 +13,7 @@ use crate::metrics::Metrics;
 use crate::topk::RankedAnswer;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use whirlpool_pattern::QNodeId;
 use whirlpool_score::Score;
@@ -75,7 +76,7 @@ impl FaultPlan {
     /// (arg = mean latency in microseconds). Examples:
     /// `server=2:panic@100`, `server=1:fail@0`, `server=3:delay@250`.
     pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, EngineError> {
-        let bad = || EngineError::InvalidFaultSpec(spec.to_string());
+        let bad = || EngineError::InvalidFaultSpec(crate::error::FaultSpecError::new(spec));
         let mut plan = FaultPlan::seeded(seed);
         for part in spec.split(',') {
             let rest = part.trim().strip_prefix("server=").ok_or_else(bad)?;
@@ -195,11 +196,42 @@ impl FaultState {
     }
 }
 
+/// A shared cancellation flag for one evaluation.
+///
+/// The holder (a serving layer's watchdog, a driving thread, a signal
+/// handler) keeps one clone and calls [`cancel`](CancelToken::cancel);
+/// the engines observe the flag through their [`Budget`] at queue-pop
+/// granularity *and* inside the columnar kernels every
+/// [`INTERRUPT_SPAN`] candidates, so a cancelled run drains promptly —
+/// returning its workers — and comes back as a certified
+/// [`Completeness::Truncated`] anytime answer, never an error.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the token. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Has the token been tripped?
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
 /// Wall-clock and operation-count limits for one evaluation.
 pub struct Budget {
     start: Instant,
     deadline: Option<Duration>,
     max_ops: Option<u64>,
+    cancel: Option<CancelToken>,
 }
 
 impl Budget {
@@ -209,6 +241,7 @@ impl Budget {
             start: Instant::now(),
             deadline: None,
             max_ops: None,
+            cancel: None,
         }
     }
 
@@ -218,13 +251,31 @@ impl Budget {
             start: Instant::now(),
             deadline,
             max_ops,
+            cancel: None,
         }
     }
 
+    /// Attaches a cooperative cancellation token: once tripped, the
+    /// budget reports exhausted and the run drains to an anytime
+    /// answer.
+    pub fn with_cancel(mut self, cancel: Option<CancelToken>) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Has the attached token (if any) been tripped?
+    #[inline]
+    pub fn cancelled(&self) -> bool {
+        matches!(&self.cancel, Some(c) if c.is_cancelled())
+    }
+
     /// Has the budget expired? Checked at queue-pop granularity; the
-    /// no-limit path is two `Option` tests.
+    /// no-limit path is three `Option` tests.
     #[inline]
     pub fn exhausted(&self, metrics: &Metrics) -> bool {
+        if self.cancelled() {
+            return true;
+        }
         if let Some(max) = self.max_ops {
             if metrics.server_ops.load(Ordering::Relaxed) >= max {
                 return true;
@@ -232,6 +283,52 @@ impl Budget {
         }
         if let Some(d) = self.deadline {
             if self.start.elapsed() >= d {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The absolute instant the deadline falls on, if one is set.
+    fn deadline_at(&self) -> Option<Instant> {
+        self.deadline.map(|d| self.start + d)
+    }
+}
+
+/// Fixed-width kernel lanes processed between [`OpInterrupt`] checks
+/// inside the columnar evaluate kernels.
+pub const INTERRUPT_LANES: usize = 64;
+
+/// Candidates processed between [`OpInterrupt`] checks inside the
+/// columnar evaluate kernels: [`INTERRUPT_LANES`] lanes of
+/// [`KERNEL_LANE`](whirlpool_index::KERNEL_LANE) candidates each. A
+/// single oversized server operation can overshoot a deadline (or
+/// outlive a cancelled client) by at most the work of one span, rather
+/// than by the whole candidate range.
+pub const INTERRUPT_SPAN: usize = INTERRUPT_LANES * whirlpool_index::KERNEL_LANE;
+
+/// The mid-operation half of a [`Budget`]: deadline and cancellation
+/// checks cheap enough to run *inside* a server operation, every
+/// [`INTERRUPT_SPAN`] candidates, next to the queue-pop granularity
+/// checks the engines already make. Operation budgets are deliberately
+/// excluded — they stay at queue-pop granularity so op-budget runs
+/// remain deterministic.
+pub struct OpInterrupt {
+    cancel: Option<CancelToken>,
+    deadline_at: Option<Instant>,
+}
+
+impl OpInterrupt {
+    /// Should the running operation stop producing extensions?
+    #[inline]
+    pub fn tripped(&self) -> bool {
+        if let Some(c) = &self.cancel {
+            if c.is_cancelled() {
+                return true;
+            }
+        }
+        if let Some(at) = self.deadline_at {
+            if Instant::now() >= at {
                 return true;
             }
         }
@@ -246,6 +343,9 @@ pub struct RunControl {
     budget: Budget,
     faults: Option<FaultState>,
     tracer: Option<crate::trace::Tracer>,
+    /// Precomputed mid-operation check, `Some` iff the budget carries a
+    /// deadline or a cancel token (op budgets stay at pop granularity).
+    interrupt: Option<OpInterrupt>,
 }
 
 impl RunControl {
@@ -255,16 +355,26 @@ impl RunControl {
             budget: Budget::unlimited(),
             faults: None,
             tracer: None,
+            interrupt: None,
         }
     }
 
     /// Builds the control plane for one run. `query_len` sizes the
     /// per-server fault slots.
     pub fn new(budget: Budget, plan: Option<&FaultPlan>, query_len: usize) -> Self {
+        let interrupt = if budget.cancel.is_some() || budget.deadline.is_some() {
+            Some(OpInterrupt {
+                cancel: budget.cancel.clone(),
+                deadline_at: budget.deadline_at(),
+            })
+        } else {
+            None
+        };
         RunControl {
             budget,
             faults: plan.map(|p| FaultState::new(p, query_len)),
             tracer: None,
+            interrupt,
         }
     }
 
@@ -296,6 +406,32 @@ impl RunControl {
     #[inline]
     pub fn exhausted(&self, metrics: &Metrics) -> bool {
         self.budget.exhausted(metrics)
+    }
+
+    /// Was the run cancelled through its [`CancelToken`]?
+    #[inline]
+    pub fn cancelled(&self) -> bool {
+        self.budget.cancelled()
+    }
+
+    /// The mid-operation interruption check for this run, if its budget
+    /// carries a deadline or a cancel token. `None` (the common case)
+    /// keeps the kernels on their single-segment path.
+    #[inline]
+    pub fn op_interrupt(&self) -> Option<&OpInterrupt> {
+        self.interrupt.as_ref()
+    }
+
+    /// Counts the stop that just truncated the run: a tripped cancel
+    /// token counts as a cancellation, anything else as a deadline/op-
+    /// budget hit. Called once per run, guarded by
+    /// [`Truncation::expire`] returning `true`.
+    pub fn count_stop(&self, metrics: &Metrics) {
+        if self.cancelled() {
+            metrics.add_cancellation();
+        } else {
+            metrics.add_deadline_hit();
+        }
     }
 
     /// Injects the fault (if any) for one operation at `server`.
@@ -456,8 +592,12 @@ pub(crate) fn guarded_process(
     exts: &mut Vec<crate::partial::PartialMatch>,
     pool: &mut crate::pool::MatchPool<'_>,
 ) -> bool {
+    let interrupt = control.op_interrupt();
     if !control.has_faults() {
-        ctx.process_at_server_pooled(server, m, exts, pool);
+        let o = ctx.process_at_server_interruptible(server, m, exts, pool, interrupt);
+        if o.interrupted {
+            account_interrupted(ctx, control, trunc, m);
+        }
         return true;
     }
     if control.is_dead(server) {
@@ -465,14 +605,18 @@ pub(crate) fn guarded_process(
     }
     for attempt in 0..2 {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-            || -> Result<(), EngineError> {
+            || -> Result<crate::context::OpOutcome, EngineError> {
                 control.before_op(server)?;
-                ctx.process_at_server_pooled(server, m, exts, pool);
-                Ok(())
+                Ok(ctx.process_at_server_interruptible(server, m, exts, pool, interrupt))
             },
         ));
         match outcome {
-            Ok(Ok(())) => return true,
+            Ok(Ok(o)) => {
+                if o.interrupted {
+                    account_interrupted(ctx, control, trunc, m);
+                }
+                return true;
+            }
             Ok(Err(_)) | Err(_) => {
                 // Release anything produced before the abort, then
                 // retry once; a second abort marks the server dead.
@@ -491,6 +635,23 @@ pub(crate) fn guarded_process(
     false
 }
 
+/// Books an operation that stopped at a mid-kernel [`OpInterrupt`]
+/// check: the run's budget is expired (truncating it), and the match's
+/// `max_final` caps every extension the aborted tail could have
+/// produced, keeping the [`Completeness::Truncated`] certificate valid.
+/// The extensions produced *before* the trip are real and stay.
+fn account_interrupted(
+    ctx: &crate::context::QueryContext<'_>,
+    control: &RunControl,
+    trunc: &Truncation,
+    m: &crate::partial::PartialMatch,
+) {
+    if trunc.expire() {
+        control.count_stop(&ctx.metrics);
+    }
+    trunc.account(m.max_final);
+}
+
 /// [`guarded_process`] for the batched path: the match's candidate
 /// range was already resolved by
 /// [`QueryContext::locate_batch_at_server`], so the guarded work is the
@@ -507,8 +668,12 @@ pub(crate) fn guarded_process_located(
     exts: &mut Vec<crate::partial::PartialMatch>,
     pool: &mut crate::pool::MatchPool<'_>,
 ) -> bool {
+    let interrupt = control.op_interrupt();
     if !control.has_faults() {
-        ctx.process_located_at_server_pooled(server, m, loc, exts, pool);
+        let o = ctx.process_located_at_server_interruptible(server, m, loc, exts, pool, interrupt);
+        if o.interrupted {
+            account_interrupted(ctx, control, trunc, m);
+        }
         return true;
     }
     if control.is_dead(server) {
@@ -516,14 +681,19 @@ pub(crate) fn guarded_process_located(
     }
     for attempt in 0..2 {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-            || -> Result<(), EngineError> {
+            || -> Result<crate::context::OpOutcome, EngineError> {
                 control.before_op(server)?;
-                ctx.process_located_at_server_pooled(server, m, loc, exts, pool);
-                Ok(())
+                Ok(ctx
+                    .process_located_at_server_interruptible(server, m, loc, exts, pool, interrupt))
             },
         ));
         match outcome {
-            Ok(Ok(())) => return true,
+            Ok(Ok(o)) => {
+                if o.interrupted {
+                    account_interrupted(ctx, control, trunc, m);
+                }
+                return true;
+            }
             Ok(Err(_)) | Err(_) => {
                 for e in exts.drain(..) {
                     pool.release(e);
@@ -676,6 +846,58 @@ mod tests {
         assert!(b.exhausted(&metrics));
         let b = Budget::new(Some(Duration::from_secs(3600)), None);
         assert!(!b.exhausted(&metrics));
+    }
+
+    #[test]
+    fn cancel_token_trips_the_budget() {
+        let metrics = Metrics::new();
+        let token = CancelToken::new();
+        let b = Budget::new(None, None).with_cancel(Some(token.clone()));
+        assert!(!b.exhausted(&metrics));
+        assert!(!b.cancelled());
+        token.cancel();
+        assert!(b.exhausted(&metrics));
+        assert!(b.cancelled());
+        // Every clone observes the trip.
+        assert!(token.clone().is_cancelled());
+    }
+
+    #[test]
+    fn op_interrupt_exists_iff_deadline_or_cancel() {
+        let c = RunControl::unlimited();
+        assert!(c.op_interrupt().is_none());
+        let c = RunControl::new(Budget::new(None, Some(100)), None, 2);
+        assert!(
+            c.op_interrupt().is_none(),
+            "op budgets stay at pop granularity"
+        );
+        let c = RunControl::new(Budget::new(Some(Duration::from_secs(3600)), None), None, 2);
+        let i = c.op_interrupt().expect("deadline compiles an interrupt");
+        assert!(!i.tripped(), "an hour-long deadline is not tripped yet");
+        let token = CancelToken::new();
+        let c = RunControl::new(
+            Budget::new(None, None).with_cancel(Some(token.clone())),
+            None,
+            2,
+        );
+        assert!(!c.op_interrupt().unwrap().tripped());
+        token.cancel();
+        assert!(c.op_interrupt().unwrap().tripped());
+        assert!(c.cancelled());
+    }
+
+    #[test]
+    fn count_stop_distinguishes_cancellation_from_deadline() {
+        let metrics = Metrics::new();
+        let token = CancelToken::new();
+        token.cancel();
+        let c = RunControl::new(Budget::new(None, None).with_cancel(Some(token)), None, 2);
+        c.count_stop(&metrics);
+        let c = RunControl::new(Budget::new(Some(Duration::ZERO), None), None, 2);
+        c.count_stop(&metrics);
+        let s = metrics.snapshot();
+        assert_eq!(s.cancellations, 1);
+        assert_eq!(s.deadline_hits, 1);
     }
 
     #[test]

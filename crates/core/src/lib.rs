@@ -77,10 +77,13 @@ pub mod vtime;
 mod whirlpool_m;
 mod whirlpool_s;
 
-pub use context::{ContextOptions, Located, QueryContext, RelaxMode};
+pub use context::{ContextOptions, Located, OpOutcome, QueryContext, RelaxMode};
 pub use engine::{evaluate, evaluate_with_context, Algorithm, EvalOptions, EvalResult};
-pub use error::{Completeness, EngineError};
-pub use fault::{Budget, EngineRun, FaultKind, FaultPlan, RunControl};
+pub use error::{Completeness, EngineError, FaultSpecError};
+pub use fault::{
+    Budget, CancelToken, EngineRun, FaultKind, FaultPlan, OpInterrupt, RunControl, INTERRUPT_LANES,
+    INTERRUPT_SPAN,
+};
 pub use lockstep::{
     run_lockstep, run_lockstep_anytime, run_lockstep_noprune, run_lockstep_noprune_anytime,
 };

@@ -98,7 +98,7 @@ pub fn run_lockstep_anytime(
             at += 1;
             if control.exhausted(&ctx.metrics) {
                 if trunc.expire() {
-                    ctx.metrics.add_deadline_hit();
+                    control.count_stop(&ctx.metrics);
                 }
                 // Drain: account everything still pending, then stop.
                 for m in std::iter::once(m)
@@ -260,7 +260,7 @@ pub fn run_lockstep_noprune_anytime(
                 at += 1;
                 if control.exhausted(&ctx.metrics) {
                     if trunc.expire() {
-                        ctx.metrics.add_deadline_hit();
+                        control.count_stop(&ctx.metrics);
                     }
                     for m in std::iter::once(m)
                         .chain(stage)

@@ -36,6 +36,10 @@ pub struct Metrics {
     pub buffers_reused: AtomicU64,
     /// Evaluations cut short by a deadline or operation budget.
     pub deadline_hits: AtomicU64,
+    /// Evaluations cut short by a tripped
+    /// [`CancelToken`](crate::CancelToken) (client disconnect, watchdog
+    /// timeout, or any other cooperative shutdown).
+    pub cancellations: AtomicU64,
     /// Servers that failed or panicked and were isolated.
     pub servers_failed: AtomicU64,
     /// Partial matches rescued from a dead server and re-routed to
@@ -116,6 +120,12 @@ impl Metrics {
         self.deadline_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one evaluation stopped by a tripped cancel token.
+    #[inline]
+    pub fn add_cancellation(&self) {
+        self.cancellations.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Counts one server failure (fault or panic, first detection).
     #[inline]
     pub fn add_server_failed(&self) {
@@ -159,6 +169,7 @@ impl Metrics {
             buffers_allocated: self.buffers_allocated.load(Ordering::Relaxed),
             buffers_reused: self.buffers_reused.load(Ordering::Relaxed),
             deadline_hits: self.deadline_hits.load(Ordering::Relaxed),
+            cancellations: self.cancellations.load(Ordering::Relaxed),
             servers_failed: self.servers_failed.load(Ordering::Relaxed),
             matches_redistributed: self.matches_redistributed.load(Ordering::Relaxed),
             answers_degraded: self.answers_degraded.load(Ordering::Relaxed),
@@ -190,6 +201,8 @@ pub struct MetricsSnapshot {
     pub buffers_reused: u64,
     /// Evaluations cut short by a deadline or operation budget.
     pub deadline_hits: u64,
+    /// Evaluations cut short by a tripped cancel token.
+    pub cancellations: u64,
     /// Servers that failed or panicked and were isolated.
     pub servers_failed: u64,
     /// Partial matches rescued from a dead server and re-routed.

@@ -416,13 +416,14 @@ fn push_to_router_batch(shared: &Shared<'_, '_>, batch: &mut Vec<PartialMatch>) 
 /// leaves the system.
 fn drain_expired(
     shared: &Shared<'_, '_>,
+    control: &RunControl,
     trunc: &Truncation,
     m: PartialMatch,
     pool: &mut crate::pool::MatchPool<'_>,
     tr: &mut crate::trace::WorkerTrace,
 ) {
     if trunc.expire() {
-        shared.ctx.metrics.add_deadline_hit();
+        control.count_stop(&shared.ctx.metrics);
     }
     trunc.account(m.max_final);
     tr.abandoned(&m);
@@ -461,7 +462,7 @@ fn router_loop(
         };
         for m in batch.drain(..) {
             if trunc.is_expired() || control.exhausted(&ctx.metrics) {
-                drain_expired(shared, trunc, m, &mut pool, &mut tr);
+                drain_expired(shared, control, trunc, m, &mut pool, &mut tr);
                 continue;
             }
             let candidates = if tr.enabled() {
@@ -852,7 +853,7 @@ fn process_batch(
             Located::Absent
         };
         if trunc.is_expired() || control.exhausted(&ctx.metrics) {
-            drain_expired(shared, trunc, m, pool, tr);
+            drain_expired(shared, control, trunc, m, pool, tr);
             continue;
         }
         if shared.topk.should_prune(&m) {

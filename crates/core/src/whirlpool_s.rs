@@ -102,7 +102,7 @@ pub fn run_whirlpool_s_anytime(
     while let Some(m) = queue.pop() {
         if control.exhausted(&ctx.metrics) {
             if trunc.expire() {
-                ctx.metrics.add_deadline_hit();
+                control.count_stop(&ctx.metrics);
             }
             trunc.account(m.max_final);
             tr.abandoned(&m);

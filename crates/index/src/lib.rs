@@ -31,5 +31,7 @@ mod tagindex;
 
 pub use columns::{lanes_for, mask_count, StructuralColumns, KERNEL_LANE};
 pub use cursor::RangeCursor;
-pub use selectivity::{estimate_selectivity, ServerSelectivity};
+pub use selectivity::{
+    estimate_query_cost, estimate_selectivity, QueryCostEstimate, ServerSelectivity,
+};
 pub use tagindex::TagIndex;

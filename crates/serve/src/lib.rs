@@ -1,0 +1,81 @@
+#![deny(missing_docs)]
+
+//! # whirlpool-serve — the long-lived query daemon
+//!
+//! Turns the library engines into a service that stays up under
+//! overload: a dependency-free HTTP/1.1 JSON daemon
+//! (`std::net::TcpListener`, a fixed accept/worker thread pool) that
+//! parses and indexes its documents once at startup and serves
+//! concurrent top-k queries behind a **robustness governor**:
+//!
+//! * **Admission control** ([`Admission`]) — a token bucket caps
+//!   concurrent evaluations, and the selectivity-based cost estimate
+//!   ([`QueryContext::cost_estimate`]) turns away queries whose
+//!   predicted work exceeds the capacity remaining at the current
+//!   pressure. Rejections are HTTP 429 with `Retry-After`.
+//! * **A graceful-degradation ladder** ([`Rung`]) — rising pressure
+//!   shrinks the per-request deadline and adds an op budget, sliding
+//!   responses from exact through certified-truncated (the engines'
+//!   anytime `Completeness` certificate rides along in the JSON)
+//!   instead of queueing into a timeout collapse.
+//! * **A per-request watchdog** ([`Watchdog`]) — a hard deadline past
+//!   the ladder's own, or a client disconnect, trips the engine's
+//!   [`CancelToken`](whirlpool_core::CancelToken) so the worker is
+//!   reclaimed within one kernel interrupt span.
+//! * **Fault-tolerant serving** — per-request chaos via the engines'
+//!   `FaultPlan` spec, bounded retry-with-backoff on transient server
+//!   faults, and `/healthz` + `/metrics` endpoints whose counters obey
+//!   the conservation law `admitted = exact + degraded + timed_out`.
+//!
+//! ## Protocol
+//!
+//! ```text
+//! GET  /healthz            liveness + load
+//! GET  /metrics            daemon counters (JSON)
+//! POST /query              {"doc": "name", "query": "//item[./a]", "k": 5,
+//!                           "fault": "server=2:panic@100", "fault_seed": 7}
+//! ```
+//!
+//! One request per connection (`Connection: close`): the protocol
+//! surface stays small enough to audit, and the worker pool — not
+//! connection keep-alive — is the concurrency mechanism.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use whirlpool_serve::{start, DocState, Registry, ServeConfig};
+//! use std::io::{Read as _, Write as _};
+//!
+//! let doc = whirlpool_xml::parse_document(
+//!     "<r><book><title>dune</title></book></r>").unwrap();
+//! let mut registry = Registry::new();
+//! registry.insert(DocState::new("lib", doc));
+//! let handle = start(ServeConfig::default(), registry).unwrap();
+//!
+//! let body = r#"{"query": "//book[./title]"}"#;
+//! let mut conn = std::net::TcpStream::connect(handle.addr()).unwrap();
+//! write!(conn, "POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+//!        body.len(), body).unwrap();
+//! let mut response = String::new();
+//! conn.read_to_string(&mut response).unwrap();
+//! assert!(response.starts_with("HTTP/1.1 200"));
+//! assert!(response.contains("\"outcome\": \"exact\""));
+//! handle.shutdown();
+//! ```
+//!
+//! [`QueryContext::cost_estimate`]: whirlpool_core::QueryContext::cost_estimate
+
+mod error;
+mod governor;
+mod http;
+mod json;
+mod metrics;
+mod server;
+mod shared;
+
+pub use error::{Outcome, RejectReason, ServeError};
+pub use governor::{Admission, FireCause, Permit, Rung, Watchdog};
+pub use json::{escape, Json, JsonError};
+pub use metrics::{ServeMetrics, ServeMetricsSnapshot};
+pub use server::{serve_blocking, start, ServeConfig, ServerHandle};
+pub use shared::{DocState, Registry, Shared};

@@ -1,0 +1,142 @@
+//! Daemon-level counters and their conservation law.
+//!
+//! Every request that reaches the daemon is counted exactly once on
+//! the intake side (`admitted`, `rejected`, `shed`, `bad_requests`,
+//! `not_found`), and every *admitted* request is classified exactly
+//! once on the outcome side (`exact`, `degraded`, `timed_out`). At
+//! quiescence `admitted = exact + degraded + timed_out` — the overload
+//! suite asserts it after every soak.
+
+use crate::error::Outcome;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone counters, shared across worker threads.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Query requests that reached routing (any verb on `/query`).
+    pub received: AtomicU64,
+    /// Requests past admission control (holds a concurrency token).
+    pub admitted: AtomicU64,
+    /// Turned away by admission control (HTTP 429).
+    pub rejected: AtomicU64,
+    /// Connections dropped before parsing: the accept queue was full.
+    pub shed: AtomicU64,
+    /// Malformed requests (HTTP 400).
+    pub bad_requests: AtomicU64,
+    /// Queries naming an unloaded document (HTTP 404).
+    pub not_found: AtomicU64,
+    /// Admitted requests that completed with exact semantics.
+    pub exact: AtomicU64,
+    /// Admitted requests that returned a certified anytime answer.
+    pub degraded: AtomicU64,
+    /// Admitted requests reclaimed by the watchdog.
+    pub timed_out: AtomicU64,
+    /// Engine re-runs after a transient server fault.
+    pub retries: AtomicU64,
+}
+
+/// Plain-value copy of [`ServeMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // field-for-field mirror of ServeMetrics
+pub struct ServeMetricsSnapshot {
+    pub received: u64,
+    pub admitted: u64,
+    pub rejected: u64,
+    pub shed: u64,
+    pub bad_requests: u64,
+    pub not_found: u64,
+    pub exact: u64,
+    pub degraded: u64,
+    pub timed_out: u64,
+    pub retries: u64,
+}
+
+impl ServeMetrics {
+    /// Records the single outcome of an admitted request.
+    pub fn classify(&self, outcome: Outcome) {
+        match outcome {
+            Outcome::Exact => &self.exact,
+            Outcome::Degraded => &self.degraded,
+            Outcome::TimedOut => &self.timed_out,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A plain-value copy of the counters.
+    pub fn snapshot(&self) -> ServeMetricsSnapshot {
+        ServeMetricsSnapshot {
+            received: self.received.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            not_found: self.not_found.load(Ordering::Relaxed),
+            exact: self.exact.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl ServeMetricsSnapshot {
+    /// Outcomes recorded so far.
+    pub fn settled(&self) -> u64 {
+        self.exact + self.degraded + self.timed_out
+    }
+
+    /// The conservation law, valid at quiescence (no request mid-
+    /// flight): every admitted request settled into exactly one class.
+    pub fn conserved(&self) -> bool {
+        self.admitted == self.settled()
+    }
+
+    /// Emits the snapshot as a JSON object (the `/metrics` body).
+    pub fn to_json(&self, inflight: usize) -> String {
+        format!(
+            "{{\"received\": {}, \"admitted\": {}, \"rejected\": {}, \"shed\": {}, \
+             \"bad_requests\": {}, \"not_found\": {}, \"exact\": {}, \"degraded\": {}, \
+             \"timed_out\": {}, \"retries\": {}, \"inflight\": {inflight}}}",
+            self.received,
+            self.admitted,
+            self.rejected,
+            self.shed,
+            self.bad_requests,
+            self.not_found,
+            self.exact,
+            self.degraded,
+            self.timed_out,
+            self.retries,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_feeds_the_conservation_law() {
+        let m = ServeMetrics::default();
+        m.admitted.fetch_add(3, Ordering::Relaxed);
+        m.classify(Outcome::Exact);
+        m.classify(Outcome::Degraded);
+        let partial = m.snapshot();
+        assert_eq!(partial.settled(), 2);
+        assert!(!partial.conserved(), "one request still in flight");
+        m.classify(Outcome::TimedOut);
+        let done = m.snapshot();
+        assert!(done.conserved());
+        assert_eq!((done.exact, done.degraded, done.timed_out), (1, 1, 1));
+    }
+
+    #[test]
+    fn json_emission_carries_every_counter() {
+        let m = ServeMetrics::default();
+        m.received.fetch_add(7, Ordering::Relaxed);
+        let body = m.snapshot().to_json(2);
+        assert!(body.contains("\"received\": 7"));
+        assert!(body.contains("\"inflight\": 2"));
+        crate::json::Json::parse(&body).expect("valid json");
+    }
+}

@@ -1,0 +1,706 @@
+//! The daemon: accept loop, worker pool, and the per-request pipeline
+//! (parse → admit → pick a rung → evaluate under watchdog → classify).
+
+use crate::error::{Outcome, RejectReason, ServeError};
+use crate::governor::{Admission, Rung, Watchdog};
+use crate::http::{read_request, respond, Request};
+use crate::json::{escape, Json};
+use crate::metrics::ServeMetrics;
+use crate::shared::{DocState, Registry, Shared};
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use whirlpool_core::{
+    evaluate_with_context, Algorithm, CancelToken, Completeness, ContextOptions, EvalOptions,
+    EvalResult, FaultPlan, QueryContext,
+};
+use whirlpool_score::{Normalization, TfIdfModel};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` for an ephemeral
+    /// port — read the bound address off [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads evaluating queries.
+    pub workers: usize,
+    /// Accepted connections waiting for a worker; beyond this the
+    /// accept loop sheds load with an immediate 429.
+    pub queue_depth: usize,
+    /// Admission token bucket: queries evaluated concurrently.
+    pub max_inflight: usize,
+    /// Server-operation spend considered affordable at zero load (the
+    /// admission cost gate and the ladder's op budgets scale from it).
+    pub capacity_ops: f64,
+    /// Full-service deadline (the ladder shrinks it under pressure).
+    pub base_deadline: Duration,
+    /// Watchdog slack past the rung deadline before the hard cancel.
+    pub watchdog_grace: Duration,
+    /// Bounded re-runs after a transient server fault.
+    pub retries: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_depth: 8,
+            max_inflight: 4,
+            capacity_ops: 5e6,
+            base_deadline: Duration::from_millis(2000),
+            watchdog_grace: Duration::from_millis(250),
+            retries: 1,
+        }
+    }
+}
+
+/// Connection queue between the accept loop and the workers.
+struct ConnQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    depth: usize,
+}
+
+impl ConnQueue {
+    fn new(depth: usize) -> ConnQueue {
+        ConnQueue {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    /// Enqueues unless full; a full queue hands the connection back so
+    /// the caller can shed it with a 429.
+    fn push(&self, conn: TcpStream) -> Result<(), TcpStream> {
+        let mut q = self.queue.lock().unwrap_or_else(|p| p.into_inner());
+        if q.len() >= self.depth {
+            return Err(conn);
+        }
+        q.push_back(conn);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks (with a poll-out for shutdown) until a connection is
+    /// available.
+    fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
+        let mut q = self.queue.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(conn) = q.pop_front() {
+                return Some(conn);
+            }
+            if shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(q, Duration::from_millis(50))
+                .unwrap_or_else(|p| p.into_inner());
+            q = guard;
+        }
+    }
+}
+
+/// Everything a worker needs, cheaply clonable.
+#[derive(Clone)]
+struct Daemon {
+    registry: Shared<Registry>,
+    admission: Arc<Admission>,
+    watchdog: Arc<Watchdog>,
+    metrics: Arc<ServeMetrics>,
+    config: Arc<ServeConfig>,
+    request_seq: Arc<AtomicU64>,
+}
+
+/// A running daemon. Dropping the handle does *not* stop it; call
+/// [`shutdown`](ServerHandle::shutdown).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    watchdog: Arc<Watchdog>,
+    metrics: Arc<ServeMetrics>,
+    admission: Arc<Admission>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon's counters.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// Queries currently holding an admission token.
+    pub fn inflight(&self) -> usize {
+        self.admission.inflight()
+    }
+
+    /// Stops accepting, drains the workers, and joins every thread.
+    /// In-flight evaluations finish (or are reclaimed by their own
+    /// deadlines); queued-but-unserved connections are dropped.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.watchdog.stop();
+    }
+}
+
+/// Starts the daemon: binds `config.addr`, spawns the accept loop, the
+/// worker pool, and the watchdog, and returns immediately.
+pub fn start(config: ServeConfig, registry: Registry) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let queue = Arc::new(ConnQueue::new(config.queue_depth));
+    let daemon = Daemon {
+        registry: Shared::new(registry),
+        admission: Arc::new(Admission::new(config.max_inflight, config.capacity_ops)),
+        watchdog: Watchdog::start(),
+        metrics: Arc::new(ServeMetrics::default()),
+        config: Arc::new(config),
+        request_seq: Arc::new(AtomicU64::new(0)),
+    };
+
+    let mut threads = Vec::new();
+    {
+        let queue = queue.clone();
+        let shutdown = shutdown.clone();
+        let metrics = daemon.metrics.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || {
+                    while !shutdown.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((conn, _)) => {
+                                let _ = conn.set_nonblocking(false);
+                                if let Err(mut conn) = queue.push(conn) {
+                                    // Shed at the door: the queue is
+                                    // full, so tell the client to back
+                                    // off instead of making it wait.
+                                    metrics.shed.fetch_add(1, Ordering::Relaxed);
+                                    let _ = respond(
+                                        &mut conn,
+                                        429,
+                                        &[("Retry-After", "1".to_string())],
+                                        "{\"error\": \"overloaded: connection queue full\", \
+                                         \"status\": 429}\n",
+                                    );
+                                    drain_before_close(conn);
+                                }
+                            }
+                            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                        }
+                    }
+                })?,
+        );
+    }
+    for i in 0..daemon.config.workers.max(1) {
+        let queue = queue.clone();
+        let shutdown = shutdown.clone();
+        let daemon = daemon.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || {
+                    while let Some(mut conn) = queue.pop(&shutdown) {
+                        handle_connection(&daemon, &mut conn);
+                    }
+                })?,
+        );
+    }
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        threads,
+        watchdog: daemon.watchdog.clone(),
+        metrics: daemon.metrics.clone(),
+        admission: daemon.admission.clone(),
+    })
+}
+
+/// Starts the daemon and blocks the calling thread until the process
+/// dies (the CLI `serve` subcommand's mode of operation).
+pub fn serve_blocking(config: ServeConfig, registry: Registry) -> std::io::Result<()> {
+    let _handle = start(config, registry)?;
+    loop {
+        std::thread::park();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request pipeline.
+
+/// Discards whatever request bytes the client already sent, then drops
+/// the connection. Closing a socket whose receive buffer still holds
+/// unread data makes Linux abort with RST and discard the in-flight
+/// response — a shed client would see "connection reset" instead of its
+/// 429. Bounded (64 KiB, 50 ms) so a slow or malicious client cannot
+/// stall the accept loop.
+fn drain_before_close(mut conn: TcpStream) {
+    use std::io::Read as _;
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut sink = [0u8; 4096];
+    let mut drained = 0usize;
+    while drained < 64 * 1024 {
+        match conn.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
+fn handle_connection(daemon: &Daemon, conn: &mut TcpStream) {
+    let request = match read_request(conn) {
+        Ok(r) => r,
+        Err(e) => {
+            daemon.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let _ = error_response(conn, &e);
+            return;
+        }
+    };
+    let result = route(daemon, conn, &request);
+    if let Err(e) = result {
+        match e {
+            ServeError::Rejected { .. } => daemon.metrics.rejected.fetch_add(1, Ordering::Relaxed),
+            ServeError::BadRequest(_) | ServeError::Engine(_) => {
+                daemon.metrics.bad_requests.fetch_add(1, Ordering::Relaxed)
+            }
+            ServeError::NotFound(_) => daemon.metrics.not_found.fetch_add(1, Ordering::Relaxed),
+            ServeError::TimedOut { .. } | ServeError::Io(_) => 0,
+        };
+        let _ = error_response(conn, &e);
+    }
+}
+
+fn error_response(conn: &mut TcpStream, e: &ServeError) -> std::io::Result<()> {
+    let mut headers: Vec<(&str, String)> = Vec::new();
+    if let ServeError::Rejected { retry_after, .. } = e {
+        headers.push(("Retry-After", retry_after.as_secs().max(1).to_string()));
+    }
+    let body = format!(
+        "{{\"error\": \"{}\", \"status\": {}}}\n",
+        escape(&e.to_string()),
+        e.status()
+    );
+    respond(conn, e.status(), &headers, &body)
+}
+
+fn route(daemon: &Daemon, conn: &mut TcpStream, request: &Request) -> Result<(), ServeError> {
+    match (request.method.as_str(), request.target.as_str()) {
+        ("GET", "/healthz") => {
+            let body = format!(
+                "{{\"status\": \"ok\", \"documents\": {}, \"inflight\": {}, \
+                 \"pressure\": {:.3}}}\n",
+                daemon.registry.read().len(),
+                daemon.admission.inflight(),
+                daemon.admission.pressure(),
+            );
+            respond(conn, 200, &[], &body)?;
+            Ok(())
+        }
+        ("GET", "/metrics") => {
+            let body = format!(
+                "{}\n",
+                daemon
+                    .metrics
+                    .snapshot()
+                    .to_json(daemon.admission.inflight())
+            );
+            respond(conn, 200, &[], &body)?;
+            Ok(())
+        }
+        ("POST", "/query") => {
+            daemon.metrics.received.fetch_add(1, Ordering::Relaxed);
+            handle_query(daemon, conn, &request.body)
+        }
+        ("GET", "/query") => Err(ServeError::BadRequest(
+            "use POST /query with a JSON body".into(),
+        )),
+        _ => Err(ServeError::NotFound(request.target.clone())),
+    }
+}
+
+/// The parsed `/query` body.
+struct QueryRequest {
+    doc: String,
+    query: String,
+    k: usize,
+    fault: Option<String>,
+    fault_seed: u64,
+    /// Test hook: artificial per-op cost, for exercising the ladder
+    /// and the watchdog without a huge document.
+    op_cost: Option<Duration>,
+}
+
+impl QueryRequest {
+    fn parse(body: &[u8]) -> Result<QueryRequest, ServeError> {
+        let text = std::str::from_utf8(body)
+            .map_err(|_| ServeError::BadRequest("body is not utf-8".into()))?;
+        let v = Json::parse(text).map_err(|e| ServeError::BadRequest(e.to_string()))?;
+        let query = v
+            .get("query")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServeError::BadRequest("missing \"query\" field".into()))?
+            .to_string();
+        Ok(QueryRequest {
+            doc: v
+                .get("doc")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            query,
+            k: v.get("k").and_then(Json::as_u64).unwrap_or(10).max(1) as usize,
+            fault: v
+                .get("fault")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .filter(|s| !s.is_empty()),
+            fault_seed: v.get("fault_seed").and_then(Json::as_u64).unwrap_or(0),
+            op_cost: v
+                .get("op_cost_us")
+                .and_then(Json::as_u64)
+                .map(Duration::from_micros),
+        })
+    }
+}
+
+fn handle_query(daemon: &Daemon, conn: &mut TcpStream, body: &[u8]) -> Result<(), ServeError> {
+    let req = QueryRequest::parse(body)?;
+    let doc_state: Arc<DocState> = daemon
+        .registry
+        .read()
+        .get(&req.doc)
+        .ok_or_else(|| ServeError::NotFound(req.doc.clone()))?;
+    let pattern = whirlpool_pattern::parse_pattern(&req.query)
+        .map_err(|e| ServeError::BadRequest(format!("query {:?}: {e}", req.query)))?;
+    // Validate the chaos spec before admission: a malformed spec is the
+    // client's fault, not load.
+    if let Some(spec) = &req.fault {
+        FaultPlan::parse(spec, req.fault_seed)?;
+    }
+
+    // Parse/index happened at load time; per-request cost from here on
+    // is the score model, the context (selectivity sample), and the
+    // evaluation itself.
+    let model = TfIdfModel::build(
+        &doc_state.doc,
+        &doc_state.index,
+        &pattern,
+        Normalization::Sparse,
+    );
+    let ctx = QueryContext::new(
+        &doc_state.doc,
+        &doc_state.index,
+        &pattern,
+        &model,
+        ContextOptions {
+            op_cost: req.op_cost,
+            ..ContextOptions::default()
+        },
+    );
+
+    // Admission: token bucket + the selectivity-based cost gate.
+    let estimate = ctx.cost_estimate();
+    let permit = match daemon.admission.try_admit(estimate.estimated_server_ops) {
+        Ok(p) => p,
+        Err(reason) => {
+            let retry_after = match reason {
+                RejectReason::Busy { .. } => Duration::from_secs(1),
+                RejectReason::TooExpensive { .. } => Duration::from_secs(2),
+            };
+            return Err(ServeError::Rejected {
+                reason,
+                retry_after,
+            });
+        }
+    };
+
+    // The ladder: pressure at admission picks the rung and its budgets.
+    let rung = Rung::for_pressure(daemon.admission.pressure());
+    let (deadline, max_ops) = rung.budgets(daemon.config.base_deadline, daemon.config.capacity_ops);
+
+    // The watchdog backstops the rung deadline and watches for client
+    // disconnect. No socket I/O happens until the guard is dropped
+    // (the probe shares the connection's file description).
+    let cancel = CancelToken::new();
+    let started = Instant::now();
+    let guard = daemon.watchdog.watch(
+        cancel.clone(),
+        started + deadline + daemon.config.watchdog_grace,
+        conn,
+    )?;
+    // Counted only now: every code path past this point classifies the
+    // request into exactly one outcome, keeping `admitted = exact +
+    // degraded + timed_out` conserved.
+    daemon.metrics.admitted.fetch_add(1, Ordering::Relaxed);
+
+    let mut options = EvalOptions::top_k(req.k);
+    options.deadline = Some(deadline);
+    options.max_server_ops = max_ops;
+    options.cancel = Some(cancel.clone());
+
+    // Bounded retry on transient faults: a run truncated by a *server
+    // failure* (not by its budgets) is re-run with backoff — the fault
+    // layer draws fresh randomness, so delay-style faults clear. The
+    // engine's metrics accumulate in the context across attempts, so
+    // failure detection works on the per-attempt delta.
+    let mut attempts = 0u32;
+    let mut failed_before = 0;
+    let result: EvalResult = loop {
+        options.fault_plan = req
+            .fault
+            .as_deref()
+            .map(|spec| FaultPlan::parse(spec, req.fault_seed.wrapping_add(attempts as u64)))
+            .transpose()?;
+        // Whirlpool-S: the worker pool already provides cross-request
+        // parallelism, so a per-request multi-threaded engine would
+        // only add thread churn under load.
+        let r = evaluate_with_context(&ctx, &Algorithm::WhirlpoolS, &options);
+        let newly_failed = r.metrics.servers_failed - failed_before;
+        failed_before = r.metrics.servers_failed;
+        let transient_fault = newly_failed > 0 && !r.completeness.is_exact();
+        if transient_fault
+            && attempts < daemon.config.retries
+            && guard.fired().is_none()
+            && started.elapsed() < deadline
+        {
+            attempts += 1;
+            daemon.metrics.retries.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(5 * attempts as u64));
+            // The remaining wall budget shrinks with what the failed
+            // attempt spent.
+            options.deadline = Some(deadline.saturating_sub(started.elapsed()));
+            continue;
+        }
+        break r;
+    };
+
+    // Classification: exactly one outcome per admitted request, before
+    // any fallible I/O so the conservation law survives write errors.
+    let fired = guard.fired();
+    drop(guard);
+    let outcome = match (fired, &result.completeness) {
+        (Some(_), _) => Outcome::TimedOut,
+        (None, Completeness::Exact) => Outcome::Exact,
+        (None, Completeness::Truncated { .. }) => Outcome::Degraded,
+    };
+    daemon.metrics.classify(outcome);
+    drop(permit);
+    // Restore blocking I/O (the watchdog probe flipped the shared file
+    // description to non-blocking). Failure means the client is gone —
+    // the response write below will fail harmlessly too.
+    let _ = conn.set_nonblocking(false);
+
+    let status = match outcome {
+        Outcome::TimedOut => 504,
+        _ => 200,
+    };
+    let body = query_response_json(
+        daemon.request_seq.fetch_add(1, Ordering::Relaxed),
+        &doc_state,
+        outcome,
+        rung,
+        attempts,
+        &result,
+        started.elapsed(),
+    );
+    // A disconnected client can't receive this; the write fails and
+    // that is fine — the worker is already reclaimed.
+    let _ = respond(conn, status, &[], &body);
+    Ok(())
+}
+
+fn query_response_json(
+    seq: u64,
+    doc_state: &DocState,
+    outcome: Outcome,
+    rung: Rung,
+    retries: u32,
+    result: &EvalResult,
+    elapsed: Duration,
+) -> String {
+    let mut body = String::with_capacity(512);
+    body.push_str("{\n");
+    body.push_str(&format!("  \"request\": {seq},\n"));
+    body.push_str(&format!("  \"outcome\": \"{}\",\n", outcome.label()));
+    body.push_str(&format!("  \"rung\": \"{}\",\n", rung.label()));
+    body.push_str(&format!(
+        "  \"completeness\": \"{}\",\n",
+        result.completeness.label()
+    ));
+    if let Completeness::Truncated {
+        pending_matches,
+        score_bound,
+    } = result.completeness
+    {
+        body.push_str(&format!("  \"pending_matches\": {pending_matches},\n"));
+        body.push_str(&format!("  \"score_bound\": {score_bound:.6},\n"));
+    }
+    body.push_str(&format!("  \"retries\": {retries},\n"));
+    body.push_str(&format!(
+        "  \"servers_failed\": {},\n",
+        result.metrics.servers_failed
+    ));
+    body.push_str(&format!(
+        "  \"cancellations\": {},\n",
+        result.metrics.cancellations
+    ));
+    body.push_str(&format!(
+        "  \"elapsed_ms\": {:.3},\n",
+        elapsed.as_secs_f64() * 1e3
+    ));
+    body.push_str("  \"answers\": [\n");
+    for (i, a) in result.answers.iter().enumerate() {
+        let id = doc_state
+            .doc
+            .attribute(a.root, "id")
+            .map(|v| format!(", \"id\": \"{}\"", escape(v)))
+            .unwrap_or_default();
+        body.push_str(&format!(
+            "    {{\"rank\": {}, \"node\": {}, \"score\": {:.6}{id}}}{}\n",
+            i + 1,
+            a.root.index(),
+            a.score.value(),
+            if i + 1 < result.answers.len() {
+                ","
+            } else {
+                ""
+            },
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+
+    fn test_registry() -> Registry {
+        let doc = whirlpool_xml::parse_document(
+            "<shelf>\
+             <book id=\"b1\"><title>dune</title><isbn>1</isbn></book>\
+             <book id=\"b2\"><title>dune</title></book>\
+             <book id=\"b3\"><review><title>dune</title></review></book>\
+             </shelf>",
+        )
+        .unwrap();
+        let mut registry = Registry::new();
+        registry.insert(DocState::new("books", doc));
+        registry
+    }
+
+    fn send(addr: SocketAddr, raw: &str) -> (u16, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut response = String::new();
+        s.read_to_string(&mut response).unwrap();
+        let status: u16 = response
+            .split(' ')
+            .nth(1)
+            .and_then(|v| v.parse().ok())
+            .expect("status line");
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    fn post_query(addr: SocketAddr, json: &str) -> (u16, String) {
+        send(
+            addr,
+            &format!(
+                "POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n{json}",
+                json.len()
+            ),
+        )
+    }
+
+    #[test]
+    fn serves_health_query_and_metrics_end_to_end() {
+        let handle = start(ServeConfig::default(), test_registry()).unwrap();
+        let addr = handle.addr();
+
+        let (status, body) = send(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"documents\": 1"));
+
+        let (status, body) = post_query(addr, r#"{"query": "//book[./title and ./isbn]", "k": 2}"#);
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(v.get("outcome").and_then(Json::as_str), Some("exact"));
+        assert_eq!(v.get("rung").and_then(Json::as_str), Some("full"));
+        let Some(Json::Arr(answers)) = v.get("answers") else {
+            panic!("no answers: {body}")
+        };
+        assert_eq!(answers.len(), 2);
+        assert_eq!(
+            answers[0].get("id").and_then(Json::as_str),
+            Some("b1"),
+            "the exact match outranks the relaxed ones"
+        );
+
+        // Unknown documents 404; malformed bodies and queries 400.
+        let (status, _) = post_query(addr, r#"{"doc": "nope", "query": "//a"}"#);
+        assert_eq!(status, 404);
+        let (status, _) = post_query(addr, "not json");
+        assert_eq!(status, 400);
+        let (status, _) = post_query(addr, r#"{"query": "///["}"#);
+        assert_eq!(status, 400);
+        let (status, _) = post_query(addr, r#"{"query": "//book", "fault": "garbage"}"#);
+        assert_eq!(status, 400, "bad fault specs are the client's fault");
+
+        let (status, body) = send(addr, "GET /metrics HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        let m = Json::parse(&body).unwrap();
+        assert_eq!(m.get("admitted").and_then(Json::as_u64), Some(1));
+        assert_eq!(m.get("exact").and_then(Json::as_u64), Some(1));
+        assert_eq!(m.get("inflight").and_then(Json::as_u64), Some(0));
+
+        handle.shutdown();
+    }
+
+    #[test]
+    fn chaos_query_comes_back_certified() {
+        let handle = start(ServeConfig::default(), test_registry()).unwrap();
+        let (status, body) = post_query(
+            handle.addr(),
+            r#"{"query": "//book[./title and ./isbn]", "fault": "server=1:fail@0", "k": 2}"#,
+        );
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(v.get("outcome").and_then(Json::as_str), Some("degraded"));
+        assert_eq!(
+            v.get("completeness").and_then(Json::as_str),
+            Some("truncated")
+        );
+        assert!(
+            v.get("score_bound").and_then(Json::as_f64).is_some(),
+            "a truncated answer carries its certificate: {body}"
+        );
+        // The retry ladder ran (fail@0 re-fires each attempt) and the
+        // response reports honestly.
+        assert!(v.get("retries").and_then(Json::as_u64).unwrap_or(0) >= 1);
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,146 @@
+//! Daemon state shared across worker threads.
+//!
+//! The parse/index work happens once, at load time; every request
+//! thereafter borrows an immutable [`DocState`] through an `Arc` and
+//! builds only the per-query artifacts (pattern, score model, context).
+//! The registry sits behind [`Shared`] — the `Arc<RwLock<_>>` idiom —
+//! so reads are concurrent and a future hot-reload endpoint can swap
+//! documents without stopping the accept loop.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use whirlpool_index::TagIndex;
+use whirlpool_xml::Document;
+
+/// Clonable handle to state behind a reader-writer lock.
+#[derive(Debug, Default)]
+pub struct Shared<S>(Arc<RwLock<S>>);
+
+impl<S> Clone for Shared<S> {
+    fn clone(&self) -> Self {
+        Shared(self.0.clone())
+    }
+}
+
+impl<S> Shared<S> {
+    /// Wraps `state`.
+    pub fn new(state: S) -> Shared<S> {
+        Shared(Arc::new(RwLock::new(state)))
+    }
+
+    /// Shared read access. Poisoning is unreachable by construction —
+    /// no writer section can panic — so it is swallowed rather than
+    /// propagated: a poisoned registry read would otherwise take the
+    /// whole daemon down over an already-handled worker panic.
+    pub fn read(&self) -> RwLockReadGuard<'_, S> {
+        match self.0.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Exclusive write access (same poisoning stance as `read`).
+    pub fn write(&self) -> RwLockWriteGuard<'_, S> {
+        match self.0.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// One loaded document: parsed and indexed exactly once, then shared
+/// immutably by every request that names it.
+pub struct DocState {
+    /// The lookup name clients use in the `doc` request field.
+    pub name: String,
+    /// The parsed document.
+    pub doc: Document,
+    /// The tag index built over it.
+    pub index: TagIndex,
+}
+
+impl DocState {
+    /// Indexes `doc` under `name`.
+    pub fn new(name: impl Into<String>, doc: Document) -> DocState {
+        let index = TagIndex::build(&doc);
+        DocState {
+            name: name.into(),
+            doc,
+            index,
+        }
+    }
+}
+
+/// The set of loaded documents, by name.
+#[derive(Default)]
+pub struct Registry {
+    docs: HashMap<String, Arc<DocState>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds (or replaces) a document.
+    pub fn insert(&mut self, state: DocState) {
+        self.docs.insert(state.name.clone(), Arc::new(state));
+    }
+
+    /// Looks a document up by name. An empty name resolves iff exactly
+    /// one document is loaded — the common single-document deployment
+    /// doesn't force clients to repeat the name.
+    pub fn get(&self, name: &str) -> Option<Arc<DocState>> {
+        if name.is_empty() && self.docs.len() == 1 {
+            return self.docs.values().next().cloned();
+        }
+        self.docs.get(name).cloned()
+    }
+
+    /// Number of loaded documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whirlpool_xml::parse_document;
+
+    fn doc_state(name: &str) -> DocState {
+        DocState::new(name, parse_document("<r><a/><b/></r>").unwrap())
+    }
+
+    #[test]
+    fn single_document_answers_the_empty_name() {
+        let mut r = Registry::new();
+        r.insert(doc_state("only"));
+        assert_eq!(r.get("").unwrap().name, "only");
+        assert_eq!(r.get("only").unwrap().name, "only");
+        assert!(r.get("other").is_none());
+
+        r.insert(doc_state("second"));
+        assert!(
+            r.get("").is_none(),
+            "ambiguous empty name must not guess between two documents"
+        );
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn shared_reads_are_concurrent_and_writes_exclusive() {
+        let shared = Shared::new(Registry::new());
+        shared.write().insert(doc_state("d"));
+        let a = shared.read();
+        let b = shared.read();
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -53,6 +53,13 @@ pub struct NodeData {
     pub dewey: Dewey,
 }
 
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Per-thread [`Document::dewey`] lookup counter backing the hot-path
+    /// assertion in [`Document::dewey_reads_this_thread`].
+    static DEWEY_READS_THIS_THREAD: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
 /// An XML document: a node-labelled tree rooted at a synthetic document
 /// root whose children are the top-level elements (so a *forest*, as in
 /// the paper's data model, is representable too).
@@ -129,21 +136,35 @@ impl Document {
     /// The node's Dewey identifier.
     pub fn dewey(&self, id: NodeId) -> &Dewey {
         #[cfg(debug_assertions)]
-        self.dewey_reads
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        {
+            self.dewey_reads
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            DEWEY_READS_THIS_THREAD.with(|c| c.set(c.get() + 1));
+        }
         &self.nodes[id.index()].dewey
     }
 
-    /// Number of [`Document::dewey`] lookups since construction.
+    /// Number of [`Document::dewey`] lookups since construction, across
+    /// all threads. Debug builds only.
+    #[cfg(debug_assertions)]
+    pub fn dewey_reads(&self) -> u64 {
+        self.dewey_reads.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of [`Document::dewey`] lookups *this thread* has
+    /// performed, over every document.
     ///
     /// Debug builds only. The server-op candidate loops
     /// `debug_assert!` that this counter does not move while they run:
     /// structural predicates must resolve through the columnar tables
     /// (`StructuralColumns` in `whirlpool-index`), with Dewey paths
-    /// reserved for answer serialization.
+    /// reserved for answer serialization. The check must be per-thread
+    /// — a daemon serves concurrent queries over one shared document,
+    /// and another request's legitimate Dewey reads (answer
+    /// serialization) would trip a whole-document counter.
     #[cfg(debug_assertions)]
-    pub fn dewey_reads(&self) -> u64 {
-        self.dewey_reads.load(std::sync::atomic::Ordering::Relaxed)
+    pub fn dewey_reads_this_thread() -> u64 {
+        DEWEY_READS_THIS_THREAD.with(|c| c.get())
     }
 
     /// The node's parent, `None` for the document root.

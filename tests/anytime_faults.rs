@@ -218,6 +218,53 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Cancellation.
+
+#[test]
+fn mid_run_cancel_reclaims_the_worker_promptly() {
+    let fx = Fixture::new(40);
+    let exact = fx
+        .eval(&Algorithm::WhirlpoolS, &EvalOptions::top_k(5))
+        .answers;
+    for alg in [
+        Algorithm::WhirlpoolS,
+        Algorithm::WhirlpoolM {
+            processors: Some(2),
+        },
+    ] {
+        let token = whirlpool_core::CancelToken::new();
+        let mut options = EvalOptions::top_k(5);
+        // Slow every server op down so the run is mid-flight when the
+        // token trips; without the cancel this query would take seconds.
+        options.op_cost = Some(Duration::from_millis(2));
+        options.cancel = Some(token.clone());
+
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _ = tx.send(fx.eval(&alg, &options));
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            token.cancel();
+            // Promptness is the property under test: a cancelled run
+            // must hand its worker back within a drain batch, not after
+            // finishing the query.
+            let r = rx
+                .recv_timeout(Duration::from_secs(10))
+                .unwrap_or_else(|_| panic!("{}: cancelled run did not return", alg.name()));
+            assert!(
+                !r.completeness.is_exact(),
+                "{}: a mid-run cancel cannot claim exactness",
+                alg.name()
+            );
+            assert_eq!(r.metrics.cancellations, 1, "{}", alg.name());
+            assert_eq!(r.metrics.deadline_hits, 0, "{}", alg.name());
+            assert_certificate_valid(&r.answers, &r.completeness, &exact, alg.name());
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
 // Faults.
 
 #[test]
