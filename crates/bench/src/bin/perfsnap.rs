@@ -55,10 +55,12 @@ use whirlpool_bench::aggregate::TraceAggregate;
 use whirlpool_bench::{default_options, median, Workload};
 use whirlpool_core::vtime::{sequential_virtual_time, simulate_whirlpool_m, VTimeConfig};
 use whirlpool_core::{
-    answers_equivalent, Algorithm, ContextOptions, EvalOptions, EvalResult, MetricsSnapshot,
-    QueryContext, QueuePolicy, RoutingStrategy,
+    answers_equivalent, collection_answers_equivalent, evaluate_collection, Algorithm, Collection,
+    CollectionOptions, ContextOptions, EvalOptions, EvalResult, MetricsSnapshot, QueryContext,
+    QueuePolicy, RoutingStrategy,
 };
-use whirlpool_xmark::queries;
+use whirlpool_score::Normalization;
+use whirlpool_xmark::{generate, queries, GeneratorConfig};
 
 struct ConfigStats {
     wall_ms_median: f64,
@@ -339,6 +341,107 @@ fn serve_bench(items: usize, steady: usize, per_client: usize) -> ServeBenchStat
 /// Extracts `(engine name, pooled wall-ms median)` pairs from a
 /// previously written snapshot. Hand-rolled to match `config_json`'s
 /// output shape — the repo carries no JSON parser dependency.
+struct CollectionBenchStats {
+    shards_total: usize,
+    rich_shards: usize,
+    k: usize,
+    scan_all_wall_ms: f64,
+    sharded_wall_ms: f64,
+    shards_visited: usize,
+    shards_pruned: usize,
+    equivalent: bool,
+}
+
+impl CollectionBenchStats {
+    fn speedup(&self) -> f64 {
+        if self.sharded_wall_ms > 0.0 {
+            self.scan_all_wall_ms / self.sharded_wall_ms
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Benchmarks the sharded collection driver against its own scan-all
+/// baseline on a skewed corpus: a few rich XMark shards holding every
+/// full Q2 match, plus many sparse shards whose items carry none of
+/// Q2's predicate paths (`description/parlist`, `mailbox/mail/text`).
+/// The sparse shards cost the scan real work — every item is a
+/// candidate answer root — but their synopsis ceilings collapse to the
+/// bare root contribution, which falls below the global threshold once
+/// the rich shards fill the top-k, so the sharded run skips them
+/// without touching their postings.
+fn collection_bench(
+    rich: usize,
+    sparse: usize,
+    bytes_per_rich: usize,
+    k: usize,
+    reps: usize,
+) -> CollectionBenchStats {
+    let mut collection = Collection::new();
+    for i in 0..rich {
+        let doc = generate(&GeneratorConfig {
+            target_bytes: bytes_per_rich,
+            seed: 1000 + i as u64,
+            max_items: None,
+        });
+        collection.add_document(format!("rich-{i:02}"), doc);
+    }
+    // Sparse shards carry as many items as the largest rich shard, so
+    // the scan-all baseline pays a comparable per-shard candidate cost.
+    let rich_items = collection
+        .shards()
+        .iter()
+        .map(|s| s.synopsis().tag_count("item"))
+        .max()
+        .unwrap_or(0);
+    for i in 0..sparse {
+        let mut src = String::from("<site><regions><namerica>");
+        for j in 0..rich_items {
+            src.push_str(&format!(
+                "<item id=\"sparse-{i}-{j}\"><name>widget {j}</name>\
+                 <quantity>1</quantity></item>"
+            ));
+        }
+        src.push_str("</namerica></regions></site>");
+        collection
+            .add_source(format!("sparse-{i:02}"), &src)
+            .expect("synthetic sparse shard parses");
+    }
+
+    let query = queries::parse(queries::Q2);
+    let options = default_options(k);
+    let run = |copts: &CollectionOptions| {
+        let mut walls = Vec::with_capacity(reps);
+        let mut last = None;
+        for _ in 0..reps {
+            let r = evaluate_collection(
+                &collection,
+                &query,
+                &Algorithm::WhirlpoolS,
+                &options,
+                Normalization::Sparse,
+                copts,
+            );
+            walls.push(r.elapsed.as_secs_f64() * 1e3);
+            last = Some(r);
+        }
+        (median(&mut walls), last.expect("reps >= 1"))
+    };
+    let (scan_ms, scan_last) = run(&CollectionOptions::scan_all());
+    let (sharded_ms, sharded_last) = run(&CollectionOptions::default());
+    CollectionBenchStats {
+        shards_total: collection.len(),
+        rich_shards: rich,
+        k,
+        scan_all_wall_ms: scan_ms,
+        sharded_wall_ms: sharded_ms,
+        shards_visited: sharded_last.collection_metrics.shards_visited,
+        shards_pruned: sharded_last.collection_metrics.shards_pruned,
+        equivalent: collection_answers_equivalent(&scan_last.answers, &sharded_last.answers, 1e-9),
+    }
+}
+
 fn parse_snapshot_pooled(text: &str) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     let mut pos = 0;
@@ -620,6 +723,20 @@ fn main() {
     );
     let serve = serve_bench(serve_items, serve_steady, serve_per_client);
 
+    // Collection: sharded top-k with corpus idf, threshold sharing, and
+    // synopsis pruning, against its own scan-all baseline on a skewed
+    // 16-shard corpus.
+    let (coll_rich, coll_sparse, coll_bytes, coll_k) = if smoke {
+        (4usize, 12usize, 50_000usize, 10usize)
+    } else {
+        (4, 12, 400_000, 10)
+    };
+    eprintln!(
+        "perfsnap: collection bench ({coll_rich} rich + {coll_sparse} sparse shards, \
+         k = {coll_k}, {reps} reps)..."
+    );
+    let coll = collection_bench(coll_rich, coll_sparse, coll_bytes, coll_k, reps);
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!(
@@ -717,7 +834,7 @@ fn main() {
          \"steady\": {{\"requests\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}},\n    \
          \"overload\": {{\"clients\": {}, \"requests\": {}, \"served\": {}, \"shed\": {}, \
          \"shed_rate\": {:.4}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}},\n    \
-         \"conserved\": {}\n  }}\n",
+         \"conserved\": {}\n  }},\n",
         serve.workers,
         serve.max_inflight,
         serve.steady_requests,
@@ -731,6 +848,20 @@ fn main() {
         serve.overload_p50_ms,
         serve.overload_p99_ms,
         serve.conserved,
+    ));
+    json.push_str(&format!(
+        "  \"collection\": {{\n    \"shards_total\": {}, \"rich_shards\": {}, \"k\": {},\n    \
+         \"scan_all_wall_ms\": {:.3}, \"sharded_wall_ms\": {:.3}, \"speedup\": {:.3},\n    \
+         \"shards_visited\": {}, \"shards_pruned\": {}, \"answers_equivalent\": {}\n  }}\n",
+        coll.shards_total,
+        coll.rich_shards,
+        coll.k,
+        coll.scan_all_wall_ms,
+        coll.sharded_wall_ms,
+        coll.speedup(),
+        coll.shards_visited,
+        coll.shards_pruned,
+        coll.equivalent,
     ));
     json.push_str("}\n");
 
@@ -829,6 +960,19 @@ fn main() {
         serve.conserved,
     );
 
+    eprintln!(
+        "perfsnap: collection {} shards ({} rich): scan-all {:8.2} ms -> sharded {:8.2} ms \
+         ({:.2}x), visited {}, pruned {}, answers equivalent: {}",
+        coll.shards_total,
+        coll.rich_shards,
+        coll.scan_all_wall_ms,
+        coll.sharded_wall_ms,
+        coll.speedup(),
+        coll.shards_visited,
+        coll.shards_pruned,
+        coll.equivalent,
+    );
+
     if rows.iter().any(|r| !r.answers_identical) {
         eprintln!("perfsnap: FAIL — pooled and unpooled runs disagree");
         std::process::exit(1);
@@ -883,6 +1027,25 @@ fn main() {
             );
             std::process::exit(1);
         }
+    }
+
+    // Collection gates: pruning must fire on the skewed corpus, must
+    // not change the answer set, and must not cost wall time over the
+    // scan-all baseline (10 % headroom for noise).
+    if coll.shards_pruned == 0 {
+        eprintln!("perfsnap: FAIL — collection run pruned no shard on the skewed corpus");
+        std::process::exit(1);
+    }
+    if !coll.equivalent {
+        eprintln!("perfsnap: FAIL — sharded collection answers diverge from scan-all");
+        std::process::exit(1);
+    }
+    if coll.sharded_wall_ms > coll.scan_all_wall_ms * 1.10 {
+        eprintln!(
+            "perfsnap: FAIL — sharded collection {:.2} ms exceeds scan-all {:.2} ms by >10%",
+            coll.sharded_wall_ms, coll.scan_all_wall_ms
+        );
+        std::process::exit(1);
     }
 
     if smoke {

@@ -149,6 +149,7 @@ pub fn default_options(k: usize) -> EvalOptions {
         cancel: None,
         trace: false,
         threads: 1,
+        threshold_floor: 0.0,
     }
 }
 

@@ -1,4 +1,5 @@
-//! `whirlpool query` — run a top-k query against a document.
+//! `whirlpool query` — run a top-k query against a document or a
+//! multi-document collection.
 
 use crate::args::Parsed;
 use crate::commands::{load_document, load_query};
@@ -6,7 +7,8 @@ use crate::CliError;
 use std::io::Write;
 use std::time::Duration;
 use whirlpool_core::{
-    evaluate, Algorithm, EvalOptions, FaultPlan, QueuePolicy, RelaxMode, RoutingStrategy,
+    evaluate, evaluate_collection, Algorithm, Collection, CollectionOptions, EvalOptions,
+    FaultPlan, QueuePolicy, RelaxMode, RoutingStrategy,
 };
 use whirlpool_index::TagIndex;
 use whirlpool_pattern::StaticPlan;
@@ -29,15 +31,52 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
             "fault-seed",
             "trace-out",
             "threads",
+            "collection",
+            "split",
         ],
     )?;
-    let file = parsed.positional(0, "file.xml")?.to_string();
-    let query_src = parsed.positional(1, "query")?.to_string();
-    parsed.expect_positionals(2)?;
+    // Positional shapes: `<file.xml> <query>` (single document, the
+    // original form), `<file.xml>... <query>` (each file one shard), or
+    // `--collection <dir> <query>` (every document in the directory).
+    let collection_dir = parsed.value("collection").map(str::to_string);
+    let (files, query_src) = if collection_dir.is_some() {
+        (Vec::new(), parsed.positional(0, "query")?.to_string())
+    } else {
+        let n = parsed.positional_len();
+        if n < 2 {
+            // Reproduce the original error messages for the 0/1 cases.
+            parsed.positional(0, "file.xml")?;
+            parsed.positional(1, "query")?;
+            unreachable!("positional() errors when missing");
+        }
+        let files: Vec<String> = (0..n - 1)
+            .map(|i| parsed.positional(i, "file.xml").map(str::to_string))
+            .collect::<Result<_, _>>()?;
+        (files, parsed.positional(n - 1, "query")?.to_string())
+    };
+    if collection_dir.is_some() {
+        parsed.expect_positionals(1)?;
+    }
+    let split: Option<usize> = parsed
+        .value("split")
+        .map(|v| {
+            v.parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| CliError::Usage(format!("--split: not a positive number: {v:?}")))
+        })
+        .transpose()?;
+    let multi_doc =
+        collection_dir.is_some() || files.len() > 1 || (split.is_some() && files.len() == 1);
+    if split.is_some() && (collection_dir.is_some() || files.len() > 1) {
+        return Err(CliError::Usage(
+            "--split applies to a single document; it cannot combine with \
+             --collection or multiple files"
+                .to_string(),
+        ));
+    }
 
-    let doc = load_document(&file)?;
     let query = load_query(&query_src)?;
-    let index = TagIndex::build(&doc);
 
     let norm = match parsed.value("norm").unwrap_or("sparse") {
         "sparse" => Normalization::Sparse,
@@ -45,7 +84,6 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
         "none" => Normalization::None,
         other => return Err(CliError::Usage(format!("--norm: unknown {other:?}"))),
     };
-    let model = TfIdfModel::build(&doc, &index, &query, norm);
 
     let algorithm = match parsed.value("algorithm").unwrap_or("whirlpool-s") {
         "whirlpool-s" | "s" => Algorithm::WhirlpoolS,
@@ -128,7 +166,38 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
             }
             threads
         },
+        threshold_floor: 0.0,
     };
+
+    if multi_doc {
+        if options.fault_plan.is_some() || trace_out.is_some() || explain {
+            return Err(CliError::Usage(
+                "--fault, --trace-out, and --explain are per-document features; \
+                 they are not supported in collection mode"
+                    .to_string(),
+            ));
+        }
+        let collection = build_collection(collection_dir.as_deref(), &files, split)?;
+        let copts = CollectionOptions {
+            shard_pruning: !parsed.flag("no-shard-pruning"),
+            share_threshold: !parsed.flag("no-share-threshold"),
+            threads: options.threads,
+        };
+        return run_collection(
+            out,
+            &parsed,
+            &collection,
+            &query,
+            &algorithm,
+            &options,
+            norm,
+            &copts,
+        );
+    }
+
+    let doc = load_document(&files[0])?;
+    let index = TagIndex::build(&doc);
+    let model = TfIdfModel::build(&doc, &index, &query, norm);
 
     let result = evaluate(&doc, &index, &query, &model, &algorithm, &options);
 
@@ -219,6 +288,205 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
             write_explain(out, trace)?;
         }
     }
+    Ok(())
+}
+
+/// Assembles the collection: every XML/store file in `--collection`'s
+/// directory, the listed files (one shard each), or one document split
+/// into `--split N` subtree shards.
+fn build_collection(
+    dir: Option<&str>,
+    files: &[String],
+    split: Option<usize>,
+) -> Result<Collection, CliError> {
+    let mut collection = Collection::new();
+    if let Some(dir) = dir {
+        let entries = std::fs::read_dir(dir)
+            .map_err(|e| CliError::Usage(format!("--collection {dir}: {e}")))?;
+        let mut paths: Vec<std::path::PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.is_file()
+                    && matches!(
+                        p.extension().and_then(|e| e.to_str()),
+                        Some("xml") | Some("wpx")
+                    )
+            })
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            return Err(CliError::Usage(format!(
+                "--collection {dir}: no .xml or .wpx files found"
+            )));
+        }
+        for path in paths {
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("shard")
+                .to_string();
+            let doc = load_document(&path.to_string_lossy())?;
+            collection.add_document(name, doc);
+        }
+    } else if let Some(n) = split {
+        let doc = load_document(&files[0])?;
+        collection = Collection::split_document(&doc, n);
+    } else {
+        for file in files {
+            let name = std::path::Path::new(file)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or(file)
+                .to_string();
+            collection.add_document(name, load_document(file)?);
+        }
+    }
+    Ok(collection)
+}
+
+/// Runs and prints a collection query (the `--json` and human forms).
+#[allow(clippy::too_many_arguments)] // the single-document path's locals, bundled
+fn run_collection(
+    out: &mut dyn Write,
+    parsed: &Parsed,
+    collection: &Collection,
+    query: &whirlpool_pattern::TreePattern,
+    algorithm: &Algorithm,
+    options: &EvalOptions,
+    norm: Normalization,
+    copts: &CollectionOptions,
+) -> Result<(), CliError> {
+    let result = evaluate_collection(collection, query, algorithm, options, norm, copts);
+    let cm = &result.collection_metrics;
+
+    if parsed.flag("json") {
+        return write_collection_json(out, collection, query, algorithm, &result);
+    }
+
+    writeln!(out, "query:      {query}")?;
+    writeln!(out, "algorithm:  {}", algorithm.name())?;
+    writeln!(
+        out,
+        "collection: {} shards ({} visited, {} pruned, {} budget-skipped)",
+        cm.shards_total, cm.shards_visited, cm.shards_pruned, cm.shards_skipped_budget
+    )?;
+    match result.completeness {
+        whirlpool_core::Completeness::Exact => writeln!(out, "result:     exact")?,
+        whirlpool_core::Completeness::Truncated {
+            pending_matches,
+            score_bound,
+        } => writeln!(
+            out,
+            "result:     truncated ({pending_matches} matches unresolved, \
+             no missing answer can score above {score_bound:.4})"
+        )?,
+    }
+    writeln!(out, "answers:    {}", result.answers.len())?;
+    for (rank, a) in result.answers.iter().enumerate() {
+        let shard = &collection.shards()[a.shard];
+        write!(
+            out,
+            "  #{:<3} score {:<8.4} shard {:<12} node {:?}",
+            rank + 1,
+            a.score.value(),
+            shard.name(),
+            a.root
+        )?;
+        if let Some(id) = shard.doc().attribute(a.root, "id") {
+            write!(out, "  id={id}")?;
+        }
+        writeln!(out)?;
+        if parsed.flag("xml") {
+            let xml = write_node(
+                shard.doc(),
+                a.root,
+                &WriteOptions {
+                    indent: Some(2),
+                    declaration: false,
+                },
+            );
+            for line in xml.lines() {
+                writeln!(out, "      {line}")?;
+            }
+        }
+    }
+    writeln!(
+        out,
+        "work:       {} server ops ({} locate batches), {} comparisons, {} matches created, \
+         {} pruned",
+        result.metrics.server_ops,
+        result.metrics.server_op_batches,
+        result.metrics.predicate_comparisons,
+        result.metrics.partials_created,
+        result.metrics.pruned
+    )?;
+    writeln!(out, "elapsed:    {:?}", result.elapsed)?;
+    Ok(())
+}
+
+/// JSON form of a collection run; answers carry their shard name.
+fn write_collection_json(
+    out: &mut dyn Write,
+    collection: &Collection,
+    query: &whirlpool_pattern::TreePattern,
+    algorithm: &Algorithm,
+    result: &whirlpool_core::CollectionResult,
+) -> Result<(), CliError> {
+    writeln!(out, "{{")?;
+    writeln!(out, "  \"query\": \"{}\",", escape(&query.to_string()))?;
+    writeln!(out, "  \"algorithm\": \"{}\",", algorithm.name())?;
+    writeln!(out, "  \"result\": \"{}\",", result.completeness.label())?;
+    if let whirlpool_core::Completeness::Truncated {
+        pending_matches,
+        score_bound,
+    } = result.completeness
+    {
+        writeln!(out, "  \"pending_matches\": {pending_matches},")?;
+        writeln!(out, "  \"score_bound\": {score_bound:.6},")?;
+    }
+    let cm = &result.collection_metrics;
+    writeln!(
+        out,
+        "  \"collection\": {{\"shards_total\": {}, \"shards_visited\": {}, \
+         \"shards_pruned\": {}, \"shards_skipped_budget\": {}}},",
+        cm.shards_total, cm.shards_visited, cm.shards_pruned, cm.shards_skipped_budget
+    )?;
+    writeln!(
+        out,
+        "  \"elapsed_ms\": {:.3},",
+        result.elapsed.as_secs_f64() * 1e3
+    )?;
+    let m = &result.metrics;
+    writeln!(
+        out,
+        "  \"metrics\": {{\"server_ops\": {}, \"predicate_comparisons\": {}, \
+         \"partials_created\": {}, \"pruned\": {}}},",
+        m.server_ops, m.predicate_comparisons, m.partials_created, m.pruned
+    )?;
+    writeln!(out, "  \"answers\": [")?;
+    for (i, a) in result.answers.iter().enumerate() {
+        let comma = if i + 1 < result.answers.len() {
+            ","
+        } else {
+            ""
+        };
+        let shard = &collection.shards()[a.shard];
+        let id = shard
+            .doc()
+            .attribute(a.root, "id")
+            .map(|v| format!(", \"id\": \"{}\"", escape(v)))
+            .unwrap_or_default();
+        writeln!(
+            out,
+            "    {{\"rank\": {}, \"shard\": \"{}\", \"node\": {}, \"score\": {:.6}{id}}}{comma}",
+            i + 1,
+            escape(shard.name()),
+            a.root.index(),
+            a.score.value()
+        )?;
+    }
+    writeln!(out, "  ]")?;
+    writeln!(out, "}}")?;
     Ok(())
 }
 
@@ -320,6 +588,23 @@ fn write_explain(out: &mut dyn Write, trace: &whirlpool_core::TraceData) -> Resu
     Ok(())
 }
 
+/// JSON string escaping shared by the two emitters below.
+fn escape(s: &str) -> String {
+    let mut o = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => o.push_str("\\\""),
+            '\\' => o.push_str("\\\\"),
+            '\n' => o.push_str("\\n"),
+            '\t' => o.push_str("\\t"),
+            '\r' => o.push_str("\\r"),
+            c if (c as u32) < 0x20 => o.push_str(&format!("\\u{:04x}", c as u32)),
+            c => o.push(c),
+        }
+    }
+    o
+}
+
 /// Minimal JSON emitter (the approved dependency set has no serde_json;
 /// the output shape is small and fully controlled here).
 fn write_json(
@@ -329,22 +614,6 @@ fn write_json(
     algorithm: &Algorithm,
     result: &whirlpool_core::EvalResult,
 ) -> Result<(), CliError> {
-    fn escape(s: &str) -> String {
-        let mut o = String::with_capacity(s.len() + 2);
-        for c in s.chars() {
-            match c {
-                '"' => o.push_str("\\\""),
-                '\\' => o.push_str("\\\\"),
-                '\n' => o.push_str("\\n"),
-                '\t' => o.push_str("\\t"),
-                '\r' => o.push_str("\\r"),
-                c if (c as u32) < 0x20 => o.push_str(&format!("\\u{:04x}", c as u32)),
-                c => o.push(c),
-            }
-        }
-        o
-    }
-
     writeln!(out, "{{")?;
     writeln!(out, "  \"query\": \"{}\",", escape(&query.to_string()))?;
     writeln!(out, "  \"algorithm\": \"{}\",", algorithm.name())?;

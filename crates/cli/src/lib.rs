@@ -1,8 +1,9 @@
 //! The `whirlpool` command-line tool.
 //!
 //! ```text
-//! whirlpool query <file.xml> <query> [--k N] [--algorithm NAME] [--exact]
+//! whirlpool query <file.xml>... <query> [--k N] [--algorithm NAME] [--exact]
 //!                 [--routing NAME] [--queue NAME] [--norm NAME] [--xml]
+//!                 [--collection DIR] [--split N]
 //! whirlpool generate <out.xml> [--mb N | --items N] [--seed S]
 //! whirlpool stats <file.xml>
 //! whirlpool relax <query> [--limit N]
@@ -46,7 +47,9 @@ pub const HELP: &str = "\
 whirlpool — adaptive top-k XML query processor (ICDE 2005 reproduction)
 
 USAGE:
-  whirlpool query <file.xml> <query> [options]   run a top-k query
+  whirlpool query <file.xml>... <query> [options]  run a top-k query
+                     (several files, or --collection DIR, query a
+                     sharded corpus under one corpus-level idf model)
   whirlpool generate <out.xml> [options]         emit an XMark-like document
   whirlpool index <in.xml> <out.wpx>             precompile XML to a binary store
   whirlpool stats <file.xml>                     document statistics
@@ -83,6 +86,18 @@ QUERY OPTIONS:
   --explain          print a routing/pruning summary: where matches
                      went, what the alternatives scored, how the
                      threshold grew
+  --collection DIR   query every .xml/.wpx file in DIR as one corpus
+  --split N          split a single document into N subtree shards and
+                     query them as a collection
+  --threads N        collection mode: shard-level worker threads
+                     (single-document mode: Whirlpool-M workers)
+  --no-shard-pruning collection mode: visit every shard, even ones whose
+                     score ceiling cannot beat the global threshold
+  --no-share-threshold
+                     collection mode: do not seed shard runs with the
+                     global k-th score
+  (--fault/--trace-out/--explain are per-document and are rejected in
+  collection mode)
 
 GENERATE OPTIONS:
   --mb N             approximate serialized megabytes (default 1)
@@ -102,7 +117,9 @@ SERVE OPTIONS:
   Endpoints: GET /healthz, GET /metrics, POST /query with a JSON body
   {\"doc\": \"name\", \"query\": \"//a[./b]\", \"k\": 5, \"fault\": \"server=2:fail@10\"}
   (doc defaults to the only loaded document; documents are named by
-  file stem). Overloaded requests get 429 + Retry-After; degraded
+  file stem). {\"collection\": true} queries every loaded document as
+  one corpus (corpus-level idf, shard pruning; excludes \"doc\" and
+  \"fault\"). Overloaded requests get 429 + Retry-After; degraded
   answers carry the anytime certificate.
 
 Every command that reads a document accepts both XML files and binary

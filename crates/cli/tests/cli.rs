@@ -341,3 +341,111 @@ fn help_and_unknown_command() {
     assert!(out.contains("USAGE"), "{out}");
     assert!(run_err(&["bogus"]).contains("unknown command"));
 }
+
+/// Two shard files for collection-mode tests: one rich (full matches),
+/// one poor (title-only books).
+fn collection_files() -> (std::path::PathBuf, std::path::PathBuf) {
+    let rich = scratch("coll-rich.xml");
+    std::fs::write(
+        &rich,
+        "<shelf>\
+         <book id=\"r1\"><title>dune</title><isbn>1</isbn></book>\
+         <book id=\"r2\"><title>atlas</title><isbn>2</isbn></book>\
+         </shelf>",
+    )
+    .unwrap();
+    let poor = scratch("coll-poor.xml");
+    std::fs::write(
+        &poor,
+        "<shelf>\
+         <book id=\"p1\"><title>void</title></book>\
+         <book id=\"p2\"><title>blank</title></book>\
+         </shelf>",
+    )
+    .unwrap();
+    (rich, poor)
+}
+
+#[test]
+fn query_multiple_files_runs_a_collection() {
+    let (rich, poor) = collection_files();
+    let out = run_ok(&[
+        "query",
+        rich.to_str().unwrap(),
+        poor.to_str().unwrap(),
+        "//book[./title and ./isbn]",
+        "--k",
+        "2",
+    ]);
+    assert!(out.contains("collection: 2 shards"), "{out}");
+    assert!(out.contains("shard coll-rich"), "{out}");
+    assert!(out.contains("id=r1"), "{out}");
+    // k=2 filled by the rich shard's full matches: the poor shard's
+    // ceiling (title-only) cannot beat the threshold and is pruned.
+    assert!(out.contains("1 pruned"), "{out}");
+}
+
+#[test]
+fn query_collection_dir_and_json_shape() {
+    let (rich, poor) = collection_files();
+    let dir = rich.parent().unwrap().join("coll-dir");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::copy(&rich, dir.join("rich.xml")).unwrap();
+    std::fs::copy(&poor, dir.join("poor.xml")).unwrap();
+    let out = run_ok(&[
+        "query",
+        "--collection",
+        dir.to_str().unwrap(),
+        "//book[./title]",
+        "--k",
+        "4",
+        "--json",
+    ]);
+    assert!(
+        out.contains("\"collection\": {\"shards_total\": 2"),
+        "{out}"
+    );
+    assert!(out.contains("\"shard\": \"rich\""), "{out}");
+    assert!(out.contains("\"shard\": \"poor\""), "{out}");
+    assert!(out.trim_start().starts_with('{'), "{out}");
+    assert!(out.trim_end().ends_with('}'), "{out}");
+}
+
+#[test]
+fn query_split_shards_one_document() {
+    let file = sample_file();
+    let out = run_ok(&[
+        "query",
+        file.to_str().unwrap(),
+        "//book[./title]",
+        "--split",
+        "3",
+        "--k",
+        "3",
+    ]);
+    assert!(out.contains("collection: 3 shards"), "{out}");
+    assert!(out.contains("shard split-0"), "{out}");
+}
+
+#[test]
+fn query_collection_rejects_per_document_features() {
+    let (rich, poor) = collection_files();
+    let err = run_err(&[
+        "query",
+        rich.to_str().unwrap(),
+        poor.to_str().unwrap(),
+        "//book[./title]",
+        "--fault",
+        "server=1:fail@0",
+    ]);
+    assert!(err.contains("collection mode"), "{err}");
+    let err = run_err(&[
+        "query",
+        "--split",
+        "2",
+        "--collection",
+        "somewhere",
+        "//book[./title]",
+    ]);
+    assert!(err.contains("--split"), "{err}");
+}

@@ -1,0 +1,891 @@
+//! Collection-level (sharded) top-k evaluation.
+//!
+//! A [`Collection`] holds many documents — separate files, or subtree
+//! shards split off one large document — and answers one top-k query
+//! over all of them as if they were a single corpus:
+//!
+//! * **Corpus-level idf.** Scores come from one
+//!   [`CorpusStats`]-derived weight table pooled over every shard, so
+//!   an answer's score (and therefore its rank) does not depend on
+//!   which shard holds it.
+//! * **Global threshold sharing.** Shards are evaluated
+//!   most-promising-first; each per-shard engine run is seeded with
+//!   the current global k-th score as its pruning-threshold *floor*
+//!   ([`EvalOptions::threshold_floor`]), so a late shard prunes
+//!   against the best answers of every shard already done.
+//! * **Shard pruning.** Before a shard is evaluated at all, its score
+//!   *ceiling* — an upper bound derived from the per-shard
+//!   [`ShardSynopsis`] — is compared against the global threshold. A
+//!   shard whose ceiling cannot beat the current k-th answer is
+//!   skipped without touching its postings. The ceiling never
+//!   under-estimates (see [`Collection::shard_ceiling`]), so pruning
+//!   never drops a true top-k answer.
+//!
+//! Both optimizations are individually switchable
+//! ([`CollectionOptions`]); with both off the driver degrades to a
+//! naive scan of every shard, which the benchmarks use as the
+//! comparison baseline.
+
+use crate::context::{ContextOptions, QueryContext, RelaxMode};
+use crate::engine::{evaluate_with_context, Algorithm, EvalOptions};
+use crate::error::Completeness;
+use crate::metrics::MetricsSnapshot;
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+use whirlpool_index::{ShardSynopsis, TagIndex};
+use whirlpool_pattern::{TreePattern, WILDCARD};
+use whirlpool_score::{CorpusStats, Normalization, Score, TfIdfModel};
+use whirlpool_xml::{parse_document, write_node, Document, NodeId, ParseError, WriteOptions};
+
+/// One member of a [`Collection`]: a document with its index and
+/// synopsis, built once at load time.
+pub struct Shard {
+    name: String,
+    doc: Document,
+    index: TagIndex,
+    synopsis: ShardSynopsis,
+}
+
+impl Shard {
+    /// The shard's display name (file name, or `split-NNN` for subtree
+    /// shards).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shard's document.
+    pub fn doc(&self) -> &Document {
+        &self.doc
+    }
+
+    /// The shard's tag index.
+    pub fn index(&self) -> &TagIndex {
+        &self.index
+    }
+
+    /// The shard's pruning synopsis.
+    pub fn synopsis(&self) -> &ShardSynopsis {
+        &self.synopsis
+    }
+}
+
+/// A multi-document corpus queried as one unit.
+#[derive(Default)]
+pub struct Collection {
+    shards: Vec<Shard>,
+}
+
+impl Collection {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Collection::default()
+    }
+
+    /// Adds a parsed document as one shard, building its index and
+    /// synopsis.
+    pub fn add_document(&mut self, name: impl Into<String>, doc: Document) {
+        let index = TagIndex::build(&doc);
+        let synopsis = ShardSynopsis::build(&doc);
+        self.shards.push(Shard {
+            name: name.into(),
+            doc,
+            index,
+            synopsis,
+        });
+    }
+
+    /// Parses `src` and adds it as one shard.
+    pub fn add_source(&mut self, name: impl Into<String>, src: &str) -> Result<(), ParseError> {
+        let doc = parse_document(src)?;
+        self.add_document(name, doc);
+        Ok(())
+    }
+
+    /// Splits one large document into (up to) `shards` subtree shards.
+    ///
+    /// The split point is the first element, walking down from the
+    /// document element through single-child links, that has more than
+    /// one child: its children are chunked contiguously, and each
+    /// chunk is re-wrapped in the full chain of ancestor tags, so tag
+    /// paths in the shards match the unsplit document. An XMark
+    /// `<site><regions>…</regions></site>` document therefore splits
+    /// at the region containers inside `<regions>`, not at `<site>`
+    /// (which always has exactly one child and would yield one shard).
+    /// Fewer shards come back when the split point has fewer children
+    /// than requested. Attributes on the wrapper-chain elements are
+    /// not carried over — patterns returning those elements themselves
+    /// should query the unsplit document instead.
+    pub fn split_document(doc: &Document, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let mut collection = Collection::new();
+        let root = doc.document_root();
+        let Some(top) = doc.children(root).next() else {
+            return collection;
+        };
+        // Descend through single-child links to the real fanout point,
+        // recording the wrapper tags passed on the way.
+        let mut chain = vec![doc.tag_str(top).to_string()];
+        let mut split_at = top;
+        loop {
+            let mut kids = doc.children(split_at);
+            match (kids.next(), kids.next()) {
+                (Some(only), None) => {
+                    chain.push(doc.tag_str(only).to_string());
+                    split_at = only;
+                }
+                _ => break,
+            }
+        }
+        let children: Vec<NodeId> = doc.children(split_at).collect();
+        if children.is_empty() {
+            // A childless chain end cannot be split; round-trip the
+            // whole document into a single shard.
+            let src = whirlpool_xml::write_document(doc, &WriteOptions::default());
+            let shard_doc = parse_document(&src).expect("round-tripped document must re-parse");
+            collection.add_document("split-000", shard_doc);
+            return collection;
+        }
+        let opts = WriteOptions::default();
+        let per = children.len().div_ceil(shards);
+        for (i, chunk) in children.chunks(per).enumerate() {
+            let mut src = String::new();
+            for tag in &chain {
+                src.push_str(&format!("<{tag}>"));
+            }
+            for &child in chunk {
+                src.push_str(&write_node(doc, child, &opts));
+            }
+            for tag in chain.iter().rev() {
+                src.push_str(&format!("</{tag}>"));
+            }
+            let shard_doc = parse_document(&src).expect("serialized subtree chunk must re-parse");
+            collection.add_document(format!("split-{i:03}"), shard_doc);
+        }
+        collection
+    }
+
+    /// The shards, in insertion order. [`CollectionAnswer::shard`]
+    /// indexes into this slice.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Is the collection empty?
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Pools document-frequency counts over every shard (see
+    /// [`CorpusStats`]). Callers derive the corpus score model from the
+    /// result; [`evaluate_collection`] does this internally.
+    pub fn corpus_stats(&self, pattern: &TreePattern) -> CorpusStats {
+        let answer_tag = &pattern.node(pattern.root()).tag;
+        let mut stats = CorpusStats::new(pattern);
+        for shard in &self.shards {
+            stats.add_shard(&shard.doc, &shard.index, answer_tag);
+        }
+        stats
+    }
+
+    /// The score ceiling of shard `shard_idx` for `pattern` under
+    /// `model` — see [`shard_ceiling`], which this delegates to with
+    /// the shard's own synopsis.
+    pub fn shard_ceiling(
+        &self,
+        shard_idx: usize,
+        pattern: &TreePattern,
+        model: &TfIdfModel,
+        relax: RelaxMode,
+    ) -> Option<Score> {
+        shard_ceiling(&self.shards[shard_idx].synopsis, pattern, model, relax)
+    }
+}
+
+/// The score *ceiling* of a shard summarized by `synopsis`, for
+/// `pattern` under `model`: an upper bound on what any answer rooted in
+/// the shard can score. `None` means the shard provably holds no answer
+/// at all (its ceiling is −∞, so it can always be skipped).
+///
+/// The bound mirrors the engines' initial `max_final`
+/// (root maximum plus the sum of per-server maxima) with one
+/// synopsis-driven improvement: a server whose tag has **zero**
+/// elements in the shard can only ever bind the outer-join null,
+/// contributing zero, so its maximum drops out of the sum.
+/// Wildcard servers always count. This never under-estimates —
+/// every term kept is a true per-server upper bound and every term
+/// dropped is exactly zero in this shard — which is the invariant
+/// shard pruning relies on.
+///
+/// In exact mode a server with an absent tag cannot bind anything
+/// (inner-join semantics), so *any* absent server tag — not just
+/// the answer tag — empties the shard.
+///
+/// This is a free function (rather than only a [`Collection`] method)
+/// so callers that hold their shards in their own structures — the
+/// serve daemon's document registry, for instance — can run the same
+/// pruning rule without rebuilding a `Collection`.
+pub fn shard_ceiling(
+    synopsis: &ShardSynopsis,
+    pattern: &TreePattern,
+    model: &TfIdfModel,
+    relax: RelaxMode,
+) -> Option<Score> {
+    use whirlpool_score::ScoreModel;
+    let answer_tag = pattern.node(pattern.root()).tag.as_str();
+    if answer_tag != WILDCARD && !synopsis.has_tag(answer_tag) {
+        return None;
+    }
+    let mut total = model.max_root_contribution();
+    for s in pattern.server_ids() {
+        let tag = pattern.node(s).tag.as_str();
+        if tag == WILDCARD || synopsis.has_tag(tag) {
+            total += model.max_contribution(s);
+        } else if relax == RelaxMode::Exact {
+            return None;
+        }
+    }
+    Some(Score::new(total))
+}
+
+/// Collection-driver knobs, on top of the per-shard [`EvalOptions`].
+#[derive(Debug, Clone)]
+pub struct CollectionOptions {
+    /// Skip shards whose ceiling cannot beat the global threshold.
+    pub shard_pruning: bool,
+    /// Seed each shard run's pruning threshold with the current global
+    /// k-th score.
+    pub share_threshold: bool,
+    /// Shard-level worker threads. Workers claim shards from a shared
+    /// cursor (most-promising-first); per-shard engine runs are forced
+    /// to a single thread when this exceeds one, so the two levels of
+    /// parallelism do not oversubscribe.
+    pub threads: usize,
+}
+
+impl Default for CollectionOptions {
+    /// Both optimizations on, single-threaded.
+    fn default() -> Self {
+        CollectionOptions {
+            shard_pruning: true,
+            share_threshold: true,
+            threads: 1,
+        }
+    }
+}
+
+impl CollectionOptions {
+    /// The naive baseline: every shard visited, no threshold sharing.
+    pub fn scan_all() -> Self {
+        CollectionOptions {
+            shard_pruning: false,
+            share_threshold: false,
+            threads: 1,
+        }
+    }
+
+    /// Sets the shard-level worker count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+/// One answer of a collection query: which shard, which node, what
+/// score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectionAnswer {
+    /// Index into [`Collection::shards`].
+    pub shard: usize,
+    /// The answer node, in its shard's id space.
+    pub root: NodeId,
+    /// The corpus-model score.
+    pub score: Score,
+}
+
+/// Shard-level accounting of one collection run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectionMetrics {
+    /// Shards in the collection.
+    pub shards_total: usize,
+    /// Shards actually evaluated.
+    pub shards_visited: usize,
+    /// Shards skipped because their ceiling could not beat the global
+    /// threshold (or they provably held no answer).
+    pub shards_pruned: usize,
+    /// Shards skipped because the deadline expired before they were
+    /// claimed.
+    pub shards_skipped_budget: usize,
+}
+
+/// The outcome of one collection query.
+#[derive(Debug, Clone)]
+pub struct CollectionResult {
+    /// Top-k answers across all shards, best first.
+    pub answers: Vec<CollectionAnswer>,
+    /// Exact, or an anytime prefix (deadline expiry inside or between
+    /// shards). Shard pruning alone never truncates a result.
+    pub completeness: Completeness,
+    /// Shard-level accounting.
+    pub collection_metrics: CollectionMetrics,
+    /// Engine counters summed over every visited shard.
+    pub metrics: MetricsSnapshot,
+    /// Wall-clock time of the whole collection run.
+    pub elapsed: Duration,
+}
+
+/// The cross-shard top-k: best-per-(shard, root) scoreboard plus a
+/// lock-free threshold snapshot, mirroring
+/// [`SharedTopK`](crate::SharedTopK) but keyed by shard so node ids
+/// from different documents cannot collide.
+struct GlobalTopK {
+    k: usize,
+    /// (score, shard, root), ascending.
+    ordered: Mutex<BTreeSet<(Score, usize, NodeId)>>,
+    /// `f64::to_bits` of the last published threshold (monotone).
+    threshold_bits: AtomicU64,
+}
+
+impl GlobalTopK {
+    fn new(k: usize) -> Self {
+        GlobalTopK {
+            k,
+            ordered: Mutex::new(BTreeSet::new()),
+            threshold_bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+
+    /// The last published global k-th score (zero until k answers
+    /// exist). Monotone non-decreasing, so stale reads are
+    /// conservative — exactly like the engine-level snapshot.
+    fn threshold(&self) -> Score {
+        Score::new(f64::from_bits(self.threshold_bits.load(Ordering::Relaxed)))
+    }
+
+    /// Merges one shard's ranked answers, then publishes the new
+    /// threshold.
+    fn merge(&self, shard: usize, answers: &[crate::topk::RankedAnswer]) {
+        let mut set = self.ordered.lock();
+        for a in answers {
+            set.insert((a.score, shard, a.root));
+            if set.len() > self.k {
+                let weakest = *set.iter().next().expect("non-empty");
+                set.remove(&weakest);
+            }
+        }
+        if set.len() == self.k {
+            if let Some(&(s, _, _)) = set.iter().next() {
+                self.threshold_bits
+                    .store(s.value().to_bits(), Ordering::Release);
+            }
+        }
+    }
+
+    fn into_ranked(self) -> Vec<CollectionAnswer> {
+        self.ordered
+            .into_inner()
+            .into_iter()
+            .rev()
+            .map(|(score, shard, root)| CollectionAnswer { shard, root, score })
+            .collect()
+    }
+}
+
+/// Evaluates `pattern` over every shard of `collection` and returns the
+/// corpus-wide top-k.
+///
+/// Scores come from the corpus-level model
+/// ([`Collection::corpus_stats`]) built with `normalization`. Shards
+/// are visited ceiling-descending; `options` configures the per-shard
+/// engine runs (its `k`, `relax`, deadline, etc. — `threads` is
+/// overridden per [`CollectionOptions::threads`], and
+/// `threshold_floor` is owned by the driver). A deadline in `options`
+/// bounds the *whole* collection run: each shard gets the remaining
+/// time, and shards the deadline overruns are accounted into the
+/// truncation certificate by their ceilings.
+pub fn evaluate_collection(
+    collection: &Collection,
+    pattern: &TreePattern,
+    algorithm: &Algorithm,
+    options: &EvalOptions,
+    normalization: Normalization,
+    copts: &CollectionOptions,
+) -> CollectionResult {
+    let start = Instant::now();
+    let model = collection.corpus_stats(pattern).model(normalization);
+
+    // Ceiling-descending visit order: rich shards first, so the global
+    // threshold rises as fast as possible. `None` ceilings (provably
+    // answer-free shards) sort last.
+    let mut order: Vec<(usize, Option<Score>)> = (0..collection.len())
+        .map(|i| {
+            (
+                i,
+                collection.shard_ceiling(i, pattern, &model, options.relax),
+            )
+        })
+        .collect();
+    order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let global = GlobalTopK::new(options.k);
+    let cursor = AtomicUsize::new(0);
+    let pruned = AtomicUsize::new(0);
+    let visited = AtomicUsize::new(0);
+    let budget_skipped = AtomicUsize::new(0);
+    let truncated = Mutex::new(TruncationFold::default());
+    let metrics = Mutex::new(MetricsSnapshot::default());
+
+    let workers = copts.threads.max(1).min(collection.len().max(1));
+    let worker = |_w: usize| loop {
+        let at = cursor.fetch_add(1, Ordering::Relaxed);
+        if at >= order.len() {
+            break;
+        }
+        let (shard_idx, ceiling) = order[at];
+
+        // Deadline first: an expired collection budget skips the shard
+        // and certifies the skip with the shard's ceiling.
+        let remaining = options.deadline.map(|d| d.saturating_sub(start.elapsed()));
+        if remaining == Some(Duration::ZERO) {
+            budget_skipped.fetch_add(1, Ordering::Relaxed);
+            let bound = ceiling.map_or(0.0, |c| c.value());
+            truncated.lock().expired(1, bound);
+            continue;
+        }
+
+        if copts.shard_pruning {
+            // Strict `<`, matching the engines: a shard that can only
+            // tie the k-th answer may still contribute a valid tie.
+            let skip = match ceiling {
+                None => true,
+                Some(c) => c < global.threshold(),
+            };
+            if skip {
+                pruned.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+        }
+
+        let shard = &collection.shards()[shard_idx];
+        let mut shard_opts = options.clone();
+        shard_opts.deadline = remaining;
+        shard_opts.trace = false;
+        if workers > 1 {
+            shard_opts.threads = 1;
+        }
+        if copts.share_threshold {
+            shard_opts.threshold_floor = global.threshold().value();
+        }
+        let ctx = QueryContext::new(
+            &shard.doc,
+            &shard.index,
+            pattern,
+            &model,
+            ContextOptions {
+                relax: options.relax,
+                selectivity_sample: options.selectivity_sample,
+                op_cost: options.op_cost,
+                pooling: options.pooling,
+                op_batching: options.op_batching,
+            },
+        );
+        let result = evaluate_with_context(&ctx, algorithm, &shard_opts);
+        visited.fetch_add(1, Ordering::Relaxed);
+        global.merge(shard_idx, &result.answers);
+        metrics.lock().absorb(&result.metrics);
+        if let Completeness::Truncated {
+            pending_matches,
+            score_bound,
+        } = result.completeness
+        {
+            truncated.lock().expired(pending_matches, score_bound);
+        }
+    };
+
+    if workers <= 1 {
+        worker(0);
+    } else {
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                scope.spawn(move || worker(w));
+            }
+        });
+    }
+
+    let answers = global.into_ranked();
+    let completeness = truncated.into_inner().finish(&answers);
+    CollectionResult {
+        answers,
+        completeness,
+        collection_metrics: CollectionMetrics {
+            shards_total: collection.len(),
+            shards_visited: visited.into_inner(),
+            shards_pruned: pruned.into_inner(),
+            shards_skipped_budget: budget_skipped.into_inner(),
+        },
+        metrics: metrics.into_inner(),
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Folds per-shard truncation certificates (and budget-skipped shard
+/// ceilings) into one collection-level [`Completeness`].
+#[derive(Default)]
+struct TruncationFold {
+    truncated: bool,
+    pending: u64,
+    bound: f64,
+}
+
+impl TruncationFold {
+    fn expired(&mut self, pending: u64, bound: f64) {
+        self.truncated = true;
+        self.pending += pending;
+        self.bound = self.bound.max(bound);
+    }
+
+    fn finish(self, answers: &[CollectionAnswer]) -> Completeness {
+        if !self.truncated {
+            return Completeness::Exact;
+        }
+        let mut bound = self.bound;
+        if let Some(best) = answers.first() {
+            bound = bound.max(best.score.value());
+        }
+        Completeness::Truncated {
+            pending_matches: self.pending,
+            score_bound: bound,
+        }
+    }
+}
+
+/// Are two collection answer lists equivalent as top-k results? The
+/// cross-shard analog of
+/// [`answers_equivalent`](crate::answers_equivalent): score vectors
+/// must agree pairwise within `epsilon`, interior tie groups must hold
+/// the same `(shard, root)` sets, and a tie group cut off by the k
+/// boundary may resolve to different members.
+pub fn collection_answers_equivalent(
+    a: &[CollectionAnswer],
+    b: &[CollectionAnswer],
+    epsilon: f64,
+) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    for (x, y) in a.iter().zip(b) {
+        if (x.score.value() - y.score.value()).abs() > epsilon {
+            return false;
+        }
+    }
+    let mut i = 0;
+    while i < a.len() {
+        let mut j = i + 1;
+        while j < a.len() && (a[j].score.value() - a[i].score.value()).abs() <= epsilon {
+            j += 1;
+        }
+        if j < a.len() {
+            let mut ra: Vec<(usize, NodeId)> = a[i..j].iter().map(|r| (r.shard, r.root)).collect();
+            let mut rb: Vec<(usize, NodeId)> = b[i..j].iter().map(|r| (r.shard, r.root)).collect();
+            ra.sort_unstable();
+            rb.sort_unstable();
+            if ra != rb {
+                return false;
+            }
+        }
+        i = j;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RICH: &str = "<shelf>\
+        <book><title>dune</title><isbn>1</isbn><price>9</price></book>\
+        <book><title>atlas</title><isbn>2</isbn><price>7</price></book>\
+        <book><title>hyperion</title><isbn>3</isbn></book>\
+        </shelf>";
+    const MID: &str = "<shelf>\
+        <book><title>solaris</title><isbn>4</isbn></book>\
+        <book><title>ubik</title></book>\
+        </shelf>";
+    /// Books without isbn or price: ceiling below any full match.
+    const POOR: &str = "<shelf>\
+        <book><title>void</title></book>\
+        <book><title>blank</title></book>\
+        <book><title>empty</title></book>\
+        </shelf>";
+    /// No books at all: provably answer-free.
+    const EMPTY: &str = "<shelf><cd><title>x</title></cd></shelf>";
+
+    const QUERY: &str = "//book[./title and ./isbn and ./price]";
+
+    fn sample() -> Collection {
+        let mut c = Collection::new();
+        c.add_source("rich", RICH).unwrap();
+        c.add_source("mid", MID).unwrap();
+        c.add_source("poor", POOR).unwrap();
+        c.add_source("empty", EMPTY).unwrap();
+        c
+    }
+
+    fn q() -> TreePattern {
+        whirlpool_pattern::parse_pattern(QUERY).unwrap()
+    }
+
+    #[test]
+    fn ceiling_drops_absent_servers_and_never_underestimates() {
+        let c = sample();
+        let pattern = q();
+        let model = c.corpus_stats(&pattern).model(Normalization::None);
+        let full = c
+            .shard_ceiling(0, &pattern, &model, RelaxMode::Relaxed)
+            .unwrap();
+        let poor = c
+            .shard_ceiling(2, &pattern, &model, RelaxMode::Relaxed)
+            .unwrap();
+        assert!(poor < full, "missing isbn+price must lower the ceiling");
+        // No book node anywhere: provably answer-free.
+        assert_eq!(
+            c.shard_ceiling(3, &pattern, &model, RelaxMode::Relaxed),
+            None
+        );
+        // Exact mode: a missing server tag empties the shard outright.
+        assert_eq!(c.shard_ceiling(2, &pattern, &model, RelaxMode::Exact), None);
+        // The ceiling dominates every actually-achieved score.
+        let result = evaluate_collection(
+            &c,
+            &pattern,
+            &Algorithm::WhirlpoolS,
+            &EvalOptions::top_k(10),
+            Normalization::None,
+            &CollectionOptions::scan_all(),
+        );
+        for a in &result.answers {
+            let ceil = c
+                .shard_ceiling(a.shard, &pattern, &model, RelaxMode::Relaxed)
+                .expect("answer-bearing shard has a ceiling");
+            assert!(a.score <= ceil, "{:?} above ceiling {ceil:?}", a);
+        }
+    }
+
+    #[test]
+    fn pruned_run_matches_scan_all() {
+        let c = sample();
+        let pattern = q();
+        for algorithm in [
+            Algorithm::LockStep,
+            Algorithm::WhirlpoolS,
+            Algorithm::WhirlpoolM { processors: None },
+        ] {
+            let naive = evaluate_collection(
+                &c,
+                &pattern,
+                &algorithm,
+                &EvalOptions::top_k(3),
+                Normalization::Sparse,
+                &CollectionOptions::scan_all(),
+            );
+            let pruned = evaluate_collection(
+                &c,
+                &pattern,
+                &algorithm,
+                &EvalOptions::top_k(3),
+                Normalization::Sparse,
+                &CollectionOptions::default(),
+            );
+            assert!(
+                collection_answers_equivalent(&naive.answers, &pruned.answers, 1e-9),
+                "{algorithm:?}: {:?} vs {:?}",
+                naive.answers,
+                pruned.answers,
+            );
+            assert_eq!(naive.collection_metrics.shards_visited, 4);
+            assert_eq!(naive.collection_metrics.shards_pruned, 0);
+            // The answer-free shard is always pruned; with k=3 filled
+            // by rich answers the poor shard should fall too.
+            assert!(pruned.collection_metrics.shards_pruned >= 1);
+            assert!(matches!(naive.completeness, Completeness::Exact));
+            assert!(matches!(pruned.completeness, Completeness::Exact));
+        }
+    }
+
+    #[test]
+    fn multi_worker_matches_single_worker() {
+        let c = sample();
+        let pattern = q();
+        let single = evaluate_collection(
+            &c,
+            &pattern,
+            &Algorithm::WhirlpoolS,
+            &EvalOptions::top_k(4),
+            Normalization::Sparse,
+            &CollectionOptions::default(),
+        );
+        for threads in [2, 4, 8] {
+            let multi = evaluate_collection(
+                &c,
+                &pattern,
+                &Algorithm::WhirlpoolS,
+                &EvalOptions::top_k(4),
+                Normalization::Sparse,
+                &CollectionOptions::default().with_threads(threads),
+            );
+            assert!(
+                collection_answers_equivalent(&single.answers, &multi.answers, 1e-9),
+                "threads={threads}: {:?} vs {:?}",
+                single.answers,
+                multi.answers,
+            );
+        }
+    }
+
+    #[test]
+    fn split_document_covers_the_original() {
+        let doc = parse_document(RICH).unwrap();
+        let c = Collection::split_document(&doc, 2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(
+            c.shards()
+                .iter()
+                .map(|s| s.synopsis().tag_count("book"))
+                .sum::<u64>(),
+            3
+        );
+        let pattern = q();
+        let split_run = evaluate_collection(
+            &c,
+            &pattern,
+            &Algorithm::WhirlpoolS,
+            &EvalOptions::top_k(3),
+            Normalization::None,
+            &CollectionOptions::default(),
+        );
+        // The unsplit document under its own (per-document == corpus,
+        // single doc) model gives the same score vector.
+        let mut whole = Collection::new();
+        whole.add_document("whole", doc);
+        let whole_run = evaluate_collection(
+            &whole,
+            &pattern,
+            &Algorithm::WhirlpoolS,
+            &EvalOptions::top_k(3),
+            Normalization::None,
+            &CollectionOptions::scan_all(),
+        );
+        let a: Vec<f64> = split_run.answers.iter().map(|r| r.score.value()).collect();
+        let b: Vec<f64> = whole_run.answers.iter().map(|r| r.score.value()).collect();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn oversplit_clamps_to_child_count() {
+        let doc = parse_document(MID).unwrap();
+        let c = Collection::split_document(&doc, 64);
+        assert_eq!(c.len(), 2, "one shard per child, no empties");
+    }
+
+    #[test]
+    fn split_descends_through_single_child_wrappers() {
+        // XMark shape: the document element has exactly one child, and
+        // the real fanout sits a level below. The split must happen at
+        // the fanout point, with every shard re-wrapped in the full
+        // <site><regions> chain so tag paths are unchanged.
+        let doc = parse_document(
+            "<site><regions>\
+             <namerica><item><name>a</name></item></namerica>\
+             <europe><item><name>b</name></item></europe>\
+             <asia><item><name>c</name></item></asia>\
+             </regions></site>",
+        )
+        .unwrap();
+        let c = Collection::split_document(&doc, 3);
+        assert_eq!(c.len(), 3, "split at the fanout level, not at <site>");
+        for shard in c.shards() {
+            assert_eq!(shard.synopsis().tag_count("site"), 1);
+            assert_eq!(shard.synopsis().tag_count("regions"), 1);
+            assert_eq!(shard.synopsis().tag_count("item"), 1);
+        }
+        let pattern = whirlpool_pattern::parse_pattern("//item[./name]").unwrap();
+        let run = evaluate_collection(
+            &c,
+            &pattern,
+            &Algorithm::WhirlpoolS,
+            &EvalOptions::top_k(10),
+            Normalization::None,
+            &CollectionOptions::default(),
+        );
+        assert_eq!(run.answers.len(), 3, "all items survive the split");
+    }
+
+    #[test]
+    fn zero_deadline_truncates_and_certifies() {
+        let c = sample();
+        let pattern = q();
+        let mut options = EvalOptions::top_k(3);
+        options.deadline = Some(Duration::ZERO);
+        let result = evaluate_collection(
+            &c,
+            &pattern,
+            &Algorithm::WhirlpoolS,
+            &options,
+            Normalization::Sparse,
+            &CollectionOptions::scan_all(),
+        );
+        assert!(result.answers.is_empty());
+        assert_eq!(result.collection_metrics.shards_visited, 0);
+        assert_eq!(result.collection_metrics.shards_skipped_budget, 4);
+        match result.completeness {
+            Completeness::Truncated {
+                pending_matches,
+                score_bound,
+            } => {
+                assert_eq!(pending_matches, 4);
+                assert!(score_bound > 0.0, "skipped ceilings certify the bound");
+            }
+            c => panic!("expected truncation, got {c:?}"),
+        }
+    }
+
+    #[test]
+    fn equivalence_is_shard_aware() {
+        let a = vec![
+            CollectionAnswer {
+                shard: 0,
+                root: NodeId::from_index(1),
+                score: Score::new(2.0),
+            },
+            CollectionAnswer {
+                shard: 1,
+                root: NodeId::from_index(1),
+                score: Score::new(1.0),
+            },
+        ];
+        // Same node ids, different shard assignment in the interior:
+        // not equivalent.
+        let mut b = a.clone();
+        b[0].shard = 1;
+        b[1].shard = 0;
+        assert!(!collection_answers_equivalent(&a, &b, 1e-9));
+        assert!(collection_answers_equivalent(&a, &a.clone(), 1e-9));
+        // Tail tie may swap members.
+        let mut c = a.clone();
+        c[1] = CollectionAnswer {
+            shard: 3,
+            root: NodeId::from_index(9),
+            score: Score::new(1.0),
+        };
+        assert!(collection_answers_equivalent(&a, &c, 1e-9));
+    }
+}

@@ -112,6 +112,13 @@ pub struct EvalOptions {
     /// implement the paper's §7 "maximal parallelism" future-work
     /// proposal. Ignored by the other engines.
     pub threads: usize,
+    /// Lower bound seeded into the run's top-k pruning threshold.
+    /// `0.0` (the default) is inert. The collection driver sets this to
+    /// the current *global* k-th score before evaluating a shard, so
+    /// the shard prunes against every shard already evaluated; sound
+    /// because the global threshold only rises, so anything pruned
+    /// against the floor scores strictly below the final k-th answer.
+    pub threshold_floor: f64,
 }
 
 impl EvalOptions {
@@ -134,6 +141,7 @@ impl EvalOptions {
             cancel: None,
             trace: false,
             threads: 1,
+            threshold_floor: 0.0,
         }
     }
 }
@@ -222,6 +230,10 @@ pub fn evaluate_with_context(
         options.fault_plan.as_ref(),
         ctx.pattern.len(),
     );
+    if options.threshold_floor > 0.0 {
+        control =
+            control.with_threshold_floor(whirlpool_score::Score::new(options.threshold_floor));
+    }
     let tracer = options.trace.then(crate::trace::Tracer::new);
     if let Some(t) = &tracer {
         control = control.with_tracer(t.clone());

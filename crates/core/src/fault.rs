@@ -346,6 +346,10 @@ pub struct RunControl {
     /// Precomputed mid-operation check, `Some` iff the budget carries a
     /// deadline or a cancel token (op budgets stay at pop granularity).
     interrupt: Option<OpInterrupt>,
+    /// Lower bound seeded into the run's top-k threshold (see
+    /// [`TopKSet::with_floor`](crate::TopKSet::with_floor)). Zero —
+    /// i.e. inert — outside collection runs.
+    threshold_floor: Score,
 }
 
 impl RunControl {
@@ -356,6 +360,7 @@ impl RunControl {
             faults: None,
             tracer: None,
             interrupt: None,
+            threshold_floor: Score::ZERO,
         }
     }
 
@@ -375,6 +380,7 @@ impl RunControl {
             faults: plan.map(|p| FaultState::new(p, query_len)),
             tracer: None,
             interrupt,
+            threshold_floor: Score::ZERO,
         }
     }
 
@@ -383,6 +389,24 @@ impl RunControl {
     pub fn with_tracer(mut self, tracer: crate::trace::Tracer) -> Self {
         self.tracer = Some(tracer);
         self
+    }
+
+    /// Seeds the run's top-k threshold with an external lower bound:
+    /// the engines build their top-k set with this floor, so pruning
+    /// starts from it instead of from zero. The collection driver
+    /// passes the current *global* k-th score when evaluating a shard.
+    /// Sound because the caller guarantees no answer scoring strictly
+    /// below the floor can enter the final result (the global
+    /// threshold is monotone non-decreasing).
+    pub fn with_threshold_floor(mut self, floor: Score) -> Self {
+        self.threshold_floor = floor;
+        self
+    }
+
+    /// The seeded top-k threshold floor (zero unless set).
+    #[inline]
+    pub fn threshold_floor(&self) -> Score {
+        self.threshold_floor
     }
 
     /// Is a tracer attached (and tracing compiled in)? Engines use this
@@ -425,7 +449,7 @@ impl RunControl {
     /// Counts the stop that just truncated the run: a tripped cancel
     /// token counts as a cancellation, anything else as a deadline/op-
     /// budget hit. Called once per run, guarded by
-    /// [`Truncation::expire`] returning `true`.
+    /// `Truncation::expire` returning `true`.
     pub fn count_stop(&self, metrics: &Metrics) {
         if self.cancelled() {
             metrics.add_cancellation();

@@ -57,7 +57,17 @@
 //! ([`QueuePolicy`]) correspond to §6.1.3/§6.1.4 of the paper; the
 //! defaults (`min_alive_partial_matches`, maximum-possible-final-score
 //! queues) are the configurations the paper found best.
+//!
+//! ## Collections
+//!
+//! [`Collection`] scales any of the engines past one document: many
+//! documents (or subtree shards split off one large document) are
+//! queried as a single corpus under a shared corpus-level idf model,
+//! with the global top-k threshold seeding every per-shard run and a
+//! synopsis-derived score ceiling pruning whole shards that cannot
+//! beat the current k-th answer. See [`evaluate_collection`].
 
+mod collection;
 mod context;
 mod engine;
 mod error;
@@ -77,6 +87,10 @@ pub mod vtime;
 mod whirlpool_m;
 mod whirlpool_s;
 
+pub use collection::{
+    collection_answers_equivalent, evaluate_collection, shard_ceiling, Collection,
+    CollectionAnswer, CollectionMetrics, CollectionOptions, CollectionResult, Shard,
+};
 pub use context::{ContextOptions, Located, OpOutcome, QueryContext, RelaxMode};
 pub use engine::{evaluate, evaluate_with_context, Algorithm, EvalOptions, EvalResult};
 pub use error::{Completeness, EngineError, FaultSpecError};

@@ -47,7 +47,7 @@ pub fn run_lockstep_anytime(
     let offer_partial = ctx.relax == RelaxMode::Relaxed;
     let full = ctx.full_mask();
     let trunc = Truncation::new();
-    let mut topk = TopKSet::new(k);
+    let mut topk = TopKSet::with_floor(k, control.threshold_floor());
     let mut pool = ctx.new_pool();
     let mut tr = control.trace_worker("lockstep");
     tr.span_begin("seed");
@@ -226,7 +226,10 @@ pub fn run_lockstep_noprune_anytime(
     let offer_partial = ctx.relax == RelaxMode::Relaxed;
     let full = ctx.full_mask();
     let trunc = Truncation::new();
-    let mut topk = TopKSet::new(k);
+    // NoPrune never consults the threshold, so the floor is inert here;
+    // it is wired through anyway so every engine treats RunControl
+    // uniformly.
+    let mut topk = TopKSet::with_floor(k, control.threshold_floor());
     let mut pool = ctx.new_pool();
     let mut tr = control.trace_worker("lockstep-noprune");
     let mut frontier: Vec<PartialMatch> = Vec::new();

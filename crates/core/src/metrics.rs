@@ -239,6 +239,27 @@ impl MetricsSnapshot {
             self.batches_stolen as f64 / self.server_op_batches as f64
         }
     }
+
+    /// Adds every counter of `other` into `self`. The collection driver
+    /// folds its per-shard runs into one corpus-wide snapshot with this.
+    pub fn absorb(&mut self, other: &MetricsSnapshot) {
+        self.server_ops += other.server_ops;
+        self.server_op_batches += other.server_op_batches;
+        self.predicate_comparisons += other.predicate_comparisons;
+        self.partials_created += other.partials_created;
+        self.pruned += other.pruned;
+        self.routing_decisions += other.routing_decisions;
+        self.buffers_allocated += other.buffers_allocated;
+        self.buffers_reused += other.buffers_reused;
+        self.deadline_hits += other.deadline_hits;
+        self.cancellations += other.cancellations;
+        self.servers_failed += other.servers_failed;
+        self.matches_redistributed += other.matches_redistributed;
+        self.answers_degraded += other.answers_degraded;
+        self.steal_events += other.steal_events;
+        self.batches_stolen += other.batches_stolen;
+        self.kernel_lanes += other.kernel_lanes;
+    }
 }
 
 #[cfg(test)]

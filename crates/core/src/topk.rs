@@ -29,6 +29,9 @@ pub struct RankedAnswer {
 #[derive(Debug)]
 pub struct TopKSet {
     k: usize,
+    /// External lower bound on the pruning threshold (see
+    /// [`TopKSet::with_floor`]). Zero for standalone runs.
+    floor: Score,
     /// root -> current entry score.
     by_root: HashMap<NodeId, Score>,
     /// (score, root), ascending — first element is the k-th (weakest)
@@ -42,9 +45,29 @@ impl TopKSet {
     /// # Panics
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
+        Self::with_floor(k, Score::ZERO)
+    }
+
+    /// Creates an empty set whose pruning threshold never drops below
+    /// `floor`.
+    ///
+    /// A collection driver seeds each per-shard run with the *global*
+    /// k-th score observed so far, so a shard prunes against the best
+    /// answers of every shard already evaluated, not just its own.
+    /// Soundness: the global threshold is monotone non-decreasing, so
+    /// `floor ≤` the final global k-th score; a match pruned against
+    /// the floor (`max_final < floor`, strict) can finish no better
+    /// than `max_final`, hence strictly below the final k-th — it could
+    /// not have entered the global top-k even as a tie. With
+    /// `floor == 0` behavior is identical to [`TopKSet::new`].
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn with_floor(k: usize, floor: Score) -> Self {
         assert!(k > 0, "top-k with k = 0");
         TopKSet {
             k,
+            floor,
             by_root: HashMap::new(),
             ordered: BTreeSet::new(),
         }
@@ -67,9 +90,10 @@ impl TopKSet {
 
     /// The pruning threshold: the k-th best current score once the set
     /// is full, otherwise zero (nothing can be pruned while slots
-    /// remain — any match could still fill one).
+    /// remain — any match could still fill one). Never below the
+    /// configured floor ([`TopKSet::with_floor`]).
     pub fn threshold(&self) -> Score {
-        if self.ordered.len() < self.k {
+        let own = if self.ordered.len() < self.k {
             Score::ZERO
         } else {
             self.ordered
@@ -77,7 +101,8 @@ impl TopKSet {
                 .next()
                 .map(|(s, _)| *s)
                 .unwrap_or(Score::ZERO)
-        }
+        };
+        own.max(self.floor)
     }
 
     /// Should this match be discarded? True iff even its maximum
@@ -153,6 +178,14 @@ impl TopKSet {
 ///   same-root update needs `score > existing ≥ threshold ≥ snapshot`
 ///   — both impossible. Such offers skip the lock entirely.
 ///
+/// With a threshold floor ([`SharedTopK::with_floor`]) a positive
+/// snapshot no longer proves fullness, so a skipped offer may not be a
+/// literal no-op on the live set — but the entry it would have created
+/// scores strictly below the floor, and the floor's contract (the
+/// caller guarantees no answer below it can matter) makes dropping it
+/// harmless: the collection driver's global merge would reject it for
+/// the same reason.
+///
 /// The snapshot is refreshed from the live set whenever a
 /// [`SharedTopK::lock`] guard drops, i.e. only when some thread
 /// actually touched the set.
@@ -171,9 +204,19 @@ impl SharedTopK {
     /// # Panics
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
+        Self::with_floor(k, Score::ZERO)
+    }
+
+    /// An empty shared set whose threshold never drops below `floor`
+    /// (see [`TopKSet::with_floor`]); the snapshot starts at the floor
+    /// so even pre-publication prunes benefit from it.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn with_floor(k: usize, floor: Score) -> Self {
         SharedTopK {
-            inner: Mutex::new(TopKSet::new(k)),
-            threshold_bits: AtomicU64::new(0.0f64.to_bits()),
+            inner: Mutex::new(TopKSet::with_floor(k, floor)),
+            threshold_bits: AtomicU64::new(floor.value().to_bits()),
         }
     }
 
@@ -364,6 +407,45 @@ mod tests {
     #[should_panic(expected = "k = 0")]
     fn zero_k_is_rejected() {
         let _ = TopKSet::new(0);
+    }
+
+    #[test]
+    fn floor_raises_the_threshold_until_the_set_beats_it() {
+        let mut set = TopKSet::with_floor(2, Score::new(1.5));
+        // Empty set: the floor already prunes.
+        assert_eq!(set.threshold(), Score::new(1.5));
+        assert!(set.should_prune(&m(9, 0.0, 1.4)));
+        assert!(!set.should_prune(&m(9, 0.0, 1.5)), "ties survive");
+        // Partially full: still the floor.
+        set.offer(n(1), Score::new(9.0));
+        assert_eq!(set.threshold(), Score::new(1.5));
+        // Full but k-th below the floor: the floor wins.
+        set.offer(n(2), Score::new(1.0));
+        assert_eq!(set.threshold(), Score::new(1.5));
+        // Full with k-th above the floor: the live k-th wins.
+        set.offer(n(3), Score::new(2.0));
+        assert_eq!(set.threshold(), Score::new(2.0));
+    }
+
+    #[test]
+    fn zero_floor_is_the_default_behavior() {
+        let mut a = TopKSet::new(3);
+        let mut b = TopKSet::with_floor(3, Score::ZERO);
+        for (i, s) in [(1, 0.3), (2, 0.9), (3, 0.1), (4, 0.7)] {
+            assert_eq!(a.offer(n(i), Score::new(s)), b.offer(n(i), Score::new(s)));
+            assert_eq!(a.threshold(), b.threshold());
+        }
+    }
+
+    #[test]
+    fn shared_floor_is_visible_before_any_publication() {
+        let shared = SharedTopK::with_floor(2, Score::new(3.0));
+        // No guard has dropped yet, but the snapshot starts at the
+        // floor, so prunes and offer skips already apply.
+        assert_eq!(shared.threshold_snapshot(), Score::new(3.0));
+        assert!(shared.should_prune(&m(9, 0.0, 2.9)));
+        assert!(shared.offer_is_noop(Score::new(2.9)));
+        assert!(!shared.offer_is_noop(Score::new(3.0)));
     }
 
     #[test]

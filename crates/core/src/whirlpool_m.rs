@@ -328,7 +328,7 @@ pub fn run_whirlpool_m_anytime(
 
     let shared = Shared {
         ctx,
-        topk: SharedTopK::new(k),
+        topk: SharedTopK::with_floor(k, control.threshold_floor()),
         pool_hub: PoolHub::new(),
         router_queue: SharedQueue::new(QueuePolicy::MaxFinalScore, None),
         server_queues: server_ids

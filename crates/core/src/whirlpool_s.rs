@@ -72,7 +72,7 @@ pub fn run_whirlpool_s_anytime(
     let offer_partial = ctx.relax == RelaxMode::Relaxed;
     let full = ctx.full_mask();
     let trunc = Truncation::new();
-    let mut topk = TopKSet::new(k);
+    let mut topk = TopKSet::with_floor(k, control.threshold_floor());
     let mut pool = ctx.new_pool();
     let mut queue = MatchQueue::new(queue_policy, None);
     let mut tr = control.trace_worker("whirlpool-s");

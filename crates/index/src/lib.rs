@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Node indexes for structural joins.
 //!
@@ -23,10 +23,15 @@
 //!   fanout, exact-match fraction) that the adaptive routing strategies
 //!   use as their cost estimates ("such estimates could be obtained by
 //!   using work on selectivity estimation for XML", §6.1.4).
+//! * [`ShardSynopsis`] — a per-shard tag-count summary that lets a
+//!   collection bound a shard's best possible score without touching
+//!   its postings, enabling whole-shard pruning against the global
+//!   top-k threshold.
 
 mod columns;
 mod cursor;
 mod selectivity;
+mod synopsis;
 mod tagindex;
 
 pub use columns::{lanes_for, mask_count, StructuralColumns, KERNEL_LANE};
@@ -34,4 +39,5 @@ pub use cursor::RangeCursor;
 pub use selectivity::{
     estimate_query_cost, estimate_selectivity, QueryCostEstimate, ServerSelectivity,
 };
+pub use synopsis::ShardSynopsis;
 pub use tagindex::TagIndex;

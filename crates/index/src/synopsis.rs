@@ -1,0 +1,101 @@
+//! Per-shard synopses for collection-level pruning.
+//!
+//! A collection visits shards most-promising-first and skips any shard
+//! whose score ceiling cannot beat the global k-th answer. Computing
+//! that ceiling must cost far less than evaluating the shard, so it
+//! runs on a [`ShardSynopsis`]: a flat tag-name → element-count table
+//! built once per shard, next to its [`TagIndex`](crate::TagIndex).
+//! Tag *names* (not per-document `TagId`s) key the table because tag
+//! interning is per-document — a synopsis has to answer questions posed
+//! by a query compiled against a different shard's interner.
+
+use std::collections::HashMap;
+use whirlpool_xml::Document;
+
+/// Cheap per-shard summary: element counts per tag name.
+///
+/// The collection driver derives a shard's *max-score ceiling* from
+/// this: a query node whose tag has no element in the shard can only
+/// bind to the outer-join null (contributing zero), so its per-server
+/// maximum weight drops out of the ceiling. The synopsis never
+/// under-reports a tag (it counts every element), which keeps the
+/// ceiling an upper bound — the invariant shard pruning relies on.
+#[derive(Debug, Clone, Default)]
+pub struct ShardSynopsis {
+    tag_counts: HashMap<Box<str>, u64>,
+    elements: u64,
+}
+
+impl ShardSynopsis {
+    /// Builds the synopsis with one pass over the document's elements.
+    pub fn build(doc: &Document) -> ShardSynopsis {
+        let mut tag_counts: HashMap<Box<str>, u64> = HashMap::new();
+        let mut elements = 0u64;
+        for n in doc.elements() {
+            elements += 1;
+            *tag_counts.entry(doc.tag_str(n).into()).or_insert(0) += 1;
+        }
+        ShardSynopsis {
+            tag_counts,
+            elements,
+        }
+    }
+
+    /// Elements carrying `tag` in the shard (0 for unknown tags).
+    pub fn tag_count(&self, tag: &str) -> u64 {
+        self.tag_counts.get(tag).copied().unwrap_or(0)
+    }
+
+    /// Does any element in the shard carry `tag`?
+    pub fn has_tag(&self, tag: &str) -> bool {
+        self.tag_count(tag) > 0
+    }
+
+    /// Total element count of the shard.
+    pub fn elements(&self) -> u64 {
+        self.elements
+    }
+
+    /// Distinct tag names in the shard.
+    pub fn distinct_tags(&self) -> usize {
+        self.tag_counts.len()
+    }
+
+    /// Iterates `(tag, count)` pairs in arbitrary order.
+    pub fn tags(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.tag_counts.iter().map(|(t, &c)| (t.as_ref(), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whirlpool_xml::parse_document;
+
+    #[test]
+    fn counts_match_the_document() {
+        let doc = parse_document(
+            "<shelf><book><title>t</title></book><book/><cd><title>x</title></cd></shelf>",
+        )
+        .unwrap();
+        let s = ShardSynopsis::build(&doc);
+        assert_eq!(s.tag_count("book"), 2);
+        assert_eq!(s.tag_count("title"), 2);
+        assert_eq!(s.tag_count("cd"), 1);
+        assert_eq!(s.tag_count("shelf"), 1);
+        assert_eq!(s.tag_count("nosuch"), 0);
+        assert!(s.has_tag("book"));
+        assert!(!s.has_tag("nosuch"));
+        assert_eq!(s.elements(), 6);
+        assert_eq!(s.distinct_tags(), 4);
+        assert_eq!(s.tags().map(|(_, c)| c).sum::<u64>(), s.elements());
+    }
+
+    #[test]
+    fn empty_document_is_empty() {
+        let doc = parse_document("<r/>").unwrap();
+        let s = ShardSynopsis::build(&doc);
+        assert_eq!(s.elements(), 1);
+        assert_eq!(s.tag_count("r"), 1);
+    }
+}

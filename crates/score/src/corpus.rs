@@ -1,0 +1,229 @@
+//! Corpus-level idf: Definition 4.2 aggregated across shards.
+//!
+//! The paper computes idf over one document. A collection of documents
+//! (or subtree shards of one large document) wants a *single* weight
+//! table so scores are comparable across shards: an answer's rank must
+//! not depend on which shard happened to hold it. [`CorpusStats`]
+//! therefore aggregates the raw document-frequency counts of
+//! [`crate::tfidf::idf_counts`] — candidate-answer populations and
+//! per-predicate satisfying counts — over every shard, and derives one
+//! [`TfIdfModel`] from the pooled counts:
+//!
+//! `idf_corpus(p) = ln( Σ_s population_s / max(Σ_s satisfying_s, 1) )`
+//!
+//! For a single-shard corpus this reduces exactly to the per-document
+//! model ([`TfIdfModel::build`]), which the tests pin down.
+
+use crate::model::{Normalization, TfIdfModel};
+use crate::tfidf::{self, ComponentPredicate};
+use whirlpool_index::TagIndex;
+use whirlpool_pattern::TreePattern;
+use whirlpool_xml::Document;
+
+/// Per-predicate document-frequency counts, summed over the shards fed
+/// to [`CorpusStats::add_shard`].
+#[derive(Debug, Clone)]
+pub struct CorpusStats {
+    /// Candidate answer nodes (nodes carrying the answer tag) across
+    /// the corpus. The population is predicate-independent: every
+    /// component predicate of a query ranges over the same answer
+    /// candidates.
+    population: u64,
+    /// `[exact, relaxed]` satisfying-node counts per query node
+    /// (indexed by `QNodeId`; the root row stays zero — the root
+    /// carries no component predicate).
+    satisfying: Vec<[u64; 2]>,
+    /// The exact and relaxed component predicates, kept so shards can
+    /// be added incrementally without recompiling the pattern.
+    preds: Vec<(ComponentPredicate, ComponentPredicate)>,
+    shards: usize,
+}
+
+impl CorpusStats {
+    /// Empty statistics for `pattern`: no shards seen yet.
+    pub fn new(pattern: &TreePattern) -> Self {
+        let preds = tfidf::component_predicates(pattern)
+            .into_iter()
+            .map(|pred| {
+                let relaxed = ComponentPredicate {
+                    qnode: pred.qnode,
+                    axis: pred.axis.relaxed(),
+                    tag: pred.tag.clone(),
+                    value: pred.value.clone(),
+                    attrs: pred.attrs.clone(),
+                };
+                (pred, relaxed)
+            })
+            .collect();
+        CorpusStats {
+            population: 0,
+            satisfying: vec![[0, 0]; pattern.len()],
+            preds,
+            shards: 0,
+        }
+    }
+
+    /// Folds one shard's document-frequency counts into the totals.
+    /// `answer_tag` is the pattern root's tag (pass
+    /// `&pattern.node(pattern.root()).tag`).
+    pub fn add_shard(&mut self, doc: &Document, index: &TagIndex, answer_tag: &str) {
+        let mut population_seen = None;
+        for (exact, relaxed) in &self.preds {
+            let (pop, sat_exact) = tfidf::idf_counts(doc, index, answer_tag, exact);
+            let (_, sat_relaxed) = tfidf::idf_counts(doc, index, answer_tag, relaxed);
+            self.satisfying[exact.qnode.index()][0] += sat_exact;
+            self.satisfying[exact.qnode.index()][1] += sat_relaxed;
+            population_seen = Some(pop);
+        }
+        // Single-node patterns have no component predicates; the
+        // population still has to be counted for them.
+        let pop = match population_seen {
+            Some(p) => p,
+            None => count_population(doc, index, answer_tag),
+        };
+        self.population += pop;
+        self.shards += 1;
+    }
+
+    /// Shards folded in so far.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Total candidate-answer population across the corpus.
+    pub fn population(&self) -> u64 {
+        self.population
+    }
+
+    /// The corpus-level score model: one weight table derived from the
+    /// pooled counts, shared by every shard so cross-shard scores (and
+    /// the global top-k threshold) are comparable. Exact weights
+    /// dominate relaxed ones by the same Definition 4.2 monotonicity
+    /// argument as the per-document model.
+    pub fn model(&self, normalization: Normalization) -> TfIdfModel {
+        let mut weights = vec![[0.0, 0.0]; self.satisfying.len()];
+        for (exact, _) in &self.preds {
+            let [sat_exact, sat_relaxed] = self.satisfying[exact.qnode.index()];
+            let e = tfidf::idf_from_counts(self.population, sat_exact);
+            let r = tfidf::idf_from_counts(self.population, sat_relaxed);
+            weights[exact.qnode.index()] = [e.max(0.0), r.min(e).max(0.0)];
+        }
+        TfIdfModel::from_weights(weights, normalization)
+    }
+}
+
+/// Counts the nodes carrying `answer_tag` in one shard.
+fn count_population(doc: &Document, index: &TagIndex, answer_tag: &str) -> u64 {
+    if answer_tag == whirlpool_pattern::WILDCARD {
+        doc.elements().count() as u64
+    } else {
+        match doc.tag_id(answer_tag) {
+            Some(tag) => index.nodes_with_tag(tag).len() as u64,
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScoreModel;
+    use whirlpool_pattern::parse_pattern;
+    use whirlpool_xml::parse_document;
+
+    fn setup(src: &str) -> (Document, TagIndex) {
+        let doc = parse_document(src).unwrap();
+        let index = TagIndex::build(&doc);
+        (doc, index)
+    }
+
+    const SHARD_A: &str = "<shelf>\
+        <book><title>a</title><isbn>1</isbn><price>9</price></book>\
+        <book><title>b</title><isbn>2</isbn></book>\
+        </shelf>";
+    const SHARD_B: &str = "<shelf>\
+        <book><title>c</title></book>\
+        <book><info><title>d</title></info></book>\
+        </shelf>";
+
+    #[test]
+    fn single_shard_corpus_reduces_to_the_per_document_model() {
+        let (doc, index) = setup(SHARD_A);
+        let q = parse_pattern("//book[./title and ./isbn and ./price]").unwrap();
+        for norm in [
+            Normalization::None,
+            Normalization::Sparse,
+            Normalization::Dense,
+        ] {
+            let per_doc = TfIdfModel::build(&doc, &index, &q, norm);
+            let mut stats = CorpusStats::new(&q);
+            stats.add_shard(&doc, &index, &q.node(q.root()).tag);
+            let corpus = stats.model(norm);
+            for s in q.server_ids() {
+                let a = per_doc.weights(s);
+                let b = corpus.weights(s);
+                assert!((a[0] - b[0]).abs() < 1e-12, "exact {a:?} vs {b:?}");
+                assert!((a[1] - b[1]).abs() < 1e-12, "relaxed {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_counts_pool_across_shards() {
+        let (da, ia) = setup(SHARD_A);
+        let (db, ib) = setup(SHARD_B);
+        let q = parse_pattern("//book[./title]").unwrap();
+        let mut stats = CorpusStats::new(&q);
+        stats.add_shard(&da, &ia, "book");
+        stats.add_shard(&db, &ib, "book");
+        assert_eq!(stats.shards(), 2);
+        // 4 books total; 3 have a child title (the 4th holds it under
+        // info, reachable only by the relaxed predicate).
+        assert_eq!(stats.population(), 4);
+        let model = stats.model(Normalization::None);
+        let server = q.server_ids().next().unwrap();
+        let [exact, relaxed] = model.weights(server);
+        assert!((exact - (4.0f64 / 3.0).ln()).abs() < 1e-12, "{exact}");
+        assert!((relaxed - (4.0f64 / 4.0).ln()).abs() < 1e-12, "{relaxed}");
+        assert!(exact >= relaxed);
+    }
+
+    #[test]
+    fn corpus_idf_differs_from_any_single_shard() {
+        // The point of pooling: shard B's books lack isbn entirely, so a
+        // per-shard model would give B a zero isbn weight while A gives
+        // ln(1) = 0 too (every A book has one); the corpus sees 2 of 4.
+        let (da, ia) = setup(SHARD_A);
+        let (db, ib) = setup(SHARD_B);
+        let q = parse_pattern("//book[./isbn]").unwrap();
+        let server = q.server_ids().next().unwrap();
+        let mut stats = CorpusStats::new(&q);
+        stats.add_shard(&da, &ia, "book");
+        stats.add_shard(&db, &ib, "book");
+        let corpus = stats.model(Normalization::None);
+        let a_only = TfIdfModel::build(&da, &ia, &q, Normalization::None);
+        let b_only = TfIdfModel::build(&db, &ib, &q, Normalization::None);
+        assert!((corpus.max_contribution(server) - 2.0f64.ln()).abs() < 1e-12);
+        assert_eq!(a_only.max_contribution(server), 0.0);
+        assert!((b_only.max_contribution(server) - 2.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_corpus_scores_zero() {
+        let q = parse_pattern("//book[./title]").unwrap();
+        let stats = CorpusStats::new(&q);
+        let model = stats.model(Normalization::Sparse);
+        for s in q.server_ids() {
+            assert_eq!(model.max_contribution(s), 0.0);
+        }
+    }
+
+    #[test]
+    fn single_node_patterns_still_count_the_population() {
+        let (doc, index) = setup(SHARD_A);
+        let q = parse_pattern("//book").unwrap();
+        let mut stats = CorpusStats::new(&q);
+        stats.add_shard(&doc, &index, "book");
+        assert_eq!(stats.population(), 2);
+    }
+}

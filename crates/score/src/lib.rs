@@ -22,10 +22,17 @@
 //!   (explicit per-node scores — the Figure 3 example), and
 //!   [`RandomScores`] (the "randomly generated sparse and dense scoring
 //!   functions" of §6.2.2).
+//!
+//! For multi-document collections, [`CorpusStats`] aggregates the raw
+//! document-frequency counts across shards and derives a single
+//! *corpus-level* [`TfIdfModel`], so scores — and the global top-k
+//! threshold — are comparable across shards.
 
+mod corpus;
 mod model;
 mod score;
 pub mod tfidf;
 
+pub use corpus::CorpusStats;
 pub use model::{FixedScores, MatchLevel, Normalization, RandomScores, ScoreModel, TfIdfModel};
 pub use score::Score;

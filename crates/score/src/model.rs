@@ -123,34 +123,49 @@ impl TfIdfModel {
             weights[pred.qnode.index()] = [exact.max(0.0), relaxed.min(exact).max(0.0)];
         }
 
-        match normalization {
-            Normalization::None => {}
-            Normalization::Sparse => {
-                for w in weights.iter_mut() {
-                    let max = w[0];
-                    if max > 0.0 {
-                        w[0] /= max;
-                        w[1] /= max;
-                    }
-                }
-            }
-            Normalization::Dense => {
-                let max = weights.iter().map(|w| w[0]).fold(0.0f64, f64::max);
-                if max > 0.0 {
-                    for w in weights.iter_mut() {
-                        w[0] /= max;
-                        w[1] /= max;
-                    }
-                }
-            }
-        }
+        apply_normalization(&mut weights, normalization);
+        TfIdfModel { weights }
+    }
 
+    /// Builds a model directly from an `[exact, relaxed]` weight table
+    /// (one row per query node, root row included). Used by the corpus
+    /// builder ([`crate::CorpusStats::model`]), which derives its idf
+    /// weights from counts aggregated across shards rather than from one
+    /// document.
+    pub(crate) fn from_weights(mut weights: Vec<[f64; 2]>, normalization: Normalization) -> Self {
+        apply_normalization(&mut weights, normalization);
         TfIdfModel { weights }
     }
 
     /// The `[exact, relaxed]` weight pair for a query node.
     pub fn weights(&self, qnode: QNodeId) -> [f64; 2] {
         self.weights[qnode.index()]
+    }
+}
+
+/// Applies one of the paper's §6.2.2 normalizations to a raw
+/// `[exact, relaxed]` weight table in place.
+fn apply_normalization(weights: &mut [[f64; 2]], normalization: Normalization) {
+    match normalization {
+        Normalization::None => {}
+        Normalization::Sparse => {
+            for w in weights.iter_mut() {
+                let max = w[0];
+                if max > 0.0 {
+                    w[0] /= max;
+                    w[1] /= max;
+                }
+            }
+        }
+        Normalization::Dense => {
+            let max = weights.iter().map(|w| w[0]).fold(0.0f64, f64::max);
+            if max > 0.0 {
+                for w in weights.iter_mut() {
+                    w[0] /= max;
+                    w[1] /= max;
+                }
+            }
+        }
     }
 }
 

@@ -102,21 +102,27 @@ pub fn tf(doc: &Document, index: &TagIndex, pred: &ComponentPredicate, n: NodeId
         .count()
 }
 
-/// Definition 4.2: `log(N_q0 / N_satisfying)`, computed over all nodes
-/// with the answer tag. When no node satisfies the predicate the
-/// denominator is taken as 1 (maximal idf), keeping the value finite.
-pub fn idf(doc: &Document, index: &TagIndex, answer_tag: &str, pred: &ComponentPredicate) -> f64 {
+/// The raw document-frequency counts behind Definition 4.2 for one
+/// predicate: `(population, satisfying)` where `population` is the
+/// number of candidate answer nodes (nodes with the answer tag) and
+/// `satisfying` how many of them satisfy the predicate. These are the
+/// quantities a collection aggregates across shards to build a
+/// *corpus-level* idf (see [`crate::CorpusStats`]) — per-document idf is
+/// [`idf_from_counts`] applied to one document's counts.
+pub fn idf_counts(
+    doc: &Document,
+    index: &TagIndex,
+    answer_tag: &str,
+    pred: &ComponentPredicate,
+) -> (u64, u64) {
     let q0_nodes: Vec<NodeId> = if answer_tag == WILDCARD {
         doc.elements().collect()
     } else {
         match doc.tag_id(answer_tag) {
             Some(tag) => index.nodes_with_tag(tag).to_vec(),
-            None => return 0.0,
+            None => return (0, 0),
         }
     };
-    if q0_nodes.is_empty() {
-        return 0.0;
-    }
     let satisfying = q0_nodes
         .iter()
         .filter(|&&n| {
@@ -125,7 +131,27 @@ pub fn idf(doc: &Document, index: &TagIndex, answer_tag: &str, pred: &ComponentP
                 .any(|c| satisfies(doc, index, pred, n, c))
         })
         .count();
-    (q0_nodes.len() as f64 / satisfying.max(1) as f64).ln()
+    (q0_nodes.len() as u64, satisfying as u64)
+}
+
+/// Definition 4.2 from precomputed counts: `ln(population /
+/// max(satisfying, 1))`, and `0` for an empty population (no candidate
+/// answers means the predicate carries no discriminating power). When no
+/// node satisfies the predicate the denominator is taken as 1 (maximal
+/// idf), keeping the value finite.
+pub fn idf_from_counts(population: u64, satisfying: u64) -> f64 {
+    if population == 0 {
+        return 0.0;
+    }
+    (population as f64 / satisfying.max(1) as f64).ln()
+}
+
+/// Definition 4.2: `log(N_q0 / N_satisfying)`, computed over all nodes
+/// with the answer tag. When no node satisfies the predicate the
+/// denominator is taken as 1 (maximal idf), keeping the value finite.
+pub fn idf(doc: &Document, index: &TagIndex, answer_tag: &str, pred: &ComponentPredicate) -> f64 {
+    let (population, satisfying) = idf_counts(doc, index, answer_tag, pred);
+    idf_from_counts(population, satisfying)
 }
 
 /// Definition 4.4: the full tf*idf score of answer `n`.

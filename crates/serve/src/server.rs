@@ -7,16 +7,18 @@ use crate::http::{read_request, respond, Request};
 use crate::json::{escape, Json};
 use crate::metrics::ServeMetrics;
 use crate::shared::{DocState, Registry, Shared};
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use whirlpool_core::{
-    evaluate_with_context, Algorithm, CancelToken, Completeness, ContextOptions, EvalOptions,
-    EvalResult, FaultPlan, QueryContext,
+    evaluate_with_context, shard_ceiling, Algorithm, CancelToken, Completeness, ContextOptions,
+    EvalOptions, EvalResult, FaultPlan, QueryContext,
 };
-use whirlpool_score::{Normalization, TfIdfModel};
+use whirlpool_pattern::WILDCARD;
+use whirlpool_score::{CorpusStats, Normalization, Score, TfIdfModel};
+use whirlpool_xml::NodeId;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -343,6 +345,9 @@ struct QueryRequest {
     doc: String,
     query: String,
     k: usize,
+    /// Query every loaded document as one sharded corpus instead of a
+    /// single named document.
+    collection: bool,
     fault: Option<String>,
     fault_seed: u64,
     /// Test hook: artificial per-op cost, for exercising the ladder
@@ -368,6 +373,7 @@ impl QueryRequest {
                 .to_string(),
             query,
             k: v.get("k").and_then(Json::as_u64).unwrap_or(10).max(1) as usize,
+            collection: v.get("collection").and_then(Json::as_bool).unwrap_or(false),
             fault: v
                 .get("fault")
                 .and_then(Json::as_str)
@@ -384,6 +390,9 @@ impl QueryRequest {
 
 fn handle_query(daemon: &Daemon, conn: &mut TcpStream, body: &[u8]) -> Result<(), ServeError> {
     let req = QueryRequest::parse(body)?;
+    if req.collection {
+        return handle_collection_query(daemon, conn, req);
+    }
     let doc_state: Arc<DocState> = daemon
         .registry
         .read()
@@ -526,6 +535,308 @@ fn handle_query(daemon: &Daemon, conn: &mut TcpStream, body: &[u8]) -> Result<()
     // that is fine — the worker is already reclaimed.
     let _ = respond(conn, status, &[], &body);
     Ok(())
+}
+
+/// One corpus-wide answer of a collection query: score, owning shard
+/// (an index into the sorted document list), answer node. Ordered so a
+/// `BTreeSet` keeps the weakest answer first and node ids from
+/// different documents cannot collide.
+type CollectionEntry = (Score, usize, NodeId);
+
+/// Shard-level accounting of one collection request.
+#[derive(Clone, Copy, Default)]
+struct ShardCounts {
+    total: usize,
+    visited: usize,
+    pruned: usize,
+    skipped_budget: usize,
+}
+
+/// The collection-mode pipeline: one request evaluated over *every*
+/// loaded document as a sharded corpus — corpus-level idf, global
+/// threshold sharing, synopsis-based shard pruning — the daemon's
+/// counterpart of [`whirlpool_core::evaluate_collection`], run over
+/// the registry's `DocState`s (which a `Collection` cannot borrow;
+/// it owns its shards). Shards run sequentially on the one worker
+/// thread: the pool already provides cross-request parallelism, so
+/// shard-level threads would only oversubscribe under load.
+///
+/// Fault injection is rejected — the spec's server indices are
+/// per-document, so one spec cannot name servers across shards.
+fn handle_collection_query(
+    daemon: &Daemon,
+    conn: &mut TcpStream,
+    req: QueryRequest,
+) -> Result<(), ServeError> {
+    if req.fault.is_some() {
+        return Err(ServeError::BadRequest(
+            "fault injection is per-document; it is not supported in collection mode".into(),
+        ));
+    }
+    if !req.doc.is_empty() {
+        return Err(ServeError::BadRequest(
+            "collection mode queries every loaded document; drop the \"doc\" field".into(),
+        ));
+    }
+    let docs: Vec<Arc<DocState>> = daemon.registry.read().all();
+    if docs.is_empty() {
+        return Err(ServeError::NotFound("no documents loaded".into()));
+    }
+    let pattern = whirlpool_pattern::parse_pattern(&req.query)
+        .map_err(|e| ServeError::BadRequest(format!("query {:?}: {e}", req.query)))?;
+
+    // The corpus model: document-frequency counts pooled over every
+    // shard, so an answer's score does not depend on which document
+    // holds it.
+    let answer_tag = pattern.node(pattern.root()).tag.clone();
+    let mut stats = CorpusStats::new(&pattern);
+    for d in &docs {
+        stats.add_shard(&d.doc, &d.index, &answer_tag);
+    }
+    let model = stats.model(Normalization::Sparse);
+
+    let mut options = EvalOptions::top_k(req.k);
+
+    // Ceiling-descending shard order: rich shards first, so the global
+    // threshold rises as fast as possible; provably answer-free shards
+    // (`None`) last.
+    let mut order: Vec<(usize, Option<Score>)> = docs
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            (
+                i,
+                shard_ceiling(&d.synopsis, &pattern, &model, options.relax),
+            )
+        })
+        .collect();
+    order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    // Admission: the per-document path prices a request off its
+    // context's selectivity sample, but building every shard's context
+    // up front would defeat pruning's laziness. The synopses give a
+    // coarse stand-in: candidate answer roots across the corpus, times
+    // one op per server.
+    let per_root_ops = pattern.server_ids().count() as f64 + 1.0;
+    let estimate: f64 = docs
+        .iter()
+        .map(|d| {
+            let roots = if answer_tag == WILDCARD {
+                d.synopsis.elements()
+            } else {
+                d.synopsis.tag_count(&answer_tag)
+            };
+            roots as f64 * per_root_ops
+        })
+        .sum();
+    let permit = match daemon.admission.try_admit(estimate) {
+        Ok(p) => p,
+        Err(reason) => {
+            let retry_after = match reason {
+                RejectReason::Busy { .. } => Duration::from_secs(1),
+                RejectReason::TooExpensive { .. } => Duration::from_secs(2),
+            };
+            return Err(ServeError::Rejected {
+                reason,
+                retry_after,
+            });
+        }
+    };
+
+    // The ladder and the watchdog govern the *whole* corpus run: each
+    // shard gets whatever wall clock and op budget the earlier shards
+    // left over.
+    let rung = Rung::for_pressure(daemon.admission.pressure());
+    let (deadline, max_ops) = rung.budgets(daemon.config.base_deadline, daemon.config.capacity_ops);
+    let cancel = CancelToken::new();
+    let started = Instant::now();
+    let guard = daemon.watchdog.watch(
+        cancel.clone(),
+        started + deadline + daemon.config.watchdog_grace,
+        conn,
+    )?;
+    daemon.metrics.admitted.fetch_add(1, Ordering::Relaxed);
+    options.cancel = Some(cancel.clone());
+
+    let mut topk: BTreeSet<CollectionEntry> = BTreeSet::new();
+    let mut threshold = Score::ZERO;
+    let mut counts = ShardCounts {
+        total: docs.len(),
+        ..ShardCounts::default()
+    };
+    let mut truncated = false;
+    let mut pending = 0u64;
+    let mut bound = 0.0f64;
+    let mut ops_spent = 0u64;
+
+    for &(idx, ceiling) in &order {
+        // Budgets first: an exhausted corpus budget skips the shard and
+        // certifies the skip with the shard's ceiling.
+        let remaining = deadline.saturating_sub(started.elapsed());
+        let ops_left = max_ops.map(|m| m.saturating_sub(ops_spent));
+        if remaining.is_zero() || ops_left == Some(0) || guard.fired().is_some() {
+            counts.skipped_budget += 1;
+            truncated = true;
+            pending += 1;
+            bound = bound.max(ceiling.map_or(0.0, |c| c.value()));
+            continue;
+        }
+        if shard_prunable(ceiling, threshold) {
+            counts.pruned += 1;
+            continue;
+        }
+        let d = &docs[idx];
+        options.deadline = Some(remaining);
+        options.max_server_ops = ops_left;
+        // Threshold sharing: seed the shard run's pruning threshold
+        // with the current corpus k-th score.
+        options.threshold_floor = threshold.value();
+        let ctx = QueryContext::new(
+            &d.doc,
+            &d.index,
+            &pattern,
+            &model,
+            ContextOptions {
+                op_cost: req.op_cost,
+                ..ContextOptions::default()
+            },
+        );
+        let r = evaluate_with_context(&ctx, &Algorithm::WhirlpoolS, &options);
+        counts.visited += 1;
+        ops_spent += r.metrics.server_ops;
+        for a in &r.answers {
+            topk.insert((a.score, idx, a.root));
+            if topk.len() > req.k {
+                let weakest = *topk.iter().next().expect("non-empty");
+                topk.remove(&weakest);
+            }
+        }
+        if topk.len() == req.k {
+            if let Some(&(s, _, _)) = topk.iter().next() {
+                threshold = s;
+            }
+        }
+        if let Completeness::Truncated {
+            pending_matches,
+            score_bound,
+        } = r.completeness
+        {
+            truncated = true;
+            pending += pending_matches;
+            bound = bound.max(score_bound);
+        }
+    }
+
+    let answers: Vec<CollectionEntry> = topk.into_iter().rev().collect();
+    let completeness = if truncated {
+        if let Some(&(s, _, _)) = answers.first() {
+            bound = bound.max(s.value());
+        }
+        Completeness::Truncated {
+            pending_matches: pending,
+            score_bound: bound,
+        }
+    } else {
+        Completeness::Exact
+    };
+
+    // Classification mirrors the per-document path: exactly one outcome
+    // per admitted request, decided before any fallible I/O.
+    let fired = guard.fired();
+    drop(guard);
+    let outcome = match (fired, &completeness) {
+        (Some(_), _) => Outcome::TimedOut,
+        (None, Completeness::Exact) => Outcome::Exact,
+        (None, Completeness::Truncated { .. }) => Outcome::Degraded,
+    };
+    daemon.metrics.classify(outcome);
+    drop(permit);
+    let _ = conn.set_nonblocking(false);
+
+    let status = match outcome {
+        Outcome::TimedOut => 504,
+        _ => 200,
+    };
+    let body = collection_response_json(
+        daemon.request_seq.fetch_add(1, Ordering::Relaxed),
+        &docs,
+        outcome,
+        rung,
+        &completeness,
+        &answers,
+        counts,
+        started.elapsed(),
+    );
+    let _ = respond(conn, status, &[], &body);
+    Ok(())
+}
+
+/// Shard pruning, strict `<` like the engines: a shard that can only
+/// tie the k-th answer may still contribute a valid tie. A `None`
+/// ceiling (provably answer-free shard) always prunes.
+fn shard_prunable(ceiling: Option<Score>, threshold: Score) -> bool {
+    match ceiling {
+        None => true,
+        Some(c) => c < threshold,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn collection_response_json(
+    seq: u64,
+    docs: &[Arc<DocState>],
+    outcome: Outcome,
+    rung: Rung,
+    completeness: &Completeness,
+    answers: &[CollectionEntry],
+    counts: ShardCounts,
+    elapsed: Duration,
+) -> String {
+    let mut body = String::with_capacity(512);
+    body.push_str("{\n");
+    body.push_str(&format!("  \"request\": {seq},\n"));
+    body.push_str(&format!("  \"outcome\": \"{}\",\n", outcome.label()));
+    body.push_str(&format!("  \"rung\": \"{}\",\n", rung.label()));
+    body.push_str(&format!(
+        "  \"completeness\": \"{}\",\n",
+        completeness.label()
+    ));
+    if let Completeness::Truncated {
+        pending_matches,
+        score_bound,
+    } = completeness
+    {
+        body.push_str(&format!("  \"pending_matches\": {pending_matches},\n"));
+        body.push_str(&format!("  \"score_bound\": {score_bound:.6},\n"));
+    }
+    body.push_str(&format!(
+        "  \"shards\": {{\"total\": {}, \"visited\": {}, \"pruned\": {}, \
+         \"skipped_budget\": {}}},\n",
+        counts.total, counts.visited, counts.pruned, counts.skipped_budget,
+    ));
+    body.push_str(&format!(
+        "  \"elapsed_ms\": {:.3},\n",
+        elapsed.as_secs_f64() * 1e3
+    ));
+    body.push_str("  \"answers\": [\n");
+    for (i, &(score, shard, root)) in answers.iter().enumerate() {
+        let d = &docs[shard];
+        let id = d
+            .doc
+            .attribute(root, "id")
+            .map(|v| format!(", \"id\": \"{}\"", escape(v)))
+            .unwrap_or_default();
+        body.push_str(&format!(
+            "    {{\"rank\": {}, \"doc\": \"{}\", \"node\": {}, \"score\": {:.6}{id}}}{}\n",
+            i + 1,
+            escape(&d.name),
+            root.index(),
+            score.value(),
+            if i + 1 < answers.len() { "," } else { "" },
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    body
 }
 
 fn query_response_json(
@@ -677,6 +988,86 @@ mod tests {
         assert_eq!(m.get("exact").and_then(Json::as_u64), Some(1));
         assert_eq!(m.get("inflight").and_then(Json::as_u64), Some(0));
 
+        handle.shutdown();
+    }
+
+    /// Three documents of sharply different promise: `rich` holds the
+    /// only full matches, `sparse` holds bare books (ceiling = root
+    /// contribution only), `none` holds no book at all (no ceiling).
+    fn collection_registry() -> Registry {
+        let rich = whirlpool_xml::parse_document(
+            "<shelf>\
+             <book id=\"r1\"><title>dune</title><isbn>1</isbn></book>\
+             <book id=\"r2\"><title>ubik</title><isbn>2</isbn></book>\
+             </shelf>",
+        )
+        .unwrap();
+        let sparse = whirlpool_xml::parse_document(
+            "<shelf><book id=\"s1\"><blurb>x</blurb></book>\
+             <book id=\"s2\"><blurb>y</blurb></book></shelf>",
+        )
+        .unwrap();
+        let none =
+            whirlpool_xml::parse_document("<shelf><cd><title>x</title></cd></shelf>").unwrap();
+        let mut registry = Registry::new();
+        registry.insert(DocState::new("rich", rich));
+        registry.insert(DocState::new("sparse", sparse));
+        registry.insert(DocState::new("none", none));
+        registry
+    }
+
+    #[test]
+    fn collection_query_spans_documents_and_prunes() {
+        let handle = start(ServeConfig::default(), collection_registry()).unwrap();
+        let addr = handle.addr();
+        let (status, body) = post_query(
+            addr,
+            r#"{"collection": true, "query": "//book[./title and ./isbn]", "k": 2}"#,
+        );
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(v.get("outcome").and_then(Json::as_str), Some("exact"));
+        let shards = v.get("shards").expect("shards object");
+        assert_eq!(shards.get("total").and_then(Json::as_u64), Some(3));
+        let visited = shards.get("visited").and_then(Json::as_u64).unwrap();
+        let pruned = shards.get("pruned").and_then(Json::as_u64).unwrap();
+        assert_eq!(visited + pruned, 3, "{body}");
+        assert!(pruned >= 1, "the bookless document must be pruned: {body}");
+        let Some(Json::Arr(answers)) = v.get("answers") else {
+            panic!("no answers: {body}")
+        };
+        assert_eq!(answers.len(), 2);
+        let mut ids: Vec<&str> = answers
+            .iter()
+            .map(|a| {
+                assert_eq!(
+                    a.get("doc").and_then(Json::as_str),
+                    Some("rich"),
+                    "only rich holds full matches: {body}"
+                );
+                a.get("id").and_then(Json::as_str).unwrap()
+            })
+            .collect();
+        ids.sort_unstable();
+        // The two full matches tie, so their relative order is free.
+        assert_eq!(ids, ["r1", "r2"]);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn collection_query_rejects_per_document_features() {
+        let handle = start(ServeConfig::default(), collection_registry()).unwrap();
+        let addr = handle.addr();
+        let (status, body) = post_query(
+            addr,
+            r#"{"collection": true, "query": "//book", "fault": "server=1:fail@0"}"#,
+        );
+        assert_eq!(status, 400, "fault specs are per-document: {body}");
+        let (status, body) = post_query(
+            addr,
+            r#"{"collection": true, "doc": "rich", "query": "//book"}"#,
+        );
+        assert_eq!(status, 400, "doc + collection conflict: {body}");
         handle.shutdown();
     }
 

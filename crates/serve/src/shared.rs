@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use whirlpool_index::TagIndex;
+use whirlpool_index::{ShardSynopsis, TagIndex};
 use whirlpool_xml::Document;
 
 /// Clonable handle to state behind a reader-writer lock.
@@ -57,16 +57,21 @@ pub struct DocState {
     pub doc: Document,
     /// The tag index built over it.
     pub index: TagIndex,
+    /// Tag-count synopsis for collection-mode shard pruning and the
+    /// coarse cost estimate of collection queries.
+    pub synopsis: ShardSynopsis,
 }
 
 impl DocState {
     /// Indexes `doc` under `name`.
     pub fn new(name: impl Into<String>, doc: Document) -> DocState {
         let index = TagIndex::build(&doc);
+        let synopsis = ShardSynopsis::build(&doc);
         DocState {
             name: name.into(),
             doc,
             index,
+            synopsis,
         }
     }
 }
@@ -96,6 +101,14 @@ impl Registry {
             return self.docs.values().next().cloned();
         }
         self.docs.get(name).cloned()
+    }
+
+    /// Every loaded document, sorted by name — the deterministic shard
+    /// order of collection-mode queries.
+    pub fn all(&self) -> Vec<Arc<DocState>> {
+        let mut docs: Vec<Arc<DocState>> = self.docs.values().cloned().collect();
+        docs.sort_by(|a, b| a.name.cmp(&b.name));
+        docs
     }
 
     /// Number of loaded documents.
