@@ -442,6 +442,104 @@ fn collection_bench(
     }
 }
 
+/// Cold-vs-warm start benchmark for the version-2 snapshot format.
+struct SnapshotBenchStats {
+    file_bytes: u64,
+    /// Median of parse + index build off the serialized XML — what
+    /// every boot paid before snapshots existed.
+    cold_ms: f64,
+    /// Median of `Snapshot::attach` — header validation + checksum
+    /// fold over the mapped file.
+    attach_ms: f64,
+    mapped: bool,
+    /// Whirlpool-S top-k over both backings, tie-aware.
+    equivalent: bool,
+}
+
+impl SnapshotBenchStats {
+    fn speedup(&self) -> f64 {
+        if self.attach_ms > 0.0 {
+            self.cold_ms / self.attach_ms
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Benchmarks attaching a prebuilt snapshot against re-deriving the
+/// same state from XML. The cold side re-parses the serialized
+/// document and rebuilds the tag index each rep; the warm side
+/// re-attaches the snapshot file each rep. Both backings then answer
+/// the benchmark query and the answer sets are compared tie-aware.
+fn snapshot_bench(
+    workload: &Workload,
+    query: &whirlpool_pattern::TreePattern,
+    k: usize,
+    reps: usize,
+) -> SnapshotBenchStats {
+    let xml = whirlpool_xml::write_document(&workload.doc, &whirlpool_xml::WriteOptions::default());
+    let path = std::env::temp_dir().join(format!("wp-perfsnap-{}.wps", std::process::id()));
+    whirlpool_store::save_snapshot(&workload.doc, &workload.index, &path)
+        .expect("write bench snapshot");
+    let file_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+
+    let mut cold_walls = Vec::with_capacity(reps);
+    let mut cold_state = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let doc = whirlpool_xml::parse_document(&xml).expect("reparse bench document");
+        let index = whirlpool_index::TagIndex::build(&doc);
+        cold_walls.push(t.elapsed().as_secs_f64() * 1e3);
+        cold_state = Some((doc, index));
+    }
+    let (cold_doc, cold_index) = cold_state.expect("reps >= 1");
+
+    let mut attach_walls = Vec::with_capacity(reps);
+    let mut snapshot = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let s = whirlpool_store::Snapshot::attach(&path).expect("attach bench snapshot");
+        attach_walls.push(t.elapsed().as_secs_f64() * 1e3);
+        snapshot = Some(s);
+    }
+    let snapshot = snapshot.expect("reps >= 1");
+    let _ = std::fs::remove_file(&path);
+
+    let options = default_options(k);
+    let cold_model =
+        whirlpool_score::TfIdfModel::build(&cold_doc, &cold_index, query, Normalization::Sparse);
+    let cold_run = whirlpool_core::evaluate_view(
+        (&cold_doc).into(),
+        cold_index.view(),
+        query,
+        &cold_model,
+        &Algorithm::WhirlpoolS,
+        &options,
+    );
+    let snap_model = whirlpool_score::TfIdfModel::build_view(
+        snapshot.doc_view(),
+        snapshot.index_view(),
+        query,
+        Normalization::Sparse,
+    );
+    let snap_run = whirlpool_core::evaluate_view(
+        snapshot.doc_view(),
+        snapshot.index_view(),
+        query,
+        &snap_model,
+        &Algorithm::WhirlpoolS,
+        &options,
+    );
+
+    SnapshotBenchStats {
+        file_bytes,
+        cold_ms: median(&mut cold_walls),
+        attach_ms: median(&mut attach_walls),
+        mapped: snapshot.is_mapped(),
+        equivalent: answers_equivalent(&snap_run.answers, &cold_run.answers, 1e-9),
+    }
+}
+
 fn parse_snapshot_pooled(text: &str) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     let mut pos = 0;
@@ -737,6 +835,11 @@ fn main() {
     );
     let coll = collection_bench(coll_rich, coll_sparse, coll_bytes, coll_k, reps);
 
+    // Snapshot attach: the zero-copy warm start against the cold
+    // parse+index it replaces, on the same document as the engine rows.
+    eprintln!("perfsnap: snapshot bench (cold parse+index vs mmap attach, {reps} reps)...");
+    let snap = snapshot_bench(&workload, &query, k, reps);
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!(
@@ -852,7 +955,7 @@ fn main() {
     json.push_str(&format!(
         "  \"collection\": {{\n    \"shards_total\": {}, \"rich_shards\": {}, \"k\": {},\n    \
          \"scan_all_wall_ms\": {:.3}, \"sharded_wall_ms\": {:.3}, \"speedup\": {:.3},\n    \
-         \"shards_visited\": {}, \"shards_pruned\": {}, \"answers_equivalent\": {}\n  }}\n",
+         \"shards_visited\": {}, \"shards_pruned\": {}, \"answers_equivalent\": {}\n  }},\n",
         coll.shards_total,
         coll.rich_shards,
         coll.k,
@@ -862,6 +965,17 @@ fn main() {
         coll.shards_visited,
         coll.shards_pruned,
         coll.equivalent,
+    ));
+    json.push_str(&format!(
+        "  \"snapshot\": {{\n    \"file_bytes\": {},\n    \
+         \"cold_parse_index_ms\": {:.3}, \"snapshot_attach_ms\": {:.3}, \
+         \"speedup\": {:.1},\n    \"mapped\": {}, \"answers_equivalent\": {}\n  }}\n",
+        snap.file_bytes,
+        snap.cold_ms,
+        snap.attach_ms,
+        snap.speedup(),
+        snap.mapped,
+        snap.equivalent,
     ));
     json.push_str("}\n");
 
@@ -973,6 +1087,17 @@ fn main() {
         coll.equivalent,
     );
 
+    eprintln!(
+        "perfsnap: snapshot {} bytes: cold parse+index {:8.2} ms -> attach {:8.3} ms \
+         ({:.0}x, mapped: {}), answers equivalent: {}",
+        snap.file_bytes,
+        snap.cold_ms,
+        snap.attach_ms,
+        snap.speedup(),
+        snap.mapped,
+        snap.equivalent,
+    );
+
     if rows.iter().any(|r| !r.answers_identical) {
         eprintln!("perfsnap: FAIL — pooled and unpooled runs disagree");
         std::process::exit(1);
@@ -1044,6 +1169,25 @@ fn main() {
         eprintln!(
             "perfsnap: FAIL — sharded collection {:.2} ms exceeds scan-all {:.2} ms by >10%",
             coll.sharded_wall_ms, coll.scan_all_wall_ms
+        );
+        std::process::exit(1);
+    }
+
+    // Snapshot gates: attaching must be a pure representation change
+    // (tie-aware equivalent answers) and must actually be a warm start
+    // — at least 10x faster than the cold parse+index it replaces.
+    // The floor is deliberately loose: the measured gap is orders of
+    // magnitude, and the gate only needs to catch an attach path that
+    // silently degrades into a rebuild.
+    if !snap.equivalent {
+        eprintln!("perfsnap: FAIL — snapshot-backed answers diverge from the parsed run");
+        std::process::exit(1);
+    }
+    if snap.speedup() < 10.0 {
+        eprintln!(
+            "perfsnap: FAIL — snapshot attach {:.3} ms is less than 10x faster than the \
+             cold parse+index {:.2} ms",
+            snap.attach_ms, snap.cold_ms
         );
         std::process::exit(1);
     }

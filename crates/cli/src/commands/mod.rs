@@ -6,6 +6,7 @@ pub mod index;
 pub mod query;
 pub mod relax;
 pub mod serve;
+pub mod snapshot;
 pub mod stats;
 
 use crate::CliError;

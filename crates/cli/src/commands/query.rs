@@ -7,13 +7,79 @@ use crate::CliError;
 use std::io::Write;
 use std::time::Duration;
 use whirlpool_core::{
-    evaluate, evaluate_collection, Algorithm, Collection, CollectionOptions, EvalOptions,
+    evaluate_collection, evaluate_view, Algorithm, Collection, CollectionOptions, EvalOptions,
     FaultPlan, QueuePolicy, RelaxMode, RoutingStrategy,
 };
-use whirlpool_index::TagIndex;
+use whirlpool_index::{DocView, TagIndex, TagIndexView};
 use whirlpool_pattern::StaticPlan;
 use whirlpool_score::{Normalization, TfIdfModel};
-use whirlpool_xml::{write_node, WriteOptions};
+use whirlpool_store::{Snapshot, SNAPSHOT_VERSION};
+use whirlpool_xml::{Document, WriteOptions};
+
+/// How the single-document path got its corpus: parsed + indexed in
+/// memory, or attached zero-copy from a version-2 snapshot.
+enum DocSource {
+    Parsed {
+        doc: Document,
+        index: TagIndex,
+        /// Parse + index + (elsewhere) model build, the cost a snapshot
+        /// attach avoids.
+        index_build_ms: f64,
+    },
+    Snapshot {
+        snapshot: Snapshot,
+        attach_ms: f64,
+    },
+}
+
+impl DocSource {
+    /// Opens `path`: version-2 snapshot files attach (mmap); anything
+    /// else parses and indexes. `force_snapshot` (the `--snapshot`
+    /// flag) rejects non-snapshot files instead of falling back.
+    fn open(path: &str, force_snapshot: bool) -> Result<DocSource, CliError> {
+        let is_snapshot = whirlpool_store::store_version(path) == Some(SNAPSHOT_VERSION);
+        if force_snapshot && !is_snapshot {
+            return Err(CliError::Usage(format!(
+                "--snapshot: {path} is not a version-{SNAPSHOT_VERSION} snapshot \
+                 (build one with `whirlpool snapshot build`)"
+            )));
+        }
+        if is_snapshot {
+            let start = std::time::Instant::now();
+            let snapshot =
+                Snapshot::attach(path).map_err(|e| CliError::Parse(format!("{path}: {e}")))?;
+            Ok(DocSource::Snapshot {
+                snapshot,
+                attach_ms: start.elapsed().as_secs_f64() * 1e3,
+            })
+        } else {
+            let start = std::time::Instant::now();
+            let doc = load_document(path)?;
+            let index = TagIndex::build(&doc);
+            Ok(DocSource::Parsed {
+                doc,
+                index,
+                index_build_ms: start.elapsed().as_secs_f64() * 1e3,
+            })
+        }
+    }
+
+    fn views(&self) -> (DocView<'_>, TagIndexView<'_>) {
+        match self {
+            DocSource::Parsed { doc, index, .. } => (doc.into(), index.view()),
+            DocSource::Snapshot { snapshot, .. } => (snapshot.doc_view(), snapshot.index_view()),
+        }
+    }
+
+    /// `("index_build_ms" | "snapshot_attach_ms", value)` — the stat
+    /// the run pays at startup.
+    fn prepare_stat(&self) -> (&'static str, f64) {
+        match self {
+            DocSource::Parsed { index_build_ms, .. } => ("index_build_ms", *index_build_ms),
+            DocSource::Snapshot { attach_ms, .. } => ("snapshot_attach_ms", *attach_ms),
+        }
+    }
+}
 
 pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     let parsed = Parsed::parse(
@@ -33,13 +99,23 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
             "threads",
             "collection",
             "split",
+            "snapshot",
         ],
     )?;
     // Positional shapes: `<file.xml> <query>` (single document, the
     // original form), `<file.xml>... <query>` (each file one shard), or
     // `--collection <dir> <query>` (every document in the directory).
     let collection_dir = parsed.value("collection").map(str::to_string);
-    let (files, query_src) = if collection_dir.is_some() {
+    let snapshot_file = parsed.value("snapshot").map(str::to_string);
+    if snapshot_file.is_some() && collection_dir.is_some() {
+        return Err(CliError::Usage(
+            "--snapshot names a single snapshot file; it cannot combine with \
+             --collection (snapshot files in a collection directory attach \
+             automatically)"
+                .to_string(),
+        ));
+    }
+    let (files, query_src) = if collection_dir.is_some() || snapshot_file.is_some() {
         (Vec::new(), parsed.positional(0, "query")?.to_string())
     } else {
         let n = parsed.positional_len();
@@ -54,7 +130,7 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
             .collect::<Result<_, _>>()?;
         (files, parsed.positional(n - 1, "query")?.to_string())
     };
-    if collection_dir.is_some() {
+    if collection_dir.is_some() || snapshot_file.is_some() {
         parsed.expect_positionals(1)?;
     }
     let split: Option<usize> = parsed
@@ -72,6 +148,13 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
         return Err(CliError::Usage(
             "--split applies to a single document; it cannot combine with \
              --collection or multiple files"
+                .to_string(),
+        ));
+    }
+    if snapshot_file.is_some() && split.is_some() {
+        return Err(CliError::Usage(
+            "--split re-shards a parsed document; it cannot combine with \
+             --snapshot"
                 .to_string(),
         ));
     }
@@ -195,11 +278,14 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
         );
     }
 
-    let doc = load_document(&files[0])?;
-    let index = TagIndex::build(&doc);
-    let model = TfIdfModel::build(&doc, &index, &query, norm);
+    let source = match &snapshot_file {
+        Some(path) => DocSource::open(path, true)?,
+        None => DocSource::open(&files[0], false)?,
+    };
+    let (doc, index) = source.views();
+    let model = TfIdfModel::build_view(doc, index, &query, norm);
 
-    let result = evaluate(&doc, &index, &query, &model, &algorithm, &options);
+    let result = evaluate_view(doc, index, &query, &model, &algorithm, &options);
 
     if let (Some(path), Some(trace)) = (&trace_out, &result.trace) {
         let mut file = std::fs::File::create(path)
@@ -212,7 +298,7 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     if parsed.flag("json") {
         // --explain is a human-readable view; it is skipped in JSON
         // mode so the output stays machine-parseable.
-        return write_json(out, &doc, &query, &algorithm, &result);
+        return write_json(out, doc, &source, &query, &algorithm, &result);
     }
 
     writeln!(out, "query:     {query}")?;
@@ -242,8 +328,7 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
         }
         writeln!(out)?;
         if parsed.flag("xml") {
-            let xml = write_node(
-                &doc,
+            let xml = doc.write_node(
                 a.root,
                 &WriteOptions {
                     indent: Some(2),
@@ -267,6 +352,8 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     )?;
     writeln!(out, "elapsed:   {:?}", result.elapsed)?;
     if parsed.flag("stats") {
+        let (stat, ms) = source.prepare_stat();
+        writeln!(out, "prepare:   {stat} {ms:.3}")?;
         writeln!(
             out,
             "anytime:   {} deadline hits, {} servers failed, {} matches redistributed, {} answers degraded",
@@ -309,39 +396,45 @@ fn build_collection(
                 p.is_file()
                     && matches!(
                         p.extension().and_then(|e| e.to_str()),
-                        Some("xml") | Some("wpx")
+                        Some("xml") | Some("wpx") | Some("wps")
                     )
             })
             .collect();
         paths.sort();
         if paths.is_empty() {
             return Err(CliError::Usage(format!(
-                "--collection {dir}: no .xml or .wpx files found"
+                "--collection {dir}: no .xml, .wpx, or .wps files found"
             )));
         }
         for path in paths {
-            let name = path
-                .file_stem()
-                .and_then(|s| s.to_str())
-                .unwrap_or("shard")
-                .to_string();
-            let doc = load_document(&path.to_string_lossy())?;
-            collection.add_document(name, doc);
+            add_shard(&mut collection, &path.to_string_lossy())?;
         }
     } else if let Some(n) = split {
         let doc = load_document(&files[0])?;
         collection = Collection::split_document(&doc, n);
     } else {
         for file in files {
-            let name = std::path::Path::new(file)
-                .file_stem()
-                .and_then(|s| s.to_str())
-                .unwrap_or(file)
-                .to_string();
-            collection.add_document(name, load_document(file)?);
+            add_shard(&mut collection, file)?;
         }
     }
     Ok(collection)
+}
+
+/// Adds one file to the collection: version-2 snapshots attach
+/// zero-copy, anything else parses (or loads a v1 store) and indexes.
+fn add_shard(collection: &mut Collection, path: &str) -> Result<(), CliError> {
+    if whirlpool_store::store_version(path) == Some(SNAPSHOT_VERSION) {
+        return collection
+            .attach_snapshot_file(path)
+            .map_err(|e| CliError::Parse(format!("{path}: {e}")));
+    }
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(path)
+        .to_string();
+    collection.add_document(name, load_document(path)?);
+    Ok(())
 }
 
 /// Runs and prints a collection query (the `--json` and human forms).
@@ -397,8 +490,7 @@ fn run_collection(
         }
         writeln!(out)?;
         if parsed.flag("xml") {
-            let xml = write_node(
-                shard.doc(),
+            let xml = shard.doc().write_node(
                 a.root,
                 &WriteOptions {
                     indent: Some(2),
@@ -609,7 +701,8 @@ fn escape(s: &str) -> String {
 /// the output shape is small and fully controlled here).
 fn write_json(
     out: &mut dyn Write,
-    doc: &whirlpool_xml::Document,
+    doc: DocView<'_>,
+    source: &DocSource,
     query: &whirlpool_pattern::TreePattern,
     algorithm: &Algorithm,
     result: &whirlpool_core::EvalResult,
@@ -618,6 +711,8 @@ fn write_json(
     writeln!(out, "  \"query\": \"{}\",", escape(&query.to_string()))?;
     writeln!(out, "  \"algorithm\": \"{}\",", algorithm.name())?;
     writeln!(out, "  \"result\": \"{}\",", result.completeness.label())?;
+    let (stat, ms) = source.prepare_stat();
+    writeln!(out, "  \"{stat}\": {ms:.3},")?;
     if let whirlpool_core::Completeness::Truncated {
         pending_matches,
         score_bound,

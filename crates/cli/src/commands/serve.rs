@@ -4,8 +4,10 @@ use crate::args::Parsed;
 use crate::commands::load_document;
 use crate::CliError;
 use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 use whirlpool_serve::{DocState, Registry, ServeConfig};
+use whirlpool_store::SNAPSHOT_VERSION;
 
 const VALUE_FLAGS: &[&str] = &[
     "addr",
@@ -15,7 +17,49 @@ const VALUE_FLAGS: &[&str] = &[
     "deadline-ms",
     "capacity-ops",
     "retries",
+    "snapshot-dir",
 ];
+
+/// Clients address documents by file stem: `corpus/a.xml` → "a".
+fn stem(path: &str) -> String {
+    Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(path)
+        .to_string()
+}
+
+/// Loads one positional into a `DocState`, warmest path first:
+///
+/// 1. the file *is* a version-2 snapshot → attach it zero-copy;
+/// 2. `--snapshot-dir` holds a fresh `<stem>.wps` → attach that
+///    (stale ones — older than the source — fall through to a parse,
+///    and the daemon's background snapshotter rewrites them);
+/// 3. otherwise parse + index (the cold path).
+fn load_state(path: &str, snapshot_dir: Option<&Path>) -> Result<DocState, CliError> {
+    if whirlpool_store::store_version(path) == Some(SNAPSHOT_VERSION) {
+        return DocState::attach(stem(path), path)
+            .map_err(|e| CliError::Parse(format!("{path}: {e}")));
+    }
+    if let Some(dir) = snapshot_dir {
+        let candidate = dir.join(format!("{}.wps", stem(path)));
+        let fresh = match (
+            std::fs::metadata(&candidate).and_then(|m| m.modified()),
+            std::fs::metadata(path).and_then(|m| m.modified()),
+        ) {
+            (Ok(snap), Ok(src)) => snap >= src,
+            _ => false,
+        };
+        if fresh {
+            if let Ok(state) = DocState::attach(stem(path), &candidate) {
+                return Ok(state);
+            }
+            // A corrupt or incompatible cached snapshot is not fatal —
+            // fall through to the parse; the rewrite will replace it.
+        }
+    }
+    Ok(DocState::new(stem(path), load_document(path)?))
+}
 
 /// Parses flags and documents; pulled out of `run` so the daemonless
 /// half is unit-testable.
@@ -26,18 +70,12 @@ fn configure(argv: &[&str]) -> Result<(ServeConfig, Registry), CliError> {
             "serve needs at least one <file.xml> to load".into(),
         ));
     }
+    let snapshot_dir: Option<PathBuf> = parsed.value("snapshot-dir").map(PathBuf::from);
 
     let mut registry = Registry::new();
     for i in 0..parsed.positional_len() {
         let path = parsed.positional(i, "file.xml")?;
-        let doc = load_document(path)?;
-        // Clients address documents by file stem: `corpus/a.xml` → "a".
-        let name = std::path::Path::new(path)
-            .file_stem()
-            .and_then(|s| s.to_str())
-            .unwrap_or(path)
-            .to_string();
-        registry.insert(DocState::new(name, doc));
+        registry.insert(load_state(path, snapshot_dir.as_deref())?);
     }
 
     let defaults = ServeConfig::default();
@@ -51,6 +89,7 @@ fn configure(argv: &[&str]) -> Result<(ServeConfig, Registry), CliError> {
             parsed.number("deadline-ms", defaults.base_deadline.as_millis() as u64)?,
         ),
         retries: parsed.number("retries", defaults.retries)?,
+        snapshot_dir,
         ..defaults
     };
     Ok((config, registry))
@@ -58,9 +97,11 @@ fn configure(argv: &[&str]) -> Result<(ServeConfig, Registry), CliError> {
 
 pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     let (config, registry) = configure(argv)?;
+    let warm = registry.all().iter().filter(|d| d.is_snapshot()).count();
     writeln!(
         out,
-        "loaded {} document(s); listening on {} ({} workers, {} inflight, {}ms deadline)",
+        "loaded {} document(s) ({warm} warm-attached); listening on {} \
+         ({} workers, {} inflight, {}ms deadline)",
         registry.len(),
         config.addr,
         config.workers,
@@ -106,6 +147,7 @@ mod tests {
         assert_eq!(config.workers, 2);
         assert_eq!(config.base_deadline, Duration::from_millis(500));
         assert_eq!(config.addr, "127.0.0.1:0");
+        assert!(config.snapshot_dir.is_none());
 
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -117,5 +159,57 @@ mod tests {
             Err(other) => panic!("wrong error class: {other:?}"),
             Ok(_) => panic!("no documents must not configure a daemon"),
         }
+    }
+
+    #[test]
+    fn snapshot_positionals_and_snapshot_dir_warm_start() {
+        let dir = std::env::temp_dir().join(format!("wp-serve-warm-{}", std::process::id()));
+        let cache = dir.join("snaps");
+        std::fs::create_dir_all(&cache).unwrap();
+        let xml = write_doc(
+            &dir,
+            "books.xml",
+            "<shelf><book><title>dune</title></book></shelf>",
+        );
+
+        // A .wps positional attaches directly.
+        let doc = crate::commands::load_document(&xml).unwrap();
+        let index = whirlpool_index::TagIndex::build(&doc);
+        let wps = dir.join("direct.wps");
+        whirlpool_store::save_snapshot(&doc, &index, &wps).unwrap();
+        let (_, registry) = configure(&[&wps.to_string_lossy()]).unwrap();
+        let state = registry.get("direct").unwrap();
+        assert!(state.is_snapshot(), "positional .wps must warm-attach");
+
+        // Cold boot with --snapshot-dir: parsed (cache empty).
+        let dir_flag = cache.to_string_lossy().into_owned();
+        let (config, registry) = configure(&[&xml, "--snapshot-dir", &dir_flag]).unwrap();
+        assert_eq!(config.snapshot_dir.as_deref(), Some(cache.as_path()));
+        assert!(!registry.get("books").unwrap().is_snapshot());
+
+        // Once the cache holds a fresh books.wps, the same boot warms.
+        whirlpool_store::save_snapshot(&doc, &index, cache.join("books.wps")).unwrap();
+        let (_, registry) = configure(&[&xml, "--snapshot-dir", &dir_flag]).unwrap();
+        let state = registry.get("books").unwrap();
+        assert!(
+            state.is_snapshot(),
+            "fresh cached snapshot must warm-attach"
+        );
+        assert_eq!(state.prepare.stat_name(), "snapshot_attach_ms");
+
+        // A stale snapshot (source rewritten after it) is ignored.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let xml = write_doc(
+            &dir,
+            "books.xml",
+            "<shelf><book><title>emma</title></book></shelf>",
+        );
+        let (_, registry) = configure(&[&xml, "--snapshot-dir", &dir_flag]).unwrap();
+        assert!(
+            !registry.get("books").unwrap().is_snapshot(),
+            "stale snapshot must fall back to a parse"
+        );
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -32,6 +32,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "query" => commands::query::run(&rest, out),
         "generate" => commands::generate::run(&rest, out),
         "index" => commands::index::run(&rest, out),
+        "snapshot" => commands::snapshot::run(&rest, out),
         "stats" => commands::stats::run(&rest, out),
         "relax" => commands::relax::run(&rest, out),
         "explain" => commands::explain::run(&rest, out),
@@ -52,6 +53,9 @@ USAGE:
                      sharded corpus under one corpus-level idf model)
   whirlpool generate <out.xml> [options]         emit an XMark-like document
   whirlpool index <in.xml> <out.wpx>             precompile XML to a binary store
+  whirlpool snapshot build <in.xml> <out.wps>    build a zero-copy index snapshot
+  whirlpool snapshot verify <file.wps>           checksum + structural validation
+  whirlpool snapshot info <file.wps>             what a snapshot holds
   whirlpool stats <file.xml>                     document statistics
   whirlpool relax <query> [--limit N]            show the relaxation space
   whirlpool explain <file.xml> <query>           compiled servers & weights
@@ -86,7 +90,12 @@ QUERY OPTIONS:
   --explain          print a routing/pruning summary: where matches
                      went, what the alternatives scored, how the
                      threshold grew
-  --collection DIR   query every .xml/.wpx file in DIR as one corpus
+  --collection DIR   query every .xml/.wpx/.wps file in DIR as one
+                     corpus (.wps snapshots attach zero-copy)
+  --snapshot FILE    run against a prebuilt .wps snapshot: attach via
+                     mmap instead of parsing + indexing (snapshot files
+                     given as plain positionals attach automatically;
+                     this flag also *requires* the file to be one)
   --split N          split a single document into N subtree shards and
                      query them as a collection
   --threads N        collection mode: shard-level worker threads
@@ -114,6 +123,11 @@ SERVE OPTIONS:
   --capacity-ops N   server-op spend considered affordable at zero load
                      (default 5000000)
   --retries N        re-runs after a transient server fault (default 1)
+  --snapshot-dir DIR warm-start cache: boots attach fresh <stem>.wps
+                     snapshots from DIR instead of parsing, and a
+                     background thread writes snapshots for documents
+                     that had to be parsed (plain .wps positionals
+                     always attach zero-copy)
   Endpoints: GET /healthz, GET /metrics, POST /query with a JSON body
   {\"doc\": \"name\", \"query\": \"//a[./b]\", \"k\": 5, \"fault\": \"server=2:fail@10\"}
   (doc defaults to the only loaded document; documents are named by

@@ -449,3 +449,100 @@ fn query_collection_rejects_per_document_features() {
     ]);
     assert!(err.contains("--split"), "{err}");
 }
+
+#[test]
+fn snapshot_build_verify_info_and_query_pipeline() {
+    let file = sample_file();
+    let snap = scratch("sample.wps");
+    let out = run_ok(&[
+        "snapshot",
+        "build",
+        file.to_str().unwrap(),
+        snap.to_str().unwrap(),
+    ]);
+    assert!(out.contains("snapshot"), "{out}");
+
+    let verify = run_ok(&["snapshot", "verify", snap.to_str().unwrap()]);
+    assert!(verify.starts_with("ok:"), "{verify}");
+    let info = run_ok(&["snapshot", "info", snap.to_str().unwrap()]);
+    assert!(info.contains("elements:  9"), "{info}");
+    assert!(info.contains("book"), "{info}");
+
+    // Query through --snapshot: same answers as the parsed run, and the
+    // stats line reports the attach cost instead of an index build.
+    let parsed_run = run_ok(&[
+        "query",
+        file.to_str().unwrap(),
+        "//book[./title and ./isbn]",
+        "--k",
+        "3",
+    ]);
+    let snap_run = run_ok(&[
+        "query",
+        "--snapshot",
+        snap.to_str().unwrap(),
+        "//book[./title and ./isbn]",
+        "--k",
+        "3",
+        "--stats",
+        "--xml",
+    ]);
+    assert!(snap_run.contains("answers:   3"), "{snap_run}");
+    assert!(snap_run.contains("id=a"), "{snap_run}");
+    assert!(snap_run.contains("<isbn>"), "{snap_run}");
+    assert!(snap_run.contains("snapshot_attach_ms"), "{snap_run}");
+    for line in parsed_run.lines().filter(|l| l.contains("score")) {
+        assert!(snap_run.contains(line), "missing {line:?} in {snap_run}");
+    }
+
+    // A snapshot given as a plain positional attaches automatically.
+    let auto = run_ok(&[
+        "query",
+        snap.to_str().unwrap(),
+        "//book[./title and ./isbn]",
+        "--json",
+    ]);
+    assert!(auto.contains("\"snapshot_attach_ms\""), "{auto}");
+    // And the parsed path reports the build cost under the same scheme.
+    let parsed_json = run_ok(&["query", file.to_str().unwrap(), "//book[./title]", "--json"]);
+    assert!(parsed_json.contains("\"index_build_ms\""), "{parsed_json}");
+
+    // --snapshot insists on a real snapshot file.
+    let err = run_err(&[
+        "query",
+        "--snapshot",
+        file.to_str().unwrap(),
+        "//book[./title]",
+    ]);
+    assert!(err.contains("not a version-2 snapshot"), "{err}");
+}
+
+#[test]
+fn collection_attaches_snapshot_shards() {
+    let dir = scratch("snapcoll");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("rich.xml"),
+        "<shelf><book><title>dune</title><isbn>1</isbn></book></shelf>",
+    )
+    .unwrap();
+    let poor_xml = scratch("poor-src.xml");
+    std::fs::write(&poor_xml, "<shelf><book><title>ubik</title></book></shelf>").unwrap();
+    run_ok(&[
+        "snapshot",
+        "build",
+        poor_xml.to_str().unwrap(),
+        dir.join("poor.wps").to_str().unwrap(),
+    ]);
+    let out = run_ok(&[
+        "query",
+        "--collection",
+        dir.to_str().unwrap(),
+        "//book[./title and ./isbn]",
+        "--k",
+        "2",
+    ]);
+    assert!(out.contains("collection: 2 shards"), "{out}");
+    assert!(out.contains("shard poor"), "{out}");
+    assert!(out.contains("shard rich"), "{out}");
+}

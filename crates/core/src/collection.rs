@@ -34,17 +34,28 @@ use parking_lot::Mutex;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
-use whirlpool_index::{ShardSynopsis, TagIndex};
+use whirlpool_index::{DocView, ShardSynopsis, TagIndex, TagIndexView};
 use whirlpool_pattern::{TreePattern, WILDCARD};
 use whirlpool_score::{CorpusStats, Normalization, Score, TfIdfModel};
+use whirlpool_store::Snapshot;
 use whirlpool_xml::{parse_document, write_node, Document, NodeId, ParseError, WriteOptions};
 
+/// How a [`Shard`] holds its document: an owned arena built by the
+/// parser, or a version-2 snapshot attached (usually mmap'd) from disk.
+/// Every consumer goes through the [`DocView`]/[`TagIndexView`]
+/// accessors, so the two backings are interchangeable at query time.
+#[allow(clippy::large_enum_variant)] // one per document, never in bulk arrays
+enum ShardBacking {
+    Parsed { doc: Document, index: TagIndex },
+    Snapshot(Box<Snapshot>),
+}
+
 /// One member of a [`Collection`]: a document with its index and
-/// synopsis, built once at load time.
+/// synopsis, built at load time (parsed backing) or attached in O(1)
+/// from a prebuilt snapshot file.
 pub struct Shard {
     name: String,
-    doc: Document,
-    index: TagIndex,
+    backing: ShardBacking,
     synopsis: ShardSynopsis,
 }
 
@@ -55,14 +66,35 @@ impl Shard {
         &self.name
     }
 
-    /// The shard's document.
-    pub fn doc(&self) -> &Document {
-        &self.doc
+    /// The shard's document, as a view over either backing.
+    pub fn doc(&self) -> DocView<'_> {
+        match &self.backing {
+            ShardBacking::Parsed { doc, .. } => doc.into(),
+            ShardBacking::Snapshot(s) => s.doc_view(),
+        }
     }
 
-    /// The shard's tag index.
-    pub fn index(&self) -> &TagIndex {
-        &self.index
+    /// The shard's tag/value postings, as a view over either backing.
+    pub fn index(&self) -> TagIndexView<'_> {
+        match &self.backing {
+            ShardBacking::Parsed { index, .. } => index.view(),
+            ShardBacking::Snapshot(s) => s.index_view(),
+        }
+    }
+
+    /// The owned document and index, when this shard was parsed rather
+    /// than snapshot-attached. Reference/oracle paths that need Dewey
+    /// paths go through this.
+    pub fn as_parsed(&self) -> Option<(&Document, &TagIndex)> {
+        match &self.backing {
+            ShardBacking::Parsed { doc, index } => Some((doc, index)),
+            ShardBacking::Snapshot(_) => None,
+        }
+    }
+
+    /// Is this shard backed by an attached snapshot?
+    pub fn is_snapshot(&self) -> bool {
+        matches!(self.backing, ShardBacking::Snapshot(_))
     }
 
     /// The shard's pruning synopsis.
@@ -90,10 +122,36 @@ impl Collection {
         let synopsis = ShardSynopsis::build(&doc);
         self.shards.push(Shard {
             name: name.into(),
-            doc,
-            index,
+            backing: ShardBacking::Parsed { doc, index },
             synopsis,
         });
+    }
+
+    /// Adds an attached snapshot as one shard. No parse or index build
+    /// happens: the snapshot's flat arrays serve queries directly and
+    /// its synopsis (derived at attach) drives shard pruning.
+    pub fn add_snapshot(&mut self, name: impl Into<String>, snapshot: Snapshot) {
+        let synopsis = snapshot.synopsis().clone();
+        self.shards.push(Shard {
+            name: name.into(),
+            backing: ShardBacking::Snapshot(Box::new(snapshot)),
+            synopsis,
+        });
+    }
+
+    /// Attaches the snapshot file at `path` and adds it as one shard,
+    /// named by its file stem.
+    pub fn attach_snapshot_file(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), whirlpool_store::StoreError> {
+        let path = path.as_ref();
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        self.add_snapshot(name, Snapshot::attach(path)?);
+        Ok(())
     }
 
     /// Parses `src` and adds it as one shard.
@@ -189,7 +247,7 @@ impl Collection {
         let answer_tag = &pattern.node(pattern.root()).tag;
         let mut stats = CorpusStats::new(pattern);
         for shard in &self.shards {
-            stats.add_shard(&shard.doc, &shard.index, answer_tag);
+            stats.add_shard_view(shard.doc(), shard.index(), answer_tag);
         }
         stats
     }
@@ -482,9 +540,9 @@ pub fn evaluate_collection(
         if copts.share_threshold {
             shard_opts.threshold_floor = global.threshold().value();
         }
-        let ctx = QueryContext::new(
-            &shard.doc,
-            &shard.index,
+        let ctx = QueryContext::new_view(
+            shard.doc(),
+            shard.index(),
             pattern,
             &model,
             ContextOptions {

@@ -6,7 +6,10 @@ use crate::partial::{Binding, PartialMatch};
 use crate::pool::MatchPool;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
-use whirlpool_index::{estimate_selectivity, mask_count, RangeCursor, ServerSelectivity, TagIndex};
+use whirlpool_index::{
+    estimate_selectivity_view, mask_count, DocView, RangeCursor, ServerSelectivity, TagIndex,
+    TagIndexView,
+};
 use whirlpool_pattern::{
     compile_servers, Direction, QNodeId, ServerSpec, TreePattern, ValueTest, WILDCARD,
 };
@@ -118,10 +121,11 @@ impl Iterator for Candidates<'_> {
 /// estimates, and the metric counters. Immutable after construction
 /// (counters are atomic), hence freely shared across threads.
 pub struct QueryContext<'a> {
-    /// The document under evaluation.
-    pub doc: &'a Document,
-    /// Its tag/value postings.
-    pub index: &'a TagIndex,
+    /// The document under evaluation — owned arena or mapped snapshot
+    /// behind one accessor surface.
+    pub doc: DocView<'a>,
+    /// Its tag/value postings, same two backings.
+    pub index: TagIndexView<'a>,
     /// The query.
     pub pattern: &'a TreePattern,
     /// Per-binding score contributions.
@@ -204,6 +208,20 @@ impl<'a> QueryContext<'a> {
         model: &'a dyn ScoreModel,
         options: ContextOptions,
     ) -> Self {
+        Self::new_view(doc.into(), index.view(), pattern, model, options)
+    }
+
+    /// [`new`](QueryContext::new) over borrowed views — the entry point
+    /// for snapshot-attached evaluation, where no owned [`Document`] or
+    /// [`TagIndex`] exists. All engines and kernels run identically on
+    /// either backing.
+    pub fn new_view(
+        doc: DocView<'a>,
+        index: TagIndexView<'a>,
+        pattern: &'a TreePattern,
+        model: &'a dyn ScoreModel,
+        options: ContextOptions,
+    ) -> Self {
         let servers = compile_servers(pattern);
         let root_node = pattern.node(pattern.root());
         let root_universe: Vec<NodeId> = if root_node.tag == WILDCARD {
@@ -269,7 +287,7 @@ impl<'a> QueryContext<'a> {
             })
             .collect();
 
-        let selectivity = estimate_selectivity(
+        let selectivity = estimate_selectivity_view(
             doc,
             index,
             &root_candidates,
@@ -924,7 +942,11 @@ impl<'a> QueryContext<'a> {
 
         let spec = self.server_spec(server);
         let root = m.root();
-        let root_dewey = self.doc.dewey(root);
+        let owned = self
+            .doc
+            .as_document()
+            .expect("Dewey reference oracle requires an owned document");
+        let root_dewey = owned.dewey(root);
         let server_max = self.max_contrib[server.index()];
         let before = out.len();
 
@@ -969,7 +991,7 @@ impl<'a> QueryContext<'a> {
                 }
             }
 
-            let cand_dewey = self.doc.dewey(cand);
+            let cand_dewey = owned.dewey(cand);
             comparisons += 1;
             let level = if spec.root_exact.holds(root_dewey, cand_dewey) {
                 MatchLevel::Exact
@@ -988,12 +1010,8 @@ impl<'a> QueryContext<'a> {
                     };
                     comparisons += 1;
                     let holds_exact = match cp.direction {
-                        Direction::FromAncestor => {
-                            cp.exact.holds(self.doc.dewey(other), cand_dewey)
-                        }
-                        Direction::ToDescendant => {
-                            cp.exact.holds(cand_dewey, self.doc.dewey(other))
-                        }
+                        Direction::FromAncestor => cp.exact.holds(owned.dewey(other), cand_dewey),
+                        Direction::ToDescendant => cp.exact.holds(cand_dewey, owned.dewey(other)),
                     };
                     if !holds_exact {
                         valid = false;

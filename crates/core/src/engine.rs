@@ -196,7 +196,22 @@ pub fn evaluate(
     algorithm: &Algorithm,
     options: &EvalOptions,
 ) -> EvalResult {
-    let ctx = QueryContext::new(
+    evaluate_view(doc.into(), index.view(), pattern, model, algorithm, options)
+}
+
+/// [`evaluate`] over borrowed views — the entry point for
+/// snapshot-attached corpora, where no owned [`Document`] or
+/// [`TagIndex`] exists. Identical engines and kernels run over either
+/// backing.
+pub fn evaluate_view(
+    doc: whirlpool_index::DocView<'_>,
+    index: whirlpool_index::TagIndexView<'_>,
+    pattern: &TreePattern,
+    model: &dyn ScoreModel,
+    algorithm: &Algorithm,
+    options: &EvalOptions,
+) -> EvalResult {
+    let ctx = QueryContext::new_view(
         doc,
         index,
         pattern,

@@ -92,7 +92,9 @@ pub use collection::{
     CollectionAnswer, CollectionMetrics, CollectionOptions, CollectionResult, Shard,
 };
 pub use context::{ContextOptions, Located, OpOutcome, QueryContext, RelaxMode};
-pub use engine::{evaluate, evaluate_with_context, Algorithm, EvalOptions, EvalResult};
+pub use engine::{
+    evaluate, evaluate_view, evaluate_with_context, Algorithm, EvalOptions, EvalResult,
+};
 pub use error::{Completeness, EngineError, FaultSpecError};
 pub use fault::{
     Budget, CancelToken, EngineRun, FaultKind, FaultPlan, OpInterrupt, RunControl, INTERRUPT_LANES,

@@ -78,7 +78,11 @@ fn sweep_refine(cands: &[u32], alive: &mut [u8], f: impl Fn(u32) -> u8) -> u64 {
 /// Because node ids are assigned in pre-order, containment is the pure
 /// integer test `a < b && b < subtree_end[a]`, and the composed
 /// structural predicates of the compiled plan reduce to one or two
-/// integer comparisons (see [`StructuralColumns::holds`]).
+/// integer comparisons (see [`ColumnsView::holds`]).
+///
+/// This is the *owned* backing; every predicate and sweep lives on the
+/// borrowed [`ColumnsView`], so the same kernels run unchanged over
+/// columns built in memory or memory-mapped from a snapshot file.
 pub struct StructuralColumns {
     /// `parent[n]` = raw id of `n`'s parent; `u32::MAX` for the root.
     parent: Vec<u32>,
@@ -126,6 +130,164 @@ impl StructuralColumns {
         }
     }
 
+    /// The borrowed view all predicates and sweeps are defined on.
+    #[inline]
+    pub fn view(&self) -> ColumnsView<'_> {
+        ColumnsView {
+            parent: &self.parent,
+            depth: &self.depth,
+            subtree_end: &self.subtree_end,
+        }
+    }
+
+    /// The parent of `n`, `None` for the document root.
+    #[inline]
+    pub fn parent_of(&self, n: NodeId) -> Option<NodeId> {
+        self.view().parent_of(n)
+    }
+
+    /// The depth of `n`; the document root has depth 0.
+    #[inline]
+    pub fn depth_of(&self, n: NodeId) -> usize {
+        self.view().depth_of(n)
+    }
+
+    /// One past the last descendant of `n`, as a raw id.
+    #[inline]
+    pub fn subtree_end_raw(&self, n: NodeId) -> u32 {
+        self.view().subtree_end_raw(n)
+    }
+
+    /// The raw `subtree_end` column (shared with
+    /// [`TagIndex`](crate::TagIndex)'s range scans).
+    #[inline]
+    pub(crate) fn subtree_end_column(&self) -> &[u32] {
+        &self.subtree_end
+    }
+
+    /// True iff `ancestor` is a *proper* ancestor of `descendant`.
+    #[inline]
+    pub fn contains(&self, ancestor: NodeId, descendant: NodeId) -> bool {
+        self.view().contains(ancestor, descendant)
+    }
+
+    /// True iff `parent` is the parent of `child`.
+    #[inline]
+    pub fn is_parent(&self, parent: NodeId, child: NodeId) -> bool {
+        self.view().is_parent(parent, child)
+    }
+
+    /// See [`ColumnsView::holds`].
+    #[inline]
+    pub fn holds(&self, axis: ComposedAxis, ancestor: NodeId, descendant: NodeId) -> bool {
+        self.view().holds(axis, ancestor, descendant)
+    }
+
+    /// See [`ColumnsView::holds_in_range`].
+    #[inline]
+    pub fn holds_in_range(&self, axis: ComposedAxis, ancestor: NodeId, descendant: NodeId) -> bool {
+        self.view().holds_in_range(axis, ancestor, descendant)
+    }
+
+    /// See [`ColumnsView::sweep_in_range`].
+    pub fn sweep_in_range(
+        &self,
+        axis: ComposedAxis,
+        ancestor: NodeId,
+        cands: &[u32],
+        out: &mut [u8],
+    ) -> u64 {
+        self.view().sweep_in_range(axis, ancestor, cands, out)
+    }
+
+    /// See [`ColumnsView::sweep_refine_from_ancestor`].
+    pub fn sweep_refine_from_ancestor(
+        &self,
+        axis: ComposedAxis,
+        ancestor: NodeId,
+        cands: &[u32],
+        alive: &mut [u8],
+    ) -> u64 {
+        self.view()
+            .sweep_refine_from_ancestor(axis, ancestor, cands, alive)
+    }
+
+    /// See [`ColumnsView::sweep_refine_to_descendant`].
+    pub fn sweep_refine_to_descendant(
+        &self,
+        axis: ComposedAxis,
+        descendant: NodeId,
+        cands: &[u32],
+        alive: &mut [u8],
+    ) -> u64 {
+        self.view()
+            .sweep_refine_to_descendant(axis, descendant, cands, alive)
+    }
+}
+
+/// Borrowed structural columns: the slice triple every structural
+/// predicate and batch sweep is defined on.
+///
+/// Obtained from an owned [`StructuralColumns`] via
+/// [`StructuralColumns::view`], or assembled directly over the flat
+/// arrays of a memory-mapped snapshot ([`ColumnsView::from_raw`]) — the
+/// engines cannot tell the difference, which is what makes snapshot
+/// attach zero-copy.
+#[derive(Clone, Copy)]
+pub struct ColumnsView<'a> {
+    parent: &'a [u32],
+    depth: &'a [u16],
+    subtree_end: &'a [u32],
+}
+
+impl<'a> ColumnsView<'a> {
+    /// Assembles a view over raw column slices (all indexed by raw node
+    /// id, all the same length). The caller is responsible for the
+    /// structural invariants — snapshot attach validates them before
+    /// ever constructing a view.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths disagree.
+    pub fn from_raw(parent: &'a [u32], depth: &'a [u16], subtree_end: &'a [u32]) -> Self {
+        assert_eq!(parent.len(), depth.len());
+        assert_eq!(parent.len(), subtree_end.len());
+        ColumnsView {
+            parent,
+            depth,
+            subtree_end,
+        }
+    }
+
+    /// Number of nodes covered (including the synthetic root).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// The raw parent column (snapshot writers flatten this to disk).
+    #[inline]
+    pub fn parent_slice(&self) -> &'a [u32] {
+        self.parent
+    }
+
+    /// The raw depth column.
+    #[inline]
+    pub fn depth_slice(&self) -> &'a [u16] {
+        self.depth
+    }
+
+    /// The raw subtree-extent column.
+    #[inline]
+    pub fn subtree_end_slice(&self) -> &'a [u32] {
+        self.subtree_end
+    }
+
+    /// True when the columns cover no nodes at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
     /// The parent of `n`, `None` for the document root.
     #[inline]
     pub fn parent_of(&self, n: NodeId) -> Option<NodeId> {
@@ -145,13 +307,6 @@ impl StructuralColumns {
     #[inline]
     pub fn subtree_end_raw(&self, n: NodeId) -> u32 {
         self.subtree_end[n.index()]
-    }
-
-    /// The raw `subtree_end` column (shared with
-    /// [`TagIndex`](crate::TagIndex)'s range scans).
-    #[inline]
-    pub(crate) fn subtree_end_column(&self) -> &[u32] {
-        &self.subtree_end
     }
 
     /// True iff `ancestor` is a *proper* ancestor of `descendant`:

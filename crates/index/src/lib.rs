@@ -33,11 +33,16 @@ mod cursor;
 mod selectivity;
 mod synopsis;
 mod tagindex;
+mod view;
 
-pub use columns::{lanes_for, mask_count, StructuralColumns, KERNEL_LANE};
+pub use columns::{lanes_for, mask_count, ColumnsView, StructuralColumns, KERNEL_LANE};
 pub use cursor::RangeCursor;
 pub use selectivity::{
-    estimate_query_cost, estimate_selectivity, QueryCostEstimate, ServerSelectivity,
+    estimate_query_cost, estimate_selectivity, estimate_selectivity_view, QueryCostEstimate,
+    ServerSelectivity,
 };
 pub use synopsis::ShardSynopsis;
 pub use tagindex::TagIndex;
+pub use view::{
+    DocView, MappedDoc, MappedIndex, TagIndexView, ATTR_ENTRY_STRIDE, VALUE_GROUP_STRIDE,
+};

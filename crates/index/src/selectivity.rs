@@ -13,6 +13,7 @@
 //!   root predicate (and hence would score at the exact level).
 
 use crate::tagindex::TagIndex;
+use crate::view::{DocView, TagIndexView};
 use whirlpool_pattern::{ServerSpec, ValueTest};
 use whirlpool_xml::{Document, NodeId};
 
@@ -48,6 +49,26 @@ impl ServerSelectivity {
 pub fn estimate_selectivity(
     doc: &Document,
     index: &TagIndex,
+    roots: &[NodeId],
+    servers: &[ServerSpec],
+    sample_limit: usize,
+) -> Vec<ServerSelectivity> {
+    estimate_selectivity_view(
+        DocView::from(doc),
+        TagIndexView::from(index),
+        roots,
+        servers,
+        sample_limit,
+    )
+}
+
+/// [`estimate_selectivity`] over borrowed views — the entry point for
+/// snapshot-backed (mapped) state. Exact-predicate checks resolve
+/// through the structural columns rather than Dewey paths, so the
+/// estimate never touches the node arena.
+pub fn estimate_selectivity_view(
+    doc: DocView<'_>,
+    index: TagIndexView<'_>,
     roots: &[NodeId],
     servers: &[ServerSpec],
     sample_limit: usize,
@@ -102,10 +123,10 @@ pub fn estimate_selectivity(
                     empty += 1;
                 }
                 total += candidates.len();
-                let root_dewey = doc.dewey(root);
+                let columns = index.columns();
                 exact += candidates
                     .iter()
-                    .filter(|&&c| server.root_exact.holds(root_dewey, doc.dewey(c)))
+                    .filter(|&&c| columns.holds(server.root_exact, root, c))
                     .count();
             }
             let n = sample.len() as f64;

@@ -41,6 +41,17 @@ impl ShardSynopsis {
         }
     }
 
+    /// Rebuilds a synopsis from `(tag, count)` pairs plus the total
+    /// element count — the snapshot-attach path, where the counts were
+    /// flattened into the file at build time. The table is tiny (one
+    /// entry per distinct tag), so this stays O(tags), not O(corpus).
+    pub fn from_counts(counts: impl IntoIterator<Item = (Box<str>, u64)>, elements: u64) -> Self {
+        ShardSynopsis {
+            tag_counts: counts.into_iter().collect(),
+            elements,
+        }
+    }
+
     /// Elements carrying `tag` in the shard (0 for unknown tags).
     pub fn tag_count(&self, tag: &str) -> u64 {
         self.tag_counts.get(tag).copied().unwrap_or(0)

@@ -60,6 +60,30 @@ impl TagIndex {
         &self.columns
     }
 
+    /// This index as a borrowed [`TagIndexView`](crate::TagIndexView) —
+    /// the backing-agnostic surface the engines evaluate against.
+    pub fn view(&self) -> crate::TagIndexView<'_> {
+        crate::TagIndexView::Owned(self)
+    }
+
+    /// Iterates every `(tag, value, ids)` value-posting group, tags
+    /// ascending and values ascending within a tag — the order the
+    /// snapshot writer flattens them in (binary-searchable when mapped
+    /// back).
+    pub fn value_posting_groups(&self) -> Vec<(TagId, &str, &[NodeId])> {
+        let mut groups: Vec<(TagId, &str, &[NodeId])> = self
+            .value_postings
+            .iter()
+            .flat_map(|(&tag, by_value)| {
+                by_value
+                    .iter()
+                    .map(move |(value, ids)| (tag, value.as_ref(), ids.as_slice()))
+            })
+            .collect();
+        groups.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        groups
+    }
+
     /// All nodes with `tag`, in document order.
     pub fn nodes_with_tag(&self, tag: TagId) -> &[NodeId] {
         self.postings.get(tag.index()).map_or(&[], Vec::as_slice)

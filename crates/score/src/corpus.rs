@@ -16,7 +16,7 @@
 
 use crate::model::{Normalization, TfIdfModel};
 use crate::tfidf::{self, ComponentPredicate};
-use whirlpool_index::TagIndex;
+use whirlpool_index::{DocView, TagIndex, TagIndexView};
 use whirlpool_pattern::TreePattern;
 use whirlpool_xml::Document;
 
@@ -67,10 +67,16 @@ impl CorpusStats {
     /// `answer_tag` is the pattern root's tag (pass
     /// `&pattern.node(pattern.root()).tag`).
     pub fn add_shard(&mut self, doc: &Document, index: &TagIndex, answer_tag: &str) {
+        self.add_shard_view(doc.into(), index.view(), answer_tag);
+    }
+
+    /// [`add_shard`](CorpusStats::add_shard) over borrowed views — the
+    /// form snapshot-backed shards use.
+    pub fn add_shard_view(&mut self, doc: DocView<'_>, index: TagIndexView<'_>, answer_tag: &str) {
         let mut population_seen = None;
         for (exact, relaxed) in &self.preds {
-            let (pop, sat_exact) = tfidf::idf_counts(doc, index, answer_tag, exact);
-            let (_, sat_relaxed) = tfidf::idf_counts(doc, index, answer_tag, relaxed);
+            let (pop, sat_exact) = tfidf::idf_counts_view(doc, index, answer_tag, exact);
+            let (_, sat_relaxed) = tfidf::idf_counts_view(doc, index, answer_tag, relaxed);
             self.satisfying[exact.qnode.index()][0] += sat_exact;
             self.satisfying[exact.qnode.index()][1] += sat_relaxed;
             population_seen = Some(pop);
@@ -79,7 +85,7 @@ impl CorpusStats {
         // population still has to be counted for them.
         let pop = match population_seen {
             Some(p) => p,
-            None => count_population(doc, index, answer_tag),
+            None => count_population(&doc, &index, answer_tag),
         };
         self.population += pop;
         self.shards += 1;
@@ -113,7 +119,7 @@ impl CorpusStats {
 }
 
 /// Counts the nodes carrying `answer_tag` in one shard.
-fn count_population(doc: &Document, index: &TagIndex, answer_tag: &str) -> u64 {
+fn count_population(doc: &DocView<'_>, index: &TagIndexView<'_>, answer_tag: &str) -> u64 {
     if answer_tag == whirlpool_pattern::WILDCARD {
         doc.elements().count() as u64
     } else {

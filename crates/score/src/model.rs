@@ -10,7 +10,7 @@
 use crate::score::Score;
 use crate::tfidf::{self, ComponentPredicate};
 use std::collections::HashMap;
-use whirlpool_index::TagIndex;
+use whirlpool_index::{DocView, TagIndex, TagIndexView};
 use whirlpool_pattern::{QNodeId, TreePattern};
 use whirlpool_xml::{Document, NodeId};
 
@@ -99,6 +99,17 @@ impl TfIdfModel {
         pattern: &TreePattern,
         normalization: Normalization,
     ) -> Self {
+        Self::build_view(doc.into(), index.view(), pattern, normalization)
+    }
+
+    /// [`build`](TfIdfModel::build) over borrowed views — the form the
+    /// snapshot-attached paths use (no owned `Document` exists there).
+    pub fn build_view(
+        doc: DocView<'_>,
+        index: TagIndexView<'_>,
+        pattern: &TreePattern,
+        normalization: Normalization,
+    ) -> Self {
         let answer_tag = &pattern.node(pattern.root()).tag;
         let preds = tfidf::component_predicates(pattern);
         let mut weights = vec![[0.0, 0.0]; pattern.len()];
@@ -108,7 +119,7 @@ impl TfIdfModel {
         // examples (scores come from the join predicates) the root
         // contributes 0 and all scoring happens at the servers.
         for pred in &preds {
-            let exact = tfidf::idf(doc, index, answer_tag, pred);
+            let exact = tfidf::idf_view(doc, index, answer_tag, pred);
             let relaxed_pred = ComponentPredicate {
                 qnode: pred.qnode,
                 axis: pred.axis.relaxed(),
@@ -116,7 +127,7 @@ impl TfIdfModel {
                 value: pred.value.clone(),
                 attrs: pred.attrs.clone(),
             };
-            let relaxed = tfidf::idf(doc, index, answer_tag, &relaxed_pred);
+            let relaxed = tfidf::idf_view(doc, index, answer_tag, &relaxed_pred);
             // Definition 4.2 guarantees relaxed ≤ exact (more nodes
             // satisfy the weaker predicate); clamp for degenerate
             // documents where both are 0.

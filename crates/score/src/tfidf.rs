@@ -15,7 +15,7 @@
 //! Value-labelled leaves (`title (wodehouse)`) fold the value test into
 //! the predicate: only nodes passing it count for idf and tf.
 
-use whirlpool_index::TagIndex;
+use whirlpool_index::{DocView, TagIndex, TagIndexView};
 use whirlpool_pattern::{AttrTest, ComposedAxis, QNodeId, TreePattern, ValueTest, WILDCARD};
 use whirlpool_xml::{Document, NodeId};
 
@@ -58,8 +58,8 @@ pub fn component_predicates(pattern: &TreePattern) -> Vec<ComponentPredicate> {
 /// containment/depth checks pay off here just as they do in the
 /// engines' hot loop.
 fn satisfies(
-    doc: &Document,
-    index: &TagIndex,
+    doc: DocView<'_>,
+    index: TagIndexView<'_>,
     pred: &ComponentPredicate,
     n: NodeId,
     n_prime: NodeId,
@@ -78,8 +78,8 @@ fn satisfies(
 /// Candidate `qi` nodes under `n` for a predicate: the tag's posting
 /// range, or every descendant for a wildcard.
 fn candidates_under(
-    doc: &Document,
-    index: &TagIndex,
+    doc: DocView<'_>,
+    index: TagIndexView<'_>,
     pred: &ComponentPredicate,
     n: NodeId,
 ) -> Vec<NodeId> {
@@ -96,6 +96,17 @@ fn candidates_under(
 /// Definition 4.3: the number of distinct `qi` nodes satisfying
 /// `p(n, ·)`.
 pub fn tf(doc: &Document, index: &TagIndex, pred: &ComponentPredicate, n: NodeId) -> usize {
+    tf_view(doc.into(), index.view(), pred, n)
+}
+
+/// [`tf`] over borrowed views — the backing-agnostic form used by the
+/// snapshot-attached paths.
+pub fn tf_view(
+    doc: DocView<'_>,
+    index: TagIndexView<'_>,
+    pred: &ComponentPredicate,
+    n: NodeId,
+) -> usize {
     candidates_under(doc, index, pred, n)
         .into_iter()
         .filter(|&c| satisfies(doc, index, pred, n, c))
@@ -112,6 +123,16 @@ pub fn tf(doc: &Document, index: &TagIndex, pred: &ComponentPredicate, n: NodeId
 pub fn idf_counts(
     doc: &Document,
     index: &TagIndex,
+    answer_tag: &str,
+    pred: &ComponentPredicate,
+) -> (u64, u64) {
+    idf_counts_view(doc.into(), index.view(), answer_tag, pred)
+}
+
+/// [`idf_counts`] over borrowed views.
+pub fn idf_counts_view(
+    doc: DocView<'_>,
+    index: TagIndexView<'_>,
     answer_tag: &str,
     pred: &ComponentPredicate,
 ) -> (u64, u64) {
@@ -150,7 +171,17 @@ pub fn idf_from_counts(population: u64, satisfying: u64) -> f64 {
 /// with the answer tag. When no node satisfies the predicate the
 /// denominator is taken as 1 (maximal idf), keeping the value finite.
 pub fn idf(doc: &Document, index: &TagIndex, answer_tag: &str, pred: &ComponentPredicate) -> f64 {
-    let (population, satisfying) = idf_counts(doc, index, answer_tag, pred);
+    idf_view(doc.into(), index.view(), answer_tag, pred)
+}
+
+/// [`idf`] over borrowed views.
+pub fn idf_view(
+    doc: DocView<'_>,
+    index: TagIndexView<'_>,
+    answer_tag: &str,
+    pred: &ComponentPredicate,
+) -> f64 {
+    let (population, satisfying) = idf_counts_view(doc, index, answer_tag, pred);
     idf_from_counts(population, satisfying)
 }
 
@@ -160,10 +191,20 @@ pub fn idf(doc: &Document, index: &TagIndex, answer_tag: &str, pred: &ComponentP
 /// [`crate::ScoreModel`] instead, which this function validates against
 /// in tests.
 pub fn score_answer(doc: &Document, index: &TagIndex, pattern: &TreePattern, n: NodeId) -> f64 {
+    score_answer_view(doc.into(), index.view(), pattern, n)
+}
+
+/// [`score_answer`] over borrowed views.
+pub fn score_answer_view(
+    doc: DocView<'_>,
+    index: TagIndexView<'_>,
+    pattern: &TreePattern,
+    n: NodeId,
+) -> f64 {
     let answer_tag = &pattern.node(pattern.root()).tag;
     component_predicates(pattern)
         .iter()
-        .map(|pred| idf(doc, index, answer_tag, pred) * tf(doc, index, pred, n) as f64)
+        .map(|pred| idf_view(doc, index, answer_tag, pred) * tf_view(doc, index, pred, n) as f64)
         .sum()
 }
 

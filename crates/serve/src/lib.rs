@@ -78,4 +78,4 @@ pub use governor::{Admission, FireCause, Permit, Rung, Watchdog};
 pub use json::{escape, Json, JsonError};
 pub use metrics::{ServeMetrics, ServeMetricsSnapshot};
 pub use server::{serve_blocking, start, ServeConfig, ServerHandle};
-pub use shared::{DocState, Registry, Shared};
+pub use shared::{DocState, Prepare, Registry, Shared};

@@ -109,6 +109,14 @@ impl ServeMetricsSnapshot {
             self.retries,
         )
     }
+
+    /// [`to_json`](Self::to_json) plus a `docs` field: a pre-rendered
+    /// JSON array of per-document prepare costs (`index_build_ms` for
+    /// parsed documents, `snapshot_attach_ms` for attached snapshots).
+    pub fn to_json_with_docs(&self, inflight: usize, docs: &str) -> String {
+        let base = self.to_json(inflight);
+        format!("{}, \"docs\": {docs}}}", &base[..base.len() - 1])
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +145,17 @@ mod tests {
         let body = m.snapshot().to_json(2);
         assert!(body.contains("\"received\": 7"));
         assert!(body.contains("\"inflight\": 2"));
+        crate::json::Json::parse(&body).expect("valid json");
+    }
+
+    #[test]
+    fn docs_field_splices_into_valid_json() {
+        let m = ServeMetrics::default();
+        let docs = "[{\"name\": \"a\", \"backing\": \"snapshot\", \
+                     \"snapshot_attach_ms\": 0.042}]";
+        let body = m.snapshot().to_json_with_docs(0, docs);
+        assert!(body.contains("\"docs\": ["));
+        assert!(body.contains("\"snapshot_attach_ms\": 0.042"));
         crate::json::Json::parse(&body).expect("valid json");
     }
 }

@@ -42,6 +42,11 @@ pub struct ServeConfig {
     pub watchdog_grace: Duration,
     /// Bounded re-runs after a transient server fault.
     pub retries: u32,
+    /// Warm-start directory: at boot, every document that had to be
+    /// parsed (no usable snapshot) gets a version-2 snapshot written
+    /// here by a background thread, so the *next* boot attaches it in
+    /// O(header) instead of re-indexing.
+    pub snapshot_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -55,6 +60,7 @@ impl Default for ServeConfig {
             base_deadline: Duration::from_millis(2000),
             watchdog_grace: Duration::from_millis(250),
             retries: 1,
+            snapshot_dir: None,
         }
     }
 }
@@ -213,6 +219,45 @@ pub fn start(config: ServeConfig, registry: Registry) -> std::io::Result<ServerH
                 })?,
         );
     }
+    // Warm-start maintenance: snapshot every parsed document in the
+    // background so the next boot attaches instead of re-indexing.
+    // Off the request path entirely — the thread holds only `Arc`s and
+    // exits when the last document is written.
+    if let Some(dir) = daemon.config.snapshot_dir.clone() {
+        let parsed: Vec<Arc<DocState>> = daemon
+            .registry
+            .read()
+            .all()
+            .into_iter()
+            .filter(|d| !d.is_snapshot())
+            .collect();
+        if !parsed.is_empty() {
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-snapshotter".into())
+                    .spawn(move || {
+                        let _ = std::fs::create_dir_all(&dir);
+                        for d in parsed {
+                            let Some((doc, index)) = d.as_parsed() else {
+                                continue;
+                            };
+                            // Write-then-rename: a crash mid-write must
+                            // not leave a truncated file that poisons
+                            // the next warm start (attach would reject
+                            // it, but the boot would fall back to a
+                            // cold parse).
+                            let path = dir.join(format!("{}.wps", d.name));
+                            let tmp = dir.join(format!(".{}.wps.tmp", d.name));
+                            if whirlpool_store::save_snapshot(doc, index, &tmp).is_ok() {
+                                let _ = std::fs::rename(&tmp, &path);
+                            } else {
+                                let _ = std::fs::remove_file(&tmp);
+                            }
+                        }
+                    })?,
+            );
+        }
+    }
     for i in 0..daemon.config.workers.max(1) {
         let queue = queue.clone();
         let shutdown = shutdown.clone();
@@ -319,12 +364,34 @@ fn route(daemon: &Daemon, conn: &mut TcpStream, request: &Request) -> Result<(),
             Ok(())
         }
         ("GET", "/metrics") => {
+            // Per-document prepare costs ride along with the counters:
+            // `index_build_ms` for cold (parsed) documents,
+            // `snapshot_attach_ms` for warm (attached) ones.
+            let docs = daemon.registry.read().all();
+            let mut docs_json = String::from("[");
+            for (i, d) in docs.iter().enumerate() {
+                if i > 0 {
+                    docs_json.push_str(", ");
+                }
+                docs_json.push_str(&format!(
+                    "{{\"name\": \"{}\", \"backing\": \"{}\", \"{}\": {:.3}}}",
+                    escape(&d.name),
+                    if d.is_snapshot() {
+                        "snapshot"
+                    } else {
+                        "parsed"
+                    },
+                    d.prepare.stat_name(),
+                    d.prepare.ms(),
+                ));
+            }
+            docs_json.push(']');
             let body = format!(
                 "{}\n",
                 daemon
                     .metrics
                     .snapshot()
-                    .to_json(daemon.admission.inflight())
+                    .to_json_with_docs(daemon.admission.inflight(), &docs_json)
             );
             respond(conn, 200, &[], &body)?;
             Ok(())
@@ -409,15 +476,15 @@ fn handle_query(daemon: &Daemon, conn: &mut TcpStream, body: &[u8]) -> Result<()
     // Parse/index happened at load time; per-request cost from here on
     // is the score model, the context (selectivity sample), and the
     // evaluation itself.
-    let model = TfIdfModel::build(
-        &doc_state.doc,
-        &doc_state.index,
+    let model = TfIdfModel::build_view(
+        doc_state.doc(),
+        doc_state.index(),
         &pattern,
         Normalization::Sparse,
     );
-    let ctx = QueryContext::new(
-        &doc_state.doc,
-        &doc_state.index,
+    let ctx = QueryContext::new_view(
+        doc_state.doc(),
+        doc_state.index(),
         &pattern,
         &model,
         ContextOptions {
@@ -591,7 +658,7 @@ fn handle_collection_query(
     let answer_tag = pattern.node(pattern.root()).tag.clone();
     let mut stats = CorpusStats::new(&pattern);
     for d in &docs {
-        stats.add_shard(&d.doc, &d.index, &answer_tag);
+        stats.add_shard_view(d.doc(), d.index(), &answer_tag);
     }
     let model = stats.model(Normalization::Sparse);
 
@@ -691,9 +758,9 @@ fn handle_collection_query(
         // Threshold sharing: seed the shard run's pruning threshold
         // with the current corpus k-th score.
         options.threshold_floor = threshold.value();
-        let ctx = QueryContext::new(
-            &d.doc,
-            &d.index,
+        let ctx = QueryContext::new_view(
+            d.doc(),
+            d.index(),
             &pattern,
             &model,
             ContextOptions {
@@ -822,7 +889,7 @@ fn collection_response_json(
     for (i, &(score, shard, root)) in answers.iter().enumerate() {
         let d = &docs[shard];
         let id = d
-            .doc
+            .doc()
             .attribute(root, "id")
             .map(|v| format!(", \"id\": \"{}\"", escape(v)))
             .unwrap_or_default();
@@ -881,7 +948,7 @@ fn query_response_json(
     body.push_str("  \"answers\": [\n");
     for (i, a) in result.answers.iter().enumerate() {
         let id = doc_state
-            .doc
+            .doc()
             .attribute(a.root, "id")
             .map(|v| format!(", \"id\": \"{}\"", escape(v)))
             .unwrap_or_default();
@@ -989,6 +1056,81 @@ mod tests {
         assert_eq!(m.get("inflight").and_then(Json::as_u64), Some(0));
 
         handle.shutdown();
+    }
+
+    #[test]
+    fn warm_start_serves_identically_and_reports_attach_cost() {
+        let dir = std::env::temp_dir().join(format!("wp-serve-warm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wps = dir.join("books.wps");
+        {
+            let registry = test_registry();
+            let state = registry.get("books").unwrap();
+            let (doc, index) = state.as_parsed().unwrap();
+            whirlpool_store::save_snapshot(doc, index, &wps).unwrap();
+        }
+
+        // Cold and warm daemons answer the same query identically.
+        let cold = start(ServeConfig::default(), test_registry()).unwrap();
+        let mut warm_registry = Registry::new();
+        warm_registry.insert(DocState::attach("books", &wps).unwrap());
+        let warm = start(ServeConfig::default(), warm_registry).unwrap();
+        let query = r#"{"query": "//book[./title and ./isbn]", "k": 3}"#;
+        let (cs, cold_body) = post_query(cold.addr(), query);
+        let (ws, warm_body) = post_query(warm.addr(), query);
+        assert_eq!((cs, ws), (200, 200), "{cold_body}\n{warm_body}");
+        let answers = |body: &str| -> Vec<(u64, String)> {
+            let v = Json::parse(body).unwrap();
+            let Some(Json::Arr(list)) = v.get("answers").cloned() else {
+                panic!("no answers: {body}")
+            };
+            list.iter()
+                .map(|a| {
+                    (
+                        a.get("node").and_then(Json::as_u64).unwrap(),
+                        format!("{:?}", a.get("score")),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(
+            answers(&cold_body),
+            answers(&warm_body),
+            "snapshot-backed answers must match the parsed ones"
+        );
+
+        // /metrics names the backing and the prepare cost per document.
+        let (_, body) = send(warm.addr(), "GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(body.contains("\"backing\": \"snapshot\""), "{body}");
+        assert!(body.contains("\"snapshot_attach_ms\""), "{body}");
+        let (_, body) = send(cold.addr(), "GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(body.contains("\"backing\": \"parsed\""), "{body}");
+        assert!(body.contains("\"index_build_ms\""), "{body}");
+
+        cold.shutdown();
+        warm.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn background_snapshotter_writes_attachable_snapshots() {
+        let dir = std::env::temp_dir().join(format!("wp-serve-snapper-{}", std::process::id()));
+        let config = ServeConfig {
+            snapshot_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        let handle = start(config, test_registry()).unwrap();
+        let wps = dir.join("books.wps");
+        // The snapshotter runs off the request path; poll briefly.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !wps.exists() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        handle.shutdown();
+        let state = DocState::attach("books", &wps).expect("background snapshot must attach");
+        assert!(state.is_snapshot());
+        assert_eq!(state.synopsis.tag_count("book"), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     /// Three documents of sharply different promise: `rich` holds the

@@ -1,6 +1,7 @@
 //! Daemon state shared across worker threads.
 //!
-//! The parse/index work happens once, at load time; every request
+//! The prepare work happens once, at load time — either a full
+//! parse+index, or a zero-copy [`Snapshot`] attach — and every request
 //! thereafter borrows an immutable [`DocState`] through an `Arc` and
 //! builds only the per-query artifacts (pattern, score model, context).
 //! The registry sits behind [`Shared`] — the `Arc<RwLock<_>>` idiom —
@@ -9,7 +10,9 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use whirlpool_index::{ShardSynopsis, TagIndex};
+use std::time::Instant;
+use whirlpool_index::{DocView, ShardSynopsis, TagIndex, TagIndexView};
+use whirlpool_store::Snapshot;
 use whirlpool_xml::Document;
 
 /// Clonable handle to state behind a reader-writer lock.
@@ -48,31 +51,126 @@ impl<S> Shared<S> {
     }
 }
 
-/// One loaded document: parsed and indexed exactly once, then shared
-/// immutably by every request that names it.
+/// How a document became queryable, and what it cost.
+///
+/// The two variants mirror the CLI's `--stats` line: cold starts pay
+/// `index_build_ms` (the parse happened just before, at load), warm
+/// starts pay `snapshot_attach_ms` (O(header) validation over a mapped
+/// file). `/metrics` surfaces the cost per document so a deployment
+/// can see whether its boots are warm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Prepare {
+    /// Indexed in-process from a parsed document.
+    Indexed {
+        /// Wall time of `TagIndex::build` at load.
+        ms: f64,
+    },
+    /// Attached zero-copy from a version-2 snapshot.
+    Attached {
+        /// Wall time of `Snapshot::attach`.
+        ms: f64,
+    },
+}
+
+impl Prepare {
+    /// The `/metrics` field name for this cost.
+    pub fn stat_name(&self) -> &'static str {
+        match self {
+            Prepare::Indexed { .. } => "index_build_ms",
+            Prepare::Attached { .. } => "snapshot_attach_ms",
+        }
+    }
+
+    /// The cost in milliseconds.
+    pub fn ms(&self) -> f64 {
+        match self {
+            Prepare::Indexed { ms } | Prepare::Attached { ms } => *ms,
+        }
+    }
+}
+
+/// What a [`DocState`] holds: a document parsed and indexed at load
+/// time, or a mapped snapshot whose arrays are read in place.
+#[allow(clippy::large_enum_variant)] // one per loaded document
+enum DocBacking {
+    Parsed { doc: Document, index: TagIndex },
+    Snapshot(Box<Snapshot>),
+}
+
+/// One loaded document: prepared exactly once, then shared immutably
+/// by every request that names it.
 pub struct DocState {
     /// The lookup name clients use in the `doc` request field.
     pub name: String,
-    /// The parsed document.
-    pub doc: Document,
-    /// The tag index built over it.
-    pub index: TagIndex,
+    backing: DocBacking,
     /// Tag-count synopsis for collection-mode shard pruning and the
     /// coarse cost estimate of collection queries.
     pub synopsis: ShardSynopsis,
+    /// How this document became queryable and what it cost.
+    pub prepare: Prepare,
 }
 
 impl DocState {
-    /// Indexes `doc` under `name`.
+    /// Indexes `doc` under `name` (the cold-start path).
     pub fn new(name: impl Into<String>, doc: Document) -> DocState {
+        let start = Instant::now();
         let index = TagIndex::build(&doc);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
         let synopsis = ShardSynopsis::build(&doc);
         DocState {
             name: name.into(),
-            doc,
-            index,
+            backing: DocBacking::Parsed { doc, index },
             synopsis,
+            prepare: Prepare::Indexed { ms },
         }
+    }
+
+    /// Attaches a version-2 snapshot under `name` (the warm-start
+    /// path): O(header) validation, no parse, no index build.
+    pub fn attach(
+        name: impl Into<String>,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<DocState, whirlpool_store::StoreError> {
+        let start = Instant::now();
+        let snapshot = Snapshot::attach(path)?;
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let synopsis = snapshot.synopsis().clone();
+        Ok(DocState {
+            name: name.into(),
+            backing: DocBacking::Snapshot(Box::new(snapshot)),
+            synopsis,
+            prepare: Prepare::Attached { ms },
+        })
+    }
+
+    /// The document, whichever backing holds it.
+    pub fn doc(&self) -> DocView<'_> {
+        match &self.backing {
+            DocBacking::Parsed { doc, .. } => DocView::from(doc),
+            DocBacking::Snapshot(s) => s.doc_view(),
+        }
+    }
+
+    /// The tag index, whichever backing holds it.
+    pub fn index(&self) -> TagIndexView<'_> {
+        match &self.backing {
+            DocBacking::Parsed { index, .. } => index.view(),
+            DocBacking::Snapshot(s) => s.index_view(),
+        }
+    }
+
+    /// The owned document and index, when this state was parsed rather
+    /// than attached — the background snapshotter serializes from here.
+    pub fn as_parsed(&self) -> Option<(&Document, &TagIndex)> {
+        match &self.backing {
+            DocBacking::Parsed { doc, index } => Some((doc, index)),
+            DocBacking::Snapshot(_) => None,
+        }
+    }
+
+    /// Is this document backed by an attached snapshot?
+    pub fn is_snapshot(&self) -> bool {
+        matches!(self.backing, DocBacking::Snapshot(_))
     }
 }
 
@@ -155,5 +253,40 @@ mod tests {
         let b = shared.read();
         assert_eq!(a.len(), 1);
         assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn attached_state_serves_the_same_views_as_a_parsed_one() {
+        let xml = "<shelf><book id=\"b1\"><title>dune</title></book><book/></shelf>";
+        let parsed = DocState::new("s", parse_document(xml).unwrap());
+        assert!(!parsed.is_snapshot());
+        assert!(parsed.as_parsed().is_some());
+        assert_eq!(parsed.prepare.stat_name(), "index_build_ms");
+
+        let dir = std::env::temp_dir().join(format!("wp-shared-attach-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.wps");
+        let (doc, index) = parsed.as_parsed().unwrap();
+        whirlpool_store::save_snapshot(doc, index, &path).unwrap();
+
+        let attached = DocState::attach("s", &path).unwrap();
+        assert!(attached.is_snapshot());
+        assert!(attached.as_parsed().is_none());
+        assert_eq!(attached.prepare.stat_name(), "snapshot_attach_ms");
+        assert_eq!(attached.doc().len(), parsed.doc().len());
+        assert_eq!(
+            attached.synopsis.tag_count("book"),
+            parsed.synopsis.tag_count("book")
+        );
+        let tag = attached.doc().tag_id("title").unwrap();
+        assert_eq!(
+            attached.index().nodes_with_tag(tag).len(),
+            parsed
+                .index()
+                .nodes_with_tag(parsed.doc().tag_id("title").unwrap())
+                .len()
+        );
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

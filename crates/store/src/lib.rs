@@ -42,7 +42,14 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 use whirlpool_xml::{Document, DocumentBuilder};
 
-const MAGIC: &[u8; 4] = b"WPLX";
+mod mmap;
+mod snapshot;
+
+pub use snapshot::{
+    build_snapshot_bytes, save_snapshot, write_snapshot, AttachMode, Snapshot, SNAPSHOT_VERSION,
+};
+
+pub(crate) const MAGIC: &[u8; 4] = b"WPLX";
 const VERSION: u32 = 1;
 const NO_TEXT: u32 = u32::MAX;
 
@@ -128,6 +135,19 @@ pub fn read_store(r: &mut impl Read) -> Result<Document, StoreError> {
         return Err(StoreError::BadMagic);
     }
     let version = read_u32_plain(r)?;
+    if version == SNAPSHOT_VERSION {
+        // Version-2 snapshot arriving through the streaming reader:
+        // buffer the remainder, validate it as a snapshot, and rebuild
+        // the arena. (Callers that want zero-copy access attach with
+        // [`Snapshot::attach`] instead.)
+        let mut rest = Vec::new();
+        r.read_to_end(&mut rest)?;
+        let mut full = Vec::with_capacity(8 + rest.len());
+        full.extend_from_slice(MAGIC);
+        full.extend_from_slice(&version.to_le_bytes());
+        full.extend_from_slice(&rest);
+        return Ok(Snapshot::from_bytes(&full)?.to_document());
+    }
     if version != VERSION {
         return Err(StoreError::UnsupportedVersion(version));
     }
@@ -217,11 +237,22 @@ pub fn load_file(path: impl AsRef<Path>) -> Result<Document, StoreError> {
 /// Does this file start with the store magic? (Cheap sniffing for CLIs
 /// that accept both `.xml` and store files.)
 pub fn is_store_file(path: impl AsRef<Path>) -> bool {
+    store_version(path).is_some()
+}
+
+/// The format version of a store file (1 = v1 stream, 2 = snapshot), or
+/// `None` if the file is missing or does not carry the store magic.
+/// Cheap: reads 8 bytes.
+pub fn store_version(path: impl AsRef<Path>) -> Option<u32> {
     let Ok(mut f) = std::fs::File::open(path) else {
-        return false;
+        return None;
     };
-    let mut magic = [0u8; 4];
-    f.read_exact(&mut magic).is_ok() && &magic == MAGIC
+    let mut head = [0u8; 8];
+    f.read_exact(&mut head).ok()?;
+    if &head[0..4] != MAGIC {
+        return None;
+    }
+    Some(u32::from_le_bytes(head[4..8].try_into().ok()?))
 }
 
 // -- checksum plumbing ---------------------------------------------------

@@ -1,0 +1,157 @@
+//! Property-based corruption tests for the version-2 snapshot format.
+//!
+//! The attach path promises: any truncated, bit-flipped, byte-mangled,
+//! or mis-sized snapshot yields a clean [`StoreError`] — never a panic,
+//! never an out-of-bounds read, never a silently wrong view. These
+//! properties drive arbitrary documents *and* arbitrary corruptions
+//! through `Snapshot::from_bytes` (the same validator `attach` uses).
+
+use proptest::prelude::*;
+use whirlpool_index::TagIndex;
+use whirlpool_store::{build_snapshot_bytes, Snapshot};
+use whirlpool_xml::{write_document, DocumentBuilder, WriteOptions};
+
+const TAGS: [&str; 6] = ["a", "b", "c", "item", "text", "name"];
+
+#[derive(Debug, Clone)]
+struct Tree {
+    tag: usize,
+    text: Option<String>,
+    attrs: Vec<(usize, String)>,
+    children: Vec<Tree>,
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let attr = (0usize..TAGS.len(), "[a-z0-9 ]{0,8}");
+    let leaf = (
+        0usize..TAGS.len(),
+        prop::option::of("[a-z <>&\"é0-9]{0,12}"),
+        prop::collection::vec(attr.clone(), 0..2),
+    )
+        .prop_map(|(tag, text, attrs)| Tree {
+            tag,
+            text,
+            attrs,
+            children: vec![],
+        });
+    leaf.prop_recursive(4, 40, 4, move |inner| {
+        (
+            0usize..TAGS.len(),
+            prop::option::of("[a-z <>&\"é0-9]{0,12}"),
+            prop::collection::vec((0usize..TAGS.len(), "[a-z0-9 ]{0,8}"), 0..2),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(tag, text, attrs, children)| Tree {
+                tag,
+                text,
+                attrs,
+                children,
+            })
+    })
+}
+
+fn build(tree: &Tree, b: &mut DocumentBuilder) {
+    b.open(TAGS[tree.tag]);
+    let mut used = [false; TAGS.len()];
+    for (name, value) in &tree.attrs {
+        if !used[*name] {
+            used[*name] = true;
+            b.attribute(TAGS[*name], value);
+        }
+    }
+    if let Some(t) = &tree.text {
+        b.text(t);
+    }
+    for c in &tree.children {
+        build(c, b);
+    }
+    b.close();
+}
+
+fn snapshot_bytes(trees: &[Tree]) -> Vec<u8> {
+    let mut builder = DocumentBuilder::new();
+    for t in trees {
+        build(t, &mut builder);
+    }
+    let doc = builder.finish();
+    let index = TagIndex::build(&doc);
+    build_snapshot_bytes(&doc, &index)
+}
+
+proptest! {
+    /// Snapshot → views → rebuilt document is lossless for arbitrary
+    /// documents (checked via canonical XML serialization).
+    #[test]
+    fn snapshot_roundtrip_is_lossless(trees in prop::collection::vec(tree_strategy(), 1..4)) {
+        let mut builder = DocumentBuilder::new();
+        for t in &trees {
+            build(t, &mut builder);
+        }
+        let doc = builder.finish();
+        let index = TagIndex::build(&doc);
+        let bytes = build_snapshot_bytes(&doc, &index);
+
+        let snap = Snapshot::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(snap.node_count(), doc.len());
+        let opts = WriteOptions::default();
+        prop_assert_eq!(
+            write_document(&doc, &opts),
+            write_document(&snap.to_document(), &opts)
+        );
+    }
+
+    /// Flipping any single bit anywhere in the file — header, section
+    /// table, payload, padding, checksum — must make attach fail.
+    #[test]
+    fn bit_flips_always_error(
+        trees in prop::collection::vec(tree_strategy(), 1..3),
+        byte_seed in any::<u64>(),
+        bit in 0u32..8,
+    ) {
+        let clean = snapshot_bytes(&trees);
+        let mut corrupt = clean.clone();
+        let pos = (byte_seed % corrupt.len() as u64) as usize;
+        corrupt[pos] ^= 1 << bit;
+        prop_assert!(
+            Snapshot::from_bytes(&corrupt).is_err(),
+            "flip at byte {pos} bit {bit} went undetected"
+        );
+    }
+
+    /// Truncating a valid snapshot anywhere always fails cleanly.
+    #[test]
+    fn truncation_always_errors(
+        trees in prop::collection::vec(tree_strategy(), 1..3),
+        cut_seed in any::<u64>(),
+    ) {
+        let clean = snapshot_bytes(&trees);
+        let cut = (cut_seed % clean.len() as u64) as usize;
+        prop_assert!(Snapshot::from_bytes(&clean[..cut]).is_err(), "cut={cut}");
+    }
+
+    /// Prepending garbage (shifting every section off its stated
+    /// offset, i.e. a misaligned/displaced layout) always fails, as
+    /// does appending trailing garbage.
+    #[test]
+    fn misaligned_and_padded_layouts_error(
+        trees in prop::collection::vec(tree_strategy(), 1..3),
+        shift in 1usize..16,
+    ) {
+        let clean = snapshot_bytes(&trees);
+        let mut shifted = vec![0u8; shift];
+        shifted.extend_from_slice(&clean);
+        prop_assert!(Snapshot::from_bytes(&shifted).is_err(), "shift={shift}");
+
+        let mut padded = clean.clone();
+        padded.extend(std::iter::repeat(0xAB).take(shift));
+        prop_assert!(Snapshot::from_bytes(&padded).is_err(), "pad={shift}");
+    }
+
+    /// Completely arbitrary bytes never attach (and never panic).
+    #[test]
+    fn random_bytes_never_attach(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        // A random blob passing magic + version + checksum is
+        // astronomically unlikely; what matters is "no panic".
+        let _ = Snapshot::from_bytes(&bytes);
+    }
+}

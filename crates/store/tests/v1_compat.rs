@@ -1,0 +1,70 @@
+//! Backward compatibility: version-1 store files written before the
+//! version-2 snapshot format existed must keep loading, byte-for-byte.
+//!
+//! The fixture below is the literal `write_store` output (version 1)
+//! for a small document, captured when v2 was introduced. If this test
+//! fails, a change broke reading of already-on-disk v1 files — that is
+//! a format regression, not a fixture to regenerate.
+
+use whirlpool_store::{read_store, store_version, write_store, SNAPSHOT_VERSION};
+
+/// v1 bytes for:
+/// `<shelf><book id="b1"><title>Top-K</title></book><cd>é</cd></shelf>`
+const PINNED_V1: &[u8] = &[
+    87, 80, 76, 88, 1, 0, 0, 0, 6, 0, 0, 0, 9, 0, 0, 0, 35, 100, 111, 99, 45, 114, 111, 111, 116,
+    5, 0, 0, 0, 115, 104, 101, 108, 102, 4, 0, 0, 0, 98, 111, 111, 107, 2, 0, 0, 0, 105, 100, 5, 0,
+    0, 0, 116, 105, 116, 108, 101, 2, 0, 0, 0, 99, 100, 4, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 255,
+    255, 255, 255, 0, 0, 2, 0, 0, 0, 1, 0, 0, 0, 255, 255, 255, 255, 1, 0, 3, 0, 0, 0, 2, 0, 0, 0,
+    98, 49, 4, 0, 0, 0, 2, 0, 0, 0, 5, 0, 0, 0, 84, 111, 112, 45, 75, 0, 0, 5, 0, 0, 0, 1, 0, 0, 0,
+    2, 0, 0, 0, 195, 169, 0, 0, 118, 94, 171, 46, 178, 40, 167, 220,
+];
+
+#[test]
+fn pinned_v1_bytes_still_load() {
+    let doc = read_store(&mut &PINNED_V1[..]).expect("v1 store must stay readable");
+    assert_eq!(doc.len(), 5); // root + shelf, book, title, cd
+    let title = doc
+        .elements()
+        .find(|&n| doc.tag_str(n) == "title")
+        .expect("title element");
+    assert_eq!(doc.text(title), Some("Top-K"));
+    let book = doc.parent(title).unwrap();
+    assert_eq!(doc.tag_str(book), "book");
+    assert_eq!(doc.attribute(book, "id"), Some("b1"));
+    let cd = doc.elements().find(|&n| doc.tag_str(n) == "cd").unwrap();
+    assert_eq!(doc.text(cd), Some("é"));
+}
+
+#[test]
+fn v1_writer_still_emits_the_pinned_bytes() {
+    // The v1 *writer* is also frozen: new code must not silently change
+    // what `write_store` emits for existing documents.
+    let doc = whirlpool_xml::parse_document(
+        "<shelf><book id=\"b1\"><title>Top-K</title></book><cd>é</cd></shelf>",
+    )
+    .unwrap();
+    let mut buf = Vec::new();
+    write_store(&doc, &mut buf).unwrap();
+    assert_eq!(buf, PINNED_V1);
+}
+
+#[test]
+fn version_sniffing_distinguishes_v1_and_v2() {
+    let dir = std::env::temp_dir().join(format!("wpl-v1compat-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let v1_path = dir.join("doc.wpx");
+    std::fs::write(&v1_path, PINNED_V1).unwrap();
+    assert_eq!(store_version(&v1_path), Some(1));
+
+    let doc = whirlpool_xml::parse_document("<a><b/></a>").unwrap();
+    let index = whirlpool_index::TagIndex::build(&doc);
+    let v2_path = dir.join("doc.wps");
+    whirlpool_store::save_snapshot(&doc, &index, &v2_path).unwrap();
+    assert_eq!(store_version(&v2_path), Some(SNAPSHOT_VERSION));
+
+    // And the streaming reader handles both through version dispatch.
+    let via_v1 = whirlpool_store::load_file(&v1_path).unwrap();
+    assert_eq!(via_v1.len(), 5);
+    let via_v2 = whirlpool_store::load_file(&v2_path).unwrap();
+    assert_eq!(via_v2.len(), doc.len());
+}

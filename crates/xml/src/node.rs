@@ -10,6 +10,7 @@ use std::fmt;
 /// coincides with document order — a property the engine's indexes rely
 /// on.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct NodeId(pub(crate) u32);
 
 impl NodeId {
@@ -23,6 +24,18 @@ impl NodeId {
     /// document.
     pub fn from_index(index: usize) -> NodeId {
         NodeId(u32::try_from(index).expect("node index exceeds u32"))
+    }
+
+    /// Reinterprets a raw `u32` slice as node ids without copying.
+    ///
+    /// Sound because `NodeId` is `#[repr(transparent)]` over `u32`;
+    /// this is what lets memory-mapped posting lists be served as
+    /// `&[NodeId]` with zero copies. The ids are only meaningful
+    /// against the document whose snapshot the slice came from.
+    pub fn slice_from_raw(raw: &[u32]) -> &[NodeId] {
+        // SAFETY: NodeId is repr(transparent) over u32, so the two
+        // slice types have identical layout and validity.
+        unsafe { std::slice::from_raw_parts(raw.as_ptr().cast::<NodeId>(), raw.len()) }
     }
 }
 

@@ -18,6 +18,13 @@ impl TagId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuilds a `TagId` from a raw index (e.g. read back from a
+    /// snapshot's tag table). Only meaningful against the interner (or
+    /// mapped tag table) it was originally produced by.
+    pub fn from_index(index: usize) -> TagId {
+        TagId(u32::try_from(index).expect("tag index exceeds u32"))
+    }
 }
 
 impl fmt::Debug for TagId {

@@ -62,7 +62,7 @@ fn concatenated_reference(
 ) -> Vec<CollectionAnswer> {
     let mut all: Vec<CollectionAnswer> = Vec::new();
     for (idx, shard) in collection.shards().iter().enumerate() {
-        let ctx = QueryContext::new(
+        let ctx = QueryContext::new_view(
             shard.doc(),
             shard.index(),
             pattern,
