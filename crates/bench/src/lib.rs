@@ -150,6 +150,7 @@ pub fn default_options(k: usize) -> EvalOptions {
         trace: false,
         threads: 1,
         threshold_floor: 0.0,
+        assist: None,
     }
 }
 

@@ -13,11 +13,12 @@ use whirlpool_core::{
 use whirlpool_index::{DocView, TagIndex, TagIndexView};
 use whirlpool_pattern::StaticPlan;
 use whirlpool_score::{Normalization, TfIdfModel};
-use whirlpool_store::{Snapshot, SNAPSHOT_VERSION};
+use whirlpool_store::{is_snapshot_version, Snapshot};
 use whirlpool_xml::{Document, WriteOptions};
 
 /// How the single-document path got its corpus: parsed + indexed in
-/// memory, or attached zero-copy from a version-2 snapshot.
+/// memory, or attached zero-copy from a snapshot (v2 or v3).
+#[allow(clippy::large_enum_variant)] // one per query invocation, never in bulk arrays
 enum DocSource {
     Parsed {
         doc: Document,
@@ -33,14 +34,14 @@ enum DocSource {
 }
 
 impl DocSource {
-    /// Opens `path`: version-2 snapshot files attach (mmap); anything
+    /// Opens `path`: snapshot files (v2 or v3) attach (mmap); anything
     /// else parses and indexes. `force_snapshot` (the `--snapshot`
     /// flag) rejects non-snapshot files instead of falling back.
     fn open(path: &str, force_snapshot: bool) -> Result<DocSource, CliError> {
-        let is_snapshot = whirlpool_store::store_version(path) == Some(SNAPSHOT_VERSION);
+        let is_snapshot = whirlpool_store::store_version(path).is_some_and(is_snapshot_version);
         if force_snapshot && !is_snapshot {
             return Err(CliError::Usage(format!(
-                "--snapshot: {path} is not a version-{SNAPSHOT_VERSION} snapshot \
+                "--snapshot: {path} is not a snapshot \
                  (build one with `whirlpool snapshot build`)"
             )));
         }
@@ -100,6 +101,7 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
             "collection",
             "split",
             "snapshot",
+            "max-resident",
         ],
     )?;
     // Positional shapes: `<file.xml> <query>` (single document, the
@@ -250,6 +252,7 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
             threads
         },
         threshold_floor: 0.0,
+        assist: None,
     };
 
     if multi_doc {
@@ -261,6 +264,12 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
             ));
         }
         let collection = build_collection(collection_dir.as_deref(), &files, split)?;
+        if let Some(max) = parsed.value("max-resident") {
+            let max: usize = max
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--max-resident: not a number: {max:?}")))?;
+            collection.set_max_resident(max);
+        }
         let copts = CollectionOptions {
             shard_pruning: !parsed.flag("no-shard-pruning"),
             share_threshold: !parsed.flag("no-share-threshold"),
@@ -420,10 +429,11 @@ fn build_collection(
     Ok(collection)
 }
 
-/// Adds one file to the collection: version-2 snapshots attach
-/// zero-copy, anything else parses (or loads a v1 store) and indexes.
+/// Adds one file to the collection: snapshots (v2 or v3) go in as lazy
+/// shards — only their synopses are read until a query visits them —
+/// anything else parses (or loads a v1 store) and indexes.
 fn add_shard(collection: &mut Collection, path: &str) -> Result<(), CliError> {
-    if whirlpool_store::store_version(path) == Some(SNAPSHOT_VERSION) {
+    if whirlpool_store::store_version(path).is_some_and(is_snapshot_version) {
         return collection
             .attach_snapshot_file(path)
             .map_err(|e| CliError::Parse(format!("{path}: {e}")));
@@ -463,6 +473,13 @@ fn run_collection(
         "collection: {} shards ({} visited, {} pruned, {} budget-skipped)",
         cm.shards_total, cm.shards_visited, cm.shards_pruned, cm.shards_skipped_budget
     )?;
+    if cm.shards_pruned_before_attach > 0 || cm.shards_attached > 0 || cm.shard_evictions > 0 {
+        writeln!(
+            out,
+            "lazy:       {} pruned before attach, {} attached, {} evicted, {} assists",
+            cm.shards_pruned_before_attach, cm.shards_attached, cm.shard_evictions, cm.assists
+        )?;
+    }
     match result.completeness {
         whirlpool_core::Completeness::Exact => writeln!(out, "result:     exact")?,
         whirlpool_core::Completeness::Truncated {
@@ -485,20 +502,28 @@ fn run_collection(
             shard.name(),
             a.root
         )?;
-        if let Some(id) = shard.doc().attribute(a.root, "id") {
+        // acquire, not Shard::doc(): the answer's shard may be lazy
+        // (and even evicted since its run) — re-attach on demand.
+        let access = collection.acquire(a.shard).ok();
+        if let Some(id) = access
+            .as_ref()
+            .and_then(|x| x.doc().attribute(a.root, "id"))
+        {
             write!(out, "  id={id}")?;
         }
         writeln!(out)?;
         if parsed.flag("xml") {
-            let xml = shard.doc().write_node(
-                a.root,
-                &WriteOptions {
-                    indent: Some(2),
-                    declaration: false,
-                },
-            );
-            for line in xml.lines() {
-                writeln!(out, "      {line}")?;
+            if let Some(access) = &access {
+                let xml = access.doc().write_node(
+                    a.root,
+                    &WriteOptions {
+                        indent: Some(2),
+                        declaration: false,
+                    },
+                );
+                for line in xml.lines() {
+                    writeln!(out, "      {line}")?;
+                }
             }
         }
     }
@@ -540,8 +565,17 @@ fn write_collection_json(
     writeln!(
         out,
         "  \"collection\": {{\"shards_total\": {}, \"shards_visited\": {}, \
-         \"shards_pruned\": {}, \"shards_skipped_budget\": {}}},",
-        cm.shards_total, cm.shards_visited, cm.shards_pruned, cm.shards_skipped_budget
+         \"shards_pruned\": {}, \"shards_pruned_before_attach\": {}, \
+         \"shards_skipped_budget\": {}, \"shards_attached\": {}, \
+         \"shard_evictions\": {}, \"assists\": {}}},",
+        cm.shards_total,
+        cm.shards_visited,
+        cm.shards_pruned,
+        cm.shards_pruned_before_attach,
+        cm.shards_skipped_budget,
+        cm.shards_attached,
+        cm.shard_evictions,
+        cm.assists
     )?;
     writeln!(
         out,
@@ -563,10 +597,11 @@ fn write_collection_json(
             ""
         };
         let shard = &collection.shards()[a.shard];
-        let id = shard
-            .doc()
-            .attribute(a.root, "id")
-            .map(|v| format!(", \"id\": \"{}\"", escape(v)))
+        let id = collection
+            .acquire(a.shard)
+            .ok()
+            .and_then(|x| x.doc().attribute(a.root, "id").map(str::to_string))
+            .map(|v| format!(", \"id\": \"{}\"", escape(&v)))
             .unwrap_or_default();
         writeln!(
             out,

@@ -7,7 +7,7 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 use whirlpool_serve::{DocState, Registry, ServeConfig};
-use whirlpool_store::SNAPSHOT_VERSION;
+use whirlpool_store::is_snapshot_version;
 
 const VALUE_FLAGS: &[&str] = &[
     "addr",
@@ -18,6 +18,7 @@ const VALUE_FLAGS: &[&str] = &[
     "capacity-ops",
     "retries",
     "snapshot-dir",
+    "max-resident",
 ];
 
 /// Clients address documents by file stem: `corpus/a.xml` → "a".
@@ -31,13 +32,16 @@ fn stem(path: &str) -> String {
 
 /// Loads one positional into a `DocState`, warmest path first:
 ///
-/// 1. the file *is* a version-2 snapshot → attach it zero-copy;
-/// 2. `--snapshot-dir` holds a fresh `<stem>.wps` → attach that
-///    (stale ones — older than the source — fall through to a parse,
-///    and the daemon's background snapshotter rewrites them);
+/// 1. the file *is* a snapshot (any supported version) → attach it
+///    zero-copy;
+/// 2. `--snapshot-dir` holds a fresh `<stem>.wps` → *peek* it: only
+///    the header and synopsis load at boot, the arrays attach on the
+///    first query that needs them (stale ones — older than the source
+///    — fall through to a parse, and the daemon's background
+///    snapshotter rewrites them);
 /// 3. otherwise parse + index (the cold path).
 fn load_state(path: &str, snapshot_dir: Option<&Path>) -> Result<DocState, CliError> {
-    if whirlpool_store::store_version(path) == Some(SNAPSHOT_VERSION) {
+    if whirlpool_store::store_version(path).is_some_and(is_snapshot_version) {
         return DocState::attach(stem(path), path)
             .map_err(|e| CliError::Parse(format!("{path}: {e}")));
     }
@@ -51,7 +55,7 @@ fn load_state(path: &str, snapshot_dir: Option<&Path>) -> Result<DocState, CliEr
             _ => false,
         };
         if fresh {
-            if let Ok(state) = DocState::attach(stem(path), &candidate) {
+            if let Ok(state) = DocState::peek(stem(path), &candidate) {
                 return Ok(state);
             }
             // A corrupt or incompatible cached snapshot is not fatal —
@@ -90,6 +94,7 @@ fn configure(argv: &[&str]) -> Result<(ServeConfig, Registry), CliError> {
         ),
         retries: parsed.number("retries", defaults.retries)?,
         snapshot_dir,
+        max_resident: parsed.number("max-resident", defaults.max_resident)?,
         ..defaults
     };
     Ok((config, registry))
@@ -187,15 +192,17 @@ mod tests {
         assert_eq!(config.snapshot_dir.as_deref(), Some(cache.as_path()));
         assert!(!registry.get("books").unwrap().is_snapshot());
 
-        // Once the cache holds a fresh books.wps, the same boot warms.
+        // Once the cache holds a fresh books.wps, the same boot warms —
+        // lazily: only the synopsis loads until a query needs more.
         whirlpool_store::save_snapshot(&doc, &index, cache.join("books.wps")).unwrap();
-        let (_, registry) = configure(&[&xml, "--snapshot-dir", &dir_flag]).unwrap();
+        let (config, registry) =
+            configure(&[&xml, "--snapshot-dir", &dir_flag, "--max-resident", "2"]).unwrap();
+        assert_eq!(config.max_resident, 2);
         let state = registry.get("books").unwrap();
-        assert!(
-            state.is_snapshot(),
-            "fresh cached snapshot must warm-attach"
-        );
-        assert_eq!(state.prepare.stat_name(), "snapshot_attach_ms");
+        assert!(state.is_snapshot(), "fresh cached snapshot counts warm");
+        assert!(state.is_lazy(), "snapshot-dir snapshots load lazily");
+        assert!(!state.is_resident(), "nothing attached before a query");
+        assert_eq!(state.prepare.stat_name(), "snapshot_peek_ms");
 
         // A stale snapshot (source rewritten after it) is ignored.
         std::thread::sleep(std::time::Duration::from_millis(20));

@@ -1,6 +1,7 @@
-//! `whirlpool snapshot` — build, verify, and inspect version-2 index
-//! snapshots (the zero-copy mmap format that lets `query` and `serve`
-//! attach to a prebuilt corpus in milliseconds).
+//! `whirlpool snapshot` — build, verify, and inspect index snapshots
+//! (the zero-copy mmap format that lets `query` and `serve` attach to
+//! a prebuilt corpus in milliseconds; v3 adds a stored path synopsis
+//! for attach-free shard pruning).
 
 use crate::args::Parsed;
 use crate::commands::load_document;
@@ -8,7 +9,7 @@ use crate::CliError;
 use std::io::Write;
 use std::time::Instant;
 use whirlpool_index::TagIndex;
-use whirlpool_store::{AttachMode, Snapshot};
+use whirlpool_store::{AttachMode, Snapshot, SnapshotOptions};
 
 pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     let action = argv.first().copied().unwrap_or("");
@@ -23,13 +24,19 @@ pub fn run(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     }
 }
 
-/// `snapshot build <in.xml> <out.wps>` — parse + index once, write the
-/// flat-array snapshot that later runs attach without rebuilding.
+/// `snapshot build <in.xml> <out.wps> [--no-path-synopsis]` — parse +
+/// index once, write the flat-array snapshot that later runs attach
+/// without rebuilding. The stored path synopsis (on by default) is
+/// what lets lazy collections prune the shard without attaching it;
+/// `--no-path-synopsis` writes the old v2 layout instead.
 fn build(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     let parsed = Parsed::parse(argv, &[])?;
     let input = parsed.positional(0, "in.xml")?.to_string();
     let output = parsed.positional(1, "out.wps")?.to_string();
     parsed.expect_positionals(2)?;
+    let opts = SnapshotOptions {
+        path_synopsis: !parsed.flag("no-path-synopsis"),
+    };
 
     let start = Instant::now();
     let doc = load_document(&input)?;
@@ -37,7 +44,7 @@ fn build(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     let build_time = start.elapsed();
 
     let start = Instant::now();
-    whirlpool_store::save_snapshot(&doc, &index, &output)
+    whirlpool_store::save_snapshot_with(&doc, &index, &output, &opts)
         .map_err(|e| CliError::Usage(format!("cannot write {output}: {e}")))?;
     let write_time = start.elapsed();
 
@@ -87,7 +94,7 @@ fn info(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     let attach = start.elapsed();
     let synopsis = snapshot.synopsis();
     writeln!(out, "snapshot:  {path}")?;
-    writeln!(out, "version:   {}", whirlpool_store::SNAPSHOT_VERSION)?;
+    writeln!(out, "version:   {}", snapshot.version())?;
     writeln!(out, "elements:  {}", snapshot.node_count() - 1)?;
     writeln!(out, "tags:      {}", snapshot.tag_count())?;
     writeln!(out, "bytes:     {}", snapshot.file_len())?;
@@ -101,6 +108,20 @@ fn info(argv: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
         }
     )?;
     writeln!(out, "attach:    {attach:?}")?;
+    match snapshot.path_synopsis() {
+        Some(ps) => writeln!(
+            out,
+            "paths:     {} stored (depth cap {}{})",
+            ps.len(),
+            ps.depth_cap(),
+            if ps.truncated() {
+                ", truncated — ceiling fallback to tag counts"
+            } else {
+                ""
+            }
+        )?,
+        None => writeln!(out, "paths:     none (v2 file or --no-path-synopsis build)")?,
+    }
     let mut tags: Vec<(&str, u64)> = synopsis.tags().collect();
     tags.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
     writeln!(out, "top tags:")?;

@@ -514,7 +514,7 @@ fn snapshot_build_verify_info_and_query_pipeline() {
         file.to_str().unwrap(),
         "//book[./title]",
     ]);
-    assert!(err.contains("not a version-2 snapshot"), "{err}");
+    assert!(err.contains("not a snapshot"), "{err}");
 }
 
 #[test]

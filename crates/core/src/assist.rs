@@ -1,0 +1,330 @@
+//! Cross-shard work stealing: idle collection workers join in-progress
+//! per-shard engine runs.
+//!
+//! The sharded driver runs each visited shard's Whirlpool-M pool with
+//! one thread (`shard_opts.threads = 1`) so that N collection workers
+//! can process N shards concurrently. The weakness is the *tail*: when
+//! the shard cursor is exhausted and one hot shard is still running,
+//! the other workers used to spin-wait while the hot shard crawled
+//! along single-threaded. An [`AssistRegistry`] closes that gap — each
+//! in-progress engine run publishes a *door* (a closure that enters its
+//! worker pool as an extra stealing worker), and idle collection
+//! workers walk through any open door instead of idling.
+//!
+//! The registry is deliberately engine-agnostic: a door is just
+//! `Fn(usize)` taking an assist sequence number. Whirlpool-M maps the
+//! sequence onto worker ids above its home range, so assist workers own
+//! no home queues and live entirely off batch stealing — a mode the
+//! pool already supports and tests pin down.
+//!
+//! # Lifetime safety
+//!
+//! The published closure borrows the engine run's stack state (shared
+//! queues, top-k, control). [`AssistRegistry::publish`] erases that
+//! lifetime to store the door, which is sound because the returned
+//! [`DoorGuard`] *blocks on drop* until the door is closed and every
+//! thread inside it has left: `enter` checks `open` and increments
+//! `active` under the same mutex that `close` uses, so after
+//! `DoorGuard::drop` returns no thread is inside the closure and none
+//! can enter later. The guard is dropped before the engine's scope
+//! returns, so the borrowed state strictly outlives every call.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Type-erased door: the assist closure plus its open/active state.
+struct Door {
+    /// The assist closure. The `'static` is a lie told by `publish`;
+    /// see the module docs for why it cannot be observed. Kept alive
+    /// (not dropped) until the door slot is cleared — threads inside
+    /// the closure when the door closes still execute through it.
+    func: Box<dyn Fn(usize) + Send + Sync + 'static>,
+    /// Closed doors admit no new entrants.
+    open: bool,
+    /// Threads currently inside `func`.
+    active: usize,
+    /// Next assist sequence number for this door (distinct per entry so
+    /// the engine can mint distinct worker ids).
+    next_seq: usize,
+}
+
+#[derive(Default)]
+struct Board {
+    doors: Vec<Option<Door>>,
+    /// Round-robin cursor so concurrent assisters spread over open
+    /// doors instead of piling onto the first.
+    rr: usize,
+}
+
+#[derive(Default)]
+struct Inner {
+    board: Mutex<Board>,
+    /// Signalled when a door opens (so idle workers re-scan) and when a
+    /// door drains (so a closing guard can finish).
+    cv: Condvar,
+}
+
+/// A shared board of in-progress engine runs that idle workers can
+/// join. Clones share the same board.
+#[derive(Clone, Default)]
+pub struct AssistRegistry {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for AssistRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let board = self.inner.board.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("AssistRegistry")
+            .field("doors", &board.doors.iter().filter(|d| d.is_some()).count())
+            .finish()
+    }
+}
+
+impl AssistRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> AssistRegistry {
+        AssistRegistry::default()
+    }
+
+    /// Publishes `f` as an open door and returns the guard that closes
+    /// it. Each entering thread calls `f(seq)` with a sequence number
+    /// unique within this door.
+    ///
+    /// The closure may borrow non-`'static` state: the guard's drop
+    /// blocks until no thread is (or can be) inside it.
+    pub fn publish<'f>(&self, f: impl Fn(usize) + Send + Sync + 'f) -> DoorGuard<'f> {
+        let boxed: Box<dyn Fn(usize) + Send + Sync + 'f> = Box::new(f);
+        // SAFETY: the erased closure is only callable through `enter`,
+        // which holds it no longer than the door is open; DoorGuard's
+        // drop closes the door and blocks until `active == 0` under the
+        // door mutex, and the guard's lifetime is bounded by 'f. So the
+        // closure is never invoked (nor invocable) outside 'f.
+        let boxed: Box<dyn Fn(usize) + Send + Sync + 'static> =
+            unsafe { std::mem::transmute(boxed) };
+        let mut board = self.inner.board.lock().unwrap_or_else(|e| e.into_inner());
+        let door = Door {
+            func: boxed,
+            open: true,
+            active: 0,
+            next_seq: 0,
+        };
+        let slot = match board.doors.iter().position(|d| d.is_none()) {
+            Some(i) => {
+                board.doors[i] = Some(door);
+                i
+            }
+            None => {
+                board.doors.push(Some(door));
+                board.doors.len() - 1
+            }
+        };
+        drop(board);
+        self.inner.cv.notify_all();
+        DoorGuard {
+            registry: self.clone(),
+            slot,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Enters one open door, if any, and runs its closure to
+    /// completion. Returns `true` if a door was entered (i.e. some
+    /// engine run was assisted).
+    pub fn assist_any(&self) -> bool {
+        let (func_ptr, slot, seq) = {
+            let mut board = self.inner.board.lock().unwrap_or_else(|e| e.into_inner());
+            let len = board.doors.len();
+            let start = board.rr;
+            let Some(slot) = (0..len)
+                .map(|i| (start + i) % len.max(1))
+                .find(|&i| board.doors[i].as_ref().is_some_and(|d| d.open))
+            else {
+                return false;
+            };
+            board.rr = (slot + 1) % len;
+            let door = board.doors[slot].as_mut().expect("slot just found");
+            // Raw pointer escape hatch: the Box target is stable (the
+            // slot only drops it after `active` returns to 0), and we
+            // bump `active` before releasing the lock.
+            let func_ptr: *const (dyn Fn(usize) + Send + Sync) = &*door.func;
+            door.active += 1;
+            let seq = door.next_seq;
+            door.next_seq += 1;
+            (func_ptr, slot, seq)
+        };
+        // Run outside the lock; panics still decrement `active` so a
+        // closing guard cannot hang.
+        struct Leave<'a>(&'a AssistRegistry, usize);
+        impl Drop for Leave<'_> {
+            fn drop(&mut self) {
+                let mut board = self.0.inner.board.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(door) = board.doors[self.1].as_mut() {
+                    door.active -= 1;
+                }
+                drop(board);
+                self.0.inner.cv.notify_all();
+            }
+        }
+        let leave = Leave(self, slot);
+        // SAFETY: `active > 0` keeps the closure alive (the guard's
+        // drop waits for it), so the pointer is valid for this call.
+        unsafe { (*func_ptr)(seq) };
+        drop(leave);
+        true
+    }
+
+    /// Is any door currently open?
+    pub fn has_open_door(&self) -> bool {
+        let board = self.inner.board.lock().unwrap_or_else(|e| e.into_inner());
+        board
+            .doors
+            .iter()
+            .any(|d| d.as_ref().is_some_and(|d| d.open))
+    }
+
+    /// Parks the calling thread until a door opens or `timeout`
+    /// elapses. Used by idle collection workers between assist scans.
+    pub fn wait_for_work(&self, timeout: std::time::Duration) {
+        let board = self.inner.board.lock().unwrap_or_else(|e| e.into_inner());
+        if board
+            .doors
+            .iter()
+            .any(|d| d.as_ref().is_some_and(|d| d.open))
+        {
+            return;
+        }
+        let _ = self
+            .inner
+            .cv
+            .wait_timeout(board, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// Closes its door on drop, blocking until every thread inside has
+/// left. Returned by [`AssistRegistry::publish`].
+pub struct DoorGuard<'f> {
+    registry: AssistRegistry,
+    slot: usize,
+    _marker: std::marker::PhantomData<&'f ()>,
+}
+
+impl Drop for DoorGuard<'_> {
+    fn drop(&mut self) {
+        let mut board = self
+            .registry
+            .inner
+            .board
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        // Close: no new thread can enter past this point (enter checks
+        // `open` under this mutex). The closure itself stays alive —
+        // threads already inside are still executing through it.
+        if let Some(door) = board.doors[self.slot].as_mut() {
+            door.open = false;
+        }
+        // Drain: wait until the threads already inside have left.
+        while board.doors[self.slot].as_ref().map_or(0, |d| d.active) > 0 {
+            board = self
+                .registry
+                .inner
+                .cv
+                .wait(board)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        board.doors[self.slot] = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn assist_runs_the_published_closure_with_distinct_seqs() {
+        let reg = AssistRegistry::new();
+        assert!(!reg.assist_any(), "no doors yet");
+        let seqs = Mutex::new(Vec::new());
+        {
+            let guard = reg.publish(|seq| seqs.lock().unwrap().push(seq));
+            assert!(reg.has_open_door());
+            assert!(reg.assist_any());
+            assert!(reg.assist_any());
+            drop(guard);
+        }
+        assert!(!reg.assist_any(), "door closed on drop");
+        let mut got = seqs.lock().unwrap().clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn guard_drop_waits_for_threads_inside() {
+        let reg = AssistRegistry::new();
+        let entered = Arc::new(AtomicUsize::new(0));
+        let release = Arc::new(AtomicUsize::new(0));
+        let borrowed_sum = AtomicUsize::new(0); // non-'static borrow
+        std::thread::scope(|scope| {
+            let guard = reg.publish(|_| {
+                entered.fetch_add(1, Ordering::SeqCst);
+                while release.load(Ordering::SeqCst) == 0 {
+                    std::thread::yield_now();
+                }
+                borrowed_sum.fetch_add(1, Ordering::SeqCst);
+            });
+            let reg2 = reg.clone();
+            scope.spawn(move || {
+                assert!(reg2.assist_any());
+            });
+            while entered.load(Ordering::SeqCst) == 0 {
+                std::thread::yield_now();
+            }
+            // The assister is inside the closure. Dropping the guard
+            // must block until it finishes — release it from another
+            // thread after a delay.
+            let release2 = release.clone();
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                release2.store(1, Ordering::SeqCst);
+            });
+            drop(guard);
+            // If drop returned early the closure could still be
+            // running; the sum being visible proves it completed.
+            assert_eq!(borrowed_sum.load(Ordering::SeqCst), 1);
+        });
+    }
+
+    #[test]
+    fn multiple_doors_coexist_and_slots_recycle() {
+        let reg = AssistRegistry::new();
+        let hits = Mutex::new(Vec::new());
+        let a = reg.publish(|_| hits.lock().unwrap().push("a"));
+        {
+            let _b = reg.publish(|_| hits.lock().unwrap().push("b"));
+            assert!(reg.assist_any());
+            assert!(reg.assist_any());
+        }
+        assert!(reg.assist_any()); // only door a remains
+        drop(a);
+        assert!(!reg.has_open_door());
+        let hits = hits.lock().unwrap();
+        assert_eq!(hits.len(), 3);
+        assert!(hits.contains(&"a") && hits.contains(&"b"));
+    }
+
+    #[test]
+    fn wait_for_work_returns_on_publish() {
+        let reg = AssistRegistry::new();
+        let start = std::time::Instant::now();
+        reg.wait_for_work(Duration::from_millis(20));
+        assert!(start.elapsed() >= Duration::from_millis(15), "timed out");
+        let _g = reg.publish(|_| {});
+        let start = std::time::Instant::now();
+        reg.wait_for_work(Duration::from_secs(5));
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "open door returns immediately"
+        );
+    }
+}

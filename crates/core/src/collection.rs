@@ -25,38 +25,77 @@
 //! ([`CollectionOptions`]); with both off the driver degrades to a
 //! naive scan of every shard, which the benchmarks use as the
 //! comparison baseline.
+//!
+//! # Disk-resident lazy collections
+//!
+//! [`Collection::open_dir`] builds a collection over a directory of
+//! snapshot files *without attaching any of them*: each shard starts as
+//! a path plus the synopses read by the cheap [`Snapshot::peek`]
+//! (header and synopsis sections only — no payload mapping, no
+//! whole-file checksum pass). Ceilings, visit order, and the corpus
+//! score model all come from the peeked synopses, so a shard whose
+//! ceiling cannot beat the global threshold is **pruned before it is
+//! ever attached**. Shards the driver does visit are attached on first
+//! access and detached again behind an LRU holding at most
+//! [`Collection::set_max_resident`] lazy shards (`0` = unlimited), so
+//! the resident set stays bounded no matter how large the corpus is.
+//! A shard pinned by an in-progress evaluation is never evicted —
+//! `max_resident` is a target, not a hard cap.
 
+use crate::assist::AssistRegistry;
 use crate::context::{ContextOptions, QueryContext, RelaxMode};
 use crate::engine::{evaluate_with_context, Algorithm, EvalOptions};
 use crate::error::Completeness;
 use crate::metrics::MetricsSnapshot;
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
-use whirlpool_index::{DocView, ShardSynopsis, TagIndex, TagIndexView};
-use whirlpool_pattern::{TreePattern, WILDCARD};
+use whirlpool_index::{DocView, PathAxis, PathSynopsis, ShardSynopsis, TagIndex, TagIndexView};
+use whirlpool_pattern::{Axis, QNodeId, TreePattern, WILDCARD};
 use whirlpool_score::{CorpusStats, Normalization, Score, TfIdfModel};
-use whirlpool_store::Snapshot;
+use whirlpool_store::{Snapshot, StoreError};
 use whirlpool_xml::{parse_document, write_node, Document, NodeId, ParseError, WriteOptions};
 
+/// A lazy shard: a snapshot file known only by its path and peeked
+/// synopses until something actually evaluates it.
+struct LazyShard {
+    path: PathBuf,
+    /// The attached snapshot, when resident. `Arc` so an in-progress
+    /// evaluation pins the mapping across a concurrent eviction.
+    resident: Mutex<Option<Arc<Snapshot>>>,
+    /// Whether this shard entered the collection through a peek
+    /// ([`Collection::attach_snapshot_file`]) rather than with its
+    /// payload in hand ([`Collection::add_snapshot`]). Immutable after
+    /// construction; decides the corpus-stats source (see
+    /// [`Collection::corpus_stats`]) independently of residency.
+    peeked: bool,
+}
+
 /// How a [`Shard`] holds its document: an owned arena built by the
-/// parser, or a version-2 snapshot attached (usually mmap'd) from disk.
+/// parser, a snapshot attached (usually mmap'd) from disk, or a lazy
+/// snapshot attached on first access and evictable between accesses.
 /// Every consumer goes through the [`DocView`]/[`TagIndexView`]
-/// accessors, so the two backings are interchangeable at query time.
+/// accessors (via [`Collection::acquire`] for lazy shards), so the
+/// backings are interchangeable at query time.
 #[allow(clippy::large_enum_variant)] // one per document, never in bulk arrays
 enum ShardBacking {
     Parsed { doc: Document, index: TagIndex },
     Snapshot(Box<Snapshot>),
+    Lazy(LazyShard),
 }
 
 /// One member of a [`Collection`]: a document with its index and
-/// synopsis, built at load time (parsed backing) or attached in O(1)
-/// from a prebuilt snapshot file.
+/// synopsis, built at load time (parsed backing), attached in O(1)
+/// from a prebuilt snapshot file, or peeked from one and attached only
+/// when visited (lazy backing).
 pub struct Shard {
     name: String,
     backing: ShardBacking,
     synopsis: ShardSynopsis,
+    paths: Option<PathSynopsis>,
 }
 
 impl Shard {
@@ -66,19 +105,35 @@ impl Shard {
         &self.name
     }
 
-    /// The shard's document, as a view over either backing.
+    /// The shard's document, as a view over either eager backing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a lazy shard — the view's lifetime cannot outlive the
+    /// residency slot. Go through [`Collection::acquire`] instead.
     pub fn doc(&self) -> DocView<'_> {
         match &self.backing {
             ShardBacking::Parsed { doc, .. } => doc.into(),
             ShardBacking::Snapshot(s) => s.doc_view(),
+            ShardBacking::Lazy(_) => {
+                panic!("lazy shard has no borrowable doc; use Collection::acquire")
+            }
         }
     }
 
-    /// The shard's tag/value postings, as a view over either backing.
+    /// The shard's tag/value postings, as a view over either eager
+    /// backing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a lazy shard, like [`Shard::doc`].
     pub fn index(&self) -> TagIndexView<'_> {
         match &self.backing {
             ShardBacking::Parsed { index, .. } => index.view(),
             ShardBacking::Snapshot(s) => s.index_view(),
+            ShardBacking::Lazy(_) => {
+                panic!("lazy shard has no borrowable index; use Collection::acquire")
+            }
         }
     }
 
@@ -88,7 +143,7 @@ impl Shard {
     pub fn as_parsed(&self) -> Option<(&Document, &TagIndex)> {
         match &self.backing {
             ShardBacking::Parsed { doc, index } => Some((doc, index)),
-            ShardBacking::Snapshot(_) => None,
+            _ => None,
         }
     }
 
@@ -97,16 +152,96 @@ impl Shard {
         matches!(self.backing, ShardBacking::Snapshot(_))
     }
 
+    /// Is this shard lazily backed by a snapshot file on disk?
+    pub fn is_lazy(&self) -> bool {
+        matches!(self.backing, ShardBacking::Lazy(_))
+    }
+
+    /// Did this shard enter the collection through a peek — header and
+    /// synopses only, payload never seen — rather than with its
+    /// payload in hand? Fixed at insertion, so the corpus-stats source
+    /// it selects ([`Collection::corpus_stats`]) cannot drift with
+    /// residency.
+    pub fn admitted_by_peek(&self) -> bool {
+        matches!(&self.backing, ShardBacking::Lazy(l) if l.peeked)
+    }
+
+    /// Is this shard's data in memory right now? Eager backings are
+    /// always resident; a lazy shard is resident between its first
+    /// access and its eviction.
+    pub fn is_resident(&self) -> bool {
+        match &self.backing {
+            ShardBacking::Lazy(l) => l.resident.lock().is_some(),
+            _ => true,
+        }
+    }
+
     /// The shard's pruning synopsis.
     pub fn synopsis(&self) -> &ShardSynopsis {
         &self.synopsis
     }
+
+    /// The shard's stored path synopsis, when one was peeked or carried
+    /// by its snapshot (v3 files) or built at parse time. Drives the
+    /// path-aware ceiling refinement in [`shard_ceiling_with_paths`].
+    pub fn path_synopsis(&self) -> Option<&PathSynopsis> {
+        self.paths.as_ref()
+    }
+}
+
+/// A pinned view of one shard's data, returned by
+/// [`Collection::acquire`]. Holding it keeps a lazy shard's snapshot
+/// mapped (the eviction scan skips pinned shards); dropping it makes
+/// the shard evictable again.
+#[allow(clippy::large_enum_variant)] // one per in-flight shard evaluation
+pub enum ShardAccess<'c> {
+    /// An eager shard, borrowed straight from the collection.
+    Borrowed {
+        /// The shard's document view.
+        doc: DocView<'c>,
+        /// The shard's postings view.
+        index: TagIndexView<'c>,
+    },
+    /// A lazy shard's attached snapshot, pinned by this handle.
+    Resident(Arc<Snapshot>),
+}
+
+impl ShardAccess<'_> {
+    /// The shard's document, as a view borrowed from this handle.
+    pub fn doc(&self) -> DocView<'_> {
+        match self {
+            ShardAccess::Borrowed { doc, .. } => *doc,
+            ShardAccess::Resident(s) => s.doc_view(),
+        }
+    }
+
+    /// The shard's postings, as a view borrowed from this handle.
+    pub fn index(&self) -> TagIndexView<'_> {
+        match self {
+            ShardAccess::Borrowed { index, .. } => *index,
+            ShardAccess::Resident(s) => s.index_view(),
+        }
+    }
+}
+
+/// Residency bookkeeping for lazy shards: an MRU list (least recent
+/// first) plus cumulative attach/eviction counters. Counters are
+/// collection-lifetime, not per-run; the driver reports per-run deltas.
+#[derive(Default)]
+struct Residency {
+    /// Target cap on resident lazy shards; `0` = unlimited.
+    max_resident: AtomicUsize,
+    /// Resident lazy shard indices, least recently used first.
+    mru: Mutex<Vec<usize>>,
+    attached: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// A multi-document corpus queried as one unit.
 #[derive(Default)]
 pub struct Collection {
     shards: Vec<Shard>,
+    residency: Residency,
 }
 
 impl Collection {
@@ -115,43 +250,212 @@ impl Collection {
         Collection::default()
     }
 
-    /// Adds a parsed document as one shard, building its index and
-    /// synopsis.
+    /// Adds a parsed document as one shard, building its index,
+    /// synopsis, and path synopsis.
     pub fn add_document(&mut self, name: impl Into<String>, doc: Document) {
         let index = TagIndex::build(&doc);
         let synopsis = ShardSynopsis::build(&doc);
+        let paths = PathSynopsis::build(&doc);
         self.shards.push(Shard {
             name: name.into(),
             backing: ShardBacking::Parsed { doc, index },
             synopsis,
+            paths: Some(paths),
         });
     }
 
     /// Adds an attached snapshot as one shard. No parse or index build
     /// happens: the snapshot's flat arrays serve queries directly and
-    /// its synopsis (derived at attach) drives shard pruning.
+    /// its synopses (derived or stored at attach) drive shard pruning.
+    ///
+    /// A snapshot that knows its source file goes in as a *lazy* shard
+    /// with the attachment pre-resident, so the residency manager can
+    /// evict it under [`Collection::set_max_resident`] pressure and
+    /// re-attach it from disk when next visited. A snapshot without a
+    /// source path (built in memory) stays eagerly resident forever.
     pub fn add_snapshot(&mut self, name: impl Into<String>, snapshot: Snapshot) {
         let synopsis = snapshot.synopsis().clone();
+        let paths = snapshot.path_synopsis().cloned();
+        let backing = match snapshot.source_path() {
+            Some(p) => {
+                let path = p.to_path_buf();
+                let idx = self.shards.len();
+                self.residency.mru.lock().push(idx);
+                self.residency.attached.fetch_add(1, Ordering::Relaxed);
+                ShardBacking::Lazy(LazyShard {
+                    path,
+                    resident: Mutex::new(Some(Arc::new(snapshot))),
+                    peeked: false,
+                })
+            }
+            None => ShardBacking::Snapshot(Box::new(snapshot)),
+        };
         self.shards.push(Shard {
             name: name.into(),
-            backing: ShardBacking::Snapshot(Box::new(snapshot)),
+            backing,
             synopsis,
+            paths,
         });
     }
 
-    /// Attaches the snapshot file at `path` and adds it as one shard,
-    /// named by its file stem.
-    pub fn attach_snapshot_file(
-        &mut self,
-        path: impl AsRef<std::path::Path>,
-    ) -> Result<(), whirlpool_store::StoreError> {
+    /// Adds the snapshot file at `path` as one *lazy* shard, named by
+    /// its file stem: only the header and synopsis sections are read
+    /// ([`Snapshot::peek`]); the payload is mapped when (if) the shard
+    /// is first visited by a query.
+    pub fn attach_snapshot_file(&mut self, path: impl AsRef<Path>) -> Result<(), StoreError> {
         let path = path.as_ref();
         let name = path
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| path.display().to_string());
-        self.add_snapshot(name, Snapshot::attach(path)?);
+        let peek = Snapshot::peek(path)?;
+        self.shards.push(Shard {
+            name,
+            backing: ShardBacking::Lazy(LazyShard {
+                path: path.to_path_buf(),
+                resident: Mutex::new(None),
+                peeked: true,
+            }),
+            synopsis: peek.synopsis,
+            paths: peek.paths,
+        });
         Ok(())
+    }
+
+    /// Opens every `.wps` snapshot in `dir` (sorted by file name) as a
+    /// lazy shard. Nothing is attached: the per-shard cost is one peek
+    /// — header plus synopsis sections — so opening a directory of
+    /// thousands of shards costs milliseconds and near-zero memory.
+    pub fn open_dir(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir.as_ref())?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "wps"))
+            .collect();
+        paths.sort();
+        let mut collection = Collection::new();
+        for p in paths {
+            collection.attach_snapshot_file(&p)?;
+        }
+        Ok(collection)
+    }
+
+    /// Caps how many *lazy* shards stay attached at once (`0` =
+    /// unlimited, the default). When an attach pushes the resident
+    /// count over the cap, least-recently-used unpinned shards are
+    /// detached until the count fits. Shards pinned by an in-progress
+    /// [`ShardAccess`] are skipped, so the cap is a target under
+    /// concurrency, not a hard ceiling.
+    pub fn set_max_resident(&self, max: usize) {
+        self.residency.max_resident.store(max, Ordering::Relaxed);
+    }
+
+    /// The current lazy-resident cap (`0` = unlimited).
+    pub fn max_resident(&self) -> usize {
+        self.residency.max_resident.load(Ordering::Relaxed)
+    }
+
+    /// How many lazy shards are attached right now.
+    pub fn resident_count(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| s.is_lazy() && s.is_resident())
+            .count()
+    }
+
+    /// Cumulative lazy-shard attaches over this collection's lifetime.
+    pub fn attach_count(&self) -> u64 {
+        self.residency.attached.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative lazy-shard evictions over this collection's lifetime.
+    pub fn eviction_count(&self) -> u64 {
+        self.residency.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Pins shard `idx` and returns a view handle over its data,
+    /// attaching a lazy shard from disk if it is not resident. The
+    /// handle keeps the shard safe from eviction until dropped.
+    pub fn acquire(&self, idx: usize) -> Result<ShardAccess<'_>, StoreError> {
+        let shard = &self.shards[idx];
+        let lazy = match &shard.backing {
+            ShardBacking::Parsed { doc, index } => {
+                return Ok(ShardAccess::Borrowed {
+                    doc: doc.into(),
+                    index: index.view(),
+                })
+            }
+            ShardBacking::Snapshot(s) => {
+                return Ok(ShardAccess::Borrowed {
+                    doc: s.doc_view(),
+                    index: s.index_view(),
+                })
+            }
+            ShardBacking::Lazy(l) => l,
+        };
+        let arc = {
+            let mut slot = lazy.resident.lock();
+            match &*slot {
+                Some(a) => a.clone(),
+                None => {
+                    let a = Arc::new(Snapshot::attach(&lazy.path)?);
+                    *slot = Some(a.clone());
+                    self.residency.attached.fetch_add(1, Ordering::Relaxed);
+                    a
+                }
+            }
+            // The slot lock is released before the MRU lock below is
+            // taken: the eviction scan holds the MRU lock and
+            // *try*-locks slots, so the two locks are never both held
+            // in the attach order.
+        };
+        self.touch(idx);
+        Ok(ShardAccess::Resident(arc))
+    }
+
+    /// Moves `idx` to the MRU tail and evicts over-cap unpinned lazy
+    /// shards, least recently used first.
+    fn touch(&self, idx: usize) {
+        let mut mru = self.residency.mru.lock();
+        mru.retain(|&i| i != idx);
+        mru.push(idx);
+        let max = self.residency.max_resident.load(Ordering::Relaxed);
+        if max == 0 {
+            return;
+        }
+        let mut at = 0;
+        while mru.len() > max && at < mru.len() {
+            let victim = mru[at];
+            let ShardBacking::Lazy(l) = &self.shards[victim].backing else {
+                mru.remove(at);
+                continue;
+            };
+            // try_lock: an attach in progress holds the slot lock, and
+            // blocking here while holding the MRU lock would invert the
+            // `acquire` lock order. A busy slot just stays resident.
+            let Some(mut slot) = l.resident.try_lock() else {
+                at += 1;
+                continue;
+            };
+            match &*slot {
+                // Strong count 1 = only the residency slot holds it:
+                // no ShardAccess pins this shard, safe to unmap.
+                Some(a) if Arc::strong_count(a) == 1 && victim != idx => {
+                    *slot = None;
+                    drop(slot);
+                    mru.remove(at);
+                    self.residency.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                // Stale entry (already detached elsewhere): drop it.
+                None => {
+                    drop(slot);
+                    mru.remove(at);
+                }
+                // Pinned (or the shard just touched): keep, move on.
+                _ => at += 1,
+            }
+        }
     }
 
     /// Parses `src` and adds it as one shard.
@@ -243,18 +547,48 @@ impl Collection {
     /// Pools document-frequency counts over every shard (see
     /// [`CorpusStats`]). Callers derive the corpus score model from the
     /// result; [`evaluate_collection`] does this internally.
+    ///
+    /// When *any* shard was [admitted by peek](Shard::admitted_by_peek)
+    /// — its payload never read — **every** shard contributes
+    /// synopsis-derived estimates ([`CorpusStats::add_shard_synopsis`])
+    /// instead of exact postings walks: attaching each shard just to
+    /// count document frequencies would defeat lazy opening, and mixing
+    /// exact with estimated counts would skew the model toward whichever
+    /// shards happened to arrive with payloads. Collections whose every
+    /// shard was inserted *with* its payload ([`Self::add_document`],
+    /// [`Self::add_snapshot`]) keep exact counts — re-acquiring an
+    /// evicted [`Self::add_snapshot`] shard if needed — so their scores
+    /// match the equivalent all-parsed collection exactly. The choice is
+    /// keyed on how shards were inserted, which never changes, not on
+    /// what is resident, which does; the same collection always scores
+    /// under the same model.
     pub fn corpus_stats(&self, pattern: &TreePattern) -> CorpusStats {
         let answer_tag = &pattern.node(pattern.root()).tag;
         let mut stats = CorpusStats::new(pattern);
-        for shard in &self.shards {
-            stats.add_shard_view(shard.doc(), shard.index(), answer_tag);
+        if self.shards.iter().any(Shard::admitted_by_peek) {
+            for shard in &self.shards {
+                stats.add_shard_synopsis(&shard.synopsis, answer_tag);
+            }
+        } else {
+            for (idx, shard) in self.shards.iter().enumerate() {
+                match self.acquire(idx) {
+                    Ok(access) => {
+                        stats.add_shard_view(access.doc(), access.index(), answer_tag);
+                    }
+                    // Unreachable short of the shard's backing file
+                    // vanishing between eviction and this re-acquire;
+                    // the synopsis estimate keeps stats total rather
+                    // than failing the whole corpus for one shard.
+                    Err(_) => stats.add_shard_synopsis(&shard.synopsis, answer_tag),
+                }
+            }
         }
         stats
     }
 
     /// The score ceiling of shard `shard_idx` for `pattern` under
-    /// `model` — see [`shard_ceiling`], which this delegates to with
-    /// the shard's own synopsis.
+    /// `model` — see [`shard_ceiling_with_paths`], which this delegates
+    /// to with the shard's own synopses.
     pub fn shard_ceiling(
         &self,
         shard_idx: usize,
@@ -262,7 +596,8 @@ impl Collection {
         model: &TfIdfModel,
         relax: RelaxMode,
     ) -> Option<Score> {
-        shard_ceiling(&self.shards[shard_idx].synopsis, pattern, model, relax)
+        let shard = &self.shards[shard_idx];
+        shard_ceiling_with_paths(&shard.synopsis, shard.paths.as_ref(), pattern, model, relax)
     }
 }
 
@@ -288,9 +623,76 @@ impl Collection {
 /// This is a free function (rather than only a [`Collection`] method)
 /// so callers that hold their shards in their own structures — the
 /// serve daemon's document registry, for instance — can run the same
-/// pruning rule without rebuilding a `Collection`.
+/// pruning rule without rebuilding a `Collection`. It delegates to
+/// [`shard_ceiling_with_paths`] with no path synopsis — tag counts
+/// only.
 pub fn shard_ceiling(
     synopsis: &ShardSynopsis,
+    pattern: &TreePattern,
+    model: &TfIdfModel,
+    relax: RelaxMode,
+) -> Option<Score> {
+    shard_ceiling_with_paths(synopsis, None, pattern, model, relax)
+}
+
+/// Maps a pattern axis onto the (dependency-free) path-synopsis axis.
+fn path_axis(axis: Axis) -> PathAxis {
+    match axis {
+        Axis::Child => PathAxis::Child,
+        Axis::Descendant => PathAxis::Descendant,
+    }
+}
+
+/// The literal root-to-`to` chain of `pattern` as path-synopsis steps:
+/// every pattern node from the root down to `to`, each with its own
+/// axis (the root carries the axis from the synthetic document root).
+fn literal_steps(pattern: &TreePattern, to: QNodeId) -> Vec<(PathAxis, &str)> {
+    let mut rev = Vec::new();
+    let mut cur = to;
+    loop {
+        let node = pattern.node(cur);
+        rev.push((path_axis(node.axis), node.tag.as_str()));
+        match node.parent {
+            Some(p) => cur = p,
+            None => break,
+        }
+    }
+    rev.reverse();
+    rev
+}
+
+/// [`shard_ceiling`] refined by a stored path synopsis, when one is
+/// present and definitive (untruncated).
+///
+/// Tag counts alone cannot tell *arrangement*: a shard can hold every
+/// tag the query names and still hold no answer because the tags never
+/// nest the way the pattern requires. The path synopsis closes that
+/// gap, and the refinement stays an upper bound — the invariant shard
+/// pruning relies on — because each test below only asserts a server's
+/// contribution is *exactly zero*:
+///
+/// * **Exact mode** requires every pattern edge to be realized
+///   literally, so an exact match embeds each root-to-server chain as
+///   a document path honoring the literal axes. If the synopsis (a
+///   complete digest of every root-to-element path) realizes no such
+///   chain for the answer root or for any server, the shard holds no
+///   exact answer at all: ceiling `None`.
+/// * **Relaxed mode** can generalize every edge to descendant and
+///   promote subtrees, but a server binding always stays inside its
+///   answer root's subtree. The weakest realizable requirement is
+///   therefore *"some server-tag element lies below some answer-tag
+///   element"* — the two-step descendant chain tested below. When even
+///   that fails, every candidate answer binds the server to the
+///   outer-join null, contributing exactly zero, so the server's
+///   maximum drops out of the sum.
+///
+/// A truncated synopsis digests only *some* paths, so "no stored path
+/// matches" stops being a proof of absence; in that case (and when
+/// `paths` is `None` — v2 snapshots, opt-out builds) the tag-count
+/// bound is used unrefined.
+pub fn shard_ceiling_with_paths(
+    synopsis: &ShardSynopsis,
+    paths: Option<&PathSynopsis>,
     pattern: &TreePattern,
     model: &TfIdfModel,
     relax: RelaxMode,
@@ -300,14 +702,46 @@ pub fn shard_ceiling(
     if answer_tag != WILDCARD && !synopsis.has_tag(answer_tag) {
         return None;
     }
+    let paths = paths.filter(|p| p.is_definitive());
+    if let Some(ps) = paths {
+        if relax == RelaxMode::Exact
+            && !ps.matches_query_path(&literal_steps(pattern, pattern.root()))
+        {
+            return None;
+        }
+    }
     let mut total = model.max_root_contribution();
     for s in pattern.server_ids() {
         let tag = pattern.node(s).tag.as_str();
-        if tag == WILDCARD || synopsis.has_tag(tag) {
-            total += model.max_contribution(s);
-        } else if relax == RelaxMode::Exact {
-            return None;
+        if tag != WILDCARD && !synopsis.has_tag(tag) {
+            if relax == RelaxMode::Exact {
+                return None;
+            }
+            continue;
         }
+        if let Some(ps) = paths {
+            match relax {
+                RelaxMode::Exact => {
+                    if !ps.matches_query_path(&literal_steps(pattern, s)) {
+                        return None;
+                    }
+                }
+                RelaxMode::Relaxed => {
+                    // Wildcards (either end) make the descendant chain
+                    // vacuous — fall back to tag presence, which held.
+                    if answer_tag != WILDCARD
+                        && tag != WILDCARD
+                        && !ps.matches_query_path(&[
+                            (PathAxis::Descendant, answer_tag),
+                            (PathAxis::Descendant, tag),
+                        ])
+                    {
+                        continue;
+                    }
+                }
+            }
+        }
+        total += model.max_contribution(s);
     }
     Some(Score::new(total))
 }
@@ -377,9 +811,20 @@ pub struct CollectionMetrics {
     /// Shards skipped because their ceiling could not beat the global
     /// threshold (or they provably held no answer).
     pub shards_pruned: usize,
+    /// The subset of `shards_pruned` that were lazy and not resident
+    /// when pruned: shards whose payload was **never read from disk** —
+    /// the whole point of attach-on-visit.
+    pub shards_pruned_before_attach: usize,
     /// Shards skipped because the deadline expired before they were
     /// claimed.
     pub shards_skipped_budget: usize,
+    /// Lazy-shard attaches performed during this run.
+    pub shards_attached: u64,
+    /// Lazy-shard evictions performed during this run.
+    pub shard_evictions: u64,
+    /// Times an idle collection worker entered another shard's
+    /// in-progress engine run as an extra stealing worker.
+    pub assists: u64,
 }
 
 /// The outcome of one collection query.
@@ -494,75 +939,123 @@ pub fn evaluate_collection(
     let global = GlobalTopK::new(options.k);
     let cursor = AtomicUsize::new(0);
     let pruned = AtomicUsize::new(0);
+    let pruned_cold = AtomicUsize::new(0);
     let visited = AtomicUsize::new(0);
     let budget_skipped = AtomicUsize::new(0);
     let truncated = Mutex::new(TruncationFold::default());
     let metrics = Mutex::new(MetricsSnapshot::default());
+    let attached_before = collection.attach_count();
+    let evictions_before = collection.eviction_count();
 
     let workers = copts.threads.max(1).min(collection.len().max(1));
-    let worker = |_w: usize| loop {
-        let at = cursor.fetch_add(1, Ordering::Relaxed);
-        if at >= order.len() {
-            break;
-        }
-        let (shard_idx, ceiling) = order[at];
+    // Cross-shard work stealing: with multiple collection workers and
+    // a Whirlpool-M engine, each per-shard run (forced single-threaded
+    // below) publishes an assist door, and workers that run out of
+    // shards walk through open doors instead of idling at the tail.
+    let registry = (workers > 1 && matches!(algorithm, Algorithm::WhirlpoolM { .. }))
+        .then(AssistRegistry::new);
+    let active_evals = AtomicUsize::new(0);
+    let assists = AtomicU64::new(0);
 
-        // Deadline first: an expired collection budget skips the shard
-        // and certifies the skip with the shard's ceiling.
-        let remaining = options.deadline.map(|d| d.saturating_sub(start.elapsed()));
-        if remaining == Some(Duration::ZERO) {
-            budget_skipped.fetch_add(1, Ordering::Relaxed);
-            let bound = ceiling.map_or(0.0, |c| c.value());
-            truncated.lock().expired(1, bound);
-            continue;
-        }
+    let worker = |_w: usize| {
+        loop {
+            let at = cursor.fetch_add(1, Ordering::Relaxed);
+            if at >= order.len() {
+                break;
+            }
+            let (shard_idx, ceiling) = order[at];
 
-        if copts.shard_pruning {
-            // Strict `<`, matching the engines: a shard that can only
-            // tie the k-th answer may still contribute a valid tie.
-            let skip = match ceiling {
-                None => true,
-                Some(c) => c < global.threshold(),
-            };
-            if skip {
-                pruned.fetch_add(1, Ordering::Relaxed);
+            // Deadline first: an expired collection budget skips the
+            // shard and certifies the skip with the shard's ceiling.
+            let remaining = options.deadline.map(|d| d.saturating_sub(start.elapsed()));
+            if remaining == Some(Duration::ZERO) {
+                budget_skipped.fetch_add(1, Ordering::Relaxed);
+                let bound = ceiling.map_or(0.0, |c| c.value());
+                truncated.lock().expired(1, bound);
                 continue;
             }
-        }
 
-        let shard = &collection.shards()[shard_idx];
-        let mut shard_opts = options.clone();
-        shard_opts.deadline = remaining;
-        shard_opts.trace = false;
-        if workers > 1 {
-            shard_opts.threads = 1;
+            if copts.shard_pruning {
+                // Strict `<`, matching the engines: a shard that can
+                // only tie the k-th answer may still contribute a
+                // valid tie.
+                let skip = match ceiling {
+                    None => true,
+                    Some(c) => c < global.threshold(),
+                };
+                if skip {
+                    pruned.fetch_add(1, Ordering::Relaxed);
+                    let shard = &collection.shards()[shard_idx];
+                    if shard.is_lazy() && !shard.is_resident() {
+                        pruned_cold.fetch_add(1, Ordering::Relaxed);
+                    }
+                    continue;
+                }
+            }
+
+            let access = match collection.acquire(shard_idx) {
+                Ok(a) => a,
+                // An attach failure (file vanished, corrupted on disk)
+                // is accounted like a budget skip: the certificate's
+                // bound covers whatever the shard could have held.
+                Err(_) => {
+                    budget_skipped.fetch_add(1, Ordering::Relaxed);
+                    let bound = ceiling.map_or(0.0, |c| c.value());
+                    truncated.lock().expired(1, bound);
+                    continue;
+                }
+            };
+            let mut shard_opts = options.clone();
+            shard_opts.deadline = remaining;
+            shard_opts.trace = false;
+            if workers > 1 {
+                shard_opts.threads = 1;
+            }
+            shard_opts.assist = registry.clone();
+            if copts.share_threshold {
+                shard_opts.threshold_floor = global.threshold().value();
+            }
+            let ctx = QueryContext::new_view(
+                access.doc(),
+                access.index(),
+                pattern,
+                &model,
+                ContextOptions {
+                    relax: options.relax,
+                    selectivity_sample: options.selectivity_sample,
+                    op_cost: options.op_cost,
+                    pooling: options.pooling,
+                    op_batching: options.op_batching,
+                },
+            );
+            active_evals.fetch_add(1, Ordering::SeqCst);
+            let result = evaluate_with_context(&ctx, algorithm, &shard_opts);
+            active_evals.fetch_sub(1, Ordering::SeqCst);
+            visited.fetch_add(1, Ordering::Relaxed);
+            global.merge(shard_idx, &result.answers);
+            metrics.lock().absorb(&result.metrics);
+            if let Completeness::Truncated {
+                pending_matches,
+                score_bound,
+            } = result.completeness
+            {
+                truncated.lock().expired(pending_matches, score_bound);
+            }
         }
-        if copts.share_threshold {
-            shard_opts.threshold_floor = global.threshold().value();
-        }
-        let ctx = QueryContext::new_view(
-            shard.doc(),
-            shard.index(),
-            pattern,
-            &model,
-            ContextOptions {
-                relax: options.relax,
-                selectivity_sample: options.selectivity_sample,
-                op_cost: options.op_cost,
-                pooling: options.pooling,
-                op_batching: options.op_batching,
-            },
-        );
-        let result = evaluate_with_context(&ctx, algorithm, &shard_opts);
-        visited.fetch_add(1, Ordering::Relaxed);
-        global.merge(shard_idx, &result.answers);
-        metrics.lock().absorb(&result.metrics);
-        if let Completeness::Truncated {
-            pending_matches,
-            score_bound,
-        } = result.completeness
-        {
-            truncated.lock().expired(pending_matches, score_bound);
+        // Idle tail: no shards left to claim, but runs may still be in
+        // flight — steal work from them through their assist doors
+        // until the last one finishes.
+        if let Some(registry) = &registry {
+            loop {
+                if registry.assist_any() {
+                    assists.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                if active_evals.load(Ordering::SeqCst) == 0 {
+                    break;
+                }
+                registry.wait_for_work(Duration::from_micros(500));
+            }
         }
     };
 
@@ -571,6 +1064,7 @@ pub fn evaluate_collection(
     } else {
         std::thread::scope(|scope| {
             for w in 0..workers {
+                let worker = &worker;
                 scope.spawn(move || worker(w));
             }
         });
@@ -585,7 +1079,11 @@ pub fn evaluate_collection(
             shards_total: collection.len(),
             shards_visited: visited.into_inner(),
             shards_pruned: pruned.into_inner(),
+            shards_pruned_before_attach: pruned_cold.into_inner(),
             shards_skipped_budget: budget_skipped.into_inner(),
+            shards_attached: collection.attach_count() - attached_before,
+            shard_evictions: collection.eviction_count() - evictions_before,
+            assists: assists.into_inner(),
         },
         metrics: metrics.into_inner(),
         elapsed: start.elapsed(),
@@ -914,6 +1412,250 @@ mod tests {
             }
             c => panic!("expected truncation, got {c:?}"),
         }
+    }
+
+    /// All of RICH's tags, none of its arrangement: isbn and price
+    /// live under <archive>, never under a <book>. Tag-count ceilings
+    /// cannot tell this shard from RICH; path ceilings can.
+    const MISMATCH: &str = "<shelf>\
+        <book><title>husk</title></book>\
+        <archive><isbn>8</isbn><price>5</price></archive>\
+        </shelf>";
+
+    /// Writes each source as a v3 snapshot `<name>.wps` under a fresh
+    /// temp dir.
+    fn snapshot_dir(tag: &str, sources: &[(&str, &str)]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("wp-lazy-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, src) in sources {
+            let doc = parse_document(src).unwrap();
+            let index = TagIndex::build(&doc);
+            whirlpool_store::save_snapshot(&doc, &index, dir.join(format!("{name}.wps"))).unwrap();
+        }
+        dir
+    }
+
+    #[test]
+    fn path_ceiling_prunes_arrangement_mismatch() {
+        let mut c = Collection::new();
+        c.add_source("rich", RICH).unwrap();
+        c.add_source("mismatch", MISMATCH).unwrap();
+        let pattern = q();
+        let model = c.corpus_stats(&pattern).model(Normalization::None);
+        // Tag counts alone see every query tag in both shards: without
+        // paths the two ceilings are upper-bounded the same way.
+        let tag_only = shard_ceiling(
+            c.shards()[1].synopsis(),
+            &pattern,
+            &model,
+            RelaxMode::Relaxed,
+        )
+        .unwrap();
+        let with_paths = c
+            .shard_ceiling(1, &pattern, &model, RelaxMode::Relaxed)
+            .unwrap();
+        assert!(
+            with_paths < tag_only,
+            "isbn/price outside <book> must drop out of the path-aware bound"
+        );
+        // Exact mode: no book ever has an isbn child — provably empty.
+        assert_eq!(c.shard_ceiling(1, &pattern, &model, RelaxMode::Exact), None);
+        // The rich shard's bound is unchanged by the refinement.
+        assert_eq!(
+            c.shard_ceiling(0, &pattern, &model, RelaxMode::Relaxed)
+                .unwrap(),
+            shard_ceiling(
+                c.shards()[0].synopsis(),
+                &pattern,
+                &model,
+                RelaxMode::Relaxed
+            )
+            .unwrap()
+        );
+        // And it still dominates every achieved score.
+        let run = evaluate_collection(
+            &c,
+            &pattern,
+            &Algorithm::WhirlpoolS,
+            &EvalOptions::top_k(10),
+            Normalization::None,
+            &CollectionOptions::scan_all(),
+        );
+        for a in &run.answers {
+            let ceil = c
+                .shard_ceiling(a.shard, &pattern, &model, RelaxMode::Relaxed)
+                .expect("answer-bearing shard has a ceiling");
+            assert!(a.score <= ceil, "{a:?} above ceiling {ceil:?}");
+        }
+    }
+
+    #[test]
+    fn lazy_open_dir_prunes_before_attach_and_matches_eager() {
+        let dir = snapshot_dir(
+            "prune",
+            &[
+                ("a-rich", RICH),
+                ("b-mid", MID),
+                ("c-mismatch0", MISMATCH),
+                ("d-mismatch1", MISMATCH),
+                ("e-mismatch2", MISMATCH),
+            ],
+        );
+        let c = Collection::open_dir(&dir).unwrap();
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.resident_count(), 0, "open_dir attaches nothing");
+        assert!(c.shards().iter().all(Shard::is_lazy));
+        assert!(c.shards()[0].path_synopsis().is_some(), "v3 carries paths");
+
+        let pattern = q();
+        let pruned = evaluate_collection(
+            &c,
+            &pattern,
+            &Algorithm::WhirlpoolS,
+            &EvalOptions::top_k(2),
+            Normalization::Sparse,
+            &CollectionOptions::default(),
+        );
+        let m = &pruned.collection_metrics;
+        assert!(
+            m.shards_pruned_before_attach >= 3,
+            "mismatch shards must fall to path ceilings without touching disk: {m:?}"
+        );
+        assert_eq!(m.shards_attached as usize, m.shards_visited);
+
+        // The same collection scanned exhaustively (same model — the
+        // corpus stats are synopsis-based either way) agrees.
+        let eager = evaluate_collection(
+            &c,
+            &pattern,
+            &Algorithm::WhirlpoolS,
+            &EvalOptions::top_k(2),
+            Normalization::Sparse,
+            &CollectionOptions::scan_all(),
+        );
+        assert_eq!(eager.collection_metrics.shards_visited, 5);
+        assert!(
+            collection_answers_equivalent(&pruned.answers, &eager.answers, 1e-9),
+            "{:?} vs {:?}",
+            pruned.answers,
+            eager.answers
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn max_resident_caps_attachments_and_evicts_lru() {
+        let dir = snapshot_dir(
+            "evict",
+            &[("s0", RICH), ("s1", MID), ("s2", RICH), ("s3", MID)],
+        );
+        let c = Collection::open_dir(&dir).unwrap();
+        c.set_max_resident(1);
+        let pattern = q();
+        let run = evaluate_collection(
+            &c,
+            &pattern,
+            &Algorithm::WhirlpoolS,
+            &EvalOptions::top_k(3),
+            Normalization::Sparse,
+            &CollectionOptions::scan_all(),
+        );
+        assert_eq!(run.collection_metrics.shards_visited, 4);
+        assert_eq!(run.collection_metrics.shards_attached, 4);
+        assert!(
+            run.collection_metrics.shard_evictions >= 3,
+            "visiting 4 shards under max_resident=1 must evict: {:?}",
+            run.collection_metrics
+        );
+        assert!(c.resident_count() <= 1);
+
+        // Re-running re-attaches evicted shards and still answers.
+        let again = evaluate_collection(
+            &c,
+            &pattern,
+            &Algorithm::WhirlpoolS,
+            &EvalOptions::top_k(3),
+            Normalization::Sparse,
+            &CollectionOptions::scan_all(),
+        );
+        assert!(collection_answers_equivalent(
+            &run.answers,
+            &again.answers,
+            1e-9
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lazy_multi_worker_with_assists_matches_single() {
+        let dir = snapshot_dir(
+            "assist",
+            &[
+                ("s0", RICH),
+                ("s1", MID),
+                ("s2", RICH),
+                ("s3", MID),
+                ("s4", POOR),
+                ("s5", MISMATCH),
+            ],
+        );
+        let c = Collection::open_dir(&dir).unwrap();
+        let pattern = q();
+        let single = evaluate_collection(
+            &c,
+            &pattern,
+            &Algorithm::WhirlpoolM { processors: None },
+            &EvalOptions::top_k(4),
+            Normalization::Sparse,
+            &CollectionOptions::default(),
+        );
+        for threads in [2, 4] {
+            for max_resident in [1, 4, 0] {
+                c.set_max_resident(max_resident);
+                let multi = evaluate_collection(
+                    &c,
+                    &pattern,
+                    &Algorithm::WhirlpoolM { processors: None },
+                    &EvalOptions::top_k(4),
+                    Normalization::Sparse,
+                    &CollectionOptions::default().with_threads(threads),
+                );
+                assert!(
+                    collection_answers_equivalent(&single.answers, &multi.answers, 1e-9),
+                    "threads={threads} max_resident={max_resident}: {:?} vs {:?}",
+                    single.answers,
+                    multi.answers,
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn add_snapshot_with_source_path_is_evictable() {
+        let dir = snapshot_dir("addsnap", &[("only", RICH)]);
+        let snap = Snapshot::attach(dir.join("only.wps")).unwrap();
+        let mut c = Collection::new();
+        c.add_snapshot("only", snap);
+        assert!(c.shards()[0].is_lazy(), "file-backed snapshot goes lazy");
+        assert!(c.shards()[0].is_resident(), "and starts resident");
+        assert_eq!(c.resident_count(), 1);
+        // Evictable: attach another shard under a cap of 1.
+        std::fs::copy(dir.join("only.wps"), dir.join("other.wps")).unwrap();
+        c.attach_snapshot_file(dir.join("other.wps")).unwrap();
+        c.set_max_resident(1);
+        let access = c.acquire(1).unwrap();
+        drop(access);
+        assert!(!c.shards()[0].is_resident(), "LRU shard 0 was evicted");
+        assert_eq!(c.eviction_count(), 1);
+        // And comes back on demand.
+        let access = c.acquire(0).unwrap();
+        assert_eq!(
+            access.doc().len(),
+            c.shards()[0].synopsis().elements() as usize + 1
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -119,6 +119,13 @@ pub struct EvalOptions {
     /// because the global threshold only rises, so anything pruned
     /// against the floor scores strictly below the final k-th answer.
     pub threshold_floor: f64,
+    /// Cross-run work-stealing board for Whirlpool-M: when set, the run
+    /// publishes an assist door on this registry so idle threads
+    /// elsewhere (the collection driver's workers between shards) can
+    /// join its pool as extra stealing workers. `None` (the default)
+    /// compiles no assist machinery into the run. Ignored by the other
+    /// engines.
+    pub assist: Option<crate::assist::AssistRegistry>,
 }
 
 impl EvalOptions {
@@ -142,6 +149,7 @@ impl EvalOptions {
             trace: false,
             threads: 1,
             threshold_floor: 0.0,
+            assist: None,
         }
     }
 }
@@ -278,6 +286,7 @@ pub fn evaluate_with_context(
                 queue_policy: options.queue,
                 processors: *processors,
                 threads: options.threads.max(1),
+                assist: options.assist.clone(),
             },
             &control,
         ),

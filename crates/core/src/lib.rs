@@ -67,6 +67,7 @@
 //! synopsis-derived score ceiling pruning whole shards that cannot
 //! beat the current k-th answer. See [`evaluate_collection`].
 
+mod assist;
 mod collection;
 mod context;
 mod engine;
@@ -87,9 +88,11 @@ pub mod vtime;
 mod whirlpool_m;
 mod whirlpool_s;
 
+pub use assist::{AssistRegistry, DoorGuard};
 pub use collection::{
-    collection_answers_equivalent, evaluate_collection, shard_ceiling, Collection,
-    CollectionAnswer, CollectionMetrics, CollectionOptions, CollectionResult, Shard,
+    collection_answers_equivalent, evaluate_collection, shard_ceiling, shard_ceiling_with_paths,
+    Collection, CollectionAnswer, CollectionMetrics, CollectionOptions, CollectionResult, Shard,
+    ShardAccess,
 };
 pub use context::{ContextOptions, Located, OpOutcome, QueryContext, RelaxMode};
 pub use engine::{

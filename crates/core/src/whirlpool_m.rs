@@ -76,6 +76,14 @@ pub struct WhirlpoolMConfig {
     /// proposal of "maximal parallelism" (§7) without one thread per
     /// server.
     pub threads: usize,
+    /// When set, the run publishes an assist door on this registry for
+    /// its lifetime: idle threads elsewhere (the collection driver's
+    /// workers between shards) call through the door and join the pool
+    /// as extra stealing workers with ids above the home range. The
+    /// door closes — blocking until every assister has left — before
+    /// the run returns, so assisted and unassisted runs return the same
+    /// certified answer set.
+    pub assist: Option<crate::assist::AssistRegistry>,
 }
 
 impl Default for WhirlpoolMConfig {
@@ -84,6 +92,7 @@ impl Default for WhirlpoolMConfig {
             queue_policy: QueuePolicy::MaxFinalScore,
             processors: None,
             threads: 1,
+            assist: None,
         }
     }
 }
@@ -377,6 +386,15 @@ pub fn run_whirlpool_m_anytime(
 
     let trunc = Truncation::new();
     let workers = config.threads.max(1);
+    // Open the assist door (if a registry was supplied) for the whole
+    // run: assisters become stealing workers with ids above the home
+    // range, a mode the pool supports for any worker count. The guard
+    // drop below blocks until the last assister has left, so the
+    // borrows of `shared`/`control`/`trunc` never escape this frame.
+    let assist_guard = config.assist.as_ref().map(|registry| {
+        let (shared, trunc) = (&shared, &trunc);
+        registry.publish(move |seq| worker_loop(shared, workers + seq, workers, control, trunc))
+    });
     std::thread::scope(|scope| {
         // Router thread.
         {
@@ -395,6 +413,10 @@ pub fn run_whirlpool_m_anytime(
             shared.done_cv.wait(&mut guard);
         }
     });
+    // Close the door and drain assisters before reading the result:
+    // `done` is set, so anyone still inside (or entering before the
+    // close lands) exits the worker loop promptly.
+    drop(assist_guard);
 
     let answers = shared.topk.into_inner().ranked();
     let completeness = trunc.finish(&answers);
@@ -1120,6 +1142,49 @@ mod tests {
                 );
             });
         }
+    }
+
+    #[test]
+    fn assisted_runs_return_the_same_answers() {
+        let query = "//book[./title and ./isbn and ./price]";
+        let mut reference = Vec::new();
+        harness(query, RelaxMode::Relaxed, |ctx, servers| {
+            reference = run_lockstep_noprune(ctx, &StaticPlan::in_id_order(servers), 4);
+        });
+        // Run single-threaded pools with a registry attached and a gang
+        // of outside threads hammering `assist_any` for the duration:
+        // every assist enters the pool as a stealing worker above the
+        // home range. Answers must match the unassisted reference.
+        harness(query, RelaxMode::Relaxed, |ctx, _| {
+            let registry = crate::assist::AssistRegistry::new();
+            let stop = std::sync::atomic::AtomicBool::new(false);
+            std::thread::scope(|scope| {
+                for _ in 0..3 {
+                    let (registry, stop) = (&registry, &stop);
+                    scope.spawn(move || {
+                        while !stop.load(Ordering::Acquire) {
+                            if !registry.assist_any() {
+                                registry.wait_for_work(std::time::Duration::from_micros(200));
+                            }
+                        }
+                    });
+                }
+                for _ in 0..10 {
+                    let got = run_whirlpool_m(
+                        ctx,
+                        &RoutingStrategy::MinAlive,
+                        4,
+                        &WhirlpoolMConfig {
+                            threads: 1,
+                            assist: Some(registry.clone()),
+                            ..WhirlpoolMConfig::default()
+                        },
+                    );
+                    assert!(crate::topk::answers_equivalent(&got, &reference, 1e-9));
+                }
+                stop.store(true, Ordering::Release);
+            });
+        });
     }
 
     #[test]

@@ -27,9 +27,16 @@
 //!   collection bound a shard's best possible score without touching
 //!   its postings, enabling whole-shard pruning against the global
 //!   top-k threshold.
+//! * [`PathSynopsis`] — a bounded strong dataguide (distinct
+//!   root-to-node tag paths with counts and max same-parent
+//!   multiplicity) that sharpens those ceilings on homogeneous corpora
+//!   where tag presence alone prunes nothing, and is compact enough to
+//!   store inside a snapshot and read by `Snapshot::peek` without
+//!   attaching the shard.
 
 mod columns;
 mod cursor;
+mod paths;
 mod selectivity;
 mod synopsis;
 mod tagindex;
@@ -37,6 +44,7 @@ mod view;
 
 pub use columns::{lanes_for, mask_count, ColumnsView, StructuralColumns, KERNEL_LANE};
 pub use cursor::RangeCursor;
+pub use paths::{PathAxis, PathEntry, PathSynopsis, PATH_COUNT_CAP, PATH_DEPTH_CAP};
 pub use selectivity::{
     estimate_query_cost, estimate_selectivity, estimate_selectivity_view, QueryCostEstimate,
     ServerSelectivity,

@@ -1,0 +1,446 @@
+//! Bounded strong-dataguide path synopsis.
+//!
+//! [`ShardSynopsis`](crate::ShardSynopsis) prunes a shard only when a
+//! query tag is *entirely absent* from it, which on homogeneous corpora
+//! (every shard carries every tag) prunes nothing. A [`PathSynopsis`]
+//! records the distinct **root-to-node tag paths** of a shard — a
+//! strong dataguide in the Lore sense, annotated with per-path node
+//! counts and the maximum same-path sibling multiplicity — so the
+//! collection driver can ask the sharper question: *can this query
+//! node's root-to-node pattern path bind anything in this shard at
+//! all?* A shard whose tags all exist, but never in the arrangement the
+//! query requires, is pruned before it is even attached.
+//!
+//! The synopsis is bounded on two axes so it stays cheap to store and
+//! peek: paths deeper than [`PATH_DEPTH_CAP`] and beyond the first
+//! [`PATH_COUNT_CAP`] distinct paths are dropped and the synopsis is
+//! marked *truncated*. A truncated synopsis makes no negative claims —
+//! [`PathSynopsis::is_definitive`] is false and callers must fall back
+//! to tag-count ceilings — so the bounds can never turn into unsound
+//! pruning (see DESIGN.md §12).
+
+use std::collections::HashMap;
+use whirlpool_xml::Document;
+
+/// Maximum stored path depth (document element = depth 1). Deeper nodes
+/// mark the synopsis truncated.
+pub const PATH_DEPTH_CAP: usize = 16;
+
+/// Maximum number of distinct stored paths. Further paths mark the
+/// synopsis truncated.
+pub const PATH_COUNT_CAP: usize = 1024;
+
+/// How one query path step relates to its predecessor: direct child or
+/// any-depth descendant. Mirrors the pattern crate's `Axis` without
+/// depending on it (the index crate sits below the pattern crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathAxis {
+    /// The step's tag must appear exactly one level below the previous
+    /// match (or at the document element for the first step).
+    Child,
+    /// The step's tag may appear any number of levels below.
+    Descendant,
+}
+
+/// One distinct root-to-node tag path with its annotations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathEntry {
+    /// Tag ids (into [`PathSynopsis::tag_names`]) from the document
+    /// element down to the node.
+    pub steps: Vec<u32>,
+    /// Nodes in the shard carrying exactly this path.
+    pub count: u64,
+    /// Maximum number of same-path siblings under one parent — an upper
+    /// bound on any per-parent term frequency along this path.
+    pub max_tf: u64,
+}
+
+/// A bounded strong dataguide: every distinct root-to-node tag path of
+/// a shard (up to the depth/size caps), with per-path counts and the
+/// maximum same-parent multiplicity.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PathSynopsis {
+    /// Local tag interner: ids in [`PathEntry::steps`] index this list.
+    tags: Vec<Box<str>>,
+    /// Distinct paths, sorted by their step sequences.
+    paths: Vec<PathEntry>,
+    depth_cap: u32,
+    truncated: bool,
+}
+
+impl PathSynopsis {
+    /// Builds the synopsis in one pre-order pass over `doc` using the
+    /// default caps.
+    pub fn build(doc: &Document) -> PathSynopsis {
+        PathSynopsis::build_capped(doc, PATH_DEPTH_CAP, PATH_COUNT_CAP)
+    }
+
+    /// [`build`](PathSynopsis::build) with explicit caps (tests shrink
+    /// them to exercise truncation).
+    pub fn build_capped(doc: &Document, depth_cap: usize, count_cap: usize) -> PathSynopsis {
+        let mut interner: HashMap<Box<str>, u32> = HashMap::new();
+        let mut tags: Vec<Box<str>> = Vec::new();
+        let mut table: HashMap<Vec<u32>, (u64, u64)> = HashMap::new();
+        let mut truncated = false;
+
+        // Pre-order walk carrying the open ancestor chain; NodeIds are
+        // pre-order, so popping until the top of the stack is the
+        // node's parent reconstructs each path without recursion.
+        let mut stack: Vec<(whirlpool_xml::NodeId, u32)> = Vec::new(); // (node, tag id)
+                                                                       // sibling_counts[i] counts tags among the children of
+                                                                       // stack[i-1] (of the document root for i = 0) seen so far.
+        let mut sibling_counts: Vec<HashMap<u32, u64>> = vec![HashMap::new()];
+        for n in doc.elements() {
+            let parent = doc.parent(n).expect("elements have parents");
+            while let Some(&(pid, _)) = stack.last() {
+                if pid == parent {
+                    break;
+                }
+                stack.pop();
+                sibling_counts.pop();
+            }
+            let tag_id = {
+                let name = doc.tag_str(n);
+                match interner.get(name) {
+                    Some(&id) => id,
+                    None => {
+                        let id = tags.len() as u32;
+                        interner.insert(Box::from(name), id);
+                        tags.push(Box::from(name));
+                        id
+                    }
+                }
+            };
+            let depth = stack.len() + 1;
+            // Same-path sibling multiplicity under the current parent.
+            let tf = {
+                let counts = sibling_counts.last_mut().expect("root level exists");
+                let c = counts.entry(tag_id).or_insert(0);
+                *c += 1;
+                *c
+            };
+            if depth > depth_cap {
+                truncated = true;
+            } else {
+                let path: Vec<u32> = stack
+                    .iter()
+                    .map(|&(_, t)| t)
+                    .chain(std::iter::once(tag_id))
+                    .collect();
+                if let Some(entry) = table.get_mut(&path) {
+                    entry.0 += 1;
+                    entry.1 = entry.1.max(tf);
+                } else if table.len() < count_cap {
+                    table.insert(path, (1, tf));
+                } else {
+                    truncated = true;
+                }
+            }
+            stack.push((n, tag_id));
+            sibling_counts.push(HashMap::new());
+        }
+
+        let mut paths: Vec<PathEntry> = table
+            .into_iter()
+            .map(|(steps, (count, max_tf))| PathEntry {
+                steps,
+                count,
+                max_tf,
+            })
+            .collect();
+        paths.sort_by(|a, b| a.steps.cmp(&b.steps));
+        PathSynopsis {
+            tags,
+            paths,
+            depth_cap: depth_cap as u32,
+            truncated,
+        }
+    }
+
+    /// Reassembles a synopsis from stored parts (the snapshot-attach
+    /// path). `tags` ids in `paths` must index `tags`; callers validate
+    /// before constructing.
+    pub fn from_parts(
+        tags: Vec<Box<str>>,
+        mut paths: Vec<PathEntry>,
+        depth_cap: u32,
+        truncated: bool,
+    ) -> PathSynopsis {
+        paths.sort_by(|a, b| a.steps.cmp(&b.steps));
+        PathSynopsis {
+            tags,
+            paths,
+            depth_cap,
+            truncated,
+        }
+    }
+
+    /// Local tag table (ids in [`PathEntry::steps`] index this).
+    pub fn tag_names(&self) -> &[Box<str>] {
+        &self.tags
+    }
+
+    /// The stored paths, sorted by step sequence.
+    pub fn entries(&self) -> &[PathEntry] {
+        &self.paths
+    }
+
+    /// Number of distinct stored paths.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// No stored paths?
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// The depth cap this synopsis was built with.
+    pub fn depth_cap(&self) -> u32 {
+        self.depth_cap
+    }
+
+    /// Did the document exceed a cap? A truncated synopsis must not be
+    /// used to rule anything out.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Can the synopsis be trusted for *negative* answers ("no node
+    /// matches this path")? False when truncated.
+    pub fn is_definitive(&self) -> bool {
+        !self.truncated
+    }
+
+    /// Renders one entry's path as `/a/b/c` for display.
+    pub fn render(&self, entry: &PathEntry) -> String {
+        let mut s = String::new();
+        for &t in &entry.steps {
+            s.push('/');
+            s.push_str(&self.tags[t as usize]);
+        }
+        s
+    }
+
+    /// Does any stored path match the query path `steps` (a
+    /// root-to-node chain of `(axis, tag)` steps, `"*"` = wildcard),
+    /// anchored at both ends? The first step's axis relates to the
+    /// document root: `Child` pins it to the document element.
+    ///
+    /// This is the *reachability* question behind path-level ceilings:
+    /// `false` (on a [definitive](PathSynopsis::is_definitive) synopsis)
+    /// proves no node in the shard can bind the query node. Callers
+    /// must treat `false` on a truncated synopsis as "unknown".
+    pub fn matches_query_path(&self, steps: &[(PathAxis, &str)]) -> bool {
+        if steps.is_empty() {
+            return false;
+        }
+        // A query tag absent from every stored path can never match
+        // (wildcards aside) — cheap pre-filter.
+        let resolved: Vec<Option<u32>> = steps
+            .iter()
+            .map(|&(_, tag)| {
+                if tag == "*" {
+                    None // wildcard: matches any tag
+                } else {
+                    self.tags.iter().position(|t| &**t == tag).map(|i| i as u32)
+                }
+            })
+            .collect();
+        for (r, &(_, tag)) in resolved.iter().zip(steps) {
+            if tag != "*" && r.is_none() {
+                return false;
+            }
+        }
+        self.paths
+            .iter()
+            .filter(|p| p.count > 0)
+            .any(|p| path_matches(&p.steps, steps, &resolved))
+    }
+
+    /// Total node count over stored paths whose full path matches the
+    /// query path — an upper bound on how many nodes can bind the query
+    /// node (on a definitive synopsis).
+    pub fn matching_count(&self, steps: &[(PathAxis, &str)]) -> u64 {
+        let resolved: Vec<Option<u32>> = steps
+            .iter()
+            .map(|&(_, tag)| {
+                if tag == "*" {
+                    None
+                } else {
+                    self.tags.iter().position(|t| &**t == tag).map(|i| i as u32)
+                }
+            })
+            .collect();
+        self.paths
+            .iter()
+            .filter(|p| path_matches(&p.steps, steps, &resolved))
+            .map(|p| p.count)
+            .sum()
+    }
+}
+
+/// Anchored regex-style match of a query path against one stored path.
+/// `resolved[i]` is the stored-tag id of `steps[i]`'s tag (`None` =
+/// wildcard). Child consumes exactly the next position; Descendant
+/// skips zero or more.
+fn path_matches(path: &[u32], steps: &[(PathAxis, &str)], resolved: &[Option<u32>]) -> bool {
+    if steps.is_empty() || path.is_empty() {
+        return false;
+    }
+    // frontier[j] = true when the first `i` steps can end at stored
+    // position j-1 (j = 0 is the virtual pre-root position).
+    let l = path.len();
+    let mut frontier = vec![false; l + 1];
+    frontier[0] = true;
+    for (i, &(axis, _)) in steps.iter().enumerate() {
+        let want = resolved[i];
+        let mut next = vec![false; l + 1];
+        for j in 0..l {
+            let tag_ok = match want {
+                Some(w) => path[j] == w,
+                None => true,
+            };
+            if !tag_ok {
+                continue;
+            }
+            let reach = match axis {
+                PathAxis::Child => frontier[j],
+                PathAxis::Descendant => frontier[..=j].iter().any(|&b| b),
+            };
+            if reach {
+                next[j + 1] = true;
+            }
+        }
+        frontier = next;
+        if !frontier.iter().any(|&b| b) {
+            return false;
+        }
+    }
+    // Anchored at the end: the last step must land on the path's last
+    // position (stored paths are exact root-to-node chains).
+    frontier[l]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whirlpool_xml::parse_document;
+
+    fn syn(src: &str) -> PathSynopsis {
+        PathSynopsis::build(&parse_document(src).unwrap())
+    }
+
+    #[test]
+    fn collects_distinct_paths_with_counts() {
+        let s = syn("<shelf><book><title>a</title></book><book><title>b</title>\
+                     <title>c</title></book><cd><title>x</title></cd></shelf>");
+        assert!(s.is_definitive());
+        assert_eq!(s.len(), 5); // /shelf, /shelf/book, /shelf/book/title, /shelf/cd, /shelf/cd/title
+        let book_title: Vec<_> = s
+            .entries()
+            .iter()
+            .filter(|e| s.render(e) == "/shelf/book/title")
+            .collect();
+        assert_eq!(book_title.len(), 1);
+        assert_eq!(book_title[0].count, 3);
+        assert_eq!(book_title[0].max_tf, 2, "two titles under one book");
+    }
+
+    #[test]
+    fn matches_child_and_descendant_axes() {
+        let s = syn("<site><regions><europe><item><name>x</name></item></europe></regions></site>");
+        use PathAxis::*;
+        // //item
+        assert!(s.matches_query_path(&[(Descendant, "item")]));
+        // /site/regions
+        assert!(s.matches_query_path(&[(Child, "site"), (Child, "regions")]));
+        // //item/name
+        assert!(s.matches_query_path(&[(Descendant, "item"), (Child, "name")]));
+        // //regions//name
+        assert!(s.matches_query_path(&[(Descendant, "regions"), (Descendant, "name")]));
+        // /item — anchored to the document element, which is <site>.
+        assert!(!s.matches_query_path(&[(Child, "item")]));
+        // //item/regions — the arrangement never occurs.
+        assert!(!s.matches_query_path(&[(Descendant, "item"), (Child, "regions")]));
+        // //name/item — child below a leaf.
+        assert!(!s.matches_query_path(&[(Descendant, "name"), (Child, "item")]));
+        // Tag absent entirely.
+        assert!(!s.matches_query_path(&[(Descendant, "nosuch")]));
+    }
+
+    #[test]
+    fn wildcards_match_any_tag() {
+        let s = syn("<a><b><c/></b></a>");
+        use PathAxis::*;
+        assert!(s.matches_query_path(&[(Descendant, "*")]));
+        assert!(s.matches_query_path(&[(Child, "*"), (Child, "*"), (Child, "*")]));
+        assert!(!s.matches_query_path(&[(Child, "*"), (Child, "*"), (Child, "*"), (Child, "*")]));
+        assert!(s.matches_query_path(&[(Descendant, "b"), (Child, "*")]));
+    }
+
+    #[test]
+    fn tag_presence_is_not_path_reachability() {
+        // Both shards hold the tags {shelf, book, isbn}; only one holds
+        // the arrangement book-with-isbn-child. This is exactly the
+        // homogeneous-corpus case tag synopses cannot prune.
+        let with = syn("<shelf><book><isbn>1</isbn></book></shelf>");
+        let without = syn("<shelf><book/><archive><isbn>9</isbn></archive></shelf>");
+        use PathAxis::*;
+        let q = [(Descendant, "book"), (Child, "isbn")];
+        assert!(with.matches_query_path(&q));
+        assert!(!without.matches_query_path(&q));
+    }
+
+    #[test]
+    fn depth_cap_truncates() {
+        let doc = parse_document("<a><b><c><d><e/></d></c></b></a>").unwrap();
+        let s = PathSynopsis::build_capped(&doc, 3, PATH_COUNT_CAP);
+        assert!(s.truncated());
+        assert!(!s.is_definitive());
+        assert_eq!(s.len(), 3, "paths above the cap are kept");
+        let full = PathSynopsis::build(&doc);
+        assert!(full.is_definitive());
+        assert_eq!(full.len(), 5);
+    }
+
+    #[test]
+    fn count_cap_truncates() {
+        let mut src = String::from("<r>");
+        for i in 0..20 {
+            src.push_str(&format!("<t{i}/>"));
+        }
+        src.push_str("</r>");
+        let doc = parse_document(&src).unwrap();
+        let s = PathSynopsis::build_capped(&doc, PATH_DEPTH_CAP, 8);
+        assert!(s.truncated());
+        assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn matching_count_sums_matching_paths() {
+        let s = syn(
+            "<shelf><book><title>a</title></book><book><title>b</title></book>\
+                     <cd><title>x</title></cd></shelf>",
+        );
+        use PathAxis::*;
+        assert_eq!(s.matching_count(&[(Descendant, "title")]), 3);
+        assert_eq!(
+            s.matching_count(&[(Descendant, "book"), (Child, "title")]),
+            2
+        );
+        assert_eq!(s.matching_count(&[(Descendant, "book")]), 2);
+    }
+
+    #[test]
+    fn round_trips_through_parts() {
+        let s = syn("<shelf><book><title>a</title></book></shelf>");
+        let rebuilt = PathSynopsis::from_parts(
+            s.tag_names().to_vec(),
+            s.entries().to_vec(),
+            s.depth_cap(),
+            s.truncated(),
+        );
+        assert_eq!(s, rebuilt);
+    }
+}

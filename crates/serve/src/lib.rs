@@ -76,6 +76,6 @@ mod shared;
 pub use error::{Outcome, RejectReason, ServeError};
 pub use governor::{Admission, FireCause, Permit, Rung, Watchdog};
 pub use json::{escape, Json, JsonError};
-pub use metrics::{ServeMetrics, ServeMetricsSnapshot};
+pub use metrics::{RungHistory, ServeMetrics, ServeMetricsSnapshot};
 pub use server::{serve_blocking, start, ServeConfig, ServerHandle};
-pub use shared::{DocState, Prepare, Registry, Shared};
+pub use shared::{DocAccess, DocState, Prepare, Registry, Residency, Shared};

@@ -8,7 +8,9 @@
 //! suite asserts it after every soak.
 
 use crate::error::Outcome;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Monotone counters, shared across worker threads.
 #[derive(Debug, Default)]
@@ -119,6 +121,58 @@ impl ServeMetricsSnapshot {
     }
 }
 
+/// Ring buffer of the ladder decisions made for recent admitted
+/// queries: which rung each ran on and the admission-time pressure
+/// that picked it. `/metrics` reports the last [`CAPACITY`] samples
+/// under `"history"`, oldest first — enough to see a pressure ramp
+/// and the ladder's response to it without a metrics pipeline.
+///
+/// [`CAPACITY`]: RungHistory::CAPACITY
+#[derive(Debug, Default)]
+pub struct RungHistory {
+    samples: Mutex<VecDeque<(&'static str, f64)>>,
+}
+
+impl RungHistory {
+    /// Samples retained; older ones fall off the front.
+    pub const CAPACITY: usize = 64;
+
+    /// Records one admitted query's rung and admission-time pressure.
+    pub fn record(&self, rung: &'static str, pressure: f64) {
+        let mut samples = self.samples.lock().unwrap_or_else(|p| p.into_inner());
+        if samples.len() == Self::CAPACITY {
+            samples.pop_front();
+        }
+        samples.push_back((rung, pressure));
+    }
+
+    /// Samples currently held.
+    pub fn len(&self) -> usize {
+        self.samples.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `/metrics` `"history"` array, oldest sample first.
+    pub fn to_json(&self) -> String {
+        let samples = self.samples.lock().unwrap_or_else(|p| p.into_inner());
+        let mut out = String::from("[");
+        for (i, (rung, pressure)) in samples.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"rung\": \"{rung}\", \"pressure\": {pressure:.3}}}"
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +211,19 @@ mod tests {
         assert!(body.contains("\"docs\": ["));
         assert!(body.contains("\"snapshot_attach_ms\": 0.042"));
         crate::json::Json::parse(&body).expect("valid json");
+    }
+
+    #[test]
+    fn rung_history_is_a_bounded_ring() {
+        let h = RungHistory::default();
+        assert!(h.is_empty());
+        for i in 0..RungHistory::CAPACITY + 8 {
+            h.record(if i % 2 == 0 { "full" } else { "tightened" }, 0.25);
+        }
+        assert_eq!(h.len(), RungHistory::CAPACITY, "older samples fall off");
+        let json = h.to_json();
+        assert!(json.contains("\"rung\": \"full\""));
+        assert!(json.contains("\"pressure\": 0.250"));
+        crate::json::Json::parse(&json).expect("valid json");
     }
 }

@@ -5,17 +5,18 @@ use crate::error::{Outcome, RejectReason, ServeError};
 use crate::governor::{Admission, Rung, Watchdog};
 use crate::http::{read_request, respond, Request};
 use crate::json::{escape, Json};
-use crate::metrics::ServeMetrics;
-use crate::shared::{DocState, Registry, Shared};
+use crate::metrics::{RungHistory, ServeMetrics};
+use crate::shared::{DocState, Registry, Residency, Shared};
 use std::collections::{BTreeSet, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use whirlpool_core::{
-    evaluate_with_context, shard_ceiling, Algorithm, CancelToken, Completeness, ContextOptions,
-    EvalOptions, EvalResult, FaultPlan, QueryContext,
+    evaluate_with_context, shard_ceiling_with_paths, Algorithm, CancelToken, Completeness,
+    ContextOptions, EvalOptions, EvalResult, FaultPlan, QueryContext,
 };
+use whirlpool_index::DocView;
 use whirlpool_pattern::WILDCARD;
 use whirlpool_score::{CorpusStats, Normalization, Score, TfIdfModel};
 use whirlpool_xml::NodeId;
@@ -43,10 +44,15 @@ pub struct ServeConfig {
     /// Bounded re-runs after a transient server fault.
     pub retries: u32,
     /// Warm-start directory: at boot, every document that had to be
-    /// parsed (no usable snapshot) gets a version-2 snapshot written
-    /// here by a background thread, so the *next* boot attaches it in
-    /// O(header) instead of re-indexing.
+    /// parsed (no usable snapshot) gets a snapshot written here by a
+    /// background thread, so the *next* boot peeks it in O(synopsis)
+    /// instead of re-indexing.
     pub snapshot_dir: Option<std::path::PathBuf>,
+    /// Residency target for lazily-peeked documents: at most this many
+    /// attached snapshots at once (0 = unlimited). A target, not a
+    /// hard cap — snapshots pinned by in-flight queries are not
+    /// evictable.
+    pub max_resident: usize,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +67,7 @@ impl Default for ServeConfig {
             watchdog_grace: Duration::from_millis(250),
             retries: 1,
             snapshot_dir: None,
+            max_resident: 0,
         }
     }
 }
@@ -123,6 +130,8 @@ struct Daemon {
     metrics: Arc<ServeMetrics>,
     config: Arc<ServeConfig>,
     request_seq: Arc<AtomicU64>,
+    residency: Arc<Residency>,
+    history: Arc<RungHistory>,
 }
 
 /// A running daemon. Dropping the handle does *not* stop it; call
@@ -173,6 +182,8 @@ pub fn start(config: ServeConfig, registry: Registry) -> std::io::Result<ServerH
 
     let shutdown = Arc::new(AtomicBool::new(false));
     let queue = Arc::new(ConnQueue::new(config.queue_depth));
+    let residency = registry.residency();
+    residency.set_max_resident(config.max_resident);
     let daemon = Daemon {
         registry: Shared::new(registry),
         admission: Arc::new(Admission::new(config.max_inflight, config.capacity_ops)),
@@ -180,6 +191,8 @@ pub fn start(config: ServeConfig, registry: Registry) -> std::io::Result<ServerH
         metrics: Arc::new(ServeMetrics::default()),
         config: Arc::new(config),
         request_seq: Arc::new(AtomicU64::new(0)),
+        residency,
+        history: Arc::new(RungHistory::default()),
     };
 
     let mut threads = Vec::new();
@@ -366,7 +379,8 @@ fn route(daemon: &Daemon, conn: &mut TcpStream, request: &Request) -> Result<(),
         ("GET", "/metrics") => {
             // Per-document prepare costs ride along with the counters:
             // `index_build_ms` for cold (parsed) documents,
-            // `snapshot_attach_ms` for warm (attached) ones.
+            // `snapshot_attach_ms` for warm (attached) ones,
+            // `snapshot_peek_ms` for lazy (peeked) ones.
             let docs = daemon.registry.read().all();
             let mut docs_json = String::from("[");
             for (i, d) in docs.iter().enumerate() {
@@ -374,24 +388,27 @@ fn route(daemon: &Daemon, conn: &mut TcpStream, request: &Request) -> Result<(),
                     docs_json.push_str(", ");
                 }
                 docs_json.push_str(&format!(
-                    "{{\"name\": \"{}\", \"backing\": \"{}\", \"{}\": {:.3}}}",
+                    "{{\"name\": \"{}\", \"backing\": \"{}\", \"resident\": {}, \
+                     \"{}\": {:.3}}}",
                     escape(&d.name),
-                    if d.is_snapshot() {
-                        "snapshot"
-                    } else {
-                        "parsed"
-                    },
+                    d.backing_label(),
+                    d.is_resident(),
                     d.prepare.stat_name(),
                     d.prepare.ms(),
                 ));
             }
             docs_json.push(']');
+            let base = daemon
+                .metrics
+                .snapshot()
+                .to_json_with_docs(daemon.admission.inflight(), &docs_json);
+            // Splice in the residency counters and the ladder's recent
+            // decisions (same string surgery as the docs field).
             let body = format!(
-                "{}\n",
-                daemon
-                    .metrics
-                    .snapshot()
-                    .to_json_with_docs(daemon.admission.inflight(), &docs_json)
+                "{}, \"shards\": {}, \"history\": {}}}\n",
+                &base[..base.len() - 1],
+                daemon.residency.to_json(),
+                daemon.history.to_json(),
             );
             respond(conn, 200, &[], &body)?;
             Ok(())
@@ -475,16 +492,21 @@ fn handle_query(daemon: &Daemon, conn: &mut TcpStream, body: &[u8]) -> Result<()
 
     // Parse/index happened at load time; per-request cost from here on
     // is the score model, the context (selectivity sample), and the
-    // evaluation itself.
+    // evaluation itself. A lazily-peeked document pays its one-time
+    // snapshot attach here, on first use.
+    let access = daemon
+        .residency
+        .acquire(&doc_state)
+        .map_err(|e| store_error(&doc_state.name, e))?;
     let model = TfIdfModel::build_view(
-        doc_state.doc(),
-        doc_state.index(),
+        access.doc(),
+        access.index(),
         &pattern,
         Normalization::Sparse,
     );
     let ctx = QueryContext::new_view(
-        doc_state.doc(),
-        doc_state.index(),
+        access.doc(),
+        access.index(),
         &pattern,
         &model,
         ContextOptions {
@@ -510,7 +532,9 @@ fn handle_query(daemon: &Daemon, conn: &mut TcpStream, body: &[u8]) -> Result<()
     };
 
     // The ladder: pressure at admission picks the rung and its budgets.
-    let rung = Rung::for_pressure(daemon.admission.pressure());
+    let pressure = daemon.admission.pressure();
+    let rung = Rung::for_pressure(pressure);
+    daemon.history.record(rung.label(), pressure);
     let (deadline, max_ops) = rung.budgets(daemon.config.base_deadline, daemon.config.capacity_ops);
 
     // The watchdog backstops the rung deadline and watches for client
@@ -591,7 +615,7 @@ fn handle_query(daemon: &Daemon, conn: &mut TcpStream, body: &[u8]) -> Result<()
     };
     let body = query_response_json(
         daemon.request_seq.fetch_add(1, Ordering::Relaxed),
-        &doc_state,
+        access.doc(),
         outcome,
         rung,
         attempts,
@@ -616,6 +640,9 @@ struct ShardCounts {
     total: usize,
     visited: usize,
     pruned: usize,
+    /// Pruned while the document was a lazy, non-resident snapshot —
+    /// the prune saved the attach itself.
+    pruned_before_attach: usize,
     skipped_budget: usize,
 }
 
@@ -654,11 +681,19 @@ fn handle_collection_query(
 
     // The corpus model: document-frequency counts pooled over every
     // shard, so an answer's score does not depend on which document
-    // holds it.
+    // holds it. With any lazy document in the registry the synopsis
+    // path is used for *all* of them — the corpus model must not
+    // depend on which documents happen to be resident, or re-running
+    // the same query after evictions would score answers differently.
     let answer_tag = pattern.node(pattern.root()).tag.clone();
+    let any_lazy = docs.iter().any(|d| d.is_lazy());
     let mut stats = CorpusStats::new(&pattern);
     for d in &docs {
-        stats.add_shard_view(d.doc(), d.index(), &answer_tag);
+        if any_lazy {
+            stats.add_shard_synopsis(&d.synopsis, &answer_tag);
+        } else {
+            stats.add_shard_view(d.doc(), d.index(), &answer_tag);
+        }
     }
     let model = stats.model(Normalization::Sparse);
 
@@ -666,14 +701,21 @@ fn handle_collection_query(
 
     // Ceiling-descending shard order: rich shards first, so the global
     // threshold rises as fast as possible; provably answer-free shards
-    // (`None`) last.
+    // (`None`) last. Stored path synopses tighten the ceilings without
+    // attaching anything.
     let mut order: Vec<(usize, Option<Score>)> = docs
         .iter()
         .enumerate()
         .map(|(i, d)| {
             (
                 i,
-                shard_ceiling(&d.synopsis, &pattern, &model, options.relax),
+                shard_ceiling_with_paths(
+                    &d.synopsis,
+                    d.paths.as_ref(),
+                    &pattern,
+                    &model,
+                    options.relax,
+                ),
             )
         })
         .collect();
@@ -713,7 +755,9 @@ fn handle_collection_query(
     // The ladder and the watchdog govern the *whole* corpus run: each
     // shard gets whatever wall clock and op budget the earlier shards
     // left over.
-    let rung = Rung::for_pressure(daemon.admission.pressure());
+    let pressure = daemon.admission.pressure();
+    let rung = Rung::for_pressure(pressure);
+    daemon.history.record(rung.label(), pressure);
     let (deadline, max_ops) = rung.budgets(daemon.config.base_deadline, daemon.config.capacity_ops);
     let cancel = CancelToken::new();
     let started = Instant::now();
@@ -737,6 +781,7 @@ fn handle_collection_query(
     let mut ops_spent = 0u64;
 
     for &(idx, ceiling) in &order {
+        let d = &docs[idx];
         // Budgets first: an exhausted corpus budget skips the shard and
         // certifies the skip with the shard's ceiling.
         let remaining = deadline.saturating_sub(started.elapsed());
@@ -750,17 +795,39 @@ fn handle_collection_query(
         }
         if shard_prunable(ceiling, threshold) {
             counts.pruned += 1;
+            if d.is_lazy() && !d.is_resident() {
+                // The whole point of peeking: this document's arrays
+                // were never read off disk.
+                counts.pruned_before_attach += 1;
+                daemon
+                    .residency
+                    .pruned_before_attach
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             continue;
         }
-        let d = &docs[idx];
         options.deadline = Some(remaining);
         options.max_server_ops = ops_left;
         // Threshold sharing: seed the shard run's pruning threshold
         // with the current corpus k-th score.
         options.threshold_floor = threshold.value();
+        // A lazy document attaches here — the first time the corpus
+        // run actually needs it. Attach failure (file vanished,
+        // corrupted) degrades the answer like a budget skip: the
+        // shard's ceiling certifies what it could have contributed.
+        let access = match daemon.residency.acquire(d) {
+            Ok(a) => a,
+            Err(_) => {
+                counts.skipped_budget += 1;
+                truncated = true;
+                pending += 1;
+                bound = bound.max(ceiling.map_or(0.0, |c| c.value()));
+                continue;
+            }
+        };
         let ctx = QueryContext::new_view(
-            d.doc(),
-            d.index(),
+            access.doc(),
+            access.index(),
             &pattern,
             &model,
             ContextOptions {
@@ -827,6 +894,7 @@ fn handle_collection_query(
     let body = collection_response_json(
         daemon.request_seq.fetch_add(1, Ordering::Relaxed),
         &docs,
+        &daemon.residency,
         outcome,
         rung,
         &completeness,
@@ -848,10 +916,17 @@ fn shard_prunable(ceiling: Option<Score>, threshold: Score) -> bool {
     }
 }
 
+/// A lazy attach failure is the daemon's problem, not the client's:
+/// HTTP 500 via the transport-error class.
+fn store_error(doc: &str, e: whirlpool_store::StoreError) -> ServeError {
+    ServeError::Io(std::io::Error::other(format!("attach {doc}: {e}")))
+}
+
 #[allow(clippy::too_many_arguments)]
 fn collection_response_json(
     seq: u64,
     docs: &[Arc<DocState>],
+    residency: &Residency,
     outcome: Outcome,
     rung: Rung,
     completeness: &Completeness,
@@ -878,8 +953,12 @@ fn collection_response_json(
     }
     body.push_str(&format!(
         "  \"shards\": {{\"total\": {}, \"visited\": {}, \"pruned\": {}, \
-         \"skipped_budget\": {}}},\n",
-        counts.total, counts.visited, counts.pruned, counts.skipped_budget,
+         \"pruned_before_attach\": {}, \"skipped_budget\": {}}},\n",
+        counts.total,
+        counts.visited,
+        counts.pruned,
+        counts.pruned_before_attach,
+        counts.skipped_budget,
     ));
     body.push_str(&format!(
         "  \"elapsed_ms\": {:.3},\n",
@@ -888,10 +967,18 @@ fn collection_response_json(
     body.push_str("  \"answers\": [\n");
     for (i, &(score, shard, root)) in answers.iter().enumerate() {
         let d = &docs[shard];
-        let id = d
-            .doc()
-            .attribute(root, "id")
-            .map(|v| format!(", \"id\": \"{}\"", escape(v)))
+        // Re-acquire for the id attribute: a lazy shard may have been
+        // evicted since its run, in which case this re-attaches (or,
+        // on failure, ships the answer without its id).
+        let id = residency
+            .acquire(d)
+            .ok()
+            .and_then(|access| {
+                access
+                    .doc()
+                    .attribute(root, "id")
+                    .map(|v| format!(", \"id\": \"{}\"", escape(v)))
+            })
             .unwrap_or_default();
         body.push_str(&format!(
             "    {{\"rank\": {}, \"doc\": \"{}\", \"node\": {}, \"score\": {:.6}{id}}}{}\n",
@@ -908,7 +995,7 @@ fn collection_response_json(
 
 fn query_response_json(
     seq: u64,
-    doc_state: &DocState,
+    doc: DocView<'_>,
     outcome: Outcome,
     rung: Rung,
     retries: u32,
@@ -947,8 +1034,7 @@ fn query_response_json(
     ));
     body.push_str("  \"answers\": [\n");
     for (i, a) in result.answers.iter().enumerate() {
-        let id = doc_state
-            .doc()
+        let id = doc
             .attribute(a.root, "id")
             .map(|v| format!(", \"id\": \"{}\"", escape(v)))
             .unwrap_or_default();
@@ -1194,6 +1280,112 @@ mod tests {
         // The two full matches tie, so their relative order is free.
         assert_eq!(ids, ["r1", "r2"]);
         handle.shutdown();
+    }
+
+    /// The [`collection_registry`] documents written as snapshot files
+    /// and *peeked*, not attached: only a query that survives pruning
+    /// pays the attach.
+    fn lazy_collection_registry(dir: &std::path::Path) -> Registry {
+        let sources = [
+            (
+                "rich",
+                "<shelf>\
+                 <book id=\"r1\"><title>dune</title><isbn>1</isbn></book>\
+                 <book id=\"r2\"><title>ubik</title><isbn>2</isbn></book>\
+                 </shelf>",
+            ),
+            (
+                "sparse",
+                "<shelf><book id=\"s1\"><blurb>x</blurb></book>\
+                 <book id=\"s2\"><blurb>y</blurb></book></shelf>",
+            ),
+            ("none", "<shelf><cd><title>x</title></cd></shelf>"),
+        ];
+        let mut registry = Registry::new();
+        for (name, xml) in sources {
+            let doc = whirlpool_xml::parse_document(xml).unwrap();
+            let index = whirlpool_index::TagIndex::build(&doc);
+            let path = dir.join(format!("{name}.wps"));
+            whirlpool_store::save_snapshot(&doc, &index, &path).unwrap();
+            registry.insert(DocState::peek(name, &path).unwrap());
+        }
+        registry
+    }
+
+    #[test]
+    fn lazy_collection_prunes_before_attach_and_reports_residency() {
+        let dir = std::env::temp_dir().join(format!("wp-serve-lazy-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = ServeConfig {
+            max_resident: 1,
+            ..ServeConfig::default()
+        };
+        let handle = start(config, lazy_collection_registry(&dir)).unwrap();
+        let addr = handle.addr();
+
+        let (status, body) = post_query(
+            addr,
+            r#"{"collection": true, "query": "//book[./title and ./isbn]", "k": 2}"#,
+        );
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(v.get("outcome").and_then(Json::as_str), Some("exact"));
+        let shards = v.get("shards").expect("shards object");
+        assert_eq!(shards.get("total").and_then(Json::as_u64), Some(3));
+        let before = shards
+            .get("pruned_before_attach")
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(
+            before >= 1,
+            "pruned lazy documents must never attach: {body}"
+        );
+        let Some(Json::Arr(answers)) = v.get("answers") else {
+            panic!("no answers: {body}")
+        };
+        assert_eq!(answers.len(), 2, "{body}");
+        for a in answers {
+            assert_eq!(a.get("doc").and_then(Json::as_str), Some("rich"), "{body}");
+            assert!(a.get("id").and_then(Json::as_str).is_some(), "{body}");
+        }
+
+        // A per-document query against a lazy doc attaches on demand.
+        let (status, body) = post_query(
+            addr,
+            r#"{"doc": "sparse", "query": "//book[./blurb]", "k": 1}"#,
+        );
+        assert_eq!(status, 200, "{body}");
+
+        // /metrics: residency counters and the rung history ring.
+        let (status, body) = send(addr, "GET /metrics HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        let m = Json::parse(&body).unwrap();
+        let shards = m.get("shards").expect("shards counters");
+        assert_eq!(shards.get("peeked").and_then(Json::as_u64), Some(3));
+        assert!(shards.get("attached").and_then(Json::as_u64).unwrap() >= 1);
+        assert!(
+            shards
+                .get("pruned_before_attach")
+                .and_then(Json::as_u64)
+                .unwrap()
+                >= 1
+        );
+        assert!(
+            shards.get("resident").and_then(Json::as_u64).unwrap() <= 1,
+            "max_resident 1 must hold at quiescence: {body}"
+        );
+        let Some(Json::Arr(history)) = m.get("history") else {
+            panic!("no history: {body}")
+        };
+        assert_eq!(history.len(), 2, "one sample per admitted query: {body}");
+        assert!(history
+            .iter()
+            .all(|s| s.get("rung").and_then(Json::as_str).is_some()
+                && s.get("pressure").and_then(Json::as_f64).is_some()));
+        assert!(body.contains("\"backing\": \"lazy\""), "{body}");
+
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

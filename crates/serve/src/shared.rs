@@ -9,10 +9,12 @@
 //! documents without stopping the accept loop.
 
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError};
 use std::time::Instant;
-use whirlpool_index::{DocView, ShardSynopsis, TagIndex, TagIndexView};
-use whirlpool_store::Snapshot;
+use whirlpool_index::{DocView, PathSynopsis, ShardSynopsis, TagIndex, TagIndexView};
+use whirlpool_store::{Snapshot, StoreError};
 use whirlpool_xml::Document;
 
 /// Clonable handle to state behind a reader-writer lock.
@@ -65,9 +67,16 @@ pub enum Prepare {
         /// Wall time of `TagIndex::build` at load.
         ms: f64,
     },
-    /// Attached zero-copy from a version-2 snapshot.
+    /// Attached zero-copy from a snapshot file.
     Attached {
         /// Wall time of `Snapshot::attach`.
+        ms: f64,
+    },
+    /// Peeked lazily: only the snapshot's header and synopsis sections
+    /// were read at load; the full attach is deferred until the first
+    /// query that actually needs the document's arrays.
+    Peeked {
+        /// Wall time of `Snapshot::peek`.
         ms: f64,
     },
 }
@@ -78,23 +87,37 @@ impl Prepare {
         match self {
             Prepare::Indexed { .. } => "index_build_ms",
             Prepare::Attached { .. } => "snapshot_attach_ms",
+            Prepare::Peeked { .. } => "snapshot_peek_ms",
         }
     }
 
     /// The cost in milliseconds.
     pub fn ms(&self) -> f64 {
         match self {
-            Prepare::Indexed { ms } | Prepare::Attached { ms } => *ms,
+            Prepare::Indexed { ms } | Prepare::Attached { ms } | Prepare::Peeked { ms } => *ms,
         }
     }
 }
 
+/// A snapshot file known only by its synopsis: the daemon peeked the
+/// header at load and attaches the arrays on the first query that
+/// needs them. The resident slot is the *only* mutable state — it
+/// holds the attached snapshot, `Arc`-shared with every in-flight
+/// [`DocAccess`], and the [`Residency`] LRU clears it under memory
+/// pressure.
+struct LazyDoc {
+    path: PathBuf,
+    resident: Mutex<Option<Arc<Snapshot>>>,
+}
+
 /// What a [`DocState`] holds: a document parsed and indexed at load
-/// time, or a mapped snapshot whose arrays are read in place.
+/// time, a mapped snapshot whose arrays are read in place, or a lazy
+/// snapshot attached on first use.
 #[allow(clippy::large_enum_variant)] // one per loaded document
 enum DocBacking {
     Parsed { doc: Document, index: TagIndex },
     Snapshot(Box<Snapshot>),
+    Lazy(LazyDoc),
 }
 
 /// One loaded document: prepared exactly once, then shared immutably
@@ -106,6 +129,9 @@ pub struct DocState {
     /// Tag-count synopsis for collection-mode shard pruning and the
     /// coarse cost estimate of collection queries.
     pub synopsis: ShardSynopsis,
+    /// Stored path synopsis (v3 snapshots, or built at parse time) for
+    /// path-aware shard ceilings; `None` for v2 files.
+    pub paths: Option<PathSynopsis>,
     /// How this document became queryable and what it cost.
     pub prepare: Prepare,
 }
@@ -117,45 +143,85 @@ impl DocState {
         let index = TagIndex::build(&doc);
         let ms = start.elapsed().as_secs_f64() * 1e3;
         let synopsis = ShardSynopsis::build(&doc);
+        let paths = Some(PathSynopsis::build(&doc));
         DocState {
             name: name.into(),
             backing: DocBacking::Parsed { doc, index },
             synopsis,
+            paths,
             prepare: Prepare::Indexed { ms },
         }
     }
 
-    /// Attaches a version-2 snapshot under `name` (the warm-start
-    /// path): O(header) validation, no parse, no index build.
+    /// Attaches a snapshot under `name` (the eager warm-start path):
+    /// O(header) validation, no parse, no index build.
     pub fn attach(
         name: impl Into<String>,
         path: impl AsRef<std::path::Path>,
-    ) -> Result<DocState, whirlpool_store::StoreError> {
+    ) -> Result<DocState, StoreError> {
         let start = Instant::now();
         let snapshot = Snapshot::attach(path)?;
         let ms = start.elapsed().as_secs_f64() * 1e3;
         let synopsis = snapshot.synopsis().clone();
+        let paths = snapshot.path_synopsis().cloned();
         Ok(DocState {
             name: name.into(),
             backing: DocBacking::Snapshot(Box::new(snapshot)),
             synopsis,
+            paths,
             prepare: Prepare::Attached { ms },
         })
     }
 
+    /// Registers a snapshot under `name` *without* attaching it: only
+    /// the header and synopsis sections are read. The document's
+    /// arrays map in on the first [`Residency::acquire`] that needs
+    /// them — a collection query that prunes this document off its
+    /// ceiling never pays the attach at all.
+    pub fn peek(
+        name: impl Into<String>,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<DocState, StoreError> {
+        let start = Instant::now();
+        let peek = Snapshot::peek(&path)?;
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        Ok(DocState {
+            name: name.into(),
+            backing: DocBacking::Lazy(LazyDoc {
+                path: path.as_ref().to_path_buf(),
+                resident: Mutex::new(None),
+            }),
+            synopsis: peek.synopsis,
+            paths: peek.paths,
+            prepare: Prepare::Peeked { ms },
+        })
+    }
+
     /// The document, whichever backing holds it.
+    ///
+    /// # Panics
+    ///
+    /// For a lazy (peeked) document — its views live in the attached
+    /// snapshot, which only [`Residency::acquire`] can pin.
     pub fn doc(&self) -> DocView<'_> {
         match &self.backing {
             DocBacking::Parsed { doc, .. } => DocView::from(doc),
             DocBacking::Snapshot(s) => s.doc_view(),
+            DocBacking::Lazy(_) => {
+                panic!("lazy document has no borrowable views; use Residency::acquire")
+            }
         }
     }
 
-    /// The tag index, whichever backing holds it.
+    /// The tag index, whichever backing holds it (same panic caveat as
+    /// [`doc`](Self::doc)).
     pub fn index(&self) -> TagIndexView<'_> {
         match &self.backing {
             DocBacking::Parsed { index, .. } => index.view(),
             DocBacking::Snapshot(s) => s.index_view(),
+            DocBacking::Lazy(_) => {
+                panic!("lazy document has no borrowable views; use Residency::acquire")
+            }
         }
     }
 
@@ -164,13 +230,200 @@ impl DocState {
     pub fn as_parsed(&self) -> Option<(&Document, &TagIndex)> {
         match &self.backing {
             DocBacking::Parsed { doc, index } => Some((doc, index)),
-            DocBacking::Snapshot(_) => None,
+            DocBacking::Snapshot(_) | DocBacking::Lazy(_) => None,
         }
     }
 
-    /// Is this document backed by an attached snapshot?
+    /// Is this document snapshot-backed (eagerly attached *or* lazily
+    /// peeked)? Either way a boot was warm: no parse, no index build.
     pub fn is_snapshot(&self) -> bool {
-        matches!(self.backing, DocBacking::Snapshot(_))
+        matches!(self.backing, DocBacking::Snapshot(_) | DocBacking::Lazy(_))
+    }
+
+    /// Is this a lazily-peeked document?
+    pub fn is_lazy(&self) -> bool {
+        matches!(self.backing, DocBacking::Lazy(_))
+    }
+
+    /// Is a lazy document's snapshot currently attached? `false` for
+    /// parsed documents (nothing to attach), `true` for eager
+    /// snapshots. Non-blocking: a slot mid-attach on another thread
+    /// counts as resident.
+    pub fn is_resident(&self) -> bool {
+        match &self.backing {
+            DocBacking::Parsed { .. } => false,
+            DocBacking::Snapshot(_) => true,
+            DocBacking::Lazy(lazy) => match lazy.resident.try_lock() {
+                Ok(slot) => slot.is_some(),
+                Err(TryLockError::Poisoned(p)) => p.into_inner().is_some(),
+                Err(TryLockError::WouldBlock) => true,
+            },
+        }
+    }
+
+    /// The `/metrics` backing label.
+    pub fn backing_label(&self) -> &'static str {
+        match &self.backing {
+            DocBacking::Parsed { .. } => "parsed",
+            DocBacking::Snapshot(_) => "snapshot",
+            DocBacking::Lazy(_) => "lazy",
+        }
+    }
+}
+
+/// Read access to one document's views, whatever its backing.
+///
+/// For lazy documents the access *pins* the attached snapshot: the
+/// `Arc` keeps the mapping alive even if the LRU evicts the document
+/// mid-query, so views handed to an engine can never dangle.
+pub enum DocAccess<'a> {
+    /// The document's arrays live in the `DocState` itself.
+    Borrowed(&'a DocState),
+    /// The document's arrays live in a pinned lazy snapshot.
+    Resident(Arc<Snapshot>),
+}
+
+impl DocAccess<'_> {
+    /// The document view.
+    pub fn doc(&self) -> DocView<'_> {
+        match self {
+            DocAccess::Borrowed(state) => state.doc(),
+            DocAccess::Resident(snapshot) => snapshot.doc_view(),
+        }
+    }
+
+    /// The tag-index view.
+    pub fn index(&self) -> TagIndexView<'_> {
+        match self {
+            DocAccess::Borrowed(state) => state.index(),
+            DocAccess::Resident(snapshot) => snapshot.index_view(),
+        }
+    }
+}
+
+/// Registry-wide residency control for lazy documents: a target cap on
+/// attached snapshots, the LRU that enforces it, and the monotone
+/// counters `/metrics` reports under `"shards"`.
+///
+/// Lock order: a document's resident slot is never held while the MRU
+/// lock is taken ([`acquire`](Self::acquire) releases it first), and
+/// the eviction scan only `try_lock`s slots — a slot busy attaching on
+/// another thread is simply skipped as a victim.
+#[derive(Default)]
+pub struct Residency {
+    /// Target cap on attached lazy snapshots; 0 means unlimited.
+    max_resident: AtomicUsize,
+    /// Most-recently-used last; holds only lazy documents.
+    mru: Mutex<Vec<Arc<DocState>>>,
+    /// Snapshot attaches performed (first touch or re-attach after
+    /// eviction).
+    pub attached: AtomicU64,
+    /// Documents registered by peek (header-only load).
+    pub peeked: AtomicU64,
+    /// Collection-query prunes that hit a lazy document while it was
+    /// not resident — the disk I/O the synopsis ceiling saved.
+    pub pruned_before_attach: AtomicU64,
+    /// Resident snapshots detached by the LRU.
+    pub evictions: AtomicU64,
+}
+
+impl Residency {
+    /// Sets the residency target (0 = unlimited). A *target*, not a
+    /// hard cap: snapshots pinned by in-flight queries are not
+    /// evictable, so the resident count can transiently exceed it.
+    pub fn set_max_resident(&self, max: usize) {
+        self.max_resident.store(max, Ordering::Relaxed);
+    }
+
+    /// The configured residency target (0 = unlimited).
+    pub fn max_resident(&self) -> usize {
+        self.max_resident.load(Ordering::Relaxed)
+    }
+
+    /// Pins `state`'s views for reading, attaching its snapshot first
+    /// if the document is lazy and not resident. Attaching marks the
+    /// document most-recently-used and may evict the coldest
+    /// unpinned resident document beyond the target.
+    pub fn acquire<'a>(&self, state: &'a Arc<DocState>) -> Result<DocAccess<'a>, StoreError> {
+        let DocBacking::Lazy(lazy) = &state.backing else {
+            return Ok(DocAccess::Borrowed(state));
+        };
+        let snapshot = {
+            let mut slot = lazy.resident.lock().unwrap_or_else(|p| p.into_inner());
+            match slot.as_ref() {
+                Some(s) => s.clone(),
+                None => {
+                    let s = Arc::new(Snapshot::attach(&lazy.path)?);
+                    self.attached.fetch_add(1, Ordering::Relaxed);
+                    *slot = Some(s.clone());
+                    s
+                }
+            }
+        };
+        // Slot lock released above — see the lock-order note on the
+        // type.
+        self.touch(state);
+        Ok(DocAccess::Resident(snapshot))
+    }
+
+    /// Marks `state` most-recently-used and evicts LRU-first down to
+    /// the target. Victims must be detachable right now: slot free
+    /// (`try_lock`) and snapshot unpinned (`Arc` count 1).
+    fn touch(&self, state: &Arc<DocState>) {
+        let mut mru = self.mru.lock().unwrap_or_else(|p| p.into_inner());
+        mru.retain(|d| !Arc::ptr_eq(d, state) && d.is_resident());
+        mru.push(state.clone());
+        let max = self.max_resident.load(Ordering::Relaxed);
+        if max == 0 {
+            return;
+        }
+        let mut resident = mru.iter().filter(|d| d.is_resident()).count();
+        let mut victim = 0;
+        while resident > max && victim + 1 < mru.len() {
+            let DocBacking::Lazy(lazy) = &mru[victim].backing else {
+                victim += 1;
+                continue;
+            };
+            let mut slot = match lazy.resident.try_lock() {
+                Ok(slot) => slot,
+                Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(TryLockError::WouldBlock) => {
+                    victim += 1;
+                    continue;
+                }
+            };
+            if let Some(s) = slot.as_ref() {
+                if Arc::strong_count(s) == 1 {
+                    *slot = None;
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    resident -= 1;
+                }
+            }
+            victim += 1;
+        }
+    }
+
+    /// Currently attached lazy documents (tracked ones only).
+    pub fn resident_count(&self) -> usize {
+        self.mru
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .filter(|d| d.is_resident())
+            .count()
+    }
+
+    /// The `/metrics` `"shards"` object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"attached\": {}, \"peeked\": {}, \"pruned_before_attach\": {}, \
+             \"evictions\": {}, \"resident\": {}}}",
+            self.attached.load(Ordering::Relaxed),
+            self.peeked.load(Ordering::Relaxed),
+            self.pruned_before_attach.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+            self.resident_count(),
+        )
     }
 }
 
@@ -178,6 +431,7 @@ impl DocState {
 #[derive(Default)]
 pub struct Registry {
     docs: HashMap<String, Arc<DocState>>,
+    residency: Arc<Residency>,
 }
 
 impl Registry {
@@ -188,7 +442,17 @@ impl Registry {
 
     /// Adds (or replaces) a document.
     pub fn insert(&mut self, state: DocState) {
+        if matches!(state.prepare, Prepare::Peeked { .. }) {
+            self.residency.peeked.fetch_add(1, Ordering::Relaxed);
+        }
         self.docs.insert(state.name.clone(), Arc::new(state));
+    }
+
+    /// The residency controller shared by every lazy document in this
+    /// registry (clone the `Arc` out before moving the registry behind
+    /// [`Shared`]).
+    pub fn residency(&self) -> Arc<Residency> {
+        self.residency.clone()
     }
 
     /// Looks a document up by name. An empty name resolves iff exactly
@@ -286,6 +550,51 @@ mod tests {
                 .nodes_with_tag(parsed.doc().tag_id("title").unwrap())
                 .len()
         );
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn peeked_state_attaches_on_first_acquire_and_evicts_on_pressure() {
+        let dir = std::env::temp_dir().join(format!("wp-shared-peek-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut registry = Registry::new();
+        for name in ["a", "b"] {
+            let doc = parse_document("<shelf><book><title>x</title></book></shelf>").unwrap();
+            let index = whirlpool_index::TagIndex::build(&doc);
+            let path = dir.join(format!("{name}.wps"));
+            whirlpool_store::save_snapshot(&doc, &index, &path).unwrap();
+            registry.insert(DocState::peek(name, &path).unwrap());
+        }
+        let residency = registry.residency();
+        residency.set_max_resident(1);
+        assert_eq!(residency.peeked.load(Ordering::Relaxed), 2);
+
+        let a = registry.get("a").unwrap();
+        let b = registry.get("b").unwrap();
+        assert!(a.is_lazy() && a.is_snapshot() && !a.is_resident());
+        assert_eq!(a.prepare.stat_name(), "snapshot_peek_ms");
+        assert!(a.paths.is_some(), "v3 snapshot carries its path synopsis");
+        assert_eq!(a.synopsis.tag_count("book"), 1);
+
+        // First acquire attaches; the access pins the snapshot.
+        let access = residency.acquire(&a).unwrap();
+        assert_eq!(access.doc().len(), a.synopsis.elements() as usize + 1);
+        assert!(a.is_resident());
+        assert_eq!(residency.attached.load(Ordering::Relaxed), 1);
+
+        // While `a` is pinned, touching `b` cannot evict it.
+        let access_b = residency.acquire(&b).unwrap();
+        assert!(a.is_resident(), "pinned snapshots are not evictable");
+        drop(access);
+        drop(access_b);
+
+        // Unpinned now: the next acquire of `a` evicts `b` (LRU).
+        let _again = residency.acquire(&a).unwrap();
+        assert!(!b.is_resident(), "LRU victim must be detached");
+        assert!(residency.evictions.load(Ordering::Relaxed) >= 1);
+        assert!(residency.resident_count() <= 1);
+        crate::json::Json::parse(&residency.to_json()).expect("valid shards json");
 
         std::fs::remove_dir_all(&dir).unwrap();
     }

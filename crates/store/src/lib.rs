@@ -46,7 +46,9 @@ mod mmap;
 mod snapshot;
 
 pub use snapshot::{
-    build_snapshot_bytes, save_snapshot, write_snapshot, AttachMode, Snapshot, SNAPSHOT_VERSION,
+    build_snapshot_bytes, build_snapshot_bytes_with, is_snapshot_version, save_snapshot,
+    save_snapshot_with, write_snapshot, AttachMode, Snapshot, SnapshotOptions, SnapshotPeek,
+    SNAPSHOT_VERSION, SNAPSHOT_VERSION_PATHS,
 };
 
 pub(crate) const MAGIC: &[u8; 4] = b"WPLX";
@@ -135,8 +137,8 @@ pub fn read_store(r: &mut impl Read) -> Result<Document, StoreError> {
         return Err(StoreError::BadMagic);
     }
     let version = read_u32_plain(r)?;
-    if version == SNAPSHOT_VERSION {
-        // Version-2 snapshot arriving through the streaming reader:
+    if is_snapshot_version(version) {
+        // Version-2/3 snapshot arriving through the streaming reader:
         // buffer the remainder, validate it as a snapshot, and rebuild
         // the arena. (Callers that want zero-copy access attach with
         // [`Snapshot::attach`] instead.)
@@ -240,9 +242,9 @@ pub fn is_store_file(path: impl AsRef<Path>) -> bool {
     store_version(path).is_some()
 }
 
-/// The format version of a store file (1 = v1 stream, 2 = snapshot), or
-/// `None` if the file is missing or does not carry the store magic.
-/// Cheap: reads 8 bytes.
+/// The format version of a store file (1 = v1 stream, 2/3 = snapshot —
+/// see [`is_snapshot_version`]), or `None` if the file is missing or
+/// does not carry the store magic. Cheap: reads 8 bytes.
 pub fn store_version(path: impl AsRef<Path>) -> Option<u32> {
     let Ok(mut f) = std::fs::File::open(path) else {
         return None;

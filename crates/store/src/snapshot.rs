@@ -43,6 +43,32 @@
 //! offsets (per-tag counts) and the tag table — O(T) work, no extra
 //! section.
 //!
+//! # Version 3: the stored path synopsis
+//!
+//! Version 3 is version 2 plus one extra section (index 16) holding a
+//! serialized [`PathSynopsis`] — the bounded strong dataguide built at
+//! snapshot-build time — together with the tag-count synopsis, in a
+//! *self-contained, self-checksummed* byte stream:
+//!
+//! ```text
+//! 16 path_synopsis   u64 elements
+//!                    u64 tag count T'   (tags with ≥1 element)
+//!                    T' × { u64 count, u64 name_len, UTF-8 name }
+//!                    u64 depth_cap, u64 truncated (0/1), u64 path count P
+//!                    P × { u64 count, u64 max_tf, u64 nsteps,
+//!                          nsteps × u32 index into the T' tag list }
+//!                    u64 FNV-1a (byte-wise) over the preceding
+//!                        section bytes
+//! ```
+//!
+//! The section is deliberately independent of every other section and
+//! carries its own checksum so that [`Snapshot::peek`] can read *just
+//! the header and this section* — no payload mapping, no whole-file
+//! checksum pass — and still hand the collection layer
+//! integrity-checked synopses. Version-2 files remain fully supported:
+//! attach accepts both, and `peek` falls back to deriving tag counts
+//! from the (structurally sanity-checked) tag table + posting offsets.
+//!
 //! Attach validates everything the mapped accessors later index with:
 //! magic/version/length, the word-FNV checksum, section table sanity
 //! (alignment, order, bounds), and structural invariants (monotone
@@ -53,20 +79,43 @@
 
 use crate::mmap::{Backing, Mapping, OwnedBytes};
 use crate::{StoreError, FNV_OFFSET, FNV_PRIME, MAGIC};
-use std::io::{self, Write};
-use std::path::Path;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 use whirlpool_index::{
-    ColumnsView, DocView, MappedDoc, MappedIndex, ShardSynopsis, TagIndex, TagIndexView,
-    ATTR_ENTRY_STRIDE, VALUE_GROUP_STRIDE,
+    ColumnsView, DocView, MappedDoc, MappedIndex, PathEntry, PathSynopsis, ShardSynopsis, TagIndex,
+    TagIndexView, ATTR_ENTRY_STRIDE, VALUE_GROUP_STRIDE,
 };
 use whirlpool_xml::{Document, DocumentBuilder, NodeId, TagId};
 
-/// Format version written by [`write_snapshot`].
+/// The version-2 (base) snapshot format: no stored path synopsis.
 pub const SNAPSHOT_VERSION: u32 = 2;
+/// The version-3 format: version 2 plus the stored path-synopsis
+/// section. This is what [`write_snapshot`] emits by default.
+pub const SNAPSHOT_VERSION_PATHS: u32 = 3;
+
+/// Is `version` an attachable snapshot version (as opposed to the v1
+/// stream format or garbage)?
+pub fn is_snapshot_version(version: u32) -> bool {
+    version == SNAPSHOT_VERSION || version == SNAPSHOT_VERSION_PATHS
+}
 
 const SECTION_COUNT: usize = 16;
+/// Sections in a v3 file: the 16 base sections + the path synopsis.
+const SECTION_COUNT_V3: usize = 17;
 /// Fixed header size: magic + version + 3 × u64 + the section table.
 const HEADER_LEN: usize = 32 + SECTION_COUNT * 16;
+
+fn section_count(version: u32) -> usize {
+    if version >= SNAPSHOT_VERSION_PATHS {
+        SECTION_COUNT_V3
+    } else {
+        SECTION_COUNT
+    }
+}
+
+fn header_len(version: u32) -> usize {
+    32 + section_count(version) * 16
+}
 
 // Section indices, in file order.
 const SEC_TAG_OFFSETS: usize = 0;
@@ -85,6 +134,7 @@ const SEC_TEXT_BLOB: usize = 12;
 const SEC_ATTR_OFFSETS: usize = 13;
 const SEC_ATTR_ENTRIES: usize = 14;
 const SEC_ATTR_BLOB: usize = 15;
+const SEC_PATH_SYNOPSIS: usize = 16; // v3 only
 
 const NO_PARENT: u32 = u32::MAX;
 
@@ -112,6 +162,16 @@ fn fnv_words(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// Byte-at-a-time FNV-1a — the path-synopsis section's *internal*
+/// checksum. The section's serial encoding is not 8-byte aligned (tag
+/// names have arbitrary lengths), so it cannot use the word-folded
+/// variant; it is small enough (a few KB) that byte hashing is free.
+fn fnv_bytes(bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(FNV_OFFSET, |h, &b| (h ^ b as u64).wrapping_mul(FNV_PRIME))
+}
+
 // -----------------------------------------------------------------------
 // Writer
 // -----------------------------------------------------------------------
@@ -126,8 +186,198 @@ fn as_u32(len: usize, what: &str) -> u32 {
     u32::try_from(len).unwrap_or_else(|_| panic!("{what} exceeds u32 range ({len})"))
 }
 
-/// Serializes `doc` + `index` into the version-2 snapshot byte layout.
+/// What [`write_snapshot`] emits.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotOptions {
+    /// Store the bounded path synopsis (version 3). Disabling writes a
+    /// byte-identical version-2 file for compatibility with older
+    /// readers.
+    pub path_synopsis: bool,
+}
+
+impl Default for SnapshotOptions {
+    fn default() -> Self {
+        SnapshotOptions {
+            path_synopsis: true,
+        }
+    }
+}
+
+/// Serializes the path-synopsis section: the tag-count synopsis plus
+/// the bounded dataguide, self-contained and self-checksummed so
+/// [`Snapshot::peek`] can read it without touching any other section.
+fn encode_path_section(doc: &Document, index: &TagIndex, paths: &PathSynopsis) -> Vec<u8> {
+    let tag_count = doc.tags().len();
+    let mut out = Vec::new();
+    out.extend_from_slice(&((doc.len() - 1) as u64).to_le_bytes());
+
+    // Tags with at least one element, in tag-id order; path steps
+    // reference positions in this list.
+    let mut emitted: Vec<(usize, &str, u64)> = Vec::new(); // (emit idx, name, count)
+    for t in 0..tag_count {
+        let count = index.nodes_with_tag(TagId::from_index(t)).len() as u64;
+        if count > 0 {
+            let idx = emitted.len();
+            emitted.push((idx, doc.tag_name(TagId::from_index(t)), count));
+        }
+    }
+    out.extend_from_slice(&(emitted.len() as u64).to_le_bytes());
+    for &(_, name, count) in &emitted {
+        out.extend_from_slice(&count.to_le_bytes());
+        out.extend_from_slice(&(name.len() as u64).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+    }
+    let emit_idx = |name: &str| -> u32 {
+        emitted
+            .iter()
+            .find(|(_, n, _)| *n == name)
+            .map(|&(i, _, _)| i as u32)
+            .expect("every path tag has at least one element")
+    };
+
+    out.extend_from_slice(&u64::from(paths.depth_cap()).to_le_bytes());
+    out.extend_from_slice(&u64::from(paths.truncated()).to_le_bytes());
+    out.extend_from_slice(&(paths.len() as u64).to_le_bytes());
+    for entry in paths.entries() {
+        out.extend_from_slice(&entry.count.to_le_bytes());
+        out.extend_from_slice(&entry.max_tf.to_le_bytes());
+        out.extend_from_slice(&(entry.steps.len() as u64).to_le_bytes());
+        for &step in &entry.steps {
+            let name = &paths.tag_names()[step as usize];
+            out.extend_from_slice(&emit_idx(name).to_le_bytes());
+        }
+    }
+    let checksum = fnv_bytes(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Bounds-checked serial reader over the path-synopsis section.
+struct SectionReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SectionReader<'a> {
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        let end = self
+            .pos
+            .checked_add(8)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| corrupt("path synopsis: truncated u64"))?;
+        let v = u64::from_le_bytes(self.bytes[self.pos..end].try_into().expect("8 bytes"));
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        let end = self
+            .pos
+            .checked_add(4)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| corrupt("path synopsis: truncated u32"))?;
+        let v = u32::from_le_bytes(self.bytes[self.pos..end].try_into().expect("4 bytes"));
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn str_of(&mut self, len: usize, what: &str) -> Result<&'a str, StoreError> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| corrupt(format!("path synopsis: {what} out of bounds")))?;
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| corrupt(format!("path synopsis: {what} is not valid UTF-8")))?;
+        self.pos = end;
+        Ok(s)
+    }
+}
+
+/// Parses (and checksum-verifies) the path-synopsis section. Returns
+/// the tag-count synopsis and the dataguide it carries.
+fn parse_path_section(bytes: &[u8]) -> Result<(ShardSynopsis, PathSynopsis), StoreError> {
+    if bytes.len() < 8 {
+        return Err(corrupt("path synopsis: section too short"));
+    }
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+    let computed = fnv_bytes(&bytes[..bytes.len() - 8]);
+    if stored != computed {
+        return Err(corrupt(format!(
+            "path synopsis: checksum mismatch (stored {stored:#x}, computed {computed:#x})"
+        )));
+    }
+    let mut r = SectionReader {
+        bytes: &bytes[..bytes.len() - 8],
+        pos: 0,
+    };
+    let elements = r.u64()?;
+    let tag_count = r.u64()? as usize;
+    if tag_count > 1 << 24 {
+        return Err(corrupt("path synopsis: implausible tag count"));
+    }
+    let mut tags: Vec<(Box<str>, u64)> = Vec::with_capacity(tag_count);
+    for _ in 0..tag_count {
+        let count = r.u64()?;
+        let name_len = r.u64()? as usize;
+        let name = r.str_of(name_len, "tag name")?;
+        tags.push((Box::from(name), count));
+    }
+    let depth_cap =
+        u32::try_from(r.u64()?).map_err(|_| corrupt("path synopsis: implausible depth cap"))?;
+    let truncated = match r.u64()? {
+        0 => false,
+        1 => true,
+        v => return Err(corrupt(format!("path synopsis: bad truncated flag {v}"))),
+    };
+    let path_count = r.u64()? as usize;
+    if path_count > 1 << 24 {
+        return Err(corrupt("path synopsis: implausible path count"));
+    }
+    let mut entries: Vec<PathEntry> = Vec::with_capacity(path_count);
+    for _ in 0..path_count {
+        let count = r.u64()?;
+        let max_tf = r.u64()?;
+        let nsteps = r.u64()? as usize;
+        if nsteps > 1 << 16 {
+            return Err(corrupt("path synopsis: implausible path depth"));
+        }
+        let mut steps = Vec::with_capacity(nsteps);
+        for _ in 0..nsteps {
+            let s = r.u32()?;
+            if s as usize >= tag_count {
+                return Err(corrupt("path synopsis: step references a tag out of range"));
+            }
+            steps.push(s);
+        }
+        entries.push(PathEntry {
+            steps,
+            count,
+            max_tf,
+        });
+    }
+    if r.pos != r.bytes.len() {
+        return Err(corrupt("path synopsis: trailing bytes after the paths"));
+    }
+    let names: Vec<Box<str>> = tags.iter().map(|(n, _)| n.clone()).collect();
+    let synopsis = ShardSynopsis::from_counts(tags, elements);
+    let paths = PathSynopsis::from_parts(names, entries, depth_cap, truncated);
+    Ok((synopsis, paths))
+}
+
+/// Serializes `doc` + `index` into the default (version-3) snapshot
+/// byte layout.
 pub fn build_snapshot_bytes(doc: &Document, index: &TagIndex) -> Vec<u8> {
+    build_snapshot_bytes_with(doc, index, &SnapshotOptions::default())
+}
+
+/// [`build_snapshot_bytes`] with explicit options (version 2 when the
+/// path synopsis is disabled).
+pub fn build_snapshot_bytes_with(
+    doc: &Document,
+    index: &TagIndex,
+    opts: &SnapshotOptions,
+) -> Vec<u8> {
     let n = doc.len();
     let columns = index.columns().view();
     assert_eq!(columns.len(), n, "index built for a different document");
@@ -241,9 +491,18 @@ pub fn build_snapshot_bytes(doc: &Document, index: &TagIndex) -> Vec<u8> {
         push_u32s(&mut sections[SEC_ATTR_OFFSETS], offsets);
     }
 
+    // The v3 extra section: the stored synopses.
+    let version = if opts.path_synopsis {
+        let paths = PathSynopsis::build(doc);
+        sections.push(encode_path_section(doc, index, &paths));
+        SNAPSHOT_VERSION_PATHS
+    } else {
+        SNAPSHOT_VERSION
+    };
+
     // Lay out: header, then padded sections, then the checksum.
-    let mut offsets = [0usize; SECTION_COUNT];
-    let mut cursor = HEADER_LEN;
+    let mut offsets = vec![0usize; sections.len()];
+    let mut cursor = header_len(version);
     for (i, s) in sections.iter().enumerate() {
         offsets[i] = cursor;
         cursor = align8(cursor + s.len());
@@ -252,7 +511,7 @@ pub fn build_snapshot_bytes(doc: &Document, index: &TagIndex) -> Vec<u8> {
 
     let mut out = Vec::with_capacity(total_len);
     out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
     out.extend_from_slice(&(n as u64).to_le_bytes());
     out.extend_from_slice(&(tag_count as u64).to_le_bytes());
     out.extend_from_slice(&(total_len as u64).to_le_bytes());
@@ -270,14 +529,25 @@ pub fn build_snapshot_bytes(doc: &Document, index: &TagIndex) -> Vec<u8> {
     out
 }
 
-/// Writes the version-2 snapshot of `doc` + `index` to `w`.
+/// Writes the default (version-3) snapshot of `doc` + `index` to `w`.
 pub fn write_snapshot(doc: &Document, index: &TagIndex, w: &mut impl Write) -> io::Result<()> {
     w.write_all(&build_snapshot_bytes(doc, index))
 }
 
-/// Writes the version-2 snapshot of `doc` + `index` to `path`.
+/// Writes the default (version-3) snapshot of `doc` + `index` to `path`.
 pub fn save_snapshot(doc: &Document, index: &TagIndex, path: impl AsRef<Path>) -> io::Result<()> {
     let bytes = build_snapshot_bytes(doc, index);
+    std::fs::write(path, bytes)
+}
+
+/// [`save_snapshot`] with explicit [`SnapshotOptions`].
+pub fn save_snapshot_with(
+    doc: &Document,
+    index: &TagIndex,
+    path: impl AsRef<Path>,
+    opts: &SnapshotOptions,
+) -> io::Result<()> {
+    let bytes = build_snapshot_bytes_with(doc, index, opts);
     std::fs::write(path, bytes)
 }
 
@@ -299,19 +569,29 @@ pub enum AttachMode {
 
 #[derive(Clone, Copy)]
 struct Layout {
+    version: u32,
     n: usize,
     tag_count: usize,
-    sections: [(usize, usize); SECTION_COUNT],
+    /// Section table; slot [`SEC_PATH_SYNOPSIS`] is `(0, 0)` in a
+    /// version-2 file.
+    sections: [(usize, usize); SECTION_COUNT_V3],
 }
 
-/// An attached version-2 snapshot: validated bytes (memory-mapped or
-/// read) plus the section layout. [`doc_view`](Snapshot::doc_view) and
+/// An attached snapshot (version 2 or 3): validated bytes
+/// (memory-mapped or read) plus the section layout.
+/// [`doc_view`](Snapshot::doc_view) and
 /// [`index_view`](Snapshot::index_view) assemble zero-copy views on
 /// demand; the synopsis is derived once at attach.
 pub struct Snapshot {
     backing: Backing,
     layout: Layout,
     synopsis: ShardSynopsis,
+    /// The stored dataguide, when the file is version 3.
+    paths: Option<PathSynopsis>,
+    /// Where the file was attached from; `None` for
+    /// [`from_bytes`](Snapshot::from_bytes). Lets a collection re-home
+    /// an already-attached snapshot onto a lazy (re-attachable) backing.
+    source_path: Option<PathBuf>,
 }
 
 impl Snapshot {
@@ -324,6 +604,7 @@ impl Snapshot {
 
     /// [`attach`](Snapshot::attach) with an explicit backing policy.
     pub fn attach_with(path: impl AsRef<Path>, mode: AttachMode) -> Result<Snapshot, StoreError> {
+        let path = path.as_ref();
         let mut file = std::fs::File::open(path)?;
         let len = usize::try_from(file.metadata()?.len())
             .map_err(|_| corrupt("file too large for this platform"))?;
@@ -339,7 +620,9 @@ impl Snapshot {
                 Err(_) => Backing::Owned(OwnedBytes::read_from(&mut file, len)?),
             }
         };
-        Snapshot::from_backing(backing)
+        let mut snapshot = Snapshot::from_backing(backing)?;
+        snapshot.source_path = Some(path.to_path_buf());
+        Ok(snapshot)
     }
 
     /// Builds a snapshot from in-memory bytes (copied into aligned
@@ -354,8 +637,14 @@ impl Snapshot {
             backing,
             layout,
             synopsis: ShardSynopsis::default(),
+            paths: None,
+            source_path: None,
         };
         snapshot.synopsis = snapshot.derive_synopsis();
+        if layout.version >= SNAPSHOT_VERSION_PATHS {
+            let (_, paths) = parse_path_section(snapshot.section(SEC_PATH_SYNOPSIS))?;
+            snapshot.paths = Some(paths);
+        }
         Ok(snapshot)
     }
 
@@ -444,6 +733,22 @@ impl Snapshot {
         &self.synopsis
     }
 
+    /// The stored path synopsis (dataguide), when the file is version 3.
+    pub fn path_synopsis(&self) -> Option<&PathSynopsis> {
+        self.paths.as_ref()
+    }
+
+    /// The file this snapshot was attached from; `None` when built from
+    /// in-memory bytes.
+    pub fn source_path(&self) -> Option<&Path> {
+        self.source_path.as_deref()
+    }
+
+    /// The snapshot format version (2 or 3).
+    pub fn version(&self) -> u32 {
+        self.layout.version
+    }
+
     /// Total nodes, synthetic root included.
     pub fn node_count(&self) -> usize {
         self.layout.n
@@ -496,6 +801,141 @@ impl Snapshot {
         }
         builder.finish()
     }
+
+    /// Reads *only* the header and synopsis information of a snapshot
+    /// file — no payload mapping, no whole-file checksum pass. On a
+    /// version-3 file this reads the self-checksummed path-synopsis
+    /// section; on version 2 it reads the tag table + posting offsets
+    /// (structurally sanity-checked) and derives tag counts.
+    ///
+    /// A peek is the collection layer's admission ticket: it yields the
+    /// synopses needed to *order and prune* shards without attaching
+    /// them. It is not a substitute for [`attach`](Snapshot::attach) —
+    /// full validation still happens when (if) the shard is visited.
+    pub fn peek(path: impl AsRef<Path>) -> Result<SnapshotPeek, StoreError> {
+        let mut file = std::fs::File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let mut head = [0u8; 32];
+        file.read_exact(&mut head)?;
+        if &head[0..4] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let version = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
+        if !is_snapshot_version(version) {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        let n = read_u64_at(&head, 8) as usize;
+        let tag_count = read_u64_at(&head, 16) as usize;
+        let total_len = read_u64_at(&head, 24) as usize;
+        if total_len as u64 != file_len {
+            return Err(corrupt(format!(
+                "length mismatch: header says {total_len}, file is {file_len}"
+            )));
+        }
+        if n == 0 || n > u32::MAX as usize || tag_count == 0 || tag_count > u32::MAX as usize {
+            return Err(corrupt(format!(
+                "implausible node count {n} / tag count {tag_count}"
+            )));
+        }
+        let nsec = section_count(version);
+        let hlen = header_len(version);
+        if total_len < hlen + 8 {
+            return Err(corrupt("file too short for its section table"));
+        }
+        let mut table = vec![0u8; nsec * 16];
+        file.read_exact(&mut table)?;
+        let mut sections = vec![(0usize, 0usize); nsec];
+        let mut expected_off = hlen;
+        for (i, slot) in sections.iter_mut().enumerate() {
+            let off = read_u64_at(&table, i * 16) as usize;
+            let len = read_u64_at(&table, i * 16 + 8) as usize;
+            if off != expected_off {
+                return Err(corrupt(format!(
+                    "section {i}: offset {off}, expected {expected_off}"
+                )));
+            }
+            if len > total_len - 8 - off {
+                return Err(corrupt(format!("section {i}: length {len} out of bounds")));
+            }
+            *slot = (off, len);
+            expected_off = align8(off + len);
+        }
+        if expected_off != total_len - 8 {
+            return Err(corrupt(format!(
+                "sections end at {expected_off}, checksum at {}",
+                total_len - 8
+            )));
+        }
+
+        let mut read_section = |i: usize| -> Result<Vec<u8>, StoreError> {
+            let (off, len) = sections[i];
+            file.seek(SeekFrom::Start(off as u64))?;
+            let mut buf = vec![0u8; len];
+            file.read_exact(&mut buf)?;
+            Ok(buf)
+        };
+
+        let (synopsis, paths) = if version >= SNAPSHOT_VERSION_PATHS {
+            let bytes = read_section(SEC_PATH_SYNOPSIS)?;
+            let (synopsis, paths) = parse_path_section(&bytes)?;
+            (synopsis, Some(paths))
+        } else {
+            // Version 2: derive tag counts from the tag table and the
+            // posting offsets. These sections carry no checksum of
+            // their own, so check the structural invariants a ceiling
+            // computation depends on.
+            let le_u32s = |b: &[u8], what: &str| -> Result<Vec<u32>, StoreError> {
+                if b.len() % 4 != 0 {
+                    return Err(corrupt(format!("{what}: length not a u32 multiple")));
+                }
+                Ok(b.chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+                    .collect())
+            };
+            let tag_offsets = le_u32s(&read_section(SEC_TAG_OFFSETS)?, "tag offsets")?;
+            if tag_offsets.len() != tag_count + 1 {
+                return Err(corrupt("tag offsets: wrong length for tag count"));
+            }
+            let blob_bytes = read_section(SEC_TAG_BLOB)?;
+            let tag_blob = std::str::from_utf8(&blob_bytes)
+                .map_err(|_| corrupt("tag blob is not valid UTF-8"))?;
+            check_offsets(&tag_offsets, tag_blob.len(), Some(tag_blob), "tag offsets")?;
+            let post_offsets = le_u32s(&read_section(SEC_POST_OFFSETS)?, "posting offsets")?;
+            if post_offsets.len() != tag_count + 1 {
+                return Err(corrupt("posting offsets: wrong length for tag count"));
+            }
+            check_offsets(&post_offsets, n - 1, None, "posting offsets")?;
+            let counts = (0..tag_count).filter_map(|t| {
+                let count = u64::from(post_offsets[t + 1] - post_offsets[t]);
+                let name = &tag_blob[tag_offsets[t] as usize..tag_offsets[t + 1] as usize];
+                (count > 0).then(|| (Box::<str>::from(name), count))
+            });
+            (ShardSynopsis::from_counts(counts, (n - 1) as u64), None)
+        };
+        Ok(SnapshotPeek {
+            version,
+            nodes: n as u64,
+            file_len,
+            synopsis,
+            paths,
+        })
+    }
+}
+
+/// What [`Snapshot::peek`] learns about a snapshot file without
+/// attaching it.
+#[derive(Debug, Clone)]
+pub struct SnapshotPeek {
+    /// Snapshot format version (2 or 3).
+    pub version: u32,
+    /// Total nodes, synthetic root included.
+    pub nodes: u64,
+    /// File size in bytes.
+    pub file_len: u64,
+    /// Tag-count synopsis (stored in v3, derived from headers in v2).
+    pub synopsis: ShardSynopsis,
+    /// Stored dataguide; `None` for version-2 files.
+    pub paths: Option<PathSynopsis>,
 }
 
 // -----------------------------------------------------------------------
@@ -573,9 +1013,11 @@ fn validate(bytes: &[u8]) -> Result<Layout, StoreError> {
         return Err(StoreError::BadMagic);
     }
     let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-    if version != SNAPSHOT_VERSION {
+    if !is_snapshot_version(version) {
         return Err(StoreError::UnsupportedVersion(version));
     }
+    let nsec = section_count(version);
+    let hlen = header_len(version);
 
     let n = read_u64_at(bytes, 8) as usize;
     let tag_count = read_u64_at(bytes, 16) as usize;
@@ -588,6 +1030,9 @@ fn validate(bytes: &[u8]) -> Result<Layout, StoreError> {
     }
     if total_len % 8 != 0 {
         return Err(corrupt("file length must be a multiple of 8"));
+    }
+    if total_len < hlen + 8 {
+        return Err(corrupt("file too short for its section table"));
     }
     if n == 0 || n > u32::MAX as usize || tag_count == 0 || tag_count > u32::MAX as usize {
         return Err(corrupt(format!(
@@ -606,9 +1051,9 @@ fn validate(bytes: &[u8]) -> Result<Layout, StoreError> {
     }
 
     // Section table: in order, 8-aligned, padding-only gaps, in bounds.
-    let mut sections = [(0usize, 0usize); SECTION_COUNT];
-    let mut expected_off = HEADER_LEN;
-    for (i, slot) in sections.iter_mut().enumerate() {
+    let mut sections = [(0usize, 0usize); SECTION_COUNT_V3];
+    let mut expected_off = hlen;
+    for (i, slot) in sections.iter_mut().take(nsec).enumerate() {
         let off = read_u64_at(bytes, 32 + i * 16) as usize;
         let len = read_u64_at(bytes, 40 + i * 16) as usize;
         if off != expected_off {
@@ -808,7 +1253,32 @@ fn validate(bytes: &[u8]) -> Result<Layout, StoreError> {
         return Err(corrupt("attribute blob not fully covered by entries"));
     }
 
+    // Version 3: the stored synopsis section must parse, pass its own
+    // checksum, and agree with the postings on per-tag counts — a
+    // ceiling computed from the section can then never contradict the
+    // payload it summarizes.
+    if version >= SNAPSHOT_VERSION_PATHS {
+        let (off, len) = sections[SEC_PATH_SYNOPSIS];
+        let (stored_syn, _) = parse_path_section(&bytes[off..off + len])?;
+        if stored_syn.elements() != (n - 1) as u64 {
+            return Err(corrupt(
+                "path synopsis: element count disagrees with header",
+            ));
+        }
+        let tag_offsets = u32s(SEC_TAG_OFFSETS);
+        for t in 0..tag_count {
+            let count = u64::from(post_offsets[t + 1] - post_offsets[t]);
+            let name = &tag_blob[tag_offsets[t] as usize..tag_offsets[t + 1] as usize];
+            if count > 0 && stored_syn.tag_count(name) != count {
+                return Err(corrupt(format!(
+                    "path synopsis: tag {name:?} count disagrees with postings"
+                )));
+            }
+        }
+    }
+
     Ok(Layout {
+        version,
         n,
         tag_count,
         sections,
@@ -962,6 +1432,64 @@ mod tests {
                 read.index_view().nodes_with_tag(t)
             );
         }
+    }
+
+    #[test]
+    fn peek_reads_synopses_without_attaching() {
+        let dir = std::env::temp_dir().join(format!("wpl-peek-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = "<shelf><book><isbn>1</isbn></book><book><isbn>2</isbn></book><cd/></shelf>";
+        let doc = parse_document(src).unwrap();
+        let index = TagIndex::build(&doc);
+
+        // v3: the stored section answers both synopses.
+        let v3_path = dir.join("v3.wps");
+        save_snapshot(&doc, &index, &v3_path).unwrap();
+        let peek = Snapshot::peek(&v3_path).unwrap();
+        assert_eq!(peek.version, SNAPSHOT_VERSION_PATHS);
+        assert_eq!(peek.nodes as usize, doc.len());
+        assert_eq!(peek.synopsis.tag_count("book"), 2);
+        assert_eq!(peek.synopsis.elements(), (doc.len() - 1) as u64);
+        let paths = peek.paths.expect("v3 stores the dataguide");
+        use whirlpool_index::PathAxis::*;
+        assert!(paths.matches_query_path(&[(Descendant, "book"), (Child, "isbn")]));
+        assert!(!paths.matches_query_path(&[(Descendant, "cd"), (Child, "isbn")]));
+        // The stored dataguide equals a fresh build.
+        assert_eq!(paths, PathSynopsis::build(&doc));
+
+        // Attach agrees with peek.
+        let snap = Snapshot::attach(&v3_path).unwrap();
+        assert_eq!(snap.path_synopsis(), Some(&paths));
+        assert_eq!(snap.source_path(), Some(v3_path.as_path()));
+
+        // v2 (opt-out): peek derives tag counts, reports no dataguide.
+        let v2_path = dir.join("v2.wps");
+        save_snapshot_with(
+            &doc,
+            &index,
+            &v2_path,
+            &SnapshotOptions {
+                path_synopsis: false,
+            },
+        )
+        .unwrap();
+        let peek2 = Snapshot::peek(&v2_path).unwrap();
+        assert_eq!(peek2.version, SNAPSHOT_VERSION);
+        assert_eq!(peek2.synopsis.tag_count("book"), 2);
+        assert!(peek2.paths.is_none());
+
+        // A flipped byte inside the v3 synopsis section fails the
+        // section's own checksum — peek never trusts garbage ceilings.
+        let clean = std::fs::read(&v3_path).unwrap();
+        let layout = validate(&clean).unwrap();
+        let (off, len) = layout.sections[SEC_PATH_SYNOPSIS];
+        let mut corrupt = clean.clone();
+        corrupt[off + len / 2] ^= 0x20;
+        let bad_path = dir.join("bad.wps");
+        std::fs::write(&bad_path, &corrupt).unwrap();
+        assert!(Snapshot::peek(&bad_path).is_err());
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! fails, a change broke reading of already-on-disk v1 files — that is
 //! a format regression, not a fixture to regenerate.
 
-use whirlpool_store::{read_store, store_version, write_store, SNAPSHOT_VERSION};
+use whirlpool_store::{
+    read_store, store_version, write_store, SnapshotOptions, SNAPSHOT_VERSION,
+    SNAPSHOT_VERSION_PATHS,
+};
 
 /// v1 bytes for:
 /// `<shelf><book id="b1"><title>Top-K</title></book><cd>é</cd></shelf>`
@@ -49,7 +52,7 @@ fn v1_writer_still_emits_the_pinned_bytes() {
 }
 
 #[test]
-fn version_sniffing_distinguishes_v1_and_v2() {
+fn version_sniffing_distinguishes_v1_v2_and_v3() {
     let dir = std::env::temp_dir().join(format!("wpl-v1compat-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let v1_path = dir.join("doc.wpx");
@@ -58,13 +61,39 @@ fn version_sniffing_distinguishes_v1_and_v2() {
 
     let doc = whirlpool_xml::parse_document("<a><b/></a>").unwrap();
     let index = whirlpool_index::TagIndex::build(&doc);
-    let v2_path = dir.join("doc.wps");
-    whirlpool_store::save_snapshot(&doc, &index, &v2_path).unwrap();
+    let v2_path = dir.join("doc-v2.wps");
+    whirlpool_store::save_snapshot_with(
+        &doc,
+        &index,
+        &v2_path,
+        &SnapshotOptions {
+            path_synopsis: false,
+        },
+    )
+    .unwrap();
     assert_eq!(store_version(&v2_path), Some(SNAPSHOT_VERSION));
+    let v3_path = dir.join("doc-v3.wps");
+    whirlpool_store::save_snapshot(&doc, &index, &v3_path).unwrap();
+    assert_eq!(store_version(&v3_path), Some(SNAPSHOT_VERSION_PATHS));
 
-    // And the streaming reader handles both through version dispatch.
+    // And the streaming reader handles all three through version
+    // dispatch.
     let via_v1 = whirlpool_store::load_file(&v1_path).unwrap();
     assert_eq!(via_v1.len(), 5);
     let via_v2 = whirlpool_store::load_file(&v2_path).unwrap();
     assert_eq!(via_v2.len(), doc.len());
+    let via_v3 = whirlpool_store::load_file(&v3_path).unwrap();
+    assert_eq!(via_v3.len(), doc.len());
+
+    // v2 files (no stored synopsis section) still attach and peek; the
+    // peek derives tag counts and reports no dataguide.
+    let v2 = whirlpool_store::Snapshot::attach(&v2_path).unwrap();
+    assert_eq!(v2.version(), SNAPSHOT_VERSION);
+    assert!(v2.path_synopsis().is_none());
+    let v2_peek = whirlpool_store::Snapshot::peek(&v2_path).unwrap();
+    assert!(v2_peek.paths.is_none());
+    assert_eq!(v2_peek.synopsis.tag_count("b"), 1);
+    let v3 = whirlpool_store::Snapshot::attach(&v3_path).unwrap();
+    assert_eq!(v3.version(), SNAPSHOT_VERSION_PATHS);
+    assert!(v3.path_synopsis().is_some());
 }

@@ -1,8 +1,8 @@
 //! Offline stand-in for `parking_lot`.
 //!
 //! Wraps `std::sync` primitives behind `parking_lot`'s poison-free API
-//! subset used by this workspace: `Mutex::{new, lock, into_inner}` and
-//! `Condvar::{new, wait, notify_one, notify_all}`. Poisoned std locks
+//! subset used by this workspace: `Mutex::{new, lock, try_lock,
+//! into_inner}` and `Condvar::{new, wait, notify_one, notify_all}`. Poisoned std locks
 //! are recovered transparently (a panicking holder does not wedge the
 //! engines — identical observable behavior to parking_lot).
 
@@ -30,6 +30,18 @@ impl<T> Mutex<T> {
             .lock()
             .unwrap_or_else(sync::PoisonError::into_inner);
         MutexGuard { inner: Some(guard) }
+    }
+
+    /// Acquires the lock only if it is free right now, recovering from
+    /// poisoning. `None` when another holder has it.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(MutexGuard { inner: Some(guard) }),
+            Err(sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: Some(e.into_inner()),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
     }
 
     /// Consumes the mutex, returning the value.

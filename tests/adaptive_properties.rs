@@ -269,6 +269,7 @@ fn whirlpool_m_stress_matrix() {
                             queue_policy,
                             processors,
                             threads,
+                            ..WhirlpoolMConfig::default()
                         },
                     );
                     assert!(
